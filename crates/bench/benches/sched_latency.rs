@@ -1,0 +1,104 @@
+//! Scheduler decision latency (§3.4.2 claims < 1 s per task in production;
+//! our in-memory reproduction should be orders of magnitude faster) plus
+//! ablation comparisons of the PTS design choices.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gfs::prelude::*;
+
+/// A 287-node cluster pre-loaded with a mixed HP/spot population.
+fn loaded_cluster() -> Cluster {
+    let mut cluster = Cluster::homogeneous(287, GpuModel::A100, 8);
+    let mut id = 0u64;
+    for n in 0..287u32 {
+        // ~70% of nodes carry one 4-GPU HP and one 2-GPU spot task
+        if n % 10 < 7 {
+            id += 1;
+            let hp = TaskSpec::builder(id)
+                .priority(Priority::Hp)
+                .gpus_per_pod(GpuDemand::whole(4))
+                .duration_secs(100_000)
+                .build()
+                .expect("valid");
+            cluster.start_task(hp, &[NodeId::new(n)], SimTime::ZERO, 0).expect("fits");
+            id += 1;
+            let spot = TaskSpec::builder(id)
+                .priority(Priority::Spot)
+                .gpus_per_pod(GpuDemand::whole(2))
+                .duration_secs(100_000)
+                .build()
+                .expect("valid");
+            cluster.start_task(spot, &[NodeId::new(n)], SimTime::from_secs(500), 0).expect("fits");
+        }
+    }
+    cluster
+}
+
+fn hp_task(gpus: u32, pods: u32) -> TaskSpec {
+    TaskSpec::builder(999_999)
+        .priority(Priority::Hp)
+        .pods(pods)
+        .gpus_per_pod(GpuDemand::whole(gpus))
+        .duration_secs(3_600)
+        .build()
+        .expect("valid")
+}
+
+fn bench_nonpreemptive(c: &mut Criterion) {
+    let cluster = loaded_cluster();
+    let pts = gfs::core::Pts::new(GfsParams::default(), PtsVariant::Full);
+    let task = hp_task(2, 1);
+    c.bench_function("pts_nonpreemptive_287_nodes", |b| {
+        b.iter(|| pts.schedule_nonpreemptive(&task, &cluster, SimTime::from_hours(1)))
+    });
+}
+
+fn bench_preemptive(c: &mut Criterion) {
+    // a full cluster forces the preemptive path
+    let mut cluster = Cluster::homogeneous(287, GpuModel::A100, 8);
+    for n in 0..287u32 {
+        let spot = TaskSpec::builder(u64::from(n) + 1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(100_000)
+            .build()
+            .expect("valid");
+        cluster.start_task(spot, &[NodeId::new(n)], SimTime::ZERO, 0).expect("fits");
+    }
+    let task = hp_task(8, 1);
+    for (name, variant) in [
+        ("pts_preemptive_waste_aware", PtsVariant::Full),
+        ("pts_preemptive_random_ablation", PtsVariant::RandomPreemption),
+    ] {
+        let pts = gfs::core::Pts::new(GfsParams::default(), variant);
+        c.bench_function(name, |b| {
+            b.iter(|| pts.schedule_preemptive(&task, &cluster, SimTime::from_hours(1)))
+        });
+    }
+}
+
+fn bench_baseline_schedulers(c: &mut Criterion) {
+    let cluster = loaded_cluster();
+    let task = hp_task(4, 2);
+    c.bench_function("yarn_best_fit_decision", |b| {
+        b.iter_batched(
+            YarnCs::new,
+            |mut s| s.schedule(&task, &cluster, SimTime::from_hours(1)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fgd_frag_gradient_decision", |b| {
+        b.iter_batched(
+            Fgd::new,
+            |mut s| s.schedule(&task, &cluster, SimTime::from_hours(1)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_nonpreemptive, bench_preemptive, bench_baseline_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Fig. 10 + Table 7: forecast-model comparison — OrgLinear vs Transformer,
+//! Informer, Autoformer, FEDformer, DLinear and DeepAR on the
+//! organization-demand dataset; point metrics, quantile metrics and
+//! training time.
+//!
+//! Set `GFS_BENCH_SCALE=full` for more epochs/data.
+
+use gfs::forecast::ModelScores;
+use gfs::prelude::*;
+use gfs::scenario::org_template;
+use gfs_bench::Scale;
+use gfs_forecast::{
+    evaluate, AutoformerForecaster, DeepAr, FedformerForecaster, InformerForecaster,
+    TransformerForecaster,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (weeks, epochs, seq_epochs) = match scale {
+        Scale::Quick => (6, 20, 4),
+        Scale::Full => (10, 40, 10),
+    };
+    let data = org_template(weeks, 168, 24, 33);
+    println!(
+        "Fig. 10 / Table 7 reproduction — {} orgs × {} weeks, L=168, H=24",
+        data.num_orgs(),
+        weeks
+    );
+
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = epochs;
+    cfg.stride = 7;
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.epochs = seq_epochs;
+
+    let mut rows: Vec<ModelScores> = Vec::new();
+    rows.push(evaluate(&mut OrgLinear::new(&data, 1), &data, &cfg));
+    rows.push(evaluate(&mut TransformerForecaster::new(&data, 1), &data, &seq_cfg));
+    rows.push(evaluate(&mut InformerForecaster::new(&data, 1), &data, &seq_cfg));
+    rows.push(evaluate(&mut AutoformerForecaster::new(&data, 1), &data, &seq_cfg));
+    rows.push(evaluate(&mut FedformerForecaster::new(&data, 1), &data, &seq_cfg));
+    rows.push(evaluate(&mut DLinear::new(&data, 1), &data, &cfg));
+    rows.push(evaluate(&mut DeepAr::new(&data, 1), &data, &seq_cfg));
+
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "model", "MAE", "MSE", "RMSE", "MAPE", "0.9-MAQE", "0.95-MAQE", "train(s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>8.2} {:>8.3} {:>10} {:>10} {:>9.1}",
+            r.name,
+            r.mae,
+            r.mse,
+            r.rmse,
+            r.mape,
+            r.maqe90.map_or("-".into(), |v| format!("{v:.4}")),
+            r.maqe95.map_or("-".into(), |v| format!("{v:.4}")),
+            r.train_time_secs
+        );
+    }
+
+    let org = &rows[0];
+    let best_baseline = rows[1..]
+        .iter()
+        .min_by(|a, b| a.mae.partial_cmp(&b.mae).expect("finite"))
+        .expect("baselines exist");
+    println!(
+        "\nOrgLinear vs best baseline ({}): MAE {:+.1}%, MSE {:+.1}%, RMSE {:+.1}%, MAPE {:+.1}%",
+        best_baseline.name,
+        (org.mae / best_baseline.mae - 1.0) * 100.0,
+        (org.mse / best_baseline.mse - 1.0) * 100.0,
+        (org.rmse / best_baseline.rmse - 1.0) * 100.0,
+        (org.mape / best_baseline.mape - 1.0) * 100.0,
+    );
+    let deepar = rows.last().expect("DeepAR is last");
+    println!(
+        "Table 7 — training time: OrgLinear {:.1}s vs DeepAR {:.1}s ({:.1}% of DeepAR; paper: 1.63%)",
+        org.train_time_secs,
+        deepar.train_time_secs,
+        org.train_time_secs / deepar.train_time_secs.max(1e-9) * 100.0
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 3: running times and queuing times of tasks by GPU size — runtime
+//! percentiles from the generator, queuing percentiles from a first-fit
+//! simulation on a loaded pool.
+
+use gfs::prelude::*;
+use gfs::trace::stats::percentile;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Fig. 3 reproduction");
+    let cfg = WorkloadConfig {
+        hp_tasks: 30_000,
+        spot_tasks: 6_000,
+        seed: 4,
+        ..WorkloadConfig::default()
+    };
+    let tasks = WorkloadGenerator::new(cfg).generate();
+
+    // (a) running time percentiles
+    let durs: Vec<f64> = tasks.iter().map(|t| t.duration_secs as f64 / HOUR as f64).collect();
+    println!("\nrunning time (hours): P50 {:.1}  P90 {:.1}  P99 {:.1}  (paper: P90 6.4h, P99 ~19.8d)",
+        percentile(&durs, 50.0), percentile(&durs, 90.0), percentile(&durs, 99.0));
+
+    // (b) queuing time by GPU-size bucket, from a loaded 64-node pool
+    let capacity = 64.0 * 8.0;
+    let sim_cfg = WorkloadConfig {
+        horizon_secs: 3 * 24 * HOUR,
+        seed: 4,
+        ..WorkloadConfig::default()
+    }
+    .sized_for(capacity, 0.92, 0.10);
+    let sim_tasks = WorkloadGenerator::new(sim_cfg).generate();
+    let cluster = Cluster::homogeneous(64, GpuModel::A100, 8);
+    let report = run(
+        cluster,
+        &mut YarnCs::new(),
+        sim_tasks,
+        &SimConfig {
+            max_time_secs: Some(8 * 24 * HOUR),
+            ..SimConfig::default()
+        },
+    );
+    let mut buckets: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for t in &report.tasks {
+        let g = t.total_gpus.round() as u64;
+        let key = [1u64, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .cloned()
+            .find(|&k| g <= k)
+            .unwrap_or(64);
+        buckets.entry(key).or_default().push(t.queued_secs as f64 / HOUR as f64);
+    }
+    println!("\nqueuing time by total GPU request (hours):");
+    println!("{:>8} {:>8} {:>9} {:>9} {:>7}", "GPUs", "median", "P90", "mean", "tasks");
+    let mut mean1 = None;
+    let mut mean8 = None;
+    for (k, v) in &buckets {
+        let med = percentile(v, 50.0);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        if *k == 1 {
+            mean1 = Some(mean);
+        }
+        if *k == 8 {
+            mean8 = Some(mean);
+        }
+        println!(
+            "{:>8} {:>8.2} {:>9.2} {:>9.2} {:>7}",
+            k,
+            med,
+            percentile(v, 90.0),
+            v.iter().sum::<f64>() / v.len() as f64,
+            v.len()
+        );
+    }
+    if let (Some(a), Some(b)) = (mean1, mean8) {
+        let (a, b) = (a.max(0.01), b.max(0.01));
+        println!("\n8-GPU vs 1-GPU mean wait ratio: {:.1}x (paper reports 2.7x on medians)", b / a);
+    }
+}

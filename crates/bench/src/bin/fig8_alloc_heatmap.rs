@@ -1,0 +1,57 @@
+//! Fig. 8: weekly node-level GPU allocation heat-maps across three A100
+//! clusters with distinct load characters.
+
+use gfs::prelude::*;
+
+fn heat_row(samples: &[f64]) -> String {
+    // 0..8 allocated cards → shade characters
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    samples
+        .iter()
+        .map(|&v| SHADES[((v / 8.0 * 4.0).round() as usize).min(4)])
+        .collect()
+}
+
+fn main() {
+    println!("Fig. 8 reproduction — node×hour allocation heat-maps (one char per 4h)");
+    // three cluster archetypes: (name, nodes, hp_load, diurnal share)
+    let clusters = [("Cluster A", 8u32, 0.80), ("Cluster B", 24, 0.62), ("Cluster C", 14, 0.78)];
+    for (name, nodes, load) in clusters {
+        let capacity = f64::from(nodes * 8);
+        let cfg = WorkloadConfig {
+            horizon_secs: 7 * 24 * HOUR,
+            seed: 11 + u64::from(nodes),
+            ..WorkloadConfig::default()
+        }
+        .sized_for(capacity, load, 0.08);
+        let tasks = WorkloadGenerator::new(cfg).generate();
+        let cluster = Cluster::homogeneous(nodes, GpuModel::A100, 8);
+        let report = run(
+            cluster,
+            &mut YarnCs::new(),
+            tasks,
+            &SimConfig {
+                record_node_alloc: true,
+                alloc_sample_interval_secs: 4 * HOUR,
+                max_time_secs: Some(7 * 24 * HOUR),
+                ..SimConfig::default()
+            },
+        );
+        let mean_alloc = report.mean_allocation_rate() * 100.0;
+        println!("\n{name} ({} nodes, target load {:.0}%, measured alloc {mean_alloc:.1}%):", nodes, load * 100.0);
+        for (i, series) in report.node_alloc_samples.iter().enumerate().take(12) {
+            println!("  node {:>2} |{}|", i, heat_row(series));
+        }
+        if report.node_alloc_samples.len() > 12 {
+            println!("  … ({} more nodes)", report.node_alloc_samples.len() - 12);
+        }
+        // persistently idle nodes (paper: present in clusters A and C)
+        let idle_nodes = report
+            .node_alloc_samples
+            .iter()
+            .filter(|s| s.iter().all(|&v| v < 1.0))
+            .count();
+        println!("  persistently idle nodes: {idle_nodes}");
+    }
+    println!("\n(paper: Cluster B averages 68.5% with strong diurnal idleness; A and C run hotter)");
+}

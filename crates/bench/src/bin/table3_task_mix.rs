@@ -1,0 +1,42 @@
+//! Table 3: overview of the two task classes — request counts, GPU size
+//! distribution and gang share of the generated evaluation workload.
+
+use gfs::prelude::*;
+
+fn main() {
+    println!("Table 3 reproduction — generated task mix vs paper percentages");
+    let tasks = WorkloadGenerator::new(WorkloadConfig {
+        hp_tasks: 138_403 / 4,
+        spot_tasks: 26_635 / 4,
+        seed: 5,
+        ..WorkloadConfig::default()
+    })
+    .generate();
+
+    for (label, priority, paper) in [
+        ("HP", Priority::Hp, [0.11, 55.11, 13.37, 7.53, 23.69, 8.66]),
+        ("Spot", Priority::Spot, [0.82, 67.35, 5.67, 12.00, 14.04, 27.26]),
+    ] {
+        let class: Vec<_> = tasks.iter().filter(|t| t.priority == priority).collect();
+        let n = class.len() as f64;
+        let share = |pred: &dyn Fn(&TaskSpec) -> bool| {
+            class.iter().filter(|t| pred(t)).count() as f64 / n * 100.0
+        };
+        let frac = share(&|t| t.gpus_per_pod.is_fractional());
+        let one = share(&|t| t.gpus_per_pod == GpuDemand::whole(1));
+        let two = share(&|t| t.gpus_per_pod == GpuDemand::whole(2));
+        let four = share(&|t| t.gpus_per_pod == GpuDemand::whole(4));
+        let eight = share(&|t| t.gpus_per_pod == GpuDemand::whole(8));
+        let gang = share(&|t| t.is_gang());
+        println!("\n{label} ({} tasks):", class.len());
+        println!("{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "<1", "1", "2", "4", "8", "gang");
+        println!(
+            "{:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%   (measured)",
+            frac, one, two, four, eight, gang
+        );
+        println!(
+            "{:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%   (paper)",
+            paper[0], paper[1], paper[2], paper[3], paper[4], paper[5]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Table 5: scheduling-metrics comparison of GFS against the four baseline
+//! schedulers under the low / medium / high spot workloads (§4.4).
+//!
+//! ```text
+//! GFS_BENCH_SCALE=full cargo run --release -p gfs-bench --bin table5_baselines
+//! ```
+
+use gfs::prelude::*;
+use gfs_bench::{eval_gfs, eval_workload, print_rows, run_row, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Table 5 reproduction — {} nodes, {}h horizon (set GFS_BENCH_SCALE=full for paper scale)",
+        scale.nodes(),
+        scale.horizon_hours()
+    );
+    for (label, spot_scale) in [("(a) Low Spot Workload", 1.0), ("(b) Medium Spot Workload", 2.0), ("(c) High Spot Workload", 4.0)] {
+        let tasks = eval_workload(scale, spot_scale, 9);
+        let mut rows = Vec::new();
+        rows.push(run_row("YARN-CS", &mut YarnCs::new(), scale, &tasks));
+        rows.push(run_row("Chronus", &mut Chronus::new(), scale, &tasks));
+        rows.push(run_row("Lyra", &mut Lyra::new(), scale, &tasks));
+        rows.push(run_row("FGD", &mut Fgd::new(), scale, &tasks));
+        let mut gfs = eval_gfs(scale, 9);
+        rows.push(run_row("GFS", &mut gfs, scale, &tasks));
+        print_rows(label, &rows);
+    }
+    println!("\n(Chronus displaces best-effort jobs only at lease expiry; its e column is");
+    println!(" reported for completeness where the paper prints '-'.)");
+}

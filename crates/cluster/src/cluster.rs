@@ -1,0 +1,476 @@
+//! Cluster state: the set of nodes plus the registry of running tasks.
+
+use std::collections::HashMap;
+
+use gfs_types::{Error, GpuModel, NodeId, Result, SimDuration, SimTime, TaskId, TaskSpec};
+
+use crate::node::{Node, PodAlloc};
+
+/// Where one pod of a running task lives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodPlacement {
+    /// Hosting node.
+    pub node: NodeId,
+    /// Concrete cards/fraction on that node.
+    pub alloc: PodAlloc,
+}
+
+/// A task currently occupying GPUs.
+#[derive(Debug, Clone)]
+pub struct RunningTask {
+    /// The immutable task description.
+    pub spec: TaskSpec,
+    /// One placement per pod.
+    pub placements: Vec<PodPlacement>,
+    /// When this run segment started executing.
+    pub started_at: SimTime,
+    /// Work (seconds) preserved from earlier run segments.
+    pub carried_progress: SimDuration,
+}
+
+impl RunningTask {
+    /// Seconds executed in the current run segment.
+    #[must_use]
+    pub fn executed(&self, now: SimTime) -> SimDuration {
+        now.since(self.started_at)
+    }
+
+    /// Total work progress including earlier segments.
+    #[must_use]
+    pub fn progress(&self, now: SimTime) -> SimDuration {
+        self.carried_progress + self.executed(now)
+    }
+
+    /// Remaining work after `now`.
+    #[must_use]
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.spec.duration_secs.saturating_sub(self.progress(now))
+    }
+
+    /// Seconds of work that would be lost if preempted at `now`
+    /// (the `t − t_check` term of Eq. 17).
+    #[must_use]
+    pub fn wasted_seconds(&self, now: SimTime) -> SimDuration {
+        self.spec
+            .checkpoint
+            .wasted_work(self.carried_progress, self.executed(now))
+    }
+
+    /// The full waste of Eq. 17: `ϑ = g · (t − t_check)` in GPU-seconds.
+    #[must_use]
+    pub fn waste(&self, now: SimTime) -> f64 {
+        self.spec.total_gpus() * self.wasted_seconds(now) as f64
+    }
+
+    /// Progress that survives a preemption at `now`.
+    #[must_use]
+    pub fn preserved_progress(&self, now: SimTime) -> SimDuration {
+        self.spec
+            .checkpoint
+            .preserved_progress(self.carried_progress, self.executed(now))
+    }
+}
+
+/// The full cluster: nodes plus running-task registry plus spot outcome
+/// counters (`G` successes / `F` evictions of Eq. 18).
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    running: HashMap<TaskId, RunningTask>,
+    spot_completed: u64,
+    spot_evicted: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster from explicit nodes.
+    #[must_use]
+    pub fn new(nodes: Vec<Node>) -> Self {
+        Cluster {
+            nodes,
+            running: HashMap::new(),
+            spot_completed: 0,
+            spot_evicted: 0,
+        }
+    }
+
+    /// Creates a homogeneous cluster: `node_count` nodes of `model` with
+    /// `gpus_per_node` cards each (e.g. the 287-node A100 pool of §4.1).
+    #[must_use]
+    pub fn homogeneous(node_count: u32, model: GpuModel, gpus_per_node: u32) -> Self {
+        Cluster::new(
+            (0..node_count)
+                .map(|i| Node::new(NodeId::new(i), model, gpus_per_node))
+                .collect(),
+        )
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One node by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for an unknown id.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.index())
+            .filter(|n| n.id() == id)
+            .ok_or_else(|| Error::NotFound(format!("{id}")))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        self.nodes
+            .get_mut(id.index())
+            .filter(|n| n.id() == id)
+            .ok_or_else(|| Error::NotFound(format!("{id}")))
+    }
+
+    /// Nodes hosting the given GPU model.
+    pub fn nodes_with_model(&self, model: GpuModel) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.model() == model)
+    }
+
+    /// Total GPU cards (optionally restricted to one model).
+    #[must_use]
+    pub fn capacity(&self, model: Option<GpuModel>) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .map(|n| f64::from(n.total_gpus()))
+            .sum()
+    }
+
+    /// Sum of free card fractions (optionally per model).
+    #[must_use]
+    pub fn free_capacity(&self, model: Option<GpuModel>) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .map(Node::free_capacity)
+            .sum()
+    }
+
+    /// Count of completely idle cards (optionally per model) — the `S₀`
+    /// of Eq. 10.
+    #[must_use]
+    pub fn idle_gpus(&self, model: Option<GpuModel>) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .map(Node::idle_gpus)
+            .sum()
+    }
+
+    /// Cards allocated to HP tasks (optionally per model).
+    #[must_use]
+    pub fn hp_allocated(&self, model: Option<GpuModel>) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .map(Node::hp_allocated)
+            .sum()
+    }
+
+    /// Cards allocated to spot tasks (optionally per model) — the `Sₐ`
+    /// of Eq. 10.
+    #[must_use]
+    pub fn spot_allocated(&self, model: Option<GpuModel>) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .map(Node::spot_allocated)
+            .sum()
+    }
+
+    /// Overall allocation rate in `[0, 1]` (optionally per model).
+    #[must_use]
+    pub fn allocation_rate(&self, model: Option<GpuModel>) -> f64 {
+        let cap = self.capacity(model);
+        if cap == 0.0 {
+            0.0
+        } else {
+            (self.hp_allocated(model) + self.spot_allocated(model)) / cap
+        }
+    }
+
+    /// Registry of running tasks.
+    pub fn running(&self) -> impl Iterator<Item = &RunningTask> {
+        self.running.values()
+    }
+
+    /// Number of running tasks.
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Looks up one running task.
+    #[must_use]
+    pub fn running_task(&self, id: TaskId) -> Option<&RunningTask> {
+        self.running.get(&id)
+    }
+
+    /// Spot tasks with at least one pod on `node`.
+    #[must_use]
+    pub fn spot_tasks_on(&self, node: NodeId) -> Vec<&RunningTask> {
+        self.running
+            .values()
+            .filter(|rt| {
+                rt.spec.priority.is_spot() && rt.placements.iter().any(|p| p.node == node)
+            })
+            .collect()
+    }
+
+    /// Historical count of spot tasks that ran to completion (`G`).
+    #[must_use]
+    pub fn spot_completed(&self) -> u64 {
+        self.spot_completed
+    }
+
+    /// Historical count of spot eviction events (`F`).
+    #[must_use]
+    pub fn spot_evicted(&self) -> u64 {
+        self.spot_evicted
+    }
+
+    /// Places `spec` with one pod per entry of `pod_nodes`, atomically
+    /// (gang semantics): on any failure every already-placed pod is rolled
+    /// back and an error returned.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidTask`] if the node list length differs from the pod
+    /// count or the task is already running; [`Error::Capacity`] if any pod
+    /// does not fit.
+    pub fn start_task(
+        &mut self,
+        spec: TaskSpec,
+        pod_nodes: &[NodeId],
+        now: SimTime,
+        carried_progress: SimDuration,
+    ) -> Result<()> {
+        if pod_nodes.len() != spec.pods as usize {
+            return Err(Error::InvalidTask(format!(
+                "{}: {} pod nodes for {} pods",
+                spec.id,
+                pod_nodes.len(),
+                spec.pods
+            )));
+        }
+        if self.running.contains_key(&spec.id) {
+            return Err(Error::InvalidTask(format!("{} is already running", spec.id)));
+        }
+        let mut placements: Vec<PodPlacement> = Vec::with_capacity(pod_nodes.len());
+        for &nid in pod_nodes {
+            let demand = spec.gpus_per_pod;
+            let priority = spec.priority;
+            let task = spec.id;
+            let result = self
+                .node_mut(nid)
+                .and_then(|n| n.place_pod(task, demand, priority));
+            match result {
+                Ok(alloc) => placements.push(PodPlacement { node: nid, alloc }),
+                Err(e) => {
+                    // roll back the partial gang
+                    for p in &placements {
+                        self.node_mut(p.node)
+                            .expect("placed node exists")
+                            .release_pod(task, &p.alloc, priority)
+                            .expect("rollback of a fresh placement succeeds");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.running.insert(
+            spec.id,
+            RunningTask {
+                spec,
+                placements,
+                started_at: now,
+                carried_progress,
+            },
+        );
+        Ok(())
+    }
+
+    /// Completes a running task, releasing its GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if the task is not running.
+    pub fn finish_task(&mut self, id: TaskId, _now: SimTime) -> Result<RunningTask> {
+        let rt = self
+            .running
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("{id} not running")))?;
+        self.release_placements(&rt);
+        if rt.spec.priority.is_spot() {
+            self.spot_completed += 1;
+        }
+        Ok(rt)
+    }
+
+    /// Evicts a running spot task at `now`: releases its GPUs, records the
+    /// eviction on each hosting node, bumps `F`, and returns the task with
+    /// the progress that survived (per its checkpoint plan).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if the task is not running;
+    /// [`Error::InvalidTask`] when attempting to evict an HP task
+    /// (constraint 12c/12d).
+    pub fn evict_task(&mut self, id: TaskId, now: SimTime) -> Result<(RunningTask, SimDuration)> {
+        let is_hp = self
+            .running
+            .get(&id)
+            .ok_or_else(|| Error::NotFound(format!("{id} not running")))?
+            .spec
+            .priority
+            .is_hp();
+        if is_hp {
+            return Err(Error::InvalidTask(format!("{id} is HP and cannot be evicted")));
+        }
+        let rt = self.running.remove(&id).expect("presence checked above");
+        self.release_placements(&rt);
+        let mut seen = Vec::new();
+        for p in &rt.placements {
+            if !seen.contains(&p.node) {
+                seen.push(p.node);
+                self.node_mut(p.node)
+                    .expect("hosting node exists")
+                    .record_eviction(now);
+            }
+        }
+        self.spot_evicted += 1;
+        let preserved = rt.preserved_progress(now);
+        Ok((rt, preserved))
+    }
+
+    fn release_placements(&mut self, rt: &RunningTask) {
+        for p in &rt.placements {
+            self.node_mut(p.node)
+                .expect("hosting node exists")
+                .release_pod(rt.spec.id, &p.alloc, rt.spec.priority)
+                .expect("running placements are consistent");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{CheckpointPlan, GpuDemand, Priority};
+
+    fn spec(id: u64, priority: Priority, pods: u32, gpus: u32) -> TaskSpec {
+        TaskSpec::builder(id)
+            .priority(priority)
+            .pods(pods)
+            .gpus_per_pod(GpuDemand::whole(gpus))
+            .duration_secs(7_200)
+            .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
+            .build()
+            .unwrap()
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(4, GpuModel::A100, 8)
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let c = cluster();
+        assert_eq!(c.capacity(None), 32.0);
+        assert_eq!(c.idle_gpus(None), 32);
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 0.0);
+        assert_eq!(c.allocation_rate(None), 0.0);
+    }
+
+    #[test]
+    fn start_finish_round_trip() {
+        let mut c = cluster();
+        let s = spec(1, Priority::Hp, 2, 4);
+        c.start_task(s, &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        assert_eq!(c.hp_allocated(None), 8.0);
+        assert_eq!(c.running_count(), 1);
+        let rt = c.finish_task(TaskId::new(1), SimTime::from_hours(2)).unwrap();
+        assert_eq!(rt.spec.id, TaskId::new(1));
+        assert_eq!(c.hp_allocated(None), 0.0);
+        assert_eq!(c.running_count(), 0);
+    }
+
+    #[test]
+    fn gang_placement_rolls_back_atomically() {
+        let mut c = cluster();
+        // fill node 1 completely
+        c.start_task(spec(1, Priority::Hp, 1, 8), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        // gang asking for node0 + node1 must fail and leave node0 untouched
+        let r = c.start_task(spec(2, Priority::Hp, 2, 8), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0);
+        assert!(r.is_err());
+        assert_eq!(c.node(NodeId::new(0)).unwrap().idle_gpus(), 8, "rollback freed node 0");
+        assert_eq!(c.running_count(), 1);
+    }
+
+    #[test]
+    fn eviction_counts_and_preserves_checkpoint() {
+        let mut c = cluster();
+        let s = spec(3, Priority::Spot, 1, 4);
+        c.start_task(s, &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        let now = SimTime::from_secs(4_000); // two checkpoints at 1800/3600
+        let (rt, preserved) = c.evict_task(TaskId::new(3), now).unwrap();
+        assert_eq!(preserved, 3_600);
+        assert_eq!(rt.wasted_seconds(now), 400);
+        assert!((rt.waste(now) - 4.0 * 400.0).abs() < 1e-9);
+        assert_eq!(c.spot_evicted(), 1);
+        assert_eq!(c.node(NodeId::new(2)).unwrap().evictions_within(now, 3_600 * 2), 1);
+    }
+
+    #[test]
+    fn hp_tasks_cannot_be_evicted() {
+        let mut c = cluster();
+        c.start_task(spec(4, Priority::Hp, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        assert!(c.evict_task(TaskId::new(4), SimTime::ZERO).is_err());
+        assert_eq!(c.running_count(), 1, "task must survive the failed eviction");
+    }
+
+    #[test]
+    fn spot_tasks_on_filters_by_node() {
+        let mut c = cluster();
+        c.start_task(spec(5, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spec(6, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spec(7, Priority::Hp, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let on0 = c.spot_tasks_on(NodeId::new(0));
+        assert_eq!(on0.len(), 1);
+        assert_eq!(on0[0].spec.id, TaskId::new(5));
+    }
+
+    #[test]
+    fn remaining_work_shrinks_with_time() {
+        let mut c = cluster();
+        c.start_task(spec(8, Priority::Spot, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let rt = c.running_task(TaskId::new(8)).unwrap();
+        assert_eq!(rt.remaining(SimTime::from_secs(7_200)), 0);
+        assert_eq!(rt.remaining(SimTime::from_secs(3_600)), 3_600);
+        assert_eq!(rt.progress(SimTime::from_secs(100)), 100);
+    }
+
+    #[test]
+    fn duplicate_start_rejected() {
+        let mut c = cluster();
+        c.start_task(spec(9, Priority::Hp, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let again = spec(9, Priority::Hp, 1, 1);
+        assert!(c.start_task(again, &[NodeId::new(1)], SimTime::ZERO, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_node_in_gang_is_rolled_back() {
+        let mut c = cluster();
+        let r = c.start_task(spec(10, Priority::Hp, 2, 1), &[NodeId::new(0), NodeId::new(99)], SimTime::ZERO, 0);
+        assert!(r.is_err());
+        assert_eq!(c.idle_gpus(None), 32);
+    }
+}

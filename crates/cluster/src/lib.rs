@@ -1,0 +1,35 @@
+//! In-memory GPU cluster model for the GFS reproduction.
+//!
+//! The paper's production cluster (Table 1) is replaced by this
+//! deterministic state machine: [`Node`]s hold per-card occupancy with both
+//! whole-card and fractional allocations, the [`Cluster`] tracks running
+//! tasks, eviction history and the spot outcome counters used by the
+//! preemption-cost model (Eq. 18), and the [`Scheduler`] trait is the
+//! interface every policy — GFS and the four baselines — implements.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfs_cluster::Cluster;
+//! use gfs_types::{GpuDemand, GpuModel, NodeId, Priority, SimTime, TaskSpec};
+//!
+//! let mut cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+//! let task = TaskSpec::builder(1)
+//!     .priority(Priority::Spot)
+//!     .gpus_per_pod(GpuDemand::whole(4))
+//!     .build()?;
+//! cluster.start_task(task, &[NodeId::new(0)], SimTime::ZERO, 0)?;
+//! assert_eq!(cluster.idle_gpus(None), 12);
+//! # Ok::<(), gfs_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod node;
+mod scheduler;
+
+pub use cluster::{Cluster, PodPlacement, RunningTask};
+pub use node::{Gpu, Node, PodAlloc};
+pub use scheduler::{Decision, Scheduler, TaskEvent};

@@ -1,0 +1,390 @@
+//! A single machine hosting several GPUs.
+//!
+//! Nodes track per-card occupancy (supporting both whole-card and
+//! fractional allocations), cached per-priority totals, and a timestamped
+//! eviction history powering the eviction-awareness score (Eq. 15–16) and
+//! the circuit-breaker.
+
+use std::collections::VecDeque;
+
+use gfs_types::{
+    Error, GpuDemand, GpuModel, NodeId, Priority, Result, SimDuration, SimTime, TaskId,
+};
+
+/// Occupancy of one GPU card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gpu {
+    free: f64,
+    shares: Vec<(TaskId, f64)>,
+}
+
+impl Gpu {
+    fn new() -> Self {
+        Gpu {
+            free: 1.0,
+            shares: Vec::new(),
+        }
+    }
+
+    /// Unallocated fraction of the card in `[0, 1]`.
+    #[must_use]
+    pub fn free_fraction(&self) -> f64 {
+        self.free
+    }
+
+    /// Whether the card is completely unallocated.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.free >= 1.0 - 1e-9
+    }
+
+    /// Tasks holding a share of this card.
+    #[must_use]
+    pub fn shares(&self) -> &[(TaskId, f64)] {
+        &self.shares
+    }
+}
+
+/// How a pod occupies GPUs on one node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PodAlloc {
+    /// The pod owns these whole cards.
+    Whole(Vec<usize>),
+    /// The pod owns a fraction of a single card.
+    Fraction {
+        /// Card index on the node.
+        gpu: usize,
+        /// Fraction in `(0, 1)`.
+        amount: f64,
+    },
+}
+
+impl PodAlloc {
+    /// Number of GPU cards represented by the allocation.
+    #[must_use]
+    pub fn cards(&self) -> f64 {
+        match self {
+            PodAlloc::Whole(v) => v.len() as f64,
+            PodAlloc::Fraction { amount, .. } => *amount,
+        }
+    }
+}
+
+/// A cluster node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    model: GpuModel,
+    gpus: Vec<Gpu>,
+    hp_alloc: f64,
+    spot_alloc: f64,
+    evictions: VecDeque<SimTime>,
+}
+
+impl Node {
+    /// Creates an empty node with `num_gpus` cards of `model`.
+    #[must_use]
+    pub fn new(id: NodeId, model: GpuModel, num_gpus: u32) -> Self {
+        Node {
+            id,
+            model,
+            gpus: (0..num_gpus).map(|_| Gpu::new()).collect(),
+            hp_alloc: 0.0,
+            spot_alloc: 0.0,
+            evictions: VecDeque::new(),
+        }
+    }
+
+    /// Node identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// GPU model of every card on this node.
+    #[must_use]
+    pub fn model(&self) -> GpuModel {
+        self.model
+    }
+
+    /// Total number of cards.
+    #[must_use]
+    pub fn total_gpus(&self) -> u32 {
+        self.gpus.len() as u32
+    }
+
+    /// Cards that are completely unallocated.
+    #[must_use]
+    pub fn idle_gpus(&self) -> u32 {
+        self.gpus.iter().filter(|g| g.is_idle()).count() as u32
+    }
+
+    /// Sum of free fractions across all cards.
+    #[must_use]
+    pub fn free_capacity(&self) -> f64 {
+        self.gpus.iter().map(Gpu::free_fraction).sum()
+    }
+
+    /// GPUs (in cards) allocated to HP tasks.
+    #[must_use]
+    pub fn hp_allocated(&self) -> f64 {
+        self.hp_alloc
+    }
+
+    /// GPUs (in cards) allocated to spot tasks.
+    #[must_use]
+    pub fn spot_allocated(&self) -> f64 {
+        self.spot_alloc
+    }
+
+    /// GPUs (in cards) allocated in total.
+    #[must_use]
+    pub fn allocated(&self) -> f64 {
+        self.hp_alloc + self.spot_alloc
+    }
+
+    /// Per-card occupancy view.
+    #[must_use]
+    pub fn gpus(&self) -> &[Gpu] {
+        &self.gpus
+    }
+
+    /// Whether a pod with the given demand could be placed right now.
+    #[must_use]
+    pub fn can_fit(&self, demand: GpuDemand) -> bool {
+        match demand {
+            GpuDemand::Whole(n) => self.idle_gpus() >= n,
+            GpuDemand::Fraction(f) => self.gpus.iter().any(|g| g.free_fraction() >= f - 1e-12),
+        }
+    }
+
+    /// Places one pod of `task` on this node, choosing concrete cards:
+    /// whole-card pods take idle cards; fractional pods bin-pack onto the
+    /// *most loaded* card that still fits (best-fit, limiting fragmentation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Capacity`] if the demand does not fit.
+    pub fn place_pod(
+        &mut self,
+        task: TaskId,
+        demand: GpuDemand,
+        priority: Priority,
+    ) -> Result<PodAlloc> {
+        let alloc = match demand {
+            GpuDemand::Whole(n) => {
+                let idle: Vec<usize> = self
+                    .gpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.is_idle())
+                    .map(|(i, _)| i)
+                    .take(n as usize)
+                    .collect();
+                if idle.len() < n as usize {
+                    return Err(Error::Capacity(format!(
+                        "{}: {} idle GPUs, pod needs {n}",
+                        self.id,
+                        self.idle_gpus()
+                    )));
+                }
+                for &i in &idle {
+                    self.gpus[i].free = 0.0;
+                    self.gpus[i].shares.push((task, 1.0));
+                }
+                PodAlloc::Whole(idle)
+            }
+            GpuDemand::Fraction(f) => {
+                let best = self
+                    .gpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.free_fraction() >= f - 1e-12)
+                    .min_by(|(_, a), (_, b)| {
+                        a.free_fraction()
+                            .partial_cmp(&b.free_fraction())
+                            .expect("free fractions are finite")
+                    })
+                    .map(|(i, _)| i);
+                let Some(i) = best else {
+                    return Err(Error::Capacity(format!(
+                        "{}: no card has a free fraction of {f}",
+                        self.id
+                    )));
+                };
+                self.gpus[i].free = (self.gpus[i].free - f).max(0.0);
+                self.gpus[i].shares.push((task, f));
+                PodAlloc::Fraction { gpu: i, amount: f }
+            }
+        };
+        let cards = alloc.cards();
+        match priority {
+            Priority::Hp => self.hp_alloc += cards,
+            Priority::Spot => self.spot_alloc += cards,
+        }
+        Ok(alloc)
+    }
+
+    /// Releases a previously placed pod.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if the task holds no matching share.
+    pub fn release_pod(&mut self, task: TaskId, alloc: &PodAlloc, priority: Priority) -> Result<()> {
+        match alloc {
+            PodAlloc::Whole(cards) => {
+                for &i in cards {
+                    let gpu = self.gpus.get_mut(i).ok_or_else(|| {
+                        Error::NotFound(format!("gpu {i} on {}", self.id))
+                    })?;
+                    let pos = gpu
+                        .shares
+                        .iter()
+                        .position(|(t, _)| *t == task)
+                        .ok_or_else(|| Error::NotFound(format!("{task} share on gpu {i}")))?;
+                    gpu.shares.remove(pos);
+                    gpu.free = 1.0;
+                }
+            }
+            PodAlloc::Fraction { gpu, amount } => {
+                let g = self.gpus.get_mut(*gpu).ok_or_else(|| {
+                    Error::NotFound(format!("gpu {gpu} on {}", self.id))
+                })?;
+                let pos = g
+                    .shares
+                    .iter()
+                    .position(|(t, a)| *t == task && (a - amount).abs() < 1e-12)
+                    .ok_or_else(|| Error::NotFound(format!("{task} share on gpu {gpu}")))?;
+                g.shares.remove(pos);
+                g.free = (g.free + amount).min(1.0);
+            }
+        }
+        let cards = alloc.cards();
+        match priority {
+            Priority::Hp => self.hp_alloc = (self.hp_alloc - cards).max(0.0),
+            Priority::Spot => self.spot_alloc = (self.spot_alloc - cards).max(0.0),
+        }
+        Ok(())
+    }
+
+    /// Records one eviction event at `now`.
+    pub fn record_eviction(&mut self, now: SimTime) {
+        self.evictions.push_back(now);
+        // retire entries older than any plausible window (7 days)
+        let horizon = 7 * gfs_types::SECONDS_PER_DAY;
+        while let Some(&front) = self.evictions.front() {
+            if now.since(front) > horizon {
+                self.evictions.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of evictions recorded in the last `window` seconds.
+    #[must_use]
+    pub fn evictions_within(&self, now: SimTime, window: SimDuration) -> usize {
+        self.evictions
+            .iter()
+            .filter(|&&t| now.since(t) <= window)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId::new(0), GpuModel::A100, 8)
+    }
+
+    #[test]
+    fn whole_card_place_and_release() {
+        let mut n = node();
+        let t = TaskId::new(1);
+        let a = n.place_pod(t, GpuDemand::whole(3), Priority::Hp).unwrap();
+        assert_eq!(n.idle_gpus(), 5);
+        assert_eq!(n.hp_allocated(), 3.0);
+        n.release_pod(t, &a, Priority::Hp).unwrap();
+        assert_eq!(n.idle_gpus(), 8);
+        assert_eq!(n.hp_allocated(), 0.0);
+    }
+
+    #[test]
+    fn rejects_oversized_pod() {
+        let mut n = node();
+        n.place_pod(TaskId::new(1), GpuDemand::whole(6), Priority::Hp).unwrap();
+        let err = n.place_pod(TaskId::new(2), GpuDemand::whole(3), Priority::Spot);
+        assert!(err.is_err());
+        assert!(n.can_fit(GpuDemand::whole(2)));
+        assert!(!n.can_fit(GpuDemand::whole(3)));
+    }
+
+    #[test]
+    fn fractional_best_fit_packs_tightly() {
+        let mut n = node();
+        let a = n.place_pod(TaskId::new(1), GpuDemand::fraction(0.5).unwrap(), Priority::Spot).unwrap();
+        let b = n.place_pod(TaskId::new(2), GpuDemand::fraction(0.3).unwrap(), Priority::Spot).unwrap();
+        // second share lands on the same, already-loaded card
+        match (&a, &b) {
+            (PodAlloc::Fraction { gpu: g1, .. }, PodAlloc::Fraction { gpu: g2, .. }) => {
+                assert_eq!(g1, g2, "best fit should co-locate fractions");
+            }
+            other => panic!("unexpected allocs {other:?}"),
+        }
+        assert_eq!(n.idle_gpus(), 7);
+        assert!((n.spot_allocated() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_release_restores_capacity() {
+        let mut n = node();
+        let f = GpuDemand::fraction(0.25).unwrap();
+        let a = n.place_pod(TaskId::new(9), f, Priority::Spot).unwrap();
+        n.release_pod(TaskId::new(9), &a, Priority::Spot).unwrap();
+        assert_eq!(n.idle_gpus(), 8);
+        assert!((n.free_capacity() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_unknown_share_errors() {
+        let mut n = node();
+        let a = PodAlloc::Whole(vec![0]);
+        assert!(n.release_pod(TaskId::new(5), &a, Priority::Hp).is_err());
+    }
+
+    #[test]
+    fn eviction_window_counts() {
+        let mut n = node();
+        n.record_eviction(SimTime::from_hours(1));
+        n.record_eviction(SimTime::from_hours(10));
+        n.record_eviction(SimTime::from_hours(24));
+        let now = SimTime::from_hours(25);
+        assert_eq!(n.evictions_within(now, gfs_types::HOUR), 1);
+        // the window boundary is inclusive: the hour-1 eviction is exactly
+        // 24 h old at now = 25 h
+        assert_eq!(n.evictions_within(now, 24 * gfs_types::HOUR), 3);
+        assert_eq!(n.evictions_within(now, 23 * gfs_types::HOUR), 2);
+        assert_eq!(n.evictions_within(now, 48 * gfs_types::HOUR), 3);
+    }
+
+    #[test]
+    fn eviction_history_is_bounded() {
+        let mut n = node();
+        for h in 0..1_000 {
+            n.record_eviction(SimTime::from_hours(h));
+        }
+        // entries older than 7 days get retired
+        assert!(n.evictions_within(SimTime::from_hours(999), u64::MAX) <= 7 * 24 + 1);
+    }
+
+    #[test]
+    fn free_capacity_mixes_whole_and_fraction() {
+        let mut n = node();
+        n.place_pod(TaskId::new(1), GpuDemand::whole(2), Priority::Hp).unwrap();
+        n.place_pod(TaskId::new(2), GpuDemand::fraction(0.5).unwrap(), Priority::Spot).unwrap();
+        assert!((n.free_capacity() - 5.5).abs() < 1e-9);
+        assert_eq!(n.allocated(), 2.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! The scheduler interface every policy (GFS and all baselines) implements.
+//!
+//! A scheduler receives an immutable view of the [`Cluster`] and answers
+//! placement questions; the simulator owns execution (evicting victims,
+//! committing placements, requeuing). This keeps policies pure and easy to
+//! compare.
+
+use gfs_types::{NodeId, Priority, SimTime, TaskId, TaskSpec};
+
+use crate::cluster::Cluster;
+
+/// A placement decision for one task.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Decision {
+    /// Hosting node for each pod (length = pod count; duplicates allowed).
+    pub pod_nodes: Vec<NodeId>,
+    /// Spot tasks that must be evicted before the placement fits.
+    pub preemptions: Vec<TaskId>,
+}
+
+impl Decision {
+    /// A decision that places pods without preempting anyone.
+    #[must_use]
+    pub fn place(pod_nodes: Vec<NodeId>) -> Self {
+        Decision {
+            pod_nodes,
+            preemptions: Vec::new(),
+        }
+    }
+
+    /// Whether the decision requires evictions.
+    #[must_use]
+    pub fn is_preemptive(&self) -> bool {
+        !self.preemptions.is_empty()
+    }
+}
+
+/// Lifecycle notifications delivered to schedulers for feedback loops
+/// (e.g. the SQA's eviction-rate / queueing-time controller, Eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskEvent {
+    /// A task entered the pending queue.
+    Submitted {
+        /// Task id.
+        task: TaskId,
+        /// Task priority class.
+        priority: Priority,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A task started executing after queuing for `queued_secs`.
+    Started {
+        /// Task id.
+        task: TaskId,
+        /// Task priority class.
+        priority: Priority,
+        /// Seconds spent in the queue for this segment.
+        queued_secs: u64,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A task finished all its work.
+    Finished {
+        /// Task id.
+        task: TaskId,
+        /// Task priority class.
+        priority: Priority,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A spot task was evicted by a preemption.
+    Evicted {
+        /// Task id.
+        task: TaskId,
+        /// Event time.
+        at: SimTime,
+    },
+}
+
+/// A scheduling policy.
+///
+/// Implementations must be deterministic: same state + same inputs must
+/// produce the same decision, so simulations are reproducible.
+pub trait Scheduler {
+    /// Display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Proposes a placement for `task`, or `None` to leave it pending.
+    ///
+    /// A returned [`Decision`] may list spot victims in `preemptions`; the
+    /// simulator evicts them before committing the placement.
+    fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, now: SimTime) -> Option<Decision>;
+
+    /// Periodic hook (the simulator fires it at the configured quota-update
+    /// interval; GFS recomputes `Q_H` here).
+    fn on_tick(&mut self, _now: SimTime, _cluster: &Cluster) {}
+
+    /// Lifecycle notification hook.
+    fn on_event(&mut self, _event: &TaskEvent, _cluster: &Cluster) {}
+
+    /// Orders the pending queue before a scheduling pass. The default keeps
+    /// FIFO order; PTS sorts by GPU request, pod count and submit time.
+    fn sort_queue(&self, _queue: &mut Vec<TaskSpec>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_constructors() {
+        let d = Decision::place(vec![NodeId::new(1), NodeId::new(1)]);
+        assert!(!d.is_preemptive());
+        let p = Decision {
+            pod_nodes: vec![NodeId::new(0)],
+            preemptions: vec![TaskId::new(9)],
+        };
+        assert!(p.is_preemptive());
+    }
+
+    #[test]
+    fn scheduler_trait_is_object_safe() {
+        struct Never;
+        impl Scheduler for Never {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn schedule(&mut self, _: &TaskSpec, _: &Cluster, _: SimTime) -> Option<Decision> {
+                None
+            }
+        }
+        let mut s: Box<dyn Scheduler> = Box::new(Never);
+        let cluster = Cluster::homogeneous(1, gfs_types::GpuModel::A100, 8);
+        let task = TaskSpec::builder(1).build().unwrap();
+        assert!(s.schedule(&task, &cluster, SimTime::ZERO).is_none());
+        assert_eq!(s.name(), "never");
+    }
+}

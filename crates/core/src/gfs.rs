@@ -1,0 +1,240 @@
+//! The assembled GFS scheduler (Fig. 6): GDE + SQA + PTS behind the
+//! [`Scheduler`] trait, implementing the closed loop of Alg. 3.
+
+use gfs_cluster::{Cluster, Decision, Scheduler, TaskEvent};
+use gfs_types::{GfsParams, SimTime, TaskSpec};
+
+use crate::gde::DemandEstimator;
+use crate::pts::{Pts, PtsVariant};
+use crate::sqa::SpotQuotaAllocator;
+
+/// The GFS scheduling framework.
+///
+/// * **Quota check** — spot tasks are admitted only within the SQA quota
+///   `Q_H` (Alg. 3 line 1).
+/// * **Non-preemptive scheduling** — Alg. 1 with the three-criteria
+///   scoring.
+/// * **Preemptive fallback** — HP tasks failing non-preemptive placement
+///   preempt spot tasks per Alg. 2.
+///
+/// Without a [`DemandEstimator`] the aggregated demand forecast is zero and
+/// the quota degenerates to "all currently idle GPUs" — useful for unit
+/// tests and as a conservative fallback.
+pub struct GfsScheduler {
+    display_name: String,
+    params: GfsParams,
+    pts: Pts,
+    sqa: SpotQuotaAllocator,
+    gde: Option<DemandEstimator>,
+}
+
+impl std::fmt::Debug for GfsScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GfsScheduler({}, quota={:.1}, eta={:.2})",
+            self.display_name,
+            self.sqa.quota(),
+            self.sqa.eta()
+        )
+    }
+}
+
+impl GfsScheduler {
+    /// Creates the framework with an optional demand estimator.
+    #[must_use]
+    pub fn new(params: GfsParams, variant: PtsVariant, gde: Option<DemandEstimator>) -> Self {
+        let display_name = match (variant, &gde) {
+            (PtsVariant::Full, Some(_)) => "GFS".to_string(),
+            (PtsVariant::Full, None) => "GFS (no GDE)".to_string(),
+            (PtsVariant::SimpleScoring, _) => "GFS-s".to_string(),
+            (PtsVariant::RandomPreemption, _) => "GFS-p".to_string(),
+            (PtsVariant::Degraded, _) => "GFS-sp".to_string(),
+        };
+        GfsScheduler {
+            display_name,
+            pts: Pts::new(params.clone(), variant),
+            sqa: SpotQuotaAllocator::new(params.clone()),
+            params,
+            gde,
+        }
+    }
+
+    /// Creates the full framework with Table 4 defaults and no estimator.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        GfsScheduler::new(GfsParams::default(), PtsVariant::Full, None)
+    }
+
+    /// Overrides the display name (used by ablation harnesses, e.g.
+    /// "GFS-e" for the peak-predictor variant).
+    pub fn set_display_name(&mut self, name: impl Into<String>) {
+        self.display_name = name.into();
+    }
+
+    /// Current spot quota `Q_H`.
+    #[must_use]
+    pub fn quota(&self) -> f64 {
+        self.sqa.quota()
+    }
+
+    /// Current SQA safety coefficient `η`.
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.sqa.eta()
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn params(&self) -> &GfsParams {
+        &self.params
+    }
+
+    fn per_org_hp_usage(&self, cluster: &Cluster) -> Vec<f64> {
+        let n = self.gde.as_ref().map_or(0, DemandEstimator::num_orgs);
+        let mut usage = vec![0.0; n];
+        if n == 0 {
+            return usage;
+        }
+        for rt in cluster.running() {
+            if rt.spec.priority.is_hp() {
+                usage[rt.spec.org.index() % n] += rt.spec.total_gpus();
+            }
+        }
+        usage
+    }
+}
+
+impl Scheduler for GfsScheduler {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn on_tick(&mut self, now: SimTime, cluster: &Cluster) {
+        let usage = self.per_org_hp_usage(cluster);
+        let upper = match &mut self.gde {
+            Some(gde) => {
+                gde.record_usage(now, &usage);
+                gde.aggregate_upper(
+                    self.params.guarantee_rate,
+                    self.params.guarantee_hours as usize,
+                )
+            }
+            None => 0.0,
+        };
+        self.sqa.update(now, cluster, upper);
+    }
+
+    fn on_event(&mut self, event: &TaskEvent, _cluster: &Cluster) {
+        match event {
+            TaskEvent::Evicted { task, at } => self.sqa.record_eviction(*task, *at),
+            TaskEvent::Submitted { task, priority, at } if priority.is_spot() => {
+                self.sqa.record_spot_submitted(*task, *at);
+            }
+            TaskEvent::Started {
+                task,
+                priority,
+                queued_secs,
+                at,
+            } if priority.is_spot() => {
+                self.sqa.record_spot_start(*task, *at, *queued_secs);
+            }
+            _ => {}
+        }
+    }
+
+    fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, now: SimTime) -> Option<Decision> {
+        // Alg. 3: quota gate for spot tasks
+        if task.priority.is_spot() && !self.sqa.admits(cluster, task.total_gpus()) {
+            return None;
+        }
+        if let Some(nodes) = self.pts.schedule_nonpreemptive(task, cluster, now) {
+            return Some(Decision::place(nodes));
+        }
+        if task.priority.is_hp() {
+            let (nodes, victims) = self.pts.schedule_preemptive(task, cluster, now)?;
+            return Some(Decision {
+                pod_nodes: nodes,
+                preemptions: victims,
+            });
+        }
+        None
+    }
+
+    fn sort_queue(&self, queue: &mut Vec<TaskSpec>) {
+        Pts::sort_queue(queue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{GpuDemand, GpuModel, NodeId, Priority, TaskId};
+
+    fn task(id: u64, priority: Priority, gpus: u32) -> TaskSpec {
+        TaskSpec::builder(id)
+            .priority(priority)
+            .gpus_per_pod(GpuDemand::whole(gpus))
+            .duration_secs(50_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spot_blocked_until_first_quota_update() {
+        let mut s = GfsScheduler::with_defaults();
+        let c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        assert!(s.schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO).is_none());
+        s.on_tick(SimTime::from_secs(300), &c);
+        assert!(s.quota() > 0.0);
+        assert!(s.schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn hp_ignores_quota_and_preempts() {
+        let mut s = GfsScheduler::with_defaults();
+        let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Spot, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let d = s.schedule(&task(2, Priority::Hp, 4), &c, SimTime::from_secs(10)).unwrap();
+        assert!(d.is_preemptive());
+        assert_eq!(d.preemptions, vec![TaskId::new(1)]);
+    }
+
+    #[test]
+    fn eviction_feedback_reaches_sqa() {
+        let mut s = GfsScheduler::with_defaults();
+        let c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        s.on_tick(SimTime::from_secs(300), &c);
+        let q0 = s.quota();
+        // storm of evictions within the window
+        for i in 0..20 {
+            s.on_event(
+                &TaskEvent::Evicted { task: TaskId::new(i), at: SimTime::from_secs(400) },
+                &c,
+            );
+        }
+        s.on_tick(SimTime::from_secs(600), &c);
+        assert!(s.eta() < 1.0, "η must shrink after an eviction storm");
+        assert!(s.quota() < q0);
+    }
+
+    #[test]
+    fn display_names_follow_variants() {
+        assert_eq!(
+            GfsScheduler::new(GfsParams::default(), PtsVariant::Degraded, None).name(),
+            "GFS-sp"
+        );
+        assert_eq!(GfsScheduler::with_defaults().name(), "GFS (no GDE)");
+        let mut s = GfsScheduler::with_defaults();
+        s.set_display_name("GFS-e");
+        assert_eq!(s.name(), "GFS-e");
+    }
+
+    #[test]
+    fn queue_sorting_delegates_to_pts() {
+        let s = GfsScheduler::with_defaults();
+        let mut q = vec![task(1, Priority::Hp, 1), task(2, Priority::Hp, 8)];
+        s.sort_queue(&mut q);
+        assert_eq!(q[0].id, TaskId::new(2));
+    }
+}

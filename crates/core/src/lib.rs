@@ -1,0 +1,51 @@
+//! GFS — the paper's contribution: a preemption-aware scheduling framework
+//! with predictive spot-instance management (§3).
+//!
+//! The three cooperating modules of Fig. 6:
+//!
+//! * [`DemandEstimator`] (GDE, §3.2) — wraps a `gfs-forecast` model
+//!   (OrgLinear by default) into an online per-organization demand
+//!   estimator producing `ICDF(p, μ̂, σ̂)` upper bounds;
+//! * [`SpotQuotaAllocator`] (SQA, §3.3) — turns those bounds into the
+//!   spot quota `Q_H` (Eq. 9–10) with the adaptive safety coefficient `η`
+//!   (Eq. 11);
+//! * [`Pts`] (PTS, §3.4) — the placement engine: three-criteria
+//!   non-preemptive scoring (Alg. 1, Eq. 13–16) and waste-aware preemptive
+//!   fallback (Alg. 2, Eq. 17–19).
+//!
+//! [`GfsScheduler`] assembles them behind the `gfs_cluster::Scheduler`
+//! trait (Alg. 3); [`PtsVariant`] selects the Table 10 ablation variants;
+//! [`milp`] holds the exhaustive reference solver for the Eq. 12 program.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfs_cluster::{Cluster, Scheduler};
+//! use gfs_core::GfsScheduler;
+//! use gfs_types::{GpuDemand, GpuModel, Priority, SimTime, TaskSpec};
+//!
+//! let cluster = Cluster::homogeneous(4, GpuModel::A100, 8);
+//! let mut gfs = GfsScheduler::with_defaults();
+//! gfs.on_tick(SimTime::from_secs(300), &cluster); // first quota update
+//! let task = TaskSpec::builder(1)
+//!     .priority(Priority::Spot)
+//!     .gpus_per_pod(GpuDemand::whole(2))
+//!     .build()?;
+//! let decision = gfs.schedule(&task, &cluster, SimTime::from_secs(300));
+//! assert!(decision.is_some());
+//! # Ok::<(), gfs_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gde;
+mod gfs;
+pub mod milp;
+mod pts;
+mod sqa;
+
+pub use gde::DemandEstimator;
+pub use gfs::GfsScheduler;
+pub use pts::{Pts, PtsVariant};
+pub use sqa::SpotQuotaAllocator;

@@ -1,0 +1,489 @@
+//! Preemptive Task Scheduler (§3.4): the placement engine of GFS.
+//!
+//! Non-preemptive scheduling (Alg. 1) filters feasible nodes and ranks
+//! them by the lexicographic score `<Score1, Score2, Score3>`:
+//!
+//! 1. **GPU packing** (Eq. 13) — prefer nearly-full nodes;
+//! 2. **homogeneous co-location** (Eq. 14) — HP with HP, spot with spot;
+//! 3. **eviction awareness** (Eq. 15–16) — spot avoids eviction-prone
+//!    nodes (with a circuit breaker), HP seeks them.
+//!
+//! Preemptive scheduling (Alg. 2) virtually evicts spot tasks per node,
+//! spares the highest-waste victims (Eq. 17), and places each HP pod on
+//! the node with the lowest preemption cost (Eq. 18–19).
+
+use std::collections::HashMap;
+
+use gfs_cluster::{Cluster, Node, RunningTask};
+use gfs_types::{GfsParams, GpuDemand, NodeId, Priority, SimTime, TaskId, TaskSpec, HOUR};
+
+/// Which degradation (if any) to apply — the Table 10 ablation variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PtsVariant {
+    /// Full GFS scoring + waste-aware preemption.
+    #[default]
+    Full,
+    /// `GFS-s`: non-preemptive scoring reduced to GPU packing only.
+    SimpleScoring,
+    /// `GFS-p`: preemptive module replaced by pseudo-random node/victim
+    /// selection.
+    RandomPreemption,
+    /// `GFS-sp`: both degradations combined.
+    Degraded,
+}
+
+impl PtsVariant {
+    fn scoring_degraded(self) -> bool {
+        matches!(self, PtsVariant::SimpleScoring | PtsVariant::Degraded)
+    }
+
+    fn preemption_degraded(self) -> bool {
+        matches!(self, PtsVariant::RandomPreemption | PtsVariant::Degraded)
+    }
+}
+
+/// The PTS placement engine.
+#[derive(Debug, Clone)]
+pub struct Pts {
+    params: GfsParams,
+    variant: PtsVariant,
+}
+
+impl Pts {
+    /// Creates the engine.
+    #[must_use]
+    pub fn new(params: GfsParams, variant: PtsVariant) -> Self {
+        Pts { params, variant }
+    }
+
+    /// The active variant.
+    #[must_use]
+    pub fn variant(&self) -> PtsVariant {
+        self.variant
+    }
+
+    /// Weighted node eviction rate `ē` (Eq. 15).
+    #[must_use]
+    pub fn node_eviction_rate(&self, node: &Node, now: SimTime) -> f64 {
+        let short = node.evictions_within(now, self.params.eviction_window_short_secs) as f64;
+        let long = node.evictions_within(now, self.params.eviction_window_long_secs) as f64;
+        let t_long_hours = (self.params.eviction_window_long_secs / HOUR).max(1) as f64;
+        self.params.gamma * short + (1.0 - self.params.gamma) * long / t_long_hours
+    }
+
+    /// Eviction-awareness score (Eq. 16). Returns the score; a spot score
+    /// of exactly 0 triggers the circuit breaker (node excluded).
+    #[must_use]
+    pub fn score3(&self, node: &Node, priority: Priority, now: SimTime) -> f64 {
+        let e_bar = self.node_eviction_rate(node, now);
+        let x = 0.01 * self.params.penalty_m * e_bar;
+        match priority {
+            Priority::Hp => x.min(1.0),
+            Priority::Spot => (1.0 - x).max(0.0),
+        }
+    }
+
+    /// Full `<Score1, Score2, Score3>` for a candidate node (Eq. 13–16),
+    /// or `None` when the circuit breaker blacklists it for a spot task.
+    #[must_use]
+    pub fn node_scores(
+        &self,
+        node: &Node,
+        priority: Priority,
+        now: SimTime,
+    ) -> Option<(f64, f64, f64)> {
+        let total = f64::from(node.total_gpus()).max(1.0);
+        let s1 = 1.0 - f64::from(node.idle_gpus()) / total;
+        if self.variant.scoring_degraded() {
+            return Some((s1, 0.0, 0.0));
+        }
+        let s2 = match priority {
+            Priority::Hp => node.hp_allocated() / total,
+            Priority::Spot => node.spot_allocated() / total,
+        };
+        let s3 = self.score3(node, priority, now);
+        if priority.is_spot() && s3 <= 0.0 {
+            return None; // circuit breaker (§3.4.2)
+        }
+        Some((s1, s2, s3))
+    }
+
+    /// Non-preemptive scheduling (Alg. 1): one node per pod, or `None`.
+    #[must_use]
+    pub fn schedule_nonpreemptive(
+        &self,
+        task: &TaskSpec,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        let mut budget: HashMap<NodeId, u32> = cluster
+            .nodes()
+            .iter()
+            .map(|n| (n.id(), n.idle_gpus()))
+            .collect();
+        let mut out = Vec::with_capacity(task.pods as usize);
+        for _ in 0..task.pods {
+            let candidate = cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.model() == task.gpu_model)
+                .filter(|n| match task.gpus_per_pod {
+                    GpuDemand::Whole(g) => budget.get(&n.id()).copied().unwrap_or(0) >= g,
+                    GpuDemand::Fraction(f) => {
+                        n.gpus().iter().any(|gpu| gpu.free_fraction() >= f - 1e-12)
+                    }
+                })
+                .filter_map(|n| {
+                    self.node_scores(n, task.priority, now)
+                        .map(|s| (n.id(), s))
+                })
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("scores are finite")
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(id, _)| id)?;
+            if let GpuDemand::Whole(g) = task.gpus_per_pod {
+                *budget.get_mut(&candidate).expect("candidate has budget") -= g;
+            }
+            out.push(candidate);
+        }
+        Some(out)
+    }
+
+    /// Preemption cost of a node plan (Eq. 19).
+    #[must_use]
+    pub fn preemption_cost(
+        &self,
+        cluster: &Cluster,
+        victims_waste: f64,
+        victim_count: usize,
+        now: SimTime,
+    ) -> f64 {
+        let g = cluster.spot_completed() as f64;
+        let f = cluster.spot_evicted() as f64;
+        let k = victim_count as f64;
+        let eviction_impact = (f + k) / (g + f + k).max(1.0);
+        let gpu_time = cluster.capacity(None) * (now.as_secs().max(HOUR)) as f64;
+        eviction_impact + self.params.beta * victims_waste / gpu_time
+    }
+
+    /// Preemptive scheduling (Alg. 2) for an HP task: returns the chosen
+    /// node per pod plus the global victim set, or `None` if infeasible
+    /// even after virtually evicting every spot task.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if called with a spot task (constraint 12c/12d).
+    #[must_use]
+    pub fn schedule_preemptive(
+        &self,
+        task: &TaskSpec,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> Option<(Vec<NodeId>, Vec<TaskId>)> {
+        debug_assert!(task.priority.is_hp(), "only HP tasks may preempt");
+        let need = task.gpus_per_pod.cards();
+        let mut virt_idle: HashMap<NodeId, f64> = cluster
+            .nodes()
+            .iter()
+            .map(|n| (n.id(), f64::from(n.idle_gpus())))
+            .collect();
+        let mut evicted: Vec<TaskId> = Vec::new();
+        let mut pod_nodes = Vec::with_capacity(task.pods as usize);
+
+        for pod in 0..task.pods {
+            let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
+            for n in cluster.nodes().iter().filter(|n| n.model() == task.gpu_model) {
+                let idle = virt_idle.get(&n.id()).copied().unwrap_or(0.0);
+                let spots: Vec<&RunningTask> = cluster
+                    .spot_tasks_on(n.id())
+                    .into_iter()
+                    .filter(|rt| !evicted.contains(&rt.spec.id))
+                    .collect();
+                let local_gpus = |rt: &RunningTask| -> f64 {
+                    rt.placements
+                        .iter()
+                        .filter(|p| p.node == n.id())
+                        .map(|p| p.alloc.cards())
+                        .sum()
+                };
+                let total_reclaimable: f64 = idle + spots.iter().map(|rt| local_gpus(rt)).sum::<f64>();
+                if total_reclaimable + 1e-9 < need {
+                    continue; // even full eviction cannot host this pod
+                }
+                let (victims, waste) = if self.variant.preemption_degraded() {
+                    // GFS-p: victims in pseudo-random (id-hash) order
+                    let mut order: Vec<&RunningTask> = spots.clone();
+                    order.sort_by_key(|rt| {
+                        rt.spec.id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ u64::from(pod)
+                    });
+                    let mut r = idle;
+                    let mut vs = Vec::new();
+                    let mut w = 0.0;
+                    for rt in order {
+                        if r + 1e-9 >= need {
+                            break;
+                        }
+                        r += local_gpus(rt);
+                        w += rt.waste(now);
+                        vs.push(rt.spec.id);
+                    }
+                    (vs, w)
+                } else {
+                    // Alg. 2 lines 8–12: start from "evict everyone", then
+                    // spare the highest-waste tasks while the pod still fits
+                    let mut order: Vec<&RunningTask> = spots.clone();
+                    order.sort_by(|a, b| {
+                        b.waste(now)
+                            .partial_cmp(&a.waste(now))
+                            .expect("waste is finite")
+                            .then(a.spec.id.cmp(&b.spec.id))
+                    });
+                    let mut r = total_reclaimable;
+                    let mut victims: Vec<TaskId> = order.iter().map(|rt| rt.spec.id).collect();
+                    let mut waste: f64 = order.iter().map(|rt| rt.waste(now)).sum();
+                    for rt in &order {
+                        let local = local_gpus(rt);
+                        if r - local + 1e-9 >= need {
+                            r -= local;
+                            waste -= rt.waste(now);
+                            victims.retain(|v| *v != rt.spec.id);
+                        }
+                    }
+                    (victims, waste)
+                };
+                let cost = self.preemption_cost(cluster, waste, victims.len(), now);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, c)) => {
+                        if self.variant.preemption_degraded() {
+                            // pseudo-random node pick: hash order instead of cost
+                            let h = |id: NodeId| {
+                                (u64::from(id.raw()) ^ task.id.raw())
+                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            };
+                            best.as_ref().is_none_or(|(b, _, _)| h(n.id()) < h(*b))
+                        } else {
+                            cost < *c
+                        }
+                    }
+                };
+                if better {
+                    best = Some((n.id(), victims, cost));
+                }
+            }
+            let (node, victims, _) = best?;
+            for v in &victims {
+                if let Some(rt) = cluster.running_task(*v) {
+                    for p in &rt.placements {
+                        *virt_idle.entry(p.node).or_insert(0.0) += p.alloc.cards();
+                    }
+                }
+                evicted.push(*v);
+            }
+            *virt_idle.entry(node).or_insert(0.0) -= need;
+            pod_nodes.push(node);
+        }
+        Some((pod_nodes, evicted))
+    }
+
+    /// Queue ordering of §3.4.2: larger GPU requests first, then more pods,
+    /// then earlier submissions.
+    pub fn sort_queue(queue: &mut [TaskSpec]) {
+        queue.sort_by(|a, b| {
+            b.total_gpus()
+                .partial_cmp(&a.total_gpus())
+                .expect("GPU counts are finite")
+                .then(b.pods.cmp(&a.pods))
+                .then(a.submit_at.cmp(&b.submit_at))
+                .then(a.id.cmp(&b.id))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{CheckpointPlan, GpuModel};
+
+    fn pts() -> Pts {
+        Pts::new(GfsParams::default(), PtsVariant::Full)
+    }
+
+    fn task(id: u64, priority: Priority, pods: u32, gpus: u32) -> TaskSpec {
+        TaskSpec::builder(id)
+            .priority(priority)
+            .pods(pods)
+            .gpus_per_pod(GpuDemand::whole(gpus))
+            .duration_secs(100_000)
+            .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn packing_prefers_fuller_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let nodes = pts()
+            .schedule_nonpreemptive(&task(2, Priority::Hp, 1, 2), &c, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)], "Score1 packs onto the loaded node");
+    }
+
+    #[test]
+    fn colocation_separates_priorities() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // equal fill so Score1 ties: node0 runs HP, node1 runs spot
+        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let p = pts();
+        let hp_nodes = p
+            .schedule_nonpreemptive(&task(3, Priority::Hp, 1, 2), &c, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(hp_nodes, vec![NodeId::new(0)], "HP co-locates with HP");
+        let spot_nodes = p
+            .schedule_nonpreemptive(&task(4, Priority::Spot, 1, 2), &c, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(spot_nodes, vec![NodeId::new(1)], "spot co-locates with spot");
+    }
+
+    #[test]
+    fn eviction_awareness_steers_spot_away() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let now = SimTime::from_hours(1);
+        // node 0 suffers heavy recent evictions (through the public
+        // run-then-evict flow) — enough to trip the circuit breaker
+        for i in 0..50 {
+            let t = task(100 + i, Priority::Spot, 1, 1);
+            c.start_task(t, &[NodeId::new(0)], now, 0).unwrap();
+            c.evict_task(TaskId::new(100 + i), now).unwrap();
+        }
+        let p = pts();
+        let e0 = p.node_eviction_rate(&c.nodes()[0], now);
+        assert!(e0 >= 50.0 * 0.8, "short-window count dominates: {e0}");
+        // spot is circuit-broken on node 0
+        assert!(p.node_scores(&c.nodes()[0], Priority::Spot, now).is_none());
+        let nodes = p
+            .schedule_nonpreemptive(&task(5, Priority::Spot, 1, 2), &c, now)
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)]);
+        // HP prefers the eviction-prone node (asymmetric score)
+        let hp_s3_n0 = p.score3(&c.nodes()[0], Priority::Hp, now);
+        let hp_s3_n1 = p.score3(&c.nodes()[1], Priority::Hp, now);
+        assert!(hp_s3_n0 > hp_s3_n1);
+    }
+
+    #[test]
+    fn nonpreemptive_fails_when_full() {
+        let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        assert!(pts()
+            .schedule_nonpreemptive(&task(2, Priority::Hp, 1, 4), &c, SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn preemption_spares_high_waste_victims() {
+        let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // old task: huge waste since last checkpoint at 1800-boundary
+        c.start_task(task(1, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        // young task: little waste
+        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::from_secs(3_500), 0).unwrap();
+        let now = SimTime::from_secs(3_599); // old: 1799s since checkpoint; young: 99s
+        let (nodes, victims) = pts()
+            .schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, now)
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0)]);
+        assert_eq!(victims, vec![TaskId::new(2)], "the young (low-waste) task is evicted");
+    }
+
+    #[test]
+    fn preemption_prefers_free_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let (nodes, victims) = pts()
+            .schedule_preemptive(&task(2, Priority::Hp, 1, 4), &c, SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)]);
+        assert!(victims.is_empty(), "no eviction needed: zero-victim plan wins");
+    }
+
+    #[test]
+    fn preemptive_gang_across_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(task(2, Priority::Spot, 1, 8), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let gang = task(3, Priority::Hp, 2, 8);
+        let (nodes, victims) = pts()
+            .schedule_preemptive(&gang, &c, SimTime::from_secs(100))
+            .unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(victims.len(), 2, "both spot tasks must go");
+    }
+
+    #[test]
+    fn preemptive_infeasible_returns_none() {
+        let c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        assert!(pts()
+            .schedule_preemptive(&task(1, Priority::Hp, 1, 16), &c, SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn degraded_scoring_uses_packing_only() {
+        let p = Pts::new(GfsParams::default(), PtsVariant::SimpleScoring);
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        // co-location would pick node 1 for spot; packing-only ties → lowest id
+        let nodes = p
+            .schedule_nonpreemptive(&task(3, Priority::Spot, 1, 2), &c, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0)], "tie broken by node id, no co-location");
+    }
+
+    #[test]
+    fn random_preemption_is_deterministic_but_not_cost_driven() {
+        let p = Pts::new(GfsParams::default(), PtsVariant::RandomPreemption);
+        let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        c.start_task(task(1, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let a = p.schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, SimTime::from_secs(50));
+        let b = p.schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, SimTime::from_secs(50));
+        assert_eq!(a, b, "hash-based choice is reproducible");
+        assert!(a.unwrap().1.len() == 1);
+    }
+
+    #[test]
+    fn queue_sorted_by_size_pods_submit() {
+        let mut q = vec![
+            task(1, Priority::Hp, 1, 1),
+            task(2, Priority::Hp, 1, 8),
+            task(3, Priority::Hp, 2, 4),
+            {
+                let mut t = task(4, Priority::Hp, 1, 8);
+                t.submit_at = SimTime::from_secs(10);
+                t
+            },
+        ];
+        Pts::sort_queue(&mut q);
+        let ids: Vec<u64> = q.iter().map(|t| t.id.raw()).collect();
+        // 3: 8 GPUs 2 pods; 2 & 4: 8 GPUs 1 pod (2 submitted earlier); 1: 1 GPU
+        assert_eq!(ids, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn preemption_cost_monotone_in_victims_and_waste() {
+        let p = pts();
+        let c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let now = SimTime::from_hours(2);
+        let base = p.preemption_cost(&c, 0.0, 0, now);
+        let one = p.preemption_cost(&c, 0.0, 1, now);
+        let wasteful = p.preemption_cost(&c, 1e6, 1, now);
+        assert!(one > base);
+        assert!(wasteful > one);
+    }
+}

@@ -1,0 +1,341 @@
+//! Spot Quota Allocator (§3.3): converts demand forecasts into a
+//! time-varying spot GPU quota with an eviction-aware feedback loop.
+//!
+//! * GPU inventory (Eq. 9): `f(p,H) = max(0, C − Σ_o max ŷ_o|p[1..H])`.
+//!   (The paper prints `C − max(C, Σ…)`, which is never positive; per the
+//!   accompanying prose — "when the aggregated demand exceeds C, we set
+//!   f(p,H) = 0" — the intended form is the clamped difference.)
+//! * Quota (Eq. 10): `Q_H = min(f(p,H)·η, S₀ + Sₐ)`.
+//! * Safety coefficient update (Eq. 11) from the realised eviction rate
+//!   `e` and the maximum spot queuing time `l` over the last `H` hours.
+//!   `l` covers tasks *still waiting* as well as recent starts — otherwise
+//!   a collapsed quota would suppress the very signal (long queues) that
+//!   Eq. 11 uses to recover.
+
+use std::collections::{HashMap, VecDeque};
+
+use gfs_cluster::Cluster;
+use gfs_types::{EtaUpdateRule, GfsParams, SimDuration, SimTime, TaskId};
+
+/// Minimum number of spot outcomes (starts + evictions) in the feedback
+/// window before the eviction-rate rule of Eq. 11 is trusted; avoids `η`
+/// collapsing on a single unlucky eviction.
+const MIN_FEEDBACK_SAMPLES: usize = 5;
+
+/// The spot quota controller.
+#[derive(Debug, Clone)]
+pub struct SpotQuotaAllocator {
+    params: GfsParams,
+    eta: f64,
+    quota: f64,
+    evictions: VecDeque<SimTime>,
+    spot_starts: VecDeque<(SimTime, SimDuration)>, // (start, queued_secs)
+    waiting: HashMap<TaskId, SimTime>,             // spot tasks in the queue
+}
+
+impl SpotQuotaAllocator {
+    /// Creates the allocator with `η = η₀` and zero quota (no spot task is
+    /// admitted until the first update).
+    #[must_use]
+    pub fn new(params: GfsParams) -> Self {
+        SpotQuotaAllocator {
+            eta: params.eta_initial,
+            params,
+            quota: 0.0,
+            evictions: VecDeque::new(),
+            spot_starts: VecDeque::new(),
+            waiting: HashMap::new(),
+        }
+    }
+
+    /// Current spot quota `Q_H` in GPUs.
+    #[must_use]
+    pub fn quota(&self) -> f64 {
+        self.quota
+    }
+
+    /// Current safety coefficient `η`.
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Records a spot task entering the pending queue.
+    pub fn record_spot_submitted(&mut self, task: TaskId, at: SimTime) {
+        self.waiting.insert(task, at);
+    }
+
+    /// Records one spot eviction (feeds the realised eviction rate `e`).
+    /// The task re-enters the waiting set (it will be requeued).
+    pub fn record_eviction(&mut self, task: TaskId, at: SimTime) {
+        self.evictions.push_back(at);
+        self.waiting.insert(task, at);
+    }
+
+    /// Records one spot run start and its queuing delay (feeds `e` and the
+    /// max queuing time `l`).
+    pub fn record_spot_start(&mut self, task: TaskId, at: SimTime, queued_secs: SimDuration) {
+        self.waiting.remove(&task);
+        self.spot_starts.push_back((at, queued_secs));
+    }
+
+    fn retire(&mut self, now: SimTime) {
+        let window = self.params.guarantee_secs();
+        while let Some(&t) = self.evictions.front() {
+            if now.since(t) > window {
+                self.evictions.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&(t, _)) = self.spot_starts.front() {
+            if now.since(t) > window {
+                self.spot_starts.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Realised eviction rate `e` over the last `H` hours:
+    /// evictions / (evictions + successful starts).
+    #[must_use]
+    pub fn recent_eviction_rate(&self) -> f64 {
+        let ev = self.evictions.len() as f64;
+        let st = self.spot_starts.len() as f64;
+        if ev + st == 0.0 {
+            0.0
+        } else {
+            ev / (ev + st)
+        }
+    }
+
+    /// Maximum spot queuing time `l` (seconds): the longest wait among
+    /// recent starts and among tasks still queued at `now`.
+    #[must_use]
+    pub fn recent_max_queue_secs(&self, now: SimTime) -> SimDuration {
+        let started = self.spot_starts.iter().map(|&(_, q)| q).max().unwrap_or(0);
+        let waiting = self
+            .waiting
+            .values()
+            .map(|&enq| now.since(enq))
+            .max()
+            .unwrap_or(0);
+        started.max(waiting)
+    }
+
+    /// GPU inventory `f(p, H)` (Eq. 9) given the aggregated demand upper
+    /// bound from the GDE.
+    #[must_use]
+    pub fn inventory(&self, cluster: &Cluster, aggregated_upper: f64) -> f64 {
+        let c = cluster.capacity(None);
+        (c - aggregated_upper).max(0.0)
+    }
+
+    /// Recomputes `η` (Eq. 11) and the quota `Q_H` (Eq. 10). Call at every
+    /// quota-update interval with the freshest forecast.
+    pub fn update(&mut self, now: SimTime, cluster: &Cluster, aggregated_upper: f64) {
+        self.retire(now);
+        if self.params.eta_rule == EtaUpdateRule::Adaptive {
+            let p = self.params.guarantee_rate;
+            // Eq. 11 interprets p as the tolerated eviction budget
+            // (p = 0.9 guarantee ⇒ 10 % tolerated evictions)
+            let budget = 1.0 - p;
+            let e = self.recent_eviction_rate();
+            let l = self.recent_max_queue_secs(now);
+            let samples = self.evictions.len() + self.spot_starts.len();
+            let mut adjusted = false;
+            if e > 1.5 * budget && e > 0.0 && samples >= MIN_FEEDBACK_SAMPLES {
+                self.eta *= budget / e;
+                adjusted = true;
+            } else if e < 0.5 * budget && l > self.params.max_jqt_threshold_secs {
+                self.eta *= 1.5 - e / budget;
+                adjusted = true;
+            }
+            if adjusted {
+                // each outcome event drives at most one proportional step:
+                // Eq. 11 applied every 300 s over a 1 h window would
+                // otherwise re-shrink η twelve times for a single burst
+                self.evictions.clear();
+                self.spot_starts.clear();
+            }
+            let (lo, hi) = self.params.eta_bounds;
+            self.eta = self.eta.clamp(lo, hi);
+        }
+        let f = self.inventory(cluster, aggregated_upper);
+        let s0 = f64::from(cluster.idle_gpus(None));
+        let sa = cluster.spot_allocated(None);
+        self.quota = (f * self.eta).min(s0 + sa).max(0.0);
+    }
+
+    /// Quota check of Alg. 3: whether admitting `demand_gpus` more spot
+    /// GPUs keeps the allocation within `Q_H`.
+    #[must_use]
+    pub fn admits(&self, cluster: &Cluster, demand_gpus: f64) -> bool {
+        cluster.spot_allocated(None) + demand_gpus <= self.quota + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{GpuModel, HOUR};
+
+    fn params() -> GfsParams {
+        GfsParams::default()
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(4, GpuModel::A100, 8) // 32 GPUs
+    }
+
+    fn id(i: u64) -> TaskId {
+        TaskId::new(i)
+    }
+
+    #[test]
+    fn inventory_clamps_at_zero() {
+        let sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        assert_eq!(sqa.inventory(&c, 10.0), 22.0);
+        assert_eq!(sqa.inventory(&c, 40.0), 0.0, "demand above capacity");
+    }
+
+    #[test]
+    fn quota_capped_by_physical_availability() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        sqa.update(SimTime::ZERO, &c, 0.0);
+        // f = 32, η = 1, S0 + Sa = 32
+        assert!((sqa.quota() - 32.0).abs() < 1e-9);
+        sqa.update(SimTime::ZERO, &c, 30.0);
+        assert!((sqa.quota() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admits_respects_quota() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        assert!(!sqa.admits(&c, 1.0), "zero quota before first update");
+        sqa.update(SimTime::ZERO, &c, 24.0); // quota = 8
+        assert!(sqa.admits(&c, 8.0));
+        assert!(!sqa.admits(&c, 9.0));
+    }
+
+    #[test]
+    fn high_eviction_shrinks_eta() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        // 50% eviction rate >> 1.5 × 10% budget
+        for i in 0..5 {
+            sqa.record_eviction(id(i), now);
+            sqa.record_spot_start(id(100 + i), now, 10);
+        }
+        sqa.update(now, &c, 0.0);
+        assert!((sqa.eta() - 0.2).abs() < 1e-9, "η ×= 0.1/0.5, got {}", sqa.eta());
+    }
+
+    #[test]
+    fn single_eviction_does_not_crash_eta() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        sqa.record_eviction(id(1), now);
+        sqa.record_spot_start(id(2), now, 10);
+        sqa.update(now, &c, 0.0);
+        assert_eq!(sqa.eta(), 1.0, "below the sample floor, η must hold");
+    }
+
+    #[test]
+    fn low_eviction_long_queue_grows_eta() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        // zero evictions, but an over-threshold queue wait
+        sqa.record_spot_start(id(1), now, 2 * HOUR);
+        sqa.update(now, &c, 0.0);
+        assert!((sqa.eta() - 1.5).abs() < 1e-9, "η ×= 1.5 − 0, got {}", sqa.eta());
+    }
+
+    #[test]
+    fn waiting_tasks_feed_queue_signal() {
+        // the recovery deadlock regression test: nothing starts, but a task
+        // waits past θ — η must still grow
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        sqa.record_spot_submitted(id(7), SimTime::ZERO);
+        let later = SimTime::from_hours(2);
+        assert_eq!(sqa.recent_max_queue_secs(later), 2 * HOUR);
+        sqa.update(later, &c, 0.0);
+        assert!(sqa.eta() > 1.0, "waiting task must trigger recovery");
+        // once started, the waiting entry clears
+        sqa.record_spot_start(id(7), later, 2 * HOUR);
+        assert!(sqa.waiting.is_empty());
+    }
+
+    #[test]
+    fn evicted_task_counts_as_waiting_again() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        sqa.record_spot_start(id(3), SimTime::ZERO, 0);
+        sqa.record_eviction(id(3), SimTime::from_minutes(10));
+        assert_eq!(
+            sqa.recent_max_queue_secs(SimTime::from_minutes(40)),
+            30 * 60,
+            "requeued task has been waiting 30 minutes"
+        );
+    }
+
+    #[test]
+    fn eta_unchanged_in_dead_band() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        // e = 10% = budget exactly: neither rule fires
+        sqa.record_eviction(id(1), now);
+        for i in 0..9 {
+            sqa.record_spot_start(id(10 + i), now, 10);
+        }
+        sqa.update(now, &c, 0.0);
+        assert_eq!(sqa.eta(), 1.0);
+    }
+
+    #[test]
+    fn frozen_rule_never_moves_eta() {
+        let p = GfsParams::builder().eta_rule(EtaUpdateRule::Frozen).build().unwrap();
+        let mut sqa = SpotQuotaAllocator::new(p);
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        for i in 0..10 {
+            sqa.record_eviction(id(i), now);
+        }
+        sqa.update(now, &c, 0.0);
+        assert_eq!(sqa.eta(), 1.0, "GFS-d ablation keeps η fixed");
+    }
+
+    #[test]
+    fn feedback_window_retires_old_events() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let c = cluster();
+        sqa.record_eviction(id(1), SimTime::ZERO);
+        sqa.record_spot_start(id(2), SimTime::ZERO, 10);
+        // 2 hours later (H = 1 h window): both events retired
+        sqa.update(SimTime::from_hours(2), &c, 0.0);
+        assert_eq!(sqa.recent_eviction_rate(), 0.0);
+        // task 1 is still waiting after its eviction though
+        assert!(sqa.recent_max_queue_secs(SimTime::from_hours(2)) > 0);
+    }
+
+    #[test]
+    fn eta_respects_bounds() {
+        let p = GfsParams::builder().eta_bounds(0.5, 2.0).build().unwrap();
+        let mut sqa = SpotQuotaAllocator::new(p);
+        let c = cluster();
+        let now = SimTime::from_hours(1);
+        for i in 0..100 {
+            sqa.record_eviction(id(i), now);
+        }
+        sqa.update(now, &c, 0.0);
+        assert_eq!(sqa.eta(), 0.5, "clamped at the lower bound");
+    }
+}

@@ -1,0 +1,141 @@
+//! Adaptive temporal pattern decomposition (Eq. 1–2).
+//!
+//! OrgLinear separates a demand series into a slow *trend* component and the
+//! residual *cyclical* component with a moving-average kernel that uses
+//! **reflection padding** to avoid boundary artefacts — the
+//! `K_MA` operator of Eq. 1.
+
+/// Moving average of `xs` with an odd window, using reflection padding at
+/// both ends (`x[-1] = x[1]`, etc.), so the output has the same length.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or even.
+///
+/// # Examples
+///
+/// ```
+/// use gfs_forecast::decompose::moving_average;
+///
+/// let trend = moving_average(&[1.0, 2.0, 3.0, 4.0, 5.0], 3);
+/// assert_eq!(trend.len(), 5);
+/// assert!((trend[2] - 3.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let half = window / 2;
+    let n = xs.len();
+    let reflect = |i: isize| -> f64 {
+        let idx = if i < 0 {
+            (-i) as usize % (2 * n.max(1))
+        } else if (i as usize) >= n {
+            let over = i as usize - n + 1;
+            n.saturating_sub(1 + over % n.max(1))
+        } else {
+            i as usize
+        };
+        xs[idx.min(n - 1)]
+    };
+    (0..n as isize)
+        .map(|c| {
+            let mut sum = 0.0;
+            for k in -(half as isize)..=(half as isize) {
+                sum += reflect(c + k);
+            }
+            sum / window as f64
+        })
+        .collect()
+}
+
+/// Splits `xs` into `(trend, cyclical)` with `cyclical = xs − trend`
+/// (Eq. 1–2).
+#[must_use]
+pub fn decompose(xs: &[f64], window: usize) -> (Vec<f64>, Vec<f64>) {
+    let trend = moving_average(xs, window);
+    let cyclical = xs.iter().zip(&trend).map(|(x, t)| x - t).collect();
+    (trend, cyclical)
+}
+
+/// Zero-padding variant of [`moving_average`], kept for the ablation bench
+/// comparing reflection vs zero padding at series boundaries.
+#[must_use]
+pub fn moving_average_zero_pad(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    let half = window / 2;
+    let n = xs.len();
+    (0..n)
+        .map(|c| {
+            let mut sum = 0.0;
+            for k in -(half as isize)..=(half as isize) {
+                let i = c as isize + k;
+                if i >= 0 && (i as usize) < n {
+                    sum += xs[i as usize];
+                }
+            }
+            sum / window as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_its_own_trend() {
+        let xs = vec![5.0; 20];
+        let trend = moving_average(&xs, 5);
+        for t in trend {
+            assert!((t - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decompose_sums_back() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() + i as f64 * 0.1).collect();
+        let (trend, cyc) = decompose(&xs, 7);
+        for i in 0..xs.len() {
+            assert!((trend[i] + cyc[i] - xs[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let xs = vec![1.0, 9.0, 4.0];
+        assert_eq!(moving_average(&xs, 1), xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn even_window_rejected() {
+        let _ = moving_average(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn reflection_beats_zero_padding_at_boundaries() {
+        // on a constant series, zero padding biases the edges toward 0
+        let xs = vec![10.0; 11];
+        let refl = moving_average(&xs, 5);
+        let zero = moving_average_zero_pad(&xs, 5);
+        assert!((refl[0] - 10.0).abs() < 1e-12);
+        assert!(zero[0] < 10.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn linear_trend_is_preserved_in_interior() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let trend = moving_average(&xs, 5);
+        for i in 2..28 {
+            assert!((trend[i] - xs[i]).abs() < 1e-9, "interior of a line is unchanged");
+        }
+    }
+}

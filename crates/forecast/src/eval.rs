@@ -1,0 +1,91 @@
+//! End-to-end model evaluation: fit on the chronological training split,
+//! score on the held-out windows (Fig. 10 / Table 7).
+
+use crate::dataset::OrgDataset;
+use crate::metrics::{self, ModelScores};
+use crate::models::{Forecaster, TrainConfig};
+
+/// Trains `model` and scores it on the test split of `data`.
+///
+/// Point metrics are computed over every `(sample, horizon-step)` pair;
+/// quantile metrics only when the model is probabilistic.
+pub fn evaluate(model: &mut dyn Forecaster, data: &OrgDataset, cfg: &TrainConfig) -> ModelScores {
+    let report = model.fit(data, cfg);
+    let (_, test) = data.split(cfg.stride, cfg.train_frac);
+
+    let mut pred = Vec::new();
+    let mut actual = Vec::new();
+    let mut sigma = Vec::new();
+    for s in &test {
+        let f = model.predict(data, *s);
+        let y = data.target(*s);
+        pred.extend_from_slice(&f.mean);
+        actual.extend_from_slice(y);
+        match &f.std {
+            Some(stds) => sigma.extend_from_slice(stds),
+            None => sigma.extend(std::iter::repeat(0.0).take(y.len())),
+        }
+    }
+
+    let probabilistic = model.is_probabilistic();
+    ModelScores {
+        name: model.name().to_string(),
+        mae: metrics::mae(&pred, &actual),
+        mse: metrics::mse(&pred, &actual),
+        rmse: metrics::rmse(&pred, &actual),
+        mape: metrics::mape(&pred, &actual),
+        maqe90: probabilistic.then(|| metrics::maqe(0.9, &pred, &sigma, &actual)),
+        maqe95: probabilistic.then(|| metrics::maqe(0.95, &pred, &sigma, &actual)),
+        train_time_secs: report.train_time_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OrgInfo;
+    use crate::models::{DLinear, LastWeekPeak, OrgLinear};
+
+    fn sine_data() -> OrgDataset {
+        let series = vec![(0..500)
+            .map(|i| 50.0 + 10.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect::<Vec<_>>()];
+        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![0] }];
+        OrgDataset::new(series, orgs, vec![1], vec![], 96, 12).unwrap()
+    }
+
+    #[test]
+    fn evaluate_produces_finite_scores() {
+        let data = sine_data();
+        let mut m = DLinear::new(&data, 1);
+        let s = evaluate(&mut m, &data, &TrainConfig::fast());
+        assert_eq!(s.name, "DLinear");
+        assert!(s.mae.is_finite() && s.mse.is_finite() && s.rmse.is_finite());
+        assert!(s.maqe90.is_none(), "point model has no quantile score");
+    }
+
+    #[test]
+    fn orglinear_reports_quantile_scores() {
+        let data = sine_data();
+        let mut m = OrgLinear::new(&data, 2);
+        let s = evaluate(&mut m, &data, &TrainConfig::fast());
+        assert!(s.maqe90.is_some() && s.maqe95.is_some());
+    }
+
+    #[test]
+    fn trained_linear_beats_peak_heuristic() {
+        let data = sine_data();
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 25;
+        let mut dl = DLinear::new(&data, 3);
+        let dl_scores = evaluate(&mut dl, &data, &cfg);
+        let mut peak = LastWeekPeak::new();
+        let peak_scores = evaluate(&mut peak, &data, &cfg);
+        assert!(
+            dl_scores.mae < peak_scores.mae,
+            "DLinear ({:.2}) must beat LastWeekPeak ({:.2}) on a sine",
+            dl_scores.mae,
+            peak_scores.mae
+        );
+    }
+}

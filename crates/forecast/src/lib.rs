@@ -1,0 +1,42 @@
+//! GPU demand forecasting for GFS (§3.2 of the paper).
+//!
+//! The centrepiece is [`OrgLinear`], the paper's hierarchical probabilistic
+//! time-series model; the crate also reimplements the six baselines of the
+//! GDE ablation (§4.6.1) — [`TransformerForecaster`], [`InformerForecaster`],
+//! [`AutoformerForecaster`], [`FedformerForecaster`], [`DLinear`] and
+//! [`DeepAr`] — plus the training-free production heuristics
+//! [`LastWeekPeak`] and [`SeasonalNaive`].
+//!
+//! All models implement the [`Forecaster`] trait over an [`dataset::OrgDataset`]
+//! and are trained with the from-scratch autodiff in `gfs-nn`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gfs_forecast::dataset::{OrgDataset, OrgInfo, Sample};
+//! use gfs_forecast::{evaluate, DLinear, Forecaster, TrainConfig};
+//!
+//! let series = vec![(0..400).map(|i| (i % 24) as f64).collect::<Vec<_>>()];
+//! let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+//! let data = OrgDataset::new(series, orgs, vec![], vec![], 96, 12).unwrap();
+//! let mut model = DLinear::new(&data, 7);
+//! let scores = evaluate(&mut model, &data, &TrainConfig::fast());
+//! assert!(scores.mae.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod decompose;
+mod eval;
+pub mod metrics;
+mod models;
+pub mod stats;
+
+pub use eval::evaluate;
+pub use metrics::ModelScores;
+pub use models::{
+    AutoformerForecaster, DLinear, DeepAr, FedformerForecaster, FitReport, Forecast, Forecaster,
+    InformerForecaster, LastWeekPeak, OrgLinear, SeasonalNaive, TrainConfig, TransformerForecaster,
+};

@@ -1,0 +1,179 @@
+//! Forecast accuracy metrics (§4.6.1): MAE, MSE, RMSE, MAPE and the
+//! quantile metric p-MAQE introduced by the paper.
+
+use crate::stats::gaussian_quantile;
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean squared error.
+#[must_use]
+pub fn mse(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+#[must_use]
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    mse(pred, actual).sqrt()
+}
+
+/// Mean absolute percentage error. Pairs with `|actual| < 1e-9` are skipped
+/// to avoid division blow-ups on idle hours.
+#[must_use]
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, a) in pred.iter().zip(actual) {
+        if a.abs() > 1e-9 {
+            total += ((p - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Mean absolute quantile error at level `p` (the paper's `p-MAQE`):
+/// the mean absolute *relative* gap between the predicted `p`-quantile
+/// `μ + σ·Φ⁻¹(p)` and the realised value, counting only realisations that
+/// exceed the predicted quantile (coverage misses), normalised by the
+/// actual value — small is better.
+#[must_use]
+pub fn maqe(p: f64, mu: &[f64], sigma: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(mu.len(), sigma.len(), "mu/sigma length mismatch");
+    assert_eq!(mu.len(), actual.len(), "mu/actual length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..mu.len() {
+        let q = gaussian_quantile(p, mu[i], sigma[i]);
+        if actual[i].abs() > 1e-9 {
+            // quantile loss (pinball), normalised
+            let diff = actual[i] - q;
+            let loss = if diff >= 0.0 { p * diff } else { (p - 1.0) * diff };
+            total += loss / actual[i].abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// A bundle of the four point metrics of Fig. 10 plus quantile metrics and
+/// training time (Table 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelScores {
+    /// Model display name.
+    pub name: String,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// 0.9-MAQE, when the model is probabilistic.
+    pub maqe90: Option<f64>,
+    /// 0.95-MAQE, when the model is probabilistic.
+    pub maqe95: Option<f64>,
+    /// Wall-clock training time in seconds.
+    pub train_time_secs: f64,
+}
+
+fn check(pred: &[f64], actual: &[f64]) {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = [2.0, 4.0];
+        let actual = [1.0, 2.0];
+        assert_eq!(mae(&pred, &actual), 1.5);
+        assert_eq!(mse(&pred, &actual), 2.5);
+        assert!((rmse(&pred, &actual) - 2.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mape(&pred, &actual), 1.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let pred = [5.0, 2.0];
+        let actual = [0.0, 1.0];
+        assert_eq!(mape(&pred, &actual), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn maqe_rewards_calibrated_quantiles() {
+        // Wider (honest) sigma around the truth scores better than a
+        // confidently-wrong narrow one when actuals exceed the mean.
+        let actual = [110.0, 112.0, 108.0, 115.0];
+        let mu = [100.0; 4];
+        let honest = [8.0; 4];
+        let overconfident = [0.5; 4];
+        let good = maqe(0.95, &mu, &honest, &actual);
+        let bad = maqe(0.95, &mu, &overconfident, &actual);
+        assert!(good < bad, "honest {good} must beat overconfident {bad}");
+    }
+
+    #[test]
+    fn maqe_zero_sigma_reduces_to_pinball_on_mean() {
+        let actual = [10.0];
+        let v = maqe(0.9, &[10.0], &[0.0], &actual);
+        assert!(v.abs() < 1e-12);
+    }
+}

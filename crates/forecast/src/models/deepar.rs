@@ -1,0 +1,163 @@
+//! DeepAR baseline (Salinas et al.): an autoregressive RNN producing a
+//! Gaussian distribution per horizon step. The encoder GRU consumes the
+//! window step by step (with diurnal phase features), and linear heads map
+//! the final state to `(μ, σ)` sequences, trained by NLL — the strongest
+//! probabilistic baseline of Table 7.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use gfs_nn::{loss, Adam, Graph, GruCell, Linear, Optimizer, Param, Tensor, Var};
+
+use crate::dataset::{Normalizer, OrgDataset, Sample};
+use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
+
+const HIDDEN: usize = 24;
+const SIGMA_FLOOR: f64 = 1e-3;
+
+/// DeepAR-style probabilistic RNN forecaster.
+#[derive(Debug)]
+pub struct DeepAr {
+    cell: GruCell,
+    head_mu: Linear,
+    head_sigma: Linear,
+    norm: Normalizer,
+    horizon: usize,
+}
+
+impl DeepAr {
+    /// Creates a model shaped for `data`.
+    #[must_use]
+    pub fn new(data: &OrgDataset, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DeepAr {
+            cell: GruCell::new(3, HIDDEN, &mut rng),
+            head_mu: Linear::new(HIDDEN, data.horizon(), &mut rng),
+            head_sigma: Linear::new(HIDDEN, data.horizon(), &mut rng),
+            norm: data.normalizer(0.8),
+            horizon: data.horizon(),
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.cell.params();
+        p.extend(self.head_mu.params());
+        p.extend(self.head_sigma.params());
+        p
+    }
+
+    /// Encodes a batch of windows with the GRU and emits `(mu, sigma)`
+    /// in normalized space (`B × H` each).
+    fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> (Var, Var) {
+        let b = batch.len();
+        let l = data.input_len();
+        let mut h = self.cell.initial_state(g, b);
+        for t in 0..l {
+            let mut x = Tensor::zeros(b, 3);
+            for (r, s) in batch.iter().enumerate() {
+                let abs_hour = (s.start + t) % 24;
+                let phase = abs_hour as f64 / 24.0 * std::f64::consts::TAU;
+                x[(r, 0)] = self.norm.norm(s.org, data.input(*s)[t]);
+                x[(r, 1)] = phase.sin();
+                x[(r, 2)] = phase.cos();
+            }
+            let xv = g.constant(x);
+            h = self.cell.step(g, xv, h);
+        }
+        let mu = self.head_mu.forward(g, h);
+        let pre = self.head_sigma.forward(g, h);
+        let sp = g.softplus(pre);
+        let sigma = g.add_const(sp, SIGMA_FLOOR);
+        (mu, sigma)
+    }
+}
+
+impl Forecaster for DeepAr {
+    fn name(&self) -> &'static str {
+        "DeepAR"
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, data: &OrgDataset, cfg: &TrainConfig) -> FitReport {
+        let start = Instant::now();
+        self.norm = data.normalizer(cfg.train_frac);
+        let (train, _) = data.split(cfg.stride, cfg.train_frac);
+        let mut opt = Adam::new(self.params(), cfg.lr);
+        let mut final_loss = f64::NAN;
+        for epoch in 0..cfg.epochs {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
+                let mut g = Graph::new();
+                let (mu, sigma) = self.forward(&mut g, data, &batch);
+                let mut target = Tensor::zeros(batch.len(), self.horizon);
+                for (r, s) in batch.iter().enumerate() {
+                    for (c, &y) in data.target(*s).iter().enumerate() {
+                        target[(r, c)] = self.norm.norm(s.org, y);
+                    }
+                }
+                let t = g.constant(target);
+                let l = loss::gaussian_nll(&mut g, mu, sigma, t);
+                total += g.value(l).item();
+                n += 1;
+                g.backward(l);
+                opt.step();
+            }
+            final_loss = total / n.max(1) as f64;
+        }
+        FitReport {
+            train_time_secs: start.elapsed().as_secs_f64(),
+            final_loss,
+            samples: train.len(),
+        }
+    }
+
+    fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
+        let mut g = Graph::new();
+        let (mu, sigma) = self.forward(&mut g, data, &[sample]);
+        Forecast {
+            mean: g
+                .value(mu)
+                .as_slice()
+                .iter()
+                .map(|&z| self.norm.denorm(sample.org, z))
+                .collect(),
+            std: Some(
+                g.value(sigma)
+                    .as_slice()
+                    .iter()
+                    .map(|&z| self.norm.denorm_std(sample.org, z))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OrgInfo;
+
+    #[test]
+    fn fit_and_predict_probabilistic() {
+        let series = vec![(0..220)
+            .map(|i| 15.0 + 4.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect::<Vec<_>>()];
+        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
+        let mut m = DeepAr::new(&data, 5);
+        assert!(m.is_probabilistic());
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 2;
+        let r = m.fit(&data, &cfg);
+        assert!(r.final_loss.is_finite());
+        let f = m.predict(&data, Sample { org: 0, start: 130 });
+        assert_eq!(f.mean.len(), 6);
+        assert!(f.std.unwrap().iter().all(|&s| s > 0.0));
+    }
+}

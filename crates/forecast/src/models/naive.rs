@@ -1,0 +1,146 @@
+//! Training-free reference predictors.
+//!
+//! [`LastWeekPeak`] reproduces the production heuristic that the GDE
+//! ablation (`GFS-e`, Table 8) compares against: "take the peak GPU demand
+//! of the previous week as the forecast". [`SeasonalNaive`] repeats the
+//! value observed one season (24 h by default) earlier.
+
+use crate::dataset::{OrgDataset, Sample};
+use crate::models::{FitReport, Forecast, Forecaster, TrainConfig};
+
+/// Predicts the maximum of the input window for every horizon step —
+/// the conservative production baseline replaced by OrgLinear.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastWeekPeak;
+
+impl LastWeekPeak {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        LastWeekPeak
+    }
+}
+
+impl Forecaster for LastWeekPeak {
+    fn name(&self) -> &'static str {
+        "LastWeekPeak"
+    }
+
+    fn fit(&mut self, data: &OrgDataset, _cfg: &TrainConfig) -> FitReport {
+        FitReport {
+            train_time_secs: 0.0,
+            final_loss: 0.0,
+            samples: data.num_orgs(),
+        }
+    }
+
+    fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
+        let peak = data
+            .input(sample)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Forecast::point(vec![peak; data.horizon()])
+    }
+}
+
+/// Repeats the value observed `season` hours earlier.
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalNaive {
+    season: usize,
+}
+
+impl SeasonalNaive {
+    /// Creates a predictor with the given season length in hours
+    /// (24 = daily, 168 = weekly).
+    #[must_use]
+    pub fn new(season: usize) -> Self {
+        SeasonalNaive {
+            season: season.max(1),
+        }
+    }
+}
+
+impl Default for SeasonalNaive {
+    fn default() -> Self {
+        SeasonalNaive::new(24)
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "SeasonalNaive"
+    }
+
+    fn fit(&mut self, data: &OrgDataset, _cfg: &TrainConfig) -> FitReport {
+        FitReport {
+            train_time_secs: 0.0,
+            final_loss: 0.0,
+            samples: data.num_orgs(),
+        }
+    }
+
+    fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
+        let window = data.input(sample);
+        let l = window.len();
+        let mean = (0..data.horizon())
+            .map(|h| {
+                // value one season before the horizon step, read from the window
+                let mut back = self.season;
+                while back <= h {
+                    back += self.season;
+                }
+                let idx = l + h - back;
+                window[idx.min(l - 1)]
+            })
+            .collect();
+        Forecast::point(mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OrgInfo;
+
+    fn data() -> OrgDataset {
+        let series = vec![(0..300).map(|i| (i % 24) as f64).collect::<Vec<_>>()];
+        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        OrgDataset::new(series, orgs, vec![], vec![], 168, 24).unwrap()
+    }
+
+    #[test]
+    fn peak_is_window_max() {
+        let d = data();
+        let f = LastWeekPeak::new().predict(&d, Sample { org: 0, start: 0 });
+        assert_eq!(f.mean, vec![23.0; 24]);
+    }
+
+    #[test]
+    fn seasonal_naive_is_exact_on_pure_seasonality() {
+        let d = data();
+        let m = SeasonalNaive::new(24);
+        let s = Sample { org: 0, start: 48 };
+        let f = m.predict(&d, s);
+        assert_eq!(f.mean, d.target(s), "period-24 series repeats exactly");
+    }
+
+    #[test]
+    fn fit_is_free() {
+        let d = data();
+        let mut m = LastWeekPeak::new();
+        let r = m.fit(&d, &TrainConfig::fast());
+        assert_eq!(r.train_time_secs, 0.0);
+    }
+
+    #[test]
+    fn seasonal_naive_handles_long_horizon() {
+        // horizon longer than one season wraps to further-back values
+        let series = vec![(0..300).map(|i| (i % 6) as f64).collect::<Vec<_>>()];
+        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let d = OrgDataset::new(series, orgs, vec![], vec![], 24, 18).unwrap();
+        let f = SeasonalNaive::new(6).predict(&d, Sample { org: 0, start: 0 });
+        let s = Sample { org: 0, start: 0 };
+        assert_eq!(f.mean, d.target(s));
+    }
+}

@@ -1,0 +1,149 @@
+//! Gaussian distribution utilities.
+//!
+//! The SQA converts OrgLinear's `(μ, σ)` forecasts into high-guarantee
+//! demand upper bounds with the inverse CDF at the target guarantee rate
+//! `p` (Eq. 9); this module provides that ICDF plus the forward CDF used by
+//! tests and calibration checks.
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, Numerical-Recipes rational approximation
+/// (absolute error < 1.2e-7, ample for quota decisions on integer GPUs).
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t * (-z * z - 1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587
+                                    + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal inverse CDF `Φ⁻¹(p)` via Acklam's algorithm
+/// (relative error < 1.15e-9 over `(0, 1)`).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn normal_icdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile level must lie in (0, 1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    x
+}
+
+/// Quantile of `N(mu, sigma²)` at level `p`: the
+/// `ICDF(p, μ̂, σ̂)` of §3.3.1.
+#[must_use]
+pub fn gaussian_quantile(p: f64, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * normal_icdf(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icdf_known_values() {
+        assert!(normal_icdf(0.5).abs() < 1e-9);
+        assert!((normal_icdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_icdf(0.9) - 1.281_552).abs() < 1e-4);
+        assert!((normal_icdf(0.95) - 1.644_854).abs() < 1e-4);
+    }
+
+    #[test]
+    fn icdf_is_antisymmetric() {
+        for p in [0.01, 0.2, 0.3, 0.45] {
+            assert!((normal_icdf(p) + normal_icdf(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cdf_inverts_icdf() {
+        for p in [0.001, 0.05, 0.3, 0.5, 0.77, 0.99, 0.9999] {
+            let x = normal_icdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn gaussian_quantile_scales() {
+        let q = gaussian_quantile(0.9, 100.0, 10.0);
+        assert!((q - 112.815_52).abs() < 1e-2);
+        // the median is the mean
+        assert!((gaussian_quantile(0.5, 42.0, 7.0) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn icdf_rejects_unit_bounds() {
+        let _ = normal_icdf(1.0);
+    }
+
+    #[test]
+    fn erfc_endpoints() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(5.0) < 1e-10);
+        assert!((erfc(-5.0) - 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,785 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape of operations recorded during a forward pass. Each
+//! operation returns a [`Var`] handle; calling [`Graph::backward`] on a
+//! scalar output propagates gradients to every [`Param`] leaf.
+//!
+//! Nodes only ever reference earlier nodes, so the reverse insertion order
+//! is a valid reverse topological order — backpropagation is one linear
+//! sweep.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Constant leaf: no gradient.
+    Const,
+    /// Trainable leaf: gradient flushes into the shared [`Param`].
+    Param(Param),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    MatMul(usize, usize),
+    /// `x (n×m) + row (1×m)` broadcast over rows.
+    AddRow(usize, usize),
+    Scale(usize, f64),
+    AddConst(usize),
+    Exp(usize),
+    Ln(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Relu(usize),
+    Softplus(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    Transpose(usize),
+    SoftmaxRows(usize),
+    ConcatCols(Vec<usize>),
+    /// Row-gather from a table node.
+    Embedding { table: usize, indices: Vec<usize> },
+    /// Multiply row `r` of `x` by `col[r]` (`col` is `n × 1`).
+    ScaleRows(usize, usize),
+    /// Columns `[start, start + len)` of `x`.
+    SliceCols { x: usize, start: usize },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A dynamic computation graph (tape).
+///
+/// # Examples
+///
+/// ```
+/// use gfs_nn::{Graph, Param, Tensor};
+///
+/// let w = Param::new(Tensor::scalar(3.0));
+/// let mut g = Graph::new();
+/// let x = g.constant(Tensor::scalar(2.0));
+/// let wv = g.param(&w);
+/// let y = g.mul(x, wv); // y = 2w
+/// g.backward(y);
+/// assert_eq!(w.grad().item(), 2.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a variable.
+    #[must_use]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Records a constant (non-trainable) leaf.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Const)
+    }
+
+    /// Records a trainable parameter leaf; gradients accumulate into `p`.
+    pub fn param(&mut self, p: &Param) -> Var {
+        let value = p.value().clone();
+        self.push(value, Op::Param(p.clone()))
+    }
+
+    /// Element-wise sum. Shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Element-wise difference. Shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Element-wise (Hadamard) product. Shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Element-wise quotient. Shapes must match.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x / y);
+        self.push(v, Op::Div(a.0, b.0))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Adds a `1 × m` row vector to every row of an `n × m` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not `1 × m` with matching `m`.
+    pub fn add_row(&mut self, x: Var, row: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "add_row expects a 1×m row vector");
+        assert_eq!(rv.cols(), xv.cols(), "add_row column mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += rv[(0, c)];
+            }
+        }
+        self.push(out, Op::AddRow(x.0, row.0))
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&mut self, x: Var, k: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|a| a * k);
+        self.push(v, Op::Scale(x.0, k))
+    }
+
+    /// Adds a compile-time constant element-wise.
+    pub fn add_const(&mut self, x: Var, k: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|a| a + k);
+        self.push(v, Op::AddConst(x.0))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, x: Var) -> Var {
+        self.scale(x, -1.0)
+    }
+
+    /// Element-wise `exp`.
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::exp);
+        self.push(v, Op::Exp(x.0))
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::ln);
+        self.push(v, Op::Ln(x.0))
+    }
+
+    /// Element-wise `tanh`.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(x.0))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(sigmoid);
+        self.push(v, Op::Sigmoid(x.0))
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|a| a.max(0.0));
+        self.push(v, Op::Relu(x.0))
+    }
+
+    /// Element-wise softplus `ln(1 + eˣ)`, the variance-stabilising
+    /// activation of Eq. 7, computed in a numerically stable form.
+    pub fn softplus(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(softplus);
+        self.push(v, Op::Softplus(x.0))
+    }
+
+    /// Sum of all elements, as a `1 × 1` scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[x.0].value.sum());
+        self.push(v, Op::SumAll(x.0))
+    }
+
+    /// Mean of all elements, as a `1 × 1` scalar.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[x.0].value.mean());
+        self.push(v, Op::MeanAll(x.0))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.transposed();
+        self.push(v, Op::Transpose(x.0))
+    }
+
+    /// Row-wise softmax (used by every attention block).
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let row = &mut out.as_mut_slice()[r * xv.cols()..(r + 1) * xv.cols()];
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        self.push(out, Op::SoftmaxRows(x.0))
+    }
+
+    /// Concatenates variables left-to-right (matching row counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let tensors: Vec<&Tensor> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Gathers rows `indices` from an embedding `table` (a `vocab × dim`
+    /// variable, usually a parameter), producing `len(indices) × dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn embedding(&mut self, table: Var, indices: &[usize]) -> Var {
+        let tv = &self.nodes[table.0].value;
+        let dim = tv.cols();
+        let mut out = Tensor::zeros(indices.len(), dim);
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < tv.rows(), "embedding index {i} out of range ({})", tv.rows());
+            out.as_mut_slice()[r * dim..(r + 1) * dim].copy_from_slice(tv.row_slice(i));
+        }
+        self.push(
+            out,
+            Op::Embedding {
+                table: table.0,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Multiplies every row `r` of the `n × m` matrix `x` by the scalar
+    /// `col[r]` taken from an `n × 1` column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not `n × 1` with matching `n`.
+    pub fn scale_rows(&mut self, x: Var, col: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let cv = &self.nodes[col.0].value;
+        assert_eq!(cv.cols(), 1, "scale_rows expects an n×1 column vector");
+        assert_eq!(cv.rows(), xv.rows(), "scale_rows row mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let k = cv[(r, 0)];
+            for c in 0..out.cols() {
+                out[(r, c)] *= k;
+            }
+        }
+        self.push(out, Op::ScaleRows(x.0, col.0))
+    }
+
+    /// Extracts columns `[start, start + len)` of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(start + len <= xv.cols(), "slice_cols out of range");
+        let mut out = Tensor::zeros(xv.rows(), len);
+        for r in 0..xv.rows() {
+            for c in 0..len {
+                out[(r, c)] = xv[(r, start + c)];
+            }
+        }
+        self.push(out, Op::SliceCols { x: x.0, start })
+    }
+
+    /// Runs backpropagation from `output`, accumulating gradients into every
+    /// [`Param`] reachable from it. `output` is typically a scalar loss; for
+    /// non-scalars the seed gradient is all-ones.
+    pub fn backward(&mut self, output: Var) {
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let out_shape = self.nodes[output.0].value.shape();
+        grads[output.0] = Some(Tensor::full(out_shape.0, out_shape.1, 1.0));
+
+        for i in (0..n).rev() {
+            let Some(gy) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Const => {}
+                Op::Param(p) => {
+                    p.accumulate_grad(&gy);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, &gy);
+                    accumulate(&mut grads, *b, &gy);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, &gy);
+                    let neg = gy.map(|v| -v);
+                    accumulate(&mut grads, *b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = gy.zip(&self.nodes[b].value, |g, bv| g * bv);
+                    let gb = gy.zip(&self.nodes[a].value, |g, av| g * av);
+                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, b, &gb);
+                }
+                Op::Div(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let bv = &self.nodes[b].value;
+                    let av = &self.nodes[a].value;
+                    let ga = gy.zip(bv, |g, d| g / d);
+                    let mut gb = gy.zip(av, |g, n| g * n);
+                    gb = gb.zip(bv, |g, d| -g / (d * d));
+                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, b, &gb);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = gy.matmul(&self.nodes[b].value.transposed());
+                    let gb = self.nodes[a].value.transposed().matmul(&gy);
+                    accumulate(&mut grads, a, &ga);
+                    accumulate(&mut grads, b, &gb);
+                }
+                Op::AddRow(x, row) => {
+                    let (x, row) = (*x, *row);
+                    accumulate(&mut grads, x, &gy);
+                    let mut gr = Tensor::zeros(1, gy.cols());
+                    for r in 0..gy.rows() {
+                        for c in 0..gy.cols() {
+                            gr[(0, c)] += gy[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, row, &gr);
+                }
+                Op::Scale(x, k) => {
+                    let g = gy.map(|v| v * k);
+                    accumulate(&mut grads, *x, &g);
+                }
+                Op::AddConst(x) => {
+                    accumulate(&mut grads, *x, &gy);
+                }
+                Op::Exp(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[i].value, |g, y| g * y);
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Ln(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[x].value, |g, xv| g / xv);
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Tanh(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Sigmoid(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[x].value, |g, xv| if xv > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Softplus(x) => {
+                    let x = *x;
+                    let g = gy.zip(&self.nodes[x].value, |g, xv| g * sigmoid(xv));
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::SumAll(x) => {
+                    let x = *x;
+                    let s = gy.item();
+                    let shape = self.nodes[x].value.shape();
+                    let g = Tensor::full(shape.0, shape.1, s);
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::MeanAll(x) => {
+                    let x = *x;
+                    let shape = self.nodes[x].value.shape();
+                    let n = (shape.0 * shape.1) as f64;
+                    let g = Tensor::full(shape.0, shape.1, gy.item() / n);
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::Transpose(x) => {
+                    let g = gy.transposed();
+                    accumulate(&mut grads, *x, &g);
+                }
+                Op::SoftmaxRows(x) => {
+                    let x = *x;
+                    let y = &self.nodes[i].value;
+                    let mut g = Tensor::zeros(gy.rows(), gy.cols());
+                    for r in 0..gy.rows() {
+                        let dot: f64 = (0..gy.cols()).map(|c| gy[(r, c)] * y[(r, c)]).sum();
+                        for c in 0..gy.cols() {
+                            g[(r, c)] = (gy[(r, c)] - dot) * y[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, x, &g);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut offset = 0;
+                    for p in parts {
+                        let (rows, cols) = self.nodes[p].value.shape();
+                        let mut gp = Tensor::zeros(rows, cols);
+                        for r in 0..rows {
+                            for c in 0..cols {
+                                gp[(r, c)] = gy[(r, offset + c)];
+                            }
+                        }
+                        accumulate(&mut grads, p, &gp);
+                        offset += cols;
+                    }
+                }
+                Op::ScaleRows(x, col) => {
+                    let (x, col) = (*x, *col);
+                    let cv = &self.nodes[col].value;
+                    let xv = &self.nodes[x].value;
+                    let mut gx = gy.clone();
+                    let mut gc = Tensor::zeros(cv.rows(), 1);
+                    for r in 0..gy.rows() {
+                        let k = cv[(r, 0)];
+                        let mut dot = 0.0;
+                        for c in 0..gy.cols() {
+                            dot += gy[(r, c)] * xv[(r, c)];
+                            gx[(r, c)] = gy[(r, c)] * k;
+                        }
+                        gc[(r, 0)] = dot;
+                    }
+                    accumulate(&mut grads, x, &gx);
+                    accumulate(&mut grads, col, &gc);
+                }
+                Op::SliceCols { x, start } => {
+                    let (x, start) = (*x, *start);
+                    let (rows, cols) = self.nodes[x].value.shape();
+                    let mut gx = Tensor::zeros(rows, cols);
+                    for r in 0..gy.rows() {
+                        for c in 0..gy.cols() {
+                            gx[(r, start + c)] = gy[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, x, &gx);
+                }
+                Op::Embedding { table, indices } => {
+                    let (table, indices) = (*table, indices.clone());
+                    let (vocab, dim) = self.nodes[table].value.shape();
+                    let mut gt = Tensor::zeros(vocab, dim);
+                    for (r, idx) in indices.iter().enumerate() {
+                        for c in 0..dim {
+                            gt[(*idx, c)] += gy[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, table, &gt);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_scaled(g, 1.0),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + eˣ)`.
+#[must_use]
+pub fn softplus(x: f64) -> f64 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn add_mul_gradients() {
+        // y = (a + b) * a, dy/da = 2a + b, dy/db = a
+        let a = Param::new(Tensor::scalar(3.0));
+        let b = Param::new(Tensor::scalar(5.0));
+        let mut g = Graph::new();
+        let av = g.param(&a);
+        let bv = g.param(&b);
+        let s = g.add(av, bv);
+        let y = g.mul(s, av);
+        assert_eq!(g.value(y).item(), 24.0);
+        g.backward(y);
+        assert_eq!(a.grad().item(), 11.0);
+        assert_eq!(b.grad().item(), 3.0);
+    }
+
+    #[test]
+    fn div_gradient_matches_finite_difference() {
+        let a0 = 2.0;
+        let b0 = 7.0;
+        let a = Param::new(Tensor::scalar(a0));
+        let b = Param::new(Tensor::scalar(b0));
+        let mut g = Graph::new();
+        let av = g.param(&a);
+        let bv = g.param(&b);
+        let y = g.div(av, bv);
+        g.backward(y);
+        let da = finite_diff(|x| x / b0, a0);
+        let db = finite_diff(|x| a0 / x, b0);
+        assert!((a.grad().item() - da).abs() < 1e-6);
+        assert!((b.grad().item() - db).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_gradient() {
+        // L = sum(A·B): dL/dA = 1·Bᵀ, dL/dB = Aᵀ·1
+        let a = Param::new(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = Param::new(Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let mut g = Graph::new();
+        let av = g.param(&a);
+        let bv = g.param(&b);
+        let p = g.matmul(av, bv);
+        let loss = g.sum_all(p);
+        g.backward(loss);
+        assert_eq!(a.grad().row_slice(0), &[11.0, 15.0]);
+        assert_eq!(a.grad().row_slice(1), &[11.0, 15.0]);
+        assert_eq!(b.grad().row_slice(0), &[4.0, 4.0]);
+        assert_eq!(b.grad().row_slice(1), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn unary_gradients_match_finite_difference() {
+        type UnaryCase = (fn(&mut Graph, Var) -> Var, fn(f64) -> f64, f64);
+        let cases: Vec<UnaryCase> = vec![
+            (Graph::exp, f64::exp, 0.7),
+            (Graph::ln, f64::ln, 1.3),
+            (Graph::tanh, f64::tanh, 0.4),
+            (Graph::sigmoid, sigmoid, -0.6),
+            (Graph::softplus, softplus, -1.1),
+        ];
+        for (op, f, x0) in cases {
+            let p = Param::new(Tensor::scalar(x0));
+            let mut g = Graph::new();
+            let x = g.param(&p);
+            let y = op(&mut g, x);
+            g.backward(y);
+            let expected = finite_diff(f, x0);
+            assert!(
+                (p.grad().item() - expected).abs() < 1e-5,
+                "gradient mismatch at {x0}: {} vs {expected}",
+                p.grad().item()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gradient_gates() {
+        let p = Param::new(Tensor::row(&[-1.0, 2.0]));
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let y = g.relu(x);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(p.grad().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_grad_is_orthogonal() {
+        let p = Param::new(Tensor::row(&[1.0, 2.0, 3.0]));
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let y = g.softmax_rows(x);
+        let row_sum: f64 = g.value(y).as_slice().iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-12);
+        // L = sum(softmax) == 1 identically, so the gradient must vanish.
+        let s = g.sum_all(y);
+        g.backward(s);
+        for &v in p.grad().as_slice() {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_row_broadcast_gradient() {
+        let x = Param::new(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = Param::new(Tensor::row(&[10.0, 20.0]));
+        let mut g = Graph::new();
+        let xv = g.param(&x);
+        let bv = g.param(&b);
+        let y = g.add_row(xv, bv);
+        assert_eq!(g.value(y).row_slice(1), &[13.0, 24.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(b.grad().as_slice(), &[2.0, 2.0], "bias grad sums over rows");
+        assert_eq!(x.grad().as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let a = Param::new(Tensor::row(&[1.0]));
+        let b = Param::new(Tensor::row(&[2.0, 3.0]));
+        let mut g = Graph::new();
+        let av = g.param(&a);
+        let bv = g.param(&b);
+        let c = g.concat_cols(&[av, bv]);
+        let w = g.constant(Tensor::row(&[1.0, 10.0, 100.0]));
+        let prod = g.mul(c, w);
+        let s = g.sum_all(prod);
+        g.backward(s);
+        assert_eq!(a.grad().as_slice(), &[1.0]);
+        assert_eq!(b.grad().as_slice(), &[10.0, 100.0]);
+    }
+
+    #[test]
+    fn embedding_scatters_gradient() {
+        let table = Param::new(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let mut g = Graph::new();
+        let t = g.param(&table);
+        let e = g.embedding(t, &[2, 0, 2]);
+        assert_eq!(g.value(e).row_slice(0), &[5.0, 6.0]);
+        let s = g.sum_all(e);
+        g.backward(s);
+        // row 2 gathered twice, row 0 once, row 1 never
+        assert_eq!(table.grad().row_slice(0), &[1.0, 1.0]);
+        assert_eq!(table.grad().row_slice(1), &[0.0, 0.0]);
+        assert_eq!(table.grad().row_slice(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let p = Param::new(Tensor::row(&[2.0, 4.0, 6.0, 8.0]));
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let m = g.mean_all(x);
+        assert_eq!(g.value(m).item(), 5.0);
+        g.backward(m);
+        assert_eq!(p.grad().as_slice(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn transpose_gradient_round_trips() {
+        let p = Param::new(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let t = g.transpose(x);
+        let w = g.constant(Tensor::col(&[1.0, 2.0, 3.0]));
+        let prod = g.mul(t, w);
+        let s = g.sum_all(prod);
+        g.backward(s);
+        assert_eq!(p.grad().as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reused_param_accumulates_gradients() {
+        // y = w * w => dy/dw = 2w
+        let w = Param::new(Tensor::scalar(4.0));
+        let mut g = Graph::new();
+        let w1 = g.param(&w);
+        let w2 = g.param(&w);
+        let y = g.mul(w1, w2);
+        g.backward(y);
+        assert_eq!(w.grad().item(), 8.0);
+    }
+
+    #[test]
+    fn scale_and_add_const() {
+        let p = Param::new(Tensor::scalar(3.0));
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let y = g.scale(x, 2.0);
+        let z = g.add_const(y, 10.0);
+        assert_eq!(g.value(z).item(), 16.0);
+        g.backward(z);
+        assert_eq!(p.grad().item(), 2.0);
+    }
+
+    #[test]
+    fn scale_rows_values_and_gradient() {
+        let x = Param::new(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let c = Param::new(Tensor::col(&[10.0, 100.0]));
+        let mut g = Graph::new();
+        let xv = g.param(&x);
+        let cv = g.param(&c);
+        let y = g.scale_rows(xv, cv);
+        assert_eq!(g.value(y).row_slice(0), &[10.0, 20.0]);
+        assert_eq!(g.value(y).row_slice(1), &[300.0, 400.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(x.grad().row_slice(0), &[10.0, 10.0]);
+        assert_eq!(x.grad().row_slice(1), &[100.0, 100.0]);
+        assert_eq!(c.grad().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn slice_cols_values_and_gradient() {
+        let x = Param::new(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+        let mut g = Graph::new();
+        let xv = g.param(&x);
+        let y = g.slice_cols(xv, 1, 2);
+        assert_eq!(g.value(y).row_slice(0), &[2.0, 3.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(x.grad().row_slice(0), &[0.0, 1.0, 1.0]);
+        assert_eq!(x.grad().row_slice(1), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stable_activations_do_not_overflow() {
+        assert!(softplus(1_000.0).is_finite());
+        assert!(softplus(-1_000.0) >= 0.0);
+        assert!((sigmoid(1_000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1_000.0) >= 0.0);
+    }
+}

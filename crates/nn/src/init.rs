@@ -1,0 +1,74 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform limit for a `fan_in × fan_out` weight matrix.
+#[must_use]
+pub fn xavier_limit(fan_in: usize, fan_out: usize) -> f64 {
+    (6.0 / (fan_in + fan_out).max(1) as f64).sqrt()
+}
+
+/// Samples a `rows × cols` matrix from `U(-limit, limit)` with the Xavier
+/// limit for `fan_in = rows`, `fan_out = cols`.
+#[must_use]
+pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    Tensor::uniform(rows, cols, xavier_limit(rows, cols), rng)
+}
+
+/// Samples a standard-normal matrix via Box–Muller (kept dependency-free).
+#[must_use]
+pub fn randn<R: Rng>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Tensor {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_limit_shrinks_with_size() {
+        assert!(xavier_limit(100, 100) < xavier_limit(10, 10));
+        assert!(xavier_limit(0, 0).is_finite());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = xavier(20, 30, &mut rng);
+        let lim = xavier_limit(20, 30);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= lim));
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = randn(100, 100, 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / t.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn randn_odd_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = randn(3, 3, 2.0, &mut rng);
+        assert_eq!(t.len(), 9);
+    }
+}

@@ -1,0 +1,50 @@
+//! A minimal reverse-mode autodiff tensor library.
+//!
+//! This crate is the numerical substrate for the GFS demand forecasters
+//! (`gfs-forecast`). The paper trains OrgLinear and six baselines with
+//! PyTorch; here everything — dense tensors, a dynamic tape, layers,
+//! optimizers and losses — is implemented from scratch in safe Rust so the
+//! whole reproduction is dependency-light and deterministic.
+//!
+//! # Examples
+//!
+//! Train `y = 2x` with one linear neuron:
+//!
+//! ```
+//! use gfs_nn::{Adam, Graph, Linear, Optimizer, Tensor, loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let layer = Linear::new(1, 1, &mut rng);
+//! let mut opt = Adam::new(layer.params(), 0.1);
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let x = g.constant(Tensor::col(&[1.0, 2.0, 3.0]));
+//!     let t = g.constant(Tensor::col(&[2.0, 4.0, 6.0]));
+//!     let y = layer.forward(&mut g, x);
+//!     let l = loss::mse(&mut g, y, t);
+//!     g.backward(l);
+//!     opt.step();
+//! }
+//! let mut g = Graph::new();
+//! let x = g.constant(Tensor::col(&[10.0]));
+//! let y = layer.forward(&mut g, x);
+//! assert!((g.value(y).item() - 20.0).abs() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod init;
+mod layers;
+pub mod loss;
+mod optim;
+mod param;
+mod tensor;
+
+pub use graph::{sigmoid, softplus, Graph, Var};
+pub use layers::{Attention, Embedding, GruCell, Linear};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use tensor::Tensor;

@@ -1,0 +1,113 @@
+//! Loss functions composed from graph primitives.
+
+use crate::graph::{Graph, Var};
+
+/// Mean squared error between `pred` and `target` (same shapes).
+pub fn mse(g: &mut Graph, pred: Var, target: Var) -> Var {
+    let d = g.sub(pred, target);
+    let sq = g.mul(d, d);
+    g.mean_all(sq)
+}
+
+/// Mean absolute-error surrogate: smooth L1 with quadratic region `|x| < 1`.
+pub fn huber(g: &mut Graph, pred: Var, target: Var) -> Var {
+    // 0.5 d² for |d| <= 1, |d| - 0.5 otherwise — implemented with a smooth
+    // approximation sqrt(d² + eps) - eps to stay in the primitive set.
+    let d = g.sub(pred, target);
+    let sq = g.mul(d, d);
+    let shifted = g.add_const(sq, 1e-8);
+    let ln = g.ln(shifted);
+    let half = g.scale(ln, 0.5);
+    let abs = g.exp(half); // sqrt(d² + eps)
+    g.mean_all(abs)
+}
+
+/// Gaussian negative log-likelihood of `target` under `N(mu, sigma²)`,
+/// averaged over all elements — the distributional objective of Eq. 8:
+///
+/// `L = mean( ln σ + ((y − μ)/σ)²/2 ) + ln(2π)/2`.
+///
+/// `sigma` must be strictly positive (use a softplus head as in Eq. 7).
+pub fn gaussian_nll(g: &mut Graph, mu: Var, sigma: Var, target: Var) -> Var {
+    let diff = g.sub(target, mu);
+    let z = g.div(diff, sigma);
+    let z2 = g.mul(z, z);
+    let half_z2 = g.scale(z2, 0.5);
+    let ln_sigma = g.ln(sigma);
+    let per_elem = g.add(ln_sigma, half_z2);
+    let mean = g.mean_all(per_elem);
+    g.add_const(mean, 0.5 * (2.0 * std::f64::consts::PI).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mse_zero_at_match() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::row(&[1.0, 2.0]));
+        let b = g.constant(Tensor::row(&[1.0, 2.0]));
+        let l = mse(&mut g, a, b);
+        assert_eq!(g.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::row(&[0.0, 0.0]));
+        let b = g.constant(Tensor::row(&[3.0, 4.0]));
+        let l = mse(&mut g, a, b);
+        assert_eq!(g.value(l).item(), 12.5);
+    }
+
+    #[test]
+    fn gaussian_nll_matches_closed_form() {
+        // NLL of y=0 under N(0, 1) is 0.5 ln(2π)
+        let mut g = Graph::new();
+        let mu = g.constant(Tensor::scalar(0.0));
+        let sigma = g.constant(Tensor::scalar(1.0));
+        let y = g.constant(Tensor::scalar(0.0));
+        let l = gaussian_nll(&mut g, mu, sigma, y);
+        let expected = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((g.value(l).item() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_nll_penalises_distance_and_overconfidence() {
+        let nll = |mu: f64, sigma: f64, y: f64| {
+            let mut g = Graph::new();
+            let m = g.constant(Tensor::scalar(mu));
+            let s = g.constant(Tensor::scalar(sigma));
+            let t = g.constant(Tensor::scalar(y));
+            let l = gaussian_nll(&mut g, m, s, t);
+            g.value(l).item()
+        };
+        assert!(nll(0.0, 1.0, 2.0) > nll(0.0, 1.0, 0.5));
+        // being overconfident (small sigma) about a wrong mean is worse
+        assert!(nll(0.0, 0.1, 2.0) > nll(0.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn gaussian_nll_gradient_pulls_mu_toward_target() {
+        let mu = Param::new(Tensor::scalar(0.0));
+        let mut g = Graph::new();
+        let m = g.param(&mu);
+        let s = g.constant(Tensor::scalar(1.0));
+        let y = g.constant(Tensor::scalar(5.0));
+        let l = gaussian_nll(&mut g, m, s, y);
+        g.backward(l);
+        assert!(mu.grad().item() < 0.0, "gradient must push mu upward via -grad");
+    }
+
+    #[test]
+    fn huber_is_small_near_zero() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::row(&[1.0]));
+        let b = g.constant(Tensor::row(&[1.0]));
+        let l = huber(&mut g, a, b);
+        assert!(g.value(l).item() < 1e-3);
+    }
+}

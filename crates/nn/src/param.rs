@@ -1,0 +1,161 @@
+//! Trainable parameters shared between graphs and optimizers.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+#[derive(Debug)]
+struct ParamData {
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A trainable tensor with an accumulated gradient.
+///
+/// `Param` is a cheaply clonable handle (`Rc`-based) so a model, the graphs
+/// it builds, and the optimizer can all refer to the same storage.
+///
+/// # Examples
+///
+/// ```
+/// use gfs_nn::{Param, Tensor};
+///
+/// let p = Param::new(Tensor::scalar(1.5));
+/// assert_eq!(p.value().item(), 1.5);
+/// assert_eq!(p.grad().item(), 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Param {
+    data: Rc<RefCell<ParamData>>,
+}
+
+impl Param {
+    /// Wraps a tensor as a trainable parameter with zero gradient.
+    #[must_use]
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        Param {
+            data: Rc::new(RefCell::new(ParamData { value, grad })),
+        }
+    }
+
+    /// A snapshot of the current value.
+    #[must_use]
+    pub fn value(&self) -> Tensor {
+        self.data.borrow().value.clone()
+    }
+
+    /// A snapshot of the accumulated gradient.
+    #[must_use]
+    pub fn grad(&self) -> Tensor {
+        self.data.borrow().grad.clone()
+    }
+
+    /// Parameter shape.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.data.borrow().value.shape()
+    }
+
+    /// Number of scalar weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.borrow().value.len()
+    }
+
+    /// Whether the parameter holds zero weights.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.data.borrow_mut().grad.add_scaled(g, 1.0);
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.data.borrow_mut().grad.fill_zero();
+    }
+
+    /// Applies an in-place update `value[i] = f(value[i], grad[i])`.
+    pub fn update(&self, mut f: impl FnMut(f64, f64) -> f64) {
+        let mut d = self.data.borrow_mut();
+        let grad = std::mem::replace(&mut d.grad, Tensor::zeros(0, 0));
+        for (v, g) in d.value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *v = f(*v, *g);
+        }
+        d.grad = grad;
+    }
+
+    /// Replaces the value outright (used by tests and serialization).
+    pub fn set_value(&self, value: Tensor) {
+        let mut d = self.data.borrow_mut();
+        assert_eq!(d.value.shape(), value.shape(), "set_value shape mismatch");
+        d.value = value;
+    }
+
+    /// Whether two handles share the same underlying storage.
+    #[must_use]
+    pub fn ptr_eq(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.data.borrow();
+        write!(f, "Param(shape={:?}, |grad|={:.4})", d.value.shape(), d.grad.norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Param::new(Tensor::scalar(1.0));
+        let q = p.clone();
+        q.accumulate_grad(&Tensor::scalar(2.0));
+        assert_eq!(p.grad().item(), 2.0);
+        assert!(p.ptr_eq(&q));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let p = Param::new(Tensor::scalar(1.0));
+        p.accumulate_grad(&Tensor::scalar(3.0));
+        p.zero_grad();
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn update_applies_rule() {
+        let p = Param::new(Tensor::row(&[1.0, 2.0]));
+        p.accumulate_grad(&Tensor::row(&[0.5, 0.5]));
+        p.update(|v, g| v - g);
+        assert_eq!(p.value().as_slice(), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_calls() {
+        let p = Param::new(Tensor::scalar(0.0));
+        p.accumulate_grad(&Tensor::scalar(1.0));
+        p.accumulate_grad(&Tensor::scalar(2.0));
+        assert_eq!(p.grad().item(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_value shape mismatch")]
+    fn set_value_checks_shape() {
+        Param::new(Tensor::scalar(1.0)).set_value(Tensor::row(&[1.0, 2.0]));
+    }
+}

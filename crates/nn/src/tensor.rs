@@ -1,0 +1,457 @@
+//! Dense 2-D tensors of `f64`.
+//!
+//! Every quantity in the forecasting stack — sequences, embeddings, weight
+//! matrices — is a row-major matrix. Vectors are represented as `1 × n` or
+//! `n × 1` matrices, scalars as `1 × 1`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use gfs_nn::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    #[must_use]
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a `1 × n` row vector.
+    #[must_use]
+    pub fn row(values: &[f64]) -> Self {
+        Tensor::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Creates an `n × 1` column vector.
+    #[must_use]
+    pub fn col(values: &[f64]) -> Self {
+        Tensor::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Creates a `1 × 1` scalar tensor.
+    #[must_use]
+    pub fn scalar(v: f64) -> Self {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    /// Fills the tensor with samples from `U(-limit, limit)`.
+    #[must_use]
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, limit: f64, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The single element of a `1 × 1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1 × 1`.
+    #[must_use]
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Borrowed view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row_slice(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(lhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape(), rhs.shape(), "zip shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += scale * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, rhs: &Tensor, scale: f64) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Concatenates tensors left-to-right (they must share a row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    #[must_use]
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "concat_cols row mismatch");
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row_slice(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Tensor {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Tensor::from_rows(&[&[4.0], &[5.0], &[6.0]]);
+        assert_eq!(a.matmul(&b).item(), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_checks_dims() {
+        let _ = Tensor::zeros(2, 3).matmul(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed().shape(), (3, 2));
+        assert_eq!(a.transposed()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::row(&[1.0, -2.0]);
+        assert_eq!(a.map(f64::abs).as_slice(), &[1.0, 2.0]);
+        let b = Tensor::row(&[10.0, 20.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).as_slice(), &[11.0, 18.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::row(&[1.0, 1.0]);
+        a.add_scaled(&Tensor::row(&[2.0, 4.0]), 0.5);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_cols_orders_parts() {
+        let a = Tensor::from_rows(&[&[1.0], &[3.0]]);
+        let b = Tensor::from_rows(&[&[2.0, 2.5], &[4.0, 4.5]]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row_slice(0), &[1.0, 2.0, 2.5]);
+        assert_eq!(c.row_slice(1), &[3.0, 4.0, 4.5]);
+    }
+
+    #[test]
+    fn sum_mean_norm() {
+        let a = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.mean(), 3.5);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = Tensor::uniform(10, 10, 0.3, &mut rng);
+        assert!(t.as_slice().iter().all(|v| v.abs() < 0.3));
+    }
+
+    #[test]
+    fn index_mut_writes() {
+        let mut t = Tensor::zeros(2, 2);
+        t[(0, 1)] = 9.0;
+        assert_eq!(t[(0, 1)], 9.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Tensor::zeros(1, 1).to_string().is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline GPU-cluster schedulers compared against GFS in §4.4.
+//!
+//! * [`YarnCs`] — FCFS + best-fit with newest-first preemption.
+//! * [`Chronus`] — lease-based deadline scheduling; displacement only at
+//!   lease expiry.
+//! * [`Lyra`] — whole-node loans to spot tasks with minimal-waste reclaim.
+//! * [`Fgd`] — fragmentation-gradient-descent placement.
+//!
+//! The [`placement`] module exposes the shared first-fit / best-fit /
+//! preemption-planning helpers these policies (and tests elsewhere) use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chronus;
+mod fgd;
+mod lyra;
+pub mod placement;
+mod yarn;
+
+pub use chronus::{Chronus, HP_LEASE_SECS, SPOT_LEASE_SECS};
+pub use fgd::{node_fragmentation, Fgd};
+pub use lyra::Lyra;
+pub use yarn::YarnCs;

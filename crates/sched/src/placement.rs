@@ -1,0 +1,285 @@
+//! Shared placement helpers used by the baseline schedulers.
+
+use std::collections::HashMap;
+
+use gfs_cluster::{Cluster, Node};
+use gfs_types::{GpuDemand, NodeId, SimTime, TaskId, TaskSpec};
+
+/// Picks one node per pod of `task`, choosing for each pod the
+/// highest-scoring node that still fits (ties broken by node id).
+///
+/// `score` returns `None` to exclude a node. Whole-card demands consume a
+/// virtual idle-GPU budget so gangs spread correctly; fractional demands
+/// are single-pod by construction.
+pub fn gang_nodes_by<F>(cluster: &Cluster, task: &TaskSpec, score: F) -> Option<Vec<NodeId>>
+where
+    F: Fn(&Node) -> Option<f64>,
+{
+    let mut budget: HashMap<NodeId, u32> = cluster
+        .nodes()
+        .iter()
+        .map(|n| (n.id(), n.idle_gpus()))
+        .collect();
+    let mut out = Vec::with_capacity(task.pods as usize);
+    for _ in 0..task.pods {
+        let chosen = match task.gpus_per_pod {
+            GpuDemand::Whole(need) => cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.model() == task.gpu_model)
+                .filter(|n| budget.get(&n.id()).copied().unwrap_or(0) >= need)
+                .filter_map(|n| score(n).map(|s| (n.id(), s)))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("scores are finite")
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(id, _)| id),
+            GpuDemand::Fraction(f) => cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.model() == task.gpu_model)
+                .filter(|n| n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12))
+                .filter_map(|n| score(n).map(|s| (n.id(), s)))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("scores are finite")
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(id, _)| id),
+        }?;
+        if let GpuDemand::Whole(need) = task.gpus_per_pod {
+            *budget.get_mut(&chosen).expect("chosen from budget") -= need;
+        }
+        out.push(chosen);
+    }
+    Some(out)
+}
+
+/// First-fit: the first node (by id) with room for each pod.
+pub fn first_fit_nodes(cluster: &Cluster, task: &TaskSpec) -> Option<Vec<NodeId>> {
+    gang_nodes_by(cluster, task, |n| Some(-(n.id().raw() as f64)))
+}
+
+/// Best-fit: prefer nodes with the fewest idle GPUs that still fit.
+pub fn best_fit_nodes(cluster: &Cluster, task: &TaskSpec) -> Option<Vec<NodeId>> {
+    gang_nodes_by(cluster, task, |n| Some(-(f64::from(n.idle_gpus()))))
+}
+
+/// Worst-fit: prefer the emptiest nodes (used by Lyra's whole-node loans).
+pub fn worst_fit_nodes(cluster: &Cluster, task: &TaskSpec) -> Option<Vec<NodeId>> {
+    gang_nodes_by(cluster, task, |n| Some(f64::from(n.idle_gpus())))
+}
+
+/// A single-node preemption plan: evicting `victims` on `node` frees
+/// enough capacity for one pod.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreemptionPlan {
+    /// Target node.
+    pub node: NodeId,
+    /// Spot tasks to evict (node-local view).
+    pub victims: Vec<TaskId>,
+    /// Total wasted GPU-seconds of the victims (Eq. 17 summed).
+    pub waste: f64,
+}
+
+/// Plans preemptive placement of every pod of an HP `task`: walks pods one
+/// at a time, evicting the spot tasks chosen by `victim_order` (smaller key
+/// evicted first) on the cheapest feasible node.
+///
+/// Returns `(pod_nodes, victims)` or `None` when even full eviction cannot
+/// fit the task. Victims are deduplicated across pods (a gang victim
+/// spanning nodes frees capacity everywhere it runs).
+pub fn plan_preemption<K: Ord + Copy, F>(
+    cluster: &Cluster,
+    task: &TaskSpec,
+    now: SimTime,
+    victim_order: F,
+) -> Option<(Vec<NodeId>, Vec<TaskId>)>
+where
+    F: Fn(&gfs_cluster::RunningTask, SimTime) -> K,
+{
+    let need = match task.gpus_per_pod {
+        GpuDemand::Whole(n) => f64::from(n),
+        GpuDemand::Fraction(f) => f,
+    };
+    // virtual idle capacity per node, updated as we plan evictions
+    let mut virt_idle: HashMap<NodeId, f64> = cluster
+        .nodes()
+        .iter()
+        .map(|n| (n.id(), f64::from(n.idle_gpus())))
+        .collect();
+    let mut evicted: Vec<TaskId> = Vec::new();
+    let mut pod_nodes = Vec::with_capacity(task.pods as usize);
+
+    for _ in 0..task.pods {
+        // candidate = node where idle + evictable spot >= need
+        let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
+        for n in cluster.nodes().iter().filter(|n| n.model() == task.gpu_model) {
+            let mut idle = virt_idle.get(&n.id()).copied().unwrap_or(0.0);
+            if idle >= need {
+                // no eviction required on this node: zero-waste plan
+                match &best {
+                    Some((_, _, w)) if *w <= 0.0 => {}
+                    _ => best = Some((n.id(), Vec::new(), 0.0)),
+                }
+                continue;
+            }
+            let mut spots: Vec<&gfs_cluster::RunningTask> = cluster
+                .spot_tasks_on(n.id())
+                .into_iter()
+                .filter(|rt| !evicted.contains(&rt.spec.id))
+                .collect();
+            spots.sort_by_key(|rt| victim_order(rt, now));
+            let mut victims = Vec::new();
+            let mut waste = 0.0;
+            for rt in spots {
+                if idle >= need {
+                    break;
+                }
+                // GPUs this task holds on *this* node
+                let local: f64 = rt
+                    .placements
+                    .iter()
+                    .filter(|p| p.node == n.id())
+                    .map(|p| p.alloc.cards())
+                    .sum();
+                idle += local;
+                waste += rt.waste(now);
+                victims.push(rt.spec.id);
+            }
+            if idle >= need {
+                let better = match &best {
+                    None => true,
+                    Some((_, _, w)) => waste < *w,
+                };
+                if better {
+                    best = Some((n.id(), victims, waste));
+                }
+            }
+        }
+        let (node, victims, _) = best?;
+        for v in &victims {
+            // credit every node the victim occupies
+            if let Some(rt) = cluster.running_task(*v) {
+                for p in &rt.placements {
+                    *virt_idle.entry(p.node).or_insert(0.0) += p.alloc.cards();
+                }
+            }
+            evicted.push(*v);
+        }
+        *virt_idle.entry(node).or_insert(0.0) -= need;
+        pod_nodes.push(node);
+    }
+    Some((pod_nodes, evicted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{GpuModel, Priority, SimTime};
+
+    fn task(id: u64, pods: u32, gpus: u32, priority: Priority) -> TaskSpec {
+        TaskSpec::builder(id)
+            .priority(priority)
+            .pods(pods)
+            .gpus_per_pod(GpuDemand::whole(gpus))
+            .duration_secs(3_600)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_fit_prefers_low_ids() {
+        let c = Cluster::homogeneous(3, GpuModel::A100, 8);
+        let nodes = first_fit_nodes(&c, &task(1, 2, 4, Priority::Hp)).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn best_fit_packs_loaded_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, 1, 6, Priority::Hp), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let nodes = best_fit_nodes(&c, &task(2, 1, 2, Priority::Hp)).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)], "node 1 has fewer idle GPUs");
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.start_task(task(1, 1, 6, Priority::Hp), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let nodes = worst_fit_nodes(&c, &task(2, 1, 2, Priority::Hp)).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn gang_respects_budget() {
+        let c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // 3 pods × 8 GPUs cannot fit on 2 nodes
+        assert!(first_fit_nodes(&c, &task(1, 3, 8, Priority::Hp)).is_none());
+        // 2 pods × 8 spread over both nodes
+        let nodes = first_fit_nodes(&c, &task(2, 2, 8, Priority::Hp)).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn model_filter_applies() {
+        let c = Cluster::homogeneous(2, GpuModel::A10, 8);
+        assert!(first_fit_nodes(&c, &task(1, 1, 1, Priority::Hp)).is_none(), "task wants A100");
+    }
+
+    #[test]
+    fn plan_preemption_evicts_cheapest() {
+        let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let old_spot = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(4))
+            .duration_secs(100_000)
+            .build()
+            .unwrap();
+        let young_spot = TaskSpec::builder(2)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(4))
+            .duration_secs(100_000)
+            .build()
+            .unwrap();
+        c.start_task(old_spot, &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(young_spot, &[NodeId::new(0)], SimTime::from_secs(9_000), 0).unwrap();
+        let now = SimTime::from_secs(10_000);
+        // prefer evicting the youngest (least waste): order key = waste
+        let (nodes, victims) = plan_preemption(&c, &task(3, 1, 4, Priority::Hp), now, |rt, t| {
+            rt.waste(t) as u64
+        })
+        .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0)]);
+        assert_eq!(victims, vec![TaskId::new(2)], "young task wastes less");
+    }
+
+    #[test]
+    fn plan_preemption_prefers_idle_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let spot = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(100_000)
+            .build()
+            .unwrap();
+        c.start_task(spot, &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        let (nodes, victims) =
+            plan_preemption(&c, &task(2, 1, 8, Priority::Hp), SimTime::from_secs(100), |rt, t| {
+                rt.waste(t) as u64
+            })
+            .unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)], "idle node wins (zero waste)");
+        assert!(victims.is_empty());
+    }
+
+    #[test]
+    fn plan_preemption_none_when_infeasible() {
+        let c = Cluster::homogeneous(1, GpuModel::A100, 8);
+        assert!(plan_preemption(&c, &task(1, 1, 16, Priority::Hp), SimTime::ZERO, |rt, t| {
+            rt.waste(t) as u64
+        })
+        .is_none());
+    }
+}

@@ -1,0 +1,547 @@
+//! The discrete-event simulation engine.
+//!
+//! Events (submissions, completions, requeues after eviction, quota ticks,
+//! utilisation samples) are processed in `(time, sequence)` order; after
+//! every batch of same-timestamp events the engine runs one scheduling pass
+//! over the pending queue. All state transitions go through
+//! [`gfs_cluster::Cluster`], so a scheduler can never corrupt accounting.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use gfs_cluster::{Cluster, Scheduler, TaskEvent};
+use gfs_types::{SimDuration, SimTime, TaskId, TaskSpec};
+
+use crate::report::{AllocSample, SimReport, TaskRecord};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Cadence of [`Scheduler::on_tick`] (the paper's 300 s quota-update
+    /// interval).
+    pub tick_interval_secs: SimDuration,
+    /// Delay between an eviction and the task re-entering the queue (the
+    /// preemption grace period, 30 s).
+    pub requeue_delay_secs: SimDuration,
+    /// Cadence of allocation-rate samples.
+    pub alloc_sample_interval_secs: SimDuration,
+    /// Record per-node allocation series (Fig. 8 heat-maps).
+    pub record_node_alloc: bool,
+    /// Hard stop, seconds of simulated time (tasks still pending are
+    /// reported as unfinished).
+    pub max_time_secs: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            tick_interval_secs: 300,
+            requeue_delay_secs: 30,
+            alloc_sample_interval_secs: 3_600,
+            record_node_alloc: false,
+            max_time_secs: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Submit(usize),
+    Finish { task: TaskId, epoch: u32 },
+    Requeue(TaskId),
+    Tick,
+    Sample,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we need earliest-first
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs a trace against a scheduler on a cluster.
+///
+/// Deterministic: identical inputs produce identical reports.
+pub fn run(
+    mut cluster: Cluster,
+    scheduler: &mut dyn Scheduler,
+    tasks: Vec<TaskSpec>,
+    cfg: &SimConfig,
+) -> SimReport {
+    let mut report = SimReport {
+        node_alloc_samples: if cfg.record_node_alloc {
+            vec![Vec::new(); cluster.nodes().len()]
+        } else {
+            Vec::new()
+        },
+        ..SimReport::default()
+    };
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, at: SimTime, kind: EventKind| {
+        *seq += 1;
+        heap.push(Event { at, seq: *seq, kind });
+    };
+
+    let mut specs: HashMap<TaskId, TaskSpec> = HashMap::new();
+    let mut rec_index: HashMap<TaskId, usize> = HashMap::new();
+    let mut carried: HashMap<TaskId, SimDuration> = HashMap::new();
+    let mut epochs: HashMap<TaskId, u32> = HashMap::new();
+    let mut enqueue_time: HashMap<TaskId, SimTime> = HashMap::new();
+    let mut pending: Vec<TaskSpec> = Vec::new();
+    let mut unfinished = tasks.len();
+
+    for (i, t) in tasks.iter().enumerate() {
+        push(&mut heap, &mut seq, t.submit_at, EventKind::Submit(i));
+    }
+    push(&mut heap, &mut seq, SimTime::ZERO, EventKind::Sample);
+    push(
+        &mut heap,
+        &mut seq,
+        SimTime::from_secs(cfg.tick_interval_secs),
+        EventKind::Tick,
+    );
+
+    let max_time = cfg.max_time_secs.map(SimTime::from_secs);
+    let mut now = SimTime::ZERO;
+
+    while let Some(ev) = heap.pop() {
+        if unfinished == 0 {
+            break;
+        }
+        if let Some(limit) = max_time {
+            if ev.at > limit {
+                now = limit;
+                break;
+            }
+        }
+        now = ev.at;
+        let mut dirty = false;
+
+        // process the entire same-timestamp batch before scheduling
+        let mut batch = vec![ev];
+        while let Some(next) = heap.peek() {
+            if next.at == now {
+                batch.push(heap.pop().expect("peeked event exists"));
+            } else {
+                break;
+            }
+        }
+
+        for ev in batch {
+            match ev.kind {
+                EventKind::Submit(i) => {
+                    let spec = tasks[i].clone();
+                    let id = spec.id;
+                    rec_index.insert(id, report.tasks.len());
+                    report.tasks.push(TaskRecord {
+                        id,
+                        priority: spec.priority,
+                        org: spec.org,
+                        total_gpus: spec.total_gpus(),
+                        pods: spec.pods,
+                        work_secs: spec.duration_secs,
+                        submit: now,
+                        first_start: None,
+                        finish: None,
+                        queued_secs: 0,
+                        runs: 0,
+                        evictions: 0,
+                    });
+                    specs.insert(id, spec.clone());
+                    enqueue_time.insert(id, now);
+                    scheduler.on_event(
+                        &TaskEvent::Submitted {
+                            task: id,
+                            priority: spec.priority,
+                            at: now,
+                        },
+                        &cluster,
+                    );
+                    pending.push(spec);
+                    dirty = true;
+                }
+                EventKind::Finish { task, epoch } => {
+                    if epochs.get(&task).copied().unwrap_or(0) != epoch {
+                        continue; // stale: the run was preempted
+                    }
+                    if cluster.running_task(task).is_none() {
+                        continue;
+                    }
+                    let rt = cluster.finish_task(task, now).expect("task verified running");
+                    let rec = &mut report.tasks[rec_index[&task]];
+                    rec.finish = Some(now);
+                    unfinished -= 1;
+                    scheduler.on_event(
+                        &TaskEvent::Finished {
+                            task,
+                            priority: rt.spec.priority,
+                            at: now,
+                        },
+                        &cluster,
+                    );
+                    dirty = true;
+                }
+                EventKind::Requeue(task) => {
+                    let spec = specs[&task].clone();
+                    enqueue_time.insert(task, now);
+                    pending.push(spec);
+                    dirty = true;
+                }
+                EventKind::Tick => {
+                    scheduler.on_tick(now, &cluster);
+                    if unfinished > 0 {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + cfg.tick_interval_secs,
+                            EventKind::Tick,
+                        );
+                    }
+                    dirty = true;
+                }
+                EventKind::Sample => {
+                    let cap = cluster.capacity(None).max(1.0);
+                    report.alloc_samples.push(AllocSample {
+                        at: now,
+                        total: cluster.allocation_rate(None),
+                        hp: cluster.hp_allocated(None) / cap,
+                        spot: cluster.spot_allocated(None) / cap,
+                    });
+                    if cfg.record_node_alloc {
+                        for (i, n) in cluster.nodes().iter().enumerate() {
+                            report.node_alloc_samples[i].push(n.allocated());
+                        }
+                    }
+                    if unfinished > 0 {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + cfg.alloc_sample_interval_secs,
+                            EventKind::Sample,
+                        );
+                    }
+                }
+            }
+        }
+
+        if !dirty || pending.is_empty() {
+            continue;
+        }
+
+        // one scheduling pass over the pending queue
+        scheduler.sort_queue(&mut pending);
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for task in pending.drain(..) {
+            let Some(decision) = scheduler.schedule(&task, &cluster, now) else {
+                still_pending.push(task);
+                continue;
+            };
+            for victim in &decision.preemptions {
+                match cluster.evict_task(*victim, now) {
+                    Ok((_rt, preserved)) => {
+                        carried.insert(*victim, preserved);
+                        *epochs.entry(*victim).or_insert(0) += 1;
+                        let rec = &mut report.tasks[rec_index[victim]];
+                        rec.evictions += 1;
+                        report.eviction_times.push(now);
+                        scheduler.on_event(&TaskEvent::Evicted { task: *victim, at: now }, &cluster);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + cfg.requeue_delay_secs,
+                            EventKind::Requeue(*victim),
+                        );
+                    }
+                    Err(_) => {
+                        report.failed_commits += 1;
+                    }
+                }
+            }
+            let carry = carried.get(&task.id).copied().unwrap_or(0);
+            let id = task.id;
+            match cluster.start_task(task.clone(), &decision.pod_nodes, now, carry) {
+                Ok(()) => {
+                    let epoch = {
+                        let e = epochs.entry(id).or_insert(0);
+                        *e += 1;
+                        *e
+                    };
+                    let remaining = task.duration_secs.saturating_sub(carry).max(1);
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        now + remaining,
+                        EventKind::Finish { task: id, epoch },
+                    );
+                    let queued = now.since(enqueue_time.get(&id).copied().unwrap_or(now));
+                    let rec = &mut report.tasks[rec_index[&id]];
+                    rec.queued_secs += queued;
+                    rec.runs += 1;
+                    if rec.first_start.is_none() {
+                        rec.first_start = Some(now);
+                    }
+                    if task.priority.is_spot() {
+                        report.spot_start_times.push(now);
+                    }
+                    scheduler.on_event(
+                        &TaskEvent::Started {
+                            task: id,
+                            priority: task.priority,
+                            queued_secs: queued,
+                            at: now,
+                        },
+                        &cluster,
+                    );
+                }
+                Err(_) => {
+                    report.failed_commits += 1;
+                    still_pending.push(task);
+                }
+            }
+        }
+        pending = still_pending;
+    }
+
+    // tasks still queued accrue waiting time up to the end of the run
+    for task in &pending {
+        if let Some(&enq) = enqueue_time.get(&task.id) {
+            let rec = &mut report.tasks[rec_index[&task.id]];
+            rec.queued_secs += now.since(enq);
+        }
+    }
+    report.makespan = now;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_cluster::Decision;
+    use gfs_types::{GpuDemand, GpuModel, NodeId, Priority};
+
+    /// Minimal first-fit policy used to exercise the engine.
+    struct FirstFit;
+
+    impl Scheduler for FirstFit {
+        fn name(&self) -> &str {
+            "first-fit"
+        }
+
+        fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, _now: SimTime) -> Option<Decision> {
+            let mut nodes = Vec::with_capacity(task.pods as usize);
+            let mut budget: HashMap<NodeId, u32> = HashMap::new();
+            for n in cluster.nodes() {
+                budget.insert(n.id(), n.idle_gpus());
+            }
+            for _ in 0..task.pods {
+                let need = match task.gpus_per_pod {
+                    GpuDemand::Whole(n) => n,
+                    GpuDemand::Fraction(_) => 1,
+                };
+                let slot = cluster
+                    .nodes()
+                    .iter()
+                    .find(|n| budget.get(&n.id()).copied().unwrap_or(0) >= need)?;
+                *budget.get_mut(&slot.id()).expect("budget initialised") -= need;
+                nodes.push(slot.id());
+            }
+            Some(Decision::place(nodes))
+        }
+    }
+
+    fn task(id: u64, priority: Priority, gpus: u32, dur: u64, submit: u64) -> TaskSpec {
+        TaskSpec::builder(id)
+            .priority(priority)
+            .gpus_per_pod(GpuDemand::whole(gpus))
+            .duration_secs(dur)
+            .submit_at(SimTime::from_secs(submit))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_task_runs_to_completion() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 4, 600, 0)],
+            &SimConfig::default(),
+        );
+        assert_eq!(report.tasks.len(), 1);
+        let t = &report.tasks[0];
+        assert_eq!(t.finish, Some(SimTime::from_secs(600)));
+        assert_eq!(t.queued_secs, 0);
+        assert_eq!(t.runs, 1);
+        assert_eq!(report.failed_commits, 0);
+    }
+
+    #[test]
+    fn queued_task_waits_for_capacity() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let tasks = vec![
+            task(1, Priority::Hp, 8, 1_000, 0),
+            task(2, Priority::Hp, 8, 500, 100),
+        ];
+        let report = run(cluster, &mut FirstFit, tasks, &SimConfig::default());
+        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        assert_eq!(t2.first_start, Some(SimTime::from_secs(1_000)));
+        assert_eq!(t2.queued_secs, 900);
+        assert_eq!(t2.finish, Some(SimTime::from_secs(1_500)));
+    }
+
+    #[test]
+    fn unschedulable_task_reported_unfinished() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let tasks = vec![task(1, Priority::Hp, 16, 100, 0)]; // cannot ever fit a pod
+        let cfg = SimConfig {
+            max_time_secs: Some(3_600),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, tasks, &cfg);
+        assert!(!report.tasks[0].completed());
+        assert!(report.tasks[0].queued_secs > 0, "queued time accrues to the horizon");
+    }
+
+    #[test]
+    fn determinism() {
+        let tasks: Vec<TaskSpec> = (0..40)
+            .map(|i| task(i, if i % 3 == 0 { Priority::Spot } else { Priority::Hp }, (i % 4 + 1) as u32, 300 + i * 13, i * 7))
+            .collect();
+        let r1 = run(
+            Cluster::homogeneous(2, GpuModel::A100, 8),
+            &mut FirstFit,
+            tasks.clone(),
+            &SimConfig::default(),
+        );
+        let r2 = run(
+            Cluster::homogeneous(2, GpuModel::A100, 8),
+            &mut FirstFit,
+            tasks,
+            &SimConfig::default(),
+        );
+        assert_eq!(r1.tasks, r2.tasks);
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn alloc_samples_are_recorded() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let cfg = SimConfig {
+            alloc_sample_interval_secs: 600,
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 1_800, 0)], &cfg);
+        assert!(report.alloc_samples.len() >= 3);
+        // while the task runs the cluster is fully allocated
+        assert!(report.alloc_samples.iter().any(|s| s.total > 0.99));
+    }
+
+    #[test]
+    fn node_alloc_recording_optional() {
+        let cluster = Cluster::homogeneous(3, GpuModel::A100, 8);
+        let cfg = SimConfig {
+            record_node_alloc: true,
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 2, 600, 0)], &cfg);
+        assert_eq!(report.node_alloc_samples.len(), 3);
+        assert!(!report.node_alloc_samples[0].is_empty());
+    }
+
+    /// A policy that preempts the single running spot task for any HP task.
+    struct PreemptAll;
+
+    impl Scheduler for PreemptAll {
+        fn name(&self) -> &str {
+            "preempt-all"
+        }
+
+        fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, _now: SimTime) -> Option<Decision> {
+            let need = task.gpus_per_pod.whole_cards().unwrap_or(1);
+            let node = cluster.nodes().first()?.id();
+            let idle = cluster.node(node).ok()?.idle_gpus();
+            if idle >= need {
+                return Some(Decision::place(vec![node; task.pods as usize]));
+            }
+            if task.priority.is_hp() {
+                let victims: Vec<TaskId> = cluster
+                    .spot_tasks_on(node)
+                    .iter()
+                    .map(|rt| rt.spec.id)
+                    .collect();
+                if victims.is_empty() {
+                    return None;
+                }
+                return Some(Decision {
+                    pod_nodes: vec![node; task.pods as usize],
+                    preemptions: victims,
+                });
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn preemption_evicts_and_requeues_spot() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let spot = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(10_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 600 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let hp = task(2, Priority::Hp, 8, 1_000, 2_000);
+        let report = run(
+            cluster,
+            &mut PreemptAll,
+            vec![spot, hp],
+            &SimConfig::default(),
+        );
+        let spot_rec = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
+        let hp_rec = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        assert_eq!(spot_rec.evictions, 1);
+        assert_eq!(spot_rec.runs, 2, "spot restarted after eviction");
+        assert!(spot_rec.completed());
+        assert_eq!(hp_rec.first_start, Some(SimTime::from_secs(2_000)), "HP ran immediately");
+        // checkpointed progress: 1800s preserved (3 × 600), so the spot task
+        // finishes at 3030 (HP done) + (10000 − 1800) r... total work conserved
+        let finish = spot_rec.finish.unwrap().as_secs();
+        assert!(finish >= 3_000 + (10_000 - 1_800), "finish {finish}");
+        assert_eq!(report.eviction_rate(), 0.5, "1 eviction over 2 runs");
+        assert_eq!(report.failed_commits, 0);
+    }
+
+    #[test]
+    fn eviction_timeline_recorded() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let spot = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(5_000)
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let hp = task(2, Priority::Hp, 8, 500, 1_000);
+        let report = run(cluster, &mut PreemptAll, vec![spot, hp], &SimConfig::default());
+        assert_eq!(report.eviction_times, vec![SimTime::from_secs(1_000)]);
+        assert_eq!(report.spot_start_times.len(), 2);
+    }
+}

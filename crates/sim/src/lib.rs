@@ -1,0 +1,21 @@
+//! Deterministic discrete-event simulation of GPU cluster scheduling.
+//!
+//! This crate drives any [`gfs_cluster::Scheduler`] implementation — the
+//! GFS framework or the baselines — against a task trace on a simulated
+//! cluster, reproducing the paper's trace-driven evaluation methodology
+//! (§4.1). Outputs are [`SimReport`]s carrying per-task records and the
+//! aggregate metrics of §4.2 (JCT, JQT, eviction rate, allocation rate).
+//!
+//! # Examples
+//!
+//! See the `quickstart` example at the workspace root, which wires a
+//! generated workload, a cluster and the GFS scheduler through [`run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+
+pub use engine::{run, SimConfig};
+pub use report::{AllocSample, SimReport, TaskRecord};

@@ -1,0 +1,258 @@
+//! Simulation outputs: per-task records and aggregate metrics (§4.2).
+
+use gfs_types::{OrgId, Priority, SimDuration, SimTime, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one task in a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: TaskId,
+    /// Priority class.
+    pub priority: Priority,
+    /// Submitting organization.
+    pub org: OrgId,
+    /// Total GPUs requested (pods × per-pod cards).
+    pub total_gpus: f64,
+    /// Pod count.
+    pub pods: u32,
+    /// Work duration requested, seconds.
+    pub work_secs: SimDuration,
+    /// Submission time.
+    pub submit: SimTime,
+    /// First execution start, if it ever started.
+    pub first_start: Option<SimTime>,
+    /// Completion time, if it finished.
+    pub finish: Option<SimTime>,
+    /// Accumulated queuing time across all segments, seconds (JQT).
+    pub queued_secs: SimDuration,
+    /// Number of run segments started.
+    pub runs: u32,
+    /// Number of evictions suffered.
+    pub evictions: u32,
+}
+
+impl TaskRecord {
+    /// Job completion time: finish − submit (None while unfinished).
+    #[must_use]
+    pub fn jct(&self) -> Option<SimDuration> {
+        self.finish.map(|f| f.since(self.submit))
+    }
+
+    /// Whether the task completed.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.finish.is_some()
+    }
+}
+
+/// Cluster-utilisation sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Overall allocation rate in `[0, 1]`.
+    pub total: f64,
+    /// HP share of capacity.
+    pub hp: f64,
+    /// Spot share of capacity.
+    pub spot: f64,
+}
+
+/// Full output of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// One record per submitted task.
+    pub tasks: Vec<TaskRecord>,
+    /// Hourly (configurable) allocation-rate samples.
+    pub alloc_samples: Vec<AllocSample>,
+    /// Per-node allocated-card samples (`[node][sample]`), recorded only
+    /// when the config enables it (Fig. 8 heat-maps).
+    pub node_alloc_samples: Vec<Vec<f64>>,
+    /// Timestamps of every eviction event (Fig. 5 timelines).
+    pub eviction_times: Vec<SimTime>,
+    /// Timestamps of every spot run start.
+    pub spot_start_times: Vec<SimTime>,
+    /// Simulated time at which the run ended.
+    pub makespan: SimTime,
+    /// Placements that failed to commit after a preemption (should be 0;
+    /// non-zero indicates a scheduler returning invalid decisions).
+    pub failed_commits: u64,
+}
+
+impl SimReport {
+    fn metric<F: Fn(&TaskRecord) -> Option<f64>>(&self, priority: Priority, f: F) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .filter(|t| t.priority == priority)
+            .filter_map(f)
+            .collect()
+    }
+
+    /// Mean JCT in seconds over completed tasks of a class.
+    #[must_use]
+    pub fn mean_jct(&self, priority: Priority) -> f64 {
+        mean(&self.metric(priority, |t| t.jct().map(|d| d as f64)))
+    }
+
+    /// P99 JCT in seconds over completed tasks of a class.
+    #[must_use]
+    pub fn p99_jct(&self, priority: Priority) -> f64 {
+        let mut v = self.metric(priority, |t| t.jct().map(|d| d as f64));
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+        let rank = ((v.len() as f64) * 0.99).ceil() as usize;
+        v[rank.min(v.len()) - 1]
+    }
+
+    /// Mean JQT in seconds over tasks of a class (queued time accrues even
+    /// for unfinished tasks).
+    #[must_use]
+    pub fn mean_jqt(&self, priority: Priority) -> f64 {
+        mean(&self.metric(priority, |t| Some(t.queued_secs as f64)))
+    }
+
+    /// The paper's eviction rate `e`: evictions / run segments, over spot
+    /// tasks.
+    #[must_use]
+    pub fn eviction_rate(&self) -> f64 {
+        let (mut ev, mut runs) = (0u64, 0u64);
+        for t in self.tasks.iter().filter(|t| t.priority.is_spot()) {
+            ev += u64::from(t.evictions);
+            runs += u64::from(t.runs);
+        }
+        if runs == 0 {
+            0.0
+        } else {
+            ev as f64 / runs as f64
+        }
+    }
+
+    /// Fraction of tasks of a class that completed.
+    #[must_use]
+    pub fn completion_rate(&self, priority: Priority) -> f64 {
+        let all: Vec<_> = self.tasks.iter().filter(|t| t.priority == priority).collect();
+        if all.is_empty() {
+            return 1.0;
+        }
+        all.iter().filter(|t| t.completed()).count() as f64 / all.len() as f64
+    }
+
+    /// Mean overall allocation rate across samples.
+    #[must_use]
+    pub fn mean_allocation_rate(&self) -> f64 {
+        mean(&self.alloc_samples.iter().map(|s| s.total).collect::<Vec<_>>())
+    }
+
+    /// Per-hour eviction ratio over the run: for each hour bucket,
+    /// `evictions / (evictions + spot starts)` — the Fig. 5 timeline.
+    #[must_use]
+    pub fn hourly_eviction_ratio(&self) -> Vec<f64> {
+        let hours = self.makespan.as_hours() as usize + 1;
+        let mut ev = vec![0f64; hours];
+        let mut st = vec![0f64; hours];
+        for t in &self.eviction_times {
+            ev[t.as_hours() as usize] += 1.0;
+        }
+        for t in &self.spot_start_times {
+            st[t.as_hours() as usize] += 1.0;
+        }
+        (0..hours)
+            .map(|h| {
+                let total = ev[h] + st[h];
+                if total == 0.0 {
+                    0.0
+                } else {
+                    ev[h] / total
+                }
+            })
+            .collect()
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, priority: Priority, jct: Option<u64>, jqt: u64, ev: u32, runs: u32) -> TaskRecord {
+        TaskRecord {
+            id: TaskId::new(id),
+            priority,
+            org: OrgId::new(0),
+            total_gpus: 1.0,
+            pods: 1,
+            work_secs: 100,
+            submit: SimTime::ZERO,
+            first_start: Some(SimTime::from_secs(jqt)),
+            finish: jct.map(SimTime::from_secs),
+            queued_secs: jqt,
+            runs,
+            evictions: ev,
+        }
+    }
+
+    #[test]
+    fn jct_and_metrics() {
+        let r = SimReport {
+            tasks: vec![
+                record(1, Priority::Hp, Some(100), 10, 0, 1),
+                record(2, Priority::Hp, Some(300), 30, 0, 1),
+                record(3, Priority::Spot, Some(500), 100, 1, 2),
+                record(4, Priority::Spot, None, 400, 1, 1),
+            ],
+            makespan: SimTime::from_hours(1),
+            ..SimReport::default()
+        };
+        assert_eq!(r.mean_jct(Priority::Hp), 200.0);
+        assert_eq!(r.mean_jqt(Priority::Hp), 20.0);
+        assert_eq!(r.mean_jct(Priority::Spot), 500.0, "unfinished excluded from JCT");
+        assert_eq!(r.mean_jqt(Priority::Spot), 250.0);
+        assert!((r.eviction_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.completion_rate(Priority::Spot), 0.5);
+        assert_eq!(r.completion_rate(Priority::Hp), 1.0);
+    }
+
+    #[test]
+    fn p99_of_small_set_is_max() {
+        let r = SimReport {
+            tasks: (0..10)
+                .map(|i| record(i, Priority::Hp, Some(100 * (i + 1)), 0, 0, 1))
+                .collect(),
+            ..SimReport::default()
+        };
+        assert_eq!(r.p99_jct(Priority::Hp), 1_000.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = SimReport::default();
+        assert_eq!(r.mean_jct(Priority::Hp), 0.0);
+        assert_eq!(r.eviction_rate(), 0.0);
+        assert_eq!(r.p99_jct(Priority::Spot), 0.0);
+        assert_eq!(r.completion_rate(Priority::Hp), 1.0);
+    }
+
+    #[test]
+    fn hourly_eviction_ratio_buckets() {
+        let r = SimReport {
+            eviction_times: vec![SimTime::from_minutes(10), SimTime::from_minutes(20)],
+            spot_start_times: vec![SimTime::from_minutes(30), SimTime::from_hours(1)],
+            makespan: SimTime::from_hours(1),
+            ..SimReport::default()
+        };
+        let ratios = r.hourly_eviction_ratio();
+        assert_eq!(ratios.len(), 2);
+        assert!((ratios[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ratios[1], 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Trace persistence: save and load generated task traces as JSON, in the
+//! spirit of the Alibaba cluster-trace release accompanying the paper.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use gfs_types::TaskSpec;
+
+/// A versioned trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Format version.
+    pub version: u32,
+    /// Free-form description (workload name, seed, scale).
+    pub description: String,
+    /// The tasks, sorted by submission time.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl TraceFile {
+    /// Wraps tasks with metadata.
+    #[must_use]
+    pub fn new(description: impl Into<String>, tasks: Vec<TaskSpec>) -> Self {
+        TraceFile {
+            version: 1,
+            description: description.into(),
+            tasks,
+        }
+    }
+
+    /// Serializes to a JSON writer. A `&mut W` also works (C-RW-VALUE).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or I/O failures.
+    pub fn write_json<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        serde_json::to_writer(writer, self).map_err(std::io::Error::other)
+    }
+
+    /// Deserializes from a JSON reader. A `&mut R` also works (C-RW-VALUE).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse or I/O failures.
+    pub fn read_json<R: Read>(reader: R) -> std::io::Result<Self> {
+        serde_json::from_reader(reader).map_err(std::io::Error::other)
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation or serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.write_json(BufWriter::new(File::create(path)?))
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open or parse failures.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::read_json(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn json_round_trip() {
+        let tasks = WorkloadGenerator::new(WorkloadConfig {
+            hp_tasks: 20,
+            spot_tasks: 5,
+            ..WorkloadConfig::default()
+        })
+        .generate();
+        let tf = TraceFile::new("unit test", tasks);
+        let mut buf = Vec::new();
+        tf.write_json(&mut buf).unwrap();
+        let back = TraceFile::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, tf);
+        assert_eq!(back.version, 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let tf = TraceFile::new("file test", Vec::new());
+        let path = std::env::temp_dir().join("gfs_trace_test.json");
+        tf.save(&path).unwrap();
+        let back = TraceFile::load(&path).unwrap();
+        assert_eq!(back, tf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(TraceFile::read_json(&b"{not json"[..]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared error type (C-GOOD-ERR).
+
+use std::fmt;
+
+/// Convenience alias for results carrying the workspace [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the GFS crates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A task description violated an invariant.
+    InvalidTask(String),
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// A scheduling operation referenced an unknown entity.
+    NotFound(String),
+    /// A cluster-state operation would violate a capacity invariant.
+    Capacity(String),
+    /// A forecasting model received inconsistent dimensions.
+    Shape(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NotFound(msg) => write!(f, "not found: {msg}"),
+            Error::Capacity(msg) => write!(f, "capacity violation: {msg}"),
+            Error::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::InvalidTask("zero pods".into());
+        assert_eq!(e.to_string(), "invalid task: zero pods");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::Capacity("over".into()));
+        assert!(e.to_string().contains("capacity"));
+    }
+}

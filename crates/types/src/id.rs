@@ -1,0 +1,152 @@
+//! Strongly-typed identifiers.
+//!
+//! Newtypes prevent accidental cross-use of a task index where a node index
+//! was expected (C-NEWTYPE). All identifiers are cheap `Copy` integers with
+//! `Display` implementations used throughout logs and reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Creates an identifier from its raw integer value.
+            #[must_use]
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            #[must_use]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the raw value as a `usize`, convenient for indexing.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a task (a gang of one or more pods).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gfs_types::TaskId;
+    /// let id = TaskId::new(42);
+    /// assert_eq!(id.to_string(), "task-42");
+    /// ```
+    TaskId,
+    u64,
+    "task-"
+);
+
+id_type!(
+    /// Identifier of a physical node (one machine holding several GPUs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gfs_types::NodeId;
+    /// assert_eq!(NodeId::new(3).to_string(), "node-3");
+    /// ```
+    NodeId,
+    u32,
+    "node-"
+);
+
+id_type!(
+    /// Identifier of a tenant organization submitting tasks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gfs_types::OrgId;
+    /// assert_eq!(OrgId::new(0).index(), 0);
+    /// ```
+    OrgId,
+    u16,
+    "org-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        assert_eq!(TaskId::new(7).raw(), 7);
+        assert_eq!(NodeId::new(9).raw(), 9);
+        assert_eq!(OrgId::new(3).raw(), 3);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(TaskId::new(1).to_string(), "task-1");
+        assert_eq!(NodeId::new(2).to_string(), "node-2");
+        assert_eq!(OrgId::new(3).to_string(), "org-3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert!(NodeId::new(10) > NodeId::new(9));
+    }
+
+    #[test]
+    fn from_conversions() {
+        let id: TaskId = 5u64.into();
+        let raw: u64 = id.into();
+        assert_eq!(raw, 5);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&TaskId::new(11)).unwrap();
+        assert_eq!(json, "11");
+        let back: TaskId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TaskId::new(11));
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(NodeId::new(123).index(), 123usize);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(TaskId::default(), TaskId::new(0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Demand forecasting walkthrough: train OrgLinear on the four Fig. 4
+//! organization archetypes, inspect the probabilistic forecasts, and show
+//! how the SQA turns them into a spot quota (Eq. 9–10).
+//!
+//! ```text
+//! cargo run --release --example demand_forecasting
+//! ```
+
+use gfs::forecast::dataset::Sample;
+use gfs::prelude::*;
+use gfs::scenario::{self, GdeModel};
+
+fn main() {
+    // 6 weeks of hourly demand history for the four paper organizations
+    let template = scenario::org_template(6, 168, 24, 11);
+    println!("history: {} orgs × {} hours", template.num_orgs(), template.len_hours());
+
+    // train OrgLinear
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 20;
+    cfg.stride = 7;
+    let mut model = OrgLinear::new(&template, 5);
+    let fit = model.fit(&template, &cfg);
+    println!(
+        "OrgLinear trained in {:.1}s over {} windows (final NLL {:.3})",
+        fit.train_time_secs, fit.samples, fit.final_loss
+    );
+
+    // forecast the last held-out day for each organization
+    let start = template.len_hours() - template.input_len() - template.horizon();
+    println!("\nper-organization next-24h forecasts (mean ± std, p90 upper bound):");
+    for org in 0..template.num_orgs() {
+        let f = model.predict(&template, Sample { org, start });
+        let std = f.std.clone().unwrap_or_default();
+        let p90 = f.quantile(0.9);
+        let actual = template.target(Sample { org, start });
+        println!(
+            "  {:<16} h+1: {:6.1} ± {:4.1} (p90 {:6.1}, actual {:6.1})   peak-24h p90: {:6.1}",
+            template.org(org).name,
+            f.mean[0],
+            std[0],
+            p90[0],
+            actual[0],
+            p90.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+
+    // assemble the GDE and show the quota calculation on a 512-GPU pool
+    let gde = scenario::trained_gde(&template, GdeModel::OrgLinear, &cfg, 5);
+    let aggregated = gde.aggregate_upper(0.9, 1);
+    let cluster = Cluster::homogeneous(64, GpuModel::A100, 8);
+    let capacity = cluster.capacity(None);
+    let inventory = (capacity - aggregated).max(0.0);
+    println!("\nEq. 9 inventory on a {capacity:.0}-GPU pool:");
+    println!("  aggregated p90 HP demand Σ_o max ŷ_o|p = {aggregated:8.1} GPUs");
+    println!("  f(p=0.9, H=1h)                         = {inventory:8.1} GPUs");
+    println!("  spot quota Q_H (η=1, all idle)         = {:8.1} GPUs", inventory.min(capacity));
+
+    // compare against the naive production heuristic (GFS-e)
+    let naive = scenario::trained_gde(&template, GdeModel::LastWeekPeak, &TrainConfig::fast(), 5);
+    let naive_agg = naive.aggregate_upper(0.9, 1);
+    println!("\nnaive LastWeekPeak aggregate: {naive_agg:8.1} GPUs (over-reserves {:.1} GPUs)", naive_agg - aggregated);
+}

@@ -1,0 +1,73 @@
+//! Quickstart: schedule a day of mixed HP/spot work on a 128-GPU pool with
+//! the full GFS framework and print the §4.2 metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gfs::prelude::*;
+use gfs::scenario;
+
+fn main() {
+    // 1. Cluster: 16 × 8-GPU A100 nodes.
+    let cluster = Cluster::homogeneous(16, GpuModel::A100, 8);
+
+    // 2. Workload: one day, calibrated to the paper's Table 3 task mix,
+    //    sized to ~60 % HP load + ~30 % spot load.
+    let cfg = WorkloadConfig {
+        horizon_secs: 24 * HOUR,
+        seed: 42,
+        ..WorkloadConfig::default()
+    }
+    .sized_for(cluster.capacity(None), 0.6, 0.3);
+    let tasks = WorkloadGenerator::new(cfg).generate();
+    let hp = tasks.iter().filter(|t| t.priority.is_hp()).count();
+    println!(
+        "workload: {} tasks ({hp} HP / {} spot)",
+        tasks.len(),
+        tasks.len() - hp
+    );
+
+    // 3. GFS with an OrgLinear demand estimator trained on 3 weeks of
+    //    synthetic organization history.
+    let expected_hp = 0.6 * 128.0;
+    let mut gfs = scenario::gfs_full(GfsParams::default(), 3, 7, expected_hp);
+
+    // 4. Simulate.
+    let report = run(
+        cluster,
+        &mut gfs,
+        tasks,
+        &SimConfig {
+            max_time_secs: Some(4 * 24 * HOUR),
+            ..SimConfig::default()
+        },
+    );
+
+    // 5. Report.
+    println!("\n=== results ({}) ===", "GFS");
+    println!("makespan                : {}", report.makespan);
+    println!(
+        "HP   mean JCT / JQT     : {:>9.1}s / {:>7.1}s",
+        report.mean_jct(Priority::Hp),
+        report.mean_jqt(Priority::Hp)
+    );
+    println!(
+        "spot mean JCT / JQT     : {:>9.1}s / {:>7.1}s",
+        report.mean_jct(Priority::Spot),
+        report.mean_jqt(Priority::Spot)
+    );
+    println!(
+        "spot eviction rate      : {:>8.2}%",
+        report.eviction_rate() * 100.0
+    );
+    println!(
+        "mean allocation rate    : {:>8.2}%",
+        report.mean_allocation_rate() * 100.0
+    );
+    println!(
+        "completion (HP / spot)  : {:>6.1}% / {:>5.1}%",
+        report.completion_rate(Priority::Hp) * 100.0,
+        report.completion_rate(Priority::Spot) * 100.0
+    );
+}

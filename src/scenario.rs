@@ -1,0 +1,156 @@
+//! Ready-made experiment scenarios: glue that assembles generators,
+//! forecasters and schedulers the way the paper's evaluation does.
+
+use gfs_core::{DemandEstimator, GfsScheduler, PtsVariant};
+use gfs_forecast::dataset::{OrgDataset, OrgInfo};
+use gfs_forecast::{Forecaster, LastWeekPeak, OrgLinear, TrainConfig};
+use gfs_trace::{default_attr_vocab, generate_all, paper_orgs};
+use gfs_types::GfsParams;
+
+/// Builds the per-organization demand dataset used to train the GDE:
+/// `weeks` of hourly history for the four Fig. 4 archetypes.
+///
+/// # Panics
+///
+/// Panics if `weeks == 0` or the window does not fit the history.
+#[must_use]
+pub fn org_template(weeks: usize, input_len: usize, horizon: usize, seed: u64) -> OrgDataset {
+    org_template_scaled(weeks, input_len, horizon, seed, None)
+}
+
+/// Like [`org_template`], but linearly rescales all series so their summed
+/// mean equals `target_total_mean` GPUs. Use this to make the warm-up
+/// history consistent with the simulated cluster's expected HP load —
+/// otherwise the Fig. 4 absolute levels (~300 GPUs across four orgs) would
+/// saturate small clusters and Eq. 9 would never release spot inventory.
+///
+/// # Panics
+///
+/// Panics if `weeks == 0` or the window does not fit the history.
+#[must_use]
+pub fn org_template_scaled(
+    weeks: usize,
+    input_len: usize,
+    horizon: usize,
+    seed: u64,
+    target_total_mean: Option<f64>,
+) -> OrgDataset {
+    assert!(weeks > 0, "need at least one week of history");
+    let hours = weeks * 168;
+    let archs = paper_orgs();
+    let mut series = generate_all(&archs, hours, seed);
+    if let Some(target) = target_total_mean {
+        let total_mean: f64 = series
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / s.len() as f64)
+            .sum();
+        if total_mean > 0.0 {
+            let k = target / total_mean;
+            for s in &mut series {
+                for v in s.iter_mut() {
+                    *v *= k;
+                }
+            }
+        }
+    }
+    let orgs = archs
+        .iter()
+        .map(|a| OrgInfo {
+            name: a.name.clone(),
+            attrs: a.attrs.clone(),
+        })
+        .collect();
+    OrgDataset::new(series, orgs, default_attr_vocab(), Vec::new(), input_len, horizon)
+        .expect("generated history fits the window")
+}
+
+/// Which forecaster drives the GDE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GdeModel {
+    /// The paper's OrgLinear (§3.2).
+    OrgLinear,
+    /// The naive last-week-peak heuristic (`GFS-e` ablation, Table 8).
+    LastWeekPeak,
+}
+
+/// Builds and trains a [`DemandEstimator`] on the template.
+#[must_use]
+pub fn trained_gde(
+    template: &OrgDataset,
+    model: GdeModel,
+    train: &TrainConfig,
+    seed: u64,
+) -> DemandEstimator {
+    let forecaster: Box<dyn Forecaster> = match model {
+        GdeModel::OrgLinear => Box::new(OrgLinear::new(template, seed)),
+        GdeModel::LastWeekPeak => Box::new(LastWeekPeak::new()),
+    };
+    let mut gde = DemandEstimator::new(forecaster, template);
+    gde.fit(template, train);
+    gde
+}
+
+/// Assembles the full GFS scheduler the way §4 deploys it: OrgLinear GDE
+/// trained on `weeks` of history scaled to `expected_hp_gpus` (the mean HP
+/// demand of the simulated workload), default Table 4 parameters.
+#[must_use]
+pub fn gfs_full(params: GfsParams, weeks: usize, seed: u64, expected_hp_gpus: f64) -> GfsScheduler {
+    gfs_with_gde(params, weeks, seed, expected_hp_gpus, GdeModel::OrgLinear)
+}
+
+/// Assembles the `GFS-e` ablation: identical but with the naive peak
+/// predictor in the GDE (Table 8).
+#[must_use]
+pub fn gfs_naive_gde(
+    params: GfsParams,
+    weeks: usize,
+    seed: u64,
+    expected_hp_gpus: f64,
+) -> GfsScheduler {
+    let mut s = gfs_with_gde(params, weeks, seed, expected_hp_gpus, GdeModel::LastWeekPeak);
+    s.set_display_name("GFS-e");
+    s
+}
+
+fn gfs_with_gde(
+    params: GfsParams,
+    weeks: usize,
+    seed: u64,
+    expected_hp_gpus: f64,
+    model: GdeModel,
+) -> GfsScheduler {
+    let horizon = (params.guarantee_hours as usize).max(4);
+    let template = org_template_scaled(weeks, 168, horizon, seed, Some(expected_hp_gpus));
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 15;
+    cfg.stride = 7;
+    cfg.seed = seed;
+    let gde = trained_gde(&template, model, &cfg, seed);
+    GfsScheduler::new(params, PtsVariant::Full, Some(gde))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_shapes() {
+        let t = org_template(3, 168, 4, 1);
+        assert_eq!(t.num_orgs(), 4);
+        assert_eq!(t.len_hours(), 3 * 168);
+        assert_eq!(t.horizon(), 4);
+    }
+
+    #[test]
+    fn naive_gde_scheduler_is_named_gfs_e() {
+        use gfs_cluster::Scheduler;
+        let s = gfs_naive_gde(GfsParams::default(), 2, 1, 64.0);
+        assert_eq!(s.name(), "GFS-e");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one week")]
+    fn zero_weeks_rejected() {
+        let _ = org_template(0, 168, 4, 1);
+    }
+}

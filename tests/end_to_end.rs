@@ -1,0 +1,150 @@
+//! End-to-end integration tests spanning the whole workspace: generated
+//! workloads driven through the simulator with GFS and every baseline.
+
+use gfs::prelude::*;
+use gfs::scenario;
+
+fn small_workload(seed: u64, spot_scale: f64) -> Vec<TaskSpec> {
+    workload(seed, spot_scale, 0.55)
+}
+
+/// A hotter mix that forces preemption pressure.
+fn pressured_workload(seed: u64, spot_scale: f64) -> Vec<TaskSpec> {
+    workload(seed, spot_scale, 0.80)
+}
+
+fn workload(seed: u64, spot_scale: f64, hp_load: f64) -> Vec<TaskSpec> {
+    let cfg = WorkloadConfig {
+        horizon_secs: 24 * HOUR,
+        spot_scale,
+        seed,
+        ..WorkloadConfig::default()
+    }
+    .sized_for(128.0, hp_load, 0.12);
+    WorkloadGenerator::new(cfg).generate()
+}
+
+fn sim(scheduler: &mut dyn Scheduler, tasks: Vec<TaskSpec>) -> SimReport {
+    let cluster = Cluster::homogeneous(16, GpuModel::A100, 8);
+    run(
+        cluster,
+        scheduler,
+        tasks,
+        &SimConfig {
+            max_time_secs: Some(5 * 24 * HOUR),
+            ..SimConfig::default()
+        },
+    )
+}
+
+#[test]
+fn every_scheduler_completes_the_hp_workload() {
+    let tasks = small_workload(1, 1.0);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(YarnCs::new()),
+        Box::new(Chronus::new()),
+        Box::new(Lyra::new()),
+        Box::new(Fgd::new()),
+        Box::new(GfsScheduler::with_defaults()),
+    ];
+    for mut s in schedulers {
+        let name = s.name().to_string();
+        let report = sim(s.as_mut(), tasks.clone());
+        assert!(
+            report.completion_rate(Priority::Hp) > 0.95,
+            "{name}: HP completion {:.2}",
+            report.completion_rate(Priority::Hp)
+        );
+        assert_eq!(report.failed_commits, 0, "{name}: invalid decisions");
+    }
+}
+
+#[test]
+fn hp_tasks_are_never_evicted_under_any_scheduler() {
+    let tasks = small_workload(2, 2.0);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(YarnCs::new()),
+        Box::new(Fgd::new()),
+        Box::new(GfsScheduler::with_defaults()),
+    ];
+    for mut s in schedulers {
+        let report = sim(s.as_mut(), tasks.clone());
+        for t in report.tasks.iter().filter(|t| t.priority.is_hp()) {
+            assert_eq!(t.evictions, 0, "HP task {} was evicted", t.id);
+        }
+    }
+}
+
+#[test]
+fn gfs_evicts_less_than_yarn_under_pressure() {
+    let tasks = pressured_workload(3, 3.0);
+    let yarn = sim(&mut YarnCs::new(), tasks.clone());
+    assert!(yarn.eviction_rate() > 0.05, "scenario must create pressure, got {:.3}", yarn.eviction_rate());
+    let mut gfs = scenario::gfs_full(GfsParams::default(), 2, 3, 0.80 * 128.0);
+    let gfs_report = sim(&mut gfs, tasks);
+    assert!(
+        gfs_report.eviction_rate() < yarn.eviction_rate(),
+        "GFS {:.3} must evict less than YARN {:.3}",
+        gfs_report.eviction_rate(),
+        yarn.eviction_rate()
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let tasks = small_workload(4, 1.0);
+    let run_once = || {
+        let mut gfs = GfsScheduler::with_defaults();
+        let report = sim(&mut gfs, tasks.clone());
+        (
+            report.makespan,
+            report.eviction_rate(),
+            report.mean_jct(Priority::Hp),
+            report.tasks.len(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn lyra_trades_queueing_for_low_evictions() {
+    let tasks = pressured_workload(5, 3.0);
+    let yarn = sim(&mut YarnCs::new(), tasks.clone());
+    let lyra = sim(&mut Lyra::new(), tasks);
+    assert!(
+        lyra.eviction_rate() <= yarn.eviction_rate(),
+        "Lyra {:.3} vs YARN {:.3}",
+        lyra.eviction_rate(),
+        yarn.eviction_rate()
+    );
+    assert!(
+        lyra.mean_jqt(Priority::Spot) >= yarn.mean_jqt(Priority::Spot),
+        "conservative loans queue spot for longer"
+    );
+}
+
+#[test]
+fn work_is_conserved_across_preemptions() {
+    // every completed task's wall-clock run time must cover its work
+    let tasks = small_workload(6, 2.0);
+    let report = sim(&mut YarnCs::new(), tasks);
+    for t in report.tasks.iter().filter(|t| t.completed()) {
+        let jct = t.jct().expect("completed");
+        assert!(
+            jct >= t.work_secs,
+            "{}: finished in {jct}s with {}s of work",
+            t.id,
+            t.work_secs
+        );
+    }
+}
+
+#[test]
+fn spot_queue_times_accumulate_segments() {
+    let tasks = small_workload(7, 4.0);
+    let report = sim(&mut YarnCs::new(), tasks);
+    // any task evicted at least once and completed must have runs = evictions + 1
+    for t in report.tasks.iter().filter(|t| t.completed() && t.evictions > 0) {
+        assert_eq!(t.runs, t.evictions + 1, "{}", t.id);
+    }
+}

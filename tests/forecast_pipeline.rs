@@ -1,0 +1,74 @@
+//! Integration of the forecasting stack with the scenario glue: training
+//! on generated org demand and feeding the SQA quota computation.
+
+use gfs::forecast::dataset::Sample;
+use gfs::prelude::*;
+use gfs::scenario::{org_template, org_template_scaled, trained_gde, GdeModel};
+
+#[test]
+fn orglinear_beats_naive_peak_on_org_demand() {
+    let data = org_template(6, 168, 24, 17);
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 12;
+    cfg.stride = 7;
+    let mut org = OrgLinear::new(&data, 3);
+    let org_scores = gfs::forecast::evaluate(&mut org, &data, &cfg);
+    let mut peak = LastWeekPeak::new();
+    let peak_scores = gfs::forecast::evaluate(&mut peak, &data, &cfg);
+    assert!(
+        org_scores.mae < peak_scores.mae,
+        "OrgLinear MAE {:.2} must beat LastWeekPeak {:.2}",
+        org_scores.mae,
+        peak_scores.mae
+    );
+    assert!(org_scores.maqe90.is_some(), "OrgLinear is probabilistic");
+}
+
+#[test]
+fn gde_quota_pipeline_produces_sane_inventory() {
+    let template = org_template_scaled(3, 168, 4, 5, Some(120.0));
+    let mut cfg = TrainConfig::fast();
+    cfg.epochs = 8;
+    cfg.stride = 7;
+    let gde = trained_gde(&template, GdeModel::OrgLinear, &cfg, 5);
+    let agg = gde.aggregate_upper(0.9, 1);
+    // p90 aggregate must sit near-but-above the scaled mean of 120
+    assert!(agg > 90.0 && agg < 240.0, "aggregate p90 demand {agg}");
+    let cluster = Cluster::homogeneous(32, GpuModel::A100, 8); // 256 GPUs
+    let mut sqa = gfs::core::SpotQuotaAllocator::new(GfsParams::default());
+    sqa.update(SimTime::from_secs(300), &cluster, agg);
+    assert!(sqa.quota() > 0.0, "a half-loaded forecast must leave spot inventory");
+    assert!(sqa.quota() <= 256.0);
+}
+
+#[test]
+fn forecast_quantiles_are_ordered() {
+    let data = org_template(4, 168, 24, 8);
+    let mut cfg = TrainConfig::fast();
+    cfg.epochs = 6;
+    let mut m = OrgLinear::new(&data, 2);
+    m.fit(&data, &cfg);
+    let f = m.predict(&data, Sample { org: 1, start: 200 });
+    let q50 = f.quantile(0.5);
+    let q90 = f.quantile(0.9);
+    let q99 = f.quantile(0.99);
+    for i in 0..q50.len() {
+        assert!(q50[i] <= q90[i] && q90[i] <= q99[i], "quantile crossing at {i}");
+    }
+}
+
+#[test]
+fn trace_round_trip_preserves_workload() {
+    let tasks = WorkloadGenerator::new(WorkloadConfig {
+        hp_tasks: 50,
+        spot_tasks: 10,
+        seed: 9,
+        ..WorkloadConfig::default()
+    })
+    .generate();
+    let tf = gfs::trace::TraceFile::new("integration", tasks.clone());
+    let mut buf = Vec::new();
+    tf.write_json(&mut buf).expect("serialize");
+    let back = gfs::trace::TraceFile::read_json(buf.as_slice()).expect("parse");
+    assert_eq!(back.tasks, tasks);
+}

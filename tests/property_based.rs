@@ -1,0 +1,155 @@
+//! Property-based tests over the core invariants: cluster capacity
+//! accounting, checkpoint arithmetic, quota bounds and simulator
+//! conservation laws.
+
+use gfs::prelude::*;
+use gfs_types::CheckpointPlan;
+use proptest::prelude::*;
+
+#[allow(dead_code)]
+fn arb_task(id: u64) -> impl Strategy<Value = TaskSpec> {
+    (
+        prop_oneof![Just(Priority::Hp), Just(Priority::Spot)],
+        1u32..=3,
+        1u32..=8,
+        60u64..20_000,
+        0u64..40_000,
+    )
+        .prop_map(move |(priority, pods, gpus, dur, submit)| {
+            TaskSpec::builder(id)
+                .priority(priority)
+                .pods(pods)
+                .gpus_per_pod(GpuDemand::whole(gpus))
+                .duration_secs(dur)
+                .submit_at(SimTime::from_secs(submit))
+                .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
+                .build()
+                .expect("generated specs are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocation_never_exceeds_capacity(tasks in prop::collection::vec((1u32..=8, 0u64..10_000), 1..40)) {
+        let mut cluster = Cluster::homogeneous(4, GpuModel::A100, 8);
+        let capacity = cluster.capacity(None);
+        for (i, (gpus, at)) in tasks.into_iter().enumerate() {
+            let spec = TaskSpec::builder(i as u64 + 1)
+                .priority(Priority::Spot)
+                .gpus_per_pod(GpuDemand::whole(gpus))
+                .duration_secs(1_000)
+                .build()
+                .expect("valid");
+            // first-fit attempt; failures are fine
+            let node = cluster
+                .nodes()
+                .iter()
+                .find(|n| n.idle_gpus() >= gpus)
+                .map(gfs::cluster::Node::id);
+            if let Some(node) = node {
+                cluster.start_task(spec, &[node], SimTime::from_secs(at), 0).expect("fits");
+            }
+            prop_assert!(cluster.hp_allocated(None) + cluster.spot_allocated(None) <= capacity + 1e-9);
+            prop_assert!(f64::from(cluster.idle_gpus(None)) <= capacity);
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserved_progress_is_monotone_and_bounded(
+        interval in 1u64..5_000,
+        carried in 0u64..10_000,
+        executed in 0u64..10_000,
+    ) {
+        let plan = CheckpointPlan::Periodic { interval };
+        let preserved = plan.preserved_progress(carried, executed);
+        prop_assert!(preserved >= carried, "never loses pre-existing progress");
+        prop_assert!(preserved <= carried + executed, "never invents progress");
+        prop_assert_eq!(plan.wasted_work(carried, executed), carried + executed - preserved);
+    }
+
+    #[test]
+    fn quota_stays_within_physical_bounds(
+        demand in 0.0f64..5_000.0,
+        evictions in 0usize..30,
+        starts in 0usize..30,
+    ) {
+        let cluster = Cluster::homogeneous(16, GpuModel::A100, 8);
+        let mut sqa = gfs::core::SpotQuotaAllocator::new(GfsParams::default());
+        let now = SimTime::from_hours(1);
+        for i in 0..evictions {
+            sqa.record_eviction(TaskId::new(i as u64), now);
+        }
+        for i in 0..starts {
+            sqa.record_spot_start(TaskId::new(1_000 + i as u64), now, 100);
+        }
+        sqa.update(now, &cluster, demand);
+        prop_assert!(sqa.quota() >= 0.0);
+        prop_assert!(sqa.quota() <= cluster.capacity(None) + 1e-9);
+        let (lo, hi) = GfsParams::default().eta_bounds;
+        prop_assert!(sqa.eta() >= lo && sqa.eta() <= hi);
+    }
+
+    #[test]
+    fn simulator_conserves_tasks_and_work(tasks_in in prop::collection::vec(any::<u64>(), 10..30)) {
+        let mut tasks = Vec::new();
+        // deterministic pseudo-random small workload derived from the inputs
+        for (i, raw) in tasks_in.iter().enumerate() {
+            let priority = if raw % 3 == 0 { Priority::Spot } else { Priority::Hp };
+            let pods = (raw % 3 + 1) as u32;
+            let gpus = (raw / 3 % 8 + 1) as u32;
+            let dur = 60 + raw / 7 % 20_000;
+            let submit = raw / 11 % 40_000;
+            tasks.push(
+                TaskSpec::builder(i as u64 + 1)
+                    .priority(priority)
+                    .pods(pods)
+                    .gpus_per_pod(GpuDemand::whole(gpus))
+                    .duration_secs(dur)
+                    .submit_at(SimTime::from_secs(submit))
+                    .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
+                    .build()
+                    .expect("valid"),
+            );
+        }
+        let cluster = Cluster::homogeneous(6, GpuModel::A100, 8);
+        let mut sched = YarnCs::new();
+        let report = run(
+            cluster,
+            &mut sched,
+            tasks.clone(),
+            &SimConfig { max_time_secs: Some(10 * 24 * HOUR), ..SimConfig::default() },
+        );
+        prop_assert_eq!(report.tasks.len(), tasks.len(), "every submission recorded");
+        for t in &report.tasks {
+            if let Some(jct) = t.jct() {
+                prop_assert!(jct >= t.work_secs, "completion time covers the work");
+            }
+            prop_assert!(t.runs >= t.evictions, "each eviction ends one run");
+        }
+        prop_assert_eq!(report.failed_commits, 0u64);
+    }
+
+    #[test]
+    fn gaussian_quantile_monotone_in_p(
+        mu in -100.0f64..100.0,
+        sigma in 0.01f64..50.0,
+        p1 in 0.01f64..0.98,
+    ) {
+        let p2 = p1 + 0.01;
+        let q1 = gfs::forecast::stats::gaussian_quantile(p1, mu, sigma);
+        let q2 = gfs::forecast::stats::gaussian_quantile(p2, mu, sigma);
+        prop_assert!(q2 >= q1);
+    }
+
+    #[test]
+    fn moving_average_stays_in_range(xs in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let trend = gfs::forecast::decompose::moving_average(&xs, 25);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for t in trend {
+            prop_assert!(t >= min - 1e-9 && t <= max + 1e-9);
+        }
+    }
+}

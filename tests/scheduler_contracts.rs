@@ -1,0 +1,165 @@
+//! Contract tests every scheduler implementation must satisfy: decisions
+//! reference real nodes, respect the task's GPU model, never preempt HP
+//! tasks, and are reproducible from identical state.
+
+use gfs::prelude::*;
+use gfs_types::CheckpointPlan;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(YarnCs::new()),
+        Box::new(Chronus::new()),
+        Box::new(Lyra::new()),
+        Box::new(Fgd::new()),
+        Box::new(GfsScheduler::with_defaults()),
+    ]
+}
+
+fn loaded_cluster() -> Cluster {
+    let mut c = Cluster::homogeneous(6, GpuModel::A100, 8);
+    for (i, node) in [0u32, 1, 2, 3].iter().enumerate() {
+        let spot = TaskSpec::builder(100 + i as u64)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(6))
+            .duration_secs(50_000)
+            .checkpoint(CheckpointPlan::Periodic { interval: 3_600 })
+            .build()
+            .expect("valid");
+        c.start_task(spot, &[NodeId::new(*node)], SimTime::from_secs(i as u64 * 700), 0)
+            .expect("fits");
+    }
+    let hp = TaskSpec::builder(200)
+        .priority(Priority::Hp)
+        .gpus_per_pod(GpuDemand::whole(4))
+        .duration_secs(50_000)
+        .build()
+        .expect("valid");
+    c.start_task(hp, &[NodeId::new(4)], SimTime::ZERO, 0).expect("fits");
+    c
+}
+
+fn warmed(mut s: Box<dyn Scheduler>, c: &Cluster) -> Box<dyn Scheduler> {
+    s.on_tick(SimTime::from_secs(300), c);
+    s
+}
+
+#[test]
+fn decisions_reference_valid_nodes_with_matching_model() {
+    let c = loaded_cluster();
+    let task = TaskSpec::builder(1)
+        .priority(Priority::Hp)
+        .pods(2)
+        .gpus_per_pod(GpuDemand::whole(2))
+        .duration_secs(600)
+        .build()
+        .expect("valid");
+    for s in schedulers() {
+        let mut s = warmed(s, &c);
+        let name = s.name().to_string();
+        if let Some(d) = s.schedule(&task, &c, SimTime::from_secs(400)) {
+            assert_eq!(d.pod_nodes.len(), 2, "{name}: one node per pod");
+            for n in &d.pod_nodes {
+                let node = c.node(*n).unwrap_or_else(|_| panic!("{name}: unknown node {n}"));
+                assert_eq!(node.model(), GpuModel::A100, "{name}: wrong model");
+            }
+        }
+    }
+}
+
+#[test]
+fn preemption_victims_are_running_spot_tasks() {
+    let c = loaded_cluster();
+    // a task large enough to force preemption on every policy that supports it
+    let big = TaskSpec::builder(2)
+        .priority(Priority::Hp)
+        .pods(3)
+        .gpus_per_pod(GpuDemand::whole(8))
+        .duration_secs(600)
+        .build()
+        .expect("valid");
+    for s in schedulers() {
+        let mut s = warmed(s, &c);
+        let name = s.name().to_string();
+        if let Some(d) = s.schedule(&big, &c, SimTime::from_hours(2)) {
+            for v in &d.preemptions {
+                let rt = c
+                    .running_task(*v)
+                    .unwrap_or_else(|| panic!("{name}: victim {v} not running"));
+                assert!(rt.spec.priority.is_spot(), "{name}: evicted an HP task");
+            }
+        }
+    }
+}
+
+#[test]
+fn spot_tasks_never_trigger_preemptions() {
+    let c = loaded_cluster();
+    let spot = TaskSpec::builder(3)
+        .priority(Priority::Spot)
+        .gpus_per_pod(GpuDemand::whole(8))
+        .duration_secs(600)
+        .guarantee_secs(3_600)
+        .build()
+        .expect("valid");
+    for s in schedulers() {
+        let mut s = warmed(s, &c);
+        let name = s.name().to_string();
+        if let Some(d) = s.schedule(&spot, &c, SimTime::from_secs(400)) {
+            assert!(d.preemptions.is_empty(), "{name}: spot task preempted others");
+        }
+    }
+}
+
+#[test]
+fn identical_state_yields_identical_decisions() {
+    let c = loaded_cluster();
+    let task = TaskSpec::builder(4)
+        .priority(Priority::Hp)
+        .gpus_per_pod(GpuDemand::whole(8))
+        .duration_secs(600)
+        .build()
+        .expect("valid");
+    for make in 0..5usize {
+        let build = |i: usize| -> Box<dyn Scheduler> {
+            match i {
+                0 => Box::new(YarnCs::new()),
+                1 => Box::new(Chronus::new()),
+                2 => Box::new(Lyra::new()),
+                3 => Box::new(Fgd::new()),
+                _ => Box::new(GfsScheduler::with_defaults()),
+            }
+        };
+        let mut a = warmed(build(make), &c);
+        let mut b = warmed(build(make), &c);
+        let da = a.schedule(&task, &c, SimTime::from_hours(1));
+        let db = b.schedule(&task, &c, SimTime::from_hours(1));
+        assert_eq!(da, db, "{} is non-deterministic", a.name());
+    }
+}
+
+#[test]
+fn gang_pods_never_oversubscribe_one_node() {
+    // a 2×8 gang on a cluster with exactly one empty node must either span
+    // two feasible nodes or be refused — never stack 16 GPUs on one node
+    let c = loaded_cluster(); // node 5 idle (8 GPUs), others partially full
+    let gang = TaskSpec::builder(5)
+        .priority(Priority::Hp)
+        .pods(2)
+        .gpus_per_pod(GpuDemand::whole(8))
+        .duration_secs(600)
+        .build()
+        .expect("valid");
+    for s in schedulers() {
+        let mut s = warmed(s, &c);
+        let name = s.name().to_string();
+        if let Some(d) = s.schedule(&gang, &c, SimTime::from_hours(1)) {
+            // commit through the cluster to validate capacity atomically
+            let mut c2 = c.clone();
+            for v in &d.preemptions {
+                c2.evict_task(*v, SimTime::from_hours(1)).expect("victim evictable");
+            }
+            c2.start_task(gang.clone(), &d.pod_nodes, SimTime::from_hours(1), 0)
+                .unwrap_or_else(|e| panic!("{name}: invalid gang decision: {e}"));
+        }
+    }
+}
