@@ -2,64 +2,54 @@
 //! Table 7 training-time story) and the decomposition-kernel ablation
 //! (reflection vs zero padding).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use gfs::forecast::dataset::Sample;
 use gfs::forecast::decompose::{moving_average, moving_average_zero_pad};
 use gfs::prelude::*;
 use gfs::scenario::org_template;
+use gfs_bench::harness::Suite;
 use gfs_forecast::DeepAr;
 
-fn bench_training_epoch(c: &mut Criterion) {
+fn bench_training_epoch(suite: &mut Suite) {
     let data = org_template(4, 168, 24, 3);
     let mut cfg = TrainConfig::fast();
     cfg.epochs = 1;
     cfg.stride = 24;
-    c.bench_function("orglinear_one_epoch", |b| {
-        b.iter(|| {
-            let mut m = OrgLinear::new(&data, 1);
-            m.fit(&data, &cfg)
-        })
+    suite.bench("orglinear_one_epoch", || {
+        let mut m = OrgLinear::new(&data, 1);
+        m.fit(&data, &cfg)
     });
-    c.bench_function("dlinear_one_epoch", |b| {
-        b.iter(|| {
-            let mut m = DLinear::new(&data, 1);
-            m.fit(&data, &cfg)
-        })
+    suite.bench("dlinear_one_epoch", || {
+        let mut m = DLinear::new(&data, 1);
+        m.fit(&data, &cfg)
     });
-    c.bench_function("deepar_one_epoch", |b| {
-        b.iter(|| {
-            let mut m = DeepAr::new(&data, 1);
-            m.fit(&data, &cfg)
-        })
+    suite.bench("deepar_one_epoch", || {
+        let mut m = DeepAr::new(&data, 1);
+        m.fit(&data, &cfg)
     });
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(suite: &mut Suite) {
     let data = org_template(4, 168, 24, 3);
     let mut cfg = TrainConfig::fast();
     cfg.epochs = 2;
     let mut model = OrgLinear::new(&data, 1);
     model.fit(&data, &cfg);
     let sample = Sample { org: 0, start: 64 };
-    c.bench_function("orglinear_predict_24h", |b| {
-        b.iter(|| model.predict(&data, sample))
-    });
+    suite.bench("orglinear_predict_24h", || model.predict(&data, sample));
 }
 
-fn bench_decomposition(c: &mut Criterion) {
+fn bench_decomposition(suite: &mut Suite) {
     let xs: Vec<f64> = (0..168).map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0).collect();
-    c.bench_function("moving_average_reflection", |b| {
-        b.iter(|| moving_average(&xs, 25))
-    });
-    c.bench_function("moving_average_zero_pad_ablation", |b| {
-        b.iter(|| moving_average_zero_pad(&xs, 25))
+    suite.bench("moving_average_reflection", || moving_average(&xs, 25));
+    suite.bench("moving_average_zero_pad_ablation", || {
+        moving_average_zero_pad(&xs, 25)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_training_epoch, bench_inference, bench_decomposition
+fn main() {
+    let mut suite = Suite::new("forecast_train");
+    bench_training_epoch(&mut suite);
+    bench_inference(&mut suite);
+    bench_decomposition(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

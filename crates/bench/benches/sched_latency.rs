@@ -2,9 +2,8 @@
 //! our in-memory reproduction should be orders of magnitude faster) plus
 //! ablation comparisons of the PTS design choices.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use gfs::prelude::*;
+use gfs_bench::harness::Suite;
 
 /// A 287-node cluster pre-loaded with a mixed HP/spot population.
 fn loaded_cluster() -> Cluster {
@@ -44,16 +43,16 @@ fn hp_task(gpus: u32, pods: u32) -> TaskSpec {
         .expect("valid")
 }
 
-fn bench_nonpreemptive(c: &mut Criterion) {
+fn bench_nonpreemptive(suite: &mut Suite) {
     let cluster = loaded_cluster();
     let pts = gfs::core::Pts::new(GfsParams::default(), PtsVariant::Full);
     let task = hp_task(2, 1);
-    c.bench_function("pts_nonpreemptive_287_nodes", |b| {
-        b.iter(|| pts.schedule_nonpreemptive(&task, &cluster, SimTime::from_hours(1)))
+    suite.bench("pts_nonpreemptive_287_nodes", || {
+        pts.schedule_nonpreemptive(&task, &cluster, SimTime::from_hours(1))
     });
 }
 
-fn bench_preemptive(c: &mut Criterion) {
+fn bench_preemptive(suite: &mut Suite) {
     // a full cluster forces the preemptive path
     let mut cluster = Cluster::homogeneous(287, GpuModel::A100, 8);
     for n in 0..287u32 {
@@ -71,34 +70,27 @@ fn bench_preemptive(c: &mut Criterion) {
         ("pts_preemptive_random_ablation", PtsVariant::RandomPreemption),
     ] {
         let pts = gfs::core::Pts::new(GfsParams::default(), variant);
-        c.bench_function(name, |b| {
-            b.iter(|| pts.schedule_preemptive(&task, &cluster, SimTime::from_hours(1)))
-        });
+        suite.bench(name, || pts.schedule_preemptive(&task, &cluster, SimTime::from_hours(1)));
     }
 }
 
-fn bench_baseline_schedulers(c: &mut Criterion) {
+fn bench_baseline_schedulers(suite: &mut Suite) {
     let cluster = loaded_cluster();
     let task = hp_task(4, 2);
-    c.bench_function("yarn_best_fit_decision", |b| {
-        b.iter_batched(
-            YarnCs::new,
-            |mut s| s.schedule(&task, &cluster, SimTime::from_hours(1)),
-            BatchSize::SmallInput,
-        )
+    suite.bench("yarn_best_fit_decision", || {
+        let mut s = YarnCs::new();
+        s.schedule(&task, &cluster, SimTime::from_hours(1))
     });
-    c.bench_function("fgd_frag_gradient_decision", |b| {
-        b.iter_batched(
-            Fgd::new,
-            |mut s| s.schedule(&task, &cluster, SimTime::from_hours(1)),
-            BatchSize::SmallInput,
-        )
+    suite.bench("fgd_frag_gradient_decision", || {
+        let mut s = Fgd::new();
+        s.schedule(&task, &cluster, SimTime::from_hours(1))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_nonpreemptive, bench_preemptive, bench_baseline_schedulers
+fn main() {
+    let mut suite = Suite::new("sched_latency");
+    bench_nonpreemptive(&mut suite);
+    bench_preemptive(&mut suite);
+    bench_baseline_schedulers(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

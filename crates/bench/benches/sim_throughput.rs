@@ -1,12 +1,11 @@
 //! Simulator and quota-loop throughput: end-to-end events per second and
 //! the cost of one SQA quota update with a live OrgLinear forecast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use gfs::prelude::*;
 use gfs::scenario::{org_template_scaled, trained_gde, GdeModel};
+use gfs_bench::harness::Suite;
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation(suite: &mut Suite) {
     let cfg = WorkloadConfig {
         horizon_secs: 12 * HOUR,
         hp_tasks: 300,
@@ -15,41 +14,38 @@ fn bench_simulation(c: &mut Criterion) {
         ..WorkloadConfig::default()
     };
     let tasks = WorkloadGenerator::new(cfg).generate();
-    c.bench_function("simulate_360_tasks_first_fit", |b| {
-        b.iter(|| {
-            let cluster = Cluster::homogeneous(32, GpuModel::A100, 8);
-            let mut sched = YarnCs::new();
-            run(
-                cluster,
-                &mut sched,
-                tasks.clone(),
-                &SimConfig {
-                    max_time_secs: Some(3 * 24 * HOUR),
-                    ..SimConfig::default()
-                },
-            )
-        })
+    let sim_cfg = SimConfig {
+        max_time_secs: Some(3 * 24 * HOUR),
+        ..SimConfig::default()
+    };
+    suite.bench("simulate_360_tasks_first_fit", || {
+        let cluster = Cluster::homogeneous(32, GpuModel::A100, 8);
+        let mut sched = YarnCs::new();
+        run(cluster, &mut sched, tasks.clone(), &sim_cfg)
+    });
+    suite.bench("simulate_360_tasks_gfs", || {
+        let cluster = Cluster::homogeneous(32, GpuModel::A100, 8);
+        let mut sched = GfsScheduler::with_defaults();
+        run(cluster, &mut sched, tasks.clone(), &sim_cfg)
     });
 }
 
-fn bench_quota_update(c: &mut Criterion) {
+fn bench_quota_update(suite: &mut Suite) {
     let template = org_template_scaled(3, 168, 4, 1, Some(150.0));
     let mut cfg = TrainConfig::fast();
     cfg.epochs = 3;
     let gde = trained_gde(&template, GdeModel::OrgLinear, &cfg, 1);
     let cluster = Cluster::homogeneous(287, GpuModel::A100, 8);
-    c.bench_function("gde_aggregate_upper_p90", |b| {
-        b.iter(|| gde.aggregate_upper(0.9, 1))
-    });
+    suite.bench("gde_aggregate_upper_p90", || gde.aggregate_upper(0.9, 1));
     let mut sqa = gfs::core::SpotQuotaAllocator::new(GfsParams::default());
-    c.bench_function("sqa_update", |b| {
-        b.iter(|| sqa.update(SimTime::from_hours(1), &cluster, 1_500.0))
+    suite.bench("sqa_update", || {
+        sqa.update(SimTime::from_hours(1), &cluster, 1_500.0)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulation, bench_quota_update
+fn main() {
+    let mut suite = Suite::new("sim_throughput");
+    bench_simulation(&mut suite);
+    bench_quota_update(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

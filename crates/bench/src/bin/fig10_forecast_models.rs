@@ -27,14 +27,17 @@ fn main() {
         weeks
     );
 
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = epochs;
-    cfg.stride = 7;
-    let mut seq_cfg = cfg.clone();
-    seq_cfg.epochs = seq_epochs;
+    let cfg = TrainConfig {
+        epochs,
+        stride: 7,
+        ..TrainConfig::default()
+    };
+    let seq_cfg = TrainConfig {
+        epochs: seq_epochs,
+        ..cfg.clone()
+    };
 
-    let mut rows: Vec<ModelScores> = Vec::new();
-    rows.push(evaluate(&mut OrgLinear::new(&data, 1), &data, &cfg));
+    let mut rows: Vec<ModelScores> = vec![evaluate(&mut OrgLinear::new(&data, 1), &data, &cfg)];
     rows.push(evaluate(&mut TransformerForecaster::new(&data, 1), &data, &seq_cfg));
     rows.push(evaluate(&mut InformerForecaster::new(&data, 1), &data, &seq_cfg));
     rows.push(evaluate(&mut AutoformerForecaster::new(&data, 1), &data, &seq_cfg));

@@ -1,0 +1,92 @@
+//! Hot-path breakdown for the forecast training loop: times the graph
+//! forward, backward, optimizer step and the input decomposition
+//! separately so kernel work can be attributed before optimizing.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gfs::forecast::decompose::decompose;
+use gfs::prelude::*;
+use gfs::scenario::org_template;
+
+fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    println!(
+        "{label:<28} {:>10.1} µs/iter",
+        start.elapsed().as_micros() as f64 / f64::from(iters)
+    );
+}
+
+fn main() {
+    let data = org_template(4, 168, 24, 3);
+    let mut cfg = TrainConfig::fast();
+    cfg.epochs = 1;
+    cfg.stride = 24;
+
+    time("orglinear_full_epoch", 50, || {
+        let mut m = OrgLinear::new(&data, 1);
+        m.fit(&data, &cfg)
+    });
+    time("orglinear_construct", 200, || OrgLinear::new(&data, 1));
+    let window: Vec<f64> = (0..168).map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0).collect();
+    time("decompose_168", 2_000, || decompose(&window, 25));
+
+    let mut model = OrgLinear::new(&data, 1);
+    model.fit(&data, &cfg);
+    let sample = gfs::forecast::dataset::Sample { org: 0, start: 64 };
+    time("orglinear_predict", 2_000, || model.predict(&data, sample));
+
+    stages::run();
+}
+
+#[allow(dead_code)]
+mod stages {
+    use super::*;
+    use gfs::nn::{loss, Adam, Graph, Linear, Optimizer, Tensor};
+    use rand::SeedableRng;
+
+    pub fn run() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let heads: Vec<Linear> = (0..3).map(|_| Linear::new(186, 24, &mut rng)).collect();
+        let x = Tensor::uniform(16, 186, 1.0, &mut rng);
+        let target = Tensor::uniform(16, 24, 1.0, &mut rng);
+        let params: Vec<_> = heads.iter().flat_map(Linear::params).collect();
+        let mut opt = Adam::new(params, 0.02);
+
+        time("fwd_3heads_only", 2_000, || {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let ys: Vec<_> = heads.iter().map(|h| h.forward(&mut g, xv)).collect();
+            ys
+        });
+        time("fwd_nll", 2_000, || {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let mu = heads[0].forward(&mut g, xv);
+            let yt = heads[1].forward(&mut g, xv);
+            let mu = g.add(mu, yt);
+            let hv = heads[2].forward(&mut g, xv);
+            let sp = g.softplus(hv);
+            let sigma = g.add_const(sp, 1e-3);
+            let t = g.constant(target.clone());
+            loss::gaussian_nll(&mut g, mu, sigma, t)
+        });
+        time("fwd_bwd_nll", 2_000, || {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let mu = heads[0].forward(&mut g, xv);
+            let yt = heads[1].forward(&mut g, xv);
+            let mu = g.add(mu, yt);
+            let hv = heads[2].forward(&mut g, xv);
+            let sp = g.softplus(hv);
+            let sigma = g.add_const(sp, 1e-3);
+            let t = g.constant(target.clone());
+            let l = loss::gaussian_nll(&mut g, mu, sigma, t);
+            g.backward(l);
+        });
+        time("adam_step", 2_000, || opt.step());
+    }
+}

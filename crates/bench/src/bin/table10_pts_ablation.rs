@@ -7,10 +7,12 @@ use gfs_bench::{eval_workload, print_rows, run_row, Scale, PAPER_GPUS_PER_NODE};
 
 fn build(variant: PtsVariant, capacity: f64, seed: u64) -> GfsScheduler {
     let template = org_template_scaled(3, 168, 4, seed, Some(0.60 * capacity));
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 15;
-    cfg.stride = 7;
-    cfg.seed = seed;
+    let cfg = TrainConfig {
+        epochs: 15,
+        stride: 7,
+        seed,
+        ..TrainConfig::default()
+    };
     let gde = trained_gde(&template, GdeModel::OrgLinear, &cfg, seed);
     GfsScheduler::new(GfsParams::default(), variant, Some(gde))
 }

@@ -17,8 +17,7 @@ fn main() {
     );
     for (label, spot_scale) in [("(a) Low Spot Workload", 1.0), ("(b) Medium Spot Workload", 2.0), ("(c) High Spot Workload", 4.0)] {
         let tasks = eval_workload(scale, spot_scale, 9);
-        let mut rows = Vec::new();
-        rows.push(run_row("YARN-CS", &mut YarnCs::new(), scale, &tasks));
+        let mut rows = vec![run_row("YARN-CS", &mut YarnCs::new(), scale, &tasks)];
         rows.push(run_row("Chronus", &mut Chronus::new(), scale, &tasks));
         rows.push(run_row("Lyra", &mut Lyra::new(), scale, &tasks));
         rows.push(run_row("FGD", &mut Fgd::new(), scale, &tasks));

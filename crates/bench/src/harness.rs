@@ -1,0 +1,140 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Each bench target builds a [`Suite`], registers closures with
+//! [`Suite::bench`], and calls [`Suite::finish`], which prints a table and
+//! writes a machine-readable `BENCH_<suite>.json` next to the workspace
+//! root (override the directory with `GFS_BENCH_DIR`). Timing is adaptive:
+//! a closure is warmed up, then iterated until the measurement budget is
+//! spent, and the mean wall-clock nanoseconds per iteration is reported.
+//!
+//! Environment knobs:
+//!
+//! * `GFS_BENCH_SHORT=1` — smoke mode for CI: tiny warm-up/measure budget.
+//! * `GFS_BENCH_DIR=<dir>` — where `BENCH_*.json` lands (default: the
+//!   workspace root, two levels above this crate's manifest).
+//! * `GFS_BENCH_TAG=<tag>` — written into the JSON (`baseline`,
+//!   `optimized`, a commit id, …) so runs are attributable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (stable across runs; used to diff baselines).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+}
+
+/// A named collection of benchmarks writing one `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    short: bool,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// Creates a suite; reads `GFS_BENCH_SHORT` for smoke mode.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let short = std::env::var("GFS_BENCH_SHORT").is_ok_and(|v| v != "0" && !v.is_empty());
+        println!(
+            "## bench suite `{name}`{}",
+            if short { " (short mode)" } else { "" }
+        );
+        Suite {
+            name: name.to_string(),
+            short,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether the suite runs in CI smoke mode.
+    #[must_use]
+    pub fn is_short(&self) -> bool {
+        self.short
+    }
+
+    fn budget(&self) -> (u32, Duration) {
+        if self.short {
+            (1, Duration::from_millis(30))
+        } else {
+            (3, Duration::from_millis(800))
+        }
+    }
+
+    /// Measures `f`, printing and recording the mean time per iteration.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let (warmup, measure) = self.budget();
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < measure || iters == 0 {
+            let start = Instant::now();
+            black_box(f());
+            elapsed += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        println!("{name:<44} {:>14}/iter  ({iters} iters)", format_ns(mean_ns));
+        self.results.push(Measurement {
+            name: name.to_string(),
+            mean_ns,
+            iters,
+        });
+    }
+
+    /// Writes `BENCH_<suite>.json` and returns the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        let dir = std::env::var("GFS_BENCH_DIR")
+            .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
+        let tag: String = std::env::var("GFS_BENCH_TAG")
+            .unwrap_or_else(|_| "untagged".to_string())
+            .chars()
+            .map(|c| if c == '"' || c == '\\' || c.is_control() { '_' } else { c })
+            .collect();
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
+        json.push_str(&format!("  \"tag\": \"{tag}\",\n"));
+        json.push_str(&format!("  \"short\": {},\n", self.short));
+        json.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+                m.name,
+                m.mean_ns,
+                m.iters,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+        self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}

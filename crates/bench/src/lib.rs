@@ -3,6 +3,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use gfs::prelude::*;
 use gfs::scenario;
 

@@ -1,9 +1,13 @@
-//! Cluster state: the set of nodes plus the registry of running tasks.
+//! Cluster state: the set of nodes plus the registry of running tasks and
+//! the incrementally-maintained [`CapacityIndex`] that keeps placement
+//! queries off the O(nodes × gpus) scan path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gfs_types::{Error, GpuModel, NodeId, Result, SimDuration, SimTime, TaskId, TaskSpec};
 
+use crate::index::CapacityIndex;
 use crate::node::{Node, PodAlloc};
 
 /// Where one pod of a running task lives.
@@ -18,8 +22,9 @@ pub struct PodPlacement {
 /// A task currently occupying GPUs.
 #[derive(Debug, Clone)]
 pub struct RunningTask {
-    /// The immutable task description.
-    pub spec: TaskSpec,
+    /// The immutable task description (shared with the simulator's task
+    /// table, so starting a task never deep-copies the spec).
+    pub spec: Arc<TaskSpec>,
     /// One placement per pod.
     pub placements: Vec<PodPlacement>,
     /// When this run segment started executing.
@@ -76,7 +81,8 @@ impl RunningTask {
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    running: HashMap<TaskId, RunningTask>,
+    running: BTreeMap<TaskId, RunningTask>,
+    index: CapacityIndex,
     spot_completed: u64,
     spot_evicted: u64,
 }
@@ -85,9 +91,11 @@ impl Cluster {
     /// Creates a cluster from explicit nodes.
     #[must_use]
     pub fn new(nodes: Vec<Node>) -> Self {
+        let index = CapacityIndex::build(&nodes);
         Cluster {
             nodes,
-            running: HashMap::new(),
+            running: BTreeMap::new(),
+            index,
             spot_completed: 0,
             spot_evicted: 0,
         }
@@ -214,15 +222,65 @@ impl Cluster {
         self.running.get(&id)
     }
 
-    /// Spot tasks with at least one pod on `node`.
+    /// Spot tasks with at least one pod on `node`, ascending by task id.
+    ///
+    /// Served from the capacity index: O(spot tasks on the node) instead of
+    /// a scan over the whole running registry.
     #[must_use]
     pub fn spot_tasks_on(&self, node: NodeId) -> Vec<&RunningTask> {
-        self.running
-            .values()
-            .filter(|rt| {
-                rt.spec.priority.is_spot() && rt.placements.iter().any(|p| p.node == node)
-            })
+        self.index
+            .spot_tasks_on(node)
+            .iter()
+            .map(|id| &self.running[id])
             .collect()
+    }
+
+    /// Whether `node` hosts at least one spot pod (index lookup).
+    #[must_use]
+    pub fn has_spot_on(&self, node: NodeId) -> bool {
+        self.index.has_spot_on(node)
+    }
+
+    /// Number of nodes whose every card is idle (maintained incrementally).
+    #[must_use]
+    pub fn fully_idle_nodes(&self) -> usize {
+        self.index.fully_idle_nodes()
+    }
+
+    /// Ascending node ids of `model` nodes with at least `need` whole idle
+    /// cards — an O(answer) indexed query replacing full-cluster scans.
+    #[must_use]
+    pub fn whole_fit_candidates(&self, model: GpuModel, need: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.index.whole_fit_candidates(model, need, &mut out);
+        out
+    }
+
+    /// Ascending node ids of `model` nodes that may fit a `frac` share of
+    /// one card. The quantized index makes this a conservative superset;
+    /// every returned node is re-checked here against exact card state, so
+    /// the result equals a brute-force [`Node::can_fit`] scan.
+    #[must_use]
+    pub fn fraction_fit_candidates(&self, model: GpuModel, frac: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.index.fraction_fit_candidates(model, frac, &mut out);
+        out.retain(|&id| {
+            self.nodes
+                .get(id as usize)
+                .is_some_and(|n| n.can_fit(gfs_types::GpuDemand::Fraction(frac)))
+        });
+        out
+    }
+
+    /// Ascending node ids worth visiting when planning preemption of
+    /// `need` cards on `model` nodes: nodes that already fit plus nodes
+    /// hosting at least one spot pod. Other nodes cannot become feasible
+    /// by evicting spot tasks.
+    #[must_use]
+    pub fn preemption_candidates(&self, model: GpuModel, need: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.index.preemption_candidates(model, need, &mut out);
+        out
     }
 
     /// Historical count of spot tasks that ran to completion (`G`).
@@ -248,11 +306,12 @@ impl Cluster {
     /// does not fit.
     pub fn start_task(
         &mut self,
-        spec: TaskSpec,
+        spec: impl Into<Arc<TaskSpec>>,
         pod_nodes: &[NodeId],
         now: SimTime,
         carried_progress: SimDuration,
     ) -> Result<()> {
+        let spec: Arc<TaskSpec> = spec.into();
         if pod_nodes.len() != spec.pods as usize {
             return Err(Error::InvalidTask(format!(
                 "{}: {} pod nodes for {} pods",
@@ -281,9 +340,19 @@ impl Cluster {
                             .expect("placed node exists")
                             .release_pod(task, &p.alloc, priority)
                             .expect("rollback of a fresh placement succeeds");
+                        let node = &self.nodes[p.node.index()];
+                        self.index.refresh(node);
                     }
+                    // the failing node itself was never mutated
                     return Err(e);
                 }
+            }
+            let node = &self.nodes[nid.index()];
+            self.index.refresh(node);
+        }
+        if spec.priority.is_spot() {
+            for p in &placements {
+                self.index.add_spot(p.node, spec.id);
             }
         }
         self.running.insert(
@@ -357,6 +426,11 @@ impl Cluster {
                 .expect("hosting node exists")
                 .release_pod(rt.spec.id, &p.alloc, rt.spec.priority)
                 .expect("running placements are consistent");
+            let node = &self.nodes[p.node.index()];
+            self.index.refresh(node);
+            if rt.spec.priority.is_spot() {
+                self.index.remove_spot(p.node, rt.spec.id);
+            }
         }
     }
 }

@@ -1,0 +1,248 @@
+//! Incrementally-maintained capacity index over the cluster's nodes.
+//!
+//! Every scheduler in the workspace answers the same two questions for
+//! every pending task on every pass: *which nodes can host a pod of this
+//! demand* and *which nodes host evictable spot tasks*. Answering them by
+//! scanning `nodes × gpus` (and `nodes × running_tasks` for preemption
+//! planning) dominated simulation time, so the [`Cluster`](crate::Cluster)
+//! maintains this index incrementally inside `start_task` / `evict_task` /
+//! `finish_task`:
+//!
+//! * **Idle buckets** — per GPU model, a bucket per whole-card idle count
+//!   holding the node ids with exactly that many idle cards. "Nodes with
+//!   ≥ k idle cards" is a walk over buckets `k..`, touching only feasible
+//!   nodes.
+//! * **Partial-card best-fit keys** — per GPU model, an ordered set of
+//!   `(quantized max free fraction, node id)` for nodes that have at least
+//!   one *partially* occupied card. Fractional-demand feasibility checks
+//!   walk only nodes whose best partial card could fit (fully idle cards
+//!   are covered by the idle buckets).
+//! * **Spot locality** — per node, the ids of running spot tasks with at
+//!   least one pod on it, kept sorted so victim enumeration is
+//!   deterministic. This turns `spot_tasks_on` from a scan over the whole
+//!   running registry into a per-node lookup.
+//!
+//! Quantized fraction keys are a conservative filter: a candidate
+//! surfaced by the index is always re-verified against the node's exact
+//! card state, so the index can never change scheduling outcomes — only
+//! skip work (see `tests/property_based.rs` for the brute-force
+//! equivalence property).
+
+use std::collections::BTreeMap;
+
+use gfs_types::{GpuModel, NodeId, TaskId};
+
+use crate::node::Node;
+
+/// Fraction keys are quantized to micro-cards for ordering.
+const FRAC_SCALE: f64 = 1e6;
+
+/// Quantizes a free fraction for use as an index key.
+fn quantize(frac: f64) -> u32 {
+    (frac * FRAC_SCALE).round() as u32
+}
+
+/// Per-node snapshot of the keys currently stored in the index.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeKey {
+    idle: u32,
+    /// Quantized best free fraction among partially-occupied cards;
+    /// `None` when every card is fully idle or fully occupied.
+    partial: Option<u32>,
+    fully_idle: bool,
+}
+
+/// The capacity index. See the module docs for the structure.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityIndex {
+    keys: Vec<NodeKey>,
+    models: Vec<GpuModel>,
+    /// Per model: `buckets[idle] = ascending node ids with that idle count`.
+    idle_buckets: BTreeMap<GpuModel, Vec<Vec<u32>>>,
+    /// Per model: ordered `(quantized partial free, node id)` pairs.
+    partial: BTreeMap<GpuModel, std::collections::BTreeSet<(u32, u32)>>,
+    /// Per node: running spot tasks with at least one pod here (sorted).
+    spot_on_node: Vec<Vec<TaskId>>,
+    fully_idle_count: usize,
+}
+
+impl CapacityIndex {
+    /// Builds the index from scratch over `nodes`.
+    #[must_use]
+    pub fn build(nodes: &[Node]) -> Self {
+        let mut index = CapacityIndex {
+            keys: vec![NodeKey::default(); nodes.len()],
+            models: nodes.iter().map(Node::model).collect(),
+            idle_buckets: BTreeMap::new(),
+            partial: BTreeMap::new(),
+            spot_on_node: vec![Vec::new(); nodes.len()],
+            fully_idle_count: 0,
+        };
+        for node in nodes {
+            index.insert_node(node);
+        }
+        index
+    }
+
+    fn compute_key(node: &Node) -> NodeKey {
+        let mut idle = 0u32;
+        let mut best_partial: Option<u32> = None;
+        for gpu in node.gpus() {
+            if gpu.is_idle() {
+                idle += 1;
+            } else {
+                let free = gpu.free_fraction();
+                if free > 1e-12 {
+                    let q = quantize(free);
+                    if best_partial.is_none_or(|b| q > b) {
+                        best_partial = Some(q);
+                    }
+                }
+            }
+        }
+        NodeKey {
+            idle,
+            partial: best_partial,
+            fully_idle: idle == node.total_gpus(),
+        }
+    }
+
+    fn insert_node(&mut self, node: &Node) {
+        let key = Self::compute_key(node);
+        let id = node.id().index();
+        let raw = node.id().raw();
+        self.keys[id] = key;
+        let buckets = self.idle_buckets.entry(node.model()).or_default();
+        if buckets.len() <= key.idle as usize {
+            buckets.resize(key.idle as usize + 1, Vec::new());
+        }
+        let bucket = &mut buckets[key.idle as usize];
+        let pos = bucket.partition_point(|&n| n < raw);
+        bucket.insert(pos, raw);
+        if let Some(q) = key.partial {
+            self.partial.entry(node.model()).or_default().insert((q, raw));
+        }
+        if key.fully_idle {
+            self.fully_idle_count += 1;
+        }
+    }
+
+    /// Re-derives one node's keys after its occupancy changed.
+    pub fn refresh(&mut self, node: &Node) {
+        let id = node.id().index();
+        let raw = node.id().raw();
+        let old = self.keys[id];
+        let new = Self::compute_key(node);
+        if old.idle != new.idle {
+            let buckets = self.idle_buckets.entry(node.model()).or_default();
+            let bucket = &mut buckets[old.idle as usize];
+            if let Ok(pos) = bucket.binary_search(&raw) {
+                bucket.remove(pos);
+            }
+            if buckets.len() <= new.idle as usize {
+                buckets.resize(new.idle as usize + 1, Vec::new());
+            }
+            let bucket = &mut buckets[new.idle as usize];
+            let pos = bucket.partition_point(|&n| n < raw);
+            bucket.insert(pos, raw);
+        }
+        if old.partial != new.partial {
+            let set = self.partial.entry(node.model()).or_default();
+            if let Some(q) = old.partial {
+                set.remove(&(q, raw));
+            }
+            if let Some(q) = new.partial {
+                set.insert((q, raw));
+            }
+        }
+        match (old.fully_idle, new.fully_idle) {
+            (false, true) => self.fully_idle_count += 1,
+            (true, false) => self.fully_idle_count -= 1,
+            _ => {}
+        }
+        self.keys[id] = new;
+    }
+
+    /// Records that `task` (spot) now has a pod on `node`.
+    pub fn add_spot(&mut self, node: NodeId, task: TaskId) {
+        let list = &mut self.spot_on_node[node.index()];
+        if let Err(pos) = list.binary_search(&task) {
+            list.insert(pos, task);
+        }
+    }
+
+    /// Removes `task` from `node`'s spot locality list.
+    pub fn remove_spot(&mut self, node: NodeId, task: TaskId) {
+        let list = &mut self.spot_on_node[node.index()];
+        if let Ok(pos) = list.binary_search(&task) {
+            list.remove(pos);
+        }
+    }
+
+    /// Spot tasks with at least one pod on `node`, ascending by id.
+    #[must_use]
+    pub fn spot_tasks_on(&self, node: NodeId) -> &[TaskId] {
+        &self.spot_on_node[node.index()]
+    }
+
+    /// Whether `node` hosts at least one spot pod.
+    #[must_use]
+    pub fn has_spot_on(&self, node: NodeId) -> bool {
+        !self.spot_on_node[node.index()].is_empty()
+    }
+
+    /// Count of nodes with every card idle (any model).
+    #[must_use]
+    pub fn fully_idle_nodes(&self) -> usize {
+        self.fully_idle_count
+    }
+
+    /// Node ids (ascending) of `model` nodes with at least `need` whole
+    /// idle cards.
+    pub fn whole_fit_candidates(&self, model: GpuModel, need: u32, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(buckets) = self.idle_buckets.get(&model) else {
+            return;
+        };
+        for bucket in buckets.iter().skip(need as usize) {
+            out.extend_from_slice(bucket);
+        }
+        out.sort_unstable();
+    }
+
+    /// Node ids (ascending) of `model` nodes that *may* fit a fraction `f`
+    /// of one card: any node with an idle card, plus nodes whose best
+    /// partial card has at least `f` free (conservatively widened by the
+    /// quantization step; callers must re-verify with
+    /// [`Node::can_fit`](crate::Node::can_fit)).
+    pub fn fraction_fit_candidates(&self, model: GpuModel, f: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if let Some(buckets) = self.idle_buckets.get(&model) {
+            for bucket in buckets.iter().skip(1) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        if let Some(set) = self.partial.get(&model) {
+            let min_q = quantize((f - 1e-9).max(0.0)).saturating_sub(1);
+            for &(_, id) in set.range((min_q, 0)..) {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Node ids (ascending) worth visiting when planning a preemption of
+    /// `need` cards on `model` nodes: nodes that already fit, plus nodes
+    /// hosting at least one spot pod.
+    pub fn preemption_candidates(&self, model: GpuModel, need: u32, out: &mut Vec<u32>) {
+        self.whole_fit_candidates(model, need, out);
+        for (id, spots) in self.spot_on_node.iter().enumerate() {
+            if !spots.is_empty() && self.models[id] == model {
+                out.push(id as u32);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}

@@ -7,6 +7,36 @@
 //! preemption-cost model (Eq. 18), and the [`Scheduler`] trait is the
 //! interface every policy — GFS and the four baselines — implements.
 //!
+//! # Hot-path architecture
+//!
+//! Every placement question a scheduler can ask is answered by the
+//! [`CapacityIndex`], which `start_task` / `evict_task` / `finish_task`
+//! maintain incrementally:
+//!
+//! * per-GPU-model **idle buckets** (nodes keyed by whole idle cards) make
+//!   "nodes with ≥ k idle GPUs" an O(answer) walk instead of an
+//!   O(nodes × gpus) scan,
+//! * a quantized **best-fit order** over partially-occupied cards serves
+//!   fractional demands (candidates are re-verified against exact card
+//!   state, so results equal a brute-force [`Node::can_fit`] scan — see
+//!   the property test in `tests/property_based.rs`),
+//! * per-node **spot locality lists** (sorted by task id, which also makes
+//!   victim enumeration deterministic) turn preemption planning from
+//!   O(nodes × running tasks) into O(candidate nodes × local spots).
+//!
+//! The indexed queries are exposed as [`Cluster::whole_fit_candidates`],
+//! [`Cluster::fraction_fit_candidates`], [`Cluster::preemption_candidates`],
+//! [`Cluster::spot_tasks_on`], [`Cluster::has_spot_on`] and
+//! [`Cluster::fully_idle_nodes`]; all five schedulers in the workspace are
+//! built on them. The running-task registry itself is an ordered map, so
+//! iteration (and therefore every scheduling decision derived from it) is
+//! reproducible across processes.
+//!
+//! Task specs are shared as `Arc<TaskSpec>` between the simulator's task
+//! table and the running registry: starting, evicting and requeuing a task
+//! never deep-copies the spec ([`Cluster::start_task`] accepts
+//! `impl Into<Arc<TaskSpec>>`, so plain `TaskSpec` values still work).
+//!
 //! # Examples
 //!
 //! ```
@@ -27,9 +57,11 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod index;
 mod node;
 mod scheduler;
 
 pub use cluster::{Cluster, PodPlacement, RunningTask};
+pub use index::CapacityIndex;
 pub use node::{Gpu, Node, PodAlloc};
 pub use scheduler::{Decision, Scheduler, TaskEvent};

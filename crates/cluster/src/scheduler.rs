@@ -5,6 +5,8 @@
 //! committing placements, requeuing). This keeps policies pure and easy to
 //! compare.
 
+use std::cmp::Ordering;
+
 use gfs_types::{NodeId, Priority, SimTime, TaskId, TaskSpec};
 
 use crate::cluster::Cluster;
@@ -98,9 +100,24 @@ pub trait Scheduler {
     /// Lifecycle notification hook.
     fn on_event(&mut self, _event: &TaskEvent, _cluster: &Cluster) {}
 
-    /// Orders the pending queue before a scheduling pass. The default keeps
-    /// FIFO order; PTS sorts by GPU request, pod count and submit time.
-    fn sort_queue(&self, _queue: &mut Vec<TaskSpec>) {}
+    /// Relative queue priority of two pending tasks: `Less` runs first.
+    ///
+    /// The key must be *static per task* (derived from the spec only): the
+    /// simulator keeps its pending queue incrementally sorted by this
+    /// comparator — inserting each task once instead of re-sorting the
+    /// whole queue every scheduling pass — and equal tasks stay in FIFO
+    /// arrival order. The default (`Equal`) is plain FIFO; PTS orders by
+    /// GPU request, pod count and submit time (§3.4.2).
+    fn queue_cmp(&self, _a: &TaskSpec, _b: &TaskSpec) -> Ordering {
+        Ordering::Equal
+    }
+
+    /// Sorts a queue into the order of [`Scheduler::queue_cmp`] (stable, so
+    /// ties keep their arrival order). Provided for external callers; the
+    /// simulator itself maintains order incrementally.
+    fn sort_queue(&self, queue: &mut Vec<TaskSpec>) {
+        queue.sort_by(|a, b| self.queue_cmp(a, b));
+    }
 }
 
 #[cfg(test)]

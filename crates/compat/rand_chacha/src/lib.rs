@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha stream cipher (8 double-rounds for
+//! [`ChaCha8Rng`]) as a deterministic random generator. Seeding via
+//! [`rand::SeedableRng::seed_from_u64`] expands the 64-bit seed with
+//! SplitMix64 into the 256-bit key, so distinct seeds give independent
+//! streams. Output is deterministic but not bit-compatible with upstream
+//! `rand_chacha` (nothing in this workspace depends on exact values).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A deterministic ChaCha8-based random generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    next: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // column rounds
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.next = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 key expansion
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            next: 16,
+        };
+        rng.refill();
+        rng.next = 0;
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.next >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.next];
+        self.next += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from distinct seeds must diverge");
+    }
+
+    #[test]
+    fn uniform_mean_is_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -161,8 +161,8 @@ impl Scheduler for GfsScheduler {
         None
     }
 
-    fn sort_queue(&self, queue: &mut Vec<TaskSpec>) {
-        Pts::sort_queue(queue);
+    fn queue_cmp(&self, a: &TaskSpec, b: &TaskSpec) -> std::cmp::Ordering {
+        Pts::task_order(a, b)
     }
 }
 

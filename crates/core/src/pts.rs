@@ -116,26 +116,29 @@ impl Pts {
         cluster: &Cluster,
         now: SimTime,
     ) -> Option<Vec<NodeId>> {
-        let mut budget: HashMap<NodeId, u32> = cluster
-            .nodes()
-            .iter()
-            .map(|n| (n.id(), n.idle_gpus()))
-            .collect();
+        // Alg. 1 line 1 ("filter feasible nodes") through the capacity
+        // index instead of a full scan; the lexicographic max is a total
+        // order (scores, then lower id), so the result is scan-identical.
+        let candidates: Vec<u32> = match task.gpus_per_pod {
+            GpuDemand::Whole(g) => cluster.whole_fit_candidates(task.gpu_model, g),
+            GpuDemand::Fraction(f) => cluster.fraction_fit_candidates(task.gpu_model, f),
+        };
+        let mut budget: HashMap<NodeId, u32> = HashMap::new();
         let mut out = Vec::with_capacity(task.pods as usize);
         for _ in 0..task.pods {
-            let candidate = cluster
-                .nodes()
+            let candidate = candidates
                 .iter()
-                .filter(|n| n.model() == task.gpu_model)
-                .filter(|n| match task.gpus_per_pod {
-                    GpuDemand::Whole(g) => budget.get(&n.id()).copied().unwrap_or(0) >= g,
+                .map(|&id| (NodeId::new(id), &cluster.nodes()[id as usize]))
+                .filter(|(id, n)| match task.gpus_per_pod {
+                    GpuDemand::Whole(g) => {
+                        budget.get(id).copied().unwrap_or_else(|| n.idle_gpus()) >= g
+                    }
                     GpuDemand::Fraction(f) => {
                         n.gpus().iter().any(|gpu| gpu.free_fraction() >= f - 1e-12)
                     }
                 })
-                .filter_map(|n| {
-                    self.node_scores(n, task.priority, now)
-                        .map(|s| (n.id(), s))
+                .filter_map(|(id, n)| {
+                    self.node_scores(n, task.priority, now).map(|s| (id, s))
                 })
                 .max_by(|a, b| {
                     a.1.partial_cmp(&b.1)
@@ -144,7 +147,10 @@ impl Pts {
                 })
                 .map(|(id, _)| id)?;
             if let GpuDemand::Whole(g) = task.gpus_per_pod {
-                *budget.get_mut(&candidate).expect("candidate has budget") -= g;
+                let entry = budget
+                    .entry(candidate)
+                    .or_insert_with(|| cluster.nodes()[candidate.index()].idle_gpus());
+                *entry -= g;
             }
             out.push(candidate);
         }
@@ -184,18 +190,21 @@ impl Pts {
     ) -> Option<(Vec<NodeId>, Vec<TaskId>)> {
         debug_assert!(task.priority.is_hp(), "only HP tasks may preempt");
         let need = task.gpus_per_pod.cards();
-        let mut virt_idle: HashMap<NodeId, f64> = cluster
-            .nodes()
-            .iter()
-            .map(|n| (n.id(), f64::from(n.idle_gpus())))
-            .collect();
+        // Alg. 2 only ever succeeds on nodes that already fit the pod or
+        // host evictable spot tasks; the index yields exactly those,
+        // ascending by id (the former full-scan visit order).
+        let candidates = cluster.preemption_candidates(task.gpu_model, need.ceil() as u32);
+        let mut virt_idle: HashMap<NodeId, f64> = HashMap::new();
         let mut evicted: Vec<TaskId> = Vec::new();
         let mut pod_nodes = Vec::with_capacity(task.pods as usize);
 
         for pod in 0..task.pods {
             let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
-            for n in cluster.nodes().iter().filter(|n| n.model() == task.gpu_model) {
-                let idle = virt_idle.get(&n.id()).copied().unwrap_or(0.0);
+            for n in candidates.iter().map(|&id| &cluster.nodes()[id as usize]) {
+                let idle = virt_idle
+                    .get(&n.id())
+                    .copied()
+                    .unwrap_or_else(|| f64::from(n.idle_gpus()));
                 let spots: Vec<&RunningTask> = cluster
                     .spot_tasks_on(n.id())
                     .into_iter()
@@ -275,31 +284,42 @@ impl Pts {
                 }
             }
             let (node, victims, _) = best?;
+            // absent entries mean "actual idle" now that the map is lazy
+            let actual_idle =
+                |c: &Cluster, id: NodeId| f64::from(c.nodes()[id.index()].idle_gpus());
             for v in &victims {
                 if let Some(rt) = cluster.running_task(*v) {
                     for p in &rt.placements {
-                        *virt_idle.entry(p.node).or_insert(0.0) += p.alloc.cards();
+                        *virt_idle
+                            .entry(p.node)
+                            .or_insert_with(|| actual_idle(cluster, p.node)) += p.alloc.cards();
                     }
                 }
                 evicted.push(*v);
             }
-            *virt_idle.entry(node).or_insert(0.0) -= need;
+            *virt_idle
+                .entry(node)
+                .or_insert_with(|| actual_idle(cluster, node)) -= need;
             pod_nodes.push(node);
         }
         Some((pod_nodes, evicted))
     }
 
-    /// Queue ordering of §3.4.2: larger GPU requests first, then more pods,
-    /// then earlier submissions.
+    /// Queue ordering of §3.4.2 as a comparator: larger GPU requests
+    /// first, then more pods, then earlier submissions.
+    #[must_use]
+    pub fn task_order(a: &TaskSpec, b: &TaskSpec) -> std::cmp::Ordering {
+        b.total_gpus()
+            .partial_cmp(&a.total_gpus())
+            .expect("GPU counts are finite")
+            .then(b.pods.cmp(&a.pods))
+            .then(a.submit_at.cmp(&b.submit_at))
+            .then(a.id.cmp(&b.id))
+    }
+
+    /// Sorts a queue by [`Pts::task_order`].
     pub fn sort_queue(queue: &mut [TaskSpec]) {
-        queue.sort_by(|a, b| {
-            b.total_gpus()
-                .partial_cmp(&a.total_gpus())
-                .expect("GPU counts are finite")
-                .then(b.pods.cmp(&a.pods))
-                .then(a.submit_at.cmp(&b.submit_at))
-                .then(a.id.cmp(&b.id))
-        });
+        queue.sort_by(Pts::task_order);
     }
 }
 

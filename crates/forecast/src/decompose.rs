@@ -29,7 +29,10 @@ pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
     }
     let half = window / 2;
     let n = xs.len();
-    let reflect = |i: isize| -> f64 {
+    // materialize the reflection-padded series once, then compute all
+    // window means in O(n) via prefix sums (see `windowed_means` for the
+    // rounding caveat) instead of per-element modular index arithmetic
+    let reflect = |i: isize| -> usize {
         let idx = if i < 0 {
             (-i) as usize % (2 * n.max(1))
         } else if (i as usize) >= n {
@@ -38,16 +41,31 @@ pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
         } else {
             i as usize
         };
-        xs[idx.min(n - 1)]
+        idx.min(n - 1)
     };
-    (0..n as isize)
-        .map(|c| {
-            let mut sum = 0.0;
-            for k in -(half as isize)..=(half as isize) {
-                sum += reflect(c + k);
-            }
-            sum / window as f64
-        })
+    let mut padded = Vec::with_capacity(n + 2 * half);
+    for i in -(half as isize)..(n + half) as isize {
+        padded.push(xs[reflect(i)]);
+    }
+    windowed_means(&padded, window)
+}
+
+/// O(len) windowed means over `padded` via a prefix-sum: each window is a
+/// difference of two partial sums instead of a fresh `window`-term sum,
+/// turning the decomposition from O(len · window) into O(len). Rounding
+/// differs from per-window summation by at most a few ulps, far below the
+/// noise floor of the demand series being smoothed.
+fn windowed_means(padded: &[f64], window: usize) -> Vec<f64> {
+    let n = padded.len() + 1 - window;
+    let mut prefix = Vec::with_capacity(padded.len() + 1);
+    let mut acc = 0.0;
+    prefix.push(0.0);
+    for &v in padded {
+        acc += v;
+        prefix.push(acc);
+    }
+    (0..n)
+        .map(|c| (prefix[c + window] - prefix[c]) / window as f64)
         .collect()
 }
 
@@ -60,25 +78,33 @@ pub fn decompose(xs: &[f64], window: usize) -> (Vec<f64>, Vec<f64>) {
     (trend, cyclical)
 }
 
+/// [`decompose`] writing its results into caller buffers of length
+/// `xs.len()` — the per-sample form used inside training loops, where the
+/// outputs land directly in batch-matrix rows (the moving average itself
+/// still allocates its padded/prefix scratch internally).
+///
+/// # Panics
+///
+/// Panics if the output slices are not the same length as `xs`.
+pub fn decompose_into(xs: &[f64], window: usize, trend: &mut [f64], cyclical: &mut [f64]) {
+    assert_eq!(trend.len(), xs.len(), "trend buffer length mismatch");
+    assert_eq!(cyclical.len(), xs.len(), "cyclical buffer length mismatch");
+    let t = moving_average(xs, window);
+    trend.copy_from_slice(&t);
+    for ((c, x), tv) in cyclical.iter_mut().zip(xs).zip(&t) {
+        *c = x - tv;
+    }
+}
+
 /// Zero-padding variant of [`moving_average`], kept for the ablation bench
 /// comparing reflection vs zero padding at series boundaries.
 #[must_use]
 pub fn moving_average_zero_pad(xs: &[f64], window: usize) -> Vec<f64> {
     assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
     let half = window / 2;
-    let n = xs.len();
-    (0..n)
-        .map(|c| {
-            let mut sum = 0.0;
-            for k in -(half as isize)..=(half as isize) {
-                let i = c as isize + k;
-                if i >= 0 && (i as usize) < n {
-                    sum += xs[i as usize];
-                }
-            }
-            sum / window as f64
-        })
-        .collect()
+    let mut padded = vec![0.0; xs.len() + 2 * half];
+    padded[half..half + xs.len()].copy_from_slice(xs);
+    windowed_means(&padded, window)
 }
 
 #[cfg(test)]

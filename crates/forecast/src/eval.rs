@@ -23,7 +23,7 @@ pub fn evaluate(model: &mut dyn Forecaster, data: &OrgDataset, cfg: &TrainConfig
         actual.extend_from_slice(y);
         match &f.std {
             Some(stds) => sigma.extend_from_slice(stds),
-            None => sigma.extend(std::iter::repeat(0.0).take(y.len())),
+            None => sigma.extend(std::iter::repeat_n(0.0, y.len())),
         }
     }
 

@@ -9,7 +9,7 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use gfs_nn::{loss, Adam, Graph, GruCell, Linear, Optimizer, Param, Tensor, Var};
+use gfs_nn::{Adam, Graph, GruCell, Linear, Optimizer, Param, Tensor, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
@@ -48,12 +48,16 @@ impl DeepAr {
         p
     }
 
-    /// Encodes a batch of windows with the GRU and emits `(mu, sigma)`
+    /// Encodes a batch of windows with the GRU and emits `(mu, pre)`,
+    /// where `pre` is the *pre-activation* of the variance head: apply
+    /// `softplus(pre) + SIGMA_FLOOR` to obtain σ (training fuses that map
+    /// into the loss; `predict` applies it explicitly)
     /// in normalized space (`B × H` each).
     fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> (Var, Var) {
         let b = batch.len();
         let l = data.input_len();
         let mut h = self.cell.initial_state(g, b);
+        let cell_nodes = self.cell.bind(g);
         for t in 0..l {
             let mut x = Tensor::zeros(b, 3);
             for (r, s) in batch.iter().enumerate() {
@@ -64,13 +68,13 @@ impl DeepAr {
                 x[(r, 2)] = phase.cos();
             }
             let xv = g.constant(x);
-            h = self.cell.step(g, xv, h);
+            h = self.cell.step_bound(g, &cell_nodes, xv, h);
         }
         let mu = self.head_mu.forward(g, h);
+        // pre-activation variance head; σ = softplus(·) + floor is fused
+        // into the NLL during training and applied directly in predict
         let pre = self.head_sigma.forward(g, h);
-        let sp = g.softplus(pre);
-        let sigma = g.add_const(sp, SIGMA_FLOOR);
-        (mu, sigma)
+        (mu, pre)
     }
 }
 
@@ -94,7 +98,7 @@ impl Forecaster for DeepAr {
             let mut n = 0usize;
             for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
                 let mut g = Graph::new();
-                let (mu, sigma) = self.forward(&mut g, data, &batch);
+                let (mu, sigma_pre) = self.forward(&mut g, data, &batch);
                 let mut target = Tensor::zeros(batch.len(), self.horizon);
                 for (r, s) in batch.iter().enumerate() {
                     for (c, &y) in data.target(*s).iter().enumerate() {
@@ -102,7 +106,7 @@ impl Forecaster for DeepAr {
                     }
                 }
                 let t = g.constant(target);
-                let l = loss::gaussian_nll(&mut g, mu, sigma, t);
+                let l = g.gaussian_nll_softplus(mu, sigma_pre, t, SIGMA_FLOOR);
                 total += g.value(l).item();
                 n += 1;
                 g.backward(l);
@@ -119,7 +123,7 @@ impl Forecaster for DeepAr {
 
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
         let mut g = Graph::new();
-        let (mu, sigma) = self.forward(&mut g, data, &[sample]);
+        let (mu, sigma_pre) = self.forward(&mut g, data, &[sample]);
         Forecast {
             mean: g
                 .value(mu)
@@ -128,10 +132,12 @@ impl Forecaster for DeepAr {
                 .map(|&z| self.norm.denorm(sample.org, z))
                 .collect(),
             std: Some(
-                g.value(sigma)
+                g.value(sigma_pre)
                     .as_slice()
                     .iter()
-                    .map(|&z| self.norm.denorm_std(sample.org, z))
+                    .map(|&z| {
+                        self.norm.denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR)
+                    })
                     .collect(),
             ),
         }

@@ -10,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 use gfs_nn::{loss, Adam, Graph, Linear, Optimizer, Param, Tensor, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
-use crate::decompose::decompose;
+use crate::decompose::decompose_into;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
 
 const MA_WINDOW: usize = 25;
@@ -49,17 +49,18 @@ impl DLinear {
         let b = batch.len();
         let mut trend_m = Tensor::zeros(b, self.input_len);
         let mut cyc_m = Tensor::zeros(b, self.input_len);
+        let l = self.input_len;
+        let mut window = vec![0.0; l];
         for (r, s) in batch.iter().enumerate() {
-            let window: Vec<f64> = data
-                .input(*s)
-                .iter()
-                .map(|&x| self.norm.norm(s.org, x))
-                .collect();
-            let (trend, cyc) = decompose(&window, MA_WINDOW);
-            for c in 0..self.input_len {
-                trend_m[(r, c)] = trend[c];
-                cyc_m[(r, c)] = cyc[c];
+            for (slot, &x) in window.iter_mut().zip(data.input(*s)) {
+                *slot = self.norm.norm(s.org, x);
             }
+            decompose_into(
+                &window,
+                MA_WINDOW,
+                &mut trend_m.as_mut_slice()[r * l..(r + 1) * l],
+                &mut cyc_m.as_mut_slice()[r * l..(r + 1) * l],
+            );
         }
         let tv = g.constant(trend_m);
         let cv = g.constant(cyc_m);

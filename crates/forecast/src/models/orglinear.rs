@@ -16,10 +16,10 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use gfs_nn::{loss, Adam, Embedding, Graph, Linear, Optimizer, Param, Tensor, Var};
+use gfs_nn::{Adam, Embedding, Graph, Linear, Optimizer, Param, Tensor, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
-use crate::decompose::decompose;
+use crate::decompose::decompose_into;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
 
 /// Embedding width per temporal component (hour / weekday / holiday).
@@ -169,7 +169,10 @@ impl OrgLinear {
         g.concat_cols(&[eh, ew, ehol])
     }
 
-    /// Builds `(mu, sigma)` for a batch in normalized space.
+    /// Builds `(mu, pre)` for a batch in normalized space, where `pre` is
+    /// the *pre-activation* of the variance head: apply
+    /// `softplus(pre) + SIGMA_FLOOR` to obtain σ (training fuses that map
+    /// into the loss; `predict` applies it explicitly).
     fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> (Var, Var) {
         let b = batch.len();
         let l = self.input_len;
@@ -177,17 +180,19 @@ impl OrgLinear {
         let mut trend_m = Tensor::zeros(b, l);
         let mut cyc_m = Tensor::zeros(b, l);
         for (r, s) in batch.iter().enumerate() {
-            let window: Vec<f64> = data
-                .input(*s)
-                .iter()
-                .map(|&x| self.norm.norm(s.org, x).clamp(-Z_CLIP, Z_CLIP))
-                .collect();
-            let (trend, cyc) = decompose(&window, MA_WINDOW);
-            for c in 0..l {
-                full[(r, c)] = window[c];
-                trend_m[(r, c)] = trend[c];
-                cyc_m[(r, c)] = cyc[c];
+            // normalize straight into the batch row, then decompose into
+            // the sibling rows — no per-sample temporaries
+            let full_row = &mut full.as_mut_slice()[r * l..(r + 1) * l];
+            for (slot, &x) in full_row.iter_mut().zip(data.input(*s)) {
+                *slot = self.norm.norm(s.org, x).clamp(-Z_CLIP, Z_CLIP);
             }
+            let full_row = &full.as_slice()[r * l..(r + 1) * l];
+            decompose_into(
+                full_row,
+                MA_WINDOW,
+                &mut trend_m.as_mut_slice()[r * l..(r + 1) * l],
+                &mut cyc_m.as_mut_slice()[r * l..(r + 1) * l],
+            );
         }
         let full_v = g.constant(full);
         let trend_v = g.constant(trend_m);
@@ -211,9 +216,9 @@ impl OrgLinear {
 
         let in_v = with_ctx(g, full_v);
         let h_v = self.head_variance.forward(g, in_v);
-        let sp = g.softplus(h_v); // Eq. 7
-        let sigma = g.add_const(sp, SIGMA_FLOOR);
-        (mu, sigma)
+        // pre-activation of Eq. 7; the σ = softplus(·) + floor map is fused
+        // into the NLL during training and applied directly in predict
+        (mu, h_v)
     }
 }
 
@@ -237,7 +242,7 @@ impl Forecaster for OrgLinear {
             let mut batches = 0usize;
             for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
                 let mut g = Graph::new();
-                let (mu, sigma) = self.forward(&mut g, data, &batch);
+                let (mu, sigma_pre) = self.forward(&mut g, data, &batch);
                 let mut target = Tensor::zeros(batch.len(), self.horizon);
                 for (r, s) in batch.iter().enumerate() {
                     for (c, &y) in data.target(*s).iter().enumerate() {
@@ -245,7 +250,7 @@ impl Forecaster for OrgLinear {
                     }
                 }
                 let t = g.constant(target);
-                let l = loss::gaussian_nll(&mut g, mu, sigma, t); // Eq. 8
+                let l = g.gaussian_nll_softplus(mu, sigma_pre, t, SIGMA_FLOOR); // Eq. 7–8 fused
                 epoch_loss += g.value(l).item();
                 batches += 1;
                 g.backward(l);
@@ -262,7 +267,7 @@ impl Forecaster for OrgLinear {
 
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
         let mut g = Graph::new();
-        let (mu, sigma) = self.forward(&mut g, data, &[sample]);
+        let (mu, sigma_pre) = self.forward(&mut g, data, &[sample]);
         let mean = g
             .value(mu)
             .as_slice()
@@ -270,10 +275,10 @@ impl Forecaster for OrgLinear {
             .map(|&z| self.norm.denorm(sample.org, z))
             .collect();
         let std = g
-            .value(sigma)
+            .value(sigma_pre)
             .as_slice()
             .iter()
-            .map(|&z| self.norm.denorm_std(sample.org, z))
+            .map(|&z| self.norm.denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR))
             .collect();
         Forecast {
             mean,

@@ -26,6 +26,8 @@ enum Op {
     Mul(usize, usize),
     Div(usize, usize),
     MatMul(usize, usize),
+    /// Fused `x · w + b` with a broadcast bias row.
+    Affine(usize, usize, usize),
     /// `x (n×m) + row (1×m)` broadcast over rows.
     AddRow(usize, usize),
     Scale(usize, f64),
@@ -43,6 +45,15 @@ enum Op {
     ConcatCols(Vec<usize>),
     /// Row-gather from a table node.
     Embedding { table: usize, indices: Vec<usize> },
+    /// Fused `x · w + h · u + b` (the GRU gate pre-activation).
+    Affine2 { x: usize, w: usize, h: usize, u: usize, b: usize },
+    /// Fused `(1 − gate) ⊙ a + gate ⊙ b` (the GRU state blend).
+    Blend { gate: usize, a: usize, b: usize },
+    /// Fused Gaussian NLL: `mean(ln σ + ((y−μ)/σ)²/2) + ln(2π)/2`.
+    GaussianNll { mu: usize, sigma: usize, target: usize },
+    /// Fused heteroscedastic head: `σ = softplus(pre) + floor` folded into
+    /// the Gaussian NLL above.
+    GaussianNllSoftplus { mu: usize, pre: usize, target: usize, floor: f64 },
     /// Multiply row `r` of `x` by `col[r]` (`col` is `n × 1`).
     ScaleRows(usize, usize),
     /// Columns `[start, start + len)` of `x`.
@@ -146,6 +157,21 @@ impl Graph {
         self.push(v, Op::MatMul(a.0, b.0))
     }
 
+    /// Fused affine map `x · w + b` with a `1 × m` bias row broadcast over
+    /// the rows — one kernel pass instead of `matmul` + `add_row`. This is
+    /// the forward of every linear layer, so it sits on the training hot
+    /// path of all forecast models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `b` is not `1 × m`.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let v = self.nodes[x.0]
+            .value
+            .matmul_add(&self.nodes[w.0].value, &self.nodes[b.0].value);
+        self.push(v, Op::Affine(x.0, w.0, b.0))
+    }
+
     /// Adds a `1 × m` row vector to every row of an `n × m` matrix.
     ///
     /// # Panics
@@ -217,6 +243,134 @@ impl Graph {
     pub fn softplus(&mut self, x: Var) -> Var {
         let v = self.nodes[x.0].value.map(softplus);
         self.push(v, Op::Softplus(x.0))
+    }
+
+    /// Fused gate pre-activation `x · w + h · u + b` — one node for the
+    /// recurrent double projection that previously took four (`matmul`,
+    /// `matmul`, `add`, `add_row`). Element order matches the unfused
+    /// chain: `(xW + hU) + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn affine2(&mut self, x: Var, w: Var, h: Var, u: Var, b: Var) -> Var {
+        let mut v = self.nodes[x.0].value.matmul(&self.nodes[w.0].value);
+        v.add_matmul(&self.nodes[h.0].value, &self.nodes[u.0].value);
+        let bias = &self.nodes[b.0].value;
+        assert_eq!(bias.rows(), 1, "affine2 expects a 1×m bias row");
+        assert_eq!(bias.cols(), v.cols(), "affine2 bias width mismatch");
+        for r in 0..v.rows() {
+            let cols = v.cols();
+            let row = &mut v.as_mut_slice()[r * cols..(r + 1) * cols];
+            for (o, bv) in row.iter_mut().zip(bias.as_slice()) {
+                *o += bv;
+            }
+        }
+        self.push(
+            v,
+            Op::Affine2 {
+                x: x.0,
+                w: w.0,
+                h: h.0,
+                u: u.0,
+                b: b.0,
+            },
+        )
+    }
+
+    /// Fused convex state blend `(1 − gate) ⊙ a + gate ⊙ b` — one node for
+    /// the GRU output mix that previously took five elementwise ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three shapes differ.
+    pub fn blend(&mut self, gate: Var, a: Var, b: Var) -> Var {
+        let gv = &self.nodes[gate.0].value;
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(gv.shape(), av.shape(), "blend shape mismatch");
+        assert_eq!(gv.shape(), bv.shape(), "blend shape mismatch");
+        let mut out = Tensor::zeros(gv.rows(), gv.cols());
+        for (o, ((g, x), y)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(gv.as_slice().iter().zip(av.as_slice()).zip(bv.as_slice()))
+        {
+            *o = (1.0 - g) * x + g * y;
+        }
+        self.push(
+            out,
+            Op::Blend {
+                gate: gate.0,
+                a: a.0,
+                b: b.0,
+            },
+        )
+    }
+
+    /// Fused Gaussian negative log-likelihood
+    /// `mean(ln σ + ((y−μ)/σ)²/2) + ln(2π)/2` as one node: a single pass
+    /// instead of the eight-op elementwise chain it replaces, with
+    /// closed-form gradients to `mu` and `sigma` on the backward sweep.
+    /// `target` is treated as a constant (no gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three shapes differ.
+    pub fn gaussian_nll(&mut self, mu: Var, sigma: Var, target: Var) -> Var {
+        let mv = &self.nodes[mu.0].value;
+        let sv = &self.nodes[sigma.0].value;
+        let tv = &self.nodes[target.0].value;
+        assert_eq!(mv.shape(), sv.shape(), "gaussian_nll shape mismatch");
+        assert_eq!(mv.shape(), tv.shape(), "gaussian_nll shape mismatch");
+        let mut acc = 0.0;
+        for ((m, s), y) in mv.as_slice().iter().zip(sv.as_slice()).zip(tv.as_slice()) {
+            let z = (y - m) / s;
+            acc += s.ln() + 0.5 * z * z;
+        }
+        let n = mv.len().max(1) as f64;
+        let value = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        self.push(
+            Tensor::scalar(value),
+            Op::GaussianNll {
+                mu: mu.0,
+                sigma: sigma.0,
+                target: target.0,
+            },
+        )
+    }
+
+    /// [`Graph::gaussian_nll`] with the variance head folded in:
+    /// `σ = softplus(pre) + floor` (Eq. 7 + Eq. 8 as one node). Saves the
+    /// intermediate softplus/shift tensors and their backward passes on
+    /// the per-batch training path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three shapes differ.
+    pub fn gaussian_nll_softplus(&mut self, mu: Var, pre: Var, target: Var, floor: f64) -> Var {
+        let mv = &self.nodes[mu.0].value;
+        let pv = &self.nodes[pre.0].value;
+        let tv = &self.nodes[target.0].value;
+        assert_eq!(mv.shape(), pv.shape(), "gaussian_nll_softplus shape mismatch");
+        assert_eq!(mv.shape(), tv.shape(), "gaussian_nll_softplus shape mismatch");
+        let mut acc = 0.0;
+        for ((m, p), y) in mv.as_slice().iter().zip(pv.as_slice()).zip(tv.as_slice()) {
+            let s = softplus(*p) + floor;
+            let z = (y - m) / s;
+            acc += s.ln() + 0.5 * z * z;
+        }
+        let n = mv.len().max(1) as f64;
+        let value = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        self.push(
+            Tensor::scalar(value),
+            Op::GaussianNllSoftplus {
+                mu: mu.0,
+                pre: pre.0,
+                target: target.0,
+                floor,
+            },
+        )
     }
 
     /// Sum of all elements, as a `1 × 1` scalar.
@@ -346,20 +500,20 @@ impl Graph {
                     p.accumulate_grad(&gy);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, &gy);
-                    accumulate(&mut grads, *b, &gy);
+                    accumulate(&mut grads, *a, gy.clone());
+                    accumulate(&mut grads, *b, gy);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, &gy);
                     let neg = gy.map(|v| -v);
-                    accumulate(&mut grads, *b, &neg);
+                    accumulate(&mut grads, *a, gy);
+                    accumulate(&mut grads, *b, neg);
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
                     let ga = gy.zip(&self.nodes[b].value, |g, bv| g * bv);
                     let gb = gy.zip(&self.nodes[a].value, |g, av| g * av);
-                    accumulate(&mut grads, a, &ga);
-                    accumulate(&mut grads, b, &gb);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
                 }
                 Op::Div(a, b) => {
                     let (a, b) = (*a, *b);
@@ -368,81 +522,96 @@ impl Graph {
                     let ga = gy.zip(bv, |g, d| g / d);
                     let mut gb = gy.zip(av, |g, n| g * n);
                     gb = gb.zip(bv, |g, d| -g / (d * d));
-                    accumulate(&mut grads, a, &ga);
-                    accumulate(&mut grads, b, &gb);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let ga = gy.matmul(&self.nodes[b].value.transposed());
-                    let gb = self.nodes[a].value.transposed().matmul(&gy);
-                    accumulate(&mut grads, a, &ga);
-                    accumulate(&mut grads, b, &gb);
+                    // contiguous backward kernels (transb packs rhsᵀ once)
+                    let ga = gy.matmul_transb(&self.nodes[b].value);
+                    let gb = self.nodes[a].value.matmul_transa(&gy);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::Affine(x, w, b) => {
+                    let (x, w, b) = (*x, *w, *b);
+                    let gx = gy.matmul_transb(&self.nodes[w].value);
+                    let gw = self.nodes[x].value.matmul_transa(&gy);
+                    let mut gb = Tensor::zeros(1, gy.cols());
+                    for r in 0..gy.rows() {
+                        for c in 0..gy.cols() {
+                            gb[(0, c)] += gy[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, w, gw);
+                    accumulate(&mut grads, b, gb);
                 }
                 Op::AddRow(x, row) => {
                     let (x, row) = (*x, *row);
-                    accumulate(&mut grads, x, &gy);
                     let mut gr = Tensor::zeros(1, gy.cols());
                     for r in 0..gy.rows() {
                         for c in 0..gy.cols() {
                             gr[(0, c)] += gy[(r, c)];
                         }
                     }
-                    accumulate(&mut grads, row, &gr);
+                    accumulate(&mut grads, x, gy);
+                    accumulate(&mut grads, row, gr);
                 }
                 Op::Scale(x, k) => {
                     let g = gy.map(|v| v * k);
-                    accumulate(&mut grads, *x, &g);
+                    accumulate(&mut grads, *x, g);
                 }
                 Op::AddConst(x) => {
-                    accumulate(&mut grads, *x, &gy);
+                    accumulate(&mut grads, *x, gy);
                 }
                 Op::Exp(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[i].value, |g, y| g * y);
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Ln(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[x].value, |g, xv| g / xv);
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Tanh(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Sigmoid(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Relu(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[x].value, |g, xv| if xv > 0.0 { g } else { 0.0 });
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Softplus(x) => {
                     let x = *x;
                     let g = gy.zip(&self.nodes[x].value, |g, xv| g * sigmoid(xv));
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::SumAll(x) => {
                     let x = *x;
                     let s = gy.item();
                     let shape = self.nodes[x].value.shape();
                     let g = Tensor::full(shape.0, shape.1, s);
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::MeanAll(x) => {
                     let x = *x;
                     let shape = self.nodes[x].value.shape();
                     let n = (shape.0 * shape.1) as f64;
                     let g = Tensor::full(shape.0, shape.1, gy.item() / n);
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::Transpose(x) => {
                     let g = gy.transposed();
-                    accumulate(&mut grads, *x, &g);
+                    accumulate(&mut grads, *x, g);
                 }
                 Op::SoftmaxRows(x) => {
                     let x = *x;
@@ -454,7 +623,7 @@ impl Graph {
                             g[(r, c)] = (gy[(r, c)] - dot) * y[(r, c)];
                         }
                     }
-                    accumulate(&mut grads, x, &g);
+                    accumulate(&mut grads, x, g);
                 }
                 Op::ConcatCols(parts) => {
                     let parts = parts.clone();
@@ -467,9 +636,94 @@ impl Graph {
                                 gp[(r, c)] = gy[(r, offset + c)];
                             }
                         }
-                        accumulate(&mut grads, p, &gp);
+                        accumulate(&mut grads, p, gp);
                         offset += cols;
                     }
+                }
+                Op::Affine2 { x, w, h, u, b } => {
+                    let (x, w, h, u, b) = (*x, *w, *h, *u, *b);
+                    let gx = gy.matmul_transb(&self.nodes[w].value);
+                    let gw = self.nodes[x].value.matmul_transa(&gy);
+                    let gh = gy.matmul_transb(&self.nodes[u].value);
+                    let gu = self.nodes[h].value.matmul_transa(&gy);
+                    let mut gb = Tensor::zeros(1, gy.cols());
+                    for r in 0..gy.rows() {
+                        for c in 0..gy.cols() {
+                            gb[(0, c)] += gy[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, w, gw);
+                    accumulate(&mut grads, h, gh);
+                    accumulate(&mut grads, u, gu);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::Blend { gate, a, b } => {
+                    let (gate, a, b) = (*gate, *a, *b);
+                    let gv = &self.nodes[gate].value;
+                    let av = &self.nodes[a].value;
+                    let bv = &self.nodes[b].value;
+                    let mut gg = Tensor::zeros(gv.rows(), gv.cols());
+                    let mut ga = Tensor::zeros(gv.rows(), gv.cols());
+                    let mut gb2 = Tensor::zeros(gv.rows(), gv.cols());
+                    for i in 0..gy.len() {
+                        let g0 = gy.as_slice()[i];
+                        let gt = gv.as_slice()[i];
+                        gg.as_mut_slice()[i] = g0 * (bv.as_slice()[i] - av.as_slice()[i]);
+                        ga.as_mut_slice()[i] = g0 * (1.0 - gt);
+                        gb2.as_mut_slice()[i] = g0 * gt;
+                    }
+                    accumulate(&mut grads, gate, gg);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb2);
+                }
+                Op::GaussianNll { mu, sigma, target } => {
+                    let (mu, sigma, target) = (*mu, *sigma, *target);
+                    let mv = &self.nodes[mu].value;
+                    let sv = &self.nodes[sigma].value;
+                    let tv = &self.nodes[target].value;
+                    let scale = gy.item() / mv.len().max(1) as f64;
+                    let (rows, cols) = mv.shape();
+                    let mut gmu = Tensor::zeros(rows, cols);
+                    let mut gsigma = Tensor::zeros(rows, cols);
+                    for (i, ((m, s), y)) in mv
+                        .as_slice()
+                        .iter()
+                        .zip(sv.as_slice())
+                        .zip(tv.as_slice())
+                        .enumerate()
+                    {
+                        let z = (y - m) / s;
+                        gmu.as_mut_slice()[i] = scale * (-z / s);
+                        gsigma.as_mut_slice()[i] = scale * (1.0 - z * z) / s;
+                    }
+                    accumulate(&mut grads, mu, gmu);
+                    accumulate(&mut grads, sigma, gsigma);
+                }
+                Op::GaussianNllSoftplus { mu, pre, target, floor } => {
+                    let (mu, pre, target, floor) = (*mu, *pre, *target, *floor);
+                    let mv = &self.nodes[mu].value;
+                    let pv = &self.nodes[pre].value;
+                    let tv = &self.nodes[target].value;
+                    let scale = gy.item() / mv.len().max(1) as f64;
+                    let (rows, cols) = mv.shape();
+                    let mut gmu = Tensor::zeros(rows, cols);
+                    let mut gpre = Tensor::zeros(rows, cols);
+                    for (i, ((m, p), y)) in mv
+                        .as_slice()
+                        .iter()
+                        .zip(pv.as_slice())
+                        .zip(tv.as_slice())
+                        .enumerate()
+                    {
+                        let s = softplus(*p) + floor;
+                        let z = (y - m) / s;
+                        gmu.as_mut_slice()[i] = scale * (-z / s);
+                        // ∂L/∂σ · ∂σ/∂pre, with ∂softplus = sigmoid
+                        gpre.as_mut_slice()[i] = scale * ((1.0 - z * z) / s) * sigmoid(*p);
+                    }
+                    accumulate(&mut grads, mu, gmu);
+                    accumulate(&mut grads, pre, gpre);
                 }
                 Op::ScaleRows(x, col) => {
                     let (x, col) = (*x, *col);
@@ -486,8 +740,8 @@ impl Graph {
                         }
                         gc[(r, 0)] = dot;
                     }
-                    accumulate(&mut grads, x, &gx);
-                    accumulate(&mut grads, col, &gc);
+                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, col, gc);
                 }
                 Op::SliceCols { x, start } => {
                     let (x, start) = (*x, *start);
@@ -498,7 +752,7 @@ impl Graph {
                             gx[(r, start + c)] = gy[(r, c)];
                         }
                     }
-                    accumulate(&mut grads, x, &gx);
+                    accumulate(&mut grads, x, gx);
                 }
                 Op::Embedding { table, indices } => {
                     let (table, indices) = (*table, indices.clone());
@@ -509,17 +763,17 @@ impl Graph {
                             gt[(*idx, c)] += gy[(r, c)];
                         }
                     }
-                    accumulate(&mut grads, table, &gt);
+                    accumulate(&mut grads, table, gt);
                 }
             }
         }
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_scaled(g, 1.0),
-        slot @ None => *slot = Some(g.clone()),
+        Some(existing) => existing.add_scaled(&g, 1.0),
+        slot @ None => *slot = Some(g),
     }
 }
 

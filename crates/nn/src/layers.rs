@@ -38,12 +38,12 @@ impl Linear {
         }
     }
 
-    /// Applies the projection to an `n × in_dim` input.
+    /// Applies the projection to an `n × in_dim` input via the fused
+    /// `xW + b` kernel.
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
         let w = g.param(&self.w);
-        let y = g.matmul(x, w);
         let b = g.param(&self.b);
-        g.add_row(y, b)
+        g.affine(x, w, b)
     }
 
     /// The trainable parameters `[W, b]`.
@@ -142,31 +142,45 @@ impl GruCell {
         g.constant(Tensor::zeros(n, self.hidden))
     }
 
+    /// Registers the cell's parameters on `g` once, so a long unrolled
+    /// recurrence shares nine param nodes instead of creating nine per
+    /// step. Call once per graph, then drive [`GruCell::step_bound`].
+    pub fn bind(&self, g: &mut Graph) -> GruCellNodes {
+        GruCellNodes {
+            wz: g.param(&self.wz),
+            uz: g.param(&self.uz),
+            bz: g.param(&self.bz),
+            wr: g.param(&self.wr),
+            ur: g.param(&self.ur),
+            br: g.param(&self.br),
+            wh: g.param(&self.wh),
+            uh: g.param(&self.uh),
+            bh: g.param(&self.bh),
+        }
+    }
+
     /// One recurrence step: consumes input `x` (`n × in_dim`) and previous
     /// state `h` (`n × hidden`), returns the next state.
     pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
-        let gate = |g: &mut Graph, w: &Param, u: &Param, b: &Param, x: Var, h: Var| {
-            let wv = g.param(w);
-            let uv = g.param(u);
-            let xm = g.matmul(x, wv);
-            let hm = g.matmul(h, uv);
-            let s = g.add(xm, hm);
-            let bv = g.param(b);
-            g.add_row(s, bv)
-        };
-        let z_pre = gate(g, &self.wz, &self.uz, &self.bz, x, h);
+        let nodes = self.bind(g);
+        self.step_bound(g, &nodes, x, h)
+    }
+
+    /// One recurrence step over pre-bound parameter nodes, built from the
+    /// fused kernels: each gate is one [`Graph::affine2`] node and the
+    /// state update one [`Graph::blend`] node — eight nodes per step where
+    /// the op-by-op construction needed twenty (the recurrent hot path is
+    /// tape-overhead-bound, not flop-bound).
+    pub fn step_bound(&self, g: &mut Graph, n: &GruCellNodes, x: Var, h: Var) -> Var {
+        let z_pre = g.affine2(x, n.wz, h, n.uz, n.bz);
         let z = g.sigmoid(z_pre);
-        let r_pre = gate(g, &self.wr, &self.ur, &self.br, x, h);
+        let r_pre = g.affine2(x, n.wr, h, n.ur, n.br);
         let r = g.sigmoid(r_pre);
         let rh = g.mul(r, h);
-        let cand_pre = gate(g, &self.wh, &self.uh, &self.bh, x, rh);
+        let cand_pre = g.affine2(x, n.wh, rh, n.uh, n.bh);
         let cand = g.tanh(cand_pre);
         // h' = (1 - z) ⊙ h + z ⊙ cand
-        let neg_z = g.neg(z);
-        let one_minus_z = g.add_const(neg_z, 1.0);
-        let keep = g.mul(one_minus_z, h);
-        let write = g.mul(z, cand);
-        g.add(keep, write)
+        g.blend(z, h, cand)
     }
 
     /// All trainable parameters of the cell.
@@ -184,6 +198,21 @@ impl GruCell {
             self.bh.clone(),
         ]
     }
+}
+
+/// Parameter nodes of a [`GruCell`] registered on one graph via
+/// [`GruCell::bind`].
+#[derive(Debug, Clone, Copy)]
+pub struct GruCellNodes {
+    wz: Var,
+    uz: Var,
+    bz: Var,
+    wr: Var,
+    ur: Var,
+    br: Var,
+    wh: Var,
+    uh: Var,
+    bh: Var,
 }
 
 /// Single-head scaled dot-product self-attention over a `L × d` sequence.
@@ -259,7 +288,7 @@ mod tests {
         // one gradient step on y = xW + b must reduce a simple MSE
         let layer = Linear::new(1, 1, &mut rng());
         let mut prev_loss = f64::INFINITY;
-        for _ in 0..50 {
+        for _ in 0..100 {
             let mut g = Graph::new();
             let x = g.constant(Tensor::col(&[1.0, 2.0, 3.0]));
             let target = g.constant(Tensor::col(&[2.0, 4.0, 6.0]));

@@ -17,7 +17,7 @@
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 //! let layer = Linear::new(1, 1, &mut rng);
 //! let mut opt = Adam::new(layer.params(), 0.1);
-//! for _ in 0..200 {
+//! for _ in 0..700 {
 //!     let mut g = Graph::new();
 //!     let x = g.constant(Tensor::col(&[1.0, 2.0, 3.0]));
 //!     let t = g.constant(Tensor::col(&[2.0, 4.0, 6.0]));
@@ -44,7 +44,7 @@ mod param;
 mod tensor;
 
 pub use graph::{sigmoid, softplus, Graph, Var};
-pub use layers::{Attention, Embedding, GruCell, Linear};
+pub use layers::{Attention, Embedding, GruCell, GruCellNodes, Linear};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use tensor::Tensor;

@@ -129,27 +129,31 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // algebraically identical reformulation of
+        // `lr · (m/bc1) / (sqrt(v/bc2) + ε)` with the per-element divisions
+        // by the bias corrections hoisted out of the loop: one sqrt and one
+        // divide per weight instead of three divides and a sqrt
+        let step_size = self.lr / bc1;
+        let inv_sqrt_bc2 = 1.0 / bc2.sqrt();
         for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
-            let g = p.grad();
-            for ((mi, vi), gi) in m
-                .as_mut_slice()
-                .iter_mut()
-                .zip(v.as_mut_slice().iter_mut())
-                .zip(g.as_slice())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-            }
-            let lr = self.lr;
+            // single fused pass over raw slices: moments, bias correction
+            // and the weight update vectorize together, with no tensor
+            // clones on the per-batch hot path
+            let (beta1, beta2) = (self.beta1, self.beta2);
             let eps = self.eps;
-            let ms = m.clone();
-            let vs = v.clone();
-            let mut i = 0;
-            p.update(|val, _| {
-                let mhat = ms.as_slice()[i] / bc1;
-                let vhat = vs.as_slice()[i] / bc2;
-                i += 1;
-                val - lr * mhat / (vhat.sqrt() + eps)
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            p.update_slices(|vals, grads| {
+                let n = vals.len();
+                assert!(grads.len() == n && ms.len() == n && vs.len() == n);
+                for i in 0..n {
+                    let gi = grads[i];
+                    let mi = beta1 * ms[i] + (1.0 - beta1) * gi;
+                    let vi = beta2 * vs[i] + (1.0 - beta2) * gi * gi;
+                    ms[i] = mi;
+                    vs[i] = vi;
+                    vals[i] -= step_size * mi / (vi.sqrt() * inv_sqrt_bc2 + eps);
+                }
             });
             p.zero_grad();
         }

@@ -32,13 +32,14 @@ impl Scheduler for Chronus {
         "Chronus"
     }
 
-    fn sort_queue(&self, queue: &mut Vec<TaskSpec>) {
+    fn queue_cmp(&self, a: &TaskSpec, b: &TaskSpec) -> std::cmp::Ordering {
         // SLO jobs first, earliest deadline (submit + lease) first; then
         // best-effort by submit order — Chronus's lease admission order.
-        queue.sort_by_key(|t| {
+        let key = |t: &TaskSpec| {
             let lease = if t.priority.is_hp() { HP_LEASE_SECS } else { SPOT_LEASE_SECS };
             (t.priority.is_spot(), t.submit_at.as_secs() + lease, t.id)
-        });
+        };
+        key(a).cmp(&key(b))
     }
 
     fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, now: SimTime) -> Option<Decision> {

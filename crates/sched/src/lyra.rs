@@ -4,10 +4,8 @@
 //! the eviction rate very low but queues spot tasks for a long time — the
 //! behaviour Table 5 reports (e ≈ 1.8 %, long spot JQT).
 
-use std::collections::HashSet;
-
 use gfs_cluster::{Cluster, Decision, Scheduler};
-use gfs_types::{NodeId, SimTime, TaskSpec};
+use gfs_types::{SimTime, TaskSpec};
 
 use crate::placement::{best_fit_nodes, gang_nodes_by, plan_preemption};
 
@@ -32,19 +30,6 @@ impl Lyra {
             reserve_frac: reserve_frac.clamp(0.0, 0.99),
         }
     }
-
-    /// Nodes currently hosting at least one spot pod (loaned nodes).
-    fn loaned_nodes(cluster: &Cluster) -> HashSet<NodeId> {
-        let mut out = HashSet::new();
-        for rt in cluster.running() {
-            if rt.spec.priority.is_spot() {
-                for p in &rt.placements {
-                    out.insert(p.node);
-                }
-            }
-        }
-        out
-    }
 }
 
 impl Scheduler for Lyra {
@@ -67,18 +52,19 @@ impl Scheduler for Lyra {
             });
         }
         // spot (training) tasks only run on loans: nodes that are entirely
-        // idle or already loaned, and only while the reserve holds
+        // idle or already loaned, and only while the reserve holds — both
+        // facts are maintained incrementally by the capacity index
         let total_nodes = cluster.nodes().len() as f64;
-        let loaned = Self::loaned_nodes(cluster);
-        let idle_nodes = cluster.nodes().iter().filter(|n| n.idle_gpus() == n.total_gpus()).count() as f64;
+        let idle_nodes = cluster.fully_idle_nodes() as f64;
         if idle_nodes <= total_nodes * self.reserve_frac {
             return None; // loan book is full: protect inference headroom
         }
         let nodes = gang_nodes_by(cluster, task, |n| {
             let fully_idle = n.idle_gpus() == n.total_gpus();
-            if fully_idle || loaned.contains(&n.id()) {
+            let loaned = cluster.has_spot_on(n.id());
+            if fully_idle || loaned {
                 // prefer already-loaned nodes, then the emptiest
-                Some(if loaned.contains(&n.id()) { 1_000.0 } else { 0.0 } + f64::from(n.idle_gpus()))
+                Some(if loaned { 1_000.0 } else { 0.0 } + f64::from(n.idle_gpus()))
             } else {
                 None
             }
@@ -90,7 +76,7 @@ impl Scheduler for Lyra {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfs_types::{GpuDemand, GpuModel, Priority};
+    use gfs_types::{GpuDemand, GpuModel, NodeId, Priority};
 
     fn task(id: u64, priority: Priority, gpus: u32) -> TaskSpec {
         TaskSpec::builder(id)

@@ -15,41 +15,41 @@ pub fn gang_nodes_by<F>(cluster: &Cluster, task: &TaskSpec, score: F) -> Option<
 where
     F: Fn(&Node) -> Option<f64>,
 {
-    let mut budget: HashMap<NodeId, u32> = cluster
-        .nodes()
-        .iter()
-        .map(|n| (n.id(), n.idle_gpus()))
-        .collect();
+    // Feasible nodes come from the capacity index (O(answer)), not a scan
+    // over every node. The selection itself is a max over a *total* order
+    // (score, then lower node id), so candidate enumeration order cannot
+    // change the outcome.
+    let candidates: Vec<u32> = match task.gpus_per_pod {
+        GpuDemand::Whole(need) => cluster.whole_fit_candidates(task.gpu_model, need),
+        GpuDemand::Fraction(f) => cluster.fraction_fit_candidates(task.gpu_model, f),
+    };
+    // virtual idle budget, tracked only for nodes the gang actually picks
+    let mut budget: HashMap<NodeId, u32> = HashMap::new();
     let mut out = Vec::with_capacity(task.pods as usize);
     for _ in 0..task.pods {
-        let chosen = match task.gpus_per_pod {
-            GpuDemand::Whole(need) => cluster
-                .nodes()
-                .iter()
-                .filter(|n| n.model() == task.gpu_model)
-                .filter(|n| budget.get(&n.id()).copied().unwrap_or(0) >= need)
-                .filter_map(|n| score(n).map(|s| (n.id(), s)))
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("scores are finite")
-                        .then(b.0.cmp(&a.0))
-                })
-                .map(|(id, _)| id),
-            GpuDemand::Fraction(f) => cluster
-                .nodes()
-                .iter()
-                .filter(|n| n.model() == task.gpu_model)
-                .filter(|n| n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12))
-                .filter_map(|n| score(n).map(|s| (n.id(), s)))
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("scores are finite")
-                        .then(b.0.cmp(&a.0))
-                })
-                .map(|(id, _)| id),
-        }?;
+        let chosen = candidates
+            .iter()
+            .map(|&id| (NodeId::new(id), &cluster.nodes()[id as usize]))
+            .filter(|(id, n)| match task.gpus_per_pod {
+                GpuDemand::Whole(need) => {
+                    budget.get(id).copied().unwrap_or_else(|| n.idle_gpus()) >= need
+                }
+                GpuDemand::Fraction(f) => {
+                    n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12)
+                }
+            })
+            .filter_map(|(id, n)| score(n).map(|s| (id, s)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("scores are finite")
+                    .then(b.0.cmp(&a.0))
+            })
+            .map(|(id, _)| id)?;
         if let GpuDemand::Whole(need) = task.gpus_per_pod {
-            *budget.get_mut(&chosen).expect("chosen from budget") -= need;
+            let entry = budget
+                .entry(chosen)
+                .or_insert_with(|| cluster.nodes()[chosen.index()].idle_gpus());
+            *entry -= need;
         }
         out.push(chosen);
     }
@@ -103,20 +103,23 @@ where
         GpuDemand::Whole(n) => f64::from(n),
         GpuDemand::Fraction(f) => f,
     };
+    // Only nodes that already fit or host an evictable spot pod can ever
+    // satisfy a pod; the index enumerates exactly those, ascending by id
+    // (matching the former full-scan visit order).
+    let candidates = cluster.preemption_candidates(task.gpu_model, need.ceil() as u32);
     // virtual idle capacity per node, updated as we plan evictions
-    let mut virt_idle: HashMap<NodeId, f64> = cluster
-        .nodes()
-        .iter()
-        .map(|n| (n.id(), f64::from(n.idle_gpus())))
-        .collect();
+    let mut virt_idle: HashMap<NodeId, f64> = HashMap::new();
     let mut evicted: Vec<TaskId> = Vec::new();
     let mut pod_nodes = Vec::with_capacity(task.pods as usize);
 
     for _ in 0..task.pods {
         // candidate = node where idle + evictable spot >= need
         let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
-        for n in cluster.nodes().iter().filter(|n| n.model() == task.gpu_model) {
-            let mut idle = virt_idle.get(&n.id()).copied().unwrap_or(0.0);
+        for n in candidates.iter().map(|&id| &cluster.nodes()[id as usize]) {
+            let mut idle = virt_idle
+                .get(&n.id())
+                .copied()
+                .unwrap_or_else(|| f64::from(n.idle_gpus()));
             if idle >= need {
                 // no eviction required on this node: zero-waste plan
                 match &best {
@@ -159,16 +162,22 @@ where
             }
         }
         let (node, victims, _) = best?;
+        // absent entries mean "actual idle count" now that the map is lazy
+        let actual_idle = |c: &Cluster, id: NodeId| f64::from(c.nodes()[id.index()].idle_gpus());
         for v in &victims {
             // credit every node the victim occupies
             if let Some(rt) = cluster.running_task(*v) {
                 for p in &rt.placements {
-                    *virt_idle.entry(p.node).or_insert(0.0) += p.alloc.cards();
+                    *virt_idle
+                        .entry(p.node)
+                        .or_insert_with(|| actual_idle(cluster, p.node)) += p.alloc.cards();
                 }
             }
             evicted.push(*v);
         }
-        *virt_idle.entry(node).or_insert(0.0) -= need;
+        *virt_idle
+            .entry(node)
+            .or_insert_with(|| actual_idle(cluster, node)) -= need;
         pod_nodes.push(node);
     }
     Some((pod_nodes, evicted))

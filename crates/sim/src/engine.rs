@@ -5,9 +5,23 @@
 //! every batch of same-timestamp events the engine runs one scheduling pass
 //! over the pending queue. All state transitions go through
 //! [`gfs_cluster::Cluster`], so a scheduler can never corrupt accounting.
+//!
+//! # Hot-path layout
+//!
+//! Per-task bookkeeping lives in one dense `Vec<TaskState>` indexed by the
+//! task's position in the submitted trace (events carry that index, not a
+//! `TaskId`), so the event loop never hashes. Specs are shared with the
+//! cluster as `Arc<TaskSpec>`, so submitting, starting and requeuing a
+//! task never deep-copies the spec. The pending queue is kept sorted under
+//! [`Scheduler::queue_cmp`] by binary insertion at submit/requeue time —
+//! ties stay in FIFO arrival order, matching what a stable re-sort of the
+//! whole queue every pass used to produce, without the O(n log n) per
+//! batch. A task's carried progress is cleared when it finishes, so state
+//! cannot accumulate stale checkpoint data over week-scale traces.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use gfs_cluster::{Cluster, Scheduler, TaskEvent};
 use gfs_types::{SimDuration, SimTime, TaskId, TaskSpec};
@@ -46,11 +60,25 @@ impl Default for SimConfig {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
-    Submit(usize),
-    Finish { task: TaskId, epoch: u32 },
-    Requeue(TaskId),
+    Submit(u32),
+    Finish { task: u32, epoch: u32 },
+    Requeue(u32),
     Tick,
     Sample,
+}
+
+/// Dense per-task simulation state, indexed by trace position.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskState {
+    /// Index of the task's record in the report (records are appended in
+    /// submission-event order, which can differ from trace order).
+    rec: u32,
+    /// Run-segment epoch; a `Finish` event is stale unless epochs match.
+    epoch: u32,
+    /// Checkpointed progress carried across evictions; cleared on finish.
+    carried: SimDuration,
+    /// When the task last entered the pending queue.
+    enqueue: SimTime,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,16 +125,28 @@ pub fn run(
         heap.push(Event { at, seq: *seq, kind });
     };
 
-    let mut specs: HashMap<TaskId, TaskSpec> = HashMap::new();
-    let mut rec_index: HashMap<TaskId, usize> = HashMap::new();
-    let mut carried: HashMap<TaskId, SimDuration> = HashMap::new();
-    let mut epochs: HashMap<TaskId, u32> = HashMap::new();
-    let mut enqueue_time: HashMap<TaskId, SimTime> = HashMap::new();
-    let mut pending: Vec<TaskSpec> = Vec::new();
-    let mut unfinished = tasks.len();
+    // dense per-task state, indexed by trace position; specs shared by Arc
+    let specs: Vec<Arc<TaskSpec>> = tasks.into_iter().map(Arc::new).collect();
+    let mut states: Vec<TaskState> = vec![TaskState::default(); specs.len()];
+    // only victim lookups (TaskId → index) need a map, built once
+    let id_to_idx: HashMap<TaskId, u32> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i as u32))
+        .collect();
+    // pending queue of trace indices, kept sorted under queue_cmp with
+    // FIFO tie-breaks by inserting behind every entry that is <= the task
+    let mut pending: Vec<u32> = Vec::new();
+    let enqueue = |pending: &mut Vec<u32>, specs: &[Arc<TaskSpec>], s: &dyn Scheduler, i: u32| {
+        let spec = &specs[i as usize];
+        let pos = pending
+            .partition_point(|&e| s.queue_cmp(&specs[e as usize], spec) != Ordering::Greater);
+        pending.insert(pos, i);
+    };
+    let mut unfinished = specs.len();
 
-    for (i, t) in tasks.iter().enumerate() {
-        push(&mut heap, &mut seq, t.submit_at, EventKind::Submit(i));
+    for (i, t) in specs.iter().enumerate() {
+        push(&mut heap, &mut seq, t.submit_at, EventKind::Submit(i as u32));
     }
     push(&mut heap, &mut seq, SimTime::ZERO, EventKind::Sample);
     push(
@@ -145,9 +185,10 @@ pub fn run(
         for ev in batch {
             match ev.kind {
                 EventKind::Submit(i) => {
-                    let spec = tasks[i].clone();
+                    let spec = &specs[i as usize];
                     let id = spec.id;
-                    rec_index.insert(id, report.tasks.len());
+                    states[i as usize].rec = report.tasks.len() as u32;
+                    states[i as usize].enqueue = now;
                     report.tasks.push(TaskRecord {
                         id,
                         priority: spec.priority,
@@ -162,8 +203,6 @@ pub fn run(
                         runs: 0,
                         evictions: 0,
                     });
-                    specs.insert(id, spec.clone());
-                    enqueue_time.insert(id, now);
                     scheduler.on_event(
                         &TaskEvent::Submitted {
                             task: id,
@@ -172,23 +211,26 @@ pub fn run(
                         },
                         &cluster,
                     );
-                    pending.push(spec);
+                    enqueue(&mut pending, &specs, scheduler, i);
                     dirty = true;
                 }
                 EventKind::Finish { task, epoch } => {
-                    if epochs.get(&task).copied().unwrap_or(0) != epoch {
+                    let st = &mut states[task as usize];
+                    if st.epoch != epoch {
                         continue; // stale: the run was preempted
                     }
-                    if cluster.running_task(task).is_none() {
+                    let id = specs[task as usize].id;
+                    if cluster.running_task(id).is_none() {
                         continue;
                     }
-                    let rt = cluster.finish_task(task, now).expect("task verified running");
-                    let rec = &mut report.tasks[rec_index[&task]];
+                    let rt = cluster.finish_task(id, now).expect("task verified running");
+                    st.carried = 0; // progress state dies with the task
+                    let rec = &mut report.tasks[st.rec as usize];
                     rec.finish = Some(now);
                     unfinished -= 1;
                     scheduler.on_event(
                         &TaskEvent::Finished {
-                            task,
+                            task: id,
                             priority: rt.spec.priority,
                             at: now,
                         },
@@ -197,9 +239,8 @@ pub fn run(
                     dirty = true;
                 }
                 EventKind::Requeue(task) => {
-                    let spec = specs[&task].clone();
-                    enqueue_time.insert(task, now);
-                    pending.push(spec);
+                    states[task as usize].enqueue = now;
+                    enqueue(&mut pending, &specs, scheduler, task);
                     dirty = true;
                 }
                 EventKind::Tick => {
@@ -243,20 +284,21 @@ pub fn run(
             continue;
         }
 
-        // one scheduling pass over the pending queue
-        scheduler.sort_queue(&mut pending);
+        // one scheduling pass over the (incrementally sorted) pending queue
         let mut still_pending = Vec::with_capacity(pending.len());
-        for task in pending.drain(..) {
-            let Some(decision) = scheduler.schedule(&task, &cluster, now) else {
-                still_pending.push(task);
+        for idx in pending.drain(..) {
+            let task = &specs[idx as usize];
+            let Some(decision) = scheduler.schedule(task, &cluster, now) else {
+                still_pending.push(idx);
                 continue;
             };
             for victim in &decision.preemptions {
                 match cluster.evict_task(*victim, now) {
                     Ok((_rt, preserved)) => {
-                        carried.insert(*victim, preserved);
-                        *epochs.entry(*victim).or_insert(0) += 1;
-                        let rec = &mut report.tasks[rec_index[victim]];
+                        let vidx = id_to_idx[victim] as usize;
+                        states[vidx].carried = preserved;
+                        states[vidx].epoch += 1;
+                        let rec = &mut report.tasks[states[vidx].rec as usize];
                         rec.evictions += 1;
                         report.eviction_times.push(now);
                         scheduler.on_event(&TaskEvent::Evicted { task: *victim, at: now }, &cluster);
@@ -264,7 +306,7 @@ pub fn run(
                             &mut heap,
                             &mut seq,
                             now + cfg.requeue_delay_secs,
-                            EventKind::Requeue(*victim),
+                            EventKind::Requeue(vidx as u32),
                         );
                     }
                     Err(_) => {
@@ -272,24 +314,22 @@ pub fn run(
                     }
                 }
             }
-            let carry = carried.get(&task.id).copied().unwrap_or(0);
+            let carry = states[idx as usize].carried;
             let id = task.id;
-            match cluster.start_task(task.clone(), &decision.pod_nodes, now, carry) {
+            match cluster.start_task(Arc::clone(task), &decision.pod_nodes, now, carry) {
                 Ok(()) => {
-                    let epoch = {
-                        let e = epochs.entry(id).or_insert(0);
-                        *e += 1;
-                        *e
-                    };
+                    let st = &mut states[idx as usize];
+                    st.epoch += 1;
+                    let epoch = st.epoch;
                     let remaining = task.duration_secs.saturating_sub(carry).max(1);
                     push(
                         &mut heap,
                         &mut seq,
                         now + remaining,
-                        EventKind::Finish { task: id, epoch },
+                        EventKind::Finish { task: idx, epoch },
                     );
-                    let queued = now.since(enqueue_time.get(&id).copied().unwrap_or(now));
-                    let rec = &mut report.tasks[rec_index[&id]];
+                    let queued = now.since(st.enqueue);
+                    let rec = &mut report.tasks[st.rec as usize];
                     rec.queued_secs += queued;
                     rec.runs += 1;
                     if rec.first_start.is_none() {
@@ -310,7 +350,7 @@ pub fn run(
                 }
                 Err(_) => {
                     report.failed_commits += 1;
-                    still_pending.push(task);
+                    still_pending.push(idx);
                 }
             }
         }
@@ -318,11 +358,10 @@ pub fn run(
     }
 
     // tasks still queued accrue waiting time up to the end of the run
-    for task in &pending {
-        if let Some(&enq) = enqueue_time.get(&task.id) {
-            let rec = &mut report.tasks[rec_index[&task.id]];
-            rec.queued_secs += now.since(enq);
-        }
+    for &idx in &pending {
+        let st = &states[idx as usize];
+        let rec = &mut report.tasks[st.rec as usize];
+        rec.queued_secs += now.since(st.enqueue);
     }
     report.makespan = now;
     report
@@ -343,22 +382,27 @@ mod tests {
         }
 
         fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, _now: SimTime) -> Option<Decision> {
-            let mut nodes = Vec::with_capacity(task.pods as usize);
+            let need = match task.gpus_per_pod {
+                GpuDemand::Whole(n) => n,
+                GpuDemand::Fraction(_) => 1,
+            };
+            // first-fit over the capacity index: only feasible nodes visited
+            let candidates = cluster.whole_fit_candidates(task.gpu_model, need);
             let mut budget: HashMap<NodeId, u32> = HashMap::new();
-            for n in cluster.nodes() {
-                budget.insert(n.id(), n.idle_gpus());
-            }
+            let mut nodes = Vec::with_capacity(task.pods as usize);
             for _ in 0..task.pods {
-                let need = match task.gpus_per_pod {
-                    GpuDemand::Whole(n) => n,
-                    GpuDemand::Fraction(_) => 1,
-                };
-                let slot = cluster
-                    .nodes()
+                let slot = candidates
                     .iter()
-                    .find(|n| budget.get(&n.id()).copied().unwrap_or(0) >= need)?;
-                *budget.get_mut(&slot.id()).expect("budget initialised") -= need;
-                nodes.push(slot.id());
+                    .map(|&id| (NodeId::new(id), &cluster.nodes()[id as usize]))
+                    .find(|(id, n)| {
+                        budget.get(id).copied().unwrap_or_else(|| n.idle_gpus()) >= need
+                    })
+                    .map(|(id, _)| id)?;
+                let entry = budget
+                    .entry(slot)
+                    .or_insert_with(|| cluster.nodes()[slot.index()].idle_gpus());
+                *entry -= need;
+                nodes.push(slot);
             }
             Some(Decision::place(nodes))
         }
@@ -527,6 +571,45 @@ mod tests {
         assert!(finish >= 3_000 + (10_000 - 1_800), "finish {finish}");
         assert_eq!(report.eviction_rate(), 0.5, "1 eviction over 2 runs");
         assert_eq!(report.failed_commits, 0);
+    }
+
+    /// Regression for carried-progress bookkeeping across long eviction
+    /// chains: checkpointed progress must accumulate exactly through ~100
+    /// evict/requeue cycles, and a task's progress state dies with it at
+    /// finish (it lives in the dense per-task slot, cleared on `Finish` —
+    /// the old per-`TaskId` map retained entries forever).
+    #[test]
+    fn carried_progress_exact_across_many_evictions() {
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // checkpoint every second: evictions lose (almost) nothing
+        let spot = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(100_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 1 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        // an 8-GPU HP task every 2000 s keeps evicting the spot task
+        let mut tasks = vec![spot];
+        for k in 1..120u64 {
+            tasks.push(task(1_000 + k, Priority::Hp, 8, 1_000, 2_000 * k));
+        }
+        let report = run(cluster, &mut PreemptAll, tasks, &SimConfig::default());
+        let spot_rec = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
+        assert!(spot_rec.completed(), "spot must finish despite the eviction storm");
+        assert!(spot_rec.evictions >= 90, "evictions: {}", spot_rec.evictions);
+        assert_eq!(spot_rec.runs, spot_rec.evictions + 1, "every eviction restarts once");
+        // progress conservation: 2000 s in the first segment, 1000 s per
+        // later segment, no checkpoint loss -> finish at exactly 198 000 s
+        assert_eq!(spot_rec.finish, Some(SimTime::from_secs(198_000)));
+        let hp_evictions: u32 = report
+            .tasks
+            .iter()
+            .filter(|t| t.priority.is_hp())
+            .map(|t| t.evictions)
+            .sum();
+        assert_eq!(hp_evictions, 0);
     }
 
     #[test]

@@ -6,6 +6,21 @@
 //! (§4.1). Outputs are [`SimReport`]s carrying per-task records and the
 //! aggregate metrics of §4.2 (JCT, JQT, eviction rate, allocation rate).
 //!
+//! # Hot-path architecture
+//!
+//! The event loop keeps all per-task bookkeeping (record index, run
+//! epoch, carried checkpoint progress, enqueue time) in one dense
+//! `Vec<TaskState>` addressed by the task's position in the submitted
+//! trace; events carry that index, so no hashing happens while draining
+//! the heap. Specs flow into the cluster as `Arc<TaskSpec>` (no deep
+//! copies per submit/start/requeue), and the pending queue is kept sorted
+//! under [`gfs_cluster::Scheduler::queue_cmp`] by binary insertion rather
+//! than re-sorted every scheduling pass. Carried progress is cleared when
+//! a task finishes, so week-scale, eviction-heavy traces do not
+//! accumulate stale state. Identical inputs produce byte-identical
+//! [`SimReport`]s across runs and processes (see `tests/golden_report.rs`
+//! at the workspace root).
+//!
 //! # Examples
 //!
 //! See the `quickstart` example at the workspace root, which wires a

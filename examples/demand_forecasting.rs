@@ -16,9 +16,11 @@ fn main() {
     println!("history: {} orgs × {} hours", template.num_orgs(), template.len_hours());
 
     // train OrgLinear
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 20;
-    cfg.stride = 7;
+    let cfg = TrainConfig {
+        epochs: 20,
+        stride: 7,
+        ..TrainConfig::default()
+    };
     let mut model = OrgLinear::new(&template, 5);
     let fit = model.fit(&template, &cfg);
     println!(

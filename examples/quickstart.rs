@@ -45,7 +45,7 @@ fn main() {
     );
 
     // 5. Report.
-    println!("\n=== results ({}) ===", "GFS");
+    println!("\n=== results (GFS) ===");
     println!("makespan                : {}", report.makespan);
     println!(
         "HP   mean JCT / JQT     : {:>9.1}s / {:>7.1}s",

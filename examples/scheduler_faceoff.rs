@@ -38,8 +38,7 @@ fn main() {
         cluster_capacity
     );
 
-    let mut results = Vec::new();
-    results.push(simulate("YARN-CS", &mut YarnCs::new(), &tasks));
+    let mut results = vec![simulate("YARN-CS", &mut YarnCs::new(), &tasks)];
     results.push(simulate("Chronus", &mut Chronus::new(), &tasks));
     results.push(simulate("Lyra", &mut Lyra::new(), &tasks));
     results.push(simulate("FGD", &mut Fgd::new(), &tasks));

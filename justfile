@@ -1,0 +1,29 @@
+# Developer entry points. `just` (https://github.com/casey/just) or copy the
+# recipes by hand — each is a single cargo invocation.
+
+# Build, test, lint — the full CI gate.
+ci: build test clippy bench-smoke
+
+# Release build of the whole workspace.
+build:
+    cargo build --release --workspace
+
+# Tier-1 test suite.
+test:
+    cargo test --workspace -q
+
+# Lint with warnings denied (kept at zero).
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Short-mode benchmark smoke run (seconds, not minutes).
+bench-smoke:
+    GFS_BENCH_SHORT=1 GFS_BENCH_TAG=ci-smoke cargo bench -p gfs-bench
+
+# Full benchmark suites; writes BENCH_*.json at the repo root.
+bench tag="local":
+    GFS_BENCH_TAG={{tag}} cargo bench -p gfs-bench
+
+# Hot-path component breakdown for the forecast training loop.
+profile-forecast:
+    cargo run --release -p gfs-bench --bin profile_forecast

@@ -121,10 +121,12 @@ fn gfs_with_gde(
 ) -> GfsScheduler {
     let horizon = (params.guarantee_hours as usize).max(4);
     let template = org_template_scaled(weeks, 168, horizon, seed, Some(expected_hp_gpus));
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 15;
-    cfg.stride = 7;
-    cfg.seed = seed;
+    let cfg = TrainConfig {
+        epochs: 15,
+        stride: 7,
+        seed,
+        ..TrainConfig::default()
+    };
     let gde = trained_gde(&template, model, &cfg, seed);
     GfsScheduler::new(params, PtsVariant::Full, Some(gde))
 }

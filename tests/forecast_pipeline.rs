@@ -8,9 +8,11 @@ use gfs::scenario::{org_template, org_template_scaled, trained_gde, GdeModel};
 #[test]
 fn orglinear_beats_naive_peak_on_org_demand() {
     let data = org_template(6, 168, 24, 17);
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 12;
-    cfg.stride = 7;
+    let cfg = TrainConfig {
+        epochs: 12,
+        stride: 7,
+        ..TrainConfig::default()
+    };
     let mut org = OrgLinear::new(&data, 3);
     let org_scores = gfs::forecast::evaluate(&mut org, &data, &cfg);
     let mut peak = LastWeekPeak::new();

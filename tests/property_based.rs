@@ -1,41 +1,41 @@
 //! Property-based tests over the core invariants: cluster capacity
 //! accounting, checkpoint arithmetic, quota bounds and simulator
 //! conservation laws.
+//!
+//! The harness is a small in-repo generator loop (seeded ChaCha8 →
+//! deterministic pseudo-random cases) rather than an external property
+//! testing crate, which keeps the workspace buildable offline. Each
+//! property runs `CASES` independent cases; failures print the case seed
+//! so a reproduction is one constant away.
 
 use gfs::prelude::*;
 use gfs_types::CheckpointPlan;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-#[allow(dead_code)]
-fn arb_task(id: u64) -> impl Strategy<Value = TaskSpec> {
-    (
-        prop_oneof![Just(Priority::Hp), Just(Priority::Spot)],
-        1u32..=3,
-        1u32..=8,
-        60u64..20_000,
-        0u64..40_000,
-    )
-        .prop_map(move |(priority, pods, gpus, dur, submit)| {
-            TaskSpec::builder(id)
-                .priority(priority)
-                .pods(pods)
-                .gpus_per_pod(GpuDemand::whole(gpus))
-                .duration_secs(dur)
-                .submit_at(SimTime::from_secs(submit))
-                .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
-                .build()
-                .expect("generated specs are valid")
-        })
+const CASES: u64 = 48;
+
+/// Runs `f` once per case with an independently seeded generator.
+fn for_all_cases(name: &str, f: impl Fn(&mut ChaCha8Rng)) {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0000 + case);
+        // isolate failures to a case seed
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            panic!("property {name} failed at case {case}: {e:?}");
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn allocation_never_exceeds_capacity(tasks in prop::collection::vec((1u32..=8, 0u64..10_000), 1..40)) {
+#[test]
+fn allocation_never_exceeds_capacity() {
+    for_all_cases("allocation_never_exceeds_capacity", |rng| {
         let mut cluster = Cluster::homogeneous(4, GpuModel::A100, 8);
         let capacity = cluster.capacity(None);
-        for (i, (gpus, at)) in tasks.into_iter().enumerate() {
+        let n = rng.gen_range(1..40usize);
+        for i in 0..n {
+            let gpus = rng.gen_range(1..9u32);
+            let at = rng.gen_range(0..10_000u64);
             let spec = TaskSpec::builder(i as u64 + 1)
                 .priority(Priority::Spot)
                 .gpus_per_pod(GpuDemand::whole(gpus))
@@ -49,32 +49,36 @@ proptest! {
                 .find(|n| n.idle_gpus() >= gpus)
                 .map(gfs::cluster::Node::id);
             if let Some(node) = node {
-                cluster.start_task(spec, &[node], SimTime::from_secs(at), 0).expect("fits");
+                cluster
+                    .start_task(spec, &[node], SimTime::from_secs(at), 0)
+                    .expect("fits");
             }
-            prop_assert!(cluster.hp_allocated(None) + cluster.spot_allocated(None) <= capacity + 1e-9);
-            prop_assert!(f64::from(cluster.idle_gpus(None)) <= capacity);
+            assert!(cluster.hp_allocated(None) + cluster.spot_allocated(None) <= capacity + 1e-9);
+            assert!(f64::from(cluster.idle_gpus(None)) <= capacity);
         }
-    }
+    });
+}
 
-    #[test]
-    fn checkpoint_preserved_progress_is_monotone_and_bounded(
-        interval in 1u64..5_000,
-        carried in 0u64..10_000,
-        executed in 0u64..10_000,
-    ) {
+#[test]
+fn checkpoint_preserved_progress_is_monotone_and_bounded() {
+    for_all_cases("checkpoint_preserved_progress", |rng| {
+        let interval = rng.gen_range(1..5_000u64);
+        let carried = rng.gen_range(0..10_000u64);
+        let executed = rng.gen_range(0..10_000u64);
         let plan = CheckpointPlan::Periodic { interval };
         let preserved = plan.preserved_progress(carried, executed);
-        prop_assert!(preserved >= carried, "never loses pre-existing progress");
-        prop_assert!(preserved <= carried + executed, "never invents progress");
-        prop_assert_eq!(plan.wasted_work(carried, executed), carried + executed - preserved);
-    }
+        assert!(preserved >= carried, "never loses pre-existing progress");
+        assert!(preserved <= carried + executed, "never invents progress");
+        assert_eq!(plan.wasted_work(carried, executed), carried + executed - preserved);
+    });
+}
 
-    #[test]
-    fn quota_stays_within_physical_bounds(
-        demand in 0.0f64..5_000.0,
-        evictions in 0usize..30,
-        starts in 0usize..30,
-    ) {
+#[test]
+fn quota_stays_within_physical_bounds() {
+    for_all_cases("quota_stays_within_physical_bounds", |rng| {
+        let demand = rng.gen_range(0.0..5_000.0f64);
+        let evictions = rng.gen_range(0..30usize);
+        let starts = rng.gen_range(0..30usize);
         let cluster = Cluster::homogeneous(16, GpuModel::A100, 8);
         let mut sqa = gfs::core::SpotQuotaAllocator::new(GfsParams::default());
         let now = SimTime::from_hours(1);
@@ -85,18 +89,21 @@ proptest! {
             sqa.record_spot_start(TaskId::new(1_000 + i as u64), now, 100);
         }
         sqa.update(now, &cluster, demand);
-        prop_assert!(sqa.quota() >= 0.0);
-        prop_assert!(sqa.quota() <= cluster.capacity(None) + 1e-9);
+        assert!(sqa.quota() >= 0.0);
+        assert!(sqa.quota() <= cluster.capacity(None) + 1e-9);
         let (lo, hi) = GfsParams::default().eta_bounds;
-        prop_assert!(sqa.eta() >= lo && sqa.eta() <= hi);
-    }
+        assert!(sqa.eta() >= lo && sqa.eta() <= hi);
+    });
+}
 
-    #[test]
-    fn simulator_conserves_tasks_and_work(tasks_in in prop::collection::vec(any::<u64>(), 10..30)) {
+#[test]
+fn simulator_conserves_tasks_and_work() {
+    for_all_cases("simulator_conserves_tasks_and_work", |rng| {
+        let n = rng.gen_range(10..30usize);
         let mut tasks = Vec::new();
-        // deterministic pseudo-random small workload derived from the inputs
-        for (i, raw) in tasks_in.iter().enumerate() {
-            let priority = if raw % 3 == 0 { Priority::Spot } else { Priority::Hp };
+        for i in 0..n {
+            let raw: u64 = rng.gen_range(0..u64::MAX);
+            let priority = if raw.is_multiple_of(3) { Priority::Spot } else { Priority::Hp };
             let pods = (raw % 3 + 1) as u32;
             let gpus = (raw / 3 % 8 + 1) as u32;
             let dur = 60 + raw / 7 % 20_000;
@@ -119,37 +126,186 @@ proptest! {
             cluster,
             &mut sched,
             tasks.clone(),
-            &SimConfig { max_time_secs: Some(10 * 24 * HOUR), ..SimConfig::default() },
+            &SimConfig {
+                max_time_secs: Some(10 * 24 * HOUR),
+                ..SimConfig::default()
+            },
         );
-        prop_assert_eq!(report.tasks.len(), tasks.len(), "every submission recorded");
+        assert_eq!(report.tasks.len(), tasks.len(), "every submission recorded");
         for t in &report.tasks {
             if let Some(jct) = t.jct() {
-                prop_assert!(jct >= t.work_secs, "completion time covers the work");
+                assert!(jct >= t.work_secs, "completion time covers the work");
             }
-            prop_assert!(t.runs >= t.evictions, "each eviction ends one run");
+            assert!(t.runs >= t.evictions, "each eviction ends one run");
         }
-        prop_assert_eq!(report.failed_commits, 0u64);
+        assert_eq!(report.failed_commits, 0u64);
+    });
+}
+
+/// Brute-force reference for the capacity-index queries: a direct scan
+/// over every node, mirroring the pre-index scheduler loops.
+mod brute {
+    use super::*;
+    use gfs::cluster::Node;
+
+    pub fn whole_fit(cluster: &Cluster, model: GpuModel, need: u32) -> Vec<u32> {
+        cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.model() == model && n.idle_gpus() >= need)
+            .map(|n| n.id().raw())
+            .collect()
     }
 
-    #[test]
-    fn gaussian_quantile_monotone_in_p(
-        mu in -100.0f64..100.0,
-        sigma in 0.01f64..50.0,
-        p1 in 0.01f64..0.98,
-    ) {
+    pub fn fraction_fit(cluster: &Cluster, model: GpuModel, f: f64) -> Vec<u32> {
+        cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.model() == model)
+            .filter(|n| n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12))
+            .map(|n| n.id().raw())
+            .collect()
+    }
+
+    pub fn spot_on(cluster: &Cluster, node: gfs_types::NodeId) -> Vec<TaskId> {
+        cluster
+            .running()
+            .filter(|rt| {
+                rt.spec.priority.is_spot() && rt.placements.iter().any(|p| p.node == node)
+            })
+            .map(|rt| rt.spec.id)
+            .collect()
+    }
+
+    pub fn fully_idle(cluster: &Cluster) -> usize {
+        cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.idle_gpus() == n.total_gpus())
+            .count()
+    }
+
+    pub fn preemption(cluster: &Cluster, model: GpuModel, need: u32) -> Vec<u32> {
+        cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.model() == model)
+            .filter(|n| n.idle_gpus() >= need || !spot_on(cluster, n.id()).is_empty())
+            .map(Node::id)
+            .map(gfs_types::NodeId::raw)
+            .collect()
+    }
+}
+
+/// Drives an arbitrary start/evict/finish sequence and checks every
+/// capacity-index query against the brute-force node scan after each
+/// mutation. This is the safety net for the incremental index maintenance
+/// in `Cluster::{start_task, evict_task, finish_task}`.
+#[test]
+fn capacity_index_matches_brute_force_scan() {
+    for_all_cases("capacity_index_matches_brute_force_scan", |rng| {
+        let mut cluster = Cluster::homogeneous(6, GpuModel::A100, 8);
+        let mut live: Vec<TaskId> = Vec::new();
+        let mut next_id = 1u64;
+        for step in 0..60 {
+            // mutate: mostly starts, otherwise evict or finish a live task
+            let action = rng.gen_range(0..10u32);
+            if action < 6 || live.is_empty() {
+                let spot = rng.gen_bool(0.6);
+                let fractional = rng.gen_bool(0.3);
+                let builder = TaskSpec::builder(next_id)
+                    .priority(if spot { Priority::Spot } else { Priority::Hp })
+                    .duration_secs(10_000);
+                let spec = if fractional {
+                    builder.gpus_per_pod(
+                        GpuDemand::fraction(*[0.25, 0.3, 0.5, 0.75]
+                            .get(rng.gen_range(0..4usize))
+                            .expect("static"))
+                        .expect("valid"),
+                    )
+                } else {
+                    builder.gpus_per_pod(GpuDemand::whole(rng.gen_range(1..9u32)))
+                }
+                .build()
+                .expect("valid");
+                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
+                if cluster
+                    .start_task(spec.clone(), &[node], SimTime::from_secs(step), 0)
+                    .is_ok()
+                {
+                    live.push(spec.id);
+                    next_id += 1;
+                }
+            } else {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                let is_spot = cluster
+                    .running_task(victim)
+                    .expect("tracked tasks are running")
+                    .spec
+                    .priority
+                    .is_spot();
+                if action < 8 && is_spot {
+                    cluster.evict_task(victim, SimTime::from_secs(step)).expect("evictable");
+                } else {
+                    cluster.finish_task(victim, SimTime::from_secs(step)).expect("running");
+                }
+            }
+            // verify: every indexed query equals the brute-force scan
+            for need in [1u32, 2, 4, 8] {
+                assert_eq!(
+                    cluster.whole_fit_candidates(GpuModel::A100, need),
+                    brute::whole_fit(&cluster, GpuModel::A100, need),
+                    "whole-fit({need}) diverged at step {step}"
+                );
+            }
+            for f in [0.2f64, 0.25, 0.5, 0.75, 0.9] {
+                assert_eq!(
+                    cluster.fraction_fit_candidates(GpuModel::A100, f),
+                    brute::fraction_fit(&cluster, GpuModel::A100, f),
+                    "fraction-fit({f}) diverged at step {step}"
+                );
+            }
+            for node in 0..6u32 {
+                let id = gfs_types::NodeId::new(node);
+                let indexed: Vec<TaskId> =
+                    cluster.spot_tasks_on(id).iter().map(|rt| rt.spec.id).collect();
+                assert_eq!(indexed, brute::spot_on(&cluster, id), "spot-on({node}) diverged");
+                assert_eq!(cluster.has_spot_on(id), !indexed.is_empty());
+            }
+            assert_eq!(cluster.fully_idle_nodes(), brute::fully_idle(&cluster));
+            assert_eq!(
+                cluster.preemption_candidates(GpuModel::A100, 4),
+                brute::preemption(&cluster, GpuModel::A100, 4)
+            );
+            // no cross-model leakage
+            assert!(cluster.whole_fit_candidates(GpuModel::H800, 1).is_empty());
+        }
+    });
+}
+
+#[test]
+fn gaussian_quantile_monotone_in_p() {
+    for_all_cases("gaussian_quantile_monotone_in_p", |rng| {
+        let mu = rng.gen_range(-100.0..100.0f64);
+        let sigma = rng.gen_range(0.01..50.0f64);
+        let p1 = rng.gen_range(0.01..0.98f64);
         let p2 = p1 + 0.01;
         let q1 = gfs::forecast::stats::gaussian_quantile(p1, mu, sigma);
         let q2 = gfs::forecast::stats::gaussian_quantile(p2, mu, sigma);
-        prop_assert!(q2 >= q1);
-    }
+        assert!(q2 >= q1);
+    });
+}
 
-    #[test]
-    fn moving_average_stays_in_range(xs in prop::collection::vec(0.0f64..100.0, 1..200)) {
+#[test]
+fn moving_average_stays_in_range() {
+    for_all_cases("moving_average_stays_in_range", |rng| {
+        let n = rng.gen_range(1..200usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
         let trend = gfs::forecast::decompose::moving_average(&xs, 25);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for t in trend {
-            prop_assert!(t >= min - 1e-9 && t <= max + 1e-9);
+            assert!(t >= min - 1e-9 && t <= max + 1e-9);
         }
-    }
+    });
 }
