@@ -1,0 +1,88 @@
+//! Table 5 scheduler face-off as a `gfs::lab` grid declaration: the four
+//! baselines plus GFS on the medium-spot workload, replicated over seeds
+//! and aggregated with across-seed statistics.
+//!
+//! ```text
+//! cargo run --release -p gfs-bench --bin lab_faceoff
+//! GFS_LAB_SMOKE=1  …         # tiny grid for CI (< 10 s)
+//! GFS_LAB_THREADS=8 …        # fixed worker count (default: one per core)
+//! GFS_LAB_COMPARE=1 …        # also run serially; verify identical output
+//! ```
+
+use std::time::Instant;
+
+use gfs::lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
+use gfs::prelude::*;
+use gfs::scenario;
+use gfs_bench::env_flag;
+
+fn main() {
+    let smoke = env_flag("GFS_LAB_SMOKE");
+    let threads = match std::env::var("GFS_LAB_THREADS").ok().and_then(|v| v.parse().ok()) {
+        Some(n) => Threads::Fixed(n),
+        None => Threads::Auto,
+    };
+    let (nodes, horizon_h) = if smoke { (8, 12) } else { (32, 72) };
+
+    // The whole experiment, declaratively: schedulers × workload × seeds.
+    let base = WorkloadConfig {
+        horizon_secs: horizon_h * HOUR,
+        spot_scale: 2.0, // medium spot workload (§4.1)
+        ..WorkloadConfig::default()
+    };
+    let medium = if smoke {
+        // fixed tiny counts: CI wants seconds, not load fidelity
+        WorkloadAxis::generated(
+            "medium-spot",
+            WorkloadConfig { hp_tasks: 48, spot_tasks: 16, ..base },
+        )
+    } else {
+        // 60 % HP / 15 % spot at scale 1 (×2 for the medium spot workload)
+        WorkloadAxis::generated_sized("medium-spot", base, 0.60, 0.15)
+    };
+    let mut grid = Grid::new()
+        .schedulers(SchedulerSpec::baselines())
+        .shape(ClusterShape::a100(nodes, 8))
+        .workload(medium)
+        .seeds([9, 10, 11])
+        .sim(SimConfig {
+            max_time_secs: Some((horizon_h + 96) * HOUR),
+            ..SimConfig::default()
+        });
+    if !smoke {
+        grid = grid.scheduler(scenario::gfs_spec(3, 0.6));
+    }
+
+    let start = Instant::now();
+    let result = grid.run(threads);
+    let wall = start.elapsed();
+    println!(
+        "{}",
+        result.report.render_table(&[
+            "hp_p99_jct_s",
+            "hp_mean_jct_s",
+            "hp_mean_jqt_s",
+            "spot_mean_jct_s",
+            "spot_mean_jqt_s",
+            "eviction_rate",
+        ])
+    );
+    let runs = result.report.cells.len() * 3;
+    println!("{runs} runs in {:.2}s on {} threads", wall.as_secs_f64(), threads.count());
+
+    if env_flag("GFS_LAB_COMPARE") {
+        let start = Instant::now();
+        let serial = grid.run(Threads::Fixed(1));
+        let serial_wall = start.elapsed();
+        assert_eq!(
+            serial.report.to_json(),
+            result.report.to_json(),
+            "parallel and serial grids must agree byte-for-byte"
+        );
+        println!(
+            "serial: {:.2}s  -> speedup {:.2}x, outputs identical",
+            serial_wall.as_secs_f64(),
+            serial_wall.as_secs_f64() / wall.as_secs_f64()
+        );
+    }
+}

@@ -1,12 +1,16 @@
 //! Table 5: scheduling-metrics comparison of GFS against the four baseline
-//! schedulers under the low / medium / high spot workloads (§4.4).
+//! schedulers under the low / medium / high spot workloads (§4.4), declared
+//! as one `gfs::lab` grid (workloads × schedulers) instead of hand-rolled
+//! serial loops.
 //!
 //! ```text
 //! GFS_BENCH_SCALE=full cargo run --release -p gfs-bench --bin table5_baselines
 //! ```
 
+use gfs::lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
 use gfs::prelude::*;
-use gfs_bench::{eval_gfs, eval_workload, print_rows, run_row, Scale};
+use gfs::scenario;
+use gfs_bench::{eval_sim_config, Scale, PAPER_GPUS_PER_NODE};
 
 fn main() {
     let scale = Scale::from_env();
@@ -15,16 +19,36 @@ fn main() {
         scale.nodes(),
         scale.horizon_hours()
     );
-    for (label, spot_scale) in [("(a) Low Spot Workload", 1.0), ("(b) Medium Spot Workload", 2.0), ("(c) High Spot Workload", 4.0)] {
-        let tasks = eval_workload(scale, spot_scale, 9);
-        let mut rows = vec![run_row("YARN-CS", &mut YarnCs::new(), scale, &tasks)];
-        rows.push(run_row("Chronus", &mut Chronus::new(), scale, &tasks));
-        rows.push(run_row("Lyra", &mut Lyra::new(), scale, &tasks));
-        rows.push(run_row("FGD", &mut Fgd::new(), scale, &tasks));
-        let mut gfs = eval_gfs(scale, 9);
-        rows.push(run_row("GFS", &mut gfs, scale, &tasks));
-        print_rows(label, &rows);
-    }
-    println!("\n(Chronus displaces best-effort jobs only at lease expiry; its e column is");
-    println!(" reported for completeness where the paper prints '-'.)");
+    let workloads = [("(a) low", 1.0), ("(b) medium", 2.0), ("(c) high", 4.0)].map(
+        |(name, spot_scale)| {
+            let base = WorkloadConfig {
+                horizon_secs: scale.horizon_hours() * HOUR,
+                spot_scale,
+                ..WorkloadConfig::default()
+            };
+            WorkloadAxis::generated_sized(format!("{name}-spot"), base, 0.60, 0.12)
+        },
+    );
+    let grid = Grid::new()
+        .schedulers(SchedulerSpec::baselines())
+        .scheduler(scenario::gfs_spec(3, 0.60))
+        .shape(ClusterShape::a100(scale.nodes(), PAPER_GPUS_PER_NODE))
+        .workloads(workloads)
+        .seeds([9])
+        .sim(eval_sim_config(scale));
+
+    let result = grid.run(Threads::Auto);
+    println!(
+        "{}",
+        result.report.render_table(&[
+            "hp_p99_jct_s",
+            "hp_mean_jct_s",
+            "hp_mean_jqt_s",
+            "spot_mean_jct_s",
+            "spot_mean_jqt_s",
+            "eviction_rate",
+        ])
+    );
+    println!("\n(Chronus displaces best-effort jobs only at lease expiry; its eviction_rate");
+    println!(" column is reported for completeness where the paper prints '-'.)");
 }

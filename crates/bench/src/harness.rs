@@ -3,9 +3,15 @@
 //! Each bench target builds a [`Suite`], registers closures with
 //! [`Suite::bench`], and calls [`Suite::finish`], which prints a table and
 //! writes a machine-readable `BENCH_<suite>.json` next to the workspace
-//! root (override the directory with `GFS_BENCH_DIR`). Timing is adaptive:
-//! a closure is warmed up, then iterated until the measurement budget is
-//! spent, and the mean wall-clock nanoseconds per iteration is reported.
+//! root (override the directory with `GFS_BENCH_DIR`). Timing is adaptive
+//! and repeated: a closure is warmed up, then measured in `k` independent
+//! repetitions (each iterating until its time budget is spent); the
+//! reported figure is the **median** of the per-repetition means — robust
+//! against the ±20 % noise of shared hosts, where a single long repetition
+//! (or a lucky quiet one) would skew a plain mean or best-of-k. The
+//! minimum repetition and the `(max − min)/median` spread are emitted per
+//! entry so a noisy measurement is visible in the JSON instead of silently
+//! trusted.
 //!
 //! Environment knobs:
 //!
@@ -23,10 +29,19 @@ use std::time::{Duration, Instant};
 pub struct Measurement {
     /// Benchmark name (stable across runs; used to diff baselines).
     pub name: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Median across repetitions of the mean nanoseconds per iteration —
+    /// the headline number (kept under the historical `mean_ns` JSON key
+    /// so baselines stay diffable).
     pub mean_ns: f64,
-    /// Iterations measured (after warm-up).
+    /// Fastest repetition's mean nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations measured across all repetitions (after warm-up).
     pub iters: u64,
+    /// Measurement repetitions.
+    pub reps: u32,
+    /// `(max − min) / median` across repetitions, percent: the
+    /// run-to-run noise of this entry.
+    pub spread_pct: f64,
 }
 
 /// A named collection of benchmarks writing one `BENCH_<name>.json`.
@@ -59,37 +74,67 @@ impl Suite {
         self.short
     }
 
-    fn budget(&self) -> (u32, Duration) {
+    /// `(warm-up iterations, per-repetition budget, repetitions)`.
+    fn budget(&self) -> (u32, Duration, u32) {
         if self.short {
-            (1, Duration::from_millis(30))
+            (1, Duration::from_millis(15), 2)
         } else {
-            (3, Duration::from_millis(800))
+            (3, Duration::from_millis(250), 5)
         }
     }
 
-    /// Measures `f`, printing and recording the mean time per iteration.
+    /// Measures `f` over `k` repetitions, printing and recording the
+    /// median (and min) of the per-repetition mean time per iteration.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
-        let (warmup, measure) = self.budget();
+        let (warmup, measure, reps) = self.budget();
         for _ in 0..warmup {
             black_box(f());
         }
         let mut iters = 0u64;
-        let mut elapsed = Duration::ZERO;
-        while elapsed < measure || iters == 0 {
-            let start = Instant::now();
-            black_box(f());
-            elapsed += start.elapsed();
-            iters += 1;
-            if iters >= 1_000_000 {
-                break;
+        let mut rep_means = Vec::with_capacity(reps as usize);
+        for _ in 0..reps {
+            let mut rep_iters = 0u64;
+            let mut elapsed = Duration::ZERO;
+            while elapsed < measure || rep_iters == 0 {
+                let start = Instant::now();
+                black_box(f());
+                elapsed += start.elapsed();
+                rep_iters += 1;
+                if rep_iters >= 1_000_000 {
+                    break;
+                }
             }
+            rep_means.push(elapsed.as_nanos() as f64 / rep_iters as f64);
+            iters += rep_iters;
         }
-        let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
-        println!("{name:<44} {:>14}/iter  ({iters} iters)", format_ns(mean_ns));
+        rep_means.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = rep_means.len();
+        // true median: average the middle pair for even k, so the 2-rep
+        // short mode does not report its slower repetition as the headline
+        let median_ns = if n % 2 == 0 {
+            (rep_means[n / 2 - 1] + rep_means[n / 2]) / 2.0
+        } else {
+            rep_means[n / 2]
+        };
+        let min_ns = rep_means[0];
+        let max_ns = rep_means[rep_means.len() - 1];
+        let spread_pct = if median_ns > 0.0 {
+            (max_ns - min_ns) / median_ns * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<44} {:>14}/iter  (min {}, ±{spread_pct:.0}%, {iters} iters × {reps} reps)",
+            format_ns(median_ns),
+            format_ns(min_ns),
+        );
         self.results.push(Measurement {
             name: name.to_string(),
-            mean_ns,
+            mean_ns: median_ns,
+            min_ns,
             iters,
+            reps,
+            spread_pct,
         });
     }
 
@@ -110,10 +155,13 @@ impl Suite {
         json.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}, \"reps\": {}, \"spread_pct\": {:.1}}}{}\n",
                 m.name,
                 m.mean_ns,
+                m.min_ns,
                 m.iters,
+                m.reps,
+                m.spread_pct,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }

@@ -19,6 +19,12 @@ pub fn paper_cluster() -> Cluster {
     Cluster::homogeneous(PAPER_NODES, GpuModel::A100, PAPER_GPUS_PER_NODE)
 }
 
+/// Reads a boolean environment flag: set and neither `"0"` nor empty.
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Scale factors for quick (CI) vs full (paper-scale) experiment runs,
 /// selected with the `GFS_BENCH_SCALE` environment variable
 /// (`quick` | `full`, default `quick`).

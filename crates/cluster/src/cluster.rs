@@ -78,6 +78,11 @@ impl RunningTask {
 
 /// The full cluster: nodes plus running-task registry plus spot outcome
 /// counters (`G` successes / `F` evictions of Eq. 18).
+///
+/// Cluster-wide totals (capacity, idle cards, HP/spot allocation) are
+/// maintained incrementally as pods are placed and released, so the
+/// whole-cluster accessors the SQA queries every quota tick are O(1)
+/// instead of O(nodes × gpus).
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
@@ -85,6 +90,14 @@ pub struct Cluster {
     index: CapacityIndex,
     spot_completed: u64,
     spot_evicted: u64,
+    /// Static total cards across all nodes.
+    cap_total: f64,
+    /// Incrementally-maintained count of fully idle cards.
+    idle_total: u32,
+    /// Incrementally-maintained HP allocation in cards.
+    hp_total: f64,
+    /// Incrementally-maintained spot allocation in cards.
+    spot_total: f64,
 }
 
 impl Cluster {
@@ -92,12 +105,20 @@ impl Cluster {
     #[must_use]
     pub fn new(nodes: Vec<Node>) -> Self {
         let index = CapacityIndex::build(&nodes);
+        let cap_total = nodes.iter().map(|n| f64::from(n.total_gpus())).sum();
+        let idle_total = nodes.iter().map(Node::idle_gpus).sum();
+        let hp_total = nodes.iter().map(Node::hp_allocated).sum();
+        let spot_total = nodes.iter().map(Node::spot_allocated).sum();
         Cluster {
             nodes,
             running: BTreeMap::new(),
             index,
             spot_completed: 0,
             spot_evicted: 0,
+            cap_total,
+            idle_total,
+            hp_total,
+            spot_total,
         }
     }
 
@@ -145,9 +166,10 @@ impl Cluster {
     /// Total GPU cards (optionally restricted to one model).
     #[must_use]
     pub fn capacity(&self, model: Option<GpuModel>) -> f64 {
+        let Some(m) = model else { return self.cap_total };
         self.nodes
             .iter()
-            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .filter(|n| n.model() == m)
             .map(|n| f64::from(n.total_gpus()))
             .sum()
     }
@@ -166,9 +188,10 @@ impl Cluster {
     /// of Eq. 10.
     #[must_use]
     pub fn idle_gpus(&self, model: Option<GpuModel>) -> u32 {
+        let Some(m) = model else { return self.idle_total };
         self.nodes
             .iter()
-            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .filter(|n| n.model() == m)
             .map(Node::idle_gpus)
             .sum()
     }
@@ -176,9 +199,10 @@ impl Cluster {
     /// Cards allocated to HP tasks (optionally per model).
     #[must_use]
     pub fn hp_allocated(&self, model: Option<GpuModel>) -> f64 {
+        let Some(m) = model else { return self.hp_total };
         self.nodes
             .iter()
-            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .filter(|n| n.model() == m)
             .map(Node::hp_allocated)
             .sum()
     }
@@ -187,9 +211,10 @@ impl Cluster {
     /// of Eq. 10.
     #[must_use]
     pub fn spot_allocated(&self, model: Option<GpuModel>) -> f64 {
+        let Some(m) = model else { return self.spot_total };
         self.nodes
             .iter()
-            .filter(|n| model.is_none_or(|m| n.model() == m))
+            .filter(|n| n.model() == m)
             .map(Node::spot_allocated)
             .sum()
     }
@@ -328,18 +353,27 @@ impl Cluster {
             let demand = spec.gpus_per_pod;
             let priority = spec.priority;
             let task = spec.id;
-            let result = self
-                .node_mut(nid)
-                .and_then(|n| n.place_pod(task, demand, priority));
+            let result = self.node_mut(nid).and_then(|n| {
+                let before = (n.idle_gpus(), n.hp_allocated(), n.spot_allocated());
+                n.place_pod(task, demand, priority).map(|alloc| (before, alloc))
+            });
             match result {
-                Ok(alloc) => placements.push(PodPlacement { node: nid, alloc }),
+                Ok((before, alloc)) => {
+                    placements.push(PodPlacement { node: nid, alloc });
+                    self.apply_node_delta(nid, before);
+                }
                 Err(e) => {
                     // roll back the partial gang
                     for p in &placements {
+                        let before = {
+                            let n = &self.nodes[p.node.index()];
+                            (n.idle_gpus(), n.hp_allocated(), n.spot_allocated())
+                        };
                         self.node_mut(p.node)
                             .expect("placed node exists")
                             .release_pod(task, &p.alloc, priority)
                             .expect("rollback of a fresh placement succeeds");
+                        self.apply_node_delta(p.node, before);
                         let node = &self.nodes[p.node.index()];
                         self.index.refresh(node);
                     }
@@ -422,16 +456,34 @@ impl Cluster {
 
     fn release_placements(&mut self, rt: &RunningTask) {
         for p in &rt.placements {
+            let before = {
+                let n = &self.nodes[p.node.index()];
+                (n.idle_gpus(), n.hp_allocated(), n.spot_allocated())
+            };
             self.node_mut(p.node)
                 .expect("hosting node exists")
                 .release_pod(rt.spec.id, &p.alloc, rt.spec.priority)
                 .expect("running placements are consistent");
+            self.apply_node_delta(p.node, before);
             let node = &self.nodes[p.node.index()];
             self.index.refresh(node);
             if rt.spec.priority.is_spot() {
                 self.index.remove_spot(p.node, rt.spec.id);
             }
         }
+    }
+
+    /// Folds one node's state change into the cluster-wide totals, given a
+    /// `(idle, hp, spot)` snapshot taken before the mutation. The deltas
+    /// mirror the node's own `+=`/`-=` updates, so the totals are
+    /// deterministic; with the dyadic card fractions used throughout the
+    /// workloads (whole cards, 0.25, 0.5) every delta is exact and the
+    /// totals equal a fresh scan bit-for-bit.
+    fn apply_node_delta(&mut self, id: NodeId, before: (u32, f64, f64)) {
+        let n = &self.nodes[id.index()];
+        self.idle_total = self.idle_total + n.idle_gpus() - before.0;
+        self.hp_total += n.hp_allocated() - before.1;
+        self.spot_total += n.spot_allocated() - before.2;
     }
 }
 
@@ -538,6 +590,47 @@ mod tests {
         c.start_task(spec(9, Priority::Hp, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
         let again = spec(9, Priority::Hp, 1, 1);
         assert!(c.start_task(again, &[NodeId::new(1)], SimTime::ZERO, 0).is_err());
+    }
+
+    /// The O(1) cluster totals must track brute-force node scans through
+    /// placements, finishes, evictions and failed (rolled-back) gangs.
+    #[test]
+    fn cached_totals_match_scans() {
+        let assert_consistent = |c: &Cluster| {
+            let idle: u32 = c.nodes().iter().map(Node::idle_gpus).sum();
+            let hp: f64 = c.nodes().iter().map(Node::hp_allocated).sum();
+            let spot: f64 = c.nodes().iter().map(Node::spot_allocated).sum();
+            let cap: f64 = c.nodes().iter().map(|n| f64::from(n.total_gpus())).sum();
+            assert_eq!(c.idle_gpus(None), idle);
+            assert_eq!(c.hp_allocated(None), hp);
+            assert_eq!(c.spot_allocated(None), spot);
+            assert_eq!(c.capacity(None), cap);
+        };
+        let mut c = cluster();
+        assert_consistent(&c);
+        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        assert_consistent(&c);
+        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        assert_consistent(&c);
+        // fractional placement
+        let frac = TaskSpec::builder(3)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::fraction(0.25).unwrap())
+            .duration_secs(1_000)
+            .build()
+            .unwrap();
+        c.start_task(frac, &[NodeId::new(3)], SimTime::ZERO, 0).unwrap();
+        assert_consistent(&c);
+        // failed gang rolls back cleanly
+        assert!(c
+            .start_task(spec(4, Priority::Hp, 2, 8), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0)
+            .is_err());
+        assert_consistent(&c);
+        c.evict_task(TaskId::new(2), SimTime::from_secs(100)).unwrap();
+        assert_consistent(&c);
+        c.finish_task(TaskId::new(1), SimTime::from_hours(2)).unwrap();
+        assert_consistent(&c);
+        assert_eq!(c.idle_gpus(None), 31, "only the fractional card is busy");
     }
 
     #[test]

@@ -157,6 +157,19 @@ impl OrgDataset {
         self
     }
 
+    /// In-place variant of [`OrgDataset::with_hour_offset`], for reusable
+    /// scratch datasets on hot forecast paths.
+    pub fn set_hour_offset(&mut self, offset: usize) {
+        self.hour_offset = offset;
+    }
+
+    /// Mutable access to one org's hourly series, for reusable scratch
+    /// datasets: values may be overwritten, the length is fixed (the shape
+    /// invariants were validated at construction).
+    pub fn series_mut(&mut self, org: usize) -> &mut [f64] {
+        &mut self.series[org]
+    }
+
     /// Number of organizations.
     #[must_use]
     pub fn num_orgs(&self) -> usize {

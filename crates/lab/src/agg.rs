@@ -1,0 +1,138 @@
+//! Across-seed aggregation: reduces the per-run [`RunSummary`]s of one
+//! grid cell into robust summary statistics (median / IQR / min / max),
+//! the form credible suite-level comparisons report instead of single-seed
+//! point estimates.
+
+use gfs_sim::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// Robust summary statistics of one scalar metric across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricStats {
+    /// Median across seeds.
+    pub median: f64,
+    /// Interquartile range (P75 − P25) across seeds.
+    pub iqr: f64,
+    /// Minimum across seeds.
+    pub min: f64,
+    /// Maximum across seeds.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Computes the statistics of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a NaN.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "a cell has at least one seed");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
+        MetricStats {
+            median: midpoint_quantile(&v, 0.5),
+            iqr: midpoint_quantile(&v, 0.75) - midpoint_quantile(&v, 0.25),
+            min: v[0],
+            max: v[v.len() - 1],
+        }
+    }
+}
+
+/// One aggregated metric: name plus its across-seed statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Metric name (one of [`RunSummary::METRICS`]).
+    pub metric: String,
+    /// Across-seed statistics.
+    pub stats: MetricStats,
+}
+
+/// Reduces the per-seed summaries of one cell into one row per metric,
+/// in [`RunSummary::METRICS`] order.
+#[must_use]
+pub fn aggregate(runs: &[RunSummary]) -> Vec<MetricSummary> {
+    RunSummary::METRICS
+        .iter()
+        .enumerate()
+        .map(|(k, &metric)| {
+            let values: Vec<f64> = runs.iter().map(|r| r.values()[k]).collect();
+            MetricSummary {
+                metric: metric.to_string(),
+                stats: MetricStats::of(&values),
+            }
+        })
+        .collect()
+}
+
+/// Linear-interpolated (midpoint) quantile of a sorted sample.
+fn midpoint_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = MetricStats::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // P25 = 1.75, P75 = 3.25
+        assert!((s.iqr - 1.5).abs() < 1e-12, "iqr {}", s.iqr);
+    }
+
+    #[test]
+    fn single_value_collapses() {
+        let s = MetricStats::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.iqr, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = MetricStats::of(&[1.0, 9.0, 5.0]);
+        let b = MetricStats::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.median, 5.0);
+    }
+
+    #[test]
+    fn aggregate_covers_every_metric() {
+        let run = RunSummary {
+            hp_tasks: 10,
+            spot_tasks: 5,
+            hp_completion: 1.0,
+            spot_completion: 0.8,
+            hp_mean_jct_s: 100.0,
+            hp_p99_jct_s: 200.0,
+            hp_mean_jqt_s: 10.0,
+            spot_mean_jct_s: 300.0,
+            spot_p99_jct_s: 400.0,
+            spot_mean_jqt_s: 20.0,
+            spot_p99_jqt_s: 50.0,
+            eviction_count: 3,
+            eviction_rate: 0.1,
+            mean_alloc_rate: 0.5,
+            makespan_hours: 24.0,
+            failed_commits: 0,
+        };
+        let rows = aggregate(&[run.clone(), run]);
+        assert_eq!(rows.len(), RunSummary::METRICS.len());
+        assert_eq!(rows[0].metric, "hp_completion");
+        assert_eq!(rows[0].stats.median, 1.0);
+        assert_eq!(rows[0].stats.iqr, 0.0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Declarative scenario grids: the cross-product of scheduler
+//! constructors, cluster shapes, workload sources, parameter overrides and
+//! seeds, plus the deterministic parallel executor that turns a grid into
+//! an aggregated [`GridReport`](crate::GridReport).
+
+use std::sync::Arc;
+
+use gfs_cluster::{Cluster, Scheduler};
+use gfs_sched::{Chronus, Fgd, Lyra, YarnCs};
+use gfs_sim::{RunSummary, SimConfig, SimReport};
+use gfs_trace::{WorkloadConfig, WorkloadGenerator};
+use gfs_types::{GfsParams, GpuModel, TaskSpec};
+
+use crate::pool::{run_indexed, Threads};
+use crate::report::{CellSummary, GridReport};
+
+/// A named cluster geometry a grid cell simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShape {
+    /// Display label ("72n" / "287n" …).
+    pub name: String,
+    /// Node count.
+    pub nodes: u32,
+    /// Cards per node.
+    pub gpus_per_node: u32,
+    /// GPU model of every node.
+    pub model: GpuModel,
+}
+
+impl ClusterShape {
+    /// A homogeneous A100 shape named after its node count.
+    #[must_use]
+    pub fn a100(nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterShape {
+            name: format!("{nodes}n"),
+            nodes,
+            gpus_per_node,
+            model: GpuModel::A100,
+        }
+    }
+
+    /// Overrides the display label.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Total cards of the shape.
+    #[must_use]
+    pub fn capacity_gpus(&self) -> f64 {
+        f64::from(self.nodes * self.gpus_per_node)
+    }
+
+    /// Materialises the cluster.
+    #[must_use]
+    pub fn build(&self) -> Cluster {
+        Cluster::homogeneous(self.nodes, self.model, self.gpus_per_node)
+    }
+}
+
+/// Everything a scheduler constructor may condition on: the cell's shape,
+/// parameter override and the run's seed.
+#[derive(Debug, Clone)]
+pub struct RunContext<'a> {
+    /// Cluster shape of the cell.
+    pub shape: &'a ClusterShape,
+    /// Workload-axis label of the cell.
+    pub workload: &'a str,
+    /// Parameter override of the cell.
+    pub params: &'a GfsParams,
+    /// Replication seed of this run.
+    pub seed: u64,
+}
+
+type SchedulerFactory = dyn Fn(&RunContext<'_>) -> Box<dyn Scheduler> + Send + Sync;
+
+/// A named scheduler constructor — one point on the grid's scheduler axis.
+///
+/// The factory runs once per grid run *inside* the worker thread, so
+/// expensive constructors (e.g. training a GFS demand estimator) neither
+/// block the submitting thread nor share state between runs.
+#[derive(Clone)]
+pub struct SchedulerSpec {
+    name: String,
+    build: Arc<SchedulerFactory>,
+}
+
+impl std::fmt::Debug for SchedulerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedulerSpec({})", self.name)
+    }
+}
+
+impl SchedulerSpec {
+    /// Wraps a constructor closure under a display name.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(&RunContext<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Self {
+        SchedulerSpec {
+            name: name.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The YARN-CS baseline.
+    #[must_use]
+    pub fn yarn_cs() -> Self {
+        SchedulerSpec::new("YARN-CS", |_| Box::new(YarnCs::new()))
+    }
+
+    /// The Chronus baseline.
+    #[must_use]
+    pub fn chronus() -> Self {
+        SchedulerSpec::new("Chronus", |_| Box::new(Chronus::new()))
+    }
+
+    /// The Lyra baseline.
+    #[must_use]
+    pub fn lyra() -> Self {
+        SchedulerSpec::new("Lyra", |_| Box::new(Lyra::new()))
+    }
+
+    /// The FGD baseline.
+    #[must_use]
+    pub fn fgd() -> Self {
+        SchedulerSpec::new("FGD", |_| Box::new(Fgd::new()))
+    }
+
+    /// The four baseline schedulers of §4.4, in paper order.
+    #[must_use]
+    pub fn baselines() -> Vec<Self> {
+        vec![
+            SchedulerSpec::yarn_cs(),
+            SchedulerSpec::chronus(),
+            SchedulerSpec::lyra(),
+            SchedulerSpec::fgd(),
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the scheduler for one run.
+    #[must_use]
+    pub fn build(&self, ctx: &RunContext<'_>) -> Box<dyn Scheduler> {
+        (self.build)(ctx)
+    }
+}
+
+type WorkloadFactory = dyn Fn(&ClusterShape, u64) -> Vec<TaskSpec> + Send + Sync;
+
+/// A named task-trace source — one point on the grid's workload axis.
+#[derive(Clone)]
+pub struct WorkloadAxis {
+    name: String,
+    build: Arc<WorkloadFactory>,
+}
+
+impl std::fmt::Debug for WorkloadAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkloadAxis({})", self.name)
+    }
+}
+
+impl WorkloadAxis {
+    /// Wraps an arbitrary trace source (hand-built traces, replayed logs…).
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(&ClusterShape, u64) -> Vec<TaskSpec> + Send + Sync + 'static,
+    ) -> Self {
+        WorkloadAxis {
+            name: name.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// A generated workload: `base` with its seed replaced by the run seed.
+    #[must_use]
+    pub fn generated(name: impl Into<String>, base: WorkloadConfig) -> Self {
+        WorkloadAxis::new(name, move |_, seed| {
+            WorkloadGenerator::new(WorkloadConfig { seed, ..base.clone() }).generate()
+        })
+    }
+
+    /// A generated workload whose task counts are calibrated per shape so
+    /// HP/spot submissions approximate the given fractions of cluster
+    /// capacity over the horizon (see [`WorkloadConfig::sized_for`]).
+    #[must_use]
+    pub fn generated_sized(
+        name: impl Into<String>,
+        base: WorkloadConfig,
+        hp_load: f64,
+        spot_load: f64,
+    ) -> Self {
+        WorkloadAxis::new(name, move |shape, seed| {
+            let cfg = WorkloadConfig { seed, ..base.clone() }.sized_for(
+                shape.capacity_gpus(),
+                hp_load,
+                spot_load,
+            );
+            WorkloadGenerator::new(cfg).generate()
+        })
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the trace for one run.
+    #[must_use]
+    pub fn build(&self, shape: &ClusterShape, seed: u64) -> Vec<TaskSpec> {
+        (self.build)(shape, seed)
+    }
+}
+
+/// A named [`GfsParams`] override — one point on the grid's parameter axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamsAxis {
+    /// Display label ("default", "H=4", …).
+    pub name: String,
+    /// The parameter set cells on this axis point use.
+    pub params: GfsParams,
+}
+
+impl ParamsAxis {
+    /// The Table 4 defaults under the label `default`.
+    #[must_use]
+    pub fn default_params() -> Self {
+        ParamsAxis {
+            name: "default".to_string(),
+            params: GfsParams::default(),
+        }
+    }
+}
+
+/// One fully specified run: a grid cell at one seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Index of the owning cell in grid enumeration order.
+    pub cell: usize,
+    /// Scheduler constructor.
+    pub scheduler: SchedulerSpec,
+    /// Cluster geometry.
+    pub shape: ClusterShape,
+    /// Trace source.
+    pub workload: WorkloadAxis,
+    /// Parameter override.
+    pub params: ParamsAxis,
+    /// Replication seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Executes the run: generate the trace, build cluster and scheduler,
+    /// simulate. Self-contained and deterministic given the scenario.
+    #[must_use]
+    pub fn execute(&self, sim: &SimConfig) -> SimReport {
+        let ctx = RunContext {
+            shape: &self.shape,
+            workload: self.workload.name(),
+            params: &self.params.params,
+            seed: self.seed,
+        };
+        let tasks = self.workload.build(&self.shape, self.seed);
+        let mut scheduler = self.scheduler.build(&ctx);
+        gfs_sim::run(self.shape.build(), scheduler.as_mut(), tasks, sim)
+    }
+}
+
+/// Everything a grid run produces: the serialisable aggregated report plus
+/// (when requested) the raw per-run [`SimReport`]s, `[cell][seed]`.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Aggregated per-cell summaries (serialisable, thread-count
+    /// independent).
+    pub report: GridReport,
+    /// Raw reports per cell per seed; empty unless
+    /// [`Grid::keep_reports`] was set.
+    pub sim_reports: Vec<Vec<SimReport>>,
+}
+
+/// The declarative experiment grid (C-BUILDER).
+///
+/// Axes default to "empty"; [`Grid::run`] fills the parameter axis with
+/// the Table 4 defaults and the seed axis with `[1]` when unset, and
+/// panics if schedulers, shapes or workloads are missing.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    schedulers: Vec<SchedulerSpec>,
+    shapes: Vec<ClusterShape>,
+    workloads: Vec<WorkloadAxis>,
+    params: Vec<ParamsAxis>,
+    seeds: Vec<u64>,
+    sim: Option<SimConfig>,
+    keep_reports: bool,
+}
+
+impl Grid {
+    /// An empty grid.
+    #[must_use]
+    pub fn new() -> Self {
+        Grid::default()
+    }
+
+    /// Adds scheduler constructors.
+    #[must_use]
+    pub fn schedulers(mut self, specs: impl IntoIterator<Item = SchedulerSpec>) -> Self {
+        self.schedulers.extend(specs);
+        self
+    }
+
+    /// Adds one scheduler constructor.
+    #[must_use]
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.schedulers.push(spec);
+        self
+    }
+
+    /// Adds cluster shapes.
+    #[must_use]
+    pub fn shapes(mut self, shapes: impl IntoIterator<Item = ClusterShape>) -> Self {
+        self.shapes.extend(shapes);
+        self
+    }
+
+    /// Adds one cluster shape.
+    #[must_use]
+    pub fn shape(mut self, shape: ClusterShape) -> Self {
+        self.shapes.push(shape);
+        self
+    }
+
+    /// Adds workload sources.
+    #[must_use]
+    pub fn workloads(mut self, axes: impl IntoIterator<Item = WorkloadAxis>) -> Self {
+        self.workloads.extend(axes);
+        self
+    }
+
+    /// Adds one workload source.
+    #[must_use]
+    pub fn workload(mut self, axis: WorkloadAxis) -> Self {
+        self.workloads.push(axis);
+        self
+    }
+
+    /// Adds parameter overrides.
+    #[must_use]
+    pub fn params(mut self, axes: impl IntoIterator<Item = ParamsAxis>) -> Self {
+        self.params.extend(axes);
+        self
+    }
+
+    /// Sets the replication seeds (each cell runs once per seed).
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Sets the simulation configuration shared by every run.
+    #[must_use]
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Keep every raw [`SimReport`] in the result (memory-heavy; off by
+    /// default).
+    #[must_use]
+    pub fn keep_reports(mut self, keep: bool) -> Self {
+        self.keep_reports = keep;
+        self
+    }
+
+    fn params_axis(&self) -> Vec<ParamsAxis> {
+        if self.params.is_empty() {
+            vec![ParamsAxis::default_params()]
+        } else {
+            self.params.clone()
+        }
+    }
+
+    fn seed_axis(&self) -> Vec<u64> {
+        if self.seeds.is_empty() {
+            vec![1]
+        } else {
+            self.seeds.clone()
+        }
+    }
+
+    /// Enumerates every run of the grid in deterministic order: cells
+    /// nest (shape → workload → params → scheduler), each replicated over
+    /// all seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheduler, shape or workload axis is empty.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(!self.schedulers.is_empty(), "grid needs at least one scheduler");
+        assert!(!self.shapes.is_empty(), "grid needs at least one cluster shape");
+        assert!(!self.workloads.is_empty(), "grid needs at least one workload");
+        let params = self.params_axis();
+        let seeds = self.seed_axis();
+        let mut out = Vec::new();
+        let mut cell = 0;
+        for shape in &self.shapes {
+            for workload in &self.workloads {
+                for p in &params {
+                    for scheduler in &self.schedulers {
+                        for &seed in &seeds {
+                            out.push(Scenario {
+                                cell,
+                                scheduler: scheduler.clone(),
+                                shape: shape.clone(),
+                                workload: workload.clone(),
+                                params: p.clone(),
+                                seed,
+                            });
+                        }
+                        cell += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cells (scenarios ÷ seeds).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.schedulers.len() * self.shapes.len() * self.workloads.len() * self.params_axis().len()
+    }
+
+    /// Executes the whole grid on `threads` workers and aggregates each
+    /// cell across its seeds.
+    ///
+    /// Results are collected by run index — never by completion order — so
+    /// the report is byte-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an axis is empty (see [`Grid::scenarios`]) or a worker
+    /// panics.
+    #[must_use]
+    pub fn run(&self, threads: Threads) -> GridResult {
+        let scenarios = self.scenarios();
+        let sim = self.sim.clone().unwrap_or_default();
+        let keep = self.keep_reports;
+        let outputs: Vec<(RunSummary, Option<SimReport>)> =
+            run_indexed(scenarios.len(), threads, |i| {
+                let report = scenarios[i].execute(&sim);
+                let summary = report.summary();
+                (summary, keep.then_some(report))
+            });
+
+        let seeds = self.seed_axis();
+        let per_cell = seeds.len();
+        let mut cells = Vec::with_capacity(self.cell_count());
+        let mut sim_reports = Vec::new();
+        for (cell_idx, chunk) in outputs.chunks(per_cell).enumerate() {
+            let first = &scenarios[cell_idx * per_cell];
+            let runs: Vec<RunSummary> = chunk.iter().map(|(s, _)| s.clone()).collect();
+            cells.push(CellSummary::new(
+                first.scheduler.name(),
+                &first.shape.name,
+                first.workload.name(),
+                &first.params.name,
+                &seeds,
+                runs,
+            ));
+            if keep {
+                sim_reports.push(
+                    chunk
+                        .iter()
+                        .map(|(_, r)| r.clone().expect("kept report present"))
+                        .collect(),
+                );
+            }
+        }
+        GridResult {
+            report: GridReport { cells },
+            sim_reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::HOUR;
+
+    fn tiny_workload() -> WorkloadAxis {
+        WorkloadAxis::generated(
+            "tiny",
+            WorkloadConfig {
+                hp_tasks: 20,
+                spot_tasks: 8,
+                horizon_secs: 6 * HOUR,
+                ..WorkloadConfig::default()
+            },
+        )
+    }
+
+    fn tiny_grid() -> Grid {
+        Grid::new()
+            .schedulers([SchedulerSpec::yarn_cs(), SchedulerSpec::fgd()])
+            .shape(ClusterShape::a100(4, 8))
+            .workload(tiny_workload())
+            .seeds([1, 2, 3])
+            .sim(SimConfig {
+                max_time_secs: Some(48 * HOUR),
+                ..SimConfig::default()
+            })
+    }
+
+    #[test]
+    fn enumeration_is_cells_times_seeds() {
+        let grid = tiny_grid();
+        let scenarios = grid.scenarios();
+        assert_eq!(grid.cell_count(), 2);
+        assert_eq!(scenarios.len(), 6);
+        // seeds vary fastest, then schedulers
+        assert_eq!(scenarios[0].scheduler.name(), "YARN-CS");
+        assert_eq!(scenarios[0].seed, 1);
+        assert_eq!(scenarios[2].seed, 3);
+        assert_eq!(scenarios[3].scheduler.name(), "FGD");
+        assert_eq!(scenarios[3].cell, 1);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let grid = tiny_grid();
+        let serial = grid.run(Threads::Fixed(1));
+        let parallel = grid.run(Threads::Fixed(4));
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn kept_reports_align_with_cells() {
+        let grid = tiny_grid().keep_reports(true);
+        let result = grid.run(Threads::Fixed(2));
+        assert_eq!(result.sim_reports.len(), 2);
+        assert_eq!(result.sim_reports[0].len(), 3);
+        assert_eq!(
+            result.sim_reports[0][0].summary(),
+            result.report.cells[0].runs[0]
+        );
+    }
+
+    #[test]
+    fn default_axes_fill_in() {
+        let grid = Grid::new()
+            .scheduler(SchedulerSpec::yarn_cs())
+            .shape(ClusterShape::a100(2, 8))
+            .workload(tiny_workload());
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].seed, 1);
+        assert_eq!(scenarios[0].params.name, "default");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheduler")]
+    fn empty_scheduler_axis_rejected() {
+        let _ = Grid::new()
+            .shape(ClusterShape::a100(2, 8))
+            .workload(tiny_workload())
+            .scenarios();
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = ClusterShape::a100(16, 8).named("pool");
+        assert_eq!(s.name, "pool");
+        assert_eq!(s.capacity_gpus(), 128.0);
+        assert_eq!(s.build().capacity(None), 128.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Parallel, deterministic experiment orchestration for the GFS simulator.
+//!
+//! A single simulation answers one question about one scheduler on one
+//! workload; the paper's evaluation — and any credible scheduling claim —
+//! is a *matrix* of runs: schedulers × cluster shapes × workload mixes ×
+//! parameter settings × seeds. This crate turns the single-run simulator
+//! into that experiment engine:
+//!
+//! * [`Grid`] — a declarative builder enumerating the cross-product of
+//!   [`SchedulerSpec`] constructors, [`ClusterShape`]s, [`WorkloadAxis`]
+//!   trace sources, [`ParamsAxis`] overrides and replication seeds.
+//! * [`pool`] — a std-only chunked work pool executing runs in parallel
+//!   while collecting results *by run index*, so the aggregated output is
+//!   byte-identical to a serial run for any thread count.
+//! * [`agg`] — across-seed reduction of per-run
+//!   [`RunSummary`](gfs_sim::RunSummary)s into median / IQR / min / max
+//!   [`MetricStats`].
+//! * [`GridReport`] — canonical JSON emission plus aligned text tables.
+//!
+//! # Quickstart
+//!
+//! A four-scheduler faceoff on a 16-node pool, three seeds per cell:
+//!
+//! ```
+//! use gfs_lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
+//! use gfs_trace::WorkloadConfig;
+//! use gfs_types::HOUR;
+//!
+//! let grid = Grid::new()
+//!     .schedulers(SchedulerSpec::baselines())
+//!     .shape(ClusterShape::a100(16, 8))
+//!     .workload(WorkloadAxis::generated(
+//!         "medium-spot",
+//!         WorkloadConfig {
+//!             hp_tasks: 30,
+//!             spot_tasks: 10,
+//!             spot_scale: 2.0,
+//!             horizon_secs: 6 * HOUR,
+//!             ..WorkloadConfig::default()
+//!         },
+//!     ))
+//!     .seeds([1, 2, 3]);
+//!
+//! let result = grid.run(Threads::Auto);
+//! assert_eq!(result.report.cells.len(), 4);
+//! let yarn = result.report.cell("YARN-CS", "16n", "medium-spot", "default").unwrap();
+//! assert!(yarn.median("hp_completion") > 0.0);
+//! println!("{}", result.report.render_table(&["hp_mean_jct_s", "eviction_rate"]));
+//! ```
+//!
+//! Custom schedulers and hand-built traces plug in through
+//! [`SchedulerSpec::new`] and [`WorkloadAxis::new`]; the facade's
+//! `gfs::scenario` module provides grid-ready constructors for the full
+//! GFS framework (which trains a demand estimator per run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+mod grid;
+pub mod pool;
+mod report;
+
+pub use agg::{MetricStats, MetricSummary};
+pub use grid::{
+    ClusterShape, Grid, GridResult, ParamsAxis, RunContext, Scenario, SchedulerSpec, WorkloadAxis,
+};
+pub use pool::Threads;
+pub use report::{CellSummary, GridReport};

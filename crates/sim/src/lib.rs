@@ -33,4 +33,4 @@ mod engine;
 mod report;
 
 pub use engine::{run, SimConfig};
-pub use report::{AllocSample, SimReport, TaskRecord};
+pub use report::{AllocSample, RunSummary, SimReport, TaskRecord};

@@ -98,13 +98,21 @@ impl SimReport {
     /// P99 JCT in seconds over completed tasks of a class.
     #[must_use]
     pub fn p99_jct(&self, priority: Priority) -> f64 {
-        let mut v = self.metric(priority, |t| t.jct().map(|d| d as f64));
-        if v.is_empty() {
-            return 0.0;
-        }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
-        let rank = ((v.len() as f64) * 0.99).ceil() as usize;
-        v[rank.min(v.len()) - 1]
+        self.jct_quantile(priority, 0.99)
+    }
+
+    /// JCT quantile (nearest-rank) in seconds over completed tasks of a
+    /// class; `q` in `(0, 1]`.
+    #[must_use]
+    pub fn jct_quantile(&self, priority: Priority, q: f64) -> f64 {
+        quantile(self.metric(priority, |t| t.jct().map(|d| d as f64)), q)
+    }
+
+    /// Queueing-time quantile (nearest-rank) in seconds over all tasks of a
+    /// class; `q` in `(0, 1]`.
+    #[must_use]
+    pub fn jqt_quantile(&self, priority: Priority, q: f64) -> f64 {
+        quantile(self.metric(priority, |t| Some(t.queued_secs as f64)), q)
     }
 
     /// Mean JQT in seconds over tasks of a class (queued time accrues even
@@ -140,6 +148,18 @@ impl SimReport {
         all.iter().filter(|t| t.completed()).count() as f64 / all.len() as f64
     }
 
+    /// Number of submitted tasks of a class.
+    #[must_use]
+    pub fn task_count(&self, priority: Priority) -> u64 {
+        self.tasks.iter().filter(|t| t.priority == priority).count() as u64
+    }
+
+    /// Total eviction events over the run.
+    #[must_use]
+    pub fn eviction_count(&self) -> u64 {
+        self.eviction_times.len() as u64
+    }
+
     /// Mean overall allocation rate across samples.
     #[must_use]
     pub fn mean_allocation_rate(&self) -> f64 {
@@ -170,6 +190,120 @@ impl SimReport {
             })
             .collect()
     }
+
+    /// Condenses the report into the scalar metrics the experiment layer
+    /// aggregates across seeds (`gfs::lab` never reaches into raw fields).
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            hp_tasks: self.task_count(Priority::Hp),
+            spot_tasks: self.task_count(Priority::Spot),
+            hp_completion: self.completion_rate(Priority::Hp),
+            spot_completion: self.completion_rate(Priority::Spot),
+            hp_mean_jct_s: self.mean_jct(Priority::Hp),
+            hp_p99_jct_s: self.p99_jct(Priority::Hp),
+            hp_mean_jqt_s: self.mean_jqt(Priority::Hp),
+            spot_mean_jct_s: self.mean_jct(Priority::Spot),
+            spot_p99_jct_s: self.p99_jct(Priority::Spot),
+            spot_mean_jqt_s: self.mean_jqt(Priority::Spot),
+            spot_p99_jqt_s: self.jqt_quantile(Priority::Spot, 0.99),
+            eviction_count: self.eviction_count(),
+            eviction_rate: self.eviction_rate(),
+            mean_alloc_rate: self.mean_allocation_rate(),
+            makespan_hours: self.makespan.as_secs() as f64 / 3_600.0,
+            failed_commits: self.failed_commits,
+        }
+    }
+}
+
+/// Scalar per-run metrics (§4.2) — the unit the experiment-orchestration
+/// layer replicates across seeds and reduces into summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// HP tasks submitted.
+    pub hp_tasks: u64,
+    /// Spot tasks submitted.
+    pub spot_tasks: u64,
+    /// HP completion rate in `[0, 1]`.
+    pub hp_completion: f64,
+    /// Spot completion rate in `[0, 1]`.
+    pub spot_completion: f64,
+    /// Mean HP JCT, seconds.
+    pub hp_mean_jct_s: f64,
+    /// P99 HP JCT, seconds.
+    pub hp_p99_jct_s: f64,
+    /// Mean HP JQT, seconds.
+    pub hp_mean_jqt_s: f64,
+    /// Mean spot JCT, seconds.
+    pub spot_mean_jct_s: f64,
+    /// P99 spot JCT, seconds.
+    pub spot_p99_jct_s: f64,
+    /// Mean spot JQT, seconds.
+    pub spot_mean_jqt_s: f64,
+    /// P99 spot JQT, seconds.
+    pub spot_p99_jqt_s: f64,
+    /// Total eviction events.
+    pub eviction_count: u64,
+    /// Eviction rate `e` (evictions / spot run segments).
+    pub eviction_rate: f64,
+    /// Mean overall allocation rate in `[0, 1]`.
+    pub mean_alloc_rate: f64,
+    /// Simulated makespan, hours.
+    pub makespan_hours: f64,
+    /// Placements that failed to commit (should be 0).
+    pub failed_commits: u64,
+}
+
+impl RunSummary {
+    /// Names of every scalar metric, in the order [`RunSummary::values`]
+    /// returns them. The experiment layer uses this single source of truth
+    /// for aggregation, JSON keys and table headers.
+    pub const METRICS: [&'static str; 14] = [
+        "hp_completion",
+        "spot_completion",
+        "hp_mean_jct_s",
+        "hp_p99_jct_s",
+        "hp_mean_jqt_s",
+        "spot_mean_jct_s",
+        "spot_p99_jct_s",
+        "spot_mean_jqt_s",
+        "spot_p99_jqt_s",
+        "eviction_count",
+        "eviction_rate",
+        "mean_alloc_rate",
+        "makespan_hours",
+        "failed_commits",
+    ];
+
+    /// The scalar metric values in [`RunSummary::METRICS`] order.
+    #[must_use]
+    pub fn values(&self) -> [f64; 14] {
+        [
+            self.hp_completion,
+            self.spot_completion,
+            self.hp_mean_jct_s,
+            self.hp_p99_jct_s,
+            self.hp_mean_jqt_s,
+            self.spot_mean_jct_s,
+            self.spot_p99_jct_s,
+            self.spot_mean_jqt_s,
+            self.spot_p99_jqt_s,
+            self.eviction_count as f64,
+            self.eviction_rate,
+            self.mean_alloc_rate,
+            self.makespan_hours,
+            self.failed_commits as f64,
+        ]
+    }
+
+    /// Looks one metric up by name.
+    #[must_use]
+    pub fn value(&self, metric: &str) -> Option<f64> {
+        Self::METRICS
+            .iter()
+            .position(|&m| m == metric)
+            .map(|i| self.values()[i])
+    }
 }
 
 fn mean(v: &[f64]) -> f64 {
@@ -178,6 +312,16 @@ fn mean(v: &[f64]) -> f64 {
     } else {
         v.iter().sum::<f64>() / v.len() as f64
     }
+}
+
+/// Nearest-rank quantile of an unsorted finite sample; 0 when empty.
+fn quantile(mut v: Vec<f64>, q: f64) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
+    let rank = ((v.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
 }
 
 #[cfg(test)]

@@ -1,65 +1,54 @@
 //! Scheduler face-off: GFS vs the four baselines of §4.4 on the same
-//! medium-spot workload, printing a Table 5-style comparison.
+//! medium-spot workload, declared as a `gfs::lab` grid (no hand-rolled
+//! cluster/workload assembly) and printed as a Table 5-style comparison.
 //!
 //! ```text
 //! cargo run --release --example scheduler_faceoff
 //! ```
 
+use gfs::lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
 use gfs::prelude::*;
 use gfs::scenario;
 
-fn simulate(name: &str, scheduler: &mut dyn Scheduler, tasks: &[TaskSpec]) -> (String, SimReport) {
-    let cluster = Cluster::homogeneous(32, GpuModel::A100, 8);
-    let report = run(
-        cluster,
-        scheduler,
-        tasks.to_vec(),
-        &SimConfig {
+fn main() {
+    let shape = ClusterShape::a100(32, 8);
+    println!(
+        "medium-spot workload on {} GPUs over 72h, all schedulers in parallel\n",
+        shape.capacity_gpus()
+    );
+
+    let medium = WorkloadAxis::generated_sized(
+        "medium-spot",
+        WorkloadConfig {
+            horizon_secs: 3 * 24 * HOUR,
+            spot_scale: 2.0, // medium spot workload (§4.1)
+            ..WorkloadConfig::default()
+        },
+        0.6,
+        0.15,
+    );
+    let params = GfsParams::builder().eta_bounds(0.1, 1.5).build().expect("valid params");
+    let grid = Grid::new()
+        .schedulers(SchedulerSpec::baselines())
+        .scheduler(scenario::gfs_spec(3, 0.6))
+        .shape(shape)
+        .workload(medium)
+        .params([gfs::lab::ParamsAxis { name: "eta<=1.5".into(), params }])
+        .seeds([9])
+        .sim(SimConfig {
             max_time_secs: Some(8 * 24 * HOUR),
             ..SimConfig::default()
-        },
-    );
-    (name.to_string(), report)
-}
+        });
 
-fn main() {
-    let cluster_capacity = 32.0 * 8.0;
-    let cfg = WorkloadConfig {
-        horizon_secs: 3 * 24 * HOUR,
-        spot_scale: 2.0, // medium spot workload (§4.1)
-        seed: 9,
-        ..WorkloadConfig::default()
-    }
-    .sized_for(cluster_capacity, 0.6, 0.15);
-    let tasks = WorkloadGenerator::new(cfg).generate();
+    let result = grid.run(Threads::Auto);
     println!(
-        "medium-spot workload: {} tasks on {} GPUs over 72h\n",
-        tasks.len(),
-        cluster_capacity
+        "{}",
+        result.report.render_table(&[
+            "hp_mean_jct_s",
+            "hp_mean_jqt_s",
+            "spot_mean_jct_s",
+            "spot_mean_jqt_s",
+            "eviction_rate",
+        ])
     );
-
-    let mut results = vec![simulate("YARN-CS", &mut YarnCs::new(), &tasks)];
-    results.push(simulate("Chronus", &mut Chronus::new(), &tasks));
-    results.push(simulate("Lyra", &mut Lyra::new(), &tasks));
-    results.push(simulate("FGD", &mut Fgd::new(), &tasks));
-    let params = GfsParams::builder().eta_bounds(0.1, 1.5).build().expect("valid params");
-    let mut gfs = scenario::gfs_full(params, 3, 9, 0.6 * cluster_capacity);
-    results.push(simulate("GFS", &mut gfs, &tasks));
-
-    println!(
-        "{:<9} | {:>11} {:>9} | {:>11} {:>9} {:>7}",
-        "sched", "HP JCT(s)", "HP JQT(s)", "spot JCT(s)", "JQT(s)", "e(%)"
-    );
-    println!("{}", "-".repeat(68));
-    for (name, r) in &results {
-        println!(
-            "{:<9} | {:>11.1} {:>9.1} | {:>11.1} {:>9.1} {:>7.2}",
-            name,
-            r.mean_jct(Priority::Hp),
-            r.mean_jqt(Priority::Hp),
-            r.mean_jct(Priority::Spot),
-            r.mean_jqt(Priority::Spot),
-            r.eviction_rate() * 100.0,
-        );
-    }
 }

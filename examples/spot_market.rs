@@ -2,11 +2,17 @@
 //! `η` and spot evictions evolve hour by hour through a demand surge —
 //! the Fig. 1 scenario that motivates dynamic quotas.
 //!
+//! The scenario is assembled as a single-cell `gfs::lab` grid (custom
+//! trace source + default-GFS scheduler spec) with `keep_reports` so the
+//! raw [`SimReport`] stays available for the hourly timeline below.
+//!
 //! ```text
 //! cargo run --release --example spot_market
 //! ```
 
+use gfs::lab::{ClusterShape, Grid, Threads, WorkloadAxis};
 use gfs::prelude::*;
+use gfs::scenario;
 use gfs_types::CheckpointPlan;
 
 /// Builds a surge workload: calm HP background, then an HP burst between
@@ -49,20 +55,18 @@ fn surge_workload() -> Vec<TaskSpec> {
 }
 
 fn main() {
-    let cluster = Cluster::homogeneous(16, GpuModel::A100, 8); // 128 GPUs
-    let tasks = surge_workload();
-    println!("surge workload: {} tasks on 128 GPUs\n", tasks.len());
-
-    let mut gfs = GfsScheduler::with_defaults();
-    let report = run(
-        cluster,
-        &mut gfs,
-        tasks,
-        &SimConfig {
+    let grid = Grid::new()
+        .scheduler(scenario::gfs_no_gde_spec())
+        .shape(ClusterShape::a100(16, 8).named("surge-pool")) // 128 GPUs
+        .workload(WorkloadAxis::new("hp-surge", |_, _| surge_workload()))
+        .sim(SimConfig {
             max_time_secs: Some(3 * 24 * HOUR),
             ..SimConfig::default()
-        },
-    );
+        })
+        .keep_reports(true);
+    let result = grid.run(Threads::Auto);
+    let report = &result.sim_reports[0][0];
+    println!("surge workload: {} tasks on 128 GPUs\n", report.tasks.len());
 
     // hourly picture: allocation + evictions
     let ev_ratio = report.hourly_eviction_ratio();
@@ -87,11 +91,12 @@ fn main() {
         );
     }
 
+    let summary = &result.report.cells[0].runs[0];
     println!(
         "\noverall: spot eviction rate {:.1}%, spot mean JQT {:.0}s, HP mean JQT {:.0}s",
-        report.eviction_rate() * 100.0,
-        report.mean_jqt(Priority::Spot),
-        report.mean_jqt(Priority::Hp),
+        summary.eviction_rate * 100.0,
+        summary.spot_mean_jqt_s,
+        summary.hp_mean_jqt_s,
     );
     println!(
         "evictions cluster in the surge window, and the SQA quota recovers afterwards."

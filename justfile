@@ -2,7 +2,7 @@
 # recipes by hand — each is a single cargo invocation.
 
 # Build, test, lint — the full CI gate.
-ci: build test clippy bench-smoke
+ci: build test clippy bench-smoke lab-smoke
 
 # Release build of the whole workspace.
 build:
@@ -19,6 +19,11 @@ clippy:
 # Short-mode benchmark smoke run (seconds, not minutes).
 bench-smoke:
     GFS_BENCH_SHORT=1 GFS_BENCH_TAG=ci-smoke cargo bench -p gfs-bench
+
+# Tiny lab grid (4 baselines × 3 seeds) through the parallel experiment
+# engine, with a serial re-run asserting byte-identical aggregation.
+lab-smoke:
+    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_faceoff
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

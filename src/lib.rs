@@ -16,6 +16,7 @@
 //! | [`sched`] | baseline schedulers: YARN-CS, Chronus, Lyra, FGD |
 //! | [`core`] | the contribution: GDE, SQA, PTS, `GfsScheduler` |
 //! | [`sim`] | deterministic discrete-event simulator + metrics |
+//! | [`lab`] | parallel, deterministic experiment grids + aggregation |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use gfs_cluster as cluster;
 pub use gfs_core as core;
 pub use gfs_forecast as forecast;
+pub use gfs_lab as lab;
 pub use gfs_nn as nn;
 pub use gfs_sched as sched;
 pub use gfs_sim as sim;

@@ -131,6 +131,62 @@ fn gfs_with_gde(
     GfsScheduler::new(params, PtsVariant::Full, Some(gde))
 }
 
+/// Grid-ready constructor for the full GFS framework (§4 deployment):
+/// each run trains an OrgLinear GDE on `weeks` of history scaled to
+/// `hp_load` of the cell's cluster capacity, seeded with the run seed and
+/// configured with the cell's parameter override.
+///
+/// ```no_run
+/// use gfs::lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
+/// use gfs::scenario;
+/// use gfs_trace::WorkloadConfig;
+///
+/// let grid = Grid::new()
+///     .schedulers(SchedulerSpec::baselines())
+///     .scheduler(scenario::gfs_spec(3, 0.6))
+///     .shape(ClusterShape::a100(32, 8))
+///     .workload(WorkloadAxis::generated("medium", WorkloadConfig::default()))
+///     .seeds([1, 2, 3]);
+/// let result = grid.run(Threads::Auto);
+/// ```
+#[must_use]
+pub fn gfs_spec(weeks: usize, hp_load: f64) -> gfs_lab::SchedulerSpec {
+    gfs_lab::SchedulerSpec::new("GFS", move |ctx| {
+        Box::new(gfs_full(
+            ctx.params.clone(),
+            weeks,
+            ctx.seed,
+            hp_load * ctx.shape.capacity_gpus(),
+        ))
+    })
+}
+
+/// Grid-ready constructor for the `GFS-e` ablation (naive peak predictor
+/// in the GDE, Table 8).
+#[must_use]
+pub fn gfs_naive_spec(weeks: usize, hp_load: f64) -> gfs_lab::SchedulerSpec {
+    gfs_lab::SchedulerSpec::new("GFS-e", move |ctx| {
+        Box::new(gfs_naive_gde(
+            ctx.params.clone(),
+            weeks,
+            ctx.seed,
+            hp_load * ctx.shape.capacity_gpus(),
+        ))
+    })
+}
+
+/// Grid-ready constructor for the estimator-free framework
+/// (`GfsScheduler::with_defaults`, but honouring the cell's parameter
+/// override): the quota degenerates to "all currently idle GPUs".
+#[must_use]
+pub fn gfs_no_gde_spec() -> gfs_lab::SchedulerSpec {
+    // labelled like the scheduler names itself, so an ablation grid holding
+    // both this and `gfs_spec` produces distinguishable rows
+    gfs_lab::SchedulerSpec::new("GFS (no GDE)", |ctx| {
+        Box::new(GfsScheduler::new(ctx.params.clone(), PtsVariant::Full, None))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +210,21 @@ mod tests {
     #[should_panic(expected = "at least one week")]
     fn zero_weeks_rejected() {
         let _ = org_template(0, 168, 4, 1);
+    }
+
+    #[test]
+    fn grid_specs_build_named_schedulers() {
+        use gfs_lab::{ClusterShape, RunContext};
+        let shape = ClusterShape::a100(4, 8);
+        let params = GfsParams::default();
+        let ctx = RunContext {
+            shape: &shape,
+            workload: "tiny",
+            params: &params,
+            seed: 1,
+        };
+        let s = gfs_no_gde_spec().build(&ctx);
+        assert_eq!(s.name(), "GFS (no GDE)");
+        assert_eq!(gfs_naive_spec(2, 0.6).name(), "GFS-e");
     }
 }

@@ -1,0 +1,14 @@
+//! Helpers shared by the golden-pinning integration tests.
+
+/// FNV-1a over a canonical JSON encoding — the workspace's golden-pin
+/// hash. Keep the constants here only; every pinned test goes through
+/// this one implementation.
+#[must_use]
+pub fn fnv1a(json: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -3,6 +3,8 @@
 //! outcome. These hashes were captured on the pre-refactor engine; any
 //! change to them means scheduling behaviour drifted.
 
+mod common;
+
 use gfs::prelude::*;
 use gfs_types::CheckpointPlan;
 use rand::{Rng, SeedableRng};
@@ -11,12 +13,7 @@ use rand_chacha::ChaCha8Rng;
 /// FNV-1a over the canonical JSON encoding of the report.
 fn report_hash(report: &SimReport) -> u64 {
     let json = serde_json::to_string(report).expect("report serializes");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in json.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    common::fnv1a(&json)
 }
 
 /// A 1 000-task random trace exercising gangs, fractions, evictions and

@@ -1,0 +1,79 @@
+//! Determinism and pinning tests for the `gfs::lab` experiment engine:
+//! a grid run must produce byte-identical aggregated JSON for any worker
+//! count (results are collected by run index, never completion order),
+//! and one grid summary is golden-pinned so aggregation semantics cannot
+//! drift silently.
+
+mod common;
+
+use common::fnv1a;
+use gfs::lab::{ClusterShape, Grid, SchedulerSpec, Threads, WorkloadAxis};
+use gfs::prelude::*;
+
+/// A 2 (schedulers) × 3 (workloads) grid, 4 seeds per cell: 24 runs.
+fn grid_2x3x4() -> Grid {
+    let workloads = [("low", 1.0), ("medium", 2.0), ("high", 4.0)].map(|(name, spot_scale)| {
+        WorkloadAxis::generated(
+            format!("{name}-spot"),
+            WorkloadConfig {
+                hp_tasks: 30,
+                spot_tasks: 12,
+                spot_scale,
+                horizon_secs: 8 * HOUR,
+                ..WorkloadConfig::default()
+            },
+        )
+    });
+    Grid::new()
+        .schedulers([SchedulerSpec::yarn_cs(), SchedulerSpec::fgd()])
+        .shape(ClusterShape::a100(6, 8))
+        .workloads(workloads)
+        .seeds([1, 2, 3, 4])
+        .sim(SimConfig {
+            max_time_secs: Some(72 * HOUR),
+            ..SimConfig::default()
+        })
+}
+
+#[test]
+fn grid_json_identical_across_thread_counts() {
+    let grid = grid_2x3x4();
+    let serial = grid.run(Threads::Fixed(1)).report.to_json();
+    let parallel = grid.run(Threads::Fixed(8)).report.to_json();
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial, parallel, "thread count leaked into aggregated output");
+    // and the enumeration is complete: 6 cells of 4 seeds each
+    let report = gfs::lab::GridReport::from_json(&serial).expect("round-trips");
+    assert_eq!(report.cells.len(), 6);
+    assert!(report.cells.iter().all(|c| c.seeds == [1, 2, 3, 4]));
+    assert!(report.cells.iter().all(|c| c.runs.len() == 4));
+}
+
+#[test]
+fn golden_grid_summary_pinned() {
+    let result = grid_2x3x4().run(Threads::Auto);
+    let json = result.report.to_json();
+    assert_eq!(
+        fnv1a(&json),
+        GOLDEN_GRID,
+        "aggregated grid output drifted — scheduling, summary metrics or \
+         aggregation semantics changed (update the pin only if intentional)"
+    );
+}
+
+/// Captured from the engine at PR 2; any drift means a behaviour change.
+const GOLDEN_GRID: u64 = 2_948_403_431_922_990_687;
+
+#[test]
+fn replicated_cells_have_spread_statistics() {
+    let result = grid_2x3x4().run(Threads::Auto);
+    let cell = &result.report.cells[0];
+    let stats = cell.metric("hp_mean_jct_s").expect("known metric");
+    assert!(stats.min <= stats.median && stats.median <= stats.max);
+    assert!(
+        stats.iqr > 0.0,
+        "four distinct seeds should produce distinct JCTs (iqr = {})",
+        stats.iqr
+    );
+    assert!(cell.median("hp_completion") > 0.0);
+}
