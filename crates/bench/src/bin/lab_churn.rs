@@ -1,0 +1,120 @@
+//! Cluster-churn sweep as a `gfs::lab` grid: failure rates × schedulers ×
+//! (homogeneous and heterogeneous) cluster shapes, reporting the
+//! availability/displacement metrics next to the classic JCT/eviction
+//! ones — the scheduling claims of Table 5 under machine churn.
+//!
+//! ```text
+//! cargo run --release -p gfs-bench --bin lab_churn
+//! GFS_LAB_SMOKE=1  …         # tiny grid for CI (< 10 s)
+//! GFS_LAB_THREADS=8 …        # fixed worker count (default: one per core)
+//! GFS_LAB_COMPARE=1 …        # also run serially; verify identical output
+//! GFS_LAB_JSON=1 …           # dump the aggregated GridReport JSON
+//! ```
+
+use std::time::Instant;
+
+use gfs::lab::{ClusterShape, FaultAxis, Grid, NodeGroup, SchedulerSpec, Threads, WorkloadAxis};
+use gfs::prelude::*;
+use gfs::scenario;
+use gfs_bench::env_flag;
+
+fn main() {
+    let smoke = env_flag("GFS_LAB_SMOKE");
+    let threads = match std::env::var("GFS_LAB_THREADS").ok().and_then(|v| v.parse().ok()) {
+        Some(n) => Threads::Fixed(n),
+        None => Threads::Auto,
+    };
+    let (a100_nodes, h800_nodes, horizon_h, seeds): (u32, u32, u64, Vec<u64>) = if smoke {
+        (4, 2, 8, vec![1, 2])
+    } else {
+        (24, 8, 48, vec![1, 2, 3, 4])
+    };
+    let sim_horizon = (horizon_h + 96) * HOUR;
+
+    let shapes = [
+        ClusterShape::a100(a100_nodes + h800_nodes, 8),
+        ClusterShape::heterogeneous([
+            NodeGroup { nodes: a100_nodes, gpus_per_node: 8, model: GpuModel::A100 },
+            NodeGroup { nodes: h800_nodes, gpus_per_node: 8, model: GpuModel::H800 },
+        ]),
+    ];
+    // failure-rate axis: fleet-quality tiers from "hyperscaler" to "spot
+    // market hardware", hour-scale repair
+    let faults = [
+        FaultAxis::none(),
+        FaultAxis::mtbf("mtbf48h", 48.0 * HOUR as f64, HOUR as f64, sim_horizon),
+        FaultAxis::mtbf("mtbf12h", 12.0 * HOUR as f64, HOUR as f64, sim_horizon),
+    ];
+
+    let base = WorkloadConfig {
+        horizon_secs: horizon_h * HOUR,
+        spot_scale: 2.0,
+        ..WorkloadConfig::default()
+    };
+    let workload = if smoke {
+        WorkloadAxis::generated_mixed(
+            "mixed",
+            WorkloadConfig { hp_tasks: 40, spot_tasks: 14, ..base },
+        )
+    } else {
+        WorkloadAxis::generated_mixed(
+            "mixed",
+            WorkloadConfig { hp_tasks: 400, spot_tasks: 120, ..base },
+        )
+    };
+
+    let mut grid = Grid::new()
+        .schedulers([SchedulerSpec::yarn_cs(), SchedulerSpec::fgd()])
+        .shapes(shapes)
+        .workload(workload)
+        .faults(faults)
+        .seeds(seeds)
+        .sim(SimConfig {
+            max_time_secs: Some(sim_horizon),
+            ..SimConfig::default()
+        });
+    if !smoke {
+        grid = grid.scheduler(scenario::gfs_no_gde_spec());
+    }
+
+    let start = Instant::now();
+    let result = grid.run(threads);
+    let wall = start.elapsed();
+    println!(
+        "{}",
+        result.report.render_table(&[
+            "availability",
+            "displacement_count",
+            "displaced_mean_jct_s",
+            "hp_p99_jct_s",
+            "spot_mean_jqt_s",
+            "eviction_rate",
+        ])
+    );
+    let runs = result
+        .report
+        .cells
+        .iter()
+        .map(|c| c.seeds.len())
+        .sum::<usize>();
+    println!("{runs} runs in {:.2}s on {} threads", wall.as_secs_f64(), threads.count());
+
+    if env_flag("GFS_LAB_JSON") {
+        println!("{}", result.report.to_json());
+    }
+    if env_flag("GFS_LAB_COMPARE") {
+        let start = Instant::now();
+        let serial = grid.run(Threads::Fixed(1));
+        let serial_wall = start.elapsed();
+        assert_eq!(
+            serial.report.to_json(),
+            result.report.to_json(),
+            "parallel and serial churn grids must agree byte-for-byte"
+        );
+        println!(
+            "serial: {:.2}s  -> speedup {:.2}x, outputs identical",
+            serial_wall.as_secs_f64(),
+            serial_wall.as_secs_f64() / wall.as_secs_f64()
+        );
+    }
+}

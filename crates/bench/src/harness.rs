@@ -20,6 +20,10 @@
 //!   workspace root, two levels above this crate's manifest).
 //! * `GFS_BENCH_TAG=<tag>` — written into the JSON (`baseline`,
 //!   `optimized`, a commit id, …) so runs are attributable.
+//! * `GFS_BENCH_PIN=<cpu>` — best-effort CPU pinning before measuring
+//!   (Linux `sched_setaffinity`; a recorded no-op elsewhere — see
+//!   [`crate::affinity`]). The JSON's `pinned_cpu` field says whether it
+//!   took effect, so pinned and unpinned baselines are distinguishable.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -49,21 +53,31 @@ pub struct Measurement {
 pub struct Suite {
     name: String,
     short: bool,
+    /// CPU the process was pinned to via `GFS_BENCH_PIN`, if pinning
+    /// succeeded; recorded in the JSON metadata.
+    pinned_cpu: Option<usize>,
     results: Vec<Measurement>,
 }
 
 impl Suite {
-    /// Creates a suite; reads `GFS_BENCH_SHORT` for smoke mode.
+    /// Creates a suite; reads `GFS_BENCH_SHORT` for smoke mode and
+    /// `GFS_BENCH_PIN` for best-effort CPU pinning.
     #[must_use]
     pub fn new(name: &str) -> Self {
         let short = std::env::var("GFS_BENCH_SHORT").is_ok_and(|v| v != "0" && !v.is_empty());
+        let pinned_cpu = crate::affinity::pin_from_env();
         println!(
-            "## bench suite `{name}`{}",
-            if short { " (short mode)" } else { "" }
+            "## bench suite `{name}`{}{}",
+            if short { " (short mode)" } else { "" },
+            match pinned_cpu {
+                Some(cpu) => format!(" (pinned to cpu {cpu})"),
+                None => String::new(),
+            }
         );
         Suite {
             name: name.to_string(),
             short,
+            pinned_cpu,
             results: Vec::new(),
         }
     }
@@ -152,6 +166,10 @@ impl Suite {
         json.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
         json.push_str(&format!("  \"tag\": \"{tag}\",\n"));
         json.push_str(&format!("  \"short\": {},\n", self.short));
+        json.push_str(&format!(
+            "  \"pinned_cpu\": {},\n",
+            self.pinned_cpu.map_or_else(|| "null".to_string(), |c| c.to_string())
+        ));
         json.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             json.push_str(&format!(

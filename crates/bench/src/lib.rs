@@ -1,8 +1,11 @@
 //! Shared harness code for the experiment binaries that regenerate every
 //! table and figure of the paper (see DESIGN.md §4 for the index).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the affinity module scopes one audited
+// raw-syscall allowance (no `libc` is available offline).
+#![deny(unsafe_code)]
 
+pub mod affinity;
 pub mod harness;
 
 use gfs::prelude::*;

@@ -76,13 +76,46 @@ impl RunningTask {
     }
 }
 
+/// A task drained off a failed node: the run that was killed plus the
+/// progress that survived per its checkpoint plan. The simulator requeues
+/// it through the normal `Requeue` path.
+#[derive(Debug, Clone)]
+pub struct Displaced {
+    /// The killed run (spec, placements, timing).
+    pub task: RunningTask,
+    /// Checkpointed work (seconds) to carry into the next run segment.
+    pub preserved: SimDuration,
+}
+
+/// Per-model capacity totals, maintained incrementally.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ModelTotals {
+    /// Cards on nodes of this model, down nodes included.
+    cap_static: f64,
+    /// Cards on *in-service* nodes of this model.
+    cap: f64,
+    /// Fully idle cards.
+    idle: u32,
+    /// HP allocation in cards.
+    hp: f64,
+    /// Spot allocation in cards.
+    spot: f64,
+}
+
 /// The full cluster: nodes plus running-task registry plus spot outcome
 /// counters (`G` successes / `F` evictions of Eq. 18).
 ///
-/// Cluster-wide totals (capacity, idle cards, HP/spot allocation) are
-/// maintained incrementally as pods are placed and released, so the
-/// whole-cluster accessors the SQA queries every quota tick are O(1)
-/// instead of O(nodes × gpus).
+/// Cluster-wide *and per-model* totals (capacity, idle cards, HP/spot
+/// allocation) are maintained incrementally as pods are placed and
+/// released and as nodes fail and recover, so the whole-cluster accessors
+/// the SQA queries every quota tick — and the per-model queries
+/// heterogeneous pools need — are O(1) instead of O(nodes × gpus).
+///
+/// Capacity accessors report *in-service* capacity: a failed node's cards
+/// leave [`Cluster::capacity`]/[`Cluster::idle_gpus`] the moment
+/// [`Cluster::fail_node`] drains it, and return on
+/// [`Cluster::restore_node`]. [`Cluster::static_capacity`] keeps the
+/// as-built total for availability accounting.
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
@@ -90,14 +123,22 @@ pub struct Cluster {
     index: CapacityIndex,
     spot_completed: u64,
     spot_evicted: u64,
-    /// Static total cards across all nodes.
+    /// Historical count of tasks displaced by node failures.
+    displaced_total: u64,
+    /// Nodes currently out of service.
+    down_nodes: usize,
+    /// Total cards across in-service nodes.
     cap_total: f64,
+    /// Total cards across all nodes, down ones included.
+    cap_static: f64,
     /// Incrementally-maintained count of fully idle cards.
     idle_total: u32,
     /// Incrementally-maintained HP allocation in cards.
     hp_total: f64,
     /// Incrementally-maintained spot allocation in cards.
     spot_total: f64,
+    /// Per-model totals (same invariants as the cluster-wide fields).
+    model_totals: BTreeMap<GpuModel, ModelTotals>,
 }
 
 impl Cluster {
@@ -109,16 +150,29 @@ impl Cluster {
         let idle_total = nodes.iter().map(Node::idle_gpus).sum();
         let hp_total = nodes.iter().map(Node::hp_allocated).sum();
         let spot_total = nodes.iter().map(Node::spot_allocated).sum();
+        let mut model_totals: BTreeMap<GpuModel, ModelTotals> = BTreeMap::new();
+        for n in &nodes {
+            let t = model_totals.entry(n.model()).or_default();
+            t.cap_static += f64::from(n.total_gpus());
+            t.cap += f64::from(n.total_gpus());
+            t.idle += n.idle_gpus();
+            t.hp += n.hp_allocated();
+            t.spot += n.spot_allocated();
+        }
         Cluster {
             nodes,
             running: BTreeMap::new(),
             index,
             spot_completed: 0,
             spot_evicted: 0,
+            displaced_total: 0,
+            down_nodes: 0,
             cap_total,
+            cap_static: cap_total,
             idle_total,
             hp_total,
             spot_total,
+            model_totals,
         }
     }
 
@@ -163,15 +217,32 @@ impl Cluster {
         self.nodes.iter().filter(move |n| n.model() == model)
     }
 
-    /// Total GPU cards (optionally restricted to one model).
+    /// In-service GPU cards (optionally restricted to one model) — O(1),
+    /// down nodes excluded.
     #[must_use]
     pub fn capacity(&self, model: Option<GpuModel>) -> f64 {
         let Some(m) = model else { return self.cap_total };
-        self.nodes
-            .iter()
-            .filter(|n| n.model() == m)
-            .map(|n| f64::from(n.total_gpus()))
-            .sum()
+        self.model_totals.get(&m).map_or(0.0, |t| t.cap)
+    }
+
+    /// As-built GPU cards (optionally per model), down nodes included —
+    /// the denominator of availability accounting.
+    #[must_use]
+    pub fn static_capacity(&self, model: Option<GpuModel>) -> f64 {
+        let Some(m) = model else { return self.cap_static };
+        self.model_totals.get(&m).map_or(0.0, |t| t.cap_static)
+    }
+
+    /// Nodes currently in service.
+    #[must_use]
+    pub fn up_node_count(&self) -> usize {
+        self.nodes.len() - self.down_nodes
+    }
+
+    /// Nodes currently out of service.
+    #[must_use]
+    pub fn down_node_count(&self) -> usize {
+        self.down_nodes
     }
 
     /// Sum of free card fractions (optionally per model).
@@ -185,38 +256,26 @@ impl Cluster {
     }
 
     /// Count of completely idle cards (optionally per model) — the `S₀`
-    /// of Eq. 10.
+    /// of Eq. 10. O(1), down nodes excluded.
     #[must_use]
     pub fn idle_gpus(&self, model: Option<GpuModel>) -> u32 {
         let Some(m) = model else { return self.idle_total };
-        self.nodes
-            .iter()
-            .filter(|n| n.model() == m)
-            .map(Node::idle_gpus)
-            .sum()
+        self.model_totals.get(&m).map_or(0, |t| t.idle)
     }
 
-    /// Cards allocated to HP tasks (optionally per model).
+    /// Cards allocated to HP tasks (optionally per model) — O(1).
     #[must_use]
     pub fn hp_allocated(&self, model: Option<GpuModel>) -> f64 {
         let Some(m) = model else { return self.hp_total };
-        self.nodes
-            .iter()
-            .filter(|n| n.model() == m)
-            .map(Node::hp_allocated)
-            .sum()
+        self.model_totals.get(&m).map_or(0.0, |t| t.hp)
     }
 
     /// Cards allocated to spot tasks (optionally per model) — the `Sₐ`
-    /// of Eq. 10.
+    /// of Eq. 10. O(1).
     #[must_use]
     pub fn spot_allocated(&self, model: Option<GpuModel>) -> f64 {
         let Some(m) = model else { return self.spot_total };
-        self.nodes
-            .iter()
-            .filter(|n| n.model() == m)
-            .map(Node::spot_allocated)
-            .sum()
+        self.model_totals.get(&m).map_or(0.0, |t| t.spot)
     }
 
     /// Overall allocation rate in `[0, 1]` (optionally per model).
@@ -318,6 +377,13 @@ impl Cluster {
     #[must_use]
     pub fn spot_evicted(&self) -> u64 {
         self.spot_evicted
+    }
+
+    /// Historical count of tasks displaced by node failures (kept apart
+    /// from `F`: displacement is hardware churn, not preemption).
+    #[must_use]
+    pub fn displaced(&self) -> u64 {
+        self.displaced_total
     }
 
     /// Places `spec` with one pod per entry of `pod_nodes`, atomically
@@ -473,24 +539,112 @@ impl Cluster {
         }
     }
 
-    /// Folds one node's state change into the cluster-wide totals, given a
-    /// `(idle, hp, spot)` snapshot taken before the mutation. The deltas
-    /// mirror the node's own `+=`/`-=` updates, so the totals are
-    /// deterministic; with the dyadic card fractions used throughout the
-    /// workloads (whole cards, 0.25, 0.5) every delta is exact and the
-    /// totals equal a fresh scan bit-for-bit.
+    /// Folds one node's state change into the cluster-wide and per-model
+    /// totals, given a `(idle, hp, spot)` snapshot taken before the
+    /// mutation. The deltas mirror the node's own `+=`/`-=` updates, so
+    /// the totals are deterministic; with the dyadic card fractions used
+    /// throughout the workloads (whole cards, 0.25, 0.5) every delta is
+    /// exact and the totals equal a fresh scan bit-for-bit.
     fn apply_node_delta(&mut self, id: NodeId, before: (u32, f64, f64)) {
         let n = &self.nodes[id.index()];
-        self.idle_total = self.idle_total + n.idle_gpus() - before.0;
-        self.hp_total += n.hp_allocated() - before.1;
-        self.spot_total += n.spot_allocated() - before.2;
+        let (idle, hp, spot) = (n.idle_gpus(), n.hp_allocated(), n.spot_allocated());
+        let model = n.model();
+        self.idle_total = self.idle_total + idle - before.0;
+        self.hp_total += hp - before.1;
+        self.spot_total += spot - before.2;
+        let t = self.model_totals.entry(model).or_default();
+        t.idle = t.idle + idle - before.0;
+        t.hp += hp - before.1;
+        t.spot += spot - before.2;
+    }
+
+    /// Takes `id` out of service at `now`: every task with at least one
+    /// pod on it is drained through the shared release path (the same
+    /// bookkeeping evictions and rollbacks use), the node's capacity-index
+    /// buckets vanish atomically, and its cards leave every capacity
+    /// total. Both HP and spot tasks die — hardware does not honour
+    /// priorities.
+    ///
+    /// The drained tasks are returned in ascending task-id order with the
+    /// progress their checkpoint plans preserved, ready to requeue.
+    /// Displacements are *not* recorded as evictions: `F` (Eq. 18), the
+    /// per-node eviction history (Eq. 15) and the SQA feedback loop
+    /// (Eq. 11) model preemption behaviour, and hardware churn polluting
+    /// them would mis-tune spot admission.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown id; [`Error::InvalidTask`] when
+    /// the node is already down.
+    pub fn fail_node(&mut self, id: NodeId, now: SimTime) -> Result<Vec<Displaced>> {
+        if !self.node(id)?.is_up() {
+            return Err(Error::InvalidTask(format!("{id} is already down")));
+        }
+        // gang semantics in reverse: a task with any pod on the failed
+        // node loses its whole gang, everywhere it runs
+        let victims: Vec<TaskId> = self
+            .running
+            .iter()
+            .filter(|(_, rt)| rt.placements.iter().any(|p| p.node == id))
+            .map(|(tid, _)| *tid)
+            .collect();
+        let mut displaced = Vec::with_capacity(victims.len());
+        for tid in victims {
+            let rt = self.running.remove(&tid).expect("collected from the registry");
+            self.release_placements(&rt);
+            let preserved = rt.preserved_progress(now);
+            self.displaced_total += 1;
+            displaced.push(Displaced { task: rt, preserved });
+        }
+        // the node is now empty: remove it from the index (all its buckets
+        // vanish in one call) and from the capacity totals
+        self.index.remove_node(&self.nodes[id.index()]);
+        let node = &mut self.nodes[id.index()];
+        let cards = node.total_gpus();
+        node.set_up(false);
+        self.down_nodes += 1;
+        self.idle_total -= cards;
+        self.cap_total -= f64::from(cards);
+        let model = self.nodes[id.index()].model();
+        let t = self.model_totals.entry(model).or_default();
+        t.idle -= cards;
+        t.cap -= f64::from(cards);
+        Ok(displaced)
+    }
+
+    /// Returns `id` to service: all cards idle, capacity totals and index
+    /// buckets restored, eviction history cleared (a machine back from
+    /// repair must not inherit pre-failure eviction pressure in the
+    /// Eq. 15–16 scores).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown id; [`Error::InvalidTask`] when
+    /// the node is already up.
+    pub fn restore_node(&mut self, id: NodeId, _now: SimTime) -> Result<()> {
+        if self.node(id)?.is_up() {
+            return Err(Error::InvalidTask(format!("{id} is already up")));
+        }
+        let node = &mut self.nodes[id.index()];
+        node.set_up(true);
+        node.clear_eviction_history();
+        let cards = node.total_gpus();
+        self.down_nodes -= 1;
+        self.idle_total += cards;
+        self.cap_total += f64::from(cards);
+        let model = self.nodes[id.index()].model();
+        let t = self.model_totals.entry(model).or_default();
+        t.idle += cards;
+        t.cap += f64::from(cards);
+        self.index.restore_node(&self.nodes[id.index()]);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfs_types::{CheckpointPlan, GpuDemand, Priority};
+    use gfs_types::{CheckpointPlan, GpuDemand, Priority, HOUR};
 
     fn spec(id: u64, priority: Priority, pods: u32, gpus: u32) -> TaskSpec {
         TaskSpec::builder(id)
@@ -631,6 +785,99 @@ mod tests {
         c.finish_task(TaskId::new(1), SimTime::from_hours(2)).unwrap();
         assert_consistent(&c);
         assert_eq!(c.idle_gpus(None), 31, "only the fractional card is busy");
+    }
+
+    #[test]
+    fn fail_node_drains_hp_and_spot_and_removes_capacity() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spec(3, Priority::Spot, 1, 8), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        let displaced = c.fail_node(NodeId::new(1), SimTime::from_secs(2_000)).unwrap();
+        // the gang on nodes 0+1 dies entirely, plus the spot task on node 1
+        let ids: Vec<u64> = displaced.iter().map(|d| d.task.spec.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2], "ascending task-id order");
+        // checkpoint plan (1800 s interval): one checkpoint survived
+        assert_eq!(displaced[0].preserved, 1_800);
+        assert_eq!(c.running_count(), 1, "node 2 task untouched");
+        assert!(!c.node(NodeId::new(1)).unwrap().is_up());
+        assert_eq!(c.capacity(None), 24.0, "8 cards left service");
+        assert_eq!(c.static_capacity(None), 32.0, "as-built total unchanged");
+        assert_eq!(c.capacity(Some(GpuModel::A100)), 24.0);
+        assert_eq!(c.idle_gpus(None), 16, "nodes 0,3 idle; node 2 full; node 1 gone");
+        assert_eq!(c.hp_allocated(None), 0.0, "gang released everywhere");
+        assert_eq!(c.spot_allocated(None), 8.0);
+        assert_eq!(c.up_node_count(), 3);
+        assert_eq!(c.displaced(), 2);
+        assert_eq!(c.spot_evicted(), 0, "displacement is not preemption");
+        // the down node is invisible to every placement query
+        assert!(!c.whole_fit_candidates(GpuModel::A100, 1).contains(&1));
+        assert!(c.fail_node(NodeId::new(1), SimTime::ZERO).is_err(), "double fail rejected");
+    }
+
+    #[test]
+    fn restore_node_brings_capacity_and_buckets_back() {
+        let mut c = cluster();
+        c.fail_node(NodeId::new(2), SimTime::ZERO).unwrap();
+        assert!(c.restore_node(NodeId::new(0), SimTime::ZERO).is_err(), "already up");
+        c.restore_node(NodeId::new(2), SimTime::from_hours(2)).unwrap();
+        assert_eq!(c.capacity(None), 32.0);
+        assert_eq!(c.idle_gpus(None), 32);
+        assert_eq!(c.down_node_count(), 0);
+        assert!(c.whole_fit_candidates(GpuModel::A100, 8).contains(&2));
+        // and it accepts pods again
+        c.start_task(spec(9, Priority::Hp, 1, 8), &[NodeId::new(2)], SimTime::from_hours(2), 0).unwrap();
+        assert_eq!(c.hp_allocated(None), 8.0);
+    }
+
+    #[test]
+    fn restore_clears_eviction_history() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.evict_task(TaskId::new(1), SimTime::from_secs(100)).unwrap();
+        assert_eq!(c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(200), HOUR), 1);
+        c.fail_node(NodeId::new(0), SimTime::from_secs(300)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_secs(400)).unwrap();
+        assert_eq!(
+            c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(500), HOUR),
+            0,
+            "a machine back from repair starts with a clean history"
+        );
+    }
+
+    #[test]
+    fn start_task_on_down_node_rolls_back() {
+        let mut c = cluster();
+        c.fail_node(NodeId::new(1), SimTime::ZERO).unwrap();
+        let r = c.start_task(spec(5, Priority::Hp, 2, 2), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0);
+        assert!(r.is_err());
+        assert_eq!(c.idle_gpus(None), 24, "node 0 rolled back, node 1 still down");
+        assert_eq!(c.running_count(), 0);
+    }
+
+    #[test]
+    fn per_model_totals_track_heterogeneous_pools() {
+        let mut nodes: Vec<Node> = (0..2).map(|i| Node::new(NodeId::new(i), GpuModel::A100, 8)).collect();
+        nodes.push(Node::new(NodeId::new(2), GpuModel::H800, 8));
+        let mut c = Cluster::new(nodes);
+        assert_eq!(c.capacity(Some(GpuModel::A100)), 16.0);
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 8.0);
+        let h800 = TaskSpec::builder(1)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(4))
+            .gpu_model(GpuModel::H800)
+            .duration_secs(1_000)
+            .build()
+            .unwrap();
+        c.start_task(h800, &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        assert_eq!(c.spot_allocated(Some(GpuModel::H800)), 4.0);
+        assert_eq!(c.spot_allocated(Some(GpuModel::A100)), 0.0);
+        assert_eq!(c.idle_gpus(Some(GpuModel::H800)), 4);
+        c.fail_node(NodeId::new(2), SimTime::from_secs(10)).unwrap();
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 0.0);
+        assert_eq!(c.static_capacity(Some(GpuModel::H800)), 8.0);
+        assert_eq!(c.spot_allocated(Some(GpuModel::H800)), 0.0);
+        assert_eq!(c.capacity(Some(GpuModel::A100)), 16.0, "other pools untouched");
     }
 
     #[test]

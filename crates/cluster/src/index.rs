@@ -163,6 +163,39 @@ impl CapacityIndex {
         self.keys[id] = new;
     }
 
+    /// Removes a (drained) node from every query structure, using the keys
+    /// stored at the last refresh: its idle-bucket entry, partial-card key
+    /// and fully-idle count all vanish in one call, so no query can
+    /// observe a half-removed node. The caller must have drained the
+    /// node's pods first (its spot locality list must already be empty).
+    pub fn remove_node(&mut self, node: &Node) {
+        let id = node.id().index();
+        let raw = node.id().raw();
+        let key = self.keys[id];
+        if let Some(buckets) = self.idle_buckets.get_mut(&node.model()) {
+            if let Some(bucket) = buckets.get_mut(key.idle as usize) {
+                if let Ok(pos) = bucket.binary_search(&raw) {
+                    bucket.remove(pos);
+                }
+            }
+        }
+        if let Some(q) = key.partial {
+            if let Some(set) = self.partial.get_mut(&node.model()) {
+                set.remove(&(q, raw));
+            }
+        }
+        if key.fully_idle {
+            self.fully_idle_count -= 1;
+        }
+        debug_assert!(self.spot_on_node[id].is_empty(), "node removed before draining");
+        self.keys[id] = NodeKey::default();
+    }
+
+    /// Re-inserts a restored node (all cards idle again).
+    pub fn restore_node(&mut self, node: &Node) {
+        self.insert_node(node);
+    }
+
     /// Records that `task` (spot) now has a pod on `node`.
     pub fn add_spot(&mut self, node: NodeId, task: TaskId) {
         let list = &mut self.spot_on_node[node.index()];

@@ -37,6 +37,19 @@
 //! never deep-copies the spec ([`Cluster::start_task`] accepts
 //! `impl Into<Arc<TaskSpec>>`, so plain `TaskSpec` values still work).
 //!
+//! # Cluster dynamics
+//!
+//! Nodes fail and recover: [`Cluster::fail_node`] drains every pod on the
+//! node through the shared release path (HP and spot alike — hardware
+//! does not honour priorities), removes the node's index buckets
+//! atomically and subtracts its cards from every capacity total;
+//! [`Cluster::restore_node`] reverses all of it. Capacity accessors
+//! therefore always describe the *in-service* fleet, per GPU model in
+//! O(1) ([`Cluster::capacity`] with `Some(model)`), while
+//! [`Cluster::static_capacity`] keeps the as-built denominator for
+//! availability metrics. The engine-side event flow is documented on
+//! `gfs_sim::dynamics`.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,7 +74,7 @@ mod index;
 mod node;
 mod scheduler;
 
-pub use cluster::{Cluster, PodPlacement, RunningTask};
+pub use cluster::{Cluster, Displaced, PodPlacement, RunningTask};
 pub use index::CapacityIndex;
 pub use node::{Gpu, Node, PodAlloc};
 pub use scheduler::{Decision, Scheduler, TaskEvent};

@@ -79,6 +79,11 @@ pub struct Node {
     hp_alloc: f64,
     spot_alloc: f64,
     evictions: VecDeque<SimTime>,
+    /// Whether the node is in service. A down node holds no allocations
+    /// and reports zero idle/free capacity, so every placement scan skips
+    /// it naturally; only [`Node::total_gpus`] keeps reporting the static
+    /// card count (availability accounting needs it).
+    up: bool,
 }
 
 impl Node {
@@ -92,7 +97,28 @@ impl Node {
             hp_alloc: 0.0,
             spot_alloc: 0.0,
             evictions: VecDeque::new(),
+            up: true,
         }
+    }
+
+    /// Whether the node is in service.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Takes the node in or out of service. The caller
+    /// ([`Cluster`](crate::Cluster)) is responsible for draining pods
+    /// first and keeping the capacity index consistent.
+    pub(crate) fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Forgets the node's eviction history (called on restore: a machine
+    /// returning from repair must not inherit the pre-failure eviction
+    /// pressure that would mis-steer the Eq. 15–16 scores).
+    pub(crate) fn clear_eviction_history(&mut self) {
+        self.evictions.clear();
     }
 
     /// Node identifier.
@@ -113,15 +139,21 @@ impl Node {
         self.gpus.len() as u32
     }
 
-    /// Cards that are completely unallocated.
+    /// Cards that are completely unallocated (0 while the node is down).
     #[must_use]
     pub fn idle_gpus(&self) -> u32 {
+        if !self.up {
+            return 0;
+        }
         self.gpus.iter().filter(|g| g.is_idle()).count() as u32
     }
 
-    /// Sum of free fractions across all cards.
+    /// Sum of free fractions across all cards (0 while the node is down).
     #[must_use]
     pub fn free_capacity(&self) -> f64 {
+        if !self.up {
+            return 0.0;
+        }
         self.gpus.iter().map(Gpu::free_fraction).sum()
     }
 
@@ -149,9 +181,13 @@ impl Node {
         &self.gpus
     }
 
-    /// Whether a pod with the given demand could be placed right now.
+    /// Whether a pod with the given demand could be placed right now
+    /// (always false while the node is down).
     #[must_use]
     pub fn can_fit(&self, demand: GpuDemand) -> bool {
+        if !self.up {
+            return false;
+        }
         match demand {
             GpuDemand::Whole(n) => self.idle_gpus() >= n,
             GpuDemand::Fraction(f) => self.gpus.iter().any(|g| g.free_fraction() >= f - 1e-12),
@@ -171,6 +207,9 @@ impl Node {
         demand: GpuDemand,
         priority: Priority,
     ) -> Result<PodAlloc> {
+        if !self.up {
+            return Err(Error::Capacity(format!("{} is down", self.id)));
+        }
         let alloc = match demand {
             GpuDemand::Whole(n) => {
                 let idle: Vec<usize> = self

@@ -77,6 +77,35 @@ pub enum TaskEvent {
         /// Event time.
         at: SimTime,
     },
+    /// A task (any priority) was displaced by a node failure. Kept apart
+    /// from [`TaskEvent::Evicted`] so eviction-driven feedback loops
+    /// (Eq. 11, Eq. 15) are not polluted by hardware churn.
+    Displaced {
+        /// Task id.
+        task: TaskId,
+        /// Task priority class.
+        priority: Priority,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A node failed; its capacity just left every cluster total.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+        /// Cards that vanished with it.
+        lost_gpus: u32,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A node returned to service with all cards idle.
+    NodeUp {
+        /// The restored node.
+        node: NodeId,
+        /// Cards that came back.
+        restored_gpus: u32,
+        /// Event time.
+        at: SimTime,
+    },
 }
 
 /// A scheduling policy.

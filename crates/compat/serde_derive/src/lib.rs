@@ -3,7 +3,11 @@
 //! Supports exactly the item shapes present in this workspace:
 //!
 //! * `#[serde(transparent)]` single-field tuple structs (newtypes),
-//! * named-field structs,
+//! * named-field structs, whose fields may carry
+//!   `#[serde(skip_serializing_if = "pred", default)]` — the field is
+//!   omitted from the JSON when `pred(&value)` is true and filled with
+//!   `Default::default()` when missing on the wire (this is how report
+//!   types grow fields without perturbing historical golden encodings),
 //! * enums whose variants are unit, single-field tuple, or named-field
 //!   struct variants (externally tagged, matching real serde's default).
 //!
@@ -14,10 +18,20 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+    /// `skip_serializing_if` predicate path, if any.
+    skip_if: Option<String>,
+    /// Whether a missing field deserializes to `Default::default()`.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum VariantKind {
     Unit,
     Tuple(String),
-    Struct(Vec<(String, String)>),
+    Struct(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -29,7 +43,7 @@ struct Variant {
 #[derive(Debug)]
 enum Item {
     Newtype { name: String, inner: String },
-    Struct { name: String, fields: Vec<(String, String)> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<Variant> },
 }
 
@@ -172,13 +186,53 @@ fn tokens_to_string(tokens: &[TokenTree]) -> String {
     stream.to_string()
 }
 
+/// Extracts `(skip_serializing_if, default)` from one `#[serde(…)]`
+/// attribute group's inner stream (`serde (…)`), if it is one.
+fn parse_serde_attr(stream: TokenStream) -> (Option<String>, bool) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if !is_ident(tokens.first(), "serde") {
+        return (None, false);
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return (None, false);
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut skip_if = None;
+    let mut default = false;
+    let mut i = 0;
+    while i < args.len() {
+        if is_ident(args.get(i), "default") {
+            default = true;
+        } else if is_ident(args.get(i), "skip_serializing_if")
+            && is_punct(args.get(i + 1), '=')
+        {
+            if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                let text = lit.to_string();
+                skip_if = Some(text.trim_matches('"').to_string());
+                i += 2;
+            }
+        }
+        i += 1;
+    }
+    (skip_if, default)
+}
+
 /// Parses `name: Type, …` (with optional attributes/visibility per field).
-fn parse_named_fields(stream: TokenStream) -> Vec<(String, String)> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut out = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
+        let mut skip_if = None;
+        let mut default = false;
         while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let (s, d) = parse_serde_attr(g.stream());
+                if s.is_some() {
+                    skip_if = s;
+                }
+                default |= d;
+            }
             i += 2;
         }
         if is_ident(tokens.get(i), "pub") {
@@ -209,7 +263,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<(String, String)> {
             ty.push(t.clone());
             i += 1;
         }
-        out.push((field, tokens_to_string(&ty)));
+        out.push(Field {
+            name: field,
+            ty: tokens_to_string(&ty),
+            skip_if,
+            default,
+        });
     }
     out
 }
@@ -261,17 +320,38 @@ fn gen_serialize(item: &Item) -> String {
             name
         }
         Item::Struct { name, fields } => {
-            body.push_str("out.push('{');");
-            for (i, (field, _)) in fields.iter().enumerate() {
-                if i > 0 {
-                    body.push_str("out.push(',');");
+            if fields.iter().any(|f| f.skip_if.is_some()) {
+                // dynamic comma placement: skippable fields may not emit
+                body.push_str("out.push('{'); let mut __first = true;");
+                for f in fields {
+                    let field = &f.name;
+                    let emit = format!(
+                        "if !__first {{ out.push(','); }} __first = false;\
+                         out.push_str(\"\\\"{field}\\\":\");\
+                         ::serde::Serialize::serialize_json(&self.{field}, out);"
+                    );
+                    match &f.skip_if {
+                        Some(pred) => body.push_str(&format!(
+                            "if !({pred}(&self.{field})) {{ {emit} }}"
+                        )),
+                        None => body.push_str(&emit),
+                    }
                 }
-                body.push_str(&format!(
-                    "out.push_str(\"\\\"{field}\\\":\");\
-                     ::serde::Serialize::serialize_json(&self.{field}, out);"
-                ));
+                body.push_str("out.push('}');");
+            } else {
+                body.push_str("out.push('{');");
+                for (i, f) in fields.iter().enumerate() {
+                    let field = &f.name;
+                    if i > 0 {
+                        body.push_str("out.push(',');");
+                    }
+                    body.push_str(&format!(
+                        "out.push_str(\"\\\"{field}\\\":\");\
+                         ::serde::Serialize::serialize_json(&self.{field}, out);"
+                    ));
+                }
+                body.push_str("out.push('}');");
             }
-            body.push_str("out.push('}');");
             name
         }
         Item::Enum { name, variants } => {
@@ -290,15 +370,20 @@ fn gen_serialize(item: &Item) -> String {
                          }},"
                     )),
                     VariantKind::Struct(fields) => {
+                        assert!(
+                            fields.iter().all(|f| f.skip_if.is_none()),
+                            "skip_serializing_if is unsupported on enum variant fields ({name}::{vn})"
+                        );
                         let pattern = fields
                             .iter()
-                            .map(|(f, _)| f.as_str())
+                            .map(|f| f.name.as_str())
                             .collect::<Vec<_>>()
                             .join(", ");
                         let mut inner = format!(
                             "out.push_str(\"{{\\\"{vn}\\\":{{\");"
                         );
-                        for (i, (f, _)) in fields.iter().enumerate() {
+                        for (i, field) in fields.iter().enumerate() {
+                            let f = &field.name;
                             if i > 0 {
                                 inner.push_str("out.push(',');");
                             }
@@ -394,18 +479,23 @@ fn gen_deserialize(item: &Item) -> String {
 
 /// Generates the `{ "field": value, … }` reader producing
 /// `Ok(Name<suffix> { field, … })`.
-fn gen_struct_body(name: &str, suffix: &str, fields: &[(String, String)]) -> String {
+fn gen_struct_body(name: &str, suffix: &str, fields: &[Field]) -> String {
     let mut decls = String::new();
     let mut arms = String::new();
     let mut build = String::new();
-    for (f, ty) in fields {
+    for field in fields {
+        let (f, ty) = (&field.name, &field.ty);
         decls.push_str(&format!("let mut __f_{f}: ::core::option::Option<{ty}> = ::core::option::Option::None;"));
         arms.push_str(&format!(
             "\"{f}\" => __f_{f} = ::core::option::Option::Some(<{ty} as ::serde::Deserialize>::deserialize_json(p)?),"
         ));
-        build.push_str(&format!(
-            "{f}: __f_{f}.ok_or_else(|| ::serde::de::DeError::missing(\"{f}\"))?,"
-        ));
+        if field.default {
+            build.push_str(&format!("{f}: __f_{f}.unwrap_or_default(),"));
+        } else {
+            build.push_str(&format!(
+                "{f}: __f_{f}.ok_or_else(|| ::serde::de::DeError::missing(\"{f}\"))?,"
+            ));
+        }
     }
     format!(
         "p.expect_char('{{')?;\

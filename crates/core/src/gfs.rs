@@ -125,7 +125,7 @@ impl Scheduler for GfsScheduler {
         self.sqa.update(now, cluster, upper);
     }
 
-    fn on_event(&mut self, event: &TaskEvent, _cluster: &Cluster) {
+    fn on_event(&mut self, event: &TaskEvent, cluster: &Cluster) {
         match event {
             TaskEvent::Evicted { task, at } => self.sqa.record_eviction(*task, *at),
             TaskEvent::Submitted { task, priority, at } if priority.is_spot() => {
@@ -138,6 +138,15 @@ impl Scheduler for GfsScheduler {
                 at,
             } if priority.is_spot() => {
                 self.sqa.record_spot_start(*task, *at, *queued_secs);
+            }
+            TaskEvent::Displaced { task, priority, at } if priority.is_spot() => {
+                self.sqa.record_displacement(*task, *at);
+            }
+            // capacity changed under the quota: re-clamp immediately
+            // instead of admitting against vanished GPUs until the next
+            // 300 s tick (the SQA keeps the last forecast for this)
+            TaskEvent::NodeDown { .. } | TaskEvent::NodeUp { .. } => {
+                self.sqa.refresh_capacity(cluster);
             }
             _ => {}
         }
@@ -216,6 +225,27 @@ mod tests {
         s.on_tick(SimTime::from_secs(600), &c);
         assert!(s.eta() < 1.0, "η must shrink after an eviction storm");
         assert!(s.quota() < q0);
+    }
+
+    #[test]
+    fn node_down_reclamps_quota_immediately() {
+        let mut s = GfsScheduler::with_defaults();
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        s.on_tick(SimTime::from_secs(300), &c);
+        assert!((s.quota() - 16.0).abs() < 1e-9);
+        c.fail_node(NodeId::new(1), SimTime::from_secs(400)).unwrap();
+        s.on_event(
+            &TaskEvent::NodeDown { node: NodeId::new(1), lost_gpus: 8, at: SimTime::from_secs(400) },
+            &c,
+        );
+        assert!((s.quota() - 8.0).abs() < 1e-9, "quota tracks the surviving fleet");
+        assert!(s.schedule(&task(1, Priority::Spot, 12), &c, SimTime::from_secs(401)).is_none());
+        c.restore_node(NodeId::new(1), SimTime::from_secs(500)).unwrap();
+        s.on_event(
+            &TaskEvent::NodeUp { node: NodeId::new(1), restored_gpus: 8, at: SimTime::from_secs(500) },
+            &c,
+        );
+        assert!((s.quota() - 16.0).abs() < 1e-9);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct SpotQuotaAllocator {
     evictions: VecDeque<SimTime>,
     spot_starts: VecDeque<(SimTime, SimDuration)>, // (start, queued_secs)
     waiting: HashMap<TaskId, SimTime>,             // spot tasks in the queue
+    /// Aggregated demand upper bound of the last [`Self::update`]; reused
+    /// by [`Self::refresh_capacity`] between quota ticks.
+    last_upper: f64,
+    /// Whether [`Self::update`] has ever run — before the first forecast
+    /// the quota must stay at zero, whatever else happens.
+    updated: bool,
 }
 
 impl SpotQuotaAllocator {
@@ -45,6 +51,8 @@ impl SpotQuotaAllocator {
             evictions: VecDeque::new(),
             spot_starts: VecDeque::new(),
             waiting: HashMap::new(),
+            last_upper: 0.0,
+            updated: false,
         }
     }
 
@@ -77,6 +85,34 @@ impl SpotQuotaAllocator {
     pub fn record_spot_start(&mut self, task: TaskId, at: SimTime, queued_secs: SimDuration) {
         self.waiting.remove(&task);
         self.spot_starts.push_back((at, queued_secs));
+    }
+
+    /// Records a spot task displaced by a node failure: it re-enters the
+    /// waiting set (so the queue-pressure signal `l` of Eq. 11 sees it)
+    /// but — unlike [`Self::record_eviction`] — does **not** count toward
+    /// the realised eviction rate `e`: hardware churn is not preemption
+    /// pressure, and letting it shrink `η` would starve spot admission
+    /// exactly when displaced tasks need requeue capacity.
+    pub fn record_displacement(&mut self, task: TaskId, at: SimTime) {
+        self.waiting.insert(task, at);
+    }
+
+    /// Re-clamps the quota against the current cluster after a capacity
+    /// change (node failure/recovery), reusing the last forecast. Without
+    /// this, a quota computed against the pre-failure fleet would keep
+    /// admitting spot tasks against GPUs that no longer exist until the
+    /// next quota tick (up to 300 s of mis-scored capacity). A no-op
+    /// before the first [`Self::update`]: with no forecast yet, the
+    /// "zero quota until the first update" contract wins — a node event
+    /// must not open the spot gate.
+    pub fn refresh_capacity(&mut self, cluster: &Cluster) {
+        if !self.updated {
+            return;
+        }
+        let f = self.inventory(cluster, self.last_upper);
+        let s0 = f64::from(cluster.idle_gpus(None));
+        let sa = cluster.spot_allocated(None);
+        self.quota = (f * self.eta).min(s0 + sa).max(0.0);
     }
 
     fn retire(&mut self, now: SimTime) {
@@ -135,6 +171,8 @@ impl SpotQuotaAllocator {
     /// Recomputes `η` (Eq. 11) and the quota `Q_H` (Eq. 10). Call at every
     /// quota-update interval with the freshest forecast.
     pub fn update(&mut self, now: SimTime, cluster: &Cluster, aggregated_upper: f64) {
+        self.last_upper = aggregated_upper;
+        self.updated = true;
         self.retire(now);
         if self.params.eta_rule == EtaUpdateRule::Adaptive {
             let p = self.params.guarantee_rate;
@@ -162,10 +200,9 @@ impl SpotQuotaAllocator {
             let (lo, hi) = self.params.eta_bounds;
             self.eta = self.eta.clamp(lo, hi);
         }
-        let f = self.inventory(cluster, aggregated_upper);
-        let s0 = f64::from(cluster.idle_gpus(None));
-        let sa = cluster.spot_allocated(None);
-        self.quota = (f * self.eta).min(s0 + sa).max(0.0);
+        // the Eq. 10 clamp lives in refresh_capacity (shared with the
+        // node-event path); last_upper/updated were set above
+        self.refresh_capacity(cluster);
     }
 
     /// Quota check of Alg. 3: whether admitting `demand_gpus` more spot
@@ -324,6 +361,51 @@ mod tests {
         assert_eq!(sqa.recent_eviction_rate(), 0.0);
         // task 1 is still waiting after its eviction though
         assert!(sqa.recent_max_queue_secs(SimTime::from_hours(2)) > 0);
+    }
+
+    #[test]
+    fn refresh_before_first_update_keeps_quota_zero() {
+        // a node event arriving before the first quota tick must not open
+        // the spot gate: with no forecast yet, "zero quota until the
+        // first update" wins
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let mut c = cluster();
+        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10)).unwrap();
+        sqa.refresh_capacity(&c);
+        assert_eq!(sqa.quota(), 0.0);
+        assert!(!sqa.admits(&c, 1.0));
+    }
+
+    #[test]
+    fn refresh_capacity_reclamps_after_node_failure() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        let mut c = cluster();
+        sqa.update(SimTime::ZERO, &c, 8.0); // f = 24, quota = 24
+        assert!((sqa.quota() - 24.0).abs() < 1e-9);
+        // half the fleet dies: the quota must shrink before the next tick
+        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10)).unwrap();
+        c.fail_node(gfs_types::NodeId::new(1), SimTime::from_secs(10)).unwrap();
+        sqa.refresh_capacity(&c);
+        assert!((sqa.quota() - 8.0).abs() < 1e-9, "16 − 8 forecast, got {}", sqa.quota());
+        assert!(!sqa.admits(&c, 9.0));
+        // recovery restores the original quota (same forecast)
+        c.restore_node(gfs_types::NodeId::new(0), SimTime::from_secs(20)).unwrap();
+        c.restore_node(gfs_types::NodeId::new(1), SimTime::from_secs(20)).unwrap();
+        sqa.refresh_capacity(&c);
+        assert!((sqa.quota() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_feeds_queue_signal_but_not_eviction_rate() {
+        let mut sqa = SpotQuotaAllocator::new(params());
+        sqa.record_spot_start(id(1), SimTime::ZERO, 0);
+        sqa.record_displacement(id(1), SimTime::from_minutes(5));
+        assert_eq!(sqa.recent_eviction_rate(), 0.0, "churn is not preemption");
+        assert_eq!(
+            sqa.recent_max_queue_secs(SimTime::from_minutes(35)),
+            30 * 60,
+            "displaced task has been waiting since the failure"
+        );
     }
 
     #[test]

@@ -128,6 +128,9 @@ mod tests {
             mean_alloc_rate: 0.5,
             makespan_hours: 24.0,
             failed_commits: 0,
+            availability: 0.98,
+            displacement_count: 2,
+            displaced_mean_jct_s: 500.0,
         };
         let rows = aggregate(&[run.clone(), run]);
         assert_eq!(rows.len(), RunSummary::METRICS.len());

@@ -5,38 +5,75 @@
 
 use std::sync::Arc;
 
-use gfs_cluster::{Cluster, Scheduler};
+use gfs_cluster::{Cluster, Node, Scheduler};
 use gfs_sched::{Chronus, Fgd, Lyra, YarnCs};
 use gfs_sim::{RunSummary, SimConfig, SimReport};
 use gfs_trace::{WorkloadConfig, WorkloadGenerator};
-use gfs_types::{GfsParams, GpuModel, TaskSpec};
+use gfs_types::{Error, FaultPlan, GfsParams, GpuModel, NodeId, Result, SimDuration, TaskSpec};
 
 use crate::pool::{run_indexed, Threads};
 use crate::report::{CellSummary, GridReport};
 
-/// A named cluster geometry a grid cell simulates.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClusterShape {
-    /// Display label ("72n" / "287n" …).
-    pub name: String,
-    /// Node count.
+/// One homogeneous pool inside a [`ClusterShape`]: `nodes` machines of
+/// `model` with `gpus_per_node` cards each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeGroup {
+    /// Node count of the pool.
     pub nodes: u32,
     /// Cards per node.
     pub gpus_per_node: u32,
-    /// GPU model of every node.
+    /// GPU model of every node in the pool.
     pub model: GpuModel,
+}
+
+/// A named cluster geometry a grid cell simulates: one or more
+/// [`NodeGroup`] pools (a single group is the classic homogeneous
+/// cluster; several model the paper's mixed-GPU production fleet of
+/// Table 1). Node ids are assigned sequentially across groups in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShape {
+    /// Display label ("72n" / "287n" / "16a100+8h800" …).
+    pub name: String,
+    /// The pools, in node-id order.
+    pub groups: Vec<NodeGroup>,
 }
 
 impl ClusterShape {
     /// A homogeneous A100 shape named after its node count.
     #[must_use]
     pub fn a100(nodes: u32, gpus_per_node: u32) -> Self {
+        ClusterShape::homogeneous(GpuModel::A100, nodes, gpus_per_node).named(format!("{nodes}n"))
+    }
+
+    /// A homogeneous shape of any model, named `"<n><model>"`.
+    #[must_use]
+    pub fn homogeneous(model: GpuModel, nodes: u32, gpus_per_node: u32) -> Self {
         ClusterShape {
-            name: format!("{nodes}n"),
-            nodes,
-            gpus_per_node,
-            model: GpuModel::A100,
+            name: format!("{nodes}{}", model.to_string().to_lowercase()),
+            groups: vec![NodeGroup { nodes, gpus_per_node, model }],
         }
+    }
+
+    /// A heterogeneous shape from explicit pools, named by joining the
+    /// groups (e.g. `"16a100+8h800"`).
+    #[must_use]
+    pub fn heterogeneous(groups: impl IntoIterator<Item = NodeGroup>) -> Self {
+        let groups: Vec<NodeGroup> = groups.into_iter().collect();
+        let name = groups
+            .iter()
+            .map(|g| format!("{}{}", g.nodes, g.model.to_string().to_lowercase()))
+            .collect::<Vec<_>>()
+            .join("+");
+        ClusterShape { name, groups }
+    }
+
+    /// Appends one pool (builder style): `nodes` machines of `model` with
+    /// `gpus_per_node` cards, taking the next node-id range.
+    #[must_use]
+    pub fn nodes_with_model(mut self, model: GpuModel, nodes: u32, gpus_per_node: u32) -> Self {
+        self.groups.push(NodeGroup { nodes, gpus_per_node, model });
+        self
     }
 
     /// Overrides the display label.
@@ -46,16 +83,55 @@ impl ClusterShape {
         self
     }
 
-    /// Total cards of the shape.
+    /// Total node count across all pools.
     #[must_use]
-    pub fn capacity_gpus(&self) -> f64 {
-        f64::from(self.nodes * self.gpus_per_node)
+    pub fn node_count(&self) -> u32 {
+        self.groups.iter().map(|g| g.nodes).sum()
     }
 
-    /// Materialises the cluster.
+    /// Total cards of the shape, all pools.
+    #[must_use]
+    pub fn capacity_gpus(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| f64::from(g.nodes * g.gpus_per_node))
+            .sum()
+    }
+
+    /// Cards of one model's pools.
+    #[must_use]
+    pub fn capacity_gpus_of(&self, model: GpuModel) -> f64 {
+        self.groups
+            .iter()
+            .filter(|g| g.model == model)
+            .map(|g| f64::from(g.nodes * g.gpus_per_node))
+            .sum()
+    }
+
+    /// The distinct GPU models, in group-declaration order.
+    #[must_use]
+    pub fn models(&self) -> Vec<GpuModel> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            if !out.contains(&g.model) {
+                out.push(g.model);
+            }
+        }
+        out
+    }
+
+    /// Materialises the cluster: node ids run sequentially across groups.
     #[must_use]
     pub fn build(&self) -> Cluster {
-        Cluster::homogeneous(self.nodes, self.model, self.gpus_per_node)
+        let mut nodes = Vec::new();
+        let mut next = 0u32;
+        for g in &self.groups {
+            for _ in 0..g.nodes {
+                nodes.push(Node::new(NodeId::new(next), g.model, g.gpus_per_node));
+                next += 1;
+            }
+        }
+        Cluster::new(nodes)
     }
 }
 
@@ -67,6 +143,8 @@ pub struct RunContext<'a> {
     pub shape: &'a ClusterShape,
     /// Workload-axis label of the cell.
     pub workload: &'a str,
+    /// Fault-axis label of the cell (`"none"` when no axis is declared).
+    pub faults: &'a str,
     /// Parameter override of the cell.
     pub params: &'a GfsParams,
     /// Replication seed of this run.
@@ -207,6 +285,42 @@ impl WorkloadAxis {
         })
     }
 
+    /// A generated workload for heterogeneous shapes: the configured task
+    /// counts are split across the shape's distinct GPU models in
+    /// proportion to each model's share of capacity, every sub-trace
+    /// requests its own model (so all pools are exercised), and ids/seeds
+    /// are offset per model so the merged trace is collision-free and
+    /// deterministic. On a homogeneous shape this degenerates to one
+    /// sub-trace of the shape's model.
+    #[must_use]
+    pub fn generated_mixed(name: impl Into<String>, base: WorkloadConfig) -> Self {
+        WorkloadAxis::new(name, move |shape, seed| {
+            let total = shape.capacity_gpus().max(1.0);
+            let mut tasks = Vec::new();
+            let mut start_id = base.start_id;
+            for (k, model) in shape.models().into_iter().enumerate() {
+                let share = shape.capacity_gpus_of(model) / total;
+                let hp = ((base.hp_tasks as f64) * share).round() as usize;
+                let spot = ((base.spot_tasks as f64) * share).round() as usize;
+                if hp + spot == 0 {
+                    continue;
+                }
+                let cfg = WorkloadConfig {
+                    seed: seed.wrapping_add((k as u64) << 32),
+                    gpu_model: model,
+                    hp_tasks: hp,
+                    spot_tasks: spot,
+                    start_id,
+                    ..base.clone()
+                };
+                let sub = WorkloadGenerator::new(cfg).generate();
+                start_id += sub.len() as u64 + 1;
+                tasks.extend(sub);
+            }
+            tasks
+        })
+    }
+
     /// Display name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -216,6 +330,81 @@ impl WorkloadAxis {
     /// Builds the trace for one run.
     #[must_use]
     pub fn build(&self, shape: &ClusterShape, seed: u64) -> Vec<TaskSpec> {
+        (self.build)(shape, seed)
+    }
+}
+
+type FaultFactory = dyn Fn(&ClusterShape, u64) -> FaultPlan + Send + Sync;
+
+/// A named fault-schedule source — one point on the grid's fault axis.
+///
+/// Like every other axis, a `FaultAxis` must be a pure function of the
+/// cell's shape and the run seed (see `gfs_types::cluster_event` for the
+/// determinism rules); the fault seed is derived from the run seed, so
+/// seed replication varies the churn along with the workload.
+#[derive(Clone)]
+pub struct FaultAxis {
+    name: String,
+    build: Arc<FaultFactory>,
+}
+
+impl std::fmt::Debug for FaultAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultAxis({})", self.name)
+    }
+}
+
+impl FaultAxis {
+    /// Wraps an arbitrary schedule source.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(&ClusterShape, u64) -> FaultPlan + Send + Sync + 'static,
+    ) -> Self {
+        FaultAxis {
+            name: name.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The fault-free axis point (the default when no axis is declared).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultAxis::new("none", |_, _| FaultPlan::none())
+    }
+
+    /// A seeded MTBF/MTTR renewal schedule over every node of the cell's
+    /// shape: mean `mtbf_secs` between failures and `mttr_secs` to repair,
+    /// generated until `horizon_secs` (usually the workload's submission
+    /// horizon plus slack).
+    #[must_use]
+    pub fn mtbf(
+        name: impl Into<String>,
+        mtbf_secs: f64,
+        mttr_secs: f64,
+        horizon_secs: SimDuration,
+    ) -> Self {
+        FaultAxis::new(name, move |shape, seed| {
+            FaultPlan::seeded_mtbf(shape.node_count(), mtbf_secs, mttr_secs, horizon_secs, seed)
+        })
+    }
+
+    /// A hand-built schedule applied identically at every seed (node ids
+    /// must be valid for the shapes the grid pairs it with; events on
+    /// unknown nodes are engine no-ops).
+    #[must_use]
+    pub fn fixed(name: impl Into<String>, plan: FaultPlan) -> Self {
+        FaultAxis::new(name, move |_, _| plan.clone())
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the schedule for one run.
+    #[must_use]
+    pub fn build(&self, shape: &ClusterShape, seed: u64) -> FaultPlan {
         (self.build)(shape, seed)
     }
 }
@@ -251,6 +440,8 @@ pub struct Scenario {
     pub shape: ClusterShape,
     /// Trace source.
     pub workload: WorkloadAxis,
+    /// Fault-schedule source.
+    pub faults: FaultAxis,
     /// Parameter override.
     pub params: ParamsAxis,
     /// Replication seed.
@@ -258,19 +449,25 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Executes the run: generate the trace, build cluster and scheduler,
-    /// simulate. Self-contained and deterministic given the scenario.
+    /// Executes the run: generate the trace and fault schedule, build
+    /// cluster and scheduler, simulate. Self-contained and deterministic
+    /// given the scenario.
     #[must_use]
     pub fn execute(&self, sim: &SimConfig) -> SimReport {
         let ctx = RunContext {
             shape: &self.shape,
             workload: self.workload.name(),
+            faults: self.faults.name(),
             params: &self.params.params,
             seed: self.seed,
         };
         let tasks = self.workload.build(&self.shape, self.seed);
+        let sim = SimConfig {
+            faults: self.faults.build(&self.shape, self.seed),
+            ..sim.clone()
+        };
         let mut scheduler = self.scheduler.build(&ctx);
-        gfs_sim::run(self.shape.build(), scheduler.as_mut(), tasks, sim)
+        gfs_sim::run(self.shape.build(), scheduler.as_mut(), tasks, &sim)
     }
 }
 
@@ -288,16 +485,24 @@ pub struct GridResult {
 
 /// The declarative experiment grid (C-BUILDER).
 ///
-/// Axes default to "empty"; [`Grid::run`] fills the parameter axis with
-/// the Table 4 defaults and the seed axis with `[1]` when unset, and
-/// panics if schedulers, shapes or workloads are missing.
+/// Axes default to "empty"; [`Grid::run`] fills the fault axis with
+/// [`FaultAxis::none`], the parameter axis with the Table 4 defaults and
+/// the seed axis with `[1]` when unset. Invalid grids (missing required
+/// axes, duplicate axis labels, an explicitly empty seed list) are
+/// reported by [`Grid::validate`] / [`Grid::try_run`] as descriptive
+/// errors; the panicking [`Grid::run`]/[`Grid::scenarios`] wrappers reuse
+/// the same messages.
 #[derive(Debug, Clone, Default)]
 pub struct Grid {
     schedulers: Vec<SchedulerSpec>,
     shapes: Vec<ClusterShape>,
     workloads: Vec<WorkloadAxis>,
+    faults: Vec<FaultAxis>,
     params: Vec<ParamsAxis>,
     seeds: Vec<u64>,
+    /// Whether `seeds()` was ever called (distinguishes "defaulted" from
+    /// "explicitly empty", which is almost certainly a caller bug).
+    seeds_set: bool,
     sim: Option<SimConfig>,
     keep_reports: bool,
 }
@@ -351,6 +556,21 @@ impl Grid {
         self
     }
 
+    /// Adds fault-schedule sources (each cell runs once per axis point;
+    /// omitting the axis entirely means fault-free runs).
+    #[must_use]
+    pub fn faults(mut self, axes: impl IntoIterator<Item = FaultAxis>) -> Self {
+        self.faults.extend(axes);
+        self
+    }
+
+    /// Adds one fault-schedule source.
+    #[must_use]
+    pub fn fault(mut self, axis: FaultAxis) -> Self {
+        self.faults.push(axis);
+        self
+    }
+
     /// Adds parameter overrides.
     #[must_use]
     pub fn params(mut self, axes: impl IntoIterator<Item = ParamsAxis>) -> Self {
@@ -361,6 +581,7 @@ impl Grid {
     /// Sets the replication seeds (each cell runs once per seed).
     #[must_use]
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds_set = true;
         self.seeds.extend(seeds);
         self
     }
@@ -380,6 +601,14 @@ impl Grid {
         self
     }
 
+    fn faults_axis(&self) -> Vec<FaultAxis> {
+        if self.faults.is_empty() {
+            vec![FaultAxis::none()]
+        } else {
+            self.faults.clone()
+        }
+    }
+
     fn params_axis(&self) -> Vec<ParamsAxis> {
         if self.params.is_empty() {
             vec![ParamsAxis::default_params()]
@@ -396,48 +625,116 @@ impl Grid {
         }
     }
 
+    /// Checks the grid's inputs, returning a descriptive error for: a
+    /// missing required axis (schedulers, shapes, workloads), a duplicate
+    /// label within any axis (duplicate cells would silently shadow each
+    /// other in [`GridReport::cell`] lookups), a duplicate seed, or an
+    /// explicitly-empty seed list (`.seeds([])`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending axis/label.
+    pub fn validate(&self) -> Result<()> {
+        fn no_dupes<'a>(axis: &str, names: impl Iterator<Item = &'a str>) -> Result<()> {
+            let mut seen: Vec<&str> = Vec::new();
+            for n in names {
+                if seen.contains(&n) {
+                    return Err(Error::InvalidConfig(format!(
+                        "duplicate {axis} label {n:?}: every {axis} axis point needs a distinct name"
+                    )));
+                }
+                seen.push(n);
+            }
+            Ok(())
+        }
+        if self.schedulers.is_empty() {
+            return Err(Error::InvalidConfig("grid needs at least one scheduler".into()));
+        }
+        if self.shapes.is_empty() {
+            return Err(Error::InvalidConfig("grid needs at least one cluster shape".into()));
+        }
+        if self.workloads.is_empty() {
+            return Err(Error::InvalidConfig("grid needs at least one workload".into()));
+        }
+        if self.seeds_set && self.seeds.is_empty() {
+            return Err(Error::InvalidConfig(
+                "seeds([]) declares an empty replication axis; omit the call for the default seed [1]".into(),
+            ));
+        }
+        no_dupes("scheduler", self.schedulers.iter().map(SchedulerSpec::name))?;
+        no_dupes("shape", self.shapes.iter().map(|s| s.name.as_str()))?;
+        no_dupes("workload", self.workloads.iter().map(WorkloadAxis::name))?;
+        no_dupes("faults", self.faults.iter().map(FaultAxis::name))?;
+        no_dupes("params", self.params.iter().map(|p| p.name.as_str()))?;
+        let mut seen = Vec::new();
+        for &s in &self.seeds {
+            if seen.contains(&s) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate seed {s}: replication seeds must be distinct"
+                )));
+            }
+            seen.push(s);
+        }
+        Ok(())
+    }
+
     /// Enumerates every run of the grid in deterministic order: cells
-    /// nest (shape → workload → params → scheduler), each replicated over
-    /// all seeds.
+    /// nest (shape → workload → faults → params → scheduler), each
+    /// replicated over all seeds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the scheduler, shape or workload axis is empty.
-    #[must_use]
-    pub fn scenarios(&self) -> Vec<Scenario> {
-        assert!(!self.schedulers.is_empty(), "grid needs at least one scheduler");
-        assert!(!self.shapes.is_empty(), "grid needs at least one cluster shape");
-        assert!(!self.workloads.is_empty(), "grid needs at least one workload");
+    /// See [`Grid::validate`].
+    pub fn try_scenarios(&self) -> Result<Vec<Scenario>> {
+        self.validate()?;
+        let faults = self.faults_axis();
         let params = self.params_axis();
         let seeds = self.seed_axis();
         let mut out = Vec::new();
         let mut cell = 0;
         for shape in &self.shapes {
             for workload in &self.workloads {
-                for p in &params {
-                    for scheduler in &self.schedulers {
-                        for &seed in &seeds {
-                            out.push(Scenario {
-                                cell,
-                                scheduler: scheduler.clone(),
-                                shape: shape.clone(),
-                                workload: workload.clone(),
-                                params: p.clone(),
-                                seed,
-                            });
+                for f in &faults {
+                    for p in &params {
+                        for scheduler in &self.schedulers {
+                            for &seed in &seeds {
+                                out.push(Scenario {
+                                    cell,
+                                    scheduler: scheduler.clone(),
+                                    shape: shape.clone(),
+                                    workload: workload.clone(),
+                                    faults: f.clone(),
+                                    params: p.clone(),
+                                    seed,
+                                });
+                            }
+                            cell += 1;
                         }
-                        cell += 1;
                     }
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Panicking wrapper of [`Grid::try_scenarios`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`Grid::validate`] message on an invalid grid.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.try_scenarios().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of cells (scenarios ÷ seeds).
     #[must_use]
     pub fn cell_count(&self) -> usize {
-        self.schedulers.len() * self.shapes.len() * self.workloads.len() * self.params_axis().len()
+        self.schedulers.len()
+            * self.shapes.len()
+            * self.workloads.len()
+            * self.faults_axis().len()
+            * self.params_axis().len()
     }
 
     /// Executes the whole grid on `threads` workers and aggregates each
@@ -446,13 +743,15 @@ impl Grid {
     /// Results are collected by run index — never by completion order — so
     /// the report is byte-identical for any thread count.
     ///
+    /// # Errors
+    ///
+    /// See [`Grid::validate`].
+    ///
     /// # Panics
     ///
-    /// Panics when an axis is empty (see [`Grid::scenarios`]) or a worker
-    /// panics.
-    #[must_use]
-    pub fn run(&self, threads: Threads) -> GridResult {
-        let scenarios = self.scenarios();
+    /// Panics if a worker panics.
+    pub fn try_run(&self, threads: Threads) -> Result<GridResult> {
+        let scenarios = self.try_scenarios()?;
         let sim = self.sim.clone().unwrap_or_default();
         let keep = self.keep_reports;
         let outputs: Vec<(RunSummary, Option<SimReport>)> =
@@ -473,6 +772,7 @@ impl Grid {
                 first.scheduler.name(),
                 &first.shape.name,
                 first.workload.name(),
+                first.faults.name(),
                 &first.params.name,
                 &seeds,
                 runs,
@@ -486,10 +786,21 @@ impl Grid {
                 );
             }
         }
-        GridResult {
+        Ok(GridResult {
             report: GridReport { cells },
             sim_reports,
-        }
+        })
+    }
+
+    /// Panicking wrapper of [`Grid::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`Grid::validate`] message on an invalid grid, or
+    /// if a worker panics.
+    #[must_use]
+    pub fn run(&self, threads: Threads) -> GridResult {
+        self.try_run(threads).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -581,10 +892,106 @@ mod tests {
     }
 
     #[test]
+    fn validation_reports_descriptive_errors() {
+        let base = || {
+            Grid::new()
+                .scheduler(SchedulerSpec::yarn_cs())
+                .shape(ClusterShape::a100(2, 8))
+                .workload(tiny_workload())
+        };
+        assert!(base().validate().is_ok());
+        let err = |g: Grid| g.validate().unwrap_err().to_string();
+        assert!(err(Grid::new()).contains("at least one scheduler"));
+        assert!(
+            err(base().seeds(Vec::<u64>::new())).contains("empty replication axis"),
+            "explicitly empty seed list must be rejected"
+        );
+        assert!(err(base().seeds([1, 2, 1])).contains("duplicate seed 1"));
+        assert!(err(base().scheduler(SchedulerSpec::yarn_cs())).contains("duplicate scheduler label"));
+        assert!(err(base().shape(ClusterShape::a100(2, 8))).contains("duplicate shape label"));
+        assert!(err(base().workload(tiny_workload())).contains("duplicate workload label"));
+        assert!(
+            err(base().fault(FaultAxis::none()).fault(FaultAxis::none()))
+                .contains("duplicate faults label")
+        );
+        // try_run surfaces the same error instead of panicking
+        assert!(Grid::new().try_run(Threads::Fixed(1)).is_err());
+    }
+
+    #[test]
+    fn fault_axis_multiplies_cells_and_faulted_cells_report_churn() {
+        let horizon = 48 * HOUR;
+        let grid = Grid::new()
+            .scheduler(SchedulerSpec::yarn_cs())
+            .shape(ClusterShape::a100(4, 8))
+            .workload(tiny_workload())
+            .faults([
+                FaultAxis::none(),
+                FaultAxis::mtbf("churn", 6.0 * HOUR as f64, HOUR as f64, horizon),
+            ])
+            .seeds([1, 2])
+            .sim(SimConfig {
+                max_time_secs: Some(horizon),
+                ..SimConfig::default()
+            });
+        assert_eq!(grid.cell_count(), 2);
+        let result = grid.run(Threads::Fixed(2));
+        let clean = result.report.cell_at("YARN-CS", "4n", "tiny", "none", "default").unwrap();
+        let churny = result.report.cell_at("YARN-CS", "4n", "tiny", "churn", "default").unwrap();
+        assert_eq!(clean.median("availability"), 1.0);
+        assert_eq!(clean.median("displacement_count"), 0.0);
+        assert!(churny.median("availability") < 1.0, "6 h MTBF over 2 days must bite");
+        assert!(churny.metric("displacement_count").unwrap().max > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_shape_builds_mixed_cluster_and_mixed_workload() {
+        let shape = ClusterShape::heterogeneous([
+            NodeGroup { nodes: 3, gpus_per_node: 8, model: GpuModel::A100 },
+            NodeGroup { nodes: 1, gpus_per_node: 8, model: GpuModel::H800 },
+        ]);
+        assert_eq!(shape.name, "3a100+1h800");
+        assert_eq!(shape.node_count(), 4);
+        assert_eq!(shape.capacity_gpus(), 32.0);
+        assert_eq!(shape.capacity_gpus_of(GpuModel::H800), 8.0);
+        assert_eq!(shape.models(), vec![GpuModel::A100, GpuModel::H800]);
+        let cluster = shape.build();
+        assert_eq!(cluster.capacity(Some(GpuModel::A100)), 24.0);
+        assert_eq!(cluster.capacity(Some(GpuModel::H800)), 8.0);
+        assert_eq!(cluster.nodes()[3].model(), GpuModel::H800);
+        // the mixed workload requests both models, split by capacity share
+        let axis = WorkloadAxis::generated_mixed(
+            "mixed",
+            WorkloadConfig {
+                hp_tasks: 40,
+                spot_tasks: 12,
+                horizon_secs: 6 * HOUR,
+                ..WorkloadConfig::default()
+            },
+        );
+        let tasks = axis.build(&shape, 1);
+        let a100 = tasks.iter().filter(|t| t.gpu_model == GpuModel::A100).count();
+        let h800 = tasks.iter().filter(|t| t.gpu_model == GpuModel::H800).count();
+        assert!(a100 > 0 && h800 > 0, "both pools exercised ({a100}/{h800})");
+        assert!(a100 > h800, "counts follow the capacity split");
+        // no id collisions across sub-traces
+        let mut ids: Vec<u64> = tasks.iter().map(|t| t.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len());
+        // builder-style append works too
+        let grown = ClusterShape::a100(2, 8).nodes_with_model(GpuModel::A800, 2, 8);
+        assert_eq!(grown.node_count(), 4);
+        assert_eq!(grown.capacity_gpus_of(GpuModel::A800), 16.0);
+    }
+
+    #[test]
     fn shape_helpers() {
         let s = ClusterShape::a100(16, 8).named("pool");
         assert_eq!(s.name, "pool");
         assert_eq!(s.capacity_gpus(), 128.0);
         assert_eq!(s.build().capacity(None), 128.0);
+        let h = ClusterShape::homogeneous(GpuModel::H800, 4, 8);
+        assert_eq!(h.name, "4h800");
     }
 }

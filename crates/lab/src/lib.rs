@@ -7,8 +7,10 @@
 //! into that experiment engine:
 //!
 //! * [`Grid`] — a declarative builder enumerating the cross-product of
-//!   [`SchedulerSpec`] constructors, [`ClusterShape`]s, [`WorkloadAxis`]
-//!   trace sources, [`ParamsAxis`] overrides and replication seeds.
+//!   [`SchedulerSpec`] constructors, [`ClusterShape`]s (homogeneous or
+//!   mixed-GPU via [`NodeGroup`] pools), [`WorkloadAxis`] trace sources,
+//!   [`FaultAxis`] node-churn schedules, [`ParamsAxis`] overrides and
+//!   replication seeds.
 //! * [`pool`] — a std-only chunked work pool executing runs in parallel
 //!   while collecting results *by run index*, so the aggregated output is
 //!   byte-identical to a serial run for any thread count.
@@ -63,7 +65,8 @@ mod report;
 
 pub use agg::{MetricStats, MetricSummary};
 pub use grid::{
-    ClusterShape, Grid, GridResult, ParamsAxis, RunContext, Scenario, SchedulerSpec, WorkloadAxis,
+    ClusterShape, FaultAxis, Grid, GridResult, NodeGroup, ParamsAxis, RunContext, Scenario,
+    SchedulerSpec, WorkloadAxis,
 };
 pub use pool::Threads;
 pub use report::{CellSummary, GridReport};

@@ -16,6 +16,8 @@ pub struct CellSummary {
     pub shape: String,
     /// Workload-axis label.
     pub workload: String,
+    /// Fault-axis label (`"none"` for fault-free cells).
+    pub faults: String,
     /// Parameter-override label.
     pub params: String,
     /// Replication seeds, in run order.
@@ -33,6 +35,7 @@ impl CellSummary {
         scheduler: &str,
         shape: &str,
         workload: &str,
+        faults: &str,
         params: &str,
         seeds: &[u64],
         runs: Vec<RunSummary>,
@@ -42,6 +45,7 @@ impl CellSummary {
             scheduler: scheduler.to_string(),
             shape: shape.to_string(),
             workload: workload.to_string(),
+            faults: faults.to_string(),
             params: params.to_string(),
             seeds: seeds.to_vec(),
             runs,
@@ -64,10 +68,11 @@ impl CellSummary {
         self.metric(name).map_or(0.0, |s| s.median)
     }
 
-    /// The `(shape, workload, params)` block key this cell belongs to.
+    /// The `(shape, workload, faults, params)` block key this cell
+    /// belongs to.
     #[must_use]
-    pub fn block_key(&self) -> (&str, &str, &str) {
-        (&self.shape, &self.workload, &self.params)
+    pub fn block_key(&self) -> (&str, &str, &str, &str) {
+        (&self.shape, &self.workload, &self.faults, &self.params)
     }
 }
 
@@ -102,7 +107,8 @@ impl GridReport {
         serde_json::from_str(s)
     }
 
-    /// Looks one cell up by its axis labels.
+    /// Looks one cell up by its axis labels, ignoring the fault axis
+    /// (first match wins — convenient for fault-free grids).
     #[must_use]
     pub fn cell(&self, scheduler: &str, shape: &str, workload: &str, params: &str) -> Option<&CellSummary> {
         self.cells.iter().find(|c| {
@@ -110,24 +116,44 @@ impl GridReport {
         })
     }
 
+    /// Looks one cell up by all five axis labels.
+    #[must_use]
+    pub fn cell_at(
+        &self,
+        scheduler: &str,
+        shape: &str,
+        workload: &str,
+        faults: &str,
+        params: &str,
+    ) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| {
+            c.scheduler == scheduler
+                && c.shape == shape
+                && c.workload == workload
+                && c.faults == faults
+                && c.params == params
+        })
+    }
+
     /// Renders an aligned text table: one block per `(shape, workload,
-    /// params)` combination, one row per scheduler, one column per
+    /// faults, params)` combination, one row per scheduler, one column per
     /// requested metric showing `median ±IQR/2` (the `±` column is omitted
     /// for single-seed grids).
     #[must_use]
     pub fn render_table(&self, metrics: &[&str]) -> String {
         let mut out = String::new();
         let replicated = self.cells.iter().any(|c| c.seeds.len() > 1);
-        let mut block: Option<(&str, &str, &str)> = None;
+        let mut block: Option<(&str, &str, &str, &str)> = None;
         for cell in &self.cells {
             let key = cell.block_key();
             if block != Some(key) {
                 block = Some(key);
                 out.push_str(&format!(
-                    "\n### shape={} workload={} params={}{}\n",
+                    "\n### shape={} workload={} faults={} params={}{}\n",
                     key.0,
                     key.1,
                     key.2,
+                    key.3,
                     if replicated {
                         format!("  (median ±IQR/2 over {} seeds)", cell.seeds.len())
                     } else {
@@ -198,6 +224,9 @@ mod tests {
             mean_alloc_rate: 0.5,
             makespan_hours: 10.0,
             failed_commits: 0,
+            availability: 1.0,
+            displacement_count: 0,
+            displaced_mean_jct_s: 0.0,
         }
     }
 
@@ -207,6 +236,7 @@ mod tests {
                 "YARN-CS",
                 "4n",
                 "tiny",
+                "none",
                 "default",
                 &[1, 2],
                 vec![summary(100.0), summary(140.0)],
@@ -235,9 +265,27 @@ mod tests {
     fn table_contains_block_and_row() {
         let r = report();
         let table = r.render_table(&["hp_mean_jct_s", "eviction_rate"]);
-        assert!(table.contains("shape=4n workload=tiny params=default"));
+        assert!(table.contains("shape=4n workload=tiny faults=none params=default"));
         assert!(table.contains("YARN-CS"));
         assert!(table.contains("120.0"));
         assert!(table.contains("±"));
+    }
+
+    #[test]
+    fn cell_at_distinguishes_fault_axis() {
+        let mut r = report();
+        r.cells.push(CellSummary::new(
+            "YARN-CS",
+            "4n",
+            "tiny",
+            "churny",
+            "default",
+            &[1, 2],
+            vec![summary(200.0), summary(260.0)],
+        ));
+        assert_eq!(r.cell_at("YARN-CS", "4n", "tiny", "churny", "default").unwrap().median("hp_mean_jct_s"), 230.0);
+        assert_eq!(r.cell_at("YARN-CS", "4n", "tiny", "none", "default").unwrap().median("hp_mean_jct_s"), 120.0);
+        // the fault-agnostic lookup returns the first declared cell
+        assert_eq!(r.cell("YARN-CS", "4n", "tiny", "default").unwrap().faults, "none");
     }
 }

@@ -53,8 +53,10 @@ impl Scheduler for Lyra {
         }
         // spot (training) tasks only run on loans: nodes that are entirely
         // idle or already loaned, and only while the reserve holds — both
-        // facts are maintained incrementally by the capacity index
-        let total_nodes = cluster.nodes().len() as f64;
+        // facts are maintained incrementally by the capacity index. The
+        // reserve is a fraction of the *in-service* fleet: failed nodes
+        // must not count toward the loanable budget.
+        let total_nodes = cluster.up_node_count() as f64;
         let idle_nodes = cluster.fully_idle_nodes() as f64;
         if idle_nodes <= total_nodes * self.reserve_frac {
             return None; // loan book is full: protect inference headroom

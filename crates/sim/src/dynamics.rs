@@ -1,0 +1,147 @@
+//! Cluster-dynamics event flow: how node failures and recoveries travel
+//! through the stack, and the determinism rules that keep faulted runs
+//! reproducible.
+//!
+//! # Who emits, who consumes
+//!
+//! ```text
+//!  FaultPlan (gfs_types)          the schedule: ClusterEvents sorted by
+//!      │                          time, hand-built or seeded (MTBF/MTTR)
+//!      ▼  SimConfig::faults
+//!  engine (gfs_sim::run)          turns each ClusterEvent into a heap
+//!      │                          event, processed in (time, seq) order
+//!      │                          with the task events of the same instant
+//!      ▼
+//!  Cluster::fail_node /           drains every pod on the node through the
+//!  Cluster::restore_node          shared release path, keeps the O(1)
+//!  (gfs_cluster)                  whole-cluster *and per-model* totals
+//!      │                          exact, and removes/restores the node's
+//!      │                          CapacityIndex buckets atomically
+//!      ▼
+//!  engine requeue                 displaced tasks re-enter the pending
+//!      │                          queue via the normal Requeue path after
+//!      │                          the preemption grace period, carrying
+//!      │                          their checkpointed progress
+//!      ▼
+//!  Scheduler::on_event            TaskEvent::Displaced{task, priority} per
+//!  (gfs_cluster → policies)       drained task, then one NodeDown/NodeUp;
+//!                                 GFS re-clamps the SQA quota against the
+//!                                 surviving fleet immediately instead of
+//!                                 waiting for the next 300 s tick
+//! ```
+//!
+//! The report side records each displacement on the task
+//! ([`crate::TaskRecord::displacements`]) and the run
+//! ([`crate::SimReport::displacement_times`]), and integrates down
+//! capacity over time into [`crate::SimReport::unavailability`]; the
+//! scalar [`crate::RunSummary`] carries `availability`,
+//! `displacement_count` and `displaced_mean_jct_s` into the experiment
+//! layer.
+//!
+//! # Determinism rules
+//!
+//! Faulted runs obey the same byte-identical-reproduction contract as
+//! fault-free ones:
+//!
+//! * the [`FaultPlan`](gfs_types::FaultPlan) is pure data, fully
+//!   determined by its seed (no wall clock, no global RNG) — see the
+//!   `gfs_types::cluster_event` docs;
+//! * fault heap events are enqueued *after* all submit/tick/sample events,
+//!   so an empty plan leaves the event sequence numbers — and therefore
+//!   every scheduling outcome — exactly as they were before this subsystem
+//!   existed (the zero-fault path is a strict no-op, pinned by the golden
+//!   report tests);
+//! * within one timestamp, events still process in insertion order and the
+//!   scheduling pass runs once after the whole batch, so a task submitted
+//!   at the instant a node dies sees the post-failure cluster no matter
+//!   which thread ran the cell;
+//! * `fail_node` drains tasks in ascending task-id order (the running
+//!   registry is an ordered map), so displacement order — and the requeue
+//!   order derived from it — never depends on map iteration order.
+//!
+//! # Semantics choices
+//!
+//! * **Failures do not honour priorities.** HP gangs die with the node
+//!   exactly like spot pods; both requeue with whatever progress their
+//!   checkpoint plan preserved.
+//! * **Displacement is not eviction.** The eviction-rate feedback (Eq. 11),
+//!   the per-node eviction history (Eq. 15–16) and the `F` counter
+//!   (Eq. 18) model *preemption* behaviour; hardware churn feeding them
+//!   would shrink the spot quota exactly when displaced tasks need to be
+//!   re-admitted. Displacements are counted separately end to end.
+//! * **A restored node starts clean.** Its eviction history is cleared on
+//!   restore — a machine back from repair must not repel spot tasks
+//!   because of pre-failure preemption pressure.
+
+use gfs_types::SimTime;
+
+/// Integrates lost capacity over time: feeds
+/// [`SimReport::unavailability`](crate::SimReport::unavailability)
+/// (GPU-seconds of down capacity over static GPU-seconds of the run).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AvailabilityTracker {
+    /// Static cards currently out of service.
+    down_cards: f64,
+    /// When `down_cards` last changed.
+    since: SimTime,
+    /// Accumulated down GPU-seconds.
+    lost_gpu_secs: f64,
+}
+
+impl AvailabilityTracker {
+    /// Records a capacity change of `delta_cards` (negative = restored).
+    pub fn change(&mut self, now: SimTime, delta_cards: f64) {
+        self.lost_gpu_secs += self.down_cards * now.since(self.since) as f64;
+        self.since = now;
+        self.down_cards += delta_cards;
+    }
+
+    /// Closes the integral at `end` and returns the unavailability ratio
+    /// for a cluster of `static_cards` (0.0 for a fault-free run).
+    pub fn unavailability(mut self, end: SimTime, static_cards: f64) -> f64 {
+        self.change(end, 0.0);
+        let denom = static_cards * end.as_secs() as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.lost_gpu_secs / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_changes_means_full_availability() {
+        let t = AvailabilityTracker::default();
+        assert_eq!(t.unavailability(SimTime::from_hours(10), 32.0), 0.0);
+    }
+
+    #[test]
+    fn integral_matches_hand_computation() {
+        let mut t = AvailabilityTracker::default();
+        // 8 cards down for 2 h of a 10 h run on a 32-card cluster
+        t.change(SimTime::from_hours(3), 8.0);
+        t.change(SimTime::from_hours(5), -8.0);
+        let u = t.unavailability(SimTime::from_hours(10), 32.0);
+        assert!((u - (8.0 * 2.0) / (32.0 * 10.0)).abs() < 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn overlapping_outages_accumulate() {
+        let mut t = AvailabilityTracker::default();
+        t.change(SimTime::from_hours(0), 8.0);
+        t.change(SimTime::from_hours(1), 8.0); // second node joins the outage
+        t.change(SimTime::from_hours(2), -16.0);
+        let u = t.unavailability(SimTime::from_hours(4), 32.0);
+        assert!((u - (8.0 + 16.0) / (32.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_run_is_fully_available() {
+        let t = AvailabilityTracker::default();
+        assert_eq!(t.unavailability(SimTime::ZERO, 32.0), 0.0);
+    }
+}

@@ -1,7 +1,8 @@
 //! The discrete-event simulation engine.
 //!
 //! Events (submissions, completions, requeues after eviction, quota ticks,
-//! utilisation samples) are processed in `(time, sequence)` order; after
+//! utilisation samples, and injected node failures/recoveries — see
+//! [`crate::dynamics`]) are processed in `(time, sequence)` order; after
 //! every batch of same-timestamp events the engine runs one scheduling pass
 //! over the pending queue. All state transitions go through
 //! [`gfs_cluster::Cluster`], so a scheduler can never corrupt accounting.
@@ -24,8 +25,9 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use gfs_cluster::{Cluster, Scheduler, TaskEvent};
-use gfs_types::{SimDuration, SimTime, TaskId, TaskSpec};
+use gfs_types::{ClusterEventKind, FaultPlan, NodeId, SimDuration, SimTime, TaskId, TaskSpec};
 
+use crate::dynamics::AvailabilityTracker;
 use crate::report::{AllocSample, SimReport, TaskRecord};
 
 /// Engine configuration.
@@ -35,7 +37,8 @@ pub struct SimConfig {
     /// interval).
     pub tick_interval_secs: SimDuration,
     /// Delay between an eviction and the task re-entering the queue (the
-    /// preemption grace period, 30 s).
+    /// preemption grace period, 30 s). Displaced tasks requeue after the
+    /// same delay.
     pub requeue_delay_secs: SimDuration,
     /// Cadence of allocation-rate samples.
     pub alloc_sample_interval_secs: SimDuration,
@@ -44,6 +47,10 @@ pub struct SimConfig {
     /// Hard stop, seconds of simulated time (tasks still pending are
     /// reported as unfinished).
     pub max_time_secs: Option<u64>,
+    /// Node failure/recovery schedule injected alongside the task trace
+    /// (see [`crate::dynamics`] for the event flow). The default empty
+    /// plan is a strict no-op.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -54,6 +61,7 @@ impl Default for SimConfig {
             alloc_sample_interval_secs: 3_600,
             record_node_alloc: false,
             max_time_secs: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -65,6 +73,8 @@ enum EventKind {
     Requeue(u32),
     Tick,
     Sample,
+    NodeDown(NodeId),
+    NodeUp(NodeId),
 }
 
 /// Dense per-task simulation state, indexed by trace position.
@@ -155,6 +165,16 @@ pub fn run(
         SimTime::from_secs(cfg.tick_interval_secs),
         EventKind::Tick,
     );
+    // fault events enqueue last so an empty plan leaves every sequence
+    // number — and therefore every scheduling outcome — untouched
+    for ev in cfg.faults.events() {
+        let kind = match ev.kind {
+            ClusterEventKind::NodeDown => EventKind::NodeDown(ev.node),
+            ClusterEventKind::NodeUp => EventKind::NodeUp(ev.node),
+        };
+        push(&mut heap, &mut seq, ev.at, kind);
+    }
+    let mut avail = AvailabilityTracker::default();
 
     let max_time = cfg.max_time_secs.map(SimTime::from_secs);
     let mut now = SimTime::ZERO;
@@ -202,6 +222,7 @@ pub fn run(
                         queued_secs: 0,
                         runs: 0,
                         evictions: 0,
+                        displacements: 0,
                     });
                     scheduler.on_event(
                         &TaskEvent::Submitted {
@@ -253,6 +274,58 @@ pub fn run(
                             EventKind::Tick,
                         );
                     }
+                    dirty = true;
+                }
+                EventKind::NodeDown(node) => {
+                    // a down/unknown node makes the event a no-op, so
+                    // overlapping hand-built schedules degrade gracefully
+                    let Ok(drained) = cluster.fail_node(node, now) else {
+                        continue;
+                    };
+                    report.node_downs += 1;
+                    let lost = cluster.nodes()[node.index()].total_gpus();
+                    avail.change(now, f64::from(lost));
+                    for d in drained {
+                        let id = d.task.spec.id;
+                        let idx = id_to_idx[&id] as usize;
+                        let st = &mut states[idx];
+                        st.epoch += 1; // the pending Finish is now stale
+                        st.carried = d.preserved;
+                        let rec = &mut report.tasks[st.rec as usize];
+                        rec.displacements += 1;
+                        report.displacement_times.push(now);
+                        scheduler.on_event(
+                            &TaskEvent::Displaced {
+                                task: id,
+                                priority: d.task.spec.priority,
+                                at: now,
+                            },
+                            &cluster,
+                        );
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + cfg.requeue_delay_secs,
+                            EventKind::Requeue(idx as u32),
+                        );
+                    }
+                    scheduler.on_event(
+                        &TaskEvent::NodeDown { node, lost_gpus: lost, at: now },
+                        &cluster,
+                    );
+                    dirty = true;
+                }
+                EventKind::NodeUp(node) => {
+                    if cluster.restore_node(node, now).is_err() {
+                        continue; // already up / unknown: no-op
+                    }
+                    report.node_ups += 1;
+                    let restored = cluster.nodes()[node.index()].total_gpus();
+                    avail.change(now, -f64::from(restored));
+                    scheduler.on_event(
+                        &TaskEvent::NodeUp { node, restored_gpus: restored, at: now },
+                        &cluster,
+                    );
                     dirty = true;
                 }
                 EventKind::Sample => {
@@ -363,6 +436,7 @@ pub fn run(
         let rec = &mut report.tasks[st.rec as usize];
         rec.queued_secs += now.since(st.enqueue);
     }
+    report.unavailability = avail.unavailability(now, cluster.static_capacity(None));
     report.makespan = now;
     report
 }
@@ -610,6 +684,126 @@ mod tests {
             .map(|t| t.evictions)
             .sum();
         assert_eq!(hp_evictions, 0);
+    }
+
+    #[test]
+    fn node_failure_displaces_requeues_and_restores() {
+        use gfs_types::{ClusterEvent, FaultPlan};
+        let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // an 8-GPU task on (first-fit) node 0 with per-second checkpoints
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(10_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 1 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        // a second full-node task lands on node 1 and must ride out the
+        // failure untouched
+        let small = task(2, Priority::Hp, 8, 4_000, 10);
+        let cfg = SimConfig {
+            faults: FaultPlan::new(vec![
+                ClusterEvent::down(NodeId::new(0), SimTime::from_secs(2_000)),
+                ClusterEvent::up(NodeId::new(0), SimTime::from_secs(5_000)),
+            ]),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![spec, small], &cfg);
+        let t1 = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
+        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        assert_eq!(t1.displacements, 1);
+        assert_eq!(t1.evictions, 0, "displacement is not eviction");
+        assert_eq!(t1.runs, 2, "requeued and restarted");
+        assert!(t1.completed() && t2.completed(), "work survives the failure");
+        // per-second checkpoints: no work lost. The restart must wait for
+        // node 1 (busy with task 2 until 4 010), then run the remaining
+        // 8 000 s: finish at 12 010 with zero duplicated work
+        assert_eq!(t1.finish, Some(SimTime::from_secs(12_010)));
+        assert_eq!(t1.queued_secs, 4_010 - 2_030, "queued from grace end to node-1 free");
+        assert_eq!(t2.displacements, 0, "node 1 never failed");
+        assert_eq!(report.displacement_times, vec![SimTime::from_secs(2_000)]);
+        assert_eq!(report.node_downs, 1);
+        assert_eq!(report.node_ups, 1);
+        assert!(report.unavailability > 0.0, "downtime must register");
+        assert!(report.availability() < 1.0);
+        assert_eq!(report.eviction_times, vec![], "no preemptions happened");
+    }
+
+    #[test]
+    fn displaced_task_waits_for_recovery_when_cluster_too_small() {
+        use gfs_types::{ClusterEvent, FaultPlan};
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(1_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 100 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan::new(vec![
+                ClusterEvent::down(NodeId::new(0), SimTime::from_secs(500)),
+                ClusterEvent::up(NodeId::new(0), SimTime::from_secs(3_000)),
+            ]),
+            max_time_secs: Some(10_000),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![spec], &cfg);
+        let t = &report.tasks[0];
+        // 500 s progress, checkpointed at 500: the task resumes at 3 000
+        // with 500 s left
+        assert_eq!(t.finish, Some(SimTime::from_secs(3_500)));
+        assert!(t.queued_secs >= 2_000, "waited out the outage: {}", t.queued_secs);
+        // 8 of 8 cards down for 2 500 s of a 3 500 s run
+        let expected = 2_500.0 / 3_500.0;
+        assert!((report.unavailability - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_fault_events_are_noops() {
+        use gfs_types::{ClusterEvent, FaultPlan};
+        let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let cfg = SimConfig {
+            faults: FaultPlan::new(vec![
+                ClusterEvent::down(NodeId::new(1), SimTime::from_secs(100)),
+                ClusterEvent::down(NodeId::new(1), SimTime::from_secs(200)), // dup
+                ClusterEvent::up(NodeId::new(1), SimTime::from_secs(300)),
+                ClusterEvent::up(NodeId::new(1), SimTime::from_secs(400)), // dup
+                ClusterEvent::down(NodeId::new(99), SimTime::from_secs(500)), // unknown
+            ]),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 1, 1_000, 0)], &cfg);
+        assert_eq!(report.node_downs, 1);
+        assert_eq!(report.node_ups, 1);
+        assert!(report.tasks[0].completed());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_strict_noop() {
+        let tasks: Vec<TaskSpec> = (0..30)
+            .map(|i| task(i, if i % 3 == 0 { Priority::Spot } else { Priority::Hp }, (i % 4 + 1) as u32, 300 + i * 13, i * 7))
+            .collect();
+        let base = run(
+            Cluster::homogeneous(2, GpuModel::A100, 8),
+            &mut FirstFit,
+            tasks.clone(),
+            &SimConfig::default(),
+        );
+        let with_empty_plan = run(
+            Cluster::homogeneous(2, GpuModel::A100, 8),
+            &mut FirstFit,
+            tasks,
+            &SimConfig {
+                faults: gfs_types::FaultPlan::new(Vec::new()),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(base.tasks, with_empty_plan.tasks);
+        assert_eq!(base.makespan, with_empty_plan.makespan);
+        assert_eq!(with_empty_plan.unavailability, 0.0);
     }
 
     #[test]

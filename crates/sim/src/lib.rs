@@ -21,6 +21,16 @@
 //! [`SimReport`]s across runs and processes (see `tests/golden_report.rs`
 //! at the workspace root).
 //!
+//! # Cluster dynamics
+//!
+//! Runs may inject a seeded [`gfs_types::FaultPlan`] through
+//! [`SimConfig::faults`]: nodes fail (displacing every pod they host) and
+//! recover mid-run, displaced tasks requeue through the normal path, and
+//! reports grow availability/displacement metrics. The [`dynamics`]
+//! module documents the full event flow — who emits, who consumes, and
+//! the determinism rules. An empty plan is a strict no-op: the event
+//! sequence is bit-for-bit what it was before fault injection existed.
+//!
 //! # Examples
 //!
 //! See the `quickstart` example at the workspace root, which wires a
@@ -29,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamics;
 mod engine;
 mod report;
 

@@ -28,8 +28,13 @@ pub struct TaskRecord {
     pub queued_secs: SimDuration,
     /// Number of run segments started.
     pub runs: u32,
-    /// Number of evictions suffered.
+    /// Number of evictions suffered (preemptions only).
     pub evictions: u32,
+    /// Number of node-failure displacements suffered (kept apart from
+    /// `evictions`: churn is not preemption). Omitted from the JSON when
+    /// zero so fault-free reports keep their historical golden encoding.
+    #[serde(skip_serializing_if = "is_zero_u32", default)]
+    pub displacements: u32,
 }
 
 impl TaskRecord {
@@ -78,6 +83,35 @@ pub struct SimReport {
     /// Placements that failed to commit after a preemption (should be 0;
     /// non-zero indicates a scheduler returning invalid decisions).
     pub failed_commits: u64,
+    /// One timestamp per task displaced by a node failure. The
+    /// fault-metric fields below are omitted from the JSON at their
+    /// zero-fault defaults, so fault-free reports keep their historical
+    /// golden encoding byte for byte.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub displacement_times: Vec<SimTime>,
+    /// Node-failure events applied.
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub node_downs: u64,
+    /// Node-recovery events applied.
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub node_ups: u64,
+    /// Down GPU-seconds over static GPU-seconds of the run, in `[0, 1]`
+    /// (0 for a fault-free run); see [`SimReport::availability`].
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub unavailability: f64,
+}
+
+fn is_zero_u32(v: &u32) -> bool {
+    *v == 0
+}
+
+fn is_zero_u64(v: &u64) -> bool {
+    *v == 0
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)] // serde predicate signature
+fn is_zero_f64(v: &f64) -> bool {
+    *v == 0.0
 }
 
 impl SimReport {
@@ -166,6 +200,35 @@ impl SimReport {
         mean(&self.alloc_samples.iter().map(|s| s.total).collect::<Vec<_>>())
     }
 
+    /// Time-weighted capacity availability over the run in `[0, 1]`:
+    /// in-service GPU-seconds over static GPU-seconds (1.0 when no node
+    /// ever failed).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        1.0 - self.unavailability
+    }
+
+    /// Total node-failure displacement events (task-level: a failure
+    /// killing three tasks counts three).
+    #[must_use]
+    pub fn displacement_count(&self) -> u64 {
+        self.displacement_times.len() as u64
+    }
+
+    /// Mean JCT in seconds over *completed tasks that suffered at least
+    /// one displacement* — the churn analogue of the eviction-cost
+    /// metrics (0 when no displaced task completed).
+    #[must_use]
+    pub fn displaced_mean_jct_s(&self) -> f64 {
+        let v: Vec<f64> = self
+            .tasks
+            .iter()
+            .filter(|t| t.displacements > 0)
+            .filter_map(|t| t.jct().map(|d| d as f64))
+            .collect();
+        mean(&v)
+    }
+
     /// Per-hour eviction ratio over the run: for each hour bucket,
     /// `evictions / (evictions + spot starts)` — the Fig. 5 timeline.
     #[must_use]
@@ -212,6 +275,9 @@ impl SimReport {
             mean_alloc_rate: self.mean_allocation_rate(),
             makespan_hours: self.makespan.as_secs() as f64 / 3_600.0,
             failed_commits: self.failed_commits,
+            availability: self.availability(),
+            displacement_count: self.displacement_count(),
+            displaced_mean_jct_s: self.displaced_mean_jct_s(),
         }
     }
 }
@@ -252,13 +318,20 @@ pub struct RunSummary {
     pub makespan_hours: f64,
     /// Placements that failed to commit (should be 0).
     pub failed_commits: u64,
+    /// Time-weighted capacity availability in `[0, 1]` (1.0 fault-free).
+    pub availability: f64,
+    /// Node-failure displacement events.
+    pub displacement_count: u64,
+    /// Mean JCT over completed tasks that suffered a displacement,
+    /// seconds.
+    pub displaced_mean_jct_s: f64,
 }
 
 impl RunSummary {
     /// Names of every scalar metric, in the order [`RunSummary::values`]
     /// returns them. The experiment layer uses this single source of truth
     /// for aggregation, JSON keys and table headers.
-    pub const METRICS: [&'static str; 14] = [
+    pub const METRICS: [&'static str; 17] = [
         "hp_completion",
         "spot_completion",
         "hp_mean_jct_s",
@@ -273,11 +346,14 @@ impl RunSummary {
         "mean_alloc_rate",
         "makespan_hours",
         "failed_commits",
+        "availability",
+        "displacement_count",
+        "displaced_mean_jct_s",
     ];
 
     /// The scalar metric values in [`RunSummary::METRICS`] order.
     #[must_use]
-    pub fn values(&self) -> [f64; 14] {
+    pub fn values(&self) -> [f64; 17] {
         [
             self.hp_completion,
             self.spot_completion,
@@ -293,6 +369,9 @@ impl RunSummary {
             self.mean_alloc_rate,
             self.makespan_hours,
             self.failed_commits as f64,
+            self.availability,
+            self.displacement_count as f64,
+            self.displaced_mean_jct_s,
         ]
     }
 
@@ -342,6 +421,7 @@ mod tests {
             queued_secs: jqt,
             runs,
             evictions: ev,
+            displacements: 0,
         }
     }
 
@@ -384,6 +464,58 @@ mod tests {
         assert_eq!(r.eviction_rate(), 0.0);
         assert_eq!(r.p99_jct(Priority::Spot), 0.0);
         assert_eq!(r.completion_rate(Priority::Hp), 1.0);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.displacement_count(), 0);
+        assert_eq!(r.displaced_mean_jct_s(), 0.0);
+    }
+
+    #[test]
+    fn fault_fields_skip_serialization_at_zero_defaults() {
+        let fault_free = SimReport {
+            tasks: vec![record(1, Priority::Hp, Some(100), 10, 0, 1)],
+            makespan: SimTime::from_hours(1),
+            ..SimReport::default()
+        };
+        let json = serde_json::to_string(&fault_free).unwrap();
+        assert!(
+            !json.contains("displacement") && !json.contains("unavailability")
+                && !json.contains("node_downs"),
+            "zero-fault reports must keep the historical encoding: {json}"
+        );
+        // and the fields round-trip through their defaults
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.unavailability, 0.0);
+        assert_eq!(back.tasks[0].displacements, 0);
+
+        let mut faulted = fault_free.clone();
+        faulted.tasks[0].displacements = 2;
+        faulted.displacement_times = vec![SimTime::from_secs(50)];
+        faulted.node_downs = 1;
+        faulted.unavailability = 0.125;
+        let json = serde_json::to_string(&faulted).unwrap();
+        assert!(json.contains("\"displacements\":2"));
+        assert!(json.contains("\"unavailability\":0.125"));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.availability(), 0.875);
+        assert_eq!(back.displacement_count(), 1);
+        assert_eq!(back.tasks[0].displacements, 2);
+    }
+
+    #[test]
+    fn displaced_jct_covers_only_displaced_completions() {
+        let mut displaced_done = record(1, Priority::Hp, Some(400), 0, 0, 2);
+        displaced_done.displacements = 1;
+        let mut displaced_unfinished = record(2, Priority::Spot, None, 0, 0, 1);
+        displaced_unfinished.displacements = 1;
+        let r = SimReport {
+            tasks: vec![
+                displaced_done,
+                displaced_unfinished,
+                record(3, Priority::Hp, Some(100), 0, 0, 1),
+            ],
+            ..SimReport::default()
+        };
+        assert_eq!(r.displaced_mean_jct_s(), 400.0);
     }
 
     #[test]

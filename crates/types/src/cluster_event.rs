@@ -1,0 +1,299 @@
+//! Cluster-dynamics vocabulary: node failure/recovery events and seeded
+//! fault schedules.
+//!
+//! A production fleet is not static — machines die, come back from repair,
+//! and get drained for maintenance. The simulator models this churn as a
+//! stream of [`ClusterEvent`]s (node-down / node-up) injected alongside the
+//! task trace. The types here are pure data: *who emits and who consumes
+//! them* is documented on [`gfs_sim::dynamics`] (the engine-side module
+//! page of the cluster-dynamics event flow).
+//!
+//! # Determinism rules
+//!
+//! A [`FaultPlan`] must be a pure function of its inputs so that a faulted
+//! experiment grid stays byte-identical across processes and thread
+//! counts:
+//!
+//! * hand-built plans are ordered data — [`FaultPlan::new`] stably sorts
+//!   events by time, preserving the caller's relative order within a
+//!   timestamp;
+//! * generated plans ([`FaultPlan::seeded_mtbf`]) derive every draw from a
+//!   per-`(seed, node)` SplitMix64 stream, so the schedule for node `k`
+//!   does not depend on how many events other nodes produced, and the
+//!   whole plan is reproducible from `(node_count, mtbf, mttr, horizon,
+//!   seed)` alone.
+//!
+//! No wall-clock, thread id or global RNG state ever feeds a plan.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, SimDuration, SimTime};
+
+/// What happens to a node at a [`ClusterEvent`]'s timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEventKind {
+    /// The node fails: every pod on it is displaced and its capacity
+    /// vanishes until a matching `NodeUp`.
+    NodeDown,
+    /// The node returns to service with all cards idle.
+    NodeUp,
+}
+
+/// A scheduled change to cluster membership.
+///
+/// # Examples
+///
+/// ```
+/// use gfs_types::{ClusterEvent, ClusterEventKind, NodeId, SimTime};
+///
+/// let ev = ClusterEvent::down(NodeId::new(3), SimTime::from_hours(2));
+/// assert_eq!(ev.kind, ClusterEventKind::NodeDown);
+/// assert_eq!(ev.up_pair(SimTime::from_hours(3)).kind, ClusterEventKind::NodeUp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The affected node.
+    pub node: NodeId,
+    /// Down or up.
+    pub kind: ClusterEventKind,
+}
+
+impl ClusterEvent {
+    /// A node-down event.
+    #[must_use]
+    pub fn down(node: NodeId, at: SimTime) -> Self {
+        ClusterEvent {
+            at,
+            node,
+            kind: ClusterEventKind::NodeDown,
+        }
+    }
+
+    /// A node-up event.
+    #[must_use]
+    pub fn up(node: NodeId, at: SimTime) -> Self {
+        ClusterEvent {
+            at,
+            node,
+            kind: ClusterEventKind::NodeUp,
+        }
+    }
+
+    /// The recovery event matching this failure, at `at`.
+    #[must_use]
+    pub fn up_pair(&self, at: SimTime) -> Self {
+        ClusterEvent::up(self.node, at)
+    }
+}
+
+/// A time-ordered schedule of cluster events — the fault injection input
+/// of one simulation run.
+///
+/// The engine applies events in order; a `NodeDown` for a node that is
+/// already down (or `NodeUp` for one already up) is a no-op, so imperfect
+/// hand-built schedules degrade gracefully instead of corrupting state.
+///
+/// # Examples
+///
+/// ```
+/// use gfs_types::{FaultPlan, HOUR};
+///
+/// // ~1 failure per node per week, 2 h mean repair, over a 3-day horizon
+/// let plan = FaultPlan::seeded_mtbf(16, 7.0 * 24.0 * HOUR as f64, 2.0 * HOUR as f64, 3 * 24 * HOUR, 42);
+/// let again = FaultPlan::seeded_mtbf(16, 7.0 * 24.0 * HOUR as f64, 2.0 * HOUR as f64, 3 * 24 * HOUR, 42);
+/// assert_eq!(plan, again, "seeded schedules are reproducible");
+/// assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<ClusterEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a fault-free run (the strict no-op path).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from arbitrary events, stably sorting by timestamp
+    /// (events at the same instant keep the caller's order).
+    #[must_use]
+    pub fn new(mut events: Vec<ClusterEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// The events, ascending by time.
+    #[must_use]
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Generates a seeded failure/repair schedule: every node alternates
+    /// up-time drawn from `Exp(1/mtbf_secs)` and down-time drawn from
+    /// `Exp(1/mttr_secs)` until `horizon_secs`, the classic renewal model
+    /// of machine churn. Each node draws from its own `(seed, node)`
+    /// SplitMix64 stream (see the module docs for the determinism rules).
+    ///
+    /// A non-positive `mtbf_secs` yields the empty plan; a non-positive
+    /// `mttr_secs` means nodes never come back within the horizon.
+    #[must_use]
+    pub fn seeded_mtbf(
+        node_count: u32,
+        mtbf_secs: f64,
+        mttr_secs: f64,
+        horizon_secs: SimDuration,
+        seed: u64,
+    ) -> Self {
+        if mtbf_secs <= 0.0 || node_count == 0 || horizon_secs == 0 {
+            return FaultPlan::none();
+        }
+        let mut events = Vec::new();
+        for node in 0..node_count {
+            let mut rng = SplitMix64::new(seed ^ (u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut t = rng.exp(mtbf_secs);
+            while t < horizon_secs as f64 {
+                let down_at = t.round() as u64;
+                events.push(ClusterEvent::down(NodeId::new(node), SimTime::from_secs(down_at)));
+                if mttr_secs <= 0.0 {
+                    break; // never repaired within this horizon
+                }
+                t += rng.exp(mttr_secs).max(1.0);
+                if t >= horizon_secs as f64 {
+                    break; // still down when the horizon ends
+                }
+                let up_at = (t.round() as u64).max(down_at + 1);
+                events.push(ClusterEvent::up(NodeId::new(node), SimTime::from_secs(up_at)));
+                t = up_at as f64 + rng.exp(mtbf_secs);
+            }
+        }
+        FaultPlan::new(events)
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed, dependency-free generator — exactly
+/// what a seeded fault schedule needs (statistical perfection is not the
+/// point; platform-independent reproducibility is).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `(0, 1]` (never 0, so `ln` is always finite).
+    fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential draw with the given mean.
+    fn exp(&mut self, mean: f64) -> f64 {
+        -mean * self.unit().ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HOUR;
+
+    #[test]
+    fn empty_plan_is_noop() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn new_sorts_stably_by_time() {
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let p = FaultPlan::new(vec![
+            ClusterEvent::down(n1, SimTime::from_secs(50)),
+            ClusterEvent::down(n0, SimTime::from_secs(10)),
+            ClusterEvent::up(n1, SimTime::from_secs(50)),
+        ]);
+        assert_eq!(p.events()[0].node, n0);
+        // stable: the two t=50 events keep their relative order
+        assert_eq!(p.events()[1].kind, ClusterEventKind::NodeDown);
+        assert_eq!(p.events()[2].kind, ClusterEventKind::NodeUp);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_ordered() {
+        let a = FaultPlan::seeded_mtbf(8, 24.0 * HOUR as f64, HOUR as f64, 7 * 24 * HOUR, 7);
+        let b = FaultPlan::seeded_mtbf(8, 24.0 * HOUR as f64, HOUR as f64, 7 * 24 * HOUR, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "a day-scale MTBF over a week must fault");
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let c = FaultPlan::seeded_mtbf(8, 24.0 * HOUR as f64, HOUR as f64, 7 * 24 * HOUR, 8);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn downs_and_ups_alternate_per_node() {
+        let p = FaultPlan::seeded_mtbf(4, 12.0 * HOUR as f64, 2.0 * HOUR as f64, 14 * 24 * HOUR, 3);
+        for node in 0..4u32 {
+            let mut down = false;
+            for e in p.events().iter().filter(|e| e.node == NodeId::new(node)) {
+                match e.kind {
+                    ClusterEventKind::NodeDown => {
+                        assert!(!down, "double down on node {node}");
+                        down = true;
+                    }
+                    ClusterEventKind::NodeUp => {
+                        assert!(down, "up without down on node {node}");
+                        down = false;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mtbf_scales_event_count() {
+        let rare = FaultPlan::seeded_mtbf(32, 1e9, HOUR as f64, 24 * HOUR, 1);
+        let churny = FaultPlan::seeded_mtbf(32, 6.0 * HOUR as f64, HOUR as f64, 24 * HOUR, 1);
+        assert!(rare.len() < churny.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_plans() {
+        assert!(FaultPlan::seeded_mtbf(0, 100.0, 10.0, 1_000, 1).is_empty());
+        assert!(FaultPlan::seeded_mtbf(4, 0.0, 10.0, 1_000, 1).is_empty());
+        assert!(FaultPlan::seeded_mtbf(4, 100.0, 10.0, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = FaultPlan::seeded_mtbf(2, HOUR as f64, 600.0, 6 * HOUR, 5);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -8,6 +8,8 @@
 //! * the simulated clock ([`SimTime`], [`SimDuration`]),
 //! * GPU hardware descriptions ([`GpuModel`]),
 //! * task descriptions ([`TaskSpec`], [`Priority`], [`GpuDemand`]),
+//! * cluster-dynamics vocabulary ([`ClusterEvent`], [`FaultPlan`]:
+//!   seeded node failure/recovery schedules),
 //! * the framework configuration ([`GfsParams`], Table 4 of the paper),
 //! * and the shared error type ([`Error`]).
 //!
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster_event;
 mod config;
 mod error;
 mod gpu;
@@ -39,6 +42,7 @@ mod id;
 mod task;
 mod time;
 
+pub use cluster_event::{ClusterEvent, ClusterEventKind, FaultPlan};
 pub use config::{EtaUpdateRule, GfsParams, GfsParamsBuilder};
 pub use error::{Error, Result};
 pub use gpu::{GpuModel, GPUS_PER_NODE};

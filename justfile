@@ -2,7 +2,7 @@
 # recipes by hand — each is a single cargo invocation.
 
 # Build, test, lint — the full CI gate.
-ci: build test clippy bench-smoke lab-smoke
+ci: build test clippy bench-smoke lab-smoke lab-churn-smoke
 
 # Release build of the whole workspace.
 build:
@@ -24,6 +24,11 @@ bench-smoke:
 # engine, with a serial re-run asserting byte-identical aggregation.
 lab-smoke:
     GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_faceoff
+
+# Tiny faulted heterogeneous grid (2 schedulers × 3 fault rates × 2 seeds)
+# with the serial == parallel assertion: churn must stay deterministic.
+lab-churn-smoke:
+    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_churn
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

@@ -220,6 +220,7 @@ mod tests {
         let ctx = RunContext {
             shape: &shape,
             workload: "tiny",
+            faults: "none",
             params: &params,
             seed: 1,
         };

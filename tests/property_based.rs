@@ -152,7 +152,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.model() == model && n.idle_gpus() >= need)
+            .filter(|n| n.is_up() && n.model() == model && n.idle_gpus() >= need)
             .map(|n| n.id().raw())
             .collect()
     }
@@ -161,7 +161,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.model() == model)
+            .filter(|n| n.is_up() && n.model() == model)
             .filter(|n| n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12))
             .map(|n| n.id().raw())
             .collect()
@@ -181,7 +181,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.idle_gpus() == n.total_gpus())
+            .filter(|n| n.is_up() && n.idle_gpus() == n.total_gpus())
             .count()
     }
 
@@ -189,18 +189,57 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.model() == model)
+            .filter(|n| n.is_up() && n.model() == model)
             .filter(|n| n.idle_gpus() >= need || !spot_on(cluster, n.id()).is_empty())
             .map(Node::id)
             .map(gfs_types::NodeId::raw)
             .collect()
     }
+
+    /// O(1) totals vs a fresh scan over in-service nodes.
+    pub fn totals_consistent(cluster: &Cluster) {
+        let idle: u32 = cluster.nodes().iter().map(Node::idle_gpus).sum();
+        let hp: f64 = cluster.nodes().iter().map(Node::hp_allocated).sum();
+        let spot: f64 = cluster.nodes().iter().map(Node::spot_allocated).sum();
+        let cap: f64 = cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| f64::from(n.total_gpus()))
+            .sum();
+        let cap_static: f64 = cluster.nodes().iter().map(|n| f64::from(n.total_gpus())).sum();
+        assert_eq!(cluster.idle_gpus(None), idle);
+        // float totals: non-dyadic fractions (0.3, 0.75…) accumulate with
+        // ulp-scale drift relative to a fresh sum
+        assert!((cluster.hp_allocated(None) - hp).abs() < 1e-9);
+        assert!((cluster.spot_allocated(None) - spot).abs() < 1e-9);
+        assert_eq!(cluster.capacity(None), cap);
+        assert_eq!(cluster.static_capacity(None), cap_static);
+        for model in [GpuModel::A100, GpuModel::H800] {
+            let m_idle: u32 = cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.model() == model)
+                .map(Node::idle_gpus)
+                .sum();
+            let m_cap: f64 = cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.is_up() && n.model() == model)
+                .map(|n| f64::from(n.total_gpus()))
+                .sum();
+            assert_eq!(cluster.idle_gpus(Some(model)), m_idle);
+            assert_eq!(cluster.capacity(Some(model)), m_cap);
+        }
+    }
 }
 
-/// Drives an arbitrary start/evict/finish sequence and checks every
-/// capacity-index query against the brute-force node scan after each
-/// mutation. This is the safety net for the incremental index maintenance
-/// in `Cluster::{start_task, evict_task, finish_task}`.
+/// Drives an arbitrary start/evict/finish/fail/restore sequence and
+/// checks every capacity-index query against the brute-force node scan
+/// after each mutation. This is the safety net for the incremental index
+/// maintenance in `Cluster::{start_task, evict_task, finish_task,
+/// fail_node, restore_node}` — including that a failed node's buckets
+/// vanish atomically and the O(1) totals stay exact through churn.
 #[test]
 fn capacity_index_matches_brute_force_scan() {
     for_all_cases("capacity_index_matches_brute_force_scan", |rng| {
@@ -208,9 +247,27 @@ fn capacity_index_matches_brute_force_scan() {
         let mut live: Vec<TaskId> = Vec::new();
         let mut next_id = 1u64;
         for step in 0..60 {
-            // mutate: mostly starts, otherwise evict or finish a live task
-            let action = rng.gen_range(0..10u32);
-            if action < 6 || live.is_empty() {
+            // mutate: mostly starts, sometimes evict/finish a live task,
+            // sometimes fail or restore a node
+            let action = rng.gen_range(0..13u32);
+            if action == 10 {
+                // fail a random node; tasks drained there leave `live`
+                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
+                if cluster.node(node).expect("known id").is_up() {
+                    let displaced = cluster
+                        .fail_node(node, SimTime::from_secs(step))
+                        .expect("up node fails cleanly");
+                    live.retain(|id| !displaced.iter().any(|d| d.task.spec.id == *id));
+                } else {
+                    assert!(cluster.fail_node(node, SimTime::from_secs(step)).is_err());
+                }
+            } else if action >= 11 {
+                // restore a random node (no-op error when already up)
+                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
+                let was_up = cluster.node(node).expect("known id").is_up();
+                let restored = cluster.restore_node(node, SimTime::from_secs(step));
+                assert_eq!(restored.is_ok(), !was_up);
+            } else if action < 6 || live.is_empty() {
                 let spot = rng.gen_bool(0.6);
                 let fractional = rng.gen_bool(0.3);
                 let builder = TaskSpec::builder(next_id)
@@ -279,6 +336,8 @@ fn capacity_index_matches_brute_force_scan() {
             );
             // no cross-model leakage
             assert!(cluster.whole_fit_candidates(GpuModel::H800, 1).is_empty());
+            // O(1) whole-cluster and per-model totals match fresh scans
+            brute::totals_consistent(&cluster);
         }
     });
 }
