@@ -1,10 +1,12 @@
-//! Cluster-churn sweep as a `gfs::lab` grid: failure rates × schedulers ×
-//! (homogeneous and heterogeneous) cluster shapes, reporting the
-//! availability/displacement metrics next to the classic JCT/eviction
-//! ones — the scheduling claims of Table 5 under machine churn.
+//! Cluster-timeline sweep as a `gfs::lab` grid: the dynamics axis runs
+//! from a static control through independent churn, rack-correlated
+//! failures, a rolling maintenance wave, and scale-out-under-pressure,
+//! reporting the drained/migrated/scaled-capacity metrics next to the
+//! availability and JCT ones — the rolling-drain and autoscale scenarios
+//! of the ROADMAP end to end.
 //!
 //! ```text
-//! cargo run --release -p gfs-bench --bin lab_churn
+//! cargo run --release -p gfs-bench --bin lab_dynamics
 //! GFS_LAB_SMOKE=1  …         # tiny grid for CI (< 10 s)
 //! GFS_LAB_THREADS=8 …        # fixed worker count (default: one per core)
 //! GFS_LAB_COMPARE=1 …        # also run serially; verify identical output
@@ -13,7 +15,7 @@
 
 use std::time::Instant;
 
-use gfs::lab::{ClusterShape, DynamicsAxis, Grid, NodeGroup, SchedulerSpec, Threads, WorkloadAxis};
+use gfs::lab::{ClusterShape, DynamicsAxis, Grid, SchedulerSpec, Threads, WorkloadAxis};
 use gfs::prelude::*;
 use gfs::scenario;
 use gfs_bench::env_flag;
@@ -24,26 +26,44 @@ fn main() {
         Some(n) => Threads::Fixed(n),
         None => Threads::Auto,
     };
-    let (a100_nodes, h800_nodes, horizon_h, seeds): (u32, u32, u64, Vec<u64>) = if smoke {
-        (4, 2, 8, vec![1, 2])
+    let (nodes, horizon_h, seeds): (u32, u64, Vec<u64>) = if smoke {
+        (6, 8, vec![1, 2])
     } else {
-        (24, 8, 48, vec![1, 2, 3, 4])
+        (32, 48, vec![1, 2, 3, 4])
     };
     let sim_horizon = (horizon_h + 96) * HOUR;
+    let shape = ClusterShape::a100(nodes, 8);
 
-    let shapes = [
-        ClusterShape::a100(a100_nodes + h800_nodes, 8),
-        ClusterShape::heterogeneous([
-            NodeGroup { nodes: a100_nodes, gpus_per_node: 8, model: GpuModel::A100 },
-            NodeGroup { nodes: h800_nodes, gpus_per_node: 8, model: GpuModel::H800 },
-        ]),
-    ];
-    // failure-rate axis: fleet-quality tiers from "hyperscaler" to "spot
-    // market hardware", hour-scale repair
+    // the dynamics axis: static control → independent churn → correlated
+    // racks → rolling maintenance wave → the same wave with an autoscaler
+    // buying capacity mid-drain (scale-out under pressure)
+    let rack = 4;
+    let wave_start = SimTime::from_hours(2);
+    let stagger = HOUR / 2;
+    let notice = 1_800;
+    let maintenance = 2 * HOUR;
     let dynamics = [
         DynamicsAxis::none(),
-        DynamicsAxis::mtbf("mtbf48h", 48.0 * HOUR as f64, HOUR as f64, sim_horizon),
-        DynamicsAxis::mtbf("mtbf12h", 12.0 * HOUR as f64, HOUR as f64, sim_horizon),
+        DynamicsAxis::mtbf("mtbf24h", 24.0 * HOUR as f64, HOUR as f64, sim_horizon),
+        DynamicsAxis::correlated("racks", rack, 16.0 * HOUR as f64, HOUR as f64, sim_horizon),
+        DynamicsAxis::rolling_drain("wave", wave_start, stagger, notice, maintenance),
+        DynamicsAxis::new("wave+grow", move |shape, _seed| {
+            let wave = DynamicsPlan::rolling_drain(
+                shape.node_count(),
+                wave_start,
+                stagger,
+                notice,
+                maintenance,
+            );
+            let grow = DynamicsPlan::scale_out(
+                NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                wave_start + HOUR,
+                2 * HOUR,
+                2,
+                2,
+            );
+            wave.merge(grow).expect("disjoint histories compose")
+        }),
     ];
 
     let base = WorkloadConfig {
@@ -52,20 +72,14 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let workload = if smoke {
-        WorkloadAxis::generated_mixed(
-            "mixed",
-            WorkloadConfig { hp_tasks: 40, spot_tasks: 14, ..base },
-        )
+        WorkloadAxis::generated("steady", WorkloadConfig { hp_tasks: 40, spot_tasks: 14, ..base })
     } else {
-        WorkloadAxis::generated_mixed(
-            "mixed",
-            WorkloadConfig { hp_tasks: 400, spot_tasks: 120, ..base },
-        )
+        WorkloadAxis::generated("steady", WorkloadConfig { hp_tasks: 400, spot_tasks: 120, ..base })
     };
 
     let mut grid = Grid::new()
         .schedulers([SchedulerSpec::yarn_cs(), SchedulerSpec::fgd()])
-        .shapes(shapes)
+        .shape(shape)
         .workload(workload)
         .dynamics(dynamics)
         .seeds(seeds)
@@ -84,11 +98,12 @@ fn main() {
         "{}",
         result.report.render_table(&[
             "availability",
+            "node_drains",
+            "migration_count",
             "displacement_count",
-            "displaced_mean_jct_s",
+            "added_gpus",
             "hp_p99_jct_s",
             "spot_mean_jqt_s",
-            "eviction_rate",
         ])
     );
     let runs = result
@@ -109,7 +124,7 @@ fn main() {
         assert_eq!(
             serial.report.to_json(),
             result.report.to_json(),
-            "parallel and serial churn grids must agree byte-for-byte"
+            "parallel and serial dynamics grids must agree byte-for-byte"
         );
         println!(
             "serial: {:.2}s  -> speedup {:.2}x, outputs identical",

@@ -111,11 +111,14 @@ struct ModelTotals {
 /// the SQA queries every quota tick — and the per-model queries
 /// heterogeneous pools need — are O(1) instead of O(nodes × gpus).
 ///
-/// Capacity accessors report *in-service* capacity: a failed node's cards
-/// leave [`Cluster::capacity`]/[`Cluster::idle_gpus`] the moment
-/// [`Cluster::fail_node`] drains it, and return on
-/// [`Cluster::restore_node`]. [`Cluster::static_capacity`] keeps the
-/// as-built total for availability accounting.
+/// Capacity accessors report *schedulable* capacity: a failed node's
+/// cards leave [`Cluster::capacity`]/[`Cluster::idle_gpus`] the moment
+/// [`Cluster::fail_node`] drains it, a draining node's the moment
+/// [`Cluster::drain_node`] marks it (its pods keep running but nothing
+/// new can land), and both return on [`Cluster::restore_node`].
+/// [`Cluster::add_node`] extends every total with a freshly minted node.
+/// [`Cluster::static_capacity`] keeps the as-built (plus scaled-out)
+/// total for availability accounting.
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
@@ -125,8 +128,12 @@ pub struct Cluster {
     spot_evicted: u64,
     /// Historical count of tasks displaced by node failures.
     displaced_total: u64,
+    /// Historical count of tasks gracefully migrated off draining nodes.
+    migrated_total: u64,
     /// Nodes currently out of service.
     down_nodes: usize,
+    /// Nodes currently draining (still up, accepting no placements).
+    draining_nodes: usize,
     /// Total cards across in-service nodes.
     cap_total: f64,
     /// Total cards across all nodes, down ones included.
@@ -166,7 +173,9 @@ impl Cluster {
             spot_completed: 0,
             spot_evicted: 0,
             displaced_total: 0,
+            migrated_total: 0,
             down_nodes: 0,
+            draining_nodes: 0,
             cap_total,
             cap_static: cap_total,
             idle_total,
@@ -243,6 +252,19 @@ impl Cluster {
     #[must_use]
     pub fn down_node_count(&self) -> usize {
         self.down_nodes
+    }
+
+    /// Nodes currently draining for maintenance (up, but accepting no new
+    /// placements).
+    #[must_use]
+    pub fn draining_node_count(&self) -> usize {
+        self.draining_nodes
+    }
+
+    /// Nodes that can accept new placements: in service and not draining.
+    #[must_use]
+    pub fn schedulable_node_count(&self) -> usize {
+        self.nodes.len() - self.down_nodes - self.draining_nodes
     }
 
     /// Sum of free card fractions (optionally per model).
@@ -384,6 +406,14 @@ impl Cluster {
     #[must_use]
     pub fn displaced(&self) -> u64 {
         self.displaced_total
+    }
+
+    /// Historical count of tasks gracefully migrated off draining nodes
+    /// (kept apart from both `F` and the forced-displacement count: a
+    /// migration honours the drain notice instead of losing the node).
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.migrated_total
     }
 
     /// Places `spec` with one pod per entry of `pod_nodes`, atomically
@@ -558,6 +588,104 @@ impl Cluster {
         t.spot += spot - before.2;
     }
 
+    /// Returns `id`'s cards and capacity-index keys to the placement
+    /// structures — the single re-index path shared by
+    /// [`Cluster::restore_node`] (repair finished / drain cancelled) and
+    /// [`Cluster::add_node`] (fresh machine). The node must already be
+    /// schedulable; totals are credited from its *actual* card state, so
+    /// a drain-cancelled node with pods still running re-enters with only
+    /// its genuinely free cards.
+    fn bring_into_service(&mut self, id: NodeId) {
+        let node = &self.nodes[id.index()];
+        debug_assert!(node.is_schedulable(), "re-index of an out-of-service node");
+        let cards = f64::from(node.total_gpus());
+        let idle = node.idle_gpus();
+        let model = node.model();
+        self.idle_total += idle;
+        self.cap_total += cards;
+        let t = self.model_totals.entry(model).or_default();
+        t.idle += idle;
+        t.cap += cards;
+        self.index.restore_node(&self.nodes[id.index()]);
+    }
+
+    /// Starts a maintenance drain of `id`, to be forced down at
+    /// `deadline`: the node accepts no new placements from this moment
+    /// (its capacity-index keys vanish and its cards leave the
+    /// in-service capacity totals), while running pods keep executing —
+    /// they may finish inside the notice window, be migrated by the
+    /// simulator, or be forcibly displaced at the deadline
+    /// ([`Cluster::fail_node`] accounting).
+    ///
+    /// Note that allocation totals keep counting the draining node's
+    /// running pods, so `allocation_rate` can transiently exceed 1 during
+    /// a drain window — allocated work on capacity that is on its way
+    /// out.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] for an unknown id; [`Error::InvalidTask`] when
+    /// the node is down or already draining.
+    pub fn drain_node(&mut self, id: NodeId, deadline: SimTime) -> Result<()> {
+        let node = self.node(id)?;
+        if !node.is_up() {
+            return Err(Error::InvalidTask(format!("{id} is down and cannot drain")));
+        }
+        if node.is_draining() {
+            return Err(Error::InvalidTask(format!("{id} is already draining")));
+        }
+        let node = &mut self.nodes[id.index()];
+        let idle = node.idle_gpus();
+        let cards = f64::from(node.total_gpus());
+        let model = node.model();
+        node.set_draining(Some(deadline));
+        self.draining_nodes += 1;
+        self.idle_total -= idle;
+        self.cap_total -= cards;
+        let t = self.model_totals.entry(model).or_default();
+        t.idle -= idle;
+        t.cap -= cards;
+        // placement keys vanish; the spot locality list stays (the node
+        // still hosts its pods until they finish or the deadline hits)
+        self.index.remove_node(&self.nodes[id.index()]);
+        Ok(())
+    }
+
+    /// Adds a fresh node of `model` with `gpus_per_node` cards, minting
+    /// the next sequential [`NodeId`] (scale-out / autoscaling). The new
+    /// node joins every capacity total and placement query immediately.
+    pub fn add_node(&mut self, model: GpuModel, gpus_per_node: u32) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, model, gpus_per_node));
+        let cards = f64::from(gpus_per_node);
+        self.cap_static += cards;
+        self.model_totals.entry(model).or_default().cap_static += cards;
+        self.bring_into_service(id);
+        id
+    }
+
+    /// Gracefully migrates a running task off its nodes (drain-notice
+    /// path): releases its GPUs everywhere and returns the task with the
+    /// progress its checkpoint plan preserved, ready to requeue. Unlike
+    /// [`Cluster::evict_task`] this records no eviction (no `F` bump, no
+    /// per-node eviction history — honouring a maintenance notice is not
+    /// preemption pressure), and unlike a failure the gang leaves on its
+    /// own terms before the node goes down.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if the task is not running.
+    pub fn migrate_task(&mut self, id: TaskId, now: SimTime) -> Result<(RunningTask, SimDuration)> {
+        let rt = self
+            .running
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("{id} not running")))?;
+        self.release_placements(&rt);
+        let preserved = rt.preserved_progress(now);
+        self.migrated_total += 1;
+        Ok((rt, preserved))
+    }
+
     /// Takes `id` out of service at `now`: every task with at least one
     /// pod on it is drained through the shared release path (the same
     /// bookkeeping evictions and rollbacks use), the node's capacity-index
@@ -580,6 +708,9 @@ impl Cluster {
         if !self.node(id)?.is_up() {
             return Err(Error::InvalidTask(format!("{id} is already down")));
         }
+        // a draining node's cards and placement keys already left the
+        // totals/index when the drain started; don't remove them twice
+        let was_draining = self.nodes[id.index()].is_draining();
         // gang semantics in reverse: a task with any pod on the failed
         // node loses its whole gang, everywhere it runs
         let victims: Vec<TaskId> = self
@@ -597,46 +728,54 @@ impl Cluster {
             displaced.push(Displaced { task: rt, preserved });
         }
         // the node is now empty: remove it from the index (all its buckets
-        // vanish in one call) and from the capacity totals
+        // vanish in one idempotent call) and from the capacity totals
         self.index.remove_node(&self.nodes[id.index()]);
         let node = &mut self.nodes[id.index()];
         let cards = node.total_gpus();
         node.set_up(false);
+        node.set_draining(None);
         self.down_nodes += 1;
-        self.idle_total -= cards;
-        self.cap_total -= f64::from(cards);
-        let model = self.nodes[id.index()].model();
-        let t = self.model_totals.entry(model).or_default();
-        t.idle -= cards;
-        t.cap -= f64::from(cards);
+        if was_draining {
+            self.draining_nodes -= 1;
+        } else {
+            self.idle_total -= cards;
+            self.cap_total -= f64::from(cards);
+            let model = self.nodes[id.index()].model();
+            let t = self.model_totals.entry(model).or_default();
+            t.idle -= cards;
+            t.cap -= f64::from(cards);
+        }
         Ok(displaced)
     }
 
-    /// Returns `id` to service: all cards idle, capacity totals and index
-    /// buckets restored, eviction history cleared (a machine back from
-    /// repair must not inherit pre-failure eviction pressure in the
-    /// Eq. 15–16 scores).
+    /// Returns `id` to service. For a *down* node: all cards idle,
+    /// capacity totals and index buckets restored, eviction history
+    /// cleared (a machine back from repair must not inherit pre-failure
+    /// eviction pressure in the Eq. 15–16 scores). For a *draining* node
+    /// the drain is cancelled: its running pods were never disturbed, its
+    /// still-free cards return to the totals, and its eviction history is
+    /// kept — nothing was repaired.
     ///
     /// # Errors
     ///
     /// [`Error::NotFound`] for an unknown id; [`Error::InvalidTask`] when
-    /// the node is already up.
+    /// the node is already in full service.
     pub fn restore_node(&mut self, id: NodeId, _now: SimTime) -> Result<()> {
-        if self.node(id)?.is_up() {
+        let node = self.node(id)?;
+        if node.is_up() && !node.is_draining() {
             return Err(Error::InvalidTask(format!("{id} is already up")));
         }
         let node = &mut self.nodes[id.index()];
-        node.set_up(true);
-        node.clear_eviction_history();
-        let cards = node.total_gpus();
-        self.down_nodes -= 1;
-        self.idle_total += cards;
-        self.cap_total += f64::from(cards);
-        let model = self.nodes[id.index()].model();
-        let t = self.model_totals.entry(model).or_default();
-        t.idle += cards;
-        t.cap += f64::from(cards);
-        self.index.restore_node(&self.nodes[id.index()]);
+        if node.is_up() {
+            // cancel the in-progress drain; pods kept running throughout
+            node.set_draining(None);
+            self.draining_nodes -= 1;
+        } else {
+            node.set_up(true);
+            node.clear_eviction_history();
+            self.down_nodes -= 1;
+        }
+        self.bring_into_service(id);
         Ok(())
     }
 }
@@ -878,6 +1017,133 @@ mod tests {
         assert_eq!(c.static_capacity(Some(GpuModel::H800)), 8.0);
         assert_eq!(c.spot_allocated(Some(GpuModel::H800)), 0.0);
         assert_eq!(c.capacity(Some(GpuModel::A100)), 16.0, "other pools untouched");
+    }
+
+    #[test]
+    fn drain_node_blocks_placements_but_keeps_pods_running() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Hp, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600)).unwrap();
+        let n1 = c.node(NodeId::new(1)).unwrap();
+        assert!(n1.is_up() && n1.is_draining());
+        assert_eq!(n1.drain_deadline(), Some(SimTime::from_secs(3_600)));
+        // pods keep running, but the node is invisible to placement
+        assert_eq!(c.running_count(), 2);
+        assert_eq!(c.hp_allocated(None), 4.0, "running pods stay allocated");
+        assert_eq!(c.capacity(None), 24.0, "draining cards left the totals");
+        assert_eq!(c.idle_gpus(None), 24, "node 1's two free cards left with it");
+        assert!(!c.whole_fit_candidates(GpuModel::A100, 1).contains(&1));
+        assert!(
+            !c.preemption_candidates(GpuModel::A100, 8).contains(&1),
+            "spot pods on a draining node are not preemption targets"
+        );
+        assert_eq!(c.schedulable_node_count(), 3);
+        assert_eq!(c.draining_node_count(), 1);
+        assert_eq!(c.up_node_count(), 4, "draining nodes are still in service");
+        // no new placements land
+        assert!(c
+            .start_task(spec(9, Priority::Hp, 1, 1), &[NodeId::new(1)], SimTime::ZERO, 0)
+            .is_err());
+        // double drain and drain-of-down rejected
+        assert!(c.drain_node(NodeId::new(1), SimTime::from_secs(9_999)).is_err());
+        c.fail_node(NodeId::new(0), SimTime::ZERO).unwrap();
+        assert!(c.drain_node(NodeId::new(0), SimTime::from_secs(9_999)).is_err());
+    }
+
+    #[test]
+    fn forced_shutdown_of_draining_node_matches_fail_accounting() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Spot, 1, 4), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        c.drain_node(NodeId::new(2), SimTime::from_secs(1_800)).unwrap();
+        // deadline hits with the pod still running: fail_node semantics
+        let displaced = c.fail_node(NodeId::new(2), SimTime::from_secs(1_800)).unwrap();
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(c.displaced(), 1);
+        assert_eq!(c.spot_evicted(), 0, "forced displacement is not preemption");
+        assert_eq!(c.capacity(None), 24.0, "cards were already out at drain start");
+        assert_eq!(c.idle_gpus(None), 24);
+        assert_eq!(c.spot_allocated(None), 0.0);
+        assert_eq!(c.down_node_count(), 1);
+        assert_eq!(c.draining_node_count(), 0);
+        // and the full cycle closes: restore brings everything back
+        c.restore_node(NodeId::new(2), SimTime::from_secs(5_000)).unwrap();
+        assert_eq!(c.capacity(None), 32.0);
+        assert_eq!(c.idle_gpus(None), 32);
+    }
+
+    #[test]
+    fn restore_cancels_drain_without_touching_pods() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.evict_task(TaskId::new(1), SimTime::from_secs(50)).unwrap();
+        c.start_task(spec(2, Priority::Hp, 1, 3), &[NodeId::new(0)], SimTime::from_secs(60), 0).unwrap();
+        c.drain_node(NodeId::new(0), SimTime::from_secs(3_600)).unwrap();
+        assert_eq!(c.idle_gpus(None), 24);
+        c.restore_node(NodeId::new(0), SimTime::from_secs(100)).unwrap();
+        let n0 = c.node(NodeId::new(0)).unwrap();
+        assert!(n0.is_schedulable());
+        assert_eq!(c.running_count(), 1, "the HP pod never moved");
+        assert_eq!(c.idle_gpus(None), 29, "only genuinely free cards return");
+        assert_eq!(c.capacity(None), 32.0);
+        assert!(c.whole_fit_candidates(GpuModel::A100, 5).contains(&0));
+        assert_eq!(
+            n0.evictions_within(SimTime::from_secs(200), HOUR),
+            1,
+            "a cancelled drain repairs nothing, so history survives"
+        );
+    }
+
+    #[test]
+    fn migrate_task_releases_without_eviction_accounting() {
+        let mut c = cluster();
+        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        let (rt, preserved) = c.migrate_task(TaskId::new(1), SimTime::from_secs(4_000)).unwrap();
+        assert_eq!(rt.spec.id, TaskId::new(1));
+        assert_eq!(preserved, 3_600, "two 1800 s checkpoints survived");
+        assert_eq!(c.migrated(), 1);
+        assert_eq!(c.displaced(), 0);
+        assert_eq!(c.spot_evicted(), 0);
+        assert_eq!(c.hp_allocated(None), 0.0);
+        assert_eq!(c.idle_gpus(None), 32);
+        assert_eq!(
+            c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(5_000), HOUR),
+            0,
+            "migration leaves no eviction pressure behind"
+        );
+        assert!(c.migrate_task(TaskId::new(1), SimTime::ZERO).is_err(), "gone");
+    }
+
+    #[test]
+    fn add_node_mints_sequential_ids_and_extends_totals() {
+        let mut c = cluster();
+        let id = c.add_node(GpuModel::H800, 8);
+        assert_eq!(id, NodeId::new(4));
+        assert_eq!(c.nodes().len(), 5);
+        assert_eq!(c.capacity(None), 40.0);
+        assert_eq!(c.static_capacity(None), 40.0, "scale-out grows the as-built total");
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 8.0);
+        assert_eq!(c.idle_gpus(Some(GpuModel::H800)), 8);
+        assert!(c.whole_fit_candidates(GpuModel::H800, 8).contains(&4));
+        // the new node is a first-class citizen: placements, spot lists,
+        // failure and repair all work
+        let h = TaskSpec::builder(7)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::whole(4))
+            .gpu_model(GpuModel::H800)
+            .duration_secs(1_000)
+            .build()
+            .unwrap();
+        c.start_task(h, &[id], SimTime::ZERO, 0).unwrap();
+        assert_eq!(c.spot_tasks_on(id).len(), 1);
+        let displaced = c.fail_node(id, SimTime::from_secs(10)).unwrap();
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 0.0);
+        c.restore_node(id, SimTime::from_secs(20)).unwrap();
+        assert_eq!(c.capacity(Some(GpuModel::H800)), 8.0);
+        // a second add keeps minting sequentially
+        assert_eq!(c.add_node(GpuModel::A100, 8), NodeId::new(5));
+        assert_eq!(c.capacity(None), 48.0);
     }
 
     #[test]

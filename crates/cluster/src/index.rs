@@ -50,6 +50,12 @@ struct NodeKey {
     /// `None` when every card is fully idle or fully occupied.
     partial: Option<u32>,
     fully_idle: bool,
+    /// Whether the node currently owns entries in the placement
+    /// structures (idle buckets / partial keys / fully-idle count). Down
+    /// and draining nodes are absent; removal is idempotent through this
+    /// flag, so a drain followed by a forced shutdown cannot
+    /// double-remove.
+    present: bool,
 }
 
 /// The capacity index. See the module docs for the structure.
@@ -104,12 +110,22 @@ impl CapacityIndex {
             idle,
             partial: best_partial,
             fully_idle: idle == node.total_gpus(),
+            present: false,
         }
     }
 
     fn insert_node(&mut self, node: &Node) {
-        let key = Self::compute_key(node);
         let id = node.id().index();
+        // grow the per-node slots on first sight (scale-out mints fresh
+        // node ids past the as-built range)
+        if self.keys.len() <= id {
+            self.keys.resize(id + 1, NodeKey::default());
+            self.spot_on_node.resize(id + 1, Vec::new());
+            self.models.resize(id + 1, node.model());
+        }
+        self.models[id] = node.model();
+        let mut key = Self::compute_key(node);
+        key.present = true;
         let raw = node.id().raw();
         self.keys[id] = key;
         let buckets = self.idle_buckets.entry(node.model()).or_default();
@@ -127,12 +143,24 @@ impl CapacityIndex {
         }
     }
 
-    /// Re-derives one node's keys after its occupancy changed.
+    /// Re-derives one node's keys after its occupancy changed. An
+    /// unschedulable node (down or draining) stays out of the placement
+    /// structures — releasing a pod on a draining node must not re-admit
+    /// the node to any placement query.
     pub fn refresh(&mut self, node: &Node) {
+        if !node.is_schedulable() {
+            self.remove_node(node);
+            return;
+        }
         let id = node.id().index();
+        if !self.keys[id].present {
+            self.insert_node(node);
+            return;
+        }
         let raw = node.id().raw();
         let old = self.keys[id];
-        let new = Self::compute_key(node);
+        let mut new = Self::compute_key(node);
+        new.present = true;
         if old.idle != new.idle {
             let buckets = self.idle_buckets.entry(node.model()).or_default();
             let bucket = &mut buckets[old.idle as usize];
@@ -163,15 +191,20 @@ impl CapacityIndex {
         self.keys[id] = new;
     }
 
-    /// Removes a (drained) node from every query structure, using the keys
+    /// Removes a node from every *placement* structure, using the keys
     /// stored at the last refresh: its idle-bucket entry, partial-card key
     /// and fully-idle count all vanish in one call, so no query can
-    /// observe a half-removed node. The caller must have drained the
-    /// node's pods first (its spot locality list must already be empty).
+    /// observe a half-removed node. Idempotent — removing an absent node
+    /// (e.g. forcing down a node already out of the index because it was
+    /// draining) is a no-op. The spot locality list is left alone: a
+    /// draining node still hosts its spot pods.
     pub fn remove_node(&mut self, node: &Node) {
         let id = node.id().index();
         let raw = node.id().raw();
         let key = self.keys[id];
+        if !key.present {
+            return;
+        }
         if let Some(buckets) = self.idle_buckets.get_mut(&node.model()) {
             if let Some(bucket) = buckets.get_mut(key.idle as usize) {
                 if let Ok(pos) = bucket.binary_search(&raw) {
@@ -187,11 +220,13 @@ impl CapacityIndex {
         if key.fully_idle {
             self.fully_idle_count -= 1;
         }
-        debug_assert!(self.spot_on_node[id].is_empty(), "node removed before draining");
         self.keys[id] = NodeKey::default();
     }
 
-    /// Re-inserts a restored node (all cards idle again).
+    /// Re-inserts a restored (or drain-cancelled) node, recomputing its
+    /// keys from the node's actual card state; also the growth path for
+    /// nodes minted by scale-out ([`insert_node`](Self::insert_node)
+    /// extends the per-node slots on first sight).
     pub fn restore_node(&mut self, node: &Node) {
         self.insert_node(node);
     }
@@ -266,12 +301,14 @@ impl CapacityIndex {
     }
 
     /// Node ids (ascending) worth visiting when planning a preemption of
-    /// `need` cards on `model` nodes: nodes that already fit, plus nodes
-    /// hosting at least one spot pod.
+    /// `need` cards on `model` nodes: nodes that already fit, plus
+    /// *schedulable* nodes hosting at least one spot pod (a draining node
+    /// still hosts spot pods but cannot accept the preemptor's placement,
+    /// so evicting there would only destroy work).
     pub fn preemption_candidates(&self, model: GpuModel, need: u32, out: &mut Vec<u32>) {
         self.whole_fit_candidates(model, need, out);
         for (id, spots) in self.spot_on_node.iter().enumerate() {
-            if !spots.is_empty() && self.models[id] == model {
+            if !spots.is_empty() && self.models[id] == model && self.keys[id].present {
                 out.push(id as u32);
             }
         }

@@ -39,16 +39,29 @@
 //!
 //! # Cluster dynamics
 //!
-//! Nodes fail and recover: [`Cluster::fail_node`] drains every pod on the
-//! node through the shared release path (HP and spot alike — hardware
-//! does not honour priorities), removes the node's index buckets
-//! atomically and subtracts its cards from every capacity total;
-//! [`Cluster::restore_node`] reverses all of it. Capacity accessors
-//! therefore always describe the *in-service* fleet, per GPU model in
-//! O(1) ([`Cluster::capacity`] with `Some(model)`), while
-//! [`Cluster::static_capacity`] keeps the as-built denominator for
-//! availability metrics. The engine-side event flow is documented on
-//! `gfs_sim::dynamics`.
+//! Cluster membership changes mid-run along four verbs:
+//!
+//! * [`Cluster::fail_node`] — abrupt failure: drains every pod on the
+//!   node through the shared release path (HP and spot alike — hardware
+//!   does not honour priorities), removes the node's index buckets
+//!   atomically and subtracts its cards from every capacity total;
+//! * [`Cluster::drain_node`] — maintenance drain with notice: the node
+//!   stops accepting placements immediately (index keys and capacity
+//!   leave with it) while its pods keep running until they finish, are
+//!   migrated ([`Cluster::migrate_task`]) or are forcibly displaced at
+//!   the deadline through `fail_node` accounting;
+//! * [`Cluster::restore_node`] — reverses either: a repaired node returns
+//!   with all cards idle and a clean eviction history, a drain-cancelled
+//!   node returns with its pods untouched;
+//! * [`Cluster::add_node`] — scale-out: mints the next sequential
+//!   [`NodeId`](gfs_types::NodeId) and extends every total and index
+//!   structure.
+//!
+//! Capacity accessors therefore always describe the *schedulable* fleet,
+//! per GPU model in O(1) ([`Cluster::capacity`] with `Some(model)`),
+//! while [`Cluster::static_capacity`] keeps the as-built-plus-scaled-out
+//! denominator for availability metrics. The engine-side event flow is
+//! documented on `gfs_sim::dynamics`.
 //!
 //! # Examples
 //!

@@ -84,6 +84,11 @@ pub struct Node {
     /// it naturally; only [`Node::total_gpus`] keeps reporting the static
     /// card count (availability accounting needs it).
     up: bool,
+    /// Forced-shutdown deadline of an in-progress maintenance drain. A
+    /// draining node is still up (its pods keep running) but accepts no
+    /// new placements and reports zero idle/free capacity, exactly like a
+    /// down node from a scheduler's point of view.
+    drain_deadline: Option<SimTime>,
 }
 
 impl Node {
@@ -98,13 +103,34 @@ impl Node {
             spot_alloc: 0.0,
             evictions: VecDeque::new(),
             up: true,
+            drain_deadline: None,
         }
     }
 
-    /// Whether the node is in service.
+    /// Whether the node is in service (running pods keep a *draining*
+    /// node up until its deadline).
     #[must_use]
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// Whether the node is draining for maintenance.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.drain_deadline.is_some()
+    }
+
+    /// The forced-shutdown deadline of an in-progress drain.
+    #[must_use]
+    pub fn drain_deadline(&self) -> Option<SimTime> {
+        self.drain_deadline
+    }
+
+    /// Whether the node can accept new placements: in service and not
+    /// draining. Every capacity/placement query gates on this.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.up && self.drain_deadline.is_none()
     }
 
     /// Takes the node in or out of service. The caller
@@ -112,6 +138,20 @@ impl Node {
     /// first and keeping the capacity index consistent.
     pub(crate) fn set_up(&mut self, up: bool) {
         self.up = up;
+    }
+
+    /// Starts (`Some(deadline)`) or cancels (`None`) a maintenance drain.
+    /// The caller ([`Cluster`](crate::Cluster)) keeps the capacity totals
+    /// and index consistent around the transition.
+    pub(crate) fn set_draining(&mut self, deadline: Option<SimTime>) {
+        self.drain_deadline = deadline;
+    }
+
+    /// The ungated card scan backing [`Node::idle_gpus`]: cards that are
+    /// physically unallocated, regardless of the up/draining state.
+    #[must_use]
+    pub(crate) fn physical_idle_gpus(&self) -> u32 {
+        self.gpus.iter().filter(|g| g.is_idle()).count() as u32
     }
 
     /// Forgets the node's eviction history (called on restore: a machine
@@ -139,19 +179,21 @@ impl Node {
         self.gpus.len() as u32
     }
 
-    /// Cards that are completely unallocated (0 while the node is down).
+    /// Cards that are completely unallocated (0 while the node is down or
+    /// draining — a drained card cannot host anything new).
     #[must_use]
     pub fn idle_gpus(&self) -> u32 {
-        if !self.up {
+        if !self.is_schedulable() {
             return 0;
         }
-        self.gpus.iter().filter(|g| g.is_idle()).count() as u32
+        self.physical_idle_gpus()
     }
 
-    /// Sum of free fractions across all cards (0 while the node is down).
+    /// Sum of free fractions across all cards (0 while the node is down
+    /// or draining).
     #[must_use]
     pub fn free_capacity(&self) -> f64 {
-        if !self.up {
+        if !self.is_schedulable() {
             return 0.0;
         }
         self.gpus.iter().map(Gpu::free_fraction).sum()
@@ -182,10 +224,10 @@ impl Node {
     }
 
     /// Whether a pod with the given demand could be placed right now
-    /// (always false while the node is down).
+    /// (always false while the node is down or draining).
     #[must_use]
     pub fn can_fit(&self, demand: GpuDemand) -> bool {
-        if !self.up {
+        if !self.is_schedulable() {
             return false;
         }
         match demand {
@@ -207,8 +249,12 @@ impl Node {
         demand: GpuDemand,
         priority: Priority,
     ) -> Result<PodAlloc> {
-        if !self.up {
-            return Err(Error::Capacity(format!("{} is down", self.id)));
+        if !self.is_schedulable() {
+            return Err(Error::Capacity(format!(
+                "{} is {}",
+                self.id,
+                if self.up { "draining" } else { "down" }
+            )));
         }
         let alloc = match demand {
             GpuDemand::Whole(n) => {

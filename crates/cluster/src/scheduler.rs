@@ -88,6 +88,31 @@ pub enum TaskEvent {
         /// Event time.
         at: SimTime,
     },
+    /// A node began a maintenance drain: it accepts no new placements
+    /// (its cards already left every capacity total) and will be forced
+    /// down at `deadline`. Tasks that cannot finish inside the notice
+    /// window are migrated by the simulator and arrive as
+    /// [`TaskEvent::Displaced`] notifications just before this event, so
+    /// a policy can proactively re-place gangs instead of losing work at
+    /// the deadline.
+    DrainNotice {
+        /// The draining node.
+        node: NodeId,
+        /// When the node will be forced out of service.
+        deadline: SimTime,
+        /// Event time (start of the notice window).
+        at: SimTime,
+    },
+    /// A fresh node joined the cluster (scale-out); its capacity just
+    /// entered every cluster total.
+    NodeAdded {
+        /// The minted node.
+        node: NodeId,
+        /// Cards it brought.
+        added_gpus: u32,
+        /// Event time.
+        at: SimTime,
+    },
     /// A node failed; its capacity just left every cluster total.
     NodeDown {
         /// The failed node.

@@ -142,10 +142,15 @@ impl Scheduler for GfsScheduler {
             TaskEvent::Displaced { task, priority, at } if priority.is_spot() => {
                 self.sqa.record_displacement(*task, *at);
             }
-            // capacity changed under the quota: re-clamp immediately
-            // instead of admitting against vanished GPUs until the next
-            // 300 s tick (the SQA keeps the last forecast for this)
-            TaskEvent::NodeDown { .. } | TaskEvent::NodeUp { .. } => {
+            // capacity changed under the quota — a node died, returned,
+            // started draining (its cards can host nothing new) or joined
+            // by scale-out: re-clamp immediately instead of admitting
+            // against vanished GPUs (or ignoring fresh ones) until the
+            // next 300 s tick (the SQA keeps the last forecast for this)
+            TaskEvent::NodeDown { .. }
+            | TaskEvent::NodeUp { .. }
+            | TaskEvent::DrainNotice { .. }
+            | TaskEvent::NodeAdded { .. } => {
                 self.sqa.refresh_capacity(cluster);
             }
             _ => {}
@@ -246,6 +251,33 @@ mod tests {
             &c,
         );
         assert!((s.quota() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_notice_and_scale_out_reclamp_quota() {
+        let mut s = GfsScheduler::with_defaults();
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        s.on_tick(SimTime::from_secs(300), &c);
+        assert!((s.quota() - 16.0).abs() < 1e-9);
+        // a draining node's cards can host nothing new: quota shrinks at
+        // the notice, not at the deadline
+        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600)).unwrap();
+        s.on_event(
+            &TaskEvent::DrainNotice {
+                node: NodeId::new(1),
+                deadline: SimTime::from_secs(3_600),
+                at: SimTime::from_secs(400),
+            },
+            &c,
+        );
+        assert!((s.quota() - 8.0).abs() < 1e-9, "quota tracks the schedulable fleet");
+        // scale-out grows it right back
+        let added = c.add_node(GpuModel::A100, 8);
+        s.on_event(
+            &TaskEvent::NodeAdded { node: added, added_gpus: 8, at: SimTime::from_secs(500) },
+            &c,
+        );
+        assert!((s.quota() - 16.0).abs() < 1e-9, "fresh capacity admits spot immediately");
     }
 
     #[test]

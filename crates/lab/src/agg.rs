@@ -50,17 +50,26 @@ pub struct MetricSummary {
 
 /// Reduces the per-seed summaries of one cell into one row per metric,
 /// in [`RunSummary::METRICS`] order.
+///
+/// Metrics of the drain/scale-out extension (indices from
+/// [`RunSummary::DYNAMICS_METRICS_START`]) produce a row only when some
+/// run recorded a non-zero value — mirroring their `skip_serializing_if`
+/// defaults on the wire, so summaries of static or fault-only grids keep
+/// their historical byte encoding.
 #[must_use]
 pub fn aggregate(runs: &[RunSummary]) -> Vec<MetricSummary> {
     RunSummary::METRICS
         .iter()
         .enumerate()
-        .map(|(k, &metric)| {
+        .filter_map(|(k, &metric)| {
             let values: Vec<f64> = runs.iter().map(|r| r.values()[k]).collect();
-            MetricSummary {
+            if k >= RunSummary::DYNAMICS_METRICS_START && values.iter().all(|&v| v == 0.0) {
+                return None;
+            }
+            Some(MetricSummary {
                 metric: metric.to_string(),
                 stats: MetricStats::of(&values),
-            }
+            })
         })
         .collect()
 }
@@ -131,11 +140,25 @@ mod tests {
             availability: 0.98,
             displacement_count: 2,
             displaced_mean_jct_s: 500.0,
+            migration_count: 0,
+            node_drains: 0,
+            added_gpus: 0.0,
         };
-        let rows = aggregate(&[run.clone(), run]);
-        assert_eq!(rows.len(), RunSummary::METRICS.len());
+        let rows = aggregate(&[run.clone(), run.clone()]);
+        // all-zero dynamics-extension metrics stay off the wire
+        assert_eq!(rows.len(), RunSummary::DYNAMICS_METRICS_START);
         assert_eq!(rows[0].metric, "hp_completion");
         assert_eq!(rows[0].stats.median, 1.0);
         assert_eq!(rows[0].stats.iqr, 0.0);
+        assert!(rows.iter().all(|r| r.metric != "migration_count"));
+        // ...and appear as soon as any seed produced one
+        let mut dynamic = run;
+        dynamic.migration_count = 3;
+        dynamic.added_gpus = 16.0;
+        let rows = aggregate(&[dynamic.clone(), dynamic]);
+        assert_eq!(rows.len(), RunSummary::DYNAMICS_METRICS_START + 2);
+        assert!(rows.iter().any(|r| r.metric == "migration_count"));
+        assert!(rows.iter().any(|r| r.metric == "added_gpus"));
+        assert!(rows.iter().all(|r| r.metric != "node_drains"), "still all-zero");
     }
 }

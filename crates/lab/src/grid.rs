@@ -9,7 +9,10 @@ use gfs_cluster::{Cluster, Node, Scheduler};
 use gfs_sched::{Chronus, Fgd, Lyra, YarnCs};
 use gfs_sim::{RunSummary, SimConfig, SimReport};
 use gfs_trace::{WorkloadConfig, WorkloadGenerator};
-use gfs_types::{Error, FaultPlan, GfsParams, GpuModel, NodeId, Result, SimDuration, TaskSpec};
+use gfs_types::{
+    DynamicsPlan, Error, FailureDomain, GfsParams, GpuModel, NodeId, Result, SimDuration, SimTime,
+    TaskSpec,
+};
 
 use crate::pool::{run_indexed, Threads};
 use crate::report::{CellSummary, GridReport};
@@ -143,8 +146,9 @@ pub struct RunContext<'a> {
     pub shape: &'a ClusterShape,
     /// Workload-axis label of the cell.
     pub workload: &'a str,
-    /// Fault-axis label of the cell (`"none"` when no axis is declared).
-    pub faults: &'a str,
+    /// Dynamics-axis label of the cell (`"none"` when no axis is
+    /// declared).
+    pub dynamics: &'a str,
     /// Parameter override of the cell.
     pub params: &'a GfsParams,
     /// Replication seed of this run.
@@ -334,42 +338,45 @@ impl WorkloadAxis {
     }
 }
 
-type FaultFactory = dyn Fn(&ClusterShape, u64) -> FaultPlan + Send + Sync;
+type DynamicsFactory = dyn Fn(&ClusterShape, u64) -> DynamicsPlan + Send + Sync;
 
-/// A named fault-schedule source — one point on the grid's fault axis.
+/// A named cluster-timeline source — one point on the grid's dynamics
+/// axis: independent churn, correlated rack failures, rolling maintenance
+/// drains, autoscale schedules, or any hand-built composition.
 ///
-/// Like every other axis, a `FaultAxis` must be a pure function of the
+/// Like every other axis, a `DynamicsAxis` must be a pure function of the
 /// cell's shape and the run seed (see `gfs_types::cluster_event` for the
-/// determinism rules); the fault seed is derived from the run seed, so
+/// determinism rules); the dynamics seed is derived from the run seed, so
 /// seed replication varies the churn along with the workload.
 #[derive(Clone)]
-pub struct FaultAxis {
+pub struct DynamicsAxis {
     name: String,
-    build: Arc<FaultFactory>,
+    build: Arc<DynamicsFactory>,
 }
 
-impl std::fmt::Debug for FaultAxis {
+impl std::fmt::Debug for DynamicsAxis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FaultAxis({})", self.name)
+        write!(f, "DynamicsAxis({})", self.name)
     }
 }
 
-impl FaultAxis {
+impl DynamicsAxis {
     /// Wraps an arbitrary schedule source.
     pub fn new(
         name: impl Into<String>,
-        build: impl Fn(&ClusterShape, u64) -> FaultPlan + Send + Sync + 'static,
+        build: impl Fn(&ClusterShape, u64) -> DynamicsPlan + Send + Sync + 'static,
     ) -> Self {
-        FaultAxis {
+        DynamicsAxis {
             name: name.into(),
             build: Arc::new(build),
         }
     }
 
-    /// The fault-free axis point (the default when no axis is declared).
+    /// The static-cluster axis point (the default when no axis is
+    /// declared).
     #[must_use]
     pub fn none() -> Self {
-        FaultAxis::new("none", |_, _| FaultPlan::none())
+        DynamicsAxis::new("none", |_, _| DynamicsPlan::none())
     }
 
     /// A seeded MTBF/MTTR renewal schedule over every node of the cell's
@@ -383,8 +390,76 @@ impl FaultAxis {
         mttr_secs: f64,
         horizon_secs: SimDuration,
     ) -> Self {
-        FaultAxis::new(name, move |shape, seed| {
-            FaultPlan::seeded_mtbf(shape.node_count(), mtbf_secs, mttr_secs, horizon_secs, seed)
+        DynamicsAxis::new(name, move |shape, seed| {
+            DynamicsPlan::seeded_mtbf(shape.node_count(), mtbf_secs, mttr_secs, horizon_secs, seed)
+        })
+    }
+
+    /// Correlated rack-level failures: the cell's nodes are split into
+    /// [`FailureDomain`]s of `rack_size`, and each rack fails and
+    /// recovers *as a unit* on a seeded `Exp(1/mtbf_secs)` /
+    /// `Exp(1/mttr_secs)` renewal schedule — one SplitMix64 stream per
+    /// `(seed, rack)` blast radius.
+    #[must_use]
+    pub fn correlated(
+        name: impl Into<String>,
+        rack_size: u32,
+        mtbf_secs: f64,
+        mttr_secs: f64,
+        horizon_secs: SimDuration,
+    ) -> Self {
+        DynamicsAxis::new(name, move |shape, seed| {
+            let domains = FailureDomain::racks(shape.node_count(), rack_size);
+            DynamicsPlan::correlated(&domains, mtbf_secs, mttr_secs, horizon_secs, seed)
+        })
+    }
+
+    /// A rolling maintenance wave over every node of the cell's shape:
+    /// node `k` is drained at `start + k·stagger_secs` with
+    /// `notice_secs` of warning and returns `maintenance_secs` after its
+    /// forced shutdown. Closed-form — identical at every seed.
+    #[must_use]
+    pub fn rolling_drain(
+        name: impl Into<String>,
+        start: SimTime,
+        stagger_secs: SimDuration,
+        notice_secs: SimDuration,
+        maintenance_secs: SimDuration,
+    ) -> Self {
+        DynamicsAxis::new(name, move |shape, _| {
+            DynamicsPlan::rolling_drain(
+                shape.node_count(),
+                start,
+                stagger_secs,
+                notice_secs,
+                maintenance_secs,
+            )
+        })
+    }
+
+    /// A step/periodic autoscale schedule: `nodes_per_step` fresh nodes
+    /// matching the shape's *first* pool (model and cards per node) join
+    /// at `start` and then every `interval_secs`, `steps` times in total.
+    /// Closed-form — identical at every seed.
+    #[must_use]
+    pub fn autoscale(
+        name: impl Into<String>,
+        start: SimTime,
+        interval_secs: SimDuration,
+        steps: u32,
+        nodes_per_step: u32,
+    ) -> Self {
+        DynamicsAxis::new(name, move |shape, _| {
+            let Some(group) = shape.groups.first() else {
+                return DynamicsPlan::none();
+            };
+            DynamicsPlan::scale_out(
+                gfs_types::NodeTemplate { model: group.model, gpus: group.gpus_per_node },
+                start,
+                interval_secs,
+                steps,
+                nodes_per_step,
+            )
         })
     }
 
@@ -392,8 +467,8 @@ impl FaultAxis {
     /// must be valid for the shapes the grid pairs it with; events on
     /// unknown nodes are engine no-ops).
     #[must_use]
-    pub fn fixed(name: impl Into<String>, plan: FaultPlan) -> Self {
-        FaultAxis::new(name, move |_, _| plan.clone())
+    pub fn fixed(name: impl Into<String>, plan: DynamicsPlan) -> Self {
+        DynamicsAxis::new(name, move |_, _| plan.clone())
     }
 
     /// Display name.
@@ -404,10 +479,15 @@ impl FaultAxis {
 
     /// Builds the schedule for one run.
     #[must_use]
-    pub fn build(&self, shape: &ClusterShape, seed: u64) -> FaultPlan {
+    pub fn build(&self, shape: &ClusterShape, seed: u64) -> DynamicsPlan {
         (self.build)(shape, seed)
     }
 }
+
+/// Fault-only predecessor of [`DynamicsAxis`], kept so downstream call
+/// sites keep compiling.
+#[deprecated(note = "renamed to DynamicsAxis; the axis now also builds drains and autoscale schedules")]
+pub type FaultAxis = DynamicsAxis;
 
 /// A named [`GfsParams`] override — one point on the grid's parameter axis.
 #[derive(Debug, Clone, PartialEq)]
@@ -440,8 +520,8 @@ pub struct Scenario {
     pub shape: ClusterShape,
     /// Trace source.
     pub workload: WorkloadAxis,
-    /// Fault-schedule source.
-    pub faults: FaultAxis,
+    /// Cluster-timeline source.
+    pub dynamics: DynamicsAxis,
     /// Parameter override.
     pub params: ParamsAxis,
     /// Replication seed.
@@ -449,7 +529,7 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Executes the run: generate the trace and fault schedule, build
+    /// Executes the run: generate the trace and cluster timeline, build
     /// cluster and scheduler, simulate. Self-contained and deterministic
     /// given the scenario.
     #[must_use]
@@ -457,13 +537,13 @@ impl Scenario {
         let ctx = RunContext {
             shape: &self.shape,
             workload: self.workload.name(),
-            faults: self.faults.name(),
+            dynamics: self.dynamics.name(),
             params: &self.params.params,
             seed: self.seed,
         };
         let tasks = self.workload.build(&self.shape, self.seed);
         let sim = SimConfig {
-            faults: self.faults.build(&self.shape, self.seed),
+            dynamics: self.dynamics.build(&self.shape, self.seed),
             ..sim.clone()
         };
         let mut scheduler = self.scheduler.build(&ctx);
@@ -485,11 +565,11 @@ pub struct GridResult {
 
 /// The declarative experiment grid (C-BUILDER).
 ///
-/// Axes default to "empty"; [`Grid::run`] fills the fault axis with
-/// [`FaultAxis::none`], the parameter axis with the Table 4 defaults and
-/// the seed axis with `[1]` when unset. Invalid grids (missing required
-/// axes, duplicate axis labels, an explicitly empty seed list) are
-/// reported by [`Grid::validate`] / [`Grid::try_run`] as descriptive
+/// Axes default to "empty"; [`Grid::run`] fills the dynamics axis with
+/// [`DynamicsAxis::none`], the parameter axis with the Table 4 defaults
+/// and the seed axis with `[1]` when unset. Invalid grids (missing
+/// required axes, duplicate axis labels, an explicitly empty seed list)
+/// are reported by [`Grid::validate`] / [`Grid::try_run`] as descriptive
 /// errors; the panicking [`Grid::run`]/[`Grid::scenarios`] wrappers reuse
 /// the same messages.
 #[derive(Debug, Clone, Default)]
@@ -497,7 +577,7 @@ pub struct Grid {
     schedulers: Vec<SchedulerSpec>,
     shapes: Vec<ClusterShape>,
     workloads: Vec<WorkloadAxis>,
-    faults: Vec<FaultAxis>,
+    dynamics: Vec<DynamicsAxis>,
     params: Vec<ParamsAxis>,
     seeds: Vec<u64>,
     /// Whether `seeds()` was ever called (distinguishes "defaulted" from
@@ -556,19 +636,33 @@ impl Grid {
         self
     }
 
-    /// Adds fault-schedule sources (each cell runs once per axis point;
-    /// omitting the axis entirely means fault-free runs).
+    /// Adds cluster-timeline sources (each cell runs once per axis point;
+    /// omitting the axis entirely means static-cluster runs).
     #[must_use]
-    pub fn faults(mut self, axes: impl IntoIterator<Item = FaultAxis>) -> Self {
-        self.faults.extend(axes);
+    pub fn dynamics(mut self, axes: impl IntoIterator<Item = DynamicsAxis>) -> Self {
+        self.dynamics.extend(axes);
         self
     }
 
-    /// Adds one fault-schedule source.
+    /// Adds one cluster-timeline source.
     #[must_use]
-    pub fn fault(mut self, axis: FaultAxis) -> Self {
-        self.faults.push(axis);
+    pub fn dynamic(mut self, axis: DynamicsAxis) -> Self {
+        self.dynamics.push(axis);
         self
+    }
+
+    /// Adds cluster-timeline sources (pre-redesign name of
+    /// [`Grid::dynamics`]).
+    #[must_use]
+    pub fn faults(self, axes: impl IntoIterator<Item = DynamicsAxis>) -> Self {
+        self.dynamics(axes)
+    }
+
+    /// Adds one cluster-timeline source (pre-redesign name of
+    /// [`Grid::dynamic`]).
+    #[must_use]
+    pub fn fault(self, axis: DynamicsAxis) -> Self {
+        self.dynamic(axis)
     }
 
     /// Adds parameter overrides.
@@ -601,11 +695,11 @@ impl Grid {
         self
     }
 
-    fn faults_axis(&self) -> Vec<FaultAxis> {
-        if self.faults.is_empty() {
-            vec![FaultAxis::none()]
+    fn dynamics_axis(&self) -> Vec<DynamicsAxis> {
+        if self.dynamics.is_empty() {
+            vec![DynamicsAxis::none()]
         } else {
-            self.faults.clone()
+            self.dynamics.clone()
         }
     }
 
@@ -664,7 +758,7 @@ impl Grid {
         no_dupes("scheduler", self.schedulers.iter().map(SchedulerSpec::name))?;
         no_dupes("shape", self.shapes.iter().map(|s| s.name.as_str()))?;
         no_dupes("workload", self.workloads.iter().map(WorkloadAxis::name))?;
-        no_dupes("faults", self.faults.iter().map(FaultAxis::name))?;
+        no_dupes("dynamics", self.dynamics.iter().map(DynamicsAxis::name))?;
         no_dupes("params", self.params.iter().map(|p| p.name.as_str()))?;
         let mut seen = Vec::new();
         for &s in &self.seeds {
@@ -679,7 +773,7 @@ impl Grid {
     }
 
     /// Enumerates every run of the grid in deterministic order: cells
-    /// nest (shape → workload → faults → params → scheduler), each
+    /// nest (shape → workload → dynamics → params → scheduler), each
     /// replicated over all seeds.
     ///
     /// # Errors
@@ -687,14 +781,14 @@ impl Grid {
     /// See [`Grid::validate`].
     pub fn try_scenarios(&self) -> Result<Vec<Scenario>> {
         self.validate()?;
-        let faults = self.faults_axis();
+        let dynamics = self.dynamics_axis();
         let params = self.params_axis();
         let seeds = self.seed_axis();
         let mut out = Vec::new();
         let mut cell = 0;
         for shape in &self.shapes {
             for workload in &self.workloads {
-                for f in &faults {
+                for d in &dynamics {
                     for p in &params {
                         for scheduler in &self.schedulers {
                             for &seed in &seeds {
@@ -703,7 +797,7 @@ impl Grid {
                                     scheduler: scheduler.clone(),
                                     shape: shape.clone(),
                                     workload: workload.clone(),
-                                    faults: f.clone(),
+                                    dynamics: d.clone(),
                                     params: p.clone(),
                                     seed,
                                 });
@@ -733,7 +827,7 @@ impl Grid {
         self.schedulers.len()
             * self.shapes.len()
             * self.workloads.len()
-            * self.faults_axis().len()
+            * self.dynamics_axis().len()
             * self.params_axis().len()
     }
 
@@ -772,7 +866,7 @@ impl Grid {
                 first.scheduler.name(),
                 &first.shape.name,
                 first.workload.name(),
-                first.faults.name(),
+                first.dynamics.name(),
                 &first.params.name,
                 &seeds,
                 runs,
@@ -911,8 +1005,8 @@ mod tests {
         assert!(err(base().shape(ClusterShape::a100(2, 8))).contains("duplicate shape label"));
         assert!(err(base().workload(tiny_workload())).contains("duplicate workload label"));
         assert!(
-            err(base().fault(FaultAxis::none()).fault(FaultAxis::none()))
-                .contains("duplicate faults label")
+            err(base().dynamic(DynamicsAxis::none()).dynamic(DynamicsAxis::none()))
+                .contains("duplicate dynamics label")
         );
         // try_run surfaces the same error instead of panicking
         assert!(Grid::new().try_run(Threads::Fixed(1)).is_err());
@@ -925,9 +1019,9 @@ mod tests {
             .scheduler(SchedulerSpec::yarn_cs())
             .shape(ClusterShape::a100(4, 8))
             .workload(tiny_workload())
-            .faults([
-                FaultAxis::none(),
-                FaultAxis::mtbf("churn", 6.0 * HOUR as f64, HOUR as f64, horizon),
+            .dynamics([
+                DynamicsAxis::none(),
+                DynamicsAxis::mtbf("churn", 6.0 * HOUR as f64, HOUR as f64, horizon),
             ])
             .seeds([1, 2])
             .sim(SimConfig {
@@ -942,6 +1036,43 @@ mod tests {
         assert_eq!(clean.median("displacement_count"), 0.0);
         assert!(churny.median("availability") < 1.0, "6 h MTBF over 2 days must bite");
         assert!(churny.metric("displacement_count").unwrap().max > 0.0);
+    }
+
+    #[test]
+    fn drain_correlated_and_autoscale_axes_report_their_metrics() {
+        let horizon = 48 * HOUR;
+        let grid = Grid::new()
+            .scheduler(SchedulerSpec::yarn_cs())
+            .shape(ClusterShape::a100(4, 8))
+            .workload(tiny_workload())
+            .dynamics([
+                DynamicsAxis::rolling_drain(
+                    "wave",
+                    gfs_types::SimTime::from_hours(1),
+                    HOUR,
+                    1_800,
+                    HOUR,
+                ),
+                DynamicsAxis::correlated("racks", 2, 8.0 * HOUR as f64, HOUR as f64, horizon),
+                DynamicsAxis::autoscale("grow", gfs_types::SimTime::from_hours(2), HOUR, 2, 1),
+            ])
+            .seeds([1, 2])
+            .sim(SimConfig {
+                max_time_secs: Some(horizon),
+                ..SimConfig::default()
+            });
+        assert_eq!(grid.cell_count(), 3);
+        let result = grid.run(Threads::Fixed(2));
+        let cell = |d: &str| result.report.cell_at("YARN-CS", "4n", "tiny", d, "default").unwrap();
+        let wave = cell("wave");
+        assert_eq!(wave.median("node_drains"), 4.0, "every node drained once");
+        assert!(wave.metric("migration_count").is_some(), "drain metrics surface");
+        let racks = cell("racks");
+        assert!(racks.median("availability") < 1.0, "8 h domain MTBF over 2 days bites");
+        assert!(racks.metric("node_drains").is_none(), "no drain rows without drains");
+        let grow = cell("grow");
+        assert_eq!(grow.median("added_gpus"), 16.0, "two 8-card steps");
+        assert_eq!(grow.median("availability"), 1.0);
     }
 
     #[test]

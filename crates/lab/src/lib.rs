@@ -9,8 +9,9 @@
 //! * [`Grid`] — a declarative builder enumerating the cross-product of
 //!   [`SchedulerSpec`] constructors, [`ClusterShape`]s (homogeneous or
 //!   mixed-GPU via [`NodeGroup`] pools), [`WorkloadAxis`] trace sources,
-//!   [`FaultAxis`] node-churn schedules, [`ParamsAxis`] overrides and
-//!   replication seeds.
+//!   [`DynamicsAxis`] cluster timelines (independent churn, correlated
+//!   rack failures, rolling maintenance drains, autoscale schedules),
+//!   [`ParamsAxis`] overrides and replication seeds.
 //! * [`pool`] — a std-only chunked work pool executing runs in parallel
 //!   while collecting results *by run index*, so the aggregated output is
 //!   byte-identical to a serial run for any thread count.
@@ -65,8 +66,10 @@ mod report;
 
 pub use agg::{MetricStats, MetricSummary};
 pub use grid::{
-    ClusterShape, FaultAxis, Grid, GridResult, NodeGroup, ParamsAxis, RunContext, Scenario,
+    ClusterShape, DynamicsAxis, Grid, GridResult, NodeGroup, ParamsAxis, RunContext, Scenario,
     SchedulerSpec, WorkloadAxis,
 };
+#[allow(deprecated)]
+pub use grid::FaultAxis;
 pub use pool::Threads;
 pub use report::{CellSummary, GridReport};

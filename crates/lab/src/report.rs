@@ -16,7 +16,9 @@ pub struct CellSummary {
     pub shape: String,
     /// Workload-axis label.
     pub workload: String,
-    /// Fault-axis label (`"none"` for fault-free cells).
+    /// Dynamics-axis label (`"none"` for static-cluster cells). The
+    /// field keeps its pre-redesign name — it is part of the serialized
+    /// grid schema, pinned by golden hashes.
     pub faults: String,
     /// Parameter-override label.
     pub params: String,
@@ -227,6 +229,9 @@ mod tests {
             availability: 1.0,
             displacement_count: 0,
             displaced_mean_jct_s: 0.0,
+            migration_count: 0,
+            node_drains: 0,
+            added_gpus: 0.0,
         }
     }
 

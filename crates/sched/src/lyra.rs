@@ -54,9 +54,10 @@ impl Scheduler for Lyra {
         // spot (training) tasks only run on loans: nodes that are entirely
         // idle or already loaned, and only while the reserve holds — both
         // facts are maintained incrementally by the capacity index. The
-        // reserve is a fraction of the *in-service* fleet: failed nodes
-        // must not count toward the loanable budget.
-        let total_nodes = cluster.up_node_count() as f64;
+        // reserve is a fraction of the *schedulable* fleet: failed nodes
+        // and nodes draining for maintenance must not count toward the
+        // loanable budget (a draining node can never host a loan again).
+        let total_nodes = cluster.schedulable_node_count() as f64;
         let idle_nodes = cluster.fully_idle_nodes() as f64;
         if idle_nodes <= total_nodes * self.reserve_frac {
             return None; // loan book is full: protect inference headroom

@@ -1,8 +1,9 @@
 //! The discrete-event simulation engine.
 //!
 //! Events (submissions, completions, requeues after eviction, quota ticks,
-//! utilisation samples, and injected node failures/recoveries — see
-//! [`crate::dynamics`]) are processed in `(time, sequence)` order; after
+//! utilisation samples, and the injected cluster timeline — failures,
+//! recoveries, maintenance drains, scale-out; see [`crate::dynamics`])
+//! are processed in `(time, sequence)` order; after
 //! every batch of same-timestamp events the engine runs one scheduling pass
 //! over the pending queue. All state transitions go through
 //! [`gfs_cluster::Cluster`], so a scheduler can never corrupt accounting.
@@ -25,7 +26,9 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use gfs_cluster::{Cluster, Scheduler, TaskEvent};
-use gfs_types::{ClusterEventKind, FaultPlan, NodeId, SimDuration, SimTime, TaskId, TaskSpec};
+use gfs_types::{
+    ClusterEventKind, DynamicsPlan, GpuModel, NodeId, SimDuration, SimTime, TaskId, TaskSpec,
+};
 
 use crate::dynamics::AvailabilityTracker;
 use crate::report::{AllocSample, SimReport, TaskRecord};
@@ -47,10 +50,11 @@ pub struct SimConfig {
     /// Hard stop, seconds of simulated time (tasks still pending are
     /// reported as unfinished).
     pub max_time_secs: Option<u64>,
-    /// Node failure/recovery schedule injected alongside the task trace
-    /// (see [`crate::dynamics`] for the event flow). The default empty
-    /// plan is a strict no-op.
-    pub faults: FaultPlan,
+    /// Cluster timeline injected alongside the task trace: failures,
+    /// recoveries, maintenance drains and scale-out steps (see
+    /// [`crate::dynamics`] for the event flow; formerly `faults`). The
+    /// default empty plan is a strict no-op.
+    pub dynamics: DynamicsPlan,
 }
 
 impl Default for SimConfig {
@@ -61,7 +65,7 @@ impl Default for SimConfig {
             alloc_sample_interval_secs: 3_600,
             record_node_alloc: false,
             max_time_secs: None,
-            faults: FaultPlan::none(),
+            dynamics: DynamicsPlan::none(),
         }
     }
 }
@@ -75,6 +79,12 @@ enum EventKind {
     Sample,
     NodeDown(NodeId),
     NodeUp(NodeId),
+    Drain { node: NodeId, notice: SimDuration },
+    /// Forced shutdown of a drain; fires only if the drain armed at
+    /// `now − notice` is still in progress (an interleaved `NodeUp`
+    /// cancels it, a later re-drain arms a different deadline).
+    DrainDeadline(NodeId),
+    AddNode { model: GpuModel, gpus: u32 },
 }
 
 /// Dense per-task simulation state, indexed by trace position.
@@ -109,6 +119,95 @@ impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Knocks one running task off the cluster (forced displacement or
+/// graceful drain migration): stales its pending `Finish` via the epoch,
+/// carries the checkpointed progress, records it under the right counter,
+/// notifies the scheduler and schedules the requeue after the grace
+/// period. The shared tail of every churn path — requeue semantics must
+/// never drift between forced and graceful exits.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the event loop
+fn displace_and_requeue(
+    id: TaskId,
+    priority: gfs_types::Priority,
+    preserved: SimDuration,
+    graceful: bool,
+    now: SimTime,
+    cluster: &Cluster,
+    scheduler: &mut dyn Scheduler,
+    report: &mut SimReport,
+    states: &mut [TaskState],
+    id_to_idx: &HashMap<TaskId, u32>,
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    requeue_delay: SimDuration,
+) {
+    let idx = id_to_idx[&id] as usize;
+    let st = &mut states[idx];
+    st.epoch += 1; // the pending Finish is now stale
+    st.carried = preserved;
+    let rec = &mut report.tasks[st.rec as usize];
+    if graceful {
+        rec.migrations += 1;
+        report.migration_times.push(now);
+    } else {
+        rec.displacements += 1;
+        report.displacement_times.push(now);
+    }
+    scheduler.on_event(&TaskEvent::Displaced { task: id, priority, at: now }, cluster);
+    *seq += 1;
+    heap.push(Event {
+        at: now + requeue_delay,
+        seq: *seq,
+        kind: EventKind::Requeue(idx as u32),
+    });
+}
+
+/// Takes `node` out of service (abrupt failure or drain deadline):
+/// displaces every pod through [`Cluster::fail_node`], accounts the lost
+/// capacity, requeues the victims with their checkpointed progress and
+/// notifies the scheduler. Returns `false` (no-op) when the node is down
+/// or unknown, so overlapping hand-built schedules degrade gracefully.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the event loop
+fn apply_node_down(
+    node: NodeId,
+    now: SimTime,
+    cluster: &mut Cluster,
+    scheduler: &mut dyn Scheduler,
+    report: &mut SimReport,
+    states: &mut [TaskState],
+    id_to_idx: &HashMap<TaskId, u32>,
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    avail: &mut AvailabilityTracker,
+    requeue_delay: SimDuration,
+) -> bool {
+    let Ok(drained) = cluster.fail_node(node, now) else {
+        return false;
+    };
+    report.node_downs += 1;
+    let lost = cluster.nodes()[node.index()].total_gpus();
+    avail.change(now, f64::from(lost));
+    for d in drained {
+        displace_and_requeue(
+            d.task.spec.id,
+            d.task.spec.priority,
+            d.preserved,
+            false,
+            now,
+            cluster,
+            scheduler,
+            report,
+            states,
+            id_to_idx,
+            heap,
+            seq,
+            requeue_delay,
+        );
+    }
+    scheduler.on_event(&TaskEvent::NodeDown { node, lost_gpus: lost, at: now }, cluster);
+    true
 }
 
 /// Runs a trace against a scheduler on a cluster.
@@ -165,16 +264,24 @@ pub fn run(
         SimTime::from_secs(cfg.tick_interval_secs),
         EventKind::Tick,
     );
-    // fault events enqueue last so an empty plan leaves every sequence
+    // dynamics events enqueue last so an empty plan leaves every sequence
     // number — and therefore every scheduling outcome — untouched
-    for ev in cfg.faults.events() {
+    for ev in cfg.dynamics.events() {
         let kind = match ev.kind {
             ClusterEventKind::NodeDown => EventKind::NodeDown(ev.node),
             ClusterEventKind::NodeUp => EventKind::NodeUp(ev.node),
+            ClusterEventKind::Drain { notice_secs } => EventKind::Drain {
+                node: ev.node,
+                notice: notice_secs,
+            },
+            ClusterEventKind::AddNode { group } => EventKind::AddNode {
+                model: group.model,
+                gpus: group.gpus,
+            },
         };
         push(&mut heap, &mut seq, ev.at, kind);
     }
-    let mut avail = AvailabilityTracker::default();
+    let mut avail = AvailabilityTracker::new(cluster.static_capacity(None));
 
     let max_time = cfg.max_time_secs.map(SimTime::from_secs);
     let mut now = SimTime::ZERO;
@@ -223,6 +330,7 @@ pub fn run(
                         runs: 0,
                         evictions: 0,
                         displacements: 0,
+                        migrations: 0,
                     });
                     scheduler.on_event(
                         &TaskEvent::Submitted {
@@ -279,51 +387,118 @@ pub fn run(
                 EventKind::NodeDown(node) => {
                     // a down/unknown node makes the event a no-op, so
                     // overlapping hand-built schedules degrade gracefully
-                    let Ok(drained) = cluster.fail_node(node, now) else {
-                        continue;
-                    };
-                    report.node_downs += 1;
-                    let lost = cluster.nodes()[node.index()].total_gpus();
-                    avail.change(now, f64::from(lost));
-                    for d in drained {
-                        let id = d.task.spec.id;
-                        let idx = id_to_idx[&id] as usize;
-                        let st = &mut states[idx];
-                        st.epoch += 1; // the pending Finish is now stale
-                        st.carried = d.preserved;
-                        let rec = &mut report.tasks[st.rec as usize];
-                        rec.displacements += 1;
-                        report.displacement_times.push(now);
-                        scheduler.on_event(
-                            &TaskEvent::Displaced {
-                                task: id,
-                                priority: d.task.spec.priority,
-                                at: now,
-                            },
-                            &cluster,
-                        );
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + cfg.requeue_delay_secs,
-                            EventKind::Requeue(idx as u32),
-                        );
-                    }
-                    scheduler.on_event(
-                        &TaskEvent::NodeDown { node, lost_gpus: lost, at: now },
-                        &cluster,
+                    dirty |= apply_node_down(
+                        node,
+                        now,
+                        &mut cluster,
+                        scheduler,
+                        &mut report,
+                        &mut states,
+                        &id_to_idx,
+                        &mut heap,
+                        &mut seq,
+                        &mut avail,
+                        cfg.requeue_delay_secs,
                     );
-                    dirty = true;
                 }
                 EventKind::NodeUp(node) => {
+                    // an Up for a draining node cancels the drain (its
+                    // capacity never left the availability accounting)
+                    let was_down = cluster.node(node).ok().is_some_and(|n| !n.is_up());
                     if cluster.restore_node(node, now).is_err() {
                         continue; // already up / unknown: no-op
                     }
                     report.node_ups += 1;
                     let restored = cluster.nodes()[node.index()].total_gpus();
-                    avail.change(now, -f64::from(restored));
+                    if was_down {
+                        avail.change(now, -f64::from(restored));
+                    }
                     scheduler.on_event(
                         &TaskEvent::NodeUp { node, restored_gpus: restored, at: now },
+                        &cluster,
+                    );
+                    dirty = true;
+                }
+                EventKind::Drain { node, notice } => {
+                    let deadline = now + notice;
+                    if cluster.drain_node(node, deadline).is_err() {
+                        continue; // down / unknown / already draining: no-op
+                    }
+                    report.node_drains += 1;
+                    // gangs that cannot finish inside the notice window
+                    // migrate now — gracefully, with checkpointed progress
+                    // — instead of dying at the deadline; ascending id
+                    // order via the ordered running registry
+                    let to_move: Vec<TaskId> = cluster
+                        .running()
+                        .filter(|rt| rt.placements.iter().any(|p| p.node == node))
+                        .filter(|rt| rt.remaining(now) > notice)
+                        .map(|rt| rt.spec.id)
+                        .collect();
+                    for id in to_move {
+                        let (rt, preserved) =
+                            cluster.migrate_task(id, now).expect("collected from the registry");
+                        displace_and_requeue(
+                            id,
+                            rt.spec.priority,
+                            preserved,
+                            true,
+                            now,
+                            &cluster,
+                            scheduler,
+                            &mut report,
+                            &mut states,
+                            &id_to_idx,
+                            &mut heap,
+                            &mut seq,
+                            cfg.requeue_delay_secs,
+                        );
+                    }
+                    scheduler.on_event(
+                        &TaskEvent::DrainNotice { node, deadline, at: now },
+                        &cluster,
+                    );
+                    push(&mut heap, &mut seq, deadline, EventKind::DrainDeadline(node));
+                    dirty = true;
+                }
+                EventKind::DrainDeadline(node) => {
+                    // fires only for a drain still in progress with this
+                    // exact deadline: an Up inside the window cancelled
+                    // it, a re-drain armed a different deadline
+                    let armed = cluster
+                        .node(node)
+                        .ok()
+                        .is_some_and(|n| n.drain_deadline() == Some(now));
+                    if !armed {
+                        continue;
+                    }
+                    dirty |= apply_node_down(
+                        node,
+                        now,
+                        &mut cluster,
+                        scheduler,
+                        &mut report,
+                        &mut states,
+                        &id_to_idx,
+                        &mut heap,
+                        &mut seq,
+                        &mut avail,
+                        cfg.requeue_delay_secs,
+                    );
+                }
+                EventKind::AddNode { model, gpus } => {
+                    let node = cluster.add_node(model, gpus);
+                    report.nodes_added += 1;
+                    report.gpus_added += u64::from(gpus);
+                    avail.add_static(now, f64::from(gpus));
+                    if cfg.record_node_alloc {
+                        // pad the new node's series so every row shares one
+                        // time origin (zero allocated before it existed)
+                        let len = report.node_alloc_samples.first().map_or(0, Vec::len);
+                        report.node_alloc_samples.push(vec![0.0; len]);
+                    }
+                    scheduler.on_event(
+                        &TaskEvent::NodeAdded { node, added_gpus: gpus, at: now },
                         &cluster,
                     );
                     dirty = true;
@@ -436,7 +611,7 @@ pub fn run(
         let rec = &mut report.tasks[st.rec as usize];
         rec.queued_secs += now.since(st.enqueue);
     }
-    report.unavailability = avail.unavailability(now, cluster.static_capacity(None));
+    report.unavailability = avail.unavailability(now);
     report.makespan = now;
     report
 }
@@ -688,7 +863,7 @@ mod tests {
 
     #[test]
     fn node_failure_displaces_requeues_and_restores() {
-        use gfs_types::{ClusterEvent, FaultPlan};
+        use gfs_types::ClusterEvent;
         let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
         // an 8-GPU task on (first-fit) node 0 with per-second checkpoints
         let spec = TaskSpec::builder(1)
@@ -703,10 +878,11 @@ mod tests {
         // failure untouched
         let small = task(2, Priority::Hp, 8, 4_000, 10);
         let cfg = SimConfig {
-            faults: FaultPlan::new(vec![
+            dynamics: DynamicsPlan::new(vec![
                 ClusterEvent::down(NodeId::new(0), SimTime::from_secs(2_000)),
                 ClusterEvent::up(NodeId::new(0), SimTime::from_secs(5_000)),
-            ]),
+            ])
+            .unwrap(),
             ..SimConfig::default()
         };
         let report = run(cluster, &mut FirstFit, vec![spec, small], &cfg);
@@ -732,7 +908,7 @@ mod tests {
 
     #[test]
     fn displaced_task_waits_for_recovery_when_cluster_too_small() {
-        use gfs_types::{ClusterEvent, FaultPlan};
+        use gfs_types::ClusterEvent;
         let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
         let spec = TaskSpec::builder(1)
             .priority(Priority::Hp)
@@ -743,10 +919,11 @@ mod tests {
             .build()
             .unwrap();
         let cfg = SimConfig {
-            faults: FaultPlan::new(vec![
+            dynamics: DynamicsPlan::new(vec![
                 ClusterEvent::down(NodeId::new(0), SimTime::from_secs(500)),
                 ClusterEvent::up(NodeId::new(0), SimTime::from_secs(3_000)),
-            ]),
+            ])
+            .unwrap(),
             max_time_secs: Some(10_000),
             ..SimConfig::default()
         };
@@ -763,10 +940,12 @@ mod tests {
 
     #[test]
     fn duplicate_fault_events_are_noops() {
-        use gfs_types::{ClusterEvent, FaultPlan};
+        use gfs_types::ClusterEvent;
         let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // the validated constructor rejects these orderings; shape-shared
+        // plans use new_unchecked and rely on engine-level no-op handling
         let cfg = SimConfig {
-            faults: FaultPlan::new(vec![
+            dynamics: DynamicsPlan::new_unchecked(vec![
                 ClusterEvent::down(NodeId::new(1), SimTime::from_secs(100)),
                 ClusterEvent::down(NodeId::new(1), SimTime::from_secs(200)), // dup
                 ClusterEvent::up(NodeId::new(1), SimTime::from_secs(300)),
@@ -797,13 +976,207 @@ mod tests {
             &mut FirstFit,
             tasks,
             &SimConfig {
-                faults: gfs_types::FaultPlan::new(Vec::new()),
+                dynamics: DynamicsPlan::new(Vec::new()).unwrap(),
                 ..SimConfig::default()
             },
         );
         assert_eq!(base.tasks, with_empty_plan.tasks);
         assert_eq!(base.makespan, with_empty_plan.makespan);
         assert_eq!(with_empty_plan.unavailability, 0.0);
+    }
+
+    #[test]
+    fn drained_node_accepts_no_new_placements() {
+        use gfs_types::ClusterEvent;
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // the node drains before the task submits: with nowhere to go the
+        // task stays queued until the node returns
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![
+                ClusterEvent::drain(NodeId::new(0), SimTime::from_secs(100), 1_000),
+                ClusterEvent::up(NodeId::new(0), SimTime::from_secs(5_000)),
+            ])
+            .unwrap(),
+            max_time_secs: Some(20_000),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 600, 200)], &cfg);
+        let t = &report.tasks[0];
+        assert_eq!(t.first_start, Some(SimTime::from_secs(5_000)), "waited out the drain");
+        assert_eq!(t.finish, Some(SimTime::from_secs(5_600)));
+        assert_eq!(t.displacements + t.migrations, 0, "never placed on the draining node");
+        assert_eq!(report.node_drains, 1);
+        assert_eq!(report.node_downs, 1, "deadline forced the empty node down");
+        assert_eq!(report.node_ups, 1);
+    }
+
+    #[test]
+    fn short_task_finishes_inside_notice_window() {
+        use gfs_types::ClusterEvent;
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // 1 000 s of work left at drain time, 2 000 s of notice: finish
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![ClusterEvent::drain(
+                NodeId::new(0),
+                SimTime::from_secs(500),
+                2_000,
+            )])
+            .unwrap(),
+            max_time_secs: Some(10_000),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 1_500, 0)], &cfg);
+        let t = &report.tasks[0];
+        assert_eq!(t.finish, Some(SimTime::from_secs(1_500)), "ran to completion in place");
+        assert_eq!(t.migrations, 0, "fits the window: no migration");
+        assert_eq!(t.displacements, 0, "and no forced displacement");
+        assert_eq!(report.migration_times, vec![]);
+        // the run ends at the last completion (1 500), before the 2 500
+        // deadline ever fires
+        assert_eq!(report.node_downs, 0);
+    }
+
+    #[test]
+    fn long_task_migrates_on_drain_notice_and_restarts_elsewhere() {
+        use gfs_types::ClusterEvent;
+        let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // first-fit puts the task on node 0; 10 000 s of work cannot fit a
+        // 1 000 s notice, so the gang migrates at the notice and restarts
+        // on node 1 with its checkpointed progress
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(10_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 1 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![ClusterEvent::drain(
+                NodeId::new(0),
+                SimTime::from_secs(2_000),
+                1_000,
+            )])
+            .unwrap(),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![spec], &cfg);
+        let t = &report.tasks[0];
+        assert_eq!(t.migrations, 1);
+        assert_eq!(t.displacements, 0, "graceful, not forced");
+        assert_eq!(t.evictions, 0, "and not an eviction either");
+        assert_eq!(t.runs, 2);
+        // per-second checkpoints: nothing lost; requeued after the 30 s
+        // grace, restarts at 2 030 on node 1 with 8 000 s left
+        assert_eq!(t.finish, Some(SimTime::from_secs(10_030)));
+        assert_eq!(report.migration_times, vec![SimTime::from_secs(2_000)]);
+        assert_eq!(report.displacement_times, vec![]);
+        assert_eq!(report.node_drains, 1);
+    }
+
+    #[test]
+    fn deadline_forces_displacement_with_fail_accounting() {
+        use gfs_types::ClusterEvent;
+        // single node: the task cannot migrate anywhere, rides out the
+        // notice window, and is forcibly displaced at the deadline
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(10_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 100 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![
+                ClusterEvent::drain(NodeId::new(0), SimTime::from_secs(1_000), 500),
+                ClusterEvent::up(NodeId::new(0), SimTime::from_secs(4_000)),
+            ])
+            .unwrap(),
+            max_time_secs: Some(30_000),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![spec], &cfg);
+        let t = &report.tasks[0];
+        // the migration *attempt* happens (remaining 9 000 > 500 notice)
+        // but there is nowhere to go — the task requeues at the notice and
+        // waits; displacement never fires because the pod already left
+        assert_eq!(t.migrations, 1, "migrated off at the notice");
+        assert_eq!(t.displacements, 0);
+        // checkpointed at 1 000: resumes at 4 000 with 9 000 s left
+        assert_eq!(t.finish, Some(SimTime::from_secs(13_000)));
+        assert_eq!(report.node_downs, 1);
+        // availability: 8/8 cards down from the 1 500 deadline to 4 000
+        let expected = 2_500.0 / 13_000.0;
+        assert!((report.unavailability - expected).abs() < 1e-9, "{}", report.unavailability);
+    }
+
+    #[test]
+    fn up_event_inside_notice_window_cancels_the_drain() {
+        use gfs_types::ClusterEvent;
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // drain at 1 000 with a 5 000 s notice, cancelled at 2 000: the
+        // 4-GPU task fits the window, so it is never disturbed, and the
+        // deadline at 6 000 finds the drain cancelled
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(4))
+            .duration_secs(4_000)
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![
+                ClusterEvent::drain(NodeId::new(0), SimTime::from_secs(1_000), 5_000),
+                ClusterEvent::up(NodeId::new(0), SimTime::from_secs(2_000)),
+            ])
+            .unwrap(),
+            max_time_secs: Some(30_000),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, vec![spec], &cfg);
+        let t = &report.tasks[0];
+        assert_eq!(t.finish, Some(SimTime::from_secs(4_000)), "never disturbed");
+        assert_eq!(t.migrations, 0);
+        assert_eq!(report.node_downs, 0, "the deadline found the drain cancelled");
+        assert_eq!(report.node_drains, 1);
+        assert_eq!(report.node_ups, 1);
+        assert_eq!(report.unavailability, 0.0, "a cancelled drain never went down");
+    }
+
+    #[test]
+    fn add_node_events_grow_capacity_mid_run() {
+        use gfs_types::NodeTemplate;
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        // two full-node tasks on one node: the second waits — until a
+        // scale-out step mints node 1 at t = 500
+        let tasks = vec![
+            task(1, Priority::Hp, 8, 4_000, 0),
+            task(2, Priority::Hp, 8, 1_000, 100),
+        ];
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::scale_out(
+                NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                SimTime::from_secs(500),
+                1_000,
+                1,
+                1,
+            ),
+            record_node_alloc: true,
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut FirstFit, tasks, &cfg);
+        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        assert_eq!(t2.first_start, Some(SimTime::from_secs(500)), "started on the new node");
+        assert_eq!(t2.finish, Some(SimTime::from_secs(1_500)));
+        assert_eq!(report.nodes_added, 1);
+        assert_eq!(report.gpus_added, 8);
+        assert_eq!(report.node_alloc_samples.len(), 2, "sample series grew with the fleet");
+        assert_eq!(report.unavailability, 0.0);
+        let summary = report.summary();
+        assert_eq!(summary.added_gpus, 8.0);
+        assert_eq!(summary.migration_count, 0);
     }
 
     #[test]

@@ -23,13 +23,18 @@
 //!
 //! # Cluster dynamics
 //!
-//! Runs may inject a seeded [`gfs_types::FaultPlan`] through
-//! [`SimConfig::faults`]: nodes fail (displacing every pod they host) and
-//! recover mid-run, displaced tasks requeue through the normal path, and
-//! reports grow availability/displacement metrics. The [`dynamics`]
-//! module documents the full event flow — who emits, who consumes, and
-//! the determinism rules. An empty plan is a strict no-op: the event
-//! sequence is bit-for-bit what it was before fault injection existed.
+//! Runs may inject a [`gfs_types::DynamicsPlan`] through
+//! [`SimConfig::dynamics`]: nodes fail (displacing every pod they host)
+//! and recover mid-run, racks fail together over declared failure
+//! domains, maintenance drains give tasks notice to finish or migrate
+//! before a forced shutdown, and scale-out steps mint fresh nodes.
+//! Displaced and migrated tasks requeue through the normal path, and
+//! reports grow availability/displacement/migration/scaled-capacity
+//! metrics. The [`dynamics`] module documents the full event flow — who
+//! emits, who consumes, the determinism rules, and the
+//! `FaultPlan → DynamicsPlan` migration. An empty plan is a strict
+//! no-op: the event sequence is bit-for-bit what it was before dynamics
+//! injection existed.
 //!
 //! # Examples
 //!

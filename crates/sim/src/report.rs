@@ -35,6 +35,11 @@ pub struct TaskRecord {
     /// zero so fault-free reports keep their historical golden encoding.
     #[serde(skip_serializing_if = "is_zero_u32", default)]
     pub displacements: u32,
+    /// Number of graceful migrations off draining nodes (the task left
+    /// inside the notice window instead of dying at the deadline).
+    /// Omitted from the JSON when zero, like the other dynamics fields.
+    #[serde(skip_serializing_if = "is_zero_u32", default)]
+    pub migrations: u32,
 }
 
 impl TaskRecord {
@@ -99,6 +104,18 @@ pub struct SimReport {
     /// (0 for a fault-free run); see [`SimReport::availability`].
     #[serde(skip_serializing_if = "is_zero_f64", default)]
     pub unavailability: f64,
+    /// One timestamp per task gracefully migrated off a draining node.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub migration_times: Vec<SimTime>,
+    /// Maintenance-drain notices applied (node-level).
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub node_drains: u64,
+    /// Scale-out events applied (nodes minted mid-run).
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub nodes_added: u64,
+    /// GPU cards added by scale-out events.
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub gpus_added: u64,
 }
 
 fn is_zero_u32(v: &u32) -> bool {
@@ -215,6 +232,14 @@ impl SimReport {
         self.displacement_times.len() as u64
     }
 
+    /// Total graceful-migration events (task-level): gangs that left a
+    /// draining node inside its notice window instead of being forcibly
+    /// displaced at the deadline.
+    #[must_use]
+    pub fn migration_count(&self) -> u64 {
+        self.migration_times.len() as u64
+    }
+
     /// Mean JCT in seconds over *completed tasks that suffered at least
     /// one displacement* — the churn analogue of the eviction-cost
     /// metrics (0 when no displaced task completed).
@@ -278,6 +303,9 @@ impl SimReport {
             availability: self.availability(),
             displacement_count: self.displacement_count(),
             displaced_mean_jct_s: self.displaced_mean_jct_s(),
+            migration_count: self.migration_count(),
+            node_drains: self.node_drains,
+            added_gpus: self.gpus_added as f64,
         }
     }
 }
@@ -325,13 +353,31 @@ pub struct RunSummary {
     /// Mean JCT over completed tasks that suffered a displacement,
     /// seconds.
     pub displaced_mean_jct_s: f64,
+    /// Graceful drain-notice migrations. Like the report-side dynamics
+    /// fields, the drain/scale-out metrics below skip serialization at
+    /// their zero defaults so fault-only summaries keep their historical
+    /// encoding.
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub migration_count: u64,
+    /// Maintenance-drain notices applied (node-level).
+    #[serde(skip_serializing_if = "is_zero_u64", default)]
+    pub node_drains: u64,
+    /// GPU cards added by scale-out events.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub added_gpus: f64,
 }
 
 impl RunSummary {
+    /// Index of the first metric of the drain/scale-out extension inside
+    /// [`RunSummary::METRICS`]. The aggregation layer emits rows for
+    /// these only when some run produced a non-zero value, so summaries
+    /// of static or fault-only grids keep their historical encoding.
+    pub const DYNAMICS_METRICS_START: usize = 17;
+
     /// Names of every scalar metric, in the order [`RunSummary::values`]
     /// returns them. The experiment layer uses this single source of truth
     /// for aggregation, JSON keys and table headers.
-    pub const METRICS: [&'static str; 17] = [
+    pub const METRICS: [&'static str; 20] = [
         "hp_completion",
         "spot_completion",
         "hp_mean_jct_s",
@@ -349,11 +395,14 @@ impl RunSummary {
         "availability",
         "displacement_count",
         "displaced_mean_jct_s",
+        "migration_count",
+        "node_drains",
+        "added_gpus",
     ];
 
     /// The scalar metric values in [`RunSummary::METRICS`] order.
     #[must_use]
-    pub fn values(&self) -> [f64; 17] {
+    pub fn values(&self) -> [f64; 20] {
         [
             self.hp_completion,
             self.spot_completion,
@@ -372,6 +421,9 @@ impl RunSummary {
             self.availability,
             self.displacement_count as f64,
             self.displaced_mean_jct_s,
+            self.migration_count as f64,
+            self.node_drains as f64,
+            self.added_gpus,
         ]
     }
 
@@ -422,6 +474,7 @@ mod tests {
             runs,
             evictions: ev,
             displacements: 0,
+            migrations: 0,
         }
     }
 
@@ -479,8 +532,9 @@ mod tests {
         let json = serde_json::to_string(&fault_free).unwrap();
         assert!(
             !json.contains("displacement") && !json.contains("unavailability")
-                && !json.contains("node_downs"),
-            "zero-fault reports must keep the historical encoding: {json}"
+                && !json.contains("node_downs") && !json.contains("migration")
+                && !json.contains("node_drains") && !json.contains("added"),
+            "zero-dynamics reports must keep the historical encoding: {json}"
         );
         // and the fields round-trip through their defaults
         let back: SimReport = serde_json::from_str(&json).unwrap();
@@ -499,6 +553,22 @@ mod tests {
         assert_eq!(back.availability(), 0.875);
         assert_eq!(back.displacement_count(), 1);
         assert_eq!(back.tasks[0].displacements, 2);
+
+        // the drain/scale-out fields round-trip the same way
+        let mut dynamic = fault_free;
+        dynamic.tasks[0].migrations = 1;
+        dynamic.migration_times = vec![SimTime::from_secs(25)];
+        dynamic.node_drains = 2;
+        dynamic.nodes_added = 1;
+        dynamic.gpus_added = 8;
+        let json = serde_json::to_string(&dynamic).unwrap();
+        assert!(json.contains("\"node_drains\":2"));
+        assert!(json.contains("\"gpus_added\":8"));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.migration_count(), 1);
+        assert_eq!(back.summary().added_gpus, 8.0);
+        assert_eq!(back.summary().node_drains, 2);
+        assert_eq!(back.summary().migration_count, 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! * the simulated clock ([`SimTime`], [`SimDuration`]),
 //! * GPU hardware descriptions ([`GpuModel`]),
 //! * task descriptions ([`TaskSpec`], [`Priority`], [`GpuDemand`]),
-//! * cluster-dynamics vocabulary ([`ClusterEvent`], [`FaultPlan`]:
-//!   seeded node failure/recovery schedules),
+//! * the cluster timeline ([`ClusterEvent`], [`DynamicsPlan`]: seeded
+//!   failures, correlated [`FailureDomain`] outages, maintenance drains
+//!   and scale-out schedules),
 //! * the framework configuration ([`GfsParams`], Table 4 of the paper),
 //! * and the shared error type ([`Error`]).
 //!
@@ -42,7 +43,9 @@ mod id;
 mod task;
 mod time;
 
-pub use cluster_event::{ClusterEvent, ClusterEventKind, FaultPlan};
+pub use cluster_event::{ClusterEvent, ClusterEventKind, DynamicsPlan, FailureDomain, NodeTemplate};
+#[allow(deprecated)]
+pub use cluster_event::FaultPlan;
 pub use config::{EtaUpdateRule, GfsParams, GfsParamsBuilder};
 pub use error::{Error, Result};
 pub use gpu::{GpuModel, GPUS_PER_NODE};

@@ -2,7 +2,7 @@
 # recipes by hand — each is a single cargo invocation.
 
 # Build, test, lint — the full CI gate.
-ci: build test clippy bench-smoke lab-smoke lab-churn-smoke
+ci: build test clippy bench-smoke lab-smoke lab-churn-smoke lab-dynamics-smoke
 
 # Release build of the whole workspace.
 build:
@@ -29,6 +29,12 @@ lab-smoke:
 # with the serial == parallel assertion: churn must stay deterministic.
 lab-churn-smoke:
     GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_churn
+
+# Tiny cluster-timeline grid (drains + correlated racks + autoscale) with
+# the serial == parallel assertion: the unified dynamics must stay
+# deterministic.
+lab-dynamics-smoke:
+    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_dynamics
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

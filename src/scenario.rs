@@ -220,7 +220,7 @@ mod tests {
         let ctx = RunContext {
             shape: &shape,
             workload: "tiny",
-            faults: "none",
+            dynamics: "none",
             params: &params,
             seed: 1,
         };

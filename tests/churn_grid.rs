@@ -8,7 +8,7 @@
 mod common;
 
 use common::fnv1a;
-use gfs::lab::{ClusterShape, FaultAxis, Grid, NodeGroup, SchedulerSpec, Threads, WorkloadAxis};
+use gfs::lab::{ClusterShape, DynamicsAxis, Grid, NodeGroup, SchedulerSpec, Threads, WorkloadAxis};
 use gfs::prelude::*;
 
 /// 2 schedulers × 1 heterogeneous shape × 3 fault axes × 4 seeds = 6
@@ -32,10 +32,10 @@ fn churn_grid() -> Grid {
                 ..WorkloadConfig::default()
             },
         ))
-        .faults([
-            FaultAxis::none(),
-            FaultAxis::mtbf("mtbf24h", 24.0 * HOUR as f64, HOUR as f64, 72 * HOUR),
-            FaultAxis::mtbf("mtbf6h", 6.0 * HOUR as f64, HOUR as f64, 72 * HOUR),
+        .dynamics([
+            DynamicsAxis::none(),
+            DynamicsAxis::mtbf("mtbf24h", 24.0 * HOUR as f64, HOUR as f64, 72 * HOUR),
+            DynamicsAxis::mtbf("mtbf6h", 6.0 * HOUR as f64, HOUR as f64, 72 * HOUR),
         ])
         .seeds([1, 2, 3, 4])
         .sim(SimConfig {

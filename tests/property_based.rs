@@ -152,7 +152,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.is_up() && n.model() == model && n.idle_gpus() >= need)
+            .filter(|n| n.is_schedulable() && n.model() == model && n.idle_gpus() >= need)
             .map(|n| n.id().raw())
             .collect()
     }
@@ -161,7 +161,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.is_up() && n.model() == model)
+            .filter(|n| n.is_schedulable() && n.model() == model)
             .filter(|n| n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12))
             .map(|n| n.id().raw())
             .collect()
@@ -181,7 +181,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.is_up() && n.idle_gpus() == n.total_gpus())
+            .filter(|n| n.is_schedulable() && n.idle_gpus() == n.total_gpus())
             .count()
     }
 
@@ -189,7 +189,7 @@ mod brute {
         cluster
             .nodes()
             .iter()
-            .filter(|n| n.is_up() && n.model() == model)
+            .filter(|n| n.is_schedulable() && n.model() == model)
             .filter(|n| n.idle_gpus() >= need || !spot_on(cluster, n.id()).is_empty())
             .map(Node::id)
             .map(gfs_types::NodeId::raw)
@@ -204,7 +204,7 @@ mod brute {
         let cap: f64 = cluster
             .nodes()
             .iter()
-            .filter(|n| n.is_up())
+            .filter(|n| n.is_schedulable())
             .map(|n| f64::from(n.total_gpus()))
             .sum();
         let cap_static: f64 = cluster.nodes().iter().map(|n| f64::from(n.total_gpus())).sum();
@@ -225,7 +225,7 @@ mod brute {
             let m_cap: f64 = cluster
                 .nodes()
                 .iter()
-                .filter(|n| n.is_up() && n.model() == model)
+                .filter(|n| n.is_schedulable() && n.model() == model)
                 .map(|n| f64::from(n.total_gpus()))
                 .sum();
             assert_eq!(cluster.idle_gpus(Some(model)), m_idle);
@@ -234,12 +234,14 @@ mod brute {
     }
 }
 
-/// Drives an arbitrary start/evict/finish/fail/restore sequence and
-/// checks every capacity-index query against the brute-force node scan
-/// after each mutation. This is the safety net for the incremental index
-/// maintenance in `Cluster::{start_task, evict_task, finish_task,
-/// fail_node, restore_node}` — including that a failed node's buckets
-/// vanish atomically and the O(1) totals stay exact through churn.
+/// Drives an arbitrary start/evict/finish/fail/drain/add/restore
+/// sequence and checks every capacity-index query against the
+/// brute-force node scan after each mutation. This is the safety net for
+/// the incremental index maintenance in `Cluster::{start_task,
+/// evict_task, finish_task, fail_node, drain_node, add_node,
+/// restore_node}` — including that a failed or draining node's buckets
+/// vanish atomically, scale-out grows every structure, and the O(1)
+/// totals stay exact through churn.
 #[test]
 fn capacity_index_matches_brute_force_scan() {
     for_all_cases("capacity_index_matches_brute_force_scan", |rng| {
@@ -248,11 +250,12 @@ fn capacity_index_matches_brute_force_scan() {
         let mut next_id = 1u64;
         for step in 0..60 {
             // mutate: mostly starts, sometimes evict/finish a live task,
-            // sometimes fail or restore a node
-            let action = rng.gen_range(0..13u32);
+            // sometimes fail, drain, restore or add a node
+            let node_count = cluster.nodes().len() as u32;
+            let action = rng.gen_range(0..16u32);
             if action == 10 {
                 // fail a random node; tasks drained there leave `live`
-                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
+                let node = gfs_types::NodeId::new(rng.gen_range(0..node_count));
                 if cluster.node(node).expect("known id").is_up() {
                     let displaced = cluster
                         .fail_node(node, SimTime::from_secs(step))
@@ -261,12 +264,23 @@ fn capacity_index_matches_brute_force_scan() {
                 } else {
                     assert!(cluster.fail_node(node, SimTime::from_secs(step)).is_err());
                 }
+            } else if action == 13 {
+                // drain a random node: pods keep running, placement stops
+                let node = gfs_types::NodeId::new(rng.gen_range(0..node_count));
+                let ok = cluster.node(node).expect("known id").is_schedulable();
+                let drained = cluster.drain_node(node, SimTime::from_secs(step + 1_000));
+                assert_eq!(drained.is_ok(), ok, "drain succeeds iff schedulable");
+            } else if action == 14 && node_count < 10 {
+                // scale out: a fresh node joins every structure
+                let id = cluster.add_node(GpuModel::A100, 8);
+                assert_eq!(id.raw(), node_count, "sequential minting");
             } else if action >= 11 {
-                // restore a random node (no-op error when already up)
-                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
-                let was_up = cluster.node(node).expect("known id").is_up();
+                // restore a random node (no-op error when in full service);
+                // also cancels in-progress drains
+                let node = gfs_types::NodeId::new(rng.gen_range(0..node_count));
+                let was_schedulable = cluster.node(node).expect("known id").is_schedulable();
                 let restored = cluster.restore_node(node, SimTime::from_secs(step));
-                assert_eq!(restored.is_ok(), !was_up);
+                assert_eq!(restored.is_ok(), !was_schedulable);
             } else if action < 6 || live.is_empty() {
                 let spot = rng.gen_bool(0.6);
                 let fractional = rng.gen_bool(0.3);
@@ -285,7 +299,7 @@ fn capacity_index_matches_brute_force_scan() {
                 }
                 .build()
                 .expect("valid");
-                let node = gfs_types::NodeId::new(rng.gen_range(0..6u32));
+                let node = gfs_types::NodeId::new(rng.gen_range(0..node_count));
                 if cluster
                     .start_task(spec.clone(), &[node], SimTime::from_secs(step), 0)
                     .is_ok()
@@ -322,7 +336,7 @@ fn capacity_index_matches_brute_force_scan() {
                     "fraction-fit({f}) diverged at step {step}"
                 );
             }
-            for node in 0..6u32 {
+            for node in 0..cluster.nodes().len() as u32 {
                 let id = gfs_types::NodeId::new(node);
                 let indexed: Vec<TaskId> =
                     cluster.spot_tasks_on(id).iter().map(|rt| rt.spec.id).collect();
