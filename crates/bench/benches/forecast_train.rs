@@ -39,7 +39,9 @@ fn bench_inference(suite: &mut Suite) {
 }
 
 fn bench_decomposition(suite: &mut Suite) {
-    let xs: Vec<f64> = (0..168).map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0).collect();
+    let xs: Vec<f64> = (0..168)
+        .map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0)
+        .collect();
     suite.bench("moving_average_reflection", || moving_average(&xs, 25));
     suite.bench("moving_average_zero_pad_ablation", || {
         moving_average_zero_pad(&xs, 25)

@@ -19,7 +19,9 @@ fn loaded_cluster() -> Cluster {
                 .duration_secs(100_000)
                 .build()
                 .expect("valid");
-            cluster.start_task(hp, &[NodeId::new(n)], SimTime::ZERO, 0).expect("fits");
+            cluster
+                .start_task(hp, &[NodeId::new(n)], SimTime::ZERO, 0)
+                .expect("fits");
             id += 1;
             let spot = TaskSpec::builder(id)
                 .priority(Priority::Spot)
@@ -27,7 +29,9 @@ fn loaded_cluster() -> Cluster {
                 .duration_secs(100_000)
                 .build()
                 .expect("valid");
-            cluster.start_task(spot, &[NodeId::new(n)], SimTime::from_secs(500), 0).expect("fits");
+            cluster
+                .start_task(spot, &[NodeId::new(n)], SimTime::from_secs(500), 0)
+                .expect("fits");
         }
     }
     cluster
@@ -62,15 +66,22 @@ fn bench_preemptive(suite: &mut Suite) {
             .duration_secs(100_000)
             .build()
             .expect("valid");
-        cluster.start_task(spot, &[NodeId::new(n)], SimTime::ZERO, 0).expect("fits");
+        cluster
+            .start_task(spot, &[NodeId::new(n)], SimTime::ZERO, 0)
+            .expect("fits");
     }
     let task = hp_task(8, 1);
     for (name, variant) in [
         ("pts_preemptive_waste_aware", PtsVariant::Full),
-        ("pts_preemptive_random_ablation", PtsVariant::RandomPreemption),
+        (
+            "pts_preemptive_random_ablation",
+            PtsVariant::RandomPreemption,
+        ),
     ] {
         let pts = gfs::core::Pts::new(GfsParams::default(), variant);
-        suite.bench(name, || pts.schedule_preemptive(&task, &cluster, SimTime::from_hours(1)));
+        suite.bench(name, || {
+            pts.schedule_preemptive(&task, &cluster, SimTime::from_hours(1))
+        });
     }
 }
 
@@ -103,7 +114,10 @@ fn bench_timeline_apply(suite: &mut Suite) {
             DynamicsPlan::correlated(&racks, 400.0 * HOUR as f64, 2.0 * HOUR as f64, horizon, 42);
         let wave = DynamicsPlan::rolling_drain(287, SimTime::from_hours(24), 600, 1_800, 3_600);
         let grow = DynamicsPlan::scale_out(
-            NodeTemplate { model: GpuModel::A100, gpus: 8 },
+            NodeTemplate {
+                model: GpuModel::A100,
+                gpus: 8,
+            },
             SimTime::from_hours(48),
             12 * HOUR,
             4,

@@ -31,7 +31,10 @@ pub fn pin_from_env() -> Option<usize> {
 }
 
 /// Pins the calling process (pid 0 = self) to `cpu`. Returns success.
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 #[allow(unsafe_code)]
 #[must_use]
 pub fn set_affinity(cpu: usize) -> bool {
@@ -71,7 +74,10 @@ pub fn set_affinity(cpu: usize) -> bool {
 }
 
 /// Unsupported platform: pinning is a no-op that reports failure.
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 #[must_use]
 pub fn set_affinity(_cpu: usize) -> bool {
     false
@@ -82,7 +88,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     fn pinning_to_cpu0_succeeds_on_linux() {
         // every Linux machine has CPU 0; the call must succeed and the
         // process keeps running (we cannot easily assert the mask without

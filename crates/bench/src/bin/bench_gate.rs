@@ -1,0 +1,161 @@
+//! CI bench-regression gate: diffs the freshly written `BENCH_*.json`
+//! (the short-mode smoke run that precedes this step) against the
+//! committed `BENCH_*.baseline.json` references, prints a comparison
+//! table into the job log, and hard-fails only on genuine regressions.
+//!
+//! The tolerance is deliberately loose and *spread-aware*: CI runners are
+//! noisy shared hosts, and the harness records each entry's run-to-run
+//! spread (`spread_pct`, `(max − min)/median` across repetitions). An
+//! entry fails only when
+//!
+//! ```text
+//! current.mean_ns > baseline.mean_ns × 2.5 × (1 + max(spread)/100)
+//! ```
+//!
+//! i.e. a >2.5× slowdown beyond what the measured noise of either side
+//! can explain. Entries with no baseline (new benchmarks) and baselines
+//! with no current entry (retired benchmarks) are reported but never
+//! fail the gate.
+//!
+//! ```text
+//! cargo run --release -p gfs-bench --bin bench_gate       # after a bench run
+//! GFS_BENCH_DIR=<dir> …                                   # where the JSONs live
+//! GFS_GATE_FACTOR=3.0 …                                   # override the 2.5× bar
+//! ```
+
+use serde::Deserialize;
+
+/// One `BENCH_<suite>.json` / `BENCH_<suite>.baseline.json` file. Older
+/// baseline files predate the `min_ns`/`spread_pct` schema; missing
+/// fields default to zero, which makes the tolerance fall back to the
+/// current run's spread alone.
+#[derive(Debug, Deserialize)]
+struct BenchFile {
+    suite: String,
+    #[serde(default)]
+    tag: String,
+    #[serde(default)]
+    short: bool,
+    results: Vec<Entry>,
+}
+
+#[derive(Debug, Deserialize)]
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    #[serde(default)]
+    spread_pct: f64,
+}
+
+const SUITES: [&str; 3] = ["sched_latency", "sim_throughput", "forecast_train"];
+const DEFAULT_FACTOR: f64 = 2.5;
+
+fn load(path: &str) -> Option<BenchFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::from_str(&text) {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse {path}: {e}");
+            None
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() {
+    let dir = std::env::var("GFS_BENCH_DIR")
+        .unwrap_or_else(|_| format!("{}/../..", env!("CARGO_MANIFEST_DIR")));
+    let factor: f64 = std::env::var("GFS_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_FACTOR);
+
+    let mut failures = 0u32;
+    let mut compared = 0u32;
+    for suite in SUITES {
+        let Some(current) = load(&format!("{dir}/BENCH_{suite}.json")) else {
+            eprintln!(
+                "bench_gate: BENCH_{suite}.json missing — run the bench smoke first \
+                 (GFS_BENCH_SHORT=1 cargo bench -p gfs-bench)"
+            );
+            failures += 1;
+            continue;
+        };
+        let Some(baseline) = load(&format!("{dir}/BENCH_{suite}.baseline.json")) else {
+            eprintln!("bench_gate: BENCH_{suite}.baseline.json missing — nothing to gate against");
+            failures += 1;
+            continue;
+        };
+        println!(
+            "## {} (current tag `{}`{} vs baseline tag `{}`)",
+            current.suite,
+            current.tag,
+            if current.short { ", short mode" } else { "" },
+            baseline.tag,
+        );
+        println!(
+            "{:<36} {:>12} {:>12} {:>8} {:>8} {:>9}  verdict",
+            "benchmark", "baseline", "current", "ratio", "spread", "allowed"
+        );
+        for cur in &current.results {
+            let Some(base) = baseline.results.iter().find(|b| b.name == cur.name) else {
+                println!(
+                    "{:<36} {:>12} {:>12} {:>8} {:>8} {:>9}  (new: no baseline)",
+                    cur.name,
+                    "-",
+                    format_ns(cur.mean_ns),
+                    "-",
+                    format!("±{:.0}%", cur.spread_pct),
+                    "-"
+                );
+                continue;
+            };
+            compared += 1;
+            let ratio = cur.mean_ns / base.mean_ns.max(1e-9);
+            let spread = cur.spread_pct.max(base.spread_pct);
+            let allowed = factor * (1.0 + spread / 100.0);
+            let ok = ratio <= allowed;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<36} {:>12} {:>12} {:>7.2}x {:>8} {:>8.2}x  {}",
+                cur.name,
+                format_ns(base.mean_ns),
+                format_ns(cur.mean_ns),
+                ratio,
+                format!("±{spread:.0}%"),
+                allowed,
+                if ok { "ok" } else { "REGRESSION" },
+            );
+        }
+        for base in &baseline.results {
+            if !current.results.iter().any(|c| c.name == base.name) {
+                println!(
+                    "{:<36} {:>12} {:>12}  (retired: baseline entry has no current run)",
+                    base.name,
+                    format_ns(base.mean_ns),
+                    "-"
+                );
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "bench_gate: {compared} entries compared, {failures} failure(s) \
+         (bar: {factor}x plus measured spread)"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

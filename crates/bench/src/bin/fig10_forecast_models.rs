@@ -38,10 +38,26 @@ fn main() {
     };
 
     let mut rows: Vec<ModelScores> = vec![evaluate(&mut OrgLinear::new(&data, 1), &data, &cfg)];
-    rows.push(evaluate(&mut TransformerForecaster::new(&data, 1), &data, &seq_cfg));
-    rows.push(evaluate(&mut InformerForecaster::new(&data, 1), &data, &seq_cfg));
-    rows.push(evaluate(&mut AutoformerForecaster::new(&data, 1), &data, &seq_cfg));
-    rows.push(evaluate(&mut FedformerForecaster::new(&data, 1), &data, &seq_cfg));
+    rows.push(evaluate(
+        &mut TransformerForecaster::new(&data, 1),
+        &data,
+        &seq_cfg,
+    ));
+    rows.push(evaluate(
+        &mut InformerForecaster::new(&data, 1),
+        &data,
+        &seq_cfg,
+    ));
+    rows.push(evaluate(
+        &mut AutoformerForecaster::new(&data, 1),
+        &data,
+        &seq_cfg,
+    ));
+    rows.push(evaluate(
+        &mut FedformerForecaster::new(&data, 1),
+        &data,
+        &seq_cfg,
+    ));
     rows.push(evaluate(&mut DLinear::new(&data, 1), &data, &cfg));
     rows.push(evaluate(&mut DeepAr::new(&data, 1), &data, &seq_cfg));
 

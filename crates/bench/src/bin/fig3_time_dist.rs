@@ -17,9 +17,16 @@ fn main() {
     let tasks = WorkloadGenerator::new(cfg).generate();
 
     // (a) running time percentiles
-    let durs: Vec<f64> = tasks.iter().map(|t| t.duration_secs as f64 / HOUR as f64).collect();
-    println!("\nrunning time (hours): P50 {:.1}  P90 {:.1}  P99 {:.1}  (paper: P90 6.4h, P99 ~19.8d)",
-        percentile(&durs, 50.0), percentile(&durs, 90.0), percentile(&durs, 99.0));
+    let durs: Vec<f64> = tasks
+        .iter()
+        .map(|t| t.duration_secs as f64 / HOUR as f64)
+        .collect();
+    println!(
+        "\nrunning time (hours): P50 {:.1}  P90 {:.1}  P99 {:.1}  (paper: P90 6.4h, P99 ~19.8d)",
+        percentile(&durs, 50.0),
+        percentile(&durs, 90.0),
+        percentile(&durs, 99.0)
+    );
 
     // (b) queuing time by GPU-size bucket, from a loaded 64-node pool
     let capacity = 64.0 * 8.0;
@@ -48,10 +55,16 @@ fn main() {
             .cloned()
             .find(|&k| g <= k)
             .unwrap_or(64);
-        buckets.entry(key).or_default().push(t.queued_secs as f64 / HOUR as f64);
+        buckets
+            .entry(key)
+            .or_default()
+            .push(t.queued_secs as f64 / HOUR as f64);
     }
     println!("\nqueuing time by total GPU request (hours):");
-    println!("{:>8} {:>8} {:>9} {:>9} {:>7}", "GPUs", "median", "P90", "mean", "tasks");
+    println!(
+        "{:>8} {:>8} {:>9} {:>9} {:>7}",
+        "GPUs", "median", "P90", "mean", "tasks"
+    );
     let mut mean1 = None;
     let mut mean8 = None;
     for (k, v) in &buckets {
@@ -74,6 +87,9 @@ fn main() {
     }
     if let (Some(a), Some(b)) = (mean1, mean8) {
         let (a, b) = (a.max(0.01), b.max(0.01));
-        println!("\n8-GPU vs 1-GPU mean wait ratio: {:.1}x (paper reports 2.7x on medians)", b / a);
+        println!(
+            "\n8-GPU vs 1-GPU mean wait ratio: {:.1}x (paper reports 2.7x on medians)",
+            b / a
+        );
     }
 }

@@ -11,7 +11,10 @@ fn main() {
         .map(|(i, a)| generate_series(a, 168, 42 + i as u64 * 7_919))
         .collect();
 
-    println!("{:<16} {:>6} {:>6} {:>6} {:>14}", "org", "min", "mean", "max", "weekend drop");
+    println!(
+        "{:<16} {:>6} {:>6} {:>6} {:>14}",
+        "org", "min", "mean", "max", "weekend drop"
+    );
     for (i, a) in orgs.iter().enumerate() {
         let s = &series[i];
         let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -29,7 +32,13 @@ fn main() {
         );
     }
     println!("\nhourly series (first 48h), CSV for plotting:");
-    println!("hour,{}", orgs.iter().map(|o| o.name.replace(' ', "_")).collect::<Vec<_>>().join(","));
+    println!(
+        "hour,{}",
+        orgs.iter()
+            .map(|o| o.name.replace(' ', "_"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for h in 0..48 {
         let row: Vec<String> = series.iter().map(|s| format!("{:.1}", s[h])).collect();
         println!("{h},{}", row.join(","));

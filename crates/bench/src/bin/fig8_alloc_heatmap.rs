@@ -15,7 +15,11 @@ fn heat_row(samples: &[f64]) -> String {
 fn main() {
     println!("Fig. 8 reproduction — node×hour allocation heat-maps (one char per 4h)");
     // three cluster archetypes: (name, nodes, hp_load, diurnal share)
-    let clusters = [("Cluster A", 8u32, 0.80), ("Cluster B", 24, 0.62), ("Cluster C", 14, 0.78)];
+    let clusters = [
+        ("Cluster A", 8u32, 0.80),
+        ("Cluster B", 24, 0.62),
+        ("Cluster C", 14, 0.78),
+    ];
     for (name, nodes, load) in clusters {
         let capacity = f64::from(nodes * 8);
         let cfg = WorkloadConfig {
@@ -38,7 +42,11 @@ fn main() {
             },
         );
         let mean_alloc = report.mean_allocation_rate() * 100.0;
-        println!("\n{name} ({} nodes, target load {:.0}%, measured alloc {mean_alloc:.1}%):", nodes, load * 100.0);
+        println!(
+            "\n{name} ({} nodes, target load {:.0}%, measured alloc {mean_alloc:.1}%):",
+            nodes,
+            load * 100.0
+        );
         for (i, series) in report.node_alloc_samples.iter().enumerate().take(12) {
             println!("  node {:>2} |{}|", i, heat_row(series));
         }
@@ -53,5 +61,7 @@ fn main() {
             .count();
         println!("  persistently idle nodes: {idle_nodes}");
     }
-    println!("\n(paper: Cluster B averages 68.5% with strong diurnal idleness; A and C run hotter)");
+    println!(
+        "\n(paper: Cluster B averages 68.5% with strong diurnal idleness; A and C run hotter)"
+    );
 }

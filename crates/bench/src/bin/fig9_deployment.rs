@@ -44,7 +44,11 @@ fn run_pool(model: GpuModel, nodes: u32, gfs_on: bool, seed: u64) -> PoolResult 
         spot_scale: 2.0,
         // the A10 pool hosts one card per node: it serves the 2020-era
         // inference mix (sub-card and single-card requests)
-        era: if gpn == 1 { WorkloadEra::Era2020 } else { WorkloadEra::Era2024 },
+        era: if gpn == 1 {
+            WorkloadEra::Era2020
+        } else {
+            WorkloadEra::Era2024
+        },
         ..WorkloadConfig::default()
     }
     .sized_for(capacity, hp_load, 0.20);
@@ -64,7 +68,10 @@ fn run_pool(model: GpuModel, nodes: u32, gfs_on: bool, seed: u64) -> PoolResult 
     } else {
         // the static quota pins spot to a fixed 25% band regardless of
         // actual HP headroom
-        let mut s = StaticQuota { inner: YarnCs::new(), quota_gpus: capacity * 0.25 };
+        let mut s = StaticQuota {
+            inner: YarnCs::new(),
+            quota_gpus: capacity * 0.25,
+        };
         run(cluster, &mut s, tasks, &sim_cfg)
     };
     let active: Vec<f64> = report
@@ -86,7 +93,11 @@ fn main() {
         "model", "evict pre", "post", "Δ", "alloc pre", "post", "Δ", "$ gain/month"
     );
     let mut total_gain = 0.0;
-    for (model, nodes) in [(GpuModel::A10, 64u32), (GpuModel::A100, 40), (GpuModel::A800, 24)] {
+    for (model, nodes) in [
+        (GpuModel::A10, 64u32),
+        (GpuModel::A100, 40),
+        (GpuModel::A800, 24),
+    ] {
         let pre = run_pool(model, nodes, false, 21);
         let post = run_pool(model, nodes, true, 21);
         // §4.3 economics: extra allocated GPU-hours × price, extrapolated to

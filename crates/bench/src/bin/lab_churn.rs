@@ -20,7 +20,10 @@ use gfs_bench::env_flag;
 
 fn main() {
     let smoke = env_flag("GFS_LAB_SMOKE");
-    let threads = match std::env::var("GFS_LAB_THREADS").ok().and_then(|v| v.parse().ok()) {
+    let threads = match std::env::var("GFS_LAB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         Some(n) => Threads::Fixed(n),
         None => Threads::Auto,
     };
@@ -34,8 +37,16 @@ fn main() {
     let shapes = [
         ClusterShape::a100(a100_nodes + h800_nodes, 8),
         ClusterShape::heterogeneous([
-            NodeGroup { nodes: a100_nodes, gpus_per_node: 8, model: GpuModel::A100 },
-            NodeGroup { nodes: h800_nodes, gpus_per_node: 8, model: GpuModel::H800 },
+            NodeGroup {
+                nodes: a100_nodes,
+                gpus_per_node: 8,
+                model: GpuModel::A100,
+            },
+            NodeGroup {
+                nodes: h800_nodes,
+                gpus_per_node: 8,
+                model: GpuModel::H800,
+            },
         ]),
     ];
     // failure-rate axis: fleet-quality tiers from "hyperscaler" to "spot
@@ -54,12 +65,20 @@ fn main() {
     let workload = if smoke {
         WorkloadAxis::generated_mixed(
             "mixed",
-            WorkloadConfig { hp_tasks: 40, spot_tasks: 14, ..base },
+            WorkloadConfig {
+                hp_tasks: 40,
+                spot_tasks: 14,
+                ..base
+            },
         )
     } else {
         WorkloadAxis::generated_mixed(
             "mixed",
-            WorkloadConfig { hp_tasks: 400, spot_tasks: 120, ..base },
+            WorkloadConfig {
+                hp_tasks: 400,
+                spot_tasks: 120,
+                ..base
+            },
         )
     };
 
@@ -97,7 +116,11 @@ fn main() {
         .iter()
         .map(|c| c.seeds.len())
         .sum::<usize>();
-    println!("{runs} runs in {:.2}s on {} threads", wall.as_secs_f64(), threads.count());
+    println!(
+        "{runs} runs in {:.2}s on {} threads",
+        wall.as_secs_f64(),
+        threads.count()
+    );
 
     if env_flag("GFS_LAB_JSON") {
         println!("{}", result.report.to_json());

@@ -22,7 +22,10 @@ use gfs_bench::env_flag;
 
 fn main() {
     let smoke = env_flag("GFS_LAB_SMOKE");
-    let threads = match std::env::var("GFS_LAB_THREADS").ok().and_then(|v| v.parse().ok()) {
+    let threads = match std::env::var("GFS_LAB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         Some(n) => Threads::Fixed(n),
         None => Threads::Auto,
     };
@@ -56,7 +59,10 @@ fn main() {
                 maintenance,
             );
             let grow = DynamicsPlan::scale_out(
-                NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                NodeTemplate {
+                    model: GpuModel::A100,
+                    gpus: 8,
+                },
                 wave_start + HOUR,
                 2 * HOUR,
                 2,
@@ -72,9 +78,23 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let workload = if smoke {
-        WorkloadAxis::generated("steady", WorkloadConfig { hp_tasks: 40, spot_tasks: 14, ..base })
+        WorkloadAxis::generated(
+            "steady",
+            WorkloadConfig {
+                hp_tasks: 40,
+                spot_tasks: 14,
+                ..base
+            },
+        )
     } else {
-        WorkloadAxis::generated("steady", WorkloadConfig { hp_tasks: 400, spot_tasks: 120, ..base })
+        WorkloadAxis::generated(
+            "steady",
+            WorkloadConfig {
+                hp_tasks: 400,
+                spot_tasks: 120,
+                ..base
+            },
+        )
     };
 
     let mut grid = Grid::new()
@@ -112,7 +132,11 @@ fn main() {
         .iter()
         .map(|c| c.seeds.len())
         .sum::<usize>();
-    println!("{runs} runs in {:.2}s on {} threads", wall.as_secs_f64(), threads.count());
+    println!(
+        "{runs} runs in {:.2}s on {} threads",
+        wall.as_secs_f64(),
+        threads.count()
+    );
 
     if env_flag("GFS_LAB_JSON") {
         println!("{}", result.report.to_json());

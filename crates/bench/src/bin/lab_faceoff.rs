@@ -18,7 +18,10 @@ use gfs_bench::env_flag;
 
 fn main() {
     let smoke = env_flag("GFS_LAB_SMOKE");
-    let threads = match std::env::var("GFS_LAB_THREADS").ok().and_then(|v| v.parse().ok()) {
+    let threads = match std::env::var("GFS_LAB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         Some(n) => Threads::Fixed(n),
         None => Threads::Auto,
     };
@@ -34,7 +37,11 @@ fn main() {
         // fixed tiny counts: CI wants seconds, not load fidelity
         WorkloadAxis::generated(
             "medium-spot",
-            WorkloadConfig { hp_tasks: 48, spot_tasks: 16, ..base },
+            WorkloadConfig {
+                hp_tasks: 48,
+                spot_tasks: 16,
+                ..base
+            },
         )
     } else {
         // 60 % HP / 15 % spot at scale 1 (×2 for the medium spot workload)
@@ -68,7 +75,11 @@ fn main() {
         ])
     );
     let runs = result.report.cells.len() * 3;
-    println!("{runs} runs in {:.2}s on {} threads", wall.as_secs_f64(), threads.count());
+    println!(
+        "{runs} runs in {:.2}s on {} threads",
+        wall.as_secs_f64(),
+        threads.count()
+    );
 
     if env_flag("GFS_LAB_COMPARE") {
         let start = Instant::now();

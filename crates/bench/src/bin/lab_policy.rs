@@ -1,0 +1,123 @@
+//! Placement-policy sweep as a `gfs::lab` grid: the policy axis runs from
+//! naive placement through domain spreading, reliability scoring and the
+//! full churn-aware policy, under a correlated flaky-rack timeline — the
+//! churn-aware-placement scenario of the ROADMAP end to end.
+//!
+//! ```text
+//! cargo run --release -p gfs-bench --bin lab_policy
+//! GFS_LAB_SMOKE=1  …         # tiny grid for CI (< 10 s)
+//! GFS_LAB_THREADS=8 …        # fixed worker count (default: one per core)
+//! GFS_LAB_COMPARE=1 …        # also run serially; verify identical output
+//! GFS_LAB_JSON=1 …           # dump the aggregated GridReport JSON
+//! ```
+
+use std::time::Instant;
+
+use gfs::lab::{ClusterShape, DynamicsAxis, Grid, PolicyAxis, Threads, WorkloadAxis};
+use gfs::prelude::*;
+use gfs::scenario;
+use gfs_bench::env_flag;
+
+fn main() {
+    let smoke = env_flag("GFS_LAB_SMOKE");
+    let threads = match std::env::var("GFS_LAB_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) => Threads::Fixed(n),
+        None => Threads::Auto,
+    };
+    let rack = 4;
+    let (nodes, hp, spot, seeds): (u32, usize, usize, Vec<u64>) = if smoke {
+        (8, 20, 6, vec![1, 2])
+    } else {
+        (32, 120, 40, vec![1, 2, 3, 4])
+    };
+    let horizon_h = if smoke { 8 } else { 24 };
+    let sim_horizon = (horizon_h + 48) * HOUR;
+
+    // half the racks churn as correlated blast radii, half are stable —
+    // the heterogeneous-reliability fleet the policy is designed for
+    let flaky_racks = (nodes / rack / 2) as usize;
+    let dynamics = DynamicsAxis::new("flakyracks", move |shape, seed| {
+        let racks = FailureDomain::racks(shape.node_count(), rack);
+        DynamicsPlan::correlated(
+            &racks[..flaky_racks.min(racks.len())],
+            3.0 * HOUR as f64,
+            HOUR as f64 / 2.0,
+            sim_horizon,
+            seed,
+        )
+    });
+
+    let grid = Grid::new()
+        .schedulers([scenario::pts_spec(), scenario::gfs_no_gde_spec()])
+        .shape(ClusterShape::a100(nodes, 8).racked(rack))
+        .workload(WorkloadAxis::generated(
+            "steady",
+            WorkloadConfig {
+                hp_tasks: hp,
+                spot_tasks: spot,
+                spot_scale: 2.0,
+                horizon_secs: horizon_h * HOUR,
+                heavy_tail_frac: 0.0,
+                ..WorkloadConfig::default()
+            },
+        ))
+        .dynamic(dynamics)
+        .policies([
+            PolicyAxis::naive(),
+            PolicyAxis::domain_spread(),
+            PolicyAxis::reliability(),
+            PolicyAxis::churn_aware(),
+        ])
+        .seeds(seeds)
+        .sim(SimConfig {
+            max_time_secs: Some(sim_horizon),
+            ..SimConfig::default()
+        });
+
+    let start = Instant::now();
+    let result = grid.run(threads);
+    let wall = start.elapsed();
+    println!(
+        "{}",
+        result.report.render_table(&[
+            "displacement_count",
+            "displaced_mean_jct_s",
+            "hp_p99_jct_s",
+            "spot_mean_jqt_s",
+            "availability",
+        ])
+    );
+    let runs = result
+        .report
+        .cells
+        .iter()
+        .map(|c| c.seeds.len())
+        .sum::<usize>();
+    println!(
+        "{runs} runs in {:.2}s on {} threads",
+        wall.as_secs_f64(),
+        threads.count()
+    );
+
+    if env_flag("GFS_LAB_JSON") {
+        println!("{}", result.report.to_json());
+    }
+    if env_flag("GFS_LAB_COMPARE") {
+        let start = Instant::now();
+        let serial = grid.run(Threads::Fixed(1));
+        let serial_wall = start.elapsed();
+        assert_eq!(
+            serial.report.to_json(),
+            result.report.to_json(),
+            "parallel and serial policy grids must agree byte-for-byte"
+        );
+        println!(
+            "serial: {:.2}s  -> speedup {:.2}x, outputs identical",
+            serial_wall.as_secs_f64(),
+            serial_wall.as_secs_f64() / wall.as_secs_f64()
+        );
+    }
+}

@@ -31,7 +31,9 @@ fn main() {
         m.fit(&data, &cfg)
     });
     time("orglinear_construct", 200, || OrgLinear::new(&data, 1));
-    let window: Vec<f64> = (0..168).map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0).collect();
+    let window: Vec<f64> = (0..168)
+        .map(|i| ((i % 24) as f64).sin() * 10.0 + 50.0)
+        .collect();
     time("decompose_168", 2_000, || decompose(&window, 25));
 
     let mut model = OrgLinear::new(&data, 1);

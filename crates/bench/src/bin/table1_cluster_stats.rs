@@ -23,7 +23,11 @@ fn main() {
             gpu_model: model,
             seed: 3,
             // single-card A10 nodes host the inference-era mix
-            era: if gpn == 1 { WorkloadEra::Era2020 } else { WorkloadEra::Era2024 },
+            era: if gpn == 1 {
+                WorkloadEra::Era2020
+            } else {
+                WorkloadEra::Era2024
+            },
             ..WorkloadConfig::default()
         }
         .sized_for(capacity, hp_load, 0.10);

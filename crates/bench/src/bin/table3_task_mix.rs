@@ -15,7 +15,11 @@ fn main() {
 
     for (label, priority, paper) in [
         ("HP", Priority::Hp, [0.11, 55.11, 13.37, 7.53, 23.69, 8.66]),
-        ("Spot", Priority::Spot, [0.82, 67.35, 5.67, 12.00, 14.04, 27.26]),
+        (
+            "Spot",
+            Priority::Spot,
+            [0.82, 67.35, 5.67, 12.00, 14.04, 27.26],
+        ),
     ] {
         let class: Vec<_> = tasks.iter().filter(|t| t.priority == priority).collect();
         let n = class.len() as f64;
@@ -29,7 +33,10 @@ fn main() {
         let eight = share(&|t| t.gpus_per_pod == GpuDemand::whole(8));
         let gang = share(&|t| t.is_gang());
         println!("\n{label} ({} tasks):", class.len());
-        println!("{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "<1", "1", "2", "4", "8", "gang");
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "<1", "1", "2", "4", "8", "gang"
+        );
         println!(
             "{:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%   (measured)",
             frac, one, two, four, eight, gang

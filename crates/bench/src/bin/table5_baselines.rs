@@ -19,16 +19,15 @@ fn main() {
         scale.nodes(),
         scale.horizon_hours()
     );
-    let workloads = [("(a) low", 1.0), ("(b) medium", 2.0), ("(c) high", 4.0)].map(
-        |(name, spot_scale)| {
+    let workloads =
+        [("(a) low", 1.0), ("(b) medium", 2.0), ("(c) high", 4.0)].map(|(name, spot_scale)| {
             let base = WorkloadConfig {
                 horizon_secs: scale.horizon_hours() * HOUR,
                 spot_scale,
                 ..WorkloadConfig::default()
             };
             WorkloadAxis::generated_sized(format!("{name}-spot"), base, 0.60, 0.12)
-        },
-    );
+        });
     let grid = Grid::new()
         .schedulers(SchedulerSpec::baselines())
         .scheduler(scenario::gfs_spec(3, 0.60))

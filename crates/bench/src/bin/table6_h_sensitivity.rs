@@ -15,7 +15,10 @@ fn main() {
     let capacity = f64::from(scale.nodes() * PAPER_GPUS_PER_NODE);
     let mut rows = Vec::new();
     for h in [1u32, 2, 4] {
-        let params = GfsParams::builder().guarantee_hours(h).build().expect("valid params");
+        let params = GfsParams::builder()
+            .guarantee_hours(h)
+            .build()
+            .expect("valid params");
         let mut gfs = scenario::gfs_full(params, 3, 9, 0.60 * capacity);
         gfs.set_display_name(format!("H={h}"));
         rows.push(run_row(&format!("H={h}"), &mut gfs, scale, &tasks));

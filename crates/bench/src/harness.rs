@@ -159,7 +159,13 @@ impl Suite {
         let tag: String = std::env::var("GFS_BENCH_TAG")
             .unwrap_or_else(|_| "untagged".to_string())
             .chars()
-            .map(|c| if c == '"' || c == '\\' || c.is_control() { '_' } else { c })
+            .map(|c| {
+                if c == '"' || c == '\\' || c.is_control() {
+                    '_'
+                } else {
+                    c
+                }
+            })
             .collect();
         let path = format!("{dir}/BENCH_{}.json", self.name);
         let mut json = String::from("{\n");
@@ -168,7 +174,8 @@ impl Suite {
         json.push_str(&format!("  \"short\": {},\n", self.short));
         json.push_str(&format!(
             "  \"pinned_cpu\": {},\n",
-            self.pinned_cpu.map_or_else(|| "null".to_string(), |c| c.to_string())
+            self.pinned_cpu
+                .map_or_else(|| "null".to_string(), |c| c.to_string())
         ));
         json.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {

@@ -5,7 +5,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use gfs_types::{Error, GpuModel, NodeId, Result, SimDuration, SimTime, TaskId, TaskSpec};
+use gfs_types::{
+    Error, FailureDomain, GpuModel, NodeId, Result, SimDuration, SimTime, TaskId, TaskSpec,
+};
 
 use crate::index::CapacityIndex;
 use crate::node::{Node, PodAlloc};
@@ -146,6 +148,13 @@ pub struct Cluster {
     spot_total: f64,
     /// Per-model totals (same invariants as the cluster-wide fields).
     model_totals: BTreeMap<GpuModel, ModelTotals>,
+    /// Failure-domain membership per node index (`None` for nodes outside
+    /// every declared domain, and for all nodes when no topology was
+    /// declared). Grown with `add_node`.
+    node_domain: Vec<Option<u32>>,
+    /// Nodes currently draining, per declared failure domain — the O(1)
+    /// query behind drain-aware placement ("is this rack mid-maintenance?").
+    domain_draining: Vec<u32>,
 }
 
 impl Cluster {
@@ -182,6 +191,8 @@ impl Cluster {
             hp_total,
             spot_total,
             model_totals,
+            node_domain: Vec::new(),
+            domain_draining: Vec::new(),
         }
     }
 
@@ -230,7 +241,9 @@ impl Cluster {
     /// down nodes excluded.
     #[must_use]
     pub fn capacity(&self, model: Option<GpuModel>) -> f64 {
-        let Some(m) = model else { return self.cap_total };
+        let Some(m) = model else {
+            return self.cap_total;
+        };
         self.model_totals.get(&m).map_or(0.0, |t| t.cap)
     }
 
@@ -238,7 +251,9 @@ impl Cluster {
     /// the denominator of availability accounting.
     #[must_use]
     pub fn static_capacity(&self, model: Option<GpuModel>) -> f64 {
-        let Some(m) = model else { return self.cap_static };
+        let Some(m) = model else {
+            return self.cap_static;
+        };
         self.model_totals.get(&m).map_or(0.0, |t| t.cap_static)
     }
 
@@ -281,7 +296,9 @@ impl Cluster {
     /// of Eq. 10. O(1), down nodes excluded.
     #[must_use]
     pub fn idle_gpus(&self, model: Option<GpuModel>) -> u32 {
-        let Some(m) = model else { return self.idle_total };
+        let Some(m) = model else {
+            return self.idle_total;
+        };
         self.model_totals.get(&m).map_or(0, |t| t.idle)
     }
 
@@ -296,7 +313,9 @@ impl Cluster {
     /// of Eq. 10. O(1).
     #[must_use]
     pub fn spot_allocated(&self, model: Option<GpuModel>) -> f64 {
-        let Some(m) = model else { return self.spot_total };
+        let Some(m) = model else {
+            return self.spot_total;
+        };
         self.model_totals.get(&m).map_or(0.0, |t| t.spot)
     }
 
@@ -416,6 +435,67 @@ impl Cluster {
         self.migrated_total
     }
 
+    /// Declares the cluster's failure-domain topology (racks, pods — the
+    /// blast radii of correlated failures). Nodes listed in no domain, and
+    /// every node when this is never called, report
+    /// [`Cluster::domain_of`]` == None`. A node listed twice keeps its
+    /// first domain; unknown node ids are ignored (shape-shared
+    /// topologies degrade gracefully, like shape-shared dynamics plans).
+    pub fn set_failure_domains(&mut self, domains: &[FailureDomain]) {
+        self.node_domain = vec![None; self.nodes.len()];
+        self.domain_draining = vec![0; domains.len()];
+        for (d, domain) in domains.iter().enumerate() {
+            for &node in &domain.nodes {
+                if let Some(slot) = self.node_domain.get_mut(node.index()) {
+                    slot.get_or_insert(d as u32);
+                }
+            }
+        }
+        // a topology declared mid-run must pick up in-progress drains
+        for n in &self.nodes {
+            if n.is_draining() {
+                if let Some(Some(d)) = self.node_domain.get(n.id().index()) {
+                    self.domain_draining[*d as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// The failure domain `id` belongs to, as an index into the declared
+    /// topology — O(1). `None` when the node is outside every domain or
+    /// no topology was declared.
+    #[must_use]
+    pub fn domain_of(&self, id: NodeId) -> Option<u32> {
+        self.node_domain.get(id.index()).copied().flatten()
+    }
+
+    /// Number of declared failure domains (0 without a topology).
+    #[must_use]
+    pub fn failure_domain_count(&self) -> usize {
+        self.domain_draining.len()
+    }
+
+    /// Nodes currently draining inside failure domain `domain` — O(1),
+    /// maintained incrementally through drain/restore/fail. Drain-aware
+    /// placement uses this to steer gangs away from a rack that is
+    /// mid-maintenance (its remaining nodes are usually next in the wave).
+    #[must_use]
+    pub fn draining_in_domain(&self, domain: u32) -> u32 {
+        self.domain_draining
+            .get(domain as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn change_domain_draining(&mut self, id: NodeId, delta: i32) {
+        if let Some(Some(d)) = self.node_domain.get(id.index()) {
+            let slot = &mut self.domain_draining[*d as usize];
+            *slot = slot
+                .checked_add_signed(delta)
+                .expect("drain counts balance");
+        }
+    }
+
     /// Places `spec` with one pod per entry of `pod_nodes`, atomically
     /// (gang semantics): on any failure every already-placed pod is rolled
     /// back and an error returned.
@@ -442,7 +522,10 @@ impl Cluster {
             )));
         }
         if self.running.contains_key(&spec.id) {
-            return Err(Error::InvalidTask(format!("{} is already running", spec.id)));
+            return Err(Error::InvalidTask(format!(
+                "{} is already running",
+                spec.id
+            )));
         }
         let mut placements: Vec<PodPlacement> = Vec::with_capacity(pod_nodes.len());
         for &nid in pod_nodes {
@@ -451,7 +534,8 @@ impl Cluster {
             let task = spec.id;
             let result = self.node_mut(nid).and_then(|n| {
                 let before = (n.idle_gpus(), n.hp_allocated(), n.spot_allocated());
-                n.place_pod(task, demand, priority).map(|alloc| (before, alloc))
+                n.place_pod(task, demand, priority)
+                    .map(|alloc| (before, alloc))
             });
             match result {
                 Ok((before, alloc)) => {
@@ -532,7 +616,9 @@ impl Cluster {
             .priority
             .is_hp();
         if is_hp {
-            return Err(Error::InvalidTask(format!("{id} is HP and cannot be evicted")));
+            return Err(Error::InvalidTask(format!(
+                "{id} is HP and cannot be evicted"
+            )));
         }
         let rt = self.running.remove(&id).expect("presence checked above");
         self.release_placements(&rt);
@@ -639,7 +725,9 @@ impl Cluster {
         let cards = f64::from(node.total_gpus());
         let model = node.model();
         node.set_draining(Some(deadline));
+        node.record_drain();
         self.draining_nodes += 1;
+        self.change_domain_draining(id, 1);
         self.idle_total -= idle;
         self.cap_total -= cards;
         let t = self.model_totals.entry(model).or_default();
@@ -657,6 +745,10 @@ impl Cluster {
     pub fn add_node(&mut self, model: GpuModel, gpus_per_node: u32) -> NodeId {
         let id = NodeId::new(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, model, gpus_per_node));
+        if !self.node_domain.is_empty() {
+            // a minted node belongs to no declared blast radius
+            self.node_domain.push(None);
+        }
         let cards = f64::from(gpus_per_node);
         self.cap_static += cards;
         self.model_totals.entry(model).or_default().cap_static += cards;
@@ -721,11 +813,17 @@ impl Cluster {
             .collect();
         let mut displaced = Vec::with_capacity(victims.len());
         for tid in victims {
-            let rt = self.running.remove(&tid).expect("collected from the registry");
+            let rt = self
+                .running
+                .remove(&tid)
+                .expect("collected from the registry");
             self.release_placements(&rt);
             let preserved = rt.preserved_progress(now);
             self.displaced_total += 1;
-            displaced.push(Displaced { task: rt, preserved });
+            displaced.push(Displaced {
+                task: rt,
+                preserved,
+            });
         }
         // the node is now empty: remove it from the index (all its buckets
         // vanish in one idempotent call) and from the capacity totals
@@ -734,9 +832,11 @@ impl Cluster {
         let cards = node.total_gpus();
         node.set_up(false);
         node.set_draining(None);
+        node.record_failure(now);
         self.down_nodes += 1;
         if was_draining {
             self.draining_nodes -= 1;
+            self.change_domain_draining(id, -1);
         } else {
             self.idle_total -= cards;
             self.cap_total -= f64::from(cards);
@@ -770,6 +870,7 @@ impl Cluster {
             // cancel the in-progress drain; pods kept running throughout
             node.set_draining(None);
             self.draining_nodes -= 1;
+            self.change_domain_draining(id, -1);
         } else {
             node.set_up(true);
             node.clear_eviction_history();
@@ -813,10 +914,13 @@ mod tests {
     fn start_finish_round_trip() {
         let mut c = cluster();
         let s = spec(1, Priority::Hp, 2, 4);
-        c.start_task(s, &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(s, &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0)
+            .unwrap();
         assert_eq!(c.hp_allocated(None), 8.0);
         assert_eq!(c.running_count(), 1);
-        let rt = c.finish_task(TaskId::new(1), SimTime::from_hours(2)).unwrap();
+        let rt = c
+            .finish_task(TaskId::new(1), SimTime::from_hours(2))
+            .unwrap();
         assert_eq!(rt.spec.id, TaskId::new(1));
         assert_eq!(c.hp_allocated(None), 0.0);
         assert_eq!(c.running_count(), 0);
@@ -826,11 +930,26 @@ mod tests {
     fn gang_placement_rolls_back_atomically() {
         let mut c = cluster();
         // fill node 1 completely
-        c.start_task(spec(1, Priority::Hp, 1, 8), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(1, Priority::Hp, 1, 8),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         // gang asking for node0 + node1 must fail and leave node0 untouched
-        let r = c.start_task(spec(2, Priority::Hp, 2, 8), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0);
+        let r = c.start_task(
+            spec(2, Priority::Hp, 2, 8),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        );
         assert!(r.is_err());
-        assert_eq!(c.node(NodeId::new(0)).unwrap().idle_gpus(), 8, "rollback freed node 0");
+        assert_eq!(
+            c.node(NodeId::new(0)).unwrap().idle_gpus(),
+            8,
+            "rollback freed node 0"
+        );
         assert_eq!(c.running_count(), 1);
     }
 
@@ -838,30 +957,64 @@ mod tests {
     fn eviction_counts_and_preserves_checkpoint() {
         let mut c = cluster();
         let s = spec(3, Priority::Spot, 1, 4);
-        c.start_task(s, &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        c.start_task(s, &[NodeId::new(2)], SimTime::ZERO, 0)
+            .unwrap();
         let now = SimTime::from_secs(4_000); // two checkpoints at 1800/3600
         let (rt, preserved) = c.evict_task(TaskId::new(3), now).unwrap();
         assert_eq!(preserved, 3_600);
         assert_eq!(rt.wasted_seconds(now), 400);
         assert!((rt.waste(now) - 4.0 * 400.0).abs() < 1e-9);
         assert_eq!(c.spot_evicted(), 1);
-        assert_eq!(c.node(NodeId::new(2)).unwrap().evictions_within(now, 3_600 * 2), 1);
+        assert_eq!(
+            c.node(NodeId::new(2))
+                .unwrap()
+                .evictions_within(now, 3_600 * 2),
+            1
+        );
     }
 
     #[test]
     fn hp_tasks_cannot_be_evicted() {
         let mut c = cluster();
-        c.start_task(spec(4, Priority::Hp, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(4, Priority::Hp, 1, 1),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         assert!(c.evict_task(TaskId::new(4), SimTime::ZERO).is_err());
-        assert_eq!(c.running_count(), 1, "task must survive the failed eviction");
+        assert_eq!(
+            c.running_count(),
+            1,
+            "task must survive the failed eviction"
+        );
     }
 
     #[test]
     fn spot_tasks_on_filters_by_node() {
         let mut c = cluster();
-        c.start_task(spec(5, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spec(6, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spec(7, Priority::Hp, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(5, Priority::Spot, 1, 2),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(6, Priority::Spot, 1, 2),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(7, Priority::Hp, 1, 2),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let on0 = c.spot_tasks_on(NodeId::new(0));
         assert_eq!(on0.len(), 1);
         assert_eq!(on0[0].spec.id, TaskId::new(5));
@@ -870,7 +1023,13 @@ mod tests {
     #[test]
     fn remaining_work_shrinks_with_time() {
         let mut c = cluster();
-        c.start_task(spec(8, Priority::Spot, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(8, Priority::Spot, 1, 1),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let rt = c.running_task(TaskId::new(8)).unwrap();
         assert_eq!(rt.remaining(SimTime::from_secs(7_200)), 0);
         assert_eq!(rt.remaining(SimTime::from_secs(3_600)), 3_600);
@@ -880,9 +1039,17 @@ mod tests {
     #[test]
     fn duplicate_start_rejected() {
         let mut c = cluster();
-        c.start_task(spec(9, Priority::Hp, 1, 1), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(9, Priority::Hp, 1, 1),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let again = spec(9, Priority::Hp, 1, 1);
-        assert!(c.start_task(again, &[NodeId::new(1)], SimTime::ZERO, 0).is_err());
+        assert!(c
+            .start_task(again, &[NodeId::new(1)], SimTime::ZERO, 0)
+            .is_err());
     }
 
     /// The O(1) cluster totals must track brute-force node scans through
@@ -901,9 +1068,21 @@ mod tests {
         };
         let mut c = cluster();
         assert_consistent(&c);
-        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(1, Priority::Hp, 2, 4),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         assert_consistent(&c);
-        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            spec(2, Priority::Spot, 1, 2),
+            &[NodeId::new(2)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         assert_consistent(&c);
         // fractional placement
         let frac = TaskSpec::builder(3)
@@ -912,16 +1091,24 @@ mod tests {
             .duration_secs(1_000)
             .build()
             .unwrap();
-        c.start_task(frac, &[NodeId::new(3)], SimTime::ZERO, 0).unwrap();
+        c.start_task(frac, &[NodeId::new(3)], SimTime::ZERO, 0)
+            .unwrap();
         assert_consistent(&c);
         // failed gang rolls back cleanly
         assert!(c
-            .start_task(spec(4, Priority::Hp, 2, 8), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0)
+            .start_task(
+                spec(4, Priority::Hp, 2, 8),
+                &[NodeId::new(0), NodeId::new(1)],
+                SimTime::ZERO,
+                0
+            )
             .is_err());
         assert_consistent(&c);
-        c.evict_task(TaskId::new(2), SimTime::from_secs(100)).unwrap();
+        c.evict_task(TaskId::new(2), SimTime::from_secs(100))
+            .unwrap();
         assert_consistent(&c);
-        c.finish_task(TaskId::new(1), SimTime::from_hours(2)).unwrap();
+        c.finish_task(TaskId::new(1), SimTime::from_hours(2))
+            .unwrap();
         assert_consistent(&c);
         assert_eq!(c.idle_gpus(None), 31, "only the fractional card is busy");
     }
@@ -929,10 +1116,30 @@ mod tests {
     #[test]
     fn fail_node_drains_hp_and_spot_and_removes_capacity() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spec(3, Priority::Spot, 1, 8), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
-        let displaced = c.fail_node(NodeId::new(1), SimTime::from_secs(2_000)).unwrap();
+        c.start_task(
+            spec(1, Priority::Hp, 2, 4),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(2, Priority::Spot, 1, 2),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(3, Priority::Spot, 1, 8),
+            &[NodeId::new(2)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        let displaced = c
+            .fail_node(NodeId::new(1), SimTime::from_secs(2_000))
+            .unwrap();
         // the gang on nodes 0+1 dies entirely, plus the spot task on node 1
         let ids: Vec<u64> = displaced.iter().map(|d| d.task.spec.id.raw()).collect();
         assert_eq!(ids, vec![1, 2], "ascending task-id order");
@@ -943,7 +1150,11 @@ mod tests {
         assert_eq!(c.capacity(None), 24.0, "8 cards left service");
         assert_eq!(c.static_capacity(None), 32.0, "as-built total unchanged");
         assert_eq!(c.capacity(Some(GpuModel::A100)), 24.0);
-        assert_eq!(c.idle_gpus(None), 16, "nodes 0,3 idle; node 2 full; node 1 gone");
+        assert_eq!(
+            c.idle_gpus(None),
+            16,
+            "nodes 0,3 idle; node 2 full; node 1 gone"
+        );
         assert_eq!(c.hp_allocated(None), 0.0, "gang released everywhere");
         assert_eq!(c.spot_allocated(None), 8.0);
         assert_eq!(c.up_node_count(), 3);
@@ -951,34 +1162,63 @@ mod tests {
         assert_eq!(c.spot_evicted(), 0, "displacement is not preemption");
         // the down node is invisible to every placement query
         assert!(!c.whole_fit_candidates(GpuModel::A100, 1).contains(&1));
-        assert!(c.fail_node(NodeId::new(1), SimTime::ZERO).is_err(), "double fail rejected");
+        assert!(
+            c.fail_node(NodeId::new(1), SimTime::ZERO).is_err(),
+            "double fail rejected"
+        );
     }
 
     #[test]
     fn restore_node_brings_capacity_and_buckets_back() {
         let mut c = cluster();
         c.fail_node(NodeId::new(2), SimTime::ZERO).unwrap();
-        assert!(c.restore_node(NodeId::new(0), SimTime::ZERO).is_err(), "already up");
-        c.restore_node(NodeId::new(2), SimTime::from_hours(2)).unwrap();
+        assert!(
+            c.restore_node(NodeId::new(0), SimTime::ZERO).is_err(),
+            "already up"
+        );
+        c.restore_node(NodeId::new(2), SimTime::from_hours(2))
+            .unwrap();
         assert_eq!(c.capacity(None), 32.0);
         assert_eq!(c.idle_gpus(None), 32);
         assert_eq!(c.down_node_count(), 0);
         assert!(c.whole_fit_candidates(GpuModel::A100, 8).contains(&2));
         // and it accepts pods again
-        c.start_task(spec(9, Priority::Hp, 1, 8), &[NodeId::new(2)], SimTime::from_hours(2), 0).unwrap();
+        c.start_task(
+            spec(9, Priority::Hp, 1, 8),
+            &[NodeId::new(2)],
+            SimTime::from_hours(2),
+            0,
+        )
+        .unwrap();
         assert_eq!(c.hp_allocated(None), 8.0);
     }
 
     #[test]
     fn restore_clears_eviction_history() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.evict_task(TaskId::new(1), SimTime::from_secs(100)).unwrap();
-        assert_eq!(c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(200), HOUR), 1);
-        c.fail_node(NodeId::new(0), SimTime::from_secs(300)).unwrap();
-        c.restore_node(NodeId::new(0), SimTime::from_secs(400)).unwrap();
+        c.start_task(
+            spec(1, Priority::Spot, 1, 2),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.evict_task(TaskId::new(1), SimTime::from_secs(100))
+            .unwrap();
         assert_eq!(
-            c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(500), HOUR),
+            c.node(NodeId::new(0))
+                .unwrap()
+                .evictions_within(SimTime::from_secs(200), HOUR),
+            1
+        );
+        c.fail_node(NodeId::new(0), SimTime::from_secs(300))
+            .unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_secs(400))
+            .unwrap();
+        assert_eq!(
+            c.node(NodeId::new(0))
+                .unwrap()
+                .evictions_within(SimTime::from_secs(500), HOUR),
             0,
             "a machine back from repair starts with a clean history"
         );
@@ -988,15 +1228,26 @@ mod tests {
     fn start_task_on_down_node_rolls_back() {
         let mut c = cluster();
         c.fail_node(NodeId::new(1), SimTime::ZERO).unwrap();
-        let r = c.start_task(spec(5, Priority::Hp, 2, 2), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0);
+        let r = c.start_task(
+            spec(5, Priority::Hp, 2, 2),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        );
         assert!(r.is_err());
-        assert_eq!(c.idle_gpus(None), 24, "node 0 rolled back, node 1 still down");
+        assert_eq!(
+            c.idle_gpus(None),
+            24,
+            "node 0 rolled back, node 1 still down"
+        );
         assert_eq!(c.running_count(), 0);
     }
 
     #[test]
     fn per_model_totals_track_heterogeneous_pools() {
-        let mut nodes: Vec<Node> = (0..2).map(|i| Node::new(NodeId::new(i), GpuModel::A100, 8)).collect();
+        let mut nodes: Vec<Node> = (0..2)
+            .map(|i| Node::new(NodeId::new(i), GpuModel::A100, 8))
+            .collect();
         nodes.push(Node::new(NodeId::new(2), GpuModel::H800, 8));
         let mut c = Cluster::new(nodes);
         assert_eq!(c.capacity(Some(GpuModel::A100)), 16.0);
@@ -1008,7 +1259,8 @@ mod tests {
             .duration_secs(1_000)
             .build()
             .unwrap();
-        c.start_task(h800, &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        c.start_task(h800, &[NodeId::new(2)], SimTime::ZERO, 0)
+            .unwrap();
         assert_eq!(c.spot_allocated(Some(GpuModel::H800)), 4.0);
         assert_eq!(c.spot_allocated(Some(GpuModel::A100)), 0.0);
         assert_eq!(c.idle_gpus(Some(GpuModel::H800)), 4);
@@ -1016,15 +1268,32 @@ mod tests {
         assert_eq!(c.capacity(Some(GpuModel::H800)), 0.0);
         assert_eq!(c.static_capacity(Some(GpuModel::H800)), 8.0);
         assert_eq!(c.spot_allocated(Some(GpuModel::H800)), 0.0);
-        assert_eq!(c.capacity(Some(GpuModel::A100)), 16.0, "other pools untouched");
+        assert_eq!(
+            c.capacity(Some(GpuModel::A100)),
+            16.0,
+            "other pools untouched"
+        );
     }
 
     #[test]
     fn drain_node_blocks_placements_but_keeps_pods_running() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Hp, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spec(2, Priority::Spot, 1, 2), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600)).unwrap();
+        c.start_task(
+            spec(1, Priority::Hp, 1, 4),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(2, Priority::Spot, 1, 2),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600))
+            .unwrap();
         let n1 = c.node(NodeId::new(1)).unwrap();
         assert!(n1.is_up() && n1.is_draining());
         assert_eq!(n1.drain_deadline(), Some(SimTime::from_secs(3_600)));
@@ -1032,7 +1301,11 @@ mod tests {
         assert_eq!(c.running_count(), 2);
         assert_eq!(c.hp_allocated(None), 4.0, "running pods stay allocated");
         assert_eq!(c.capacity(None), 24.0, "draining cards left the totals");
-        assert_eq!(c.idle_gpus(None), 24, "node 1's two free cards left with it");
+        assert_eq!(
+            c.idle_gpus(None),
+            24,
+            "node 1's two free cards left with it"
+        );
         assert!(!c.whole_fit_candidates(GpuModel::A100, 1).contains(&1));
         assert!(
             !c.preemption_candidates(GpuModel::A100, 8).contains(&1),
@@ -1043,31 +1316,54 @@ mod tests {
         assert_eq!(c.up_node_count(), 4, "draining nodes are still in service");
         // no new placements land
         assert!(c
-            .start_task(spec(9, Priority::Hp, 1, 1), &[NodeId::new(1)], SimTime::ZERO, 0)
+            .start_task(
+                spec(9, Priority::Hp, 1, 1),
+                &[NodeId::new(1)],
+                SimTime::ZERO,
+                0
+            )
             .is_err());
         // double drain and drain-of-down rejected
-        assert!(c.drain_node(NodeId::new(1), SimTime::from_secs(9_999)).is_err());
+        assert!(c
+            .drain_node(NodeId::new(1), SimTime::from_secs(9_999))
+            .is_err());
         c.fail_node(NodeId::new(0), SimTime::ZERO).unwrap();
-        assert!(c.drain_node(NodeId::new(0), SimTime::from_secs(9_999)).is_err());
+        assert!(c
+            .drain_node(NodeId::new(0), SimTime::from_secs(9_999))
+            .is_err());
     }
 
     #[test]
     fn forced_shutdown_of_draining_node_matches_fail_accounting() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Spot, 1, 4), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
-        c.drain_node(NodeId::new(2), SimTime::from_secs(1_800)).unwrap();
+        c.start_task(
+            spec(1, Priority::Spot, 1, 4),
+            &[NodeId::new(2)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.drain_node(NodeId::new(2), SimTime::from_secs(1_800))
+            .unwrap();
         // deadline hits with the pod still running: fail_node semantics
-        let displaced = c.fail_node(NodeId::new(2), SimTime::from_secs(1_800)).unwrap();
+        let displaced = c
+            .fail_node(NodeId::new(2), SimTime::from_secs(1_800))
+            .unwrap();
         assert_eq!(displaced.len(), 1);
         assert_eq!(c.displaced(), 1);
         assert_eq!(c.spot_evicted(), 0, "forced displacement is not preemption");
-        assert_eq!(c.capacity(None), 24.0, "cards were already out at drain start");
+        assert_eq!(
+            c.capacity(None),
+            24.0,
+            "cards were already out at drain start"
+        );
         assert_eq!(c.idle_gpus(None), 24);
         assert_eq!(c.spot_allocated(None), 0.0);
         assert_eq!(c.down_node_count(), 1);
         assert_eq!(c.draining_node_count(), 0);
         // and the full cycle closes: restore brings everything back
-        c.restore_node(NodeId::new(2), SimTime::from_secs(5_000)).unwrap();
+        c.restore_node(NodeId::new(2), SimTime::from_secs(5_000))
+            .unwrap();
         assert_eq!(c.capacity(None), 32.0);
         assert_eq!(c.idle_gpus(None), 32);
     }
@@ -1075,12 +1371,27 @@ mod tests {
     #[test]
     fn restore_cancels_drain_without_touching_pods() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Spot, 1, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.evict_task(TaskId::new(1), SimTime::from_secs(50)).unwrap();
-        c.start_task(spec(2, Priority::Hp, 1, 3), &[NodeId::new(0)], SimTime::from_secs(60), 0).unwrap();
-        c.drain_node(NodeId::new(0), SimTime::from_secs(3_600)).unwrap();
+        c.start_task(
+            spec(1, Priority::Spot, 1, 2),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.evict_task(TaskId::new(1), SimTime::from_secs(50))
+            .unwrap();
+        c.start_task(
+            spec(2, Priority::Hp, 1, 3),
+            &[NodeId::new(0)],
+            SimTime::from_secs(60),
+            0,
+        )
+        .unwrap();
+        c.drain_node(NodeId::new(0), SimTime::from_secs(3_600))
+            .unwrap();
         assert_eq!(c.idle_gpus(None), 24);
-        c.restore_node(NodeId::new(0), SimTime::from_secs(100)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_secs(100))
+            .unwrap();
         let n0 = c.node(NodeId::new(0)).unwrap();
         assert!(n0.is_schedulable());
         assert_eq!(c.running_count(), 1, "the HP pod never moved");
@@ -1097,8 +1408,16 @@ mod tests {
     #[test]
     fn migrate_task_releases_without_eviction_accounting() {
         let mut c = cluster();
-        c.start_task(spec(1, Priority::Hp, 2, 4), &[NodeId::new(0), NodeId::new(1)], SimTime::ZERO, 0).unwrap();
-        let (rt, preserved) = c.migrate_task(TaskId::new(1), SimTime::from_secs(4_000)).unwrap();
+        c.start_task(
+            spec(1, Priority::Hp, 2, 4),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        let (rt, preserved) = c
+            .migrate_task(TaskId::new(1), SimTime::from_secs(4_000))
+            .unwrap();
         assert_eq!(rt.spec.id, TaskId::new(1));
         assert_eq!(preserved, 3_600, "two 1800 s checkpoints survived");
         assert_eq!(c.migrated(), 1);
@@ -1107,11 +1426,16 @@ mod tests {
         assert_eq!(c.hp_allocated(None), 0.0);
         assert_eq!(c.idle_gpus(None), 32);
         assert_eq!(
-            c.node(NodeId::new(0)).unwrap().evictions_within(SimTime::from_secs(5_000), HOUR),
+            c.node(NodeId::new(0))
+                .unwrap()
+                .evictions_within(SimTime::from_secs(5_000), HOUR),
             0,
             "migration leaves no eviction pressure behind"
         );
-        assert!(c.migrate_task(TaskId::new(1), SimTime::ZERO).is_err(), "gone");
+        assert!(
+            c.migrate_task(TaskId::new(1), SimTime::ZERO).is_err(),
+            "gone"
+        );
     }
 
     #[test]
@@ -1121,7 +1445,11 @@ mod tests {
         assert_eq!(id, NodeId::new(4));
         assert_eq!(c.nodes().len(), 5);
         assert_eq!(c.capacity(None), 40.0);
-        assert_eq!(c.static_capacity(None), 40.0, "scale-out grows the as-built total");
+        assert_eq!(
+            c.static_capacity(None),
+            40.0,
+            "scale-out grows the as-built total"
+        );
         assert_eq!(c.capacity(Some(GpuModel::H800)), 8.0);
         assert_eq!(c.idle_gpus(Some(GpuModel::H800)), 8);
         assert!(c.whole_fit_candidates(GpuModel::H800, 8).contains(&4));
@@ -1147,9 +1475,104 @@ mod tests {
     }
 
     #[test]
+    fn failure_and_drain_history_survive_restore() {
+        let mut c = cluster();
+        c.fail_node(NodeId::new(1), SimTime::from_hours(1)).unwrap();
+        c.restore_node(NodeId::new(1), SimTime::from_hours(2))
+            .unwrap();
+        c.fail_node(NodeId::new(1), SimTime::from_hours(5)).unwrap();
+        c.restore_node(NodeId::new(1), SimTime::from_hours(6))
+            .unwrap();
+        let n1 = c.node(NodeId::new(1)).unwrap();
+        assert_eq!(
+            n1.failure_count(),
+            2,
+            "repairs must not erase the failure history"
+        );
+        assert_eq!(n1.failures_within(SimTime::from_hours(6), 2 * HOUR), 1);
+        assert_eq!(n1.last_failure(), Some(SimTime::from_hours(5)));
+        assert_eq!(
+            n1.time_since_failure(SimTime::from_hours(7)),
+            Some(2 * HOUR)
+        );
+        // a forced drain shutdown is an up→down transition too
+        c.drain_node(NodeId::new(2), SimTime::from_hours(8))
+            .unwrap();
+        c.fail_node(NodeId::new(2), SimTime::from_hours(8)).unwrap();
+        let n2 = c.node(NodeId::new(2)).unwrap();
+        assert_eq!(n2.failure_count(), 1);
+        assert_eq!(n2.drain_count(), 1);
+        assert_eq!(c.node(NodeId::new(0)).unwrap().failure_count(), 0);
+    }
+
+    #[test]
+    fn failure_domains_answer_membership_and_drain_queries() {
+        let mut c = cluster(); // 4 nodes
+        assert_eq!(
+            c.domain_of(NodeId::new(0)),
+            None,
+            "no topology declared yet"
+        );
+        assert_eq!(c.failure_domain_count(), 0);
+        c.set_failure_domains(&FailureDomain::racks(4, 2));
+        assert_eq!(c.failure_domain_count(), 2);
+        assert_eq!(c.domain_of(NodeId::new(0)), Some(0));
+        assert_eq!(c.domain_of(NodeId::new(1)), Some(0));
+        assert_eq!(c.domain_of(NodeId::new(3)), Some(1));
+        assert_eq!(c.domain_of(NodeId::new(99)), None);
+        // drain bookkeeping per domain, through the full lifecycle
+        c.drain_node(NodeId::new(0), SimTime::from_hours(1))
+            .unwrap();
+        assert_eq!(c.draining_in_domain(0), 1);
+        assert_eq!(c.draining_in_domain(1), 0);
+        c.drain_node(NodeId::new(1), SimTime::from_hours(1))
+            .unwrap();
+        assert_eq!(c.draining_in_domain(0), 2);
+        // cancel one drain, force the other down: both leave the count
+        c.restore_node(NodeId::new(0), SimTime::from_secs(100))
+            .unwrap();
+        assert_eq!(c.draining_in_domain(0), 1);
+        c.fail_node(NodeId::new(1), SimTime::from_secs(200))
+            .unwrap();
+        assert_eq!(c.draining_in_domain(0), 0);
+        // repair of a *down* node does not touch drain counts
+        c.restore_node(NodeId::new(1), SimTime::from_secs(300))
+            .unwrap();
+        assert_eq!(c.draining_in_domain(0), 0);
+        // scale-out mints nodes outside every declared blast radius
+        let minted = c.add_node(GpuModel::A100, 8);
+        assert_eq!(c.domain_of(minted), None);
+        c.drain_node(minted, SimTime::from_hours(2)).unwrap();
+        assert_eq!(
+            c.draining_in_domain(0),
+            0,
+            "undomained drains count nowhere"
+        );
+        assert_eq!(c.draining_node_count(), 1);
+    }
+
+    #[test]
+    fn mid_run_topology_declaration_picks_up_active_drains() {
+        let mut c = cluster();
+        c.drain_node(NodeId::new(2), SimTime::from_hours(1))
+            .unwrap();
+        c.set_failure_domains(&FailureDomain::racks(4, 2));
+        assert_eq!(
+            c.draining_in_domain(1),
+            1,
+            "node 2's in-progress drain registered"
+        );
+    }
+
+    #[test]
     fn unknown_node_in_gang_is_rolled_back() {
         let mut c = cluster();
-        let r = c.start_task(spec(10, Priority::Hp, 2, 1), &[NodeId::new(0), NodeId::new(99)], SimTime::ZERO, 0);
+        let r = c.start_task(
+            spec(10, Priority::Hp, 2, 1),
+            &[NodeId::new(0), NodeId::new(99)],
+            SimTime::ZERO,
+            0,
+        );
         assert!(r.is_err());
         assert_eq!(c.idle_gpus(None), 32);
     }

@@ -136,7 +136,10 @@ impl CapacityIndex {
         let pos = bucket.partition_point(|&n| n < raw);
         bucket.insert(pos, raw);
         if let Some(q) = key.partial {
-            self.partial.entry(node.model()).or_default().insert((q, raw));
+            self.partial
+                .entry(node.model())
+                .or_default()
+                .insert((q, raw));
         }
         if key.fully_idle {
             self.fully_idle_count += 1;

@@ -63,6 +63,16 @@
 //! denominator for availability metrics. The engine-side event flow is
 //! documented on `gfs_sim::dynamics`.
 //!
+//! Churn leaves a *history* behind for placement policies to read in
+//! O(1): `fail_node` records per-node up→down transitions
+//! ([`Node::failures_within`], [`Node::failure_count`],
+//! [`Node::time_since_failure`] — kept across repairs, unlike the
+//! eviction history), `drain_node` bumps [`Node::drain_count`], and a
+//! declared failure-domain topology ([`Cluster::set_failure_domains`])
+//! answers [`Cluster::domain_of`] and the per-domain
+//! [`Cluster::draining_in_domain`] count that drain-aware placement
+//! steers by.
+//!
 //! # Examples
 //!
 //! ```
@@ -90,4 +100,4 @@ mod scheduler;
 pub use cluster::{Cluster, Displaced, PodPlacement, RunningTask};
 pub use index::CapacityIndex;
 pub use node::{Gpu, Node, PodAlloc};
-pub use scheduler::{Decision, Scheduler, TaskEvent};
+pub use scheduler::{Decision, DrainDecision, Scheduler, TaskEvent};

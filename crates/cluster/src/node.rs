@@ -79,6 +79,19 @@ pub struct Node {
     hp_alloc: f64,
     spot_alloc: f64,
     evictions: VecDeque<SimTime>,
+    /// Timestamps of up→down transitions (abrupt failures and forced
+    /// drain shutdowns), powering the reliability score of churn-aware
+    /// placement. Unlike the eviction history this is *not* cleared on
+    /// restore: a machine that keeps failing is exactly what the score
+    /// must remember across repairs.
+    failures: VecDeque<SimTime>,
+    /// Monotonic count of up→down transitions over the node's lifetime.
+    failure_total: u32,
+    /// Exact time of the most recent up→down transition (independent of
+    /// the windowed history's retirement).
+    last_failure: Option<SimTime>,
+    /// Monotonic count of maintenance-drain notices received.
+    drain_total: u32,
     /// Whether the node is in service. A down node holds no allocations
     /// and reports zero idle/free capacity, so every placement scan skips
     /// it naturally; only [`Node::total_gpus`] keeps reporting the static
@@ -102,6 +115,10 @@ impl Node {
             hp_alloc: 0.0,
             spot_alloc: 0.0,
             evictions: VecDeque::new(),
+            failures: VecDeque::new(),
+            failure_total: 0,
+            last_failure: None,
+            drain_total: 0,
             up: true,
             drain_deadline: None,
         }
@@ -315,13 +332,19 @@ impl Node {
     /// # Errors
     ///
     /// Returns [`Error::NotFound`] if the task holds no matching share.
-    pub fn release_pod(&mut self, task: TaskId, alloc: &PodAlloc, priority: Priority) -> Result<()> {
+    pub fn release_pod(
+        &mut self,
+        task: TaskId,
+        alloc: &PodAlloc,
+        priority: Priority,
+    ) -> Result<()> {
         match alloc {
             PodAlloc::Whole(cards) => {
                 for &i in cards {
-                    let gpu = self.gpus.get_mut(i).ok_or_else(|| {
-                        Error::NotFound(format!("gpu {i} on {}", self.id))
-                    })?;
+                    let gpu = self
+                        .gpus
+                        .get_mut(i)
+                        .ok_or_else(|| Error::NotFound(format!("gpu {i} on {}", self.id)))?;
                     let pos = gpu
                         .shares
                         .iter()
@@ -332,9 +355,10 @@ impl Node {
                 }
             }
             PodAlloc::Fraction { gpu, amount } => {
-                let g = self.gpus.get_mut(*gpu).ok_or_else(|| {
-                    Error::NotFound(format!("gpu {gpu} on {}", self.id))
-                })?;
+                let g = self
+                    .gpus
+                    .get_mut(*gpu)
+                    .ok_or_else(|| Error::NotFound(format!("gpu {gpu} on {}", self.id)))?;
                 let pos = g
                     .shares
                     .iter()
@@ -354,26 +378,86 @@ impl Node {
 
     /// Records one eviction event at `now`.
     pub fn record_eviction(&mut self, now: SimTime) {
-        self.evictions.push_back(now);
-        // retire entries older than any plausible window (7 days)
-        let horizon = 7 * gfs_types::SECONDS_PER_DAY;
-        while let Some(&front) = self.evictions.front() {
-            if now.since(front) > horizon {
-                self.evictions.pop_front();
-            } else {
-                break;
-            }
-        }
+        record_timestamped(&mut self.evictions, now);
     }
 
     /// Number of evictions recorded in the last `window` seconds.
     #[must_use]
     pub fn evictions_within(&self, now: SimTime, window: SimDuration) -> usize {
-        self.evictions
-            .iter()
-            .filter(|&&t| now.since(t) <= window)
-            .count()
+        count_within(&self.evictions, now, window)
     }
+
+    /// Records one up→down transition at `now` (abrupt failure or forced
+    /// drain shutdown). Called by [`Cluster`](crate::Cluster) from
+    /// `fail_node`; survives restore — see [`Node::failures_within`].
+    pub(crate) fn record_failure(&mut self, now: SimTime) {
+        self.failure_total = self.failure_total.saturating_add(1);
+        self.last_failure = Some(now);
+        record_timestamped(&mut self.failures, now);
+    }
+
+    /// Records one maintenance-drain notice.
+    pub(crate) fn record_drain(&mut self) {
+        self.drain_total = self.drain_total.saturating_add(1);
+    }
+
+    /// Number of up→down transitions within the last `window` seconds —
+    /// the failure analogue of [`Node::evictions_within`], feeding the
+    /// reliability term of churn-aware placement. The history survives
+    /// repair (a flaky machine stays flaky in the score), in deliberate
+    /// contrast to the eviction history, which restore clears.
+    #[must_use]
+    pub fn failures_within(&self, now: SimTime, window: SimDuration) -> usize {
+        count_within(&self.failures, now, window)
+    }
+
+    /// Lifetime count of up→down transitions (monotonic; unlike the
+    /// windowed history this never retires entries).
+    #[must_use]
+    pub fn failure_count(&self) -> u32 {
+        self.failure_total
+    }
+
+    /// Lifetime count of maintenance-drain notices received (monotonic).
+    #[must_use]
+    pub fn drain_count(&self) -> u32 {
+        self.drain_total
+    }
+
+    /// When the node last went down, if it ever did (exact, independent
+    /// of the windowed history's retirement).
+    #[must_use]
+    pub fn last_failure(&self) -> Option<SimTime> {
+        self.last_failure
+    }
+
+    /// Seconds since the node last went down (`None` for a node that
+    /// never failed) — an O(1) placement-time freshness query.
+    #[must_use]
+    pub fn time_since_failure(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_failure().map(|t| now.since(t))
+    }
+}
+
+/// Appends `now` to a timestamped event log and retires entries older
+/// than any plausible scoring window (7 days) — the shared bound of the
+/// eviction and failure histories. Lifetime counters that must never
+/// retire ([`Node::failure_count`]) are kept separately by the caller.
+fn record_timestamped(log: &mut VecDeque<SimTime>, now: SimTime) {
+    log.push_back(now);
+    let horizon = 7 * gfs_types::SECONDS_PER_DAY;
+    while let Some(&front) = log.front() {
+        if now.since(front) > horizon {
+            log.pop_front();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Events in `log` within the last `window` seconds (inclusive boundary).
+fn count_within(log: &VecDeque<SimTime>, now: SimTime, window: SimDuration) -> usize {
+    log.iter().filter(|&&t| now.since(t) <= window).count()
 }
 
 #[cfg(test)]
@@ -399,7 +483,8 @@ mod tests {
     #[test]
     fn rejects_oversized_pod() {
         let mut n = node();
-        n.place_pod(TaskId::new(1), GpuDemand::whole(6), Priority::Hp).unwrap();
+        n.place_pod(TaskId::new(1), GpuDemand::whole(6), Priority::Hp)
+            .unwrap();
         let err = n.place_pod(TaskId::new(2), GpuDemand::whole(3), Priority::Spot);
         assert!(err.is_err());
         assert!(n.can_fit(GpuDemand::whole(2)));
@@ -409,8 +494,20 @@ mod tests {
     #[test]
     fn fractional_best_fit_packs_tightly() {
         let mut n = node();
-        let a = n.place_pod(TaskId::new(1), GpuDemand::fraction(0.5).unwrap(), Priority::Spot).unwrap();
-        let b = n.place_pod(TaskId::new(2), GpuDemand::fraction(0.3).unwrap(), Priority::Spot).unwrap();
+        let a = n
+            .place_pod(
+                TaskId::new(1),
+                GpuDemand::fraction(0.5).unwrap(),
+                Priority::Spot,
+            )
+            .unwrap();
+        let b = n
+            .place_pod(
+                TaskId::new(2),
+                GpuDemand::fraction(0.3).unwrap(),
+                Priority::Spot,
+            )
+            .unwrap();
         // second share lands on the same, already-loaded card
         match (&a, &b) {
             (PodAlloc::Fraction { gpu: g1, .. }, PodAlloc::Fraction { gpu: g2, .. }) => {
@@ -465,10 +562,49 @@ mod tests {
     }
 
     #[test]
+    fn failure_history_counts_and_freshness() {
+        let mut n = node();
+        assert_eq!(n.failure_count(), 0);
+        assert!(n.last_failure().is_none());
+        assert!(n.time_since_failure(SimTime::from_hours(1)).is_none());
+        n.record_failure(SimTime::from_hours(1));
+        n.record_failure(SimTime::from_hours(30));
+        assert_eq!(n.failure_count(), 2);
+        let now = SimTime::from_hours(31);
+        assert_eq!(n.failures_within(now, gfs_types::HOUR * 2), 1);
+        assert_eq!(n.failures_within(now, 40 * gfs_types::HOUR), 2);
+        assert_eq!(n.last_failure(), Some(SimTime::from_hours(30)));
+        assert_eq!(n.time_since_failure(now), Some(gfs_types::HOUR));
+        n.record_drain();
+        assert_eq!(n.drain_count(), 1);
+    }
+
+    #[test]
+    fn failure_history_is_bounded_but_total_is_not() {
+        let mut n = node();
+        for h in 0..1_000 {
+            n.record_failure(SimTime::from_hours(h));
+        }
+        assert!(n.failures_within(SimTime::from_hours(999), u64::MAX) <= 7 * 24 + 1);
+        assert_eq!(
+            n.failure_count(),
+            1_000,
+            "the lifetime counter never retires"
+        );
+        assert!(n.last_failure().is_some());
+    }
+
+    #[test]
     fn free_capacity_mixes_whole_and_fraction() {
         let mut n = node();
-        n.place_pod(TaskId::new(1), GpuDemand::whole(2), Priority::Hp).unwrap();
-        n.place_pod(TaskId::new(2), GpuDemand::fraction(0.5).unwrap(), Priority::Spot).unwrap();
+        n.place_pod(TaskId::new(1), GpuDemand::whole(2), Priority::Hp)
+            .unwrap();
+        n.place_pod(
+            TaskId::new(2),
+            GpuDemand::fraction(0.5).unwrap(),
+            Priority::Spot,
+        )
+        .unwrap();
         assert!((n.free_capacity() - 5.5).abs() < 1e-9);
         assert_eq!(n.allocated(), 2.5);
     }

@@ -7,9 +7,9 @@
 
 use std::cmp::Ordering;
 
-use gfs_types::{NodeId, Priority, SimTime, TaskId, TaskSpec};
+use gfs_types::{NodeId, Priority, SimDuration, SimTime, TaskId, TaskSpec};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, RunningTask};
 
 /// A placement decision for one task.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -133,6 +133,20 @@ pub enum TaskEvent {
     },
 }
 
+/// What to do with a task running on a node that just received a drain
+/// notice — the answer of [`Scheduler::drain_decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainDecision {
+    /// Migrate the gang now (graceful release with checkpointed progress,
+    /// requeue after the grace period) — early in the notice window,
+    /// before the forced deadline.
+    Migrate,
+    /// Leave the gang running on the draining node: it either finishes
+    /// inside the notice window or keeps checkpointing until the forced
+    /// shutdown displaces it at the deadline.
+    Stay,
+}
+
 /// A scheduling policy.
 ///
 /// Implementations must be deterministic: same state + same inputs must
@@ -153,6 +167,30 @@ pub trait Scheduler {
 
     /// Lifecycle notification hook.
     fn on_event(&mut self, _event: &TaskEvent, _cluster: &Cluster) {}
+
+    /// Chooses how `task`, running on a node whose drain notice just
+    /// landed, rides out the notice window. The simulator consults this
+    /// once per affected gang at the notice and executes the answer.
+    ///
+    /// The default reproduces the engine's historical hard-wired rule:
+    /// migrate exactly the gangs that cannot finish inside the window
+    /// (`remaining > notice`), leave the rest to finish in place. A
+    /// drain-aware policy may instead keep a can't-finish gang
+    /// checkpointing until the deadline when the cluster has no room for
+    /// it anyway — see `gfs_sched::placement::PlacementPolicy`.
+    fn drain_decision(
+        &self,
+        task: &RunningTask,
+        notice: SimDuration,
+        _cluster: &Cluster,
+        now: SimTime,
+    ) -> DrainDecision {
+        if task.remaining(now) > notice {
+            DrainDecision::Migrate
+        } else {
+            DrainDecision::Stay
+        }
+    }
 
     /// Relative queue priority of two pending tasks: `Less` runs first.
     ///

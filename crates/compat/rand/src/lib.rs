@@ -134,7 +134,10 @@ mod tests {
         }
 
         fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
     }
@@ -168,6 +171,9 @@ mod tests {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        assert!(lo < 0.01 && hi > 0.99, "samples span the interval: [{lo}, {hi}]");
+        assert!(
+            lo < 0.01 && hi > 0.99,
+            "samples span the interval: [{lo}, {hi}]"
+        );
     }
 }

@@ -229,11 +229,9 @@ pub mod de {
             if self.bytes.get(self.pos) == Some(&b'-') {
                 self.pos += 1;
             }
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
-            {
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
                 self.pos += 1;
             }
             if self.pos == start {

@@ -42,23 +42,36 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Newtype { name: String, inner: String },
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Newtype {
+        name: String,
+        inner: String,
+    },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives JSON serialization (see the crate docs for supported shapes).
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives JSON deserialization (see the crate docs for supported shapes).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -203,9 +216,7 @@ fn parse_serde_attr(stream: TokenStream) -> (Option<String>, bool) {
     while i < args.len() {
         if is_ident(args.get(i), "default") {
             default = true;
-        } else if is_ident(args.get(i), "skip_serializing_if")
-            && is_punct(args.get(i + 1), '=')
-        {
+        } else if is_ident(args.get(i), "skip_serializing_if") && is_punct(args.get(i + 1), '=') {
             if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
                 let text = lit.to_string();
                 skip_if = Some(text.trim_matches('"').to_string());
@@ -246,7 +257,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let Some(tok) = tokens.get(i) else { break };
         let field = ident_text(tok);
         i += 1;
-        assert!(is_punct(tokens.get(i), ':'), "expected ':' after field {field}");
+        assert!(
+            is_punct(tokens.get(i), ':'),
+            "expected ':' after field {field}"
+        );
         i += 1;
         let mut ty: Vec<TokenTree> = Vec::new();
         let mut angle = 0i32;
@@ -331,9 +345,9 @@ fn gen_serialize(item: &Item) -> String {
                          ::serde::Serialize::serialize_json(&self.{field}, out);"
                     );
                     match &f.skip_if {
-                        Some(pred) => body.push_str(&format!(
-                            "if !({pred}(&self.{field})) {{ {emit} }}"
-                        )),
+                        Some(pred) => {
+                            body.push_str(&format!("if !({pred}(&self.{field})) {{ {emit} }}"))
+                        }
                         None => body.push_str(&emit),
                     }
                 }
@@ -359,9 +373,9 @@ fn gen_serialize(item: &Item) -> String {
             for v in variants {
                 let vn = &v.name;
                 match &v.kind {
-                    VariantKind::Unit => body.push_str(&format!(
-                        "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),"
-                    )),
+                    VariantKind::Unit => {
+                        body.push_str(&format!("{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),"))
+                    }
                     VariantKind::Tuple(_) => body.push_str(&format!(
                         "{name}::{vn}(v0) => {{\
                              out.push_str(\"{{\\\"{vn}\\\":\");\
@@ -379,9 +393,7 @@ fn gen_serialize(item: &Item) -> String {
                             .map(|f| f.name.as_str())
                             .collect::<Vec<_>>()
                             .join(", ");
-                        let mut inner = format!(
-                            "out.push_str(\"{{\\\"{vn}\\\":{{\");"
-                        );
+                        let mut inner = format!("out.push_str(\"{{\\\"{vn}\\\":{{\");");
                         for (i, field) in fields.iter().enumerate() {
                             let f = &field.name;
                             if i > 0 {
@@ -393,9 +405,7 @@ fn gen_serialize(item: &Item) -> String {
                             ));
                         }
                         inner.push_str("out.push_str(\"}}\");");
-                        body.push_str(&format!(
-                            "{name}::{vn} {{ {pattern} }} => {{ {inner} }},"
-                        ));
+                        body.push_str(&format!("{name}::{vn} {{ {pattern} }} => {{ {inner} }},"));
                     }
                 }
             }
@@ -414,9 +424,7 @@ fn gen_deserialize(item: &Item) -> String {
     let (name, body) = match item {
         Item::Newtype { name, inner } => (
             name,
-            format!(
-                "Ok({name}(<{inner} as ::serde::Deserialize>::deserialize_json(p)?))"
-            ),
+            format!("Ok({name}(<{inner} as ::serde::Deserialize>::deserialize_json(p)?))"),
         ),
         Item::Struct { name, fields } => {
             let body = gen_struct_body(name, "", fields);
@@ -428,9 +436,9 @@ fn gen_deserialize(item: &Item) -> String {
             for v in variants {
                 let vn = &v.name;
                 match &v.kind {
-                    VariantKind::Unit => unit_arms.push_str(&format!(
-                        "\"{vn}\" => Ok({name}::{vn}),"
-                    )),
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"))
+                    }
                     VariantKind::Tuple(ty) => data_arms.push_str(&format!(
                         "\"{vn}\" => {name}::{vn}(\
                              <{ty} as ::serde::Deserialize>::deserialize_json(p)?\
@@ -485,7 +493,9 @@ fn gen_struct_body(name: &str, suffix: &str, fields: &[Field]) -> String {
     let mut build = String::new();
     for field in fields {
         let (f, ty) = (&field.name, &field.ty);
-        decls.push_str(&format!("let mut __f_{f}: ::core::option::Option<{ty}> = ::core::option::Option::None;"));
+        decls.push_str(&format!(
+            "let mut __f_{f}: ::core::option::Option<{ty}> = ::core::option::Option::None;"
+        ));
         arms.push_str(&format!(
             "\"{f}\" => __f_{f} = ::core::option::Option::Some(<{ty} as ::serde::Deserialize>::deserialize_json(p)?),"
         ));

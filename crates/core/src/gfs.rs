@@ -1,8 +1,9 @@
 //! The assembled GFS scheduler (Fig. 6): GDE + SQA + PTS behind the
 //! [`Scheduler`] trait, implementing the closed loop of Alg. 3.
 
-use gfs_cluster::{Cluster, Decision, Scheduler, TaskEvent};
-use gfs_types::{GfsParams, SimTime, TaskSpec};
+use gfs_cluster::{Cluster, Decision, DrainDecision, RunningTask, Scheduler, TaskEvent};
+use gfs_sched::placement::PlacementPolicy;
+use gfs_types::{GfsParams, SimDuration, SimTime, TaskSpec};
 
 use crate::gde::DemandEstimator;
 use crate::pts::{Pts, PtsVariant};
@@ -41,9 +42,24 @@ impl std::fmt::Debug for GfsScheduler {
 }
 
 impl GfsScheduler {
-    /// Creates the framework with an optional demand estimator.
+    /// Creates the framework with an optional demand estimator and
+    /// policy-less (naive) placement.
     #[must_use]
     pub fn new(params: GfsParams, variant: PtsVariant, gde: Option<DemandEstimator>) -> Self {
+        GfsScheduler::with_policy(params, variant, gde, PlacementPolicy::naive())
+    }
+
+    /// Creates the framework with a churn [`PlacementPolicy`] steering
+    /// the PTS node choice (domain spreading, reliability scoring, drain
+    /// awareness). A [`PlacementPolicy::naive`] policy reproduces
+    /// [`GfsScheduler::new`] bit for bit.
+    #[must_use]
+    pub fn with_policy(
+        params: GfsParams,
+        variant: PtsVariant,
+        gde: Option<DemandEstimator>,
+        policy: PlacementPolicy,
+    ) -> Self {
         let display_name = match (variant, &gde) {
             (PtsVariant::Full, Some(_)) => "GFS".to_string(),
             (PtsVariant::Full, None) => "GFS (no GDE)".to_string(),
@@ -53,7 +69,7 @@ impl GfsScheduler {
         };
         GfsScheduler {
             display_name,
-            pts: Pts::new(params.clone(), variant),
+            pts: Pts::with_policy(params.clone(), variant, policy),
             sqa: SpotQuotaAllocator::new(params.clone()),
             params,
             gde,
@@ -178,6 +194,16 @@ impl Scheduler for GfsScheduler {
     fn queue_cmp(&self, a: &TaskSpec, b: &TaskSpec) -> std::cmp::Ordering {
         Pts::task_order(a, b)
     }
+
+    fn drain_decision(
+        &self,
+        task: &RunningTask,
+        notice: SimDuration,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> DrainDecision {
+        self.pts.policy().drain_decision(task, notice, cluster, now)
+    }
 }
 
 #[cfg(test)]
@@ -198,18 +224,30 @@ mod tests {
     fn spot_blocked_until_first_quota_update() {
         let mut s = GfsScheduler::with_defaults();
         let c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        assert!(s.schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO).is_none());
+        assert!(s
+            .schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO)
+            .is_none());
         s.on_tick(SimTime::from_secs(300), &c);
         assert!(s.quota() > 0.0);
-        assert!(s.schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO).is_some());
+        assert!(s
+            .schedule(&task(1, Priority::Spot, 2), &c, SimTime::ZERO)
+            .is_some());
     }
 
     #[test]
     fn hp_ignores_quota_and_preempts() {
         let mut s = GfsScheduler::with_defaults();
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        let d = s.schedule(&task(2, Priority::Hp, 4), &c, SimTime::from_secs(10)).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 8),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        let d = s
+            .schedule(&task(2, Priority::Hp, 4), &c, SimTime::from_secs(10))
+            .unwrap();
         assert!(d.is_preemptive());
         assert_eq!(d.preemptions, vec![TaskId::new(1)]);
     }
@@ -223,7 +261,10 @@ mod tests {
         // storm of evictions within the window
         for i in 0..20 {
             s.on_event(
-                &TaskEvent::Evicted { task: TaskId::new(i), at: SimTime::from_secs(400) },
+                &TaskEvent::Evicted {
+                    task: TaskId::new(i),
+                    at: SimTime::from_secs(400),
+                },
                 &c,
             );
         }
@@ -238,16 +279,31 @@ mod tests {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
         s.on_tick(SimTime::from_secs(300), &c);
         assert!((s.quota() - 16.0).abs() < 1e-9);
-        c.fail_node(NodeId::new(1), SimTime::from_secs(400)).unwrap();
+        c.fail_node(NodeId::new(1), SimTime::from_secs(400))
+            .unwrap();
         s.on_event(
-            &TaskEvent::NodeDown { node: NodeId::new(1), lost_gpus: 8, at: SimTime::from_secs(400) },
+            &TaskEvent::NodeDown {
+                node: NodeId::new(1),
+                lost_gpus: 8,
+                at: SimTime::from_secs(400),
+            },
             &c,
         );
-        assert!((s.quota() - 8.0).abs() < 1e-9, "quota tracks the surviving fleet");
-        assert!(s.schedule(&task(1, Priority::Spot, 12), &c, SimTime::from_secs(401)).is_none());
-        c.restore_node(NodeId::new(1), SimTime::from_secs(500)).unwrap();
+        assert!(
+            (s.quota() - 8.0).abs() < 1e-9,
+            "quota tracks the surviving fleet"
+        );
+        assert!(s
+            .schedule(&task(1, Priority::Spot, 12), &c, SimTime::from_secs(401))
+            .is_none());
+        c.restore_node(NodeId::new(1), SimTime::from_secs(500))
+            .unwrap();
         s.on_event(
-            &TaskEvent::NodeUp { node: NodeId::new(1), restored_gpus: 8, at: SimTime::from_secs(500) },
+            &TaskEvent::NodeUp {
+                node: NodeId::new(1),
+                restored_gpus: 8,
+                at: SimTime::from_secs(500),
+            },
             &c,
         );
         assert!((s.quota() - 16.0).abs() < 1e-9);
@@ -261,7 +317,8 @@ mod tests {
         assert!((s.quota() - 16.0).abs() < 1e-9);
         // a draining node's cards can host nothing new: quota shrinks at
         // the notice, not at the deadline
-        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600)).unwrap();
+        c.drain_node(NodeId::new(1), SimTime::from_secs(3_600))
+            .unwrap();
         s.on_event(
             &TaskEvent::DrainNotice {
                 node: NodeId::new(1),
@@ -270,14 +327,24 @@ mod tests {
             },
             &c,
         );
-        assert!((s.quota() - 8.0).abs() < 1e-9, "quota tracks the schedulable fleet");
+        assert!(
+            (s.quota() - 8.0).abs() < 1e-9,
+            "quota tracks the schedulable fleet"
+        );
         // scale-out grows it right back
         let added = c.add_node(GpuModel::A100, 8);
         s.on_event(
-            &TaskEvent::NodeAdded { node: added, added_gpus: 8, at: SimTime::from_secs(500) },
+            &TaskEvent::NodeAdded {
+                node: added,
+                added_gpus: 8,
+                at: SimTime::from_secs(500),
+            },
             &c,
         );
-        assert!((s.quota() - 16.0).abs() < 1e-9, "fresh capacity admits spot immediately");
+        assert!(
+            (s.quota() - 16.0).abs() < 1e-9,
+            "fresh capacity admits spot immediately"
+        );
     }
 
     #[test]

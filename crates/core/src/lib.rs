@@ -17,6 +17,14 @@
 //! trait (Alg. 3); [`PtsVariant`] selects the Table 10 ablation variants;
 //! [`milp`] holds the exhaustive reference solver for the Eq. 12 program.
 //!
+//! [`PtsScheduler`] exposes the bare placement engine (no quota, no
+//! estimator) as a scheduler of its own — the placement-policy ablation
+//! row: pair it with a `gfs_sched::PlacementPolicy` to measure what
+//! churn-aware placement contributes independently of spot admission.
+//! Both it and [`GfsScheduler`] accept a policy
+//! ([`GfsScheduler::with_policy`]); the default is naive (policy-less)
+//! placement, bit-identical to the pre-policy behaviour.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,9 +51,11 @@ mod gde;
 mod gfs;
 pub mod milp;
 mod pts;
+mod pts_sched;
 mod sqa;
 
 pub use gde::DemandEstimator;
 pub use gfs::GfsScheduler;
 pub use pts::{Pts, PtsVariant};
+pub use pts_sched::PtsScheduler;
 pub use sqa::SpotQuotaAllocator;

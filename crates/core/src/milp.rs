@@ -178,7 +178,9 @@ mod tests {
                 let node = NodeId::new((i as u32 + seed as u32) % 2);
                 if c.node(node).unwrap().idle_gpus() >= g {
                     let (s, _) = spot(i as u64 + 1, g, seed * 100);
-                    if c.start_task(s, &[node], SimTime::from_secs(seed * 100), 0).is_ok() {
+                    if c.start_task(s, &[node], SimTime::from_secs(seed * 100), 0)
+                        .is_ok()
+                    {
                         placed += 1;
                     }
                 }

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use gfs_cluster::{Cluster, Node, RunningTask};
+use gfs_sched::placement::{DomainUse, PlacementPolicy};
 use gfs_types::{GfsParams, GpuDemand, NodeId, Priority, SimTime, TaskId, TaskSpec, HOUR};
 
 /// Which degradation (if any) to apply — the Table 10 ablation variants.
@@ -47,19 +48,40 @@ impl PtsVariant {
 pub struct Pts {
     params: GfsParams,
     variant: PtsVariant,
+    policy: PlacementPolicy,
 }
 
 impl Pts {
-    /// Creates the engine.
+    /// Creates the engine with policy-less (naive) placement.
     #[must_use]
     pub fn new(params: GfsParams, variant: PtsVariant) -> Self {
-        Pts { params, variant }
+        Pts::with_policy(params, variant, PlacementPolicy::naive())
+    }
+
+    /// Creates the engine with a churn [`PlacementPolicy`]: the policy's
+    /// spread / drain-avoidance / reliability components lead the
+    /// lexicographic node score, ahead of `<Score1, Score2, Score3>`, so
+    /// a [`PlacementPolicy::naive`] engine decides bit-for-bit like one
+    /// built by [`Pts::new`].
+    #[must_use]
+    pub fn with_policy(params: GfsParams, variant: PtsVariant, policy: PlacementPolicy) -> Self {
+        Pts {
+            params,
+            variant,
+            policy,
+        }
     }
 
     /// The active variant.
     #[must_use]
     pub fn variant(&self) -> PtsVariant {
         self.variant
+    }
+
+    /// The active churn policy.
+    #[must_use]
+    pub fn policy(&self) -> &PlacementPolicy {
+        &self.policy
     }
 
     /// Weighted node eviction rate `ē` (Eq. 15).
@@ -109,6 +131,12 @@ impl Pts {
     }
 
     /// Non-preemptive scheduling (Alg. 1): one node per pod, or `None`.
+    ///
+    /// With a non-naive [`PlacementPolicy`] the policy's components lead
+    /// the per-candidate key lexicographically — reliability, then drain
+    /// avoidance, then gang spread, then the paper's
+    /// `<Score1, Score2, Score3>`; disabled components are constant, so
+    /// the comparison falls through to the native scores.
     #[must_use]
     pub fn schedule_nonpreemptive(
         &self,
@@ -124,6 +152,7 @@ impl Pts {
             GpuDemand::Fraction(f) => cluster.fraction_fit_candidates(task.gpu_model, f),
         };
         let mut budget: HashMap<NodeId, u32> = HashMap::new();
+        let mut used_domains = DomainUse::new();
         let mut out = Vec::with_capacity(task.pods as usize);
         for _ in 0..task.pods {
             let candidate = candidates
@@ -138,7 +167,20 @@ impl Pts {
                     }
                 })
                 .filter_map(|(id, n)| {
-                    self.node_scores(n, task.priority, now).map(|s| (id, s))
+                    let (s1, s2, s3) = self.node_scores(n, task.priority, now)?;
+                    // reliability outranks spread: avoiding flaky hardware
+                    // beats separating pods — anti-affinity then chooses
+                    // *among* the reliable candidates, never overrides them
+                    // into a failure-prone rack
+                    let key = (
+                        self.policy.reliability_component(n, now),
+                        self.policy.drain_component(cluster, id),
+                        self.policy.spread_component(cluster, id, &used_domains),
+                        s1,
+                        s2,
+                        s3,
+                    );
+                    Some((id, key))
                 })
                 .max_by(|a, b| {
                     a.1.partial_cmp(&b.1)
@@ -151,6 +193,9 @@ impl Pts {
                     .entry(candidate)
                     .or_insert_with(|| cluster.nodes()[candidate.index()].idle_gpus());
                 *entry -= g;
+            }
+            if self.policy.spread_domains {
+                used_domains.note(PlacementPolicy::domain_key(cluster, candidate));
             }
             out.push(candidate);
         }
@@ -217,7 +262,8 @@ impl Pts {
                         .map(|p| p.alloc.cards())
                         .sum()
                 };
-                let total_reclaimable: f64 = idle + spots.iter().map(|rt| local_gpus(rt)).sum::<f64>();
+                let total_reclaimable: f64 =
+                    idle + spots.iter().map(|rt| local_gpus(rt)).sum::<f64>();
                 if total_reclaimable + 1e-9 < need {
                     continue; // even full eviction cannot host this pod
                 }
@@ -225,8 +271,7 @@ impl Pts {
                     // GFS-p: victims in pseudo-random (id-hash) order
                     let mut order: Vec<&RunningTask> = spots.clone();
                     order.sort_by_key(|rt| {
-                        rt.spec.id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            ^ u64::from(pod)
+                        rt.spec.id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(pod)
                     });
                     let mut r = idle;
                     let mut vs = Vec::new();
@@ -346,19 +391,41 @@ mod tests {
     #[test]
     fn packing_prefers_fuller_nodes() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 1, 4),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let nodes = pts()
             .schedule_nonpreemptive(&task(2, Priority::Hp, 1, 2), &c, SimTime::ZERO)
             .unwrap();
-        assert_eq!(nodes, vec![NodeId::new(1)], "Score1 packs onto the loaded node");
+        assert_eq!(
+            nodes,
+            vec![NodeId::new(1)],
+            "Score1 packs onto the loaded node"
+        );
     }
 
     #[test]
     fn colocation_separates_priorities() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
         // equal fill so Score1 ties: node0 runs HP, node1 runs spot
-        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            task(2, Priority::Spot, 1, 4),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let p = pts();
         let hp_nodes = p
             .schedule_nonpreemptive(&task(3, Priority::Hp, 1, 2), &c, SimTime::ZERO)
@@ -367,7 +434,11 @@ mod tests {
         let spot_nodes = p
             .schedule_nonpreemptive(&task(4, Priority::Spot, 1, 2), &c, SimTime::ZERO)
             .unwrap();
-        assert_eq!(spot_nodes, vec![NodeId::new(1)], "spot co-locates with spot");
+        assert_eq!(
+            spot_nodes,
+            vec![NodeId::new(1)],
+            "spot co-locates with spot"
+        );
     }
 
     #[test]
@@ -399,7 +470,13 @@ mod tests {
     #[test]
     fn nonpreemptive_fails_when_full() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 1, 8),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         assert!(pts()
             .schedule_nonpreemptive(&task(2, Priority::Hp, 1, 4), &c, SimTime::ZERO)
             .is_none());
@@ -409,33 +486,70 @@ mod tests {
     fn preemption_spares_high_waste_victims() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
         // old task: huge waste since last checkpoint at 1800-boundary
-        c.start_task(task(1, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         // young task: little waste
-        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::from_secs(3_500), 0).unwrap();
+        c.start_task(
+            task(2, Priority::Spot, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::from_secs(3_500),
+            0,
+        )
+        .unwrap();
         let now = SimTime::from_secs(3_599); // old: 1799s since checkpoint; young: 99s
         let (nodes, victims) = pts()
             .schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, now)
             .unwrap();
         assert_eq!(nodes, vec![NodeId::new(0)]);
-        assert_eq!(victims, vec![TaskId::new(2)], "the young (low-waste) task is evicted");
+        assert_eq!(
+            victims,
+            vec![TaskId::new(2)],
+            "the young (low-waste) task is evicted"
+        );
     }
 
     #[test]
     fn preemption_prefers_free_nodes() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 1, 8),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let (nodes, victims) = pts()
             .schedule_preemptive(&task(2, Priority::Hp, 1, 4), &c, SimTime::from_secs(10))
             .unwrap();
         assert_eq!(nodes, vec![NodeId::new(1)]);
-        assert!(victims.is_empty(), "no eviction needed: zero-victim plan wins");
+        assert!(
+            victims.is_empty(),
+            "no eviction needed: zero-victim plan wins"
+        );
     }
 
     #[test]
     fn preemptive_gang_across_nodes() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(task(2, Priority::Spot, 1, 8), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 1, 8),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            task(2, Priority::Spot, 1, 8),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let gang = task(3, Priority::Hp, 2, 8);
         let (nodes, victims) = pts()
             .schedule_preemptive(&gang, &c, SimTime::from_secs(100))
@@ -456,21 +570,49 @@ mod tests {
     fn degraded_scoring_uses_packing_only() {
         let p = Pts::new(GfsParams::default(), PtsVariant::SimpleScoring);
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Hp, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            task(2, Priority::Spot, 1, 4),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         // co-location would pick node 1 for spot; packing-only ties → lowest id
         let nodes = p
             .schedule_nonpreemptive(&task(3, Priority::Spot, 1, 2), &c, SimTime::ZERO)
             .unwrap();
-        assert_eq!(nodes, vec![NodeId::new(0)], "tie broken by node id, no co-location");
+        assert_eq!(
+            nodes,
+            vec![NodeId::new(0)],
+            "tie broken by node id, no co-location"
+        );
     }
 
     #[test]
     fn random_preemption_is_deterministic_but_not_cost_driven() {
         let p = Pts::new(GfsParams::default(), PtsVariant::RandomPreemption);
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(task(2, Priority::Spot, 1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            task(2, Priority::Spot, 1, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let a = p.schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, SimTime::from_secs(50));
         let b = p.schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, SimTime::from_secs(50));
         assert_eq!(a, b, "hash-based choice is reproducible");

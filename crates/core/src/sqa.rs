@@ -270,7 +270,11 @@ mod tests {
             sqa.record_spot_start(id(100 + i), now, 10);
         }
         sqa.update(now, &c, 0.0);
-        assert!((sqa.eta() - 0.2).abs() < 1e-9, "η ×= 0.1/0.5, got {}", sqa.eta());
+        assert!(
+            (sqa.eta() - 0.2).abs() < 1e-9,
+            "η ×= 0.1/0.5, got {}",
+            sqa.eta()
+        );
     }
 
     #[test]
@@ -292,7 +296,11 @@ mod tests {
         // zero evictions, but an over-threshold queue wait
         sqa.record_spot_start(id(1), now, 2 * HOUR);
         sqa.update(now, &c, 0.0);
-        assert!((sqa.eta() - 1.5).abs() < 1e-9, "η ×= 1.5 − 0, got {}", sqa.eta());
+        assert!(
+            (sqa.eta() - 1.5).abs() < 1e-9,
+            "η ×= 1.5 − 0, got {}",
+            sqa.eta()
+        );
     }
 
     #[test]
@@ -339,7 +347,10 @@ mod tests {
 
     #[test]
     fn frozen_rule_never_moves_eta() {
-        let p = GfsParams::builder().eta_rule(EtaUpdateRule::Frozen).build().unwrap();
+        let p = GfsParams::builder()
+            .eta_rule(EtaUpdateRule::Frozen)
+            .build()
+            .unwrap();
         let mut sqa = SpotQuotaAllocator::new(p);
         let c = cluster();
         let now = SimTime::from_hours(1);
@@ -370,7 +381,8 @@ mod tests {
         // first update" wins
         let mut sqa = SpotQuotaAllocator::new(params());
         let mut c = cluster();
-        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10)).unwrap();
+        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10))
+            .unwrap();
         sqa.refresh_capacity(&c);
         assert_eq!(sqa.quota(), 0.0);
         assert!(!sqa.admits(&c, 1.0));
@@ -383,14 +395,22 @@ mod tests {
         sqa.update(SimTime::ZERO, &c, 8.0); // f = 24, quota = 24
         assert!((sqa.quota() - 24.0).abs() < 1e-9);
         // half the fleet dies: the quota must shrink before the next tick
-        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10)).unwrap();
-        c.fail_node(gfs_types::NodeId::new(1), SimTime::from_secs(10)).unwrap();
+        c.fail_node(gfs_types::NodeId::new(0), SimTime::from_secs(10))
+            .unwrap();
+        c.fail_node(gfs_types::NodeId::new(1), SimTime::from_secs(10))
+            .unwrap();
         sqa.refresh_capacity(&c);
-        assert!((sqa.quota() - 8.0).abs() < 1e-9, "16 − 8 forecast, got {}", sqa.quota());
+        assert!(
+            (sqa.quota() - 8.0).abs() < 1e-9,
+            "16 − 8 forecast, got {}",
+            sqa.quota()
+        );
         assert!(!sqa.admits(&c, 9.0));
         // recovery restores the original quota (same forecast)
-        c.restore_node(gfs_types::NodeId::new(0), SimTime::from_secs(20)).unwrap();
-        c.restore_node(gfs_types::NodeId::new(1), SimTime::from_secs(20)).unwrap();
+        c.restore_node(gfs_types::NodeId::new(0), SimTime::from_secs(20))
+            .unwrap();
+        c.restore_node(gfs_types::NodeId::new(1), SimTime::from_secs(20))
+            .unwrap();
         sqa.refresh_capacity(&c);
         assert!((sqa.quota() - 24.0).abs() < 1e-9);
     }

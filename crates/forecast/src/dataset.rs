@@ -108,7 +108,9 @@ impl OrgDataset {
             )));
         }
         if series.is_empty() {
-            return Err(Error::Shape("dataset needs at least one organization".into()));
+            return Err(Error::Shape(
+                "dataset needs at least one organization".into(),
+            ));
         }
         let len = series[0].len();
         if series.iter().any(|s| s.len() != len) {
@@ -301,11 +303,21 @@ mod tests {
 
     fn toy() -> OrgDataset {
         let series: Vec<Vec<f64>> = (0..2)
-            .map(|o| (0..500).map(|i| (i % 24) as f64 + o as f64 * 10.0).collect())
+            .map(|o| {
+                (0..500)
+                    .map(|i| (i % 24) as f64 + o as f64 * 10.0)
+                    .collect()
+            })
             .collect();
         let orgs = vec![
-            OrgInfo { name: "A".into(), attrs: vec![0, 0] },
-            OrgInfo { name: "B".into(), attrs: vec![1, 2] },
+            OrgInfo {
+                name: "A".into(),
+                attrs: vec![0, 0],
+            },
+            OrgInfo {
+                name: "B".into(),
+                attrs: vec![1, 2],
+            },
         ];
         OrgDataset::new(series, orgs, vec![2, 3], vec![false, true], 168, 24).unwrap()
     }
@@ -361,11 +373,18 @@ mod tests {
 
     #[test]
     fn new_validates_shapes() {
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![0] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![0],
+        }];
         // attr id out of vocab
-        assert!(OrgDataset::new(vec![vec![0.0; 300]], orgs.clone(), vec![0], vec![], 100, 10).is_err());
+        assert!(
+            OrgDataset::new(vec![vec![0.0; 300]], orgs.clone(), vec![0], vec![], 100, 10).is_err()
+        );
         // series too short
-        assert!(OrgDataset::new(vec![vec![0.0; 50]], orgs.clone(), vec![1], vec![], 100, 10).is_err());
+        assert!(
+            OrgDataset::new(vec![vec![0.0; 50]], orgs.clone(), vec![1], vec![], 100, 10).is_err()
+        );
         // count mismatch
         assert!(OrgDataset::new(vec![], vec![], vec![], vec![], 10, 1).is_err());
         // ok
@@ -382,10 +401,23 @@ mod tests {
     #[test]
     fn ragged_series_rejected() {
         let orgs = vec![
-            OrgInfo { name: "A".into(), attrs: vec![] },
-            OrgInfo { name: "B".into(), attrs: vec![] },
+            OrgInfo {
+                name: "A".into(),
+                attrs: vec![],
+            },
+            OrgInfo {
+                name: "B".into(),
+                attrs: vec![],
+            },
         ];
-        let r = OrgDataset::new(vec![vec![0.0; 300], vec![0.0; 200]], orgs, vec![], vec![], 100, 10);
+        let r = OrgDataset::new(
+            vec![vec![0.0; 300], vec![0.0; 200]],
+            orgs,
+            vec![],
+            vec![],
+            100,
+            10,
+        );
         assert!(r.is_err());
     }
 }

@@ -23,7 +23,10 @@
 /// ```
 #[must_use]
 pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
-    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    assert!(
+        window % 2 == 1 && window > 0,
+        "window must be odd and positive"
+    );
     if xs.is_empty() {
         return Vec::new();
     }
@@ -100,7 +103,10 @@ pub fn decompose_into(xs: &[f64], window: usize, trend: &mut [f64], cyclical: &m
 /// comparing reflection vs zero padding at series boundaries.
 #[must_use]
 pub fn moving_average_zero_pad(xs: &[f64], window: usize) -> Vec<f64> {
-    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    assert!(
+        window % 2 == 1 && window > 0,
+        "window must be odd and positive"
+    );
     let half = window / 2;
     let mut padded = vec![0.0; xs.len() + 2 * half];
     padded[half..half + xs.len()].copy_from_slice(xs);
@@ -122,7 +128,9 @@ mod tests {
 
     #[test]
     fn decompose_sums_back() {
-        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() + i as f64 * 0.1).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.3).sin() + i as f64 * 0.1)
+            .collect();
         let (trend, cyc) = decompose(&xs, 7);
         for i in 0..xs.len() {
             assert!((trend[i] + cyc[i] - xs[i]).abs() < 1e-12);
@@ -161,7 +169,10 @@ mod tests {
         let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let trend = moving_average(&xs, 5);
         for i in 2..28 {
-            assert!((trend[i] - xs[i]).abs() < 1e-9, "interior of a line is unchanged");
+            assert!(
+                (trend[i] - xs[i]).abs() < 1e-9,
+                "interior of a line is unchanged"
+            );
         }
     }
 }

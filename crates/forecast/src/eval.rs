@@ -50,7 +50,10 @@ mod tests {
         let series = vec![(0..500)
             .map(|i| 50.0 + 10.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![0] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![0],
+        }];
         OrgDataset::new(series, orgs, vec![1], vec![], 96, 12).unwrap()
     }
 

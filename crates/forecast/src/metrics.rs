@@ -77,7 +77,11 @@ pub fn maqe(p: f64, mu: &[f64], sigma: &[f64], actual: &[f64]) -> f64 {
         if actual[i].abs() > 1e-9 {
             // quantile loss (pinball), normalised
             let diff = actual[i] - q;
-            let loss = if diff >= 0.0 { p * diff } else { (p - 1.0) * diff };
+            let loss = if diff >= 0.0 {
+                p * diff
+            } else {
+                (p - 1.0) * diff
+            };
             total += loss / actual[i].abs();
             count += 1;
         }
@@ -112,7 +116,11 @@ pub struct ModelScores {
 }
 
 fn check(pred: &[f64], actual: &[f64]) {
-    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    assert_eq!(
+        pred.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
 }
 
 #[cfg(test)]

@@ -112,7 +112,10 @@ mod tests {
         let series = vec![(0..240)
             .map(|i| 20.0 + 0.05 * i as f64 + 3.0 * ((i % 24) as f64).sin())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
         let mut m = AutoformerForecaster::new(&data, 3);
         let mut cfg = TrainConfig::fast();

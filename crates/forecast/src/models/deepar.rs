@@ -136,7 +136,8 @@ impl Forecaster for DeepAr {
                     .as_slice()
                     .iter()
                     .map(|&z| {
-                        self.norm.denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR)
+                        self.norm
+                            .denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR)
                     })
                     .collect(),
             ),
@@ -154,7 +155,10 @@ mod tests {
         let series = vec![(0..220)
             .map(|i| 15.0 + 4.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
         let mut m = DeepAr::new(&data, 5);
         assert!(m.is_probabilistic());

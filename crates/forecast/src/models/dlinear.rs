@@ -131,7 +131,10 @@ mod tests {
         let series = vec![(0..500)
             .map(|i| 40.0 + 8.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).cos())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         OrgDataset::new(series, orgs, vec![], vec![], 96, 12).unwrap()
     }
 
@@ -160,6 +163,9 @@ mod tests {
         let s = Sample { org: 0, start: 320 };
         let f = m.predict(&d, s);
         let err = crate::metrics::mae(&f.mean, d.target(s));
-        assert!(err < 3.0, "diurnal sine should be near-exactly linear-predictable, got {err}");
+        assert!(
+            err < 3.0,
+            "diurnal sine should be near-exactly linear-predictable, got {err}"
+        );
     }
 }

@@ -146,7 +146,10 @@ mod tests {
         let series = vec![(0..300)
             .map(|i| 10.0 + ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
         let mut m = FedformerForecaster::new(&data, 9);
         assert_eq!(m.modes(), 16);

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn fit_and_predict_shapes() {
         let series = vec![(0..240).map(|i| (i % 24) as f64).collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
         let mut m = InformerForecaster::new(&data, 2);
         let mut cfg = TrainConfig::fast();
@@ -113,7 +116,10 @@ mod tests {
     #[test]
     fn odd_window_length_supported() {
         let series = vec![(0..200).map(|i| (i % 5) as f64).collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 49, 4).unwrap();
         let m = InformerForecaster::new(&data, 2);
         let mut g = Graph::new();

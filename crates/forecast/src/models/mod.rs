@@ -201,8 +201,14 @@ mod tests {
     #[test]
     fn minibatches_deterministic_per_epoch() {
         let samples: Vec<Sample> = (0..10).map(|i| Sample { org: 0, start: i }).collect();
-        assert_eq!(minibatches(&samples, 4, 9, 3), minibatches(&samples, 4, 9, 3));
-        assert_ne!(minibatches(&samples, 4, 9, 3), minibatches(&samples, 4, 9, 4));
+        assert_eq!(
+            minibatches(&samples, 4, 9, 3),
+            minibatches(&samples, 4, 9, 3)
+        );
+        assert_ne!(
+            minibatches(&samples, 4, 9, 3),
+            minibatches(&samples, 4, 9, 4)
+        );
     }
 
     #[test]

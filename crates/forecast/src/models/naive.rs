@@ -105,7 +105,10 @@ mod tests {
 
     fn data() -> OrgDataset {
         let series = vec![(0..300).map(|i| (i % 24) as f64).collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         OrgDataset::new(series, orgs, vec![], vec![], 168, 24).unwrap()
     }
 
@@ -137,7 +140,10 @@ mod tests {
     fn seasonal_naive_handles_long_horizon() {
         // horizon longer than one season wraps to further-back values
         let series = vec![(0..300).map(|i| (i % 6) as f64).collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let d = OrgDataset::new(series, orgs, vec![], vec![], 24, 18).unwrap();
         let f = SeasonalNaive::new(6).predict(&d, Sample { org: 0, start: 0 });
         let s = Sample { org: 0, start: 0 };

@@ -100,7 +100,11 @@ impl OrgLinear {
     }
 
     fn context_dim(data: &OrgDataset) -> usize {
-        let business = if data.attr_vocab().is_empty() { 0 } else { BUSINESS_DIM };
+        let business = if data.attr_vocab().is_empty() {
+            0
+        } else {
+            BUSINESS_DIM
+        };
         business + 3 * TEMPORAL_DIM
     }
 
@@ -278,7 +282,10 @@ impl Forecaster for OrgLinear {
             .value(sigma_pre)
             .as_slice()
             .iter()
-            .map(|&z| self.norm.denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR))
+            .map(|&z| {
+                self.norm
+                    .denorm_std(sample.org, gfs_nn::softplus(z) + SIGMA_FLOOR)
+            })
             .collect();
         Forecast {
             mean,
@@ -365,7 +372,10 @@ mod tests {
     #[test]
     fn works_without_business_attributes() {
         let series = vec![(0..400).map(|i| (i % 7) as f64).collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "solo".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "solo".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 96, 12).unwrap();
         let mut m = OrgLinear::new(&data, 1);
         m.fit(&data, &TrainConfig::fast());

@@ -25,7 +25,11 @@ pub(crate) trait SeqModel {
 }
 
 /// Generic MSE training loop over the chronological train split.
-pub(crate) fn fit_seq<M: SeqModel>(model: &mut M, data: &OrgDataset, cfg: &TrainConfig) -> FitReport {
+pub(crate) fn fit_seq<M: SeqModel>(
+    model: &mut M,
+    data: &OrgDataset,
+    cfg: &TrainConfig,
+) -> FitReport {
     let start = Instant::now();
     model.set_norm(data.normalizer(cfg.train_frac));
     let (train, _) = data.split(cfg.stride, cfg.train_frac);

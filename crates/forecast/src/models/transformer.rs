@@ -102,7 +102,10 @@ mod tests {
         let series = vec![(0..260)
             .map(|i| 30.0 + 5.0 * ((i % 12) as f64 / 12.0 * std::f64::consts::TAU).sin())
             .collect::<Vec<_>>()];
-        let orgs = vec![OrgInfo { name: "A".into(), attrs: vec![] }];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
         let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
         let mut m = TransformerForecaster::new(&data, 4);
         let mut cfg = TrainConfig::fast();

@@ -17,16 +17,16 @@ pub fn normal_cdf(x: f64) -> f64 {
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let ans = t * (-z * z - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -42,7 +42,10 @@ pub fn erfc(x: f64) -> f64 {
 /// Panics unless `0 < p < 1`.
 #[must_use]
 pub fn normal_icdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile level must lie in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile level must lie in (0, 1), got {p}"
+    );
 
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -75,7 +78,6 @@ pub fn normal_icdf(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
 
-    
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

@@ -159,6 +159,9 @@ mod tests {
         assert_eq!(rows.len(), RunSummary::DYNAMICS_METRICS_START + 2);
         assert!(rows.iter().any(|r| r.metric == "migration_count"));
         assert!(rows.iter().any(|r| r.metric == "added_gpus"));
-        assert!(rows.iter().all(|r| r.metric != "node_drains"), "still all-zero");
+        assert!(
+            rows.iter().all(|r| r.metric != "node_drains"),
+            "still all-zero"
+        );
     }
 }

@@ -14,6 +14,8 @@ use gfs_types::{
     TaskSpec,
 };
 
+use gfs_sched::PlacementPolicy;
+
 use crate::pool::{run_indexed, Threads};
 use crate::report::{CellSummary, GridReport};
 
@@ -40,6 +42,11 @@ pub struct ClusterShape {
     pub name: String,
     /// The pools, in node-id order.
     pub groups: Vec<NodeGroup>,
+    /// Failure-domain topology: nodes per rack. When set, [`ClusterShape::build`]
+    /// declares [`FailureDomain::racks`] on the cluster, so churn-aware
+    /// placement policies can answer domain queries; `None` builds the
+    /// classic topology-less cluster.
+    pub rack_size: Option<u32>,
 }
 
 impl ClusterShape {
@@ -54,7 +61,12 @@ impl ClusterShape {
     pub fn homogeneous(model: GpuModel, nodes: u32, gpus_per_node: u32) -> Self {
         ClusterShape {
             name: format!("{nodes}{}", model.to_string().to_lowercase()),
-            groups: vec![NodeGroup { nodes, gpus_per_node, model }],
+            groups: vec![NodeGroup {
+                nodes,
+                gpus_per_node,
+                model,
+            }],
+            rack_size: None,
         }
     }
 
@@ -68,14 +80,22 @@ impl ClusterShape {
             .map(|g| format!("{}{}", g.nodes, g.model.to_string().to_lowercase()))
             .collect::<Vec<_>>()
             .join("+");
-        ClusterShape { name, groups }
+        ClusterShape {
+            name,
+            groups,
+            rack_size: None,
+        }
     }
 
     /// Appends one pool (builder style): `nodes` machines of `model` with
     /// `gpus_per_node` cards, taking the next node-id range.
     #[must_use]
     pub fn nodes_with_model(mut self, model: GpuModel, nodes: u32, gpus_per_node: u32) -> Self {
-        self.groups.push(NodeGroup { nodes, gpus_per_node, model });
+        self.groups.push(NodeGroup {
+            nodes,
+            gpus_per_node,
+            model,
+        });
         self
     }
 
@@ -83,6 +103,17 @@ impl ClusterShape {
     #[must_use]
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Declares the failure-domain topology: racks of `rack_size` nodes,
+    /// node ids split sequentially ([`FailureDomain::racks`]). Keep it
+    /// consistent with the rack size any correlated
+    /// [`DynamicsAxis`] of the same grid uses, so placement anticipates
+    /// the blast radii the timeline actually exercises.
+    #[must_use]
+    pub fn racked(mut self, rack_size: u32) -> Self {
+        self.rack_size = Some(rack_size);
         self
     }
 
@@ -123,7 +154,8 @@ impl ClusterShape {
         out
     }
 
-    /// Materialises the cluster: node ids run sequentially across groups.
+    /// Materialises the cluster: node ids run sequentially across groups,
+    /// and a [`ClusterShape::racked`] shape declares its failure domains.
     #[must_use]
     pub fn build(&self) -> Cluster {
         let mut nodes = Vec::new();
@@ -134,12 +166,16 @@ impl ClusterShape {
                 next += 1;
             }
         }
-        Cluster::new(nodes)
+        let mut cluster = Cluster::new(nodes);
+        if let Some(rack) = self.rack_size {
+            cluster.set_failure_domains(&FailureDomain::racks(self.node_count(), rack));
+        }
+        cluster
     }
 }
 
 /// Everything a scheduler constructor may condition on: the cell's shape,
-/// parameter override and the run's seed.
+/// placement policy, parameter override and the run's seed.
 #[derive(Debug, Clone)]
 pub struct RunContext<'a> {
     /// Cluster shape of the cell.
@@ -149,6 +185,10 @@ pub struct RunContext<'a> {
     /// Dynamics-axis label of the cell (`"none"` when no axis is
     /// declared).
     pub dynamics: &'a str,
+    /// Placement policy of the cell (naive when no axis is declared).
+    /// Policy-capable constructors (the facade's `gfs::scenario` specs)
+    /// pass it into their schedulers; baselines ignore it.
+    pub policy: &'a PlacementPolicy,
     /// Parameter override of the cell.
     pub params: &'a GfsParams,
     /// Replication seed of this run.
@@ -265,7 +305,11 @@ impl WorkloadAxis {
     #[must_use]
     pub fn generated(name: impl Into<String>, base: WorkloadConfig) -> Self {
         WorkloadAxis::new(name, move |_, seed| {
-            WorkloadGenerator::new(WorkloadConfig { seed, ..base.clone() }).generate()
+            WorkloadGenerator::new(WorkloadConfig {
+                seed,
+                ..base.clone()
+            })
+            .generate()
         })
     }
 
@@ -280,13 +324,27 @@ impl WorkloadAxis {
         spot_load: f64,
     ) -> Self {
         WorkloadAxis::new(name, move |shape, seed| {
-            let cfg = WorkloadConfig { seed, ..base.clone() }.sized_for(
-                shape.capacity_gpus(),
-                hp_load,
-                spot_load,
-            );
+            let cfg = WorkloadConfig {
+                seed,
+                ..base.clone()
+            }
+            .sized_for(shape.capacity_gpus(), hp_load, spot_load);
             WorkloadGenerator::new(cfg).generate()
         })
+    }
+
+    /// A *controlled* trace for like-for-like placement comparisons:
+    /// fixed-size, fixed-duration HP tasks on a seeded jittered cadence
+    /// (every `gang_every`-th a two-pod gang), plus checkpointed spot
+    /// tasks — see [`UniformTrace`]. Generated workloads draw durations
+    /// from a log-normal body scaled by request size, so *which* tasks a
+    /// churny run displaces correlates with duration and JCT-over-subset
+    /// metrics measure composition; a uniform trace gives every task one
+    /// baseline, isolating the overhead a placement policy can actually
+    /// influence.
+    #[must_use]
+    pub fn uniform(name: impl Into<String>, cfg: UniformTrace) -> Self {
+        WorkloadAxis::new(name, move |_, seed| cfg.build(seed))
     }
 
     /// A generated workload for heterogeneous shapes: the configured task
@@ -335,6 +393,98 @@ impl WorkloadAxis {
     #[must_use]
     pub fn build(&self, shape: &ClusterShape, seed: u64) -> Vec<TaskSpec> {
         (self.build)(shape, seed)
+    }
+}
+
+/// Parameters of [`WorkloadAxis::uniform`]: a controlled-duration trace
+/// whose only per-seed variation is submit-time jitter, built for
+/// isolating placement effects (policy ablations, golden pins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformTrace {
+    /// HP tasks submitted, one every `hp_cadence_secs`.
+    pub hp_tasks: u32,
+    /// Spot tasks submitted, one every `spot_cadence_secs`.
+    pub spot_tasks: u32,
+    /// Whole cards per pod (every task).
+    pub gpus_per_pod: u32,
+    /// Every `gang_every`-th HP task is a two-pod gang (0 = never).
+    pub gang_every: u32,
+    /// HP task duration, seconds (exact — no distribution).
+    pub duration_secs: SimDuration,
+    /// Spot task duration, seconds.
+    pub spot_duration_secs: SimDuration,
+    /// Seconds between HP submissions (jittered by up to 900 s).
+    pub hp_cadence_secs: SimDuration,
+    /// Seconds between spot submissions (jittered by up to 900 s).
+    pub spot_cadence_secs: SimDuration,
+    /// Checkpoint interval sold with the spot tasks, seconds.
+    pub checkpoint_secs: SimDuration,
+    /// Guaranteed duration sold with the spot tasks, seconds.
+    pub guarantee_secs: SimDuration,
+}
+
+impl Default for UniformTrace {
+    fn default() -> Self {
+        UniformTrace {
+            hp_tasks: 48,
+            spot_tasks: 8,
+            gpus_per_pod: 4,
+            gang_every: 6,
+            duration_secs: 6 * 3_600,
+            spot_duration_secs: 4 * 3_600,
+            hp_cadence_secs: 1_800,
+            spot_cadence_secs: 10_800,
+            checkpoint_secs: 1_800,
+            guarantee_secs: 3_600,
+        }
+    }
+}
+
+impl UniformTrace {
+    /// Materialises the trace for one seed. HP ids start at 1; spot ids
+    /// start at `max(100, hp_tasks + 1)` so the ranges never collide.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Vec<TaskSpec> {
+        // splitmix64 on (seed, i): deterministic per-task submit jitter
+        let mix = |i: u64| {
+            let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut tasks = Vec::with_capacity((self.hp_tasks + self.spot_tasks) as usize);
+        for i in 0..u64::from(self.hp_tasks) {
+            let gang = self.gang_every > 0
+                && i % u64::from(self.gang_every) == u64::from(self.gang_every) - 1;
+            tasks.push(
+                TaskSpec::builder(1 + i)
+                    .priority(gfs_types::Priority::Hp)
+                    .pods(if gang { 2 } else { 1 })
+                    .gpus_per_pod(gfs_types::GpuDemand::whole(self.gpus_per_pod))
+                    .duration_secs(self.duration_secs)
+                    .submit_at(SimTime::from_secs(i * self.hp_cadence_secs + mix(i) % 900))
+                    .build()
+                    .expect("valid HP task"),
+            );
+        }
+        let spot_base = u64::from(self.hp_tasks + 1).max(100);
+        for j in 0..u64::from(self.spot_tasks) {
+            tasks.push(
+                TaskSpec::builder(spot_base + j)
+                    .priority(gfs_types::Priority::Spot)
+                    .gpus_per_pod(gfs_types::GpuDemand::whole(self.gpus_per_pod))
+                    .duration_secs(self.spot_duration_secs)
+                    .checkpoint(gfs_types::CheckpointPlan::Periodic {
+                        interval: self.checkpoint_secs,
+                    })
+                    .guarantee_secs(self.guarantee_secs)
+                    .submit_at(SimTime::from_secs(
+                        j * self.spot_cadence_secs + mix(1_000 + j) % 900,
+                    ))
+                    .build()
+                    .expect("valid spot task"),
+            );
+        }
+        tasks
     }
 }
 
@@ -454,7 +604,10 @@ impl DynamicsAxis {
                 return DynamicsPlan::none();
             };
             DynamicsPlan::scale_out(
-                gfs_types::NodeTemplate { model: group.model, gpus: group.gpus_per_node },
+                gfs_types::NodeTemplate {
+                    model: group.model,
+                    gpus: group.gpus_per_node,
+                },
                 start,
                 interval_secs,
                 steps,
@@ -486,8 +639,65 @@ impl DynamicsAxis {
 
 /// Fault-only predecessor of [`DynamicsAxis`], kept so downstream call
 /// sites keep compiling.
-#[deprecated(note = "renamed to DynamicsAxis; the axis now also builds drains and autoscale schedules")]
+#[deprecated(
+    note = "renamed to DynamicsAxis; the axis now also builds drains and autoscale schedules"
+)]
 pub type FaultAxis = DynamicsAxis;
+
+/// A named [`PlacementPolicy`] — one point on the grid's placement-policy
+/// axis. Grids without the axis run every cell with the naive policy
+/// (labelled `"naive"`), which policy-capable schedulers treat as
+/// placement-untouched; comparing axis points isolates what churn-aware
+/// placement contributes under the same workload and cluster timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyAxis {
+    /// Display label ("naive" / "spread" / "churn-aware" …).
+    pub name: String,
+    /// The policy cells on this axis point hand to their schedulers.
+    pub policy: PlacementPolicy,
+}
+
+impl PolicyAxis {
+    /// Wraps a policy under a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, policy: PlacementPolicy) -> Self {
+        PolicyAxis {
+            name: name.into(),
+            policy,
+        }
+    }
+
+    /// The policy-less control row (the default when no axis is declared).
+    #[must_use]
+    pub fn naive() -> Self {
+        PolicyAxis::new("naive", PlacementPolicy::naive())
+    }
+
+    /// Gang anti-affinity over failure domains only.
+    #[must_use]
+    pub fn domain_spread() -> Self {
+        PolicyAxis::new("spread", PlacementPolicy::domain_spread())
+    }
+
+    /// Failure-history reliability scoring only.
+    #[must_use]
+    pub fn reliability() -> Self {
+        PolicyAxis::new("reliability", PlacementPolicy::reliability_scored())
+    }
+
+    /// The full churn-aware policy: spread + reliability + drain
+    /// awareness.
+    #[must_use]
+    pub fn churn_aware() -> Self {
+        PolicyAxis::new("churn-aware", PlacementPolicy::churn_aware())
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
 
 /// A named [`GfsParams`] override — one point on the grid's parameter axis.
 #[derive(Debug, Clone, PartialEq)]
@@ -522,6 +732,8 @@ pub struct Scenario {
     pub workload: WorkloadAxis,
     /// Cluster-timeline source.
     pub dynamics: DynamicsAxis,
+    /// Placement policy.
+    pub policy: PolicyAxis,
     /// Parameter override.
     pub params: ParamsAxis,
     /// Replication seed.
@@ -538,6 +750,7 @@ impl Scenario {
             shape: &self.shape,
             workload: self.workload.name(),
             dynamics: self.dynamics.name(),
+            policy: &self.policy.policy,
             params: &self.params.params,
             seed: self.seed,
         };
@@ -566,8 +779,9 @@ pub struct GridResult {
 /// The declarative experiment grid (C-BUILDER).
 ///
 /// Axes default to "empty"; [`Grid::run`] fills the dynamics axis with
-/// [`DynamicsAxis::none`], the parameter axis with the Table 4 defaults
-/// and the seed axis with `[1]` when unset. Invalid grids (missing
+/// [`DynamicsAxis::none`], the policy axis with [`PolicyAxis::naive`],
+/// the parameter axis with the Table 4 defaults and the seed axis with
+/// `[1]` when unset. Invalid grids (missing
 /// required axes, duplicate axis labels, an explicitly empty seed list)
 /// are reported by [`Grid::validate`] / [`Grid::try_run`] as descriptive
 /// errors; the panicking [`Grid::run`]/[`Grid::scenarios`] wrappers reuse
@@ -578,6 +792,7 @@ pub struct Grid {
     shapes: Vec<ClusterShape>,
     workloads: Vec<WorkloadAxis>,
     dynamics: Vec<DynamicsAxis>,
+    policies: Vec<PolicyAxis>,
     params: Vec<ParamsAxis>,
     seeds: Vec<u64>,
     /// Whether `seeds()` was ever called (distinguishes "defaulted" from
@@ -651,6 +866,21 @@ impl Grid {
         self
     }
 
+    /// Adds placement-policy points (each cell runs once per axis point;
+    /// omitting the axis means naive-placement runs).
+    #[must_use]
+    pub fn policies(mut self, axes: impl IntoIterator<Item = PolicyAxis>) -> Self {
+        self.policies.extend(axes);
+        self
+    }
+
+    /// Adds one placement-policy point.
+    #[must_use]
+    pub fn policy(mut self, axis: PolicyAxis) -> Self {
+        self.policies.push(axis);
+        self
+    }
+
     /// Adds cluster-timeline sources (pre-redesign name of
     /// [`Grid::dynamics`]).
     #[must_use]
@@ -711,6 +941,14 @@ impl Grid {
         }
     }
 
+    fn policy_axis(&self) -> Vec<PolicyAxis> {
+        if self.policies.is_empty() {
+            vec![PolicyAxis::naive()]
+        } else {
+            self.policies.clone()
+        }
+    }
+
     fn seed_axis(&self) -> Vec<u64> {
         if self.seeds.is_empty() {
             vec![1]
@@ -742,13 +980,19 @@ impl Grid {
             Ok(())
         }
         if self.schedulers.is_empty() {
-            return Err(Error::InvalidConfig("grid needs at least one scheduler".into()));
+            return Err(Error::InvalidConfig(
+                "grid needs at least one scheduler".into(),
+            ));
         }
         if self.shapes.is_empty() {
-            return Err(Error::InvalidConfig("grid needs at least one cluster shape".into()));
+            return Err(Error::InvalidConfig(
+                "grid needs at least one cluster shape".into(),
+            ));
         }
         if self.workloads.is_empty() {
-            return Err(Error::InvalidConfig("grid needs at least one workload".into()));
+            return Err(Error::InvalidConfig(
+                "grid needs at least one workload".into(),
+            ));
         }
         if self.seeds_set && self.seeds.is_empty() {
             return Err(Error::InvalidConfig(
@@ -759,6 +1003,7 @@ impl Grid {
         no_dupes("shape", self.shapes.iter().map(|s| s.name.as_str()))?;
         no_dupes("workload", self.workloads.iter().map(WorkloadAxis::name))?;
         no_dupes("dynamics", self.dynamics.iter().map(DynamicsAxis::name))?;
+        no_dupes("policy", self.policies.iter().map(PolicyAxis::name))?;
         no_dupes("params", self.params.iter().map(|p| p.name.as_str()))?;
         let mut seen = Vec::new();
         for &s in &self.seeds {
@@ -773,8 +1018,8 @@ impl Grid {
     }
 
     /// Enumerates every run of the grid in deterministic order: cells
-    /// nest (shape → workload → dynamics → params → scheduler), each
-    /// replicated over all seeds.
+    /// nest (shape → workload → dynamics → policy → params → scheduler),
+    /// each replicated over all seeds.
     ///
     /// # Errors
     ///
@@ -782,6 +1027,7 @@ impl Grid {
     pub fn try_scenarios(&self) -> Result<Vec<Scenario>> {
         self.validate()?;
         let dynamics = self.dynamics_axis();
+        let policies = self.policy_axis();
         let params = self.params_axis();
         let seeds = self.seed_axis();
         let mut out = Vec::new();
@@ -789,20 +1035,23 @@ impl Grid {
         for shape in &self.shapes {
             for workload in &self.workloads {
                 for d in &dynamics {
-                    for p in &params {
-                        for scheduler in &self.schedulers {
-                            for &seed in &seeds {
-                                out.push(Scenario {
-                                    cell,
-                                    scheduler: scheduler.clone(),
-                                    shape: shape.clone(),
-                                    workload: workload.clone(),
-                                    dynamics: d.clone(),
-                                    params: p.clone(),
-                                    seed,
-                                });
+                    for pol in &policies {
+                        for p in &params {
+                            for scheduler in &self.schedulers {
+                                for &seed in &seeds {
+                                    out.push(Scenario {
+                                        cell,
+                                        scheduler: scheduler.clone(),
+                                        shape: shape.clone(),
+                                        workload: workload.clone(),
+                                        dynamics: d.clone(),
+                                        policy: pol.clone(),
+                                        params: p.clone(),
+                                        seed,
+                                    });
+                                }
+                                cell += 1;
                             }
-                            cell += 1;
                         }
                     }
                 }
@@ -828,6 +1077,7 @@ impl Grid {
             * self.shapes.len()
             * self.workloads.len()
             * self.dynamics_axis().len()
+            * self.policy_axis().len()
             * self.params_axis().len()
     }
 
@@ -867,6 +1117,7 @@ impl Grid {
                 &first.shape.name,
                 first.workload.name(),
                 first.dynamics.name(),
+                first.policy.name(),
                 &first.params.name,
                 &seeds,
                 runs,
@@ -1001,13 +1252,15 @@ mod tests {
             "explicitly empty seed list must be rejected"
         );
         assert!(err(base().seeds([1, 2, 1])).contains("duplicate seed 1"));
-        assert!(err(base().scheduler(SchedulerSpec::yarn_cs())).contains("duplicate scheduler label"));
+        assert!(
+            err(base().scheduler(SchedulerSpec::yarn_cs())).contains("duplicate scheduler label")
+        );
         assert!(err(base().shape(ClusterShape::a100(2, 8))).contains("duplicate shape label"));
         assert!(err(base().workload(tiny_workload())).contains("duplicate workload label"));
-        assert!(
-            err(base().dynamic(DynamicsAxis::none()).dynamic(DynamicsAxis::none()))
-                .contains("duplicate dynamics label")
-        );
+        assert!(err(base()
+            .dynamic(DynamicsAxis::none())
+            .dynamic(DynamicsAxis::none()))
+        .contains("duplicate dynamics label"));
         // try_run surfaces the same error instead of panicking
         assert!(Grid::new().try_run(Threads::Fixed(1)).is_err());
     }
@@ -1030,11 +1283,20 @@ mod tests {
             });
         assert_eq!(grid.cell_count(), 2);
         let result = grid.run(Threads::Fixed(2));
-        let clean = result.report.cell_at("YARN-CS", "4n", "tiny", "none", "default").unwrap();
-        let churny = result.report.cell_at("YARN-CS", "4n", "tiny", "churn", "default").unwrap();
+        let clean = result
+            .report
+            .cell_at("YARN-CS", "4n", "tiny", "none", "default")
+            .unwrap();
+        let churny = result
+            .report
+            .cell_at("YARN-CS", "4n", "tiny", "churn", "default")
+            .unwrap();
         assert_eq!(clean.median("availability"), 1.0);
         assert_eq!(clean.median("displacement_count"), 0.0);
-        assert!(churny.median("availability") < 1.0, "6 h MTBF over 2 days must bite");
+        assert!(
+            churny.median("availability") < 1.0,
+            "6 h MTBF over 2 days must bite"
+        );
         assert!(churny.metric("displacement_count").unwrap().max > 0.0);
     }
 
@@ -1063,13 +1325,27 @@ mod tests {
             });
         assert_eq!(grid.cell_count(), 3);
         let result = grid.run(Threads::Fixed(2));
-        let cell = |d: &str| result.report.cell_at("YARN-CS", "4n", "tiny", d, "default").unwrap();
+        let cell = |d: &str| {
+            result
+                .report
+                .cell_at("YARN-CS", "4n", "tiny", d, "default")
+                .unwrap()
+        };
         let wave = cell("wave");
         assert_eq!(wave.median("node_drains"), 4.0, "every node drained once");
-        assert!(wave.metric("migration_count").is_some(), "drain metrics surface");
+        assert!(
+            wave.metric("migration_count").is_some(),
+            "drain metrics surface"
+        );
         let racks = cell("racks");
-        assert!(racks.median("availability") < 1.0, "8 h domain MTBF over 2 days bites");
-        assert!(racks.metric("node_drains").is_none(), "no drain rows without drains");
+        assert!(
+            racks.median("availability") < 1.0,
+            "8 h domain MTBF over 2 days bites"
+        );
+        assert!(
+            racks.metric("node_drains").is_none(),
+            "no drain rows without drains"
+        );
         let grow = cell("grow");
         assert_eq!(grow.median("added_gpus"), 16.0, "two 8-card steps");
         assert_eq!(grow.median("availability"), 1.0);
@@ -1078,8 +1354,16 @@ mod tests {
     #[test]
     fn heterogeneous_shape_builds_mixed_cluster_and_mixed_workload() {
         let shape = ClusterShape::heterogeneous([
-            NodeGroup { nodes: 3, gpus_per_node: 8, model: GpuModel::A100 },
-            NodeGroup { nodes: 1, gpus_per_node: 8, model: GpuModel::H800 },
+            NodeGroup {
+                nodes: 3,
+                gpus_per_node: 8,
+                model: GpuModel::A100,
+            },
+            NodeGroup {
+                nodes: 1,
+                gpus_per_node: 8,
+                model: GpuModel::H800,
+            },
         ]);
         assert_eq!(shape.name, "3a100+1h800");
         assert_eq!(shape.node_count(), 4);
@@ -1101,8 +1385,14 @@ mod tests {
             },
         );
         let tasks = axis.build(&shape, 1);
-        let a100 = tasks.iter().filter(|t| t.gpu_model == GpuModel::A100).count();
-        let h800 = tasks.iter().filter(|t| t.gpu_model == GpuModel::H800).count();
+        let a100 = tasks
+            .iter()
+            .filter(|t| t.gpu_model == GpuModel::A100)
+            .count();
+        let h800 = tasks
+            .iter()
+            .filter(|t| t.gpu_model == GpuModel::H800)
+            .count();
         assert!(a100 > 0 && h800 > 0, "both pools exercised ({a100}/{h800})");
         assert!(a100 > h800, "counts follow the capacity split");
         // no id collisions across sub-traces
@@ -1114,6 +1404,75 @@ mod tests {
         let grown = ClusterShape::a100(2, 8).nodes_with_model(GpuModel::A800, 2, 8);
         assert_eq!(grown.node_count(), 4);
         assert_eq!(grown.capacity_gpus_of(GpuModel::A800), 16.0);
+    }
+
+    #[test]
+    fn policy_axis_multiplies_cells_and_labels_rows() {
+        let grid = tiny_grid().policies([PolicyAxis::naive(), PolicyAxis::churn_aware()]);
+        assert_eq!(grid.cell_count(), 4);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 12);
+        // policy nests outside params/scheduler
+        assert!(scenarios[0].policy.policy.is_naive());
+        assert!(!scenarios[6].policy.policy.is_naive());
+        let result = grid.run(Threads::Fixed(2));
+        let json = result.report.to_json();
+        assert!(json.contains("\"policy\":\"churn-aware\""));
+        // the naive rows skip the field entirely (historical encoding)
+        assert_eq!(json.matches("\"policy\"").count(), 2);
+        let cell = result
+            .report
+            .cell_full("YARN-CS", "4n", "tiny", "none", "churn-aware", "default")
+            .expect("policy lookup");
+        assert_eq!(cell.policy_label(), "churn-aware");
+        // duplicate policy labels are rejected like every other axis
+        let err = tiny_grid()
+            .policies([PolicyAxis::naive(), PolicyAxis::naive()])
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate policy label"), "{err}");
+    }
+
+    #[test]
+    fn policy_free_grid_keeps_historical_encoding() {
+        let with_default_axis = tiny_grid().run(Threads::Fixed(1)).report.to_json();
+        assert!(
+            !with_default_axis.contains("\"policy\""),
+            "the naive default must stay invisible on the wire"
+        );
+    }
+
+    #[test]
+    fn racked_shape_declares_failure_domains() {
+        let plain = ClusterShape::a100(6, 8).build();
+        assert_eq!(plain.failure_domain_count(), 0);
+        let racked = ClusterShape::a100(6, 8).racked(2).build();
+        assert_eq!(racked.failure_domain_count(), 3);
+        assert_eq!(racked.domain_of(NodeId::new(5)), Some(2));
+    }
+
+    #[test]
+    fn uniform_trace_is_seed_deterministic_and_structured() {
+        let cfg = UniformTrace::default();
+        let a = cfg.build(7);
+        let b = cfg.build(7);
+        assert_eq!(a, b, "same seed, same trace");
+        assert_ne!(cfg.build(8), a, "jitter varies with the seed");
+        assert_eq!(a.len(), 56);
+        // every duration is exact; every sixth HP task is a 2-pod gang
+        let hp: Vec<_> = a.iter().filter(|t| t.priority.is_hp()).collect();
+        assert_eq!(hp.len(), 48);
+        assert!(hp.iter().all(|t| t.duration_secs == 6 * 3_600));
+        assert_eq!(hp.iter().filter(|t| t.pods == 2).count(), 8);
+        let spot: Vec<_> = a.iter().filter(|t| t.priority.is_spot()).collect();
+        assert_eq!(spot.len(), 8);
+        assert!(spot.iter().all(|t| t.duration_secs == 4 * 3_600));
+        // no id collisions across the two ranges
+        let mut ids: Vec<u64> = a.iter().map(|t| t.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
     }
 
     #[test]

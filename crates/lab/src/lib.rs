@@ -8,10 +8,13 @@
 //!
 //! * [`Grid`] — a declarative builder enumerating the cross-product of
 //!   [`SchedulerSpec`] constructors, [`ClusterShape`]s (homogeneous or
-//!   mixed-GPU via [`NodeGroup`] pools), [`WorkloadAxis`] trace sources,
-//!   [`DynamicsAxis`] cluster timelines (independent churn, correlated
-//!   rack failures, rolling maintenance drains, autoscale schedules),
-//!   [`ParamsAxis`] overrides and replication seeds.
+//!   mixed-GPU via [`NodeGroup`] pools, optionally
+//!   [`ClusterShape::racked`] into failure domains), [`WorkloadAxis`]
+//!   trace sources, [`DynamicsAxis`] cluster timelines (independent
+//!   churn, correlated rack failures, rolling maintenance drains,
+//!   autoscale schedules), [`PolicyAxis`] placement policies (naive /
+//!   domain-spread / reliability-scored / churn-aware), [`ParamsAxis`]
+//!   overrides and replication seeds.
 //! * [`pool`] — a std-only chunked work pool executing runs in parallel
 //!   while collecting results *by run index*, so the aggregated output is
 //!   byte-identical to a serial run for any thread count.
@@ -65,11 +68,11 @@ pub mod pool;
 mod report;
 
 pub use agg::{MetricStats, MetricSummary};
-pub use grid::{
-    ClusterShape, DynamicsAxis, Grid, GridResult, NodeGroup, ParamsAxis, RunContext, Scenario,
-    SchedulerSpec, WorkloadAxis,
-};
 #[allow(deprecated)]
 pub use grid::FaultAxis;
+pub use grid::{
+    ClusterShape, DynamicsAxis, Grid, GridResult, NodeGroup, ParamsAxis, PolicyAxis, RunContext,
+    Scenario, SchedulerSpec, UniformTrace, WorkloadAxis,
+};
 pub use pool::Threads;
 pub use report::{CellSummary, GridReport};

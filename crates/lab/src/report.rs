@@ -20,6 +20,11 @@ pub struct CellSummary {
     /// field keeps its pre-redesign name — it is part of the serialized
     /// grid schema, pinned by golden hashes.
     pub faults: String,
+    /// Placement-policy label, `None` for the naive (policy-less) default
+    /// — omitted from the JSON so policy-free grids keep their historical
+    /// golden encoding (use [`CellSummary::policy_label`] for display).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub policy: Option<String>,
     /// Parameter-override label.
     pub params: String,
     /// Replication seeds, in run order.
@@ -31,13 +36,17 @@ pub struct CellSummary {
 }
 
 impl CellSummary {
-    /// Builds a cell summary, computing the across-seed statistics.
+    /// Builds a cell summary, computing the across-seed statistics. A
+    /// `"naive"` policy label is stored as `None` (the skip-serialized
+    /// default), keeping policy-free grids byte-identical on the wire.
+    #[allow(clippy::too_many_arguments)] // one arg per grid axis, by design
     #[must_use]
     pub fn new(
         scheduler: &str,
         shape: &str,
         workload: &str,
         faults: &str,
+        policy: &str,
         params: &str,
         seeds: &[u64],
         runs: Vec<RunSummary>,
@@ -48,11 +57,18 @@ impl CellSummary {
             shape: shape.to_string(),
             workload: workload.to_string(),
             faults: faults.to_string(),
+            policy: (policy != "naive").then(|| policy.to_string()),
             params: params.to_string(),
             seeds: seeds.to_vec(),
             runs,
             metrics,
         }
+    }
+
+    /// The placement-policy label (`"naive"` for policy-less cells).
+    #[must_use]
+    pub fn policy_label(&self) -> &str {
+        self.policy.as_deref().unwrap_or("naive")
     }
 
     /// Across-seed statistics of one metric by name.
@@ -70,11 +86,17 @@ impl CellSummary {
         self.metric(name).map_or(0.0, |s| s.median)
     }
 
-    /// The `(shape, workload, faults, params)` block key this cell
-    /// belongs to.
+    /// The `(shape, workload, faults, policy, params)` block key this
+    /// cell belongs to.
     #[must_use]
-    pub fn block_key(&self) -> (&str, &str, &str, &str) {
-        (&self.shape, &self.workload, &self.faults, &self.params)
+    pub fn block_key(&self) -> (&str, &str, &str, &str, &str) {
+        (
+            &self.shape,
+            &self.workload,
+            &self.faults,
+            self.policy_label(),
+            &self.params,
+        )
     }
 }
 
@@ -112,13 +134,24 @@ impl GridReport {
     /// Looks one cell up by its axis labels, ignoring the fault axis
     /// (first match wins — convenient for fault-free grids).
     #[must_use]
-    pub fn cell(&self, scheduler: &str, shape: &str, workload: &str, params: &str) -> Option<&CellSummary> {
+    pub fn cell(
+        &self,
+        scheduler: &str,
+        shape: &str,
+        workload: &str,
+        params: &str,
+    ) -> Option<&CellSummary> {
         self.cells.iter().find(|c| {
-            c.scheduler == scheduler && c.shape == shape && c.workload == workload && c.params == params
+            c.scheduler == scheduler
+                && c.shape == shape
+                && c.workload == workload
+                && c.params == params
         })
     }
 
-    /// Looks one cell up by all five axis labels.
+    /// Looks one cell up by scheduler, shape, workload, dynamics and
+    /// params labels, ignoring the policy axis (first match wins —
+    /// convenient for policy-free grids).
     #[must_use]
     pub fn cell_at(
         &self,
@@ -137,6 +170,28 @@ impl GridReport {
         })
     }
 
+    /// Looks one cell up by all six axis labels (policy included; pass
+    /// `"naive"` for the policy-less default).
+    #[must_use]
+    pub fn cell_full(
+        &self,
+        scheduler: &str,
+        shape: &str,
+        workload: &str,
+        faults: &str,
+        policy: &str,
+        params: &str,
+    ) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| {
+            c.scheduler == scheduler
+                && c.shape == shape
+                && c.workload == workload
+                && c.faults == faults
+                && c.policy_label() == policy
+                && c.params == params
+        })
+    }
+
     /// Renders an aligned text table: one block per `(shape, workload,
     /// faults, params)` combination, one row per scheduler, one column per
     /// requested metric showing `median ±IQR/2` (the `±` column is omitted
@@ -145,17 +200,24 @@ impl GridReport {
     pub fn render_table(&self, metrics: &[&str]) -> String {
         let mut out = String::new();
         let replicated = self.cells.iter().any(|c| c.seeds.len() > 1);
-        let mut block: Option<(&str, &str, &str, &str)> = None;
+        let mut block: Option<(&str, &str, &str, &str, &str)> = None;
         for cell in &self.cells {
             let key = cell.block_key();
             if block != Some(key) {
                 block = Some(key);
                 out.push_str(&format!(
-                    "\n### shape={} workload={} faults={} params={}{}\n",
+                    "\n### shape={} workload={} faults={}{} params={}{}\n",
                     key.0,
                     key.1,
                     key.2,
-                    key.3,
+                    // the policy segment appears only on policy grids, so
+                    // policy-free tables render exactly as before
+                    if key.3 == "naive" {
+                        String::new()
+                    } else {
+                        format!(" policy={}", key.3)
+                    },
+                    key.4,
                     if replicated {
                         format!("  (median ±IQR/2 over {} seeds)", cell.seeds.len())
                     } else {
@@ -242,6 +304,7 @@ mod tests {
                 "4n",
                 "tiny",
                 "none",
+                "naive",
                 "default",
                 &[1, 2],
                 vec![summary(100.0), summary(140.0)],
@@ -284,13 +347,27 @@ mod tests {
             "4n",
             "tiny",
             "churny",
+            "naive",
             "default",
             &[1, 2],
             vec![summary(200.0), summary(260.0)],
         ));
-        assert_eq!(r.cell_at("YARN-CS", "4n", "tiny", "churny", "default").unwrap().median("hp_mean_jct_s"), 230.0);
-        assert_eq!(r.cell_at("YARN-CS", "4n", "tiny", "none", "default").unwrap().median("hp_mean_jct_s"), 120.0);
+        assert_eq!(
+            r.cell_at("YARN-CS", "4n", "tiny", "churny", "default")
+                .unwrap()
+                .median("hp_mean_jct_s"),
+            230.0
+        );
+        assert_eq!(
+            r.cell_at("YARN-CS", "4n", "tiny", "none", "default")
+                .unwrap()
+                .median("hp_mean_jct_s"),
+            120.0
+        );
         // the fault-agnostic lookup returns the first declared cell
-        assert_eq!(r.cell("YARN-CS", "4n", "tiny", "default").unwrap().faults, "none");
+        assert_eq!(
+            r.cell("YARN-CS", "4n", "tiny", "default").unwrap().faults,
+            "none"
+        );
     }
 }

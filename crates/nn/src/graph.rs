@@ -44,20 +44,45 @@ enum Op {
     SoftmaxRows(usize),
     ConcatCols(Vec<usize>),
     /// Row-gather from a table node.
-    Embedding { table: usize, indices: Vec<usize> },
+    Embedding {
+        table: usize,
+        indices: Vec<usize>,
+    },
     /// Fused `x · w + h · u + b` (the GRU gate pre-activation).
-    Affine2 { x: usize, w: usize, h: usize, u: usize, b: usize },
+    Affine2 {
+        x: usize,
+        w: usize,
+        h: usize,
+        u: usize,
+        b: usize,
+    },
     /// Fused `(1 − gate) ⊙ a + gate ⊙ b` (the GRU state blend).
-    Blend { gate: usize, a: usize, b: usize },
+    Blend {
+        gate: usize,
+        a: usize,
+        b: usize,
+    },
     /// Fused Gaussian NLL: `mean(ln σ + ((y−μ)/σ)²/2) + ln(2π)/2`.
-    GaussianNll { mu: usize, sigma: usize, target: usize },
+    GaussianNll {
+        mu: usize,
+        sigma: usize,
+        target: usize,
+    },
     /// Fused heteroscedastic head: `σ = softplus(pre) + floor` folded into
     /// the Gaussian NLL above.
-    GaussianNllSoftplus { mu: usize, pre: usize, target: usize, floor: f64 },
+    GaussianNllSoftplus {
+        mu: usize,
+        pre: usize,
+        target: usize,
+        floor: f64,
+    },
     /// Multiply row `r` of `x` by `col[r]` (`col` is `n × 1`).
     ScaleRows(usize, usize),
     /// Columns `[start, start + len)` of `x`.
-    SliceCols { x: usize, start: usize },
+    SliceCols {
+        x: usize,
+        start: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -129,25 +154,33 @@ impl Graph {
 
     /// Element-wise sum. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(v, Op::Add(a.0, b.0))
     }
 
     /// Element-wise difference. Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(v, Op::Sub(a.0, b.0))
     }
 
     /// Element-wise (Hadamard) product. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(v, Op::Mul(a.0, b.0))
     }
 
     /// Element-wise quotient. Shapes must match.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x / y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x / y);
         self.push(v, Op::Div(a.0, b.0))
     }
 
@@ -352,8 +385,16 @@ impl Graph {
         let mv = &self.nodes[mu.0].value;
         let pv = &self.nodes[pre.0].value;
         let tv = &self.nodes[target.0].value;
-        assert_eq!(mv.shape(), pv.shape(), "gaussian_nll_softplus shape mismatch");
-        assert_eq!(mv.shape(), tv.shape(), "gaussian_nll_softplus shape mismatch");
+        assert_eq!(
+            mv.shape(),
+            pv.shape(),
+            "gaussian_nll_softplus shape mismatch"
+        );
+        assert_eq!(
+            mv.shape(),
+            tv.shape(),
+            "gaussian_nll_softplus shape mismatch"
+        );
         let mut acc = 0.0;
         for ((m, p), y) in mv.as_slice().iter().zip(pv.as_slice()).zip(tv.as_slice()) {
             let s = softplus(*p) + floor;
@@ -433,7 +474,11 @@ impl Graph {
         let dim = tv.cols();
         let mut out = Tensor::zeros(indices.len(), dim);
         for (r, &i) in indices.iter().enumerate() {
-            assert!(i < tv.rows(), "embedding index {i} out of range ({})", tv.rows());
+            assert!(
+                i < tv.rows(),
+                "embedding index {i} out of range ({})",
+                tv.rows()
+            );
             out.as_mut_slice()[r * dim..(r + 1) * dim].copy_from_slice(tv.row_slice(i));
         }
         self.push(
@@ -700,7 +745,12 @@ impl Graph {
                     accumulate(&mut grads, mu, gmu);
                     accumulate(&mut grads, sigma, gsigma);
                 }
-                Op::GaussianNllSoftplus { mu, pre, target, floor } => {
+                Op::GaussianNllSoftplus {
+                    mu,
+                    pre,
+                    target,
+                    floor,
+                } => {
                     let (mu, pre, target, floor) = (*mu, *pre, *target, *floor);
                     let mv = &self.nodes[mu].value;
                     let pv = &self.nodes[pre].value;

@@ -59,7 +59,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let t = randn(100, 100, 1.0, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
             / t.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");

@@ -297,7 +297,10 @@ mod tests {
             let sq = g.mul(d, d);
             let loss = g.mean_all(sq);
             let lv = g.value(loss).item();
-            assert!(lv <= prev_loss + 1e-9, "loss must not increase: {lv} > {prev_loss}");
+            assert!(
+                lv <= prev_loss + 1e-9,
+                "loss must not increase: {lv} > {prev_loss}"
+            );
             prev_loss = lv;
             g.backward(loss);
             for p in layer.params() {

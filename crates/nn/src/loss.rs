@@ -94,7 +94,10 @@ mod tests {
         let y = g.constant(Tensor::scalar(5.0));
         let l = gaussian_nll(&mut g, m, s, y);
         g.backward(l);
-        assert!(mu.grad().item() < 0.0, "gradient must push mu upward via -grad");
+        assert!(
+            mu.grad().item() < 0.0,
+            "gradient must push mu upward via -grad"
+        );
     }
 
     #[test]

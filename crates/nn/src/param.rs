@@ -123,7 +123,12 @@ impl Param {
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.data.borrow();
-        write!(f, "Param(shape={:?}, |grad|={:.4})", d.value.shape(), d.grad.norm())
+        write!(
+            f,
+            "Param(shape={:?}, |grad|={:.4})",
+            d.value.shape(),
+            d.grad.norm()
+        )
     }
 }
 

@@ -300,7 +300,8 @@ impl Tensor {
 
     fn matmul_impl(&self, rhs: &Tensor, bias: Option<&Tensor>) -> Tensor {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul dimension mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -370,7 +371,8 @@ impl Tensor {
     #[must_use]
     pub fn matmul_transb(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, rhs.cols,
+            self.cols,
+            rhs.cols,
             "matmul_transb dimension mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             rhs.shape()
@@ -388,7 +390,8 @@ impl Tensor {
     #[must_use]
     pub fn matmul_transa(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "matmul_transa dimension mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             rhs.shape()
@@ -545,14 +548,20 @@ impl Index<(usize, usize)> for Tensor {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Tensor {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

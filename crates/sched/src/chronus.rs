@@ -36,7 +36,11 @@ impl Scheduler for Chronus {
         // SLO jobs first, earliest deadline (submit + lease) first; then
         // best-effort by submit order — Chronus's lease admission order.
         let key = |t: &TaskSpec| {
-            let lease = if t.priority.is_hp() { HP_LEASE_SECS } else { SPOT_LEASE_SECS };
+            let lease = if t.priority.is_hp() {
+                HP_LEASE_SECS
+            } else {
+                SPOT_LEASE_SECS
+            };
             (t.priority.is_spot(), t.submit_at.as_secs() + lease, t.id)
         };
         key(a).cmp(&key(b))
@@ -108,13 +112,25 @@ mod tests {
     #[test]
     fn respects_unexpired_leases() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 8, 0), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 8, 0),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let mut s = Chronus::new();
         // 100 s into the spot lease: HP must wait
-        assert!(s.schedule(&task(2, Priority::Hp, 8, 0), &c, SimTime::from_secs(100)).is_none());
+        assert!(s
+            .schedule(&task(2, Priority::Hp, 8, 0), &c, SimTime::from_secs(100))
+            .is_none());
         // after the 5-minute lease the displacement is allowed
         let d = s
-            .schedule(&task(3, Priority::Hp, 8, 0), &c, SimTime::from_secs(SPOT_LEASE_SECS + 1))
+            .schedule(
+                &task(3, Priority::Hp, 8, 0),
+                &c,
+                SimTime::from_secs(SPOT_LEASE_SECS + 1),
+            )
             .unwrap();
         assert_eq!(d.preemptions, vec![TaskId::new(1)]);
     }
@@ -123,7 +139,9 @@ mod tests {
     fn places_on_idle_capacity_without_leases() {
         let c = Cluster::homogeneous(1, GpuModel::A100, 8);
         let mut s = Chronus::new();
-        let d = s.schedule(&task(1, Priority::Spot, 2, 0), &c, SimTime::ZERO).unwrap();
+        let d = s
+            .schedule(&task(1, Priority::Spot, 2, 0), &c, SimTime::ZERO)
+            .unwrap();
         assert!(!d.is_preemptive());
     }
 }

@@ -108,13 +108,18 @@ mod tests {
     #[test]
     fn empty_node_has_zero_fragmentation() {
         let n = Node::new(NodeId::new(0), GpuModel::A100, 8);
-        assert_eq!(node_fragmentation(&n), 0.0, "8 idle GPUs serve every bucket");
+        assert_eq!(
+            node_fragmentation(&n),
+            0.0,
+            "8 idle GPUs serve every bucket"
+        );
     }
 
     #[test]
     fn odd_remainders_fragment() {
         let mut n = Node::new(NodeId::new(0), GpuModel::A100, 8);
-        n.place_pod(gfs_types::TaskId::new(1), GpuDemand::whole(5), Priority::Hp).unwrap();
+        n.place_pod(gfs_types::TaskId::new(1), GpuDemand::whole(5), Priority::Hp)
+            .unwrap();
         // 3 idle: unusable for the 8-bucket, remainder 1 for the 2-bucket
         let f = node_fragmentation(&n);
         assert!(f > 0.0);
@@ -124,11 +129,19 @@ mod tests {
     fn placement_minimises_fragmentation_growth() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
         // node 0 has 6 idle; node 1 has 8 idle
-        c.start_task(task(1, Priority::Hp, 2), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 2),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let mut s = Fgd::new();
         // a 2-GPU pod on node 0 leaves 4 idle (clean); on node 1 leaves 6
         // (fragmented for the 8- and 4-buckets)
-        let d = s.schedule(&task(2, Priority::Hp, 2), &c, SimTime::ZERO).unwrap();
+        let d = s
+            .schedule(&task(2, Priority::Hp, 2), &c, SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.pod_nodes, vec![NodeId::new(0)]);
     }
 
@@ -141,9 +154,12 @@ mod tests {
             .duration_secs(10_000)
             .build()
             .unwrap();
-        c.start_task(spot, &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spot, &[NodeId::new(0)], SimTime::ZERO, 0)
+            .unwrap();
         let mut s = Fgd::new();
-        let d = s.schedule(&task(2, Priority::Hp, 8), &c, SimTime::from_secs(10)).unwrap();
+        let d = s
+            .schedule(&task(2, Priority::Hp, 8), &c, SimTime::from_secs(10))
+            .unwrap();
         assert!(d.is_preemptive());
     }
 }

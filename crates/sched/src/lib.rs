@@ -7,7 +7,10 @@
 //! * [`Fgd`] — fragmentation-gradient-descent placement.
 //!
 //! The [`placement`] module exposes the shared first-fit / best-fit /
-//! preemption-planning helpers these policies (and tests elsewhere) use.
+//! preemption-planning helpers these policies (and tests elsewhere) use,
+//! plus the churn-aware [`PlacementPolicy`] layer (failure-domain
+//! spreading, reliability scoring, drain awareness) that the PTS/GFS
+//! schedulers consult at placement time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,4 +24,5 @@ mod yarn;
 pub use chronus::{Chronus, HP_LEASE_SECS, SPOT_LEASE_SECS};
 pub use fgd::{node_fragmentation, Fgd};
 pub use lyra::Lyra;
+pub use placement::{DomainUse, PlacementPolicy};
 pub use yarn::YarnCs;

@@ -94,37 +94,79 @@ mod tests {
     fn spot_runs_only_on_idle_or_loaned_nodes() {
         let mut c = Cluster::homogeneous(4, GpuModel::A100, 8);
         // node 0 partially used by HP
-        c.start_task(task(1, Priority::Hp, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let mut s = Lyra::new();
-        let d = s.schedule(&task(2, Priority::Spot, 2), &c, SimTime::ZERO).unwrap();
+        let d = s
+            .schedule(&task(2, Priority::Spot, 2), &c, SimTime::ZERO)
+            .unwrap();
         assert_ne!(d.pod_nodes[0], NodeId::new(0), "mixed node is not loanable");
     }
 
     #[test]
     fn spot_denied_when_reserve_exhausted() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Hp, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(task(2, Priority::Hp, 4), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Hp, 4),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            task(2, Priority::Hp, 4),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         // no fully idle node left
         let mut s = Lyra::new();
-        assert!(s.schedule(&task(3, Priority::Spot, 1), &c, SimTime::ZERO).is_none());
+        assert!(s
+            .schedule(&task(3, Priority::Spot, 1), &c, SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
     fn spot_prefers_already_loaned_nodes() {
         let mut c = Cluster::homogeneous(4, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 2), &[NodeId::new(2)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 2),
+            &[NodeId::new(2)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let mut s = Lyra::new();
-        let d = s.schedule(&task(2, Priority::Spot, 2), &c, SimTime::ZERO).unwrap();
-        assert_eq!(d.pod_nodes, vec![NodeId::new(2)], "pack onto the existing loan");
+        let d = s
+            .schedule(&task(2, Priority::Spot, 2), &c, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.pod_nodes,
+            vec![NodeId::new(2)],
+            "pack onto the existing loan"
+        );
     }
 
     #[test]
     fn hp_reclaims_with_minimal_waste() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(task(1, Priority::Spot, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, Priority::Spot, 8),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let mut s = Lyra::new();
-        let d = s.schedule(&task(2, Priority::Hp, 8), &c, SimTime::from_secs(50)).unwrap();
+        let d = s
+            .schedule(&task(2, Priority::Hp, 8), &c, SimTime::from_secs(50))
+            .unwrap();
         assert!(d.is_preemptive());
     }
 }

@@ -1,9 +1,259 @@
-//! Shared placement helpers used by the baseline schedulers.
+//! Shared placement helpers used by the baseline schedulers, and the
+//! churn-aware [`PlacementPolicy`] layer the PTS/GFS schedulers consult.
 
 use std::collections::HashMap;
 
-use gfs_cluster::{Cluster, Node};
-use gfs_types::{GpuDemand, NodeId, SimTime, TaskId, TaskSpec};
+use gfs_cluster::{Cluster, DrainDecision, Node, RunningTask};
+use gfs_types::{GpuDemand, NodeId, SimDuration, SimTime, TaskId, TaskSpec, HOUR};
+
+/// A placement-time churn policy: how a scheduler anticipates failures,
+/// drains and blast radii when choosing nodes, on top of (not instead of)
+/// its own scoring.
+///
+/// The policy contributes up to three *lexicographically leading* score
+/// components, in this priority order; a disabled component is constant
+/// across candidates and falls through to the scheduler's native scores,
+/// so [`PlacementPolicy::naive`] reproduces policy-less placement
+/// decision for decision (the golden-report pins rely on this):
+///
+/// 1. **Reliability** ([`PlacementPolicy::reliability`]) — a node-failure
+///    analogue of the PTS eviction-awareness score (Eq. 15–16): the
+///    windowed failure history discounts failure-prone candidates the way
+///    ē discounts eviction-prone ones. The history survives repair (a
+///    flaky machine stays flaky), in contrast to the eviction history.
+/// 2. **Drain avoidance** ([`PlacementPolicy::drain_aware`]) — discount
+///    nodes whose failure domain currently contains a draining node:
+///    maintenance waves walk through racks, so a rack with one node in
+///    maintenance is where the next notices land. Also switches
+///    [`PlacementPolicy::migrate_on_drain`] to the capacity-aware
+///    variant.
+/// 3. **Domain spread** ([`PlacementPolicy::spread_domains`]) — gang
+///    anti-affinity over the cluster's declared
+///    [`FailureDomain`](gfs_types::FailureDomain)s: each pod prefers the
+///    candidate whose domain hosts the fewest pods of the gang placed so
+///    far. Best-effort: when capacity is tight the gang still lands,
+///    co-located, because the spread term only *orders* feasible
+///    candidates — and reliability outranks it, so anti-affinity chooses
+///    among dependable racks rather than overriding into flaky ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPolicy {
+    /// Spread gang pods across failure domains (anti-affinity).
+    pub spread_domains: bool,
+    /// Discount nodes by their windowed failure history.
+    pub reliability: bool,
+    /// Avoid domains with in-progress drains; harvest checkpoints on a
+    /// draining node when the cluster has no room to migrate into.
+    pub drain_aware: bool,
+    /// Window of the reliability term's failure count.
+    pub failure_window_secs: SimDuration,
+    /// Penalty per windowed failure, in percent (mirrors the Eq. 16
+    /// `m`-penalty shape: score `= 1 − 0.01·m·f̄`, floored at 0).
+    pub failure_penalty: f64,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::naive()
+    }
+}
+
+impl PlacementPolicy {
+    /// Policy-less placement: every component off. Schedulers built with
+    /// this behave bit-for-bit like their pre-policy versions.
+    #[must_use]
+    pub fn naive() -> Self {
+        PlacementPolicy {
+            spread_domains: false,
+            reliability: false,
+            drain_aware: false,
+            failure_window_secs: 48 * HOUR,
+            failure_penalty: 25.0,
+        }
+    }
+
+    /// Gang anti-affinity over failure domains only.
+    #[must_use]
+    pub fn domain_spread() -> Self {
+        PlacementPolicy {
+            spread_domains: true,
+            ..PlacementPolicy::naive()
+        }
+    }
+
+    /// Failure-history discounting only.
+    #[must_use]
+    pub fn reliability_scored() -> Self {
+        PlacementPolicy {
+            reliability: true,
+            ..PlacementPolicy::naive()
+        }
+    }
+
+    /// The full churn-aware policy: spread + reliability + drain
+    /// awareness.
+    #[must_use]
+    pub fn churn_aware() -> Self {
+        PlacementPolicy {
+            spread_domains: true,
+            reliability: true,
+            drain_aware: true,
+            ..PlacementPolicy::naive()
+        }
+    }
+
+    /// Whether every component is off (placement decisions are untouched).
+    #[must_use]
+    pub fn is_naive(&self) -> bool {
+        !self.spread_domains && !self.reliability && !self.drain_aware
+    }
+
+    /// The anti-affinity key of a node: its declared failure domain, or a
+    /// per-node pseudo-domain when the cluster has no topology (spreading
+    /// then degenerates to spreading across nodes).
+    #[must_use]
+    pub fn domain_key(cluster: &Cluster, node: NodeId) -> u64 {
+        match cluster.domain_of(node) {
+            Some(d) => u64::from(d),
+            None => (1 << 32) | u64::from(node.raw()),
+        }
+    }
+
+    /// The gang-spread score component: minus the number of already-placed
+    /// pods of this gang in the node's domain (0 when spreading is off, so
+    /// the component is neutral).
+    #[must_use]
+    pub fn spread_component(&self, cluster: &Cluster, node: NodeId, used: &DomainUse) -> f64 {
+        if !self.spread_domains {
+            return 0.0;
+        }
+        -f64::from(used.count(PlacementPolicy::domain_key(cluster, node)))
+    }
+
+    /// The drain-avoidance score component: minus the number of nodes
+    /// currently draining in the candidate's domain (0 when off, or when
+    /// the node belongs to no declared domain).
+    #[must_use]
+    pub fn drain_component(&self, cluster: &Cluster, node: NodeId) -> f64 {
+        if !self.drain_aware {
+            return 0.0;
+        }
+        match cluster.domain_of(node) {
+            Some(d) => -f64::from(cluster.draining_in_domain(d)),
+            None => 0.0,
+        }
+    }
+
+    /// The reliability score component in `[0, 1]` (1.0 when the term is
+    /// off): `max(0, 1 − 0.01·m_f·f̄)` with `f̄` the node's failure count
+    /// inside [`PlacementPolicy::failure_window_secs`] — Eq. 15–16
+    /// transplanted from evictions to hardware failures.
+    #[must_use]
+    pub fn reliability_component(&self, node: &Node, now: SimTime) -> f64 {
+        if !self.reliability {
+            return 1.0;
+        }
+        let f = node.failures_within(now, self.failure_window_secs) as f64;
+        (1.0 - 0.01 * self.failure_penalty * f).max(0.0)
+    }
+
+    /// The capacity-aware drain response (see
+    /// `gfs_cluster::Scheduler::drain_decision`): migrate a can't-finish
+    /// gang at the notice — early in the window — *unless* the cluster
+    /// has no room of the gang's model to receive it, in which case the
+    /// gang stays and keeps checkpointing until the forced deadline (an
+    /// early migration into a full cluster forfeits the window's progress
+    /// and buys nothing). "Room" counts the idle cards *plus* whatever
+    /// the gang itself would free on schedulable nodes by leaving — a
+    /// gang half on the draining node and half on an otherwise-busy
+    /// healthy one can still re-place into its own vacated cards. With
+    /// `drain_aware` off this is exactly the engine's historical rule.
+    ///
+    /// The check is a best-effort heuristic against the pre-migration
+    /// cluster snapshot: when several gangs leave one drain notice at the
+    /// same instant they do not see each other's vacated or claimed
+    /// cards (idle counts are whole-card, so fractional reuse is judged
+    /// conservatively). A wrong guess costs only the difference between
+    /// a queue wait and a harvested window — both requeue paths remain
+    /// correct.
+    #[must_use]
+    pub fn migrate_on_drain(
+        &self,
+        task: &RunningTask,
+        notice: SimDuration,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> bool {
+        if task.remaining(now) <= notice {
+            return false; // finishes in place
+        }
+        if self.drain_aware {
+            let spec = &task.spec;
+            let idle = f64::from(cluster.idle_gpus(Some(spec.gpu_model)));
+            // cards this gang holds on *schedulable* nodes come back the
+            // moment it migrates; cards on the draining (or any down)
+            // node do not
+            let freed: f64 = task
+                .placements
+                .iter()
+                .filter(|p| {
+                    cluster
+                        .node(p.node)
+                        .is_ok_and(gfs_cluster::Node::is_schedulable)
+                })
+                .map(|p| p.alloc.cards())
+                .sum();
+            if idle + freed < spec.total_gpus() {
+                return false; // nowhere to go: harvest checkpoints instead
+            }
+        }
+        true
+    }
+
+    /// [`PlacementPolicy::migrate_on_drain`] mapped onto the
+    /// [`Scheduler::drain_decision`](gfs_cluster::Scheduler::drain_decision)
+    /// answer — the one shared implementation every policy-carrying
+    /// scheduler delegates to.
+    #[must_use]
+    pub fn drain_decision(
+        &self,
+        task: &RunningTask,
+        notice: SimDuration,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> DrainDecision {
+        if self.migrate_on_drain(task, notice, cluster, now) {
+            DrainDecision::Migrate
+        } else {
+            DrainDecision::Stay
+        }
+    }
+}
+
+/// Running tally of gang pods per anti-affinity domain key, threaded
+/// through a gang's pod-by-pod selection.
+#[derive(Debug, Default)]
+pub struct DomainUse {
+    counts: HashMap<u64, u32>,
+}
+
+impl DomainUse {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        DomainUse::default()
+    }
+
+    /// Pods already assigned to `key`'s domain.
+    #[must_use]
+    pub fn count(&self, key: u64) -> u32 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Records one more pod in `key`'s domain.
+    pub fn note(&mut self, key: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+}
 
 /// Picks one node per pod of `task`, choosing for each pod the
 /// highest-scoring node that still fits (ties broken by node id).
@@ -34,9 +284,7 @@ where
                 GpuDemand::Whole(need) => {
                     budget.get(id).copied().unwrap_or_else(|| n.idle_gpus()) >= need
                 }
-                GpuDemand::Fraction(f) => {
-                    n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12)
-                }
+                GpuDemand::Fraction(f) => n.gpus().iter().any(|g| g.free_fraction() >= f - 1e-12),
             })
             .filter_map(|(id, n)| score(n).map(|s| (id, s)))
             .max_by(|a, b| {
@@ -208,7 +456,13 @@ mod tests {
     #[test]
     fn best_fit_packs_loaded_nodes() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, 1, 6, Priority::Hp), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, 1, 6, Priority::Hp),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let nodes = best_fit_nodes(&c, &task(2, 1, 2, Priority::Hp)).unwrap();
         assert_eq!(nodes, vec![NodeId::new(1)], "node 1 has fewer idle GPUs");
     }
@@ -216,7 +470,13 @@ mod tests {
     #[test]
     fn worst_fit_spreads() {
         let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
-        c.start_task(task(1, 1, 6, Priority::Hp), &[NodeId::new(1)], SimTime::ZERO, 0).unwrap();
+        c.start_task(
+            task(1, 1, 6, Priority::Hp),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
         let nodes = worst_fit_nodes(&c, &task(2, 1, 2, Priority::Hp)).unwrap();
         assert_eq!(nodes, vec![NodeId::new(0)]);
     }
@@ -234,7 +494,10 @@ mod tests {
     #[test]
     fn model_filter_applies() {
         let c = Cluster::homogeneous(2, GpuModel::A10, 8);
-        assert!(first_fit_nodes(&c, &task(1, 1, 1, Priority::Hp)).is_none(), "task wants A100");
+        assert!(
+            first_fit_nodes(&c, &task(1, 1, 1, Priority::Hp)).is_none(),
+            "task wants A100"
+        );
     }
 
     #[test]
@@ -252,8 +515,10 @@ mod tests {
             .duration_secs(100_000)
             .build()
             .unwrap();
-        c.start_task(old_spot, &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(young_spot, &[NodeId::new(0)], SimTime::from_secs(9_000), 0).unwrap();
+        c.start_task(old_spot, &[NodeId::new(0)], SimTime::ZERO, 0)
+            .unwrap();
+        c.start_task(young_spot, &[NodeId::new(0)], SimTime::from_secs(9_000), 0)
+            .unwrap();
         let now = SimTime::from_secs(10_000);
         // prefer evicting the youngest (least waste): order key = waste
         let (nodes, victims) = plan_preemption(&c, &task(3, 1, 4, Priority::Hp), now, |rt, t| {
@@ -273,12 +538,15 @@ mod tests {
             .duration_secs(100_000)
             .build()
             .unwrap();
-        c.start_task(spot, &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        let (nodes, victims) =
-            plan_preemption(&c, &task(2, 1, 8, Priority::Hp), SimTime::from_secs(100), |rt, t| {
-                rt.waste(t) as u64
-            })
+        c.start_task(spot, &[NodeId::new(0)], SimTime::ZERO, 0)
             .unwrap();
+        let (nodes, victims) = plan_preemption(
+            &c,
+            &task(2, 1, 8, Priority::Hp),
+            SimTime::from_secs(100),
+            |rt, t| rt.waste(t) as u64,
+        )
+        .unwrap();
         assert_eq!(nodes, vec![NodeId::new(1)], "idle node wins (zero waste)");
         assert!(victims.is_empty());
     }
@@ -286,9 +554,157 @@ mod tests {
     #[test]
     fn plan_preemption_none_when_infeasible() {
         let c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        assert!(plan_preemption(&c, &task(1, 1, 16, Priority::Hp), SimTime::ZERO, |rt, t| {
-            rt.waste(t) as u64
-        })
-        .is_none());
+        assert!(
+            plan_preemption(&c, &task(1, 1, 16, Priority::Hp), SimTime::ZERO, |rt, t| {
+                rt.waste(t) as u64
+            })
+            .is_none()
+        );
+    }
+
+    #[test]
+    fn naive_policy_components_are_neutral() {
+        let c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let p = PlacementPolicy::naive();
+        assert!(p.is_naive());
+        let mut used = DomainUse::new();
+        used.note(PlacementPolicy::domain_key(&c, NodeId::new(0)));
+        assert_eq!(p.spread_component(&c, NodeId::new(0), &used), 0.0);
+        assert_eq!(p.drain_component(&c, NodeId::new(0)), 0.0);
+        assert_eq!(
+            p.reliability_component(&c.nodes()[0], SimTime::from_hours(1)),
+            1.0
+        );
+        assert!(!PlacementPolicy::churn_aware().is_naive());
+    }
+
+    #[test]
+    fn spread_counts_pods_per_domain_with_per_node_fallback() {
+        let mut c = Cluster::homogeneous(4, GpuModel::A100, 8);
+        let p = PlacementPolicy::domain_spread();
+        // no topology: every node is its own pseudo-domain
+        let k0 = PlacementPolicy::domain_key(&c, NodeId::new(0));
+        let k1 = PlacementPolicy::domain_key(&c, NodeId::new(1));
+        assert_ne!(k0, k1);
+        c.set_failure_domains(&gfs_types::FailureDomain::racks(4, 2));
+        let k0 = PlacementPolicy::domain_key(&c, NodeId::new(0));
+        assert_eq!(
+            k0,
+            PlacementPolicy::domain_key(&c, NodeId::new(1)),
+            "same rack"
+        );
+        let mut used = DomainUse::new();
+        used.note(k0);
+        used.note(k0);
+        assert_eq!(p.spread_component(&c, NodeId::new(1), &used), -2.0);
+        assert_eq!(
+            p.spread_component(&c, NodeId::new(2), &used),
+            0.0,
+            "other rack untouched"
+        );
+    }
+
+    #[test]
+    fn reliability_discounts_failure_prone_nodes() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.fail_node(NodeId::new(0), SimTime::from_hours(1)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_hours(2))
+            .unwrap();
+        let p = PlacementPolicy::reliability_scored();
+        let now = SimTime::from_hours(3);
+        let flaky = p.reliability_component(&c.nodes()[0], now);
+        let stable = p.reliability_component(&c.nodes()[1], now);
+        assert!(flaky < stable, "{flaky} vs {stable}");
+        assert_eq!(stable, 1.0);
+        assert!(
+            (flaky - 0.75).abs() < 1e-9,
+            "one failure at the default penalty"
+        );
+        // enough failures floor the score at 0 (never negative)
+        for h in [5u64, 7, 9, 11] {
+            c.fail_node(NodeId::new(0), SimTime::from_hours(h)).unwrap();
+            c.restore_node(NodeId::new(0), SimTime::from_hours(h + 1))
+                .unwrap();
+        }
+        assert_eq!(
+            p.reliability_component(&c.nodes()[0], SimTime::from_hours(12)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn drain_component_flags_racks_mid_maintenance() {
+        let mut c = Cluster::homogeneous(4, GpuModel::A100, 8);
+        c.set_failure_domains(&gfs_types::FailureDomain::racks(4, 2));
+        c.drain_node(NodeId::new(0), SimTime::from_hours(1))
+            .unwrap();
+        let p = PlacementPolicy::churn_aware();
+        assert_eq!(
+            p.drain_component(&c, NodeId::new(1)),
+            -1.0,
+            "rack-mate of the drain"
+        );
+        assert_eq!(
+            p.drain_component(&c, NodeId::new(2)),
+            0.0,
+            "other rack clean"
+        );
+    }
+
+    #[test]
+    fn drain_aware_migration_harvests_when_cluster_is_full() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let naive = PlacementPolicy::naive();
+        let aware = PlacementPolicy::churn_aware();
+        // a long gang on node 0 (3 600 s of work, far over any notice)
+        c.start_task(
+            task(1, 1, 8, Priority::Hp),
+            &[NodeId::new(0)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        let rt = |c: &Cluster, id: u64| c.running_task(TaskId::new(id)).unwrap().clone();
+        let gang = rt(&c, 1);
+        // room on node 1: both migrate the can't-finish gang at the notice
+        assert!(naive.migrate_on_drain(&gang, 600, &c, SimTime::ZERO));
+        assert!(aware.migrate_on_drain(&gang, 600, &c, SimTime::ZERO));
+        assert_eq!(
+            aware.drain_decision(&gang, 600, &c, SimTime::ZERO),
+            DrainDecision::Migrate
+        );
+        // neither touches a gang that finishes inside the window
+        let end = SimTime::from_secs(3_600 - 100);
+        assert!(!naive.migrate_on_drain(&gang, 600, &c, end));
+        assert_eq!(
+            aware.drain_decision(&gang, 600, &c, end),
+            DrainDecision::Stay
+        );
+        // fill node 1 and drain node 0: the gang's own cards sit on the
+        // draining node, so they never count as receivable — the
+        // drain-aware policy stays and harvests
+        c.start_task(
+            task(8, 1, 8, Priority::Hp),
+            &[NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.drain_node(NodeId::new(0), SimTime::from_secs(600))
+            .unwrap();
+        let gang = rt(&c, 1);
+        assert!(
+            naive.migrate_on_drain(&gang, 600, &c, SimTime::ZERO),
+            "naive migrates regardless"
+        );
+        assert_eq!(
+            aware.drain_decision(&gang, 600, &c, SimTime::ZERO),
+            DrainDecision::Stay
+        );
+        // …but a gang whose cards sit on a *schedulable* node counts them:
+        // migrating task 8 frees node 1, so it can re-place into its own
+        // vacated cards
+        let gang_elsewhere = rt(&c, 8);
+        assert!(aware.migrate_on_drain(&gang_elsewhere, 600, &c, SimTime::ZERO));
     }
 }

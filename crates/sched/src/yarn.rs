@@ -78,17 +78,26 @@ mod tests {
     #[test]
     fn preempts_newest_spot_for_hp() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(spot(1, 4), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
-        c.start_task(spot(2, 4), &[NodeId::new(0)], SimTime::from_secs(500), 0).unwrap();
+        c.start_task(spot(1, 4), &[NodeId::new(0)], SimTime::ZERO, 0)
+            .unwrap();
+        c.start_task(spot(2, 4), &[NodeId::new(0)], SimTime::from_secs(500), 0)
+            .unwrap();
         let mut s = YarnCs::new();
-        let d = s.schedule(&hp(3, 4), &c, SimTime::from_secs(1_000)).unwrap();
-        assert_eq!(d.preemptions, vec![TaskId::new(2)], "newest container evicted");
+        let d = s
+            .schedule(&hp(3, 4), &c, SimTime::from_secs(1_000))
+            .unwrap();
+        assert_eq!(
+            d.preemptions,
+            vec![TaskId::new(2)],
+            "newest container evicted"
+        );
     }
 
     #[test]
     fn spot_never_preempts() {
         let mut c = Cluster::homogeneous(1, GpuModel::A100, 8);
-        c.start_task(spot(1, 8), &[NodeId::new(0)], SimTime::ZERO, 0).unwrap();
+        c.start_task(spot(1, 8), &[NodeId::new(0)], SimTime::ZERO, 0)
+            .unwrap();
         let mut s = YarnCs::new();
         assert!(s.schedule(&spot(2, 4), &c, SimTime::ZERO).is_none());
     }

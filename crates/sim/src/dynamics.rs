@@ -86,6 +86,48 @@
 //! structure and, when enabled, the per-node allocation sample series.
 //! Schedulers see [`TaskEvent::NodeAdded`](gfs_cluster::TaskEvent::NodeAdded).
 //!
+//! # Placement-policy flow (who sees which event when)
+//!
+//! Churn-aware schedulers close the loop the engine only *reacts* in: a
+//! `gfs_sched::placement::PlacementPolicy` consumes the cluster-side
+//! state the timeline leaves behind, at placement time, through O(1)
+//! queries maintained incrementally by the verbs above:
+//!
+//! * `fail_node` records an up→down transition on the node
+//!   ([`Node::failures_within`](gfs_cluster::Node::failures_within),
+//!   [`Node::failure_count`](gfs_cluster::Node::failure_count),
+//!   [`Node::time_since_failure`](gfs_cluster::Node::time_since_failure)).
+//!   Unlike the eviction history, this *survives* `restore_node` — the
+//!   reliability score exists precisely to remember flaky hardware across
+//!   repairs.
+//! * `drain_node` / `restore_node` / the drain-deadline `fail_node` keep
+//!   a per-failure-domain draining count
+//!   ([`Cluster::draining_in_domain`](gfs_cluster::Cluster::draining_in_domain))
+//!   when a topology was declared
+//!   ([`Cluster::set_failure_domains`](gfs_cluster::Cluster::set_failure_domains),
+//!   [`Cluster::domain_of`](gfs_cluster::Cluster::domain_of)); drain
+//!   avoidance reads it to steer new placements off racks mid-wave.
+//! * the `TaskEvent` stream (above) still reaches `Scheduler::on_event`
+//!   exactly as before; policies need no extra events — the queries are
+//!   available inside every `Scheduler::schedule` call.
+//!
+//! The **drain notice** is the one decision point the scheduler now owns:
+//! at a `Drain { notice }` event the engine asks
+//! [`Scheduler::drain_decision`](gfs_cluster::Scheduler::drain_decision)
+//! once per gang running on the node — *migrate now* (graceful release
+//! with checkpointed progress, requeue after the grace period) or *stay*
+//! (finish inside the window, or keep checkpointing until the forced
+//! deadline displaces it). For policy-less schedulers the trait default
+//! reproduces the engine's historical hard-wired rule — migrate exactly
+//! the gangs that cannot finish inside the window — so every pre-policy
+//! golden pin holds; the engine also still arms the deadline, forces the
+//! shutdown through `fail_node` accounting, and requeues whatever the
+//! decision left behind. A drain-aware policy
+//! (`PlacementPolicy::churn_aware`) keeps a can't-finish gang in place
+//! when the cluster has no idle cards of its model to receive it:
+//! migrating into a full cluster forfeits the window's checkpointable
+//! progress and buys nothing.
+//!
 //! # Determinism rules
 //!
 //! Dynamic runs obey the same byte-identical-reproduction contract as

@@ -73,18 +73,27 @@ impl Default for SimConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
     Submit(u32),
-    Finish { task: u32, epoch: u32 },
+    Finish {
+        task: u32,
+        epoch: u32,
+    },
     Requeue(u32),
     Tick,
     Sample,
     NodeDown(NodeId),
     NodeUp(NodeId),
-    Drain { node: NodeId, notice: SimDuration },
+    Drain {
+        node: NodeId,
+        notice: SimDuration,
+    },
     /// Forced shutdown of a drain; fires only if the drain armed at
     /// `now − notice` is still in progress (an interleaved `NodeUp`
     /// cancels it, a later re-drain arms a different deadline).
     DrainDeadline(NodeId),
-    AddNode { model: GpuModel, gpus: u32 },
+    AddNode {
+        model: GpuModel,
+        gpus: u32,
+    },
 }
 
 /// Dense per-task simulation state, indexed by trace position.
@@ -155,7 +164,14 @@ fn displace_and_requeue(
         rec.displacements += 1;
         report.displacement_times.push(now);
     }
-    scheduler.on_event(&TaskEvent::Displaced { task: id, priority, at: now }, cluster);
+    scheduler.on_event(
+        &TaskEvent::Displaced {
+            task: id,
+            priority,
+            at: now,
+        },
+        cluster,
+    );
     *seq += 1;
     heap.push(Event {
         at: now + requeue_delay,
@@ -206,7 +222,14 @@ fn apply_node_down(
             requeue_delay,
         );
     }
-    scheduler.on_event(&TaskEvent::NodeDown { node, lost_gpus: lost, at: now }, cluster);
+    scheduler.on_event(
+        &TaskEvent::NodeDown {
+            node,
+            lost_gpus: lost,
+            at: now,
+        },
+        cluster,
+    );
     true
 }
 
@@ -231,7 +254,11 @@ pub fn run(
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, at: SimTime, kind: EventKind| {
         *seq += 1;
-        heap.push(Event { at, seq: *seq, kind });
+        heap.push(Event {
+            at,
+            seq: *seq,
+            kind,
+        });
     };
 
     // dense per-task state, indexed by trace position; specs shared by Arc
@@ -255,7 +282,12 @@ pub fn run(
     let mut unfinished = specs.len();
 
     for (i, t) in specs.iter().enumerate() {
-        push(&mut heap, &mut seq, t.submit_at, EventKind::Submit(i as u32));
+        push(
+            &mut heap,
+            &mut seq,
+            t.submit_at,
+            EventKind::Submit(i as u32),
+        );
     }
     push(&mut heap, &mut seq, SimTime::ZERO, EventKind::Sample);
     push(
@@ -414,7 +446,11 @@ pub fn run(
                         avail.change(now, -f64::from(restored));
                     }
                     scheduler.on_event(
-                        &TaskEvent::NodeUp { node, restored_gpus: restored, at: now },
+                        &TaskEvent::NodeUp {
+                            node,
+                            restored_gpus: restored,
+                            at: now,
+                        },
                         &cluster,
                     );
                     dirty = true;
@@ -425,19 +461,26 @@ pub fn run(
                         continue; // down / unknown / already draining: no-op
                     }
                     report.node_drains += 1;
-                    // gangs that cannot finish inside the notice window
-                    // migrate now — gracefully, with checkpointed progress
-                    // — instead of dying at the deadline; ascending id
-                    // order via the ordered running registry
+                    // the scheduler chooses per gang: migrate now —
+                    // gracefully, with checkpointed progress — or ride out
+                    // the window (finish in place, or checkpoint until the
+                    // forced deadline). The default Scheduler::drain_decision
+                    // reproduces the historical rule (migrate exactly the
+                    // gangs that cannot finish inside the window);
+                    // ascending id order via the ordered running registry
                     let to_move: Vec<TaskId> = cluster
                         .running()
                         .filter(|rt| rt.placements.iter().any(|p| p.node == node))
-                        .filter(|rt| rt.remaining(now) > notice)
+                        .filter(|rt| {
+                            scheduler.drain_decision(rt, notice, &cluster, now)
+                                == gfs_cluster::DrainDecision::Migrate
+                        })
                         .map(|rt| rt.spec.id)
                         .collect();
                     for id in to_move {
-                        let (rt, preserved) =
-                            cluster.migrate_task(id, now).expect("collected from the registry");
+                        let (rt, preserved) = cluster
+                            .migrate_task(id, now)
+                            .expect("collected from the registry");
                         displace_and_requeue(
                             id,
                             rt.spec.priority,
@@ -455,10 +498,19 @@ pub fn run(
                         );
                     }
                     scheduler.on_event(
-                        &TaskEvent::DrainNotice { node, deadline, at: now },
+                        &TaskEvent::DrainNotice {
+                            node,
+                            deadline,
+                            at: now,
+                        },
                         &cluster,
                     );
-                    push(&mut heap, &mut seq, deadline, EventKind::DrainDeadline(node));
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        deadline,
+                        EventKind::DrainDeadline(node),
+                    );
                     dirty = true;
                 }
                 EventKind::DrainDeadline(node) => {
@@ -498,7 +550,11 @@ pub fn run(
                         report.node_alloc_samples.push(vec![0.0; len]);
                     }
                     scheduler.on_event(
-                        &TaskEvent::NodeAdded { node, added_gpus: gpus, at: now },
+                        &TaskEvent::NodeAdded {
+                            node,
+                            added_gpus: gpus,
+                            at: now,
+                        },
                         &cluster,
                     );
                     dirty = true;
@@ -549,7 +605,13 @@ pub fn run(
                         let rec = &mut report.tasks[states[vidx].rec as usize];
                         rec.evictions += 1;
                         report.eviction_times.push(now);
-                        scheduler.on_event(&TaskEvent::Evicted { task: *victim, at: now }, &cluster);
+                        scheduler.on_event(
+                            &TaskEvent::Evicted {
+                                task: *victim,
+                                at: now,
+                            },
+                            &cluster,
+                        );
                         push(
                             &mut heap,
                             &mut seq,
@@ -630,7 +692,12 @@ mod tests {
             "first-fit"
         }
 
-        fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, _now: SimTime) -> Option<Decision> {
+        fn schedule(
+            &mut self,
+            task: &TaskSpec,
+            cluster: &Cluster,
+            _now: SimTime,
+        ) -> Option<Decision> {
             let need = match task.gpus_per_pod {
                 GpuDemand::Whole(n) => n,
                 GpuDemand::Fraction(_) => 1,
@@ -692,7 +759,11 @@ mod tests {
             task(2, Priority::Hp, 8, 500, 100),
         ];
         let report = run(cluster, &mut FirstFit, tasks, &SimConfig::default());
-        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        let t2 = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(2))
+            .unwrap();
         assert_eq!(t2.first_start, Some(SimTime::from_secs(1_000)));
         assert_eq!(t2.queued_secs, 900);
         assert_eq!(t2.finish, Some(SimTime::from_secs(1_500)));
@@ -708,13 +779,28 @@ mod tests {
         };
         let report = run(cluster, &mut FirstFit, tasks, &cfg);
         assert!(!report.tasks[0].completed());
-        assert!(report.tasks[0].queued_secs > 0, "queued time accrues to the horizon");
+        assert!(
+            report.tasks[0].queued_secs > 0,
+            "queued time accrues to the horizon"
+        );
     }
 
     #[test]
     fn determinism() {
         let tasks: Vec<TaskSpec> = (0..40)
-            .map(|i| task(i, if i % 3 == 0 { Priority::Spot } else { Priority::Hp }, (i % 4 + 1) as u32, 300 + i * 13, i * 7))
+            .map(|i| {
+                task(
+                    i,
+                    if i % 3 == 0 {
+                        Priority::Spot
+                    } else {
+                        Priority::Hp
+                    },
+                    (i % 4 + 1) as u32,
+                    300 + i * 13,
+                    i * 7,
+                )
+            })
             .collect();
         let r1 = run(
             Cluster::homogeneous(2, GpuModel::A100, 8),
@@ -739,7 +825,12 @@ mod tests {
             alloc_sample_interval_secs: 600,
             ..SimConfig::default()
         };
-        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 1_800, 0)], &cfg);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 8, 1_800, 0)],
+            &cfg,
+        );
         assert!(report.alloc_samples.len() >= 3);
         // while the task runs the cluster is fully allocated
         assert!(report.alloc_samples.iter().any(|s| s.total > 0.99));
@@ -752,7 +843,12 @@ mod tests {
             record_node_alloc: true,
             ..SimConfig::default()
         };
-        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 2, 600, 0)], &cfg);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 2, 600, 0)],
+            &cfg,
+        );
         assert_eq!(report.node_alloc_samples.len(), 3);
         assert!(!report.node_alloc_samples[0].is_empty());
     }
@@ -765,7 +861,12 @@ mod tests {
             "preempt-all"
         }
 
-        fn schedule(&mut self, task: &TaskSpec, cluster: &Cluster, _now: SimTime) -> Option<Decision> {
+        fn schedule(
+            &mut self,
+            task: &TaskSpec,
+            cluster: &Cluster,
+            _now: SimTime,
+        ) -> Option<Decision> {
             let need = task.gpus_per_pod.whole_cards().unwrap_or(1);
             let node = cluster.nodes().first()?.id();
             let idle = cluster.node(node).ok()?.idle_gpus();
@@ -808,12 +909,24 @@ mod tests {
             vec![spot, hp],
             &SimConfig::default(),
         );
-        let spot_rec = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
-        let hp_rec = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        let spot_rec = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(1))
+            .unwrap();
+        let hp_rec = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(2))
+            .unwrap();
         assert_eq!(spot_rec.evictions, 1);
         assert_eq!(spot_rec.runs, 2, "spot restarted after eviction");
         assert!(spot_rec.completed());
-        assert_eq!(hp_rec.first_start, Some(SimTime::from_secs(2_000)), "HP ran immediately");
+        assert_eq!(
+            hp_rec.first_start,
+            Some(SimTime::from_secs(2_000)),
+            "HP ran immediately"
+        );
         // checkpointed progress: 1800s preserved (3 × 600), so the spot task
         // finishes at 3030 (HP done) + (10000 − 1800) r... total work conserved
         let finish = spot_rec.finish.unwrap().as_secs();
@@ -845,10 +958,25 @@ mod tests {
             tasks.push(task(1_000 + k, Priority::Hp, 8, 1_000, 2_000 * k));
         }
         let report = run(cluster, &mut PreemptAll, tasks, &SimConfig::default());
-        let spot_rec = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
-        assert!(spot_rec.completed(), "spot must finish despite the eviction storm");
-        assert!(spot_rec.evictions >= 90, "evictions: {}", spot_rec.evictions);
-        assert_eq!(spot_rec.runs, spot_rec.evictions + 1, "every eviction restarts once");
+        let spot_rec = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(1))
+            .unwrap();
+        assert!(
+            spot_rec.completed(),
+            "spot must finish despite the eviction storm"
+        );
+        assert!(
+            spot_rec.evictions >= 90,
+            "evictions: {}",
+            spot_rec.evictions
+        );
+        assert_eq!(
+            spot_rec.runs,
+            spot_rec.evictions + 1,
+            "every eviction restarts once"
+        );
         // progress conservation: 2000 s in the first segment, 1000 s per
         // later segment, no checkpoint loss -> finish at exactly 198 000 s
         assert_eq!(spot_rec.finish, Some(SimTime::from_secs(198_000)));
@@ -886,17 +1014,32 @@ mod tests {
             ..SimConfig::default()
         };
         let report = run(cluster, &mut FirstFit, vec![spec, small], &cfg);
-        let t1 = report.tasks.iter().find(|t| t.id == TaskId::new(1)).unwrap();
-        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
+        let t1 = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(1))
+            .unwrap();
+        let t2 = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(2))
+            .unwrap();
         assert_eq!(t1.displacements, 1);
         assert_eq!(t1.evictions, 0, "displacement is not eviction");
         assert_eq!(t1.runs, 2, "requeued and restarted");
-        assert!(t1.completed() && t2.completed(), "work survives the failure");
+        assert!(
+            t1.completed() && t2.completed(),
+            "work survives the failure"
+        );
         // per-second checkpoints: no work lost. The restart must wait for
         // node 1 (busy with task 2 until 4 010), then run the remaining
         // 8 000 s: finish at 12 010 with zero duplicated work
         assert_eq!(t1.finish, Some(SimTime::from_secs(12_010)));
-        assert_eq!(t1.queued_secs, 4_010 - 2_030, "queued from grace end to node-1 free");
+        assert_eq!(
+            t1.queued_secs,
+            4_010 - 2_030,
+            "queued from grace end to node-1 free"
+        );
         assert_eq!(t2.displacements, 0, "node 1 never failed");
         assert_eq!(report.displacement_times, vec![SimTime::from_secs(2_000)]);
         assert_eq!(report.node_downs, 1);
@@ -932,7 +1075,11 @@ mod tests {
         // 500 s progress, checkpointed at 500: the task resumes at 3 000
         // with 500 s left
         assert_eq!(t.finish, Some(SimTime::from_secs(3_500)));
-        assert!(t.queued_secs >= 2_000, "waited out the outage: {}", t.queued_secs);
+        assert!(
+            t.queued_secs >= 2_000,
+            "waited out the outage: {}",
+            t.queued_secs
+        );
         // 8 of 8 cards down for 2 500 s of a 3 500 s run
         let expected = 2_500.0 / 3_500.0;
         assert!((report.unavailability - expected).abs() < 1e-9);
@@ -954,7 +1101,12 @@ mod tests {
             ]),
             ..SimConfig::default()
         };
-        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 1, 1_000, 0)], &cfg);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 1, 1_000, 0)],
+            &cfg,
+        );
         assert_eq!(report.node_downs, 1);
         assert_eq!(report.node_ups, 1);
         assert!(report.tasks[0].completed());
@@ -963,7 +1115,19 @@ mod tests {
     #[test]
     fn empty_fault_plan_is_strict_noop() {
         let tasks: Vec<TaskSpec> = (0..30)
-            .map(|i| task(i, if i % 3 == 0 { Priority::Spot } else { Priority::Hp }, (i % 4 + 1) as u32, 300 + i * 13, i * 7))
+            .map(|i| {
+                task(
+                    i,
+                    if i % 3 == 0 {
+                        Priority::Spot
+                    } else {
+                        Priority::Hp
+                    },
+                    (i % 4 + 1) as u32,
+                    300 + i * 13,
+                    i * 7,
+                )
+            })
             .collect();
         let base = run(
             Cluster::homogeneous(2, GpuModel::A100, 8),
@@ -1000,11 +1164,24 @@ mod tests {
             max_time_secs: Some(20_000),
             ..SimConfig::default()
         };
-        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 600, 200)], &cfg);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 8, 600, 200)],
+            &cfg,
+        );
         let t = &report.tasks[0];
-        assert_eq!(t.first_start, Some(SimTime::from_secs(5_000)), "waited out the drain");
+        assert_eq!(
+            t.first_start,
+            Some(SimTime::from_secs(5_000)),
+            "waited out the drain"
+        );
         assert_eq!(t.finish, Some(SimTime::from_secs(5_600)));
-        assert_eq!(t.displacements + t.migrations, 0, "never placed on the draining node");
+        assert_eq!(
+            t.displacements + t.migrations,
+            0,
+            "never placed on the draining node"
+        );
         assert_eq!(report.node_drains, 1);
         assert_eq!(report.node_downs, 1, "deadline forced the empty node down");
         assert_eq!(report.node_ups, 1);
@@ -1025,9 +1202,18 @@ mod tests {
             max_time_secs: Some(10_000),
             ..SimConfig::default()
         };
-        let report = run(cluster, &mut FirstFit, vec![task(1, Priority::Hp, 8, 1_500, 0)], &cfg);
+        let report = run(
+            cluster,
+            &mut FirstFit,
+            vec![task(1, Priority::Hp, 8, 1_500, 0)],
+            &cfg,
+        );
         let t = &report.tasks[0];
-        assert_eq!(t.finish, Some(SimTime::from_secs(1_500)), "ran to completion in place");
+        assert_eq!(
+            t.finish,
+            Some(SimTime::from_secs(1_500)),
+            "ran to completion in place"
+        );
         assert_eq!(t.migrations, 0, "fits the window: no migration");
         assert_eq!(t.displacements, 0, "and no forced displacement");
         assert_eq!(report.migration_times, vec![]);
@@ -1109,7 +1295,79 @@ mod tests {
         assert_eq!(report.node_downs, 1);
         // availability: 8/8 cards down from the 1 500 deadline to 4 000
         let expected = 2_500.0 / 13_000.0;
-        assert!((report.unavailability - expected).abs() < 1e-9, "{}", report.unavailability);
+        assert!(
+            (report.unavailability - expected).abs() < 1e-9,
+            "{}",
+            report.unavailability
+        );
+    }
+
+    /// First-fit, but answering `Stay` to every drain notice: gangs ride
+    /// out the window checkpointing and take the forced displacement.
+    struct StayPut(FirstFit);
+
+    impl Scheduler for StayPut {
+        fn name(&self) -> &str {
+            "stay-put"
+        }
+
+        fn schedule(
+            &mut self,
+            task: &TaskSpec,
+            cluster: &Cluster,
+            now: SimTime,
+        ) -> Option<Decision> {
+            self.0.schedule(task, cluster, now)
+        }
+
+        fn drain_decision(
+            &self,
+            _task: &gfs_cluster::RunningTask,
+            _notice: SimDuration,
+            _cluster: &Cluster,
+            _now: SimTime,
+        ) -> gfs_cluster::DrainDecision {
+            gfs_cluster::DrainDecision::Stay
+        }
+    }
+
+    #[test]
+    fn drain_decision_stay_harvests_checkpoints_until_the_deadline() {
+        use gfs_types::ClusterEvent;
+        let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        // 10 000 s of work cannot fit the 1 000 s notice; the default
+        // policy migrates at the notice (see the engine test above), but a
+        // Stay answer keeps the gang checkpointing until the deadline
+        let spec = TaskSpec::builder(1)
+            .priority(Priority::Hp)
+            .gpus_per_pod(GpuDemand::whole(8))
+            .duration_secs(10_000)
+            .checkpoint(gfs_types::CheckpointPlan::Periodic { interval: 1 })
+            .submit_at(SimTime::ZERO)
+            .build()
+            .unwrap();
+        let cfg = SimConfig {
+            dynamics: DynamicsPlan::new(vec![ClusterEvent::drain(
+                NodeId::new(0),
+                SimTime::from_secs(2_000),
+                1_000,
+            )])
+            .unwrap(),
+            ..SimConfig::default()
+        };
+        let report = run(cluster, &mut StayPut(FirstFit), vec![spec], &cfg);
+        let t = &report.tasks[0];
+        assert_eq!(t.migrations, 0, "the policy declined the early migration");
+        assert_eq!(
+            t.displacements, 1,
+            "…and took the forced displacement instead"
+        );
+        // 3 000 s of per-second-checkpointed progress survived; restart on
+        // node 1 after the 30 s grace finishes the remaining 7 000 s
+        assert_eq!(t.finish, Some(SimTime::from_secs(10_030)));
+        assert_eq!(report.displacement_times, vec![SimTime::from_secs(3_000)]);
+        assert_eq!(report.migration_times, vec![]);
+        assert_eq!(report.node_downs, 1, "the deadline forced the node down");
     }
 
     #[test]
@@ -1139,10 +1397,16 @@ mod tests {
         let t = &report.tasks[0];
         assert_eq!(t.finish, Some(SimTime::from_secs(4_000)), "never disturbed");
         assert_eq!(t.migrations, 0);
-        assert_eq!(report.node_downs, 0, "the deadline found the drain cancelled");
+        assert_eq!(
+            report.node_downs, 0,
+            "the deadline found the drain cancelled"
+        );
         assert_eq!(report.node_drains, 1);
         assert_eq!(report.node_ups, 1);
-        assert_eq!(report.unavailability, 0.0, "a cancelled drain never went down");
+        assert_eq!(
+            report.unavailability, 0.0,
+            "a cancelled drain never went down"
+        );
     }
 
     #[test]
@@ -1157,7 +1421,10 @@ mod tests {
         ];
         let cfg = SimConfig {
             dynamics: DynamicsPlan::scale_out(
-                NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                NodeTemplate {
+                    model: GpuModel::A100,
+                    gpus: 8,
+                },
                 SimTime::from_secs(500),
                 1_000,
                 1,
@@ -1167,12 +1434,24 @@ mod tests {
             ..SimConfig::default()
         };
         let report = run(cluster, &mut FirstFit, tasks, &cfg);
-        let t2 = report.tasks.iter().find(|t| t.id == TaskId::new(2)).unwrap();
-        assert_eq!(t2.first_start, Some(SimTime::from_secs(500)), "started on the new node");
+        let t2 = report
+            .tasks
+            .iter()
+            .find(|t| t.id == TaskId::new(2))
+            .unwrap();
+        assert_eq!(
+            t2.first_start,
+            Some(SimTime::from_secs(500)),
+            "started on the new node"
+        );
         assert_eq!(t2.finish, Some(SimTime::from_secs(1_500)));
         assert_eq!(report.nodes_added, 1);
         assert_eq!(report.gpus_added, 8);
-        assert_eq!(report.node_alloc_samples.len(), 2, "sample series grew with the fleet");
+        assert_eq!(
+            report.node_alloc_samples.len(),
+            2,
+            "sample series grew with the fleet"
+        );
         assert_eq!(report.unavailability, 0.0);
         let summary = report.summary();
         assert_eq!(summary.added_gpus, 8.0);
@@ -1190,7 +1469,12 @@ mod tests {
             .build()
             .unwrap();
         let hp = task(2, Priority::Hp, 8, 500, 1_000);
-        let report = run(cluster, &mut PreemptAll, vec![spot, hp], &SimConfig::default());
+        let report = run(
+            cluster,
+            &mut PreemptAll,
+            vec![spot, hp],
+            &SimConfig::default(),
+        );
         assert_eq!(report.eviction_times, vec![SimTime::from_secs(1_000)]);
         assert_eq!(report.spot_start_times.len(), 2);
     }

@@ -192,7 +192,11 @@ impl SimReport {
     /// Fraction of tasks of a class that completed.
     #[must_use]
     pub fn completion_rate(&self, priority: Priority) -> f64 {
-        let all: Vec<_> = self.tasks.iter().filter(|t| t.priority == priority).collect();
+        let all: Vec<_> = self
+            .tasks
+            .iter()
+            .filter(|t| t.priority == priority)
+            .collect();
         if all.is_empty() {
             return 1.0;
         }
@@ -214,7 +218,13 @@ impl SimReport {
     /// Mean overall allocation rate across samples.
     #[must_use]
     pub fn mean_allocation_rate(&self) -> f64 {
-        mean(&self.alloc_samples.iter().map(|s| s.total).collect::<Vec<_>>())
+        mean(
+            &self
+                .alloc_samples
+                .iter()
+                .map(|s| s.total)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Time-weighted capacity availability over the run in `[0, 1]`:
@@ -459,7 +469,14 @@ fn quantile(mut v: Vec<f64>, q: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn record(id: u64, priority: Priority, jct: Option<u64>, jqt: u64, ev: u32, runs: u32) -> TaskRecord {
+    fn record(
+        id: u64,
+        priority: Priority,
+        jct: Option<u64>,
+        jqt: u64,
+        ev: u32,
+        runs: u32,
+    ) -> TaskRecord {
         TaskRecord {
             id: TaskId::new(id),
             priority,
@@ -492,7 +509,11 @@ mod tests {
         };
         assert_eq!(r.mean_jct(Priority::Hp), 200.0);
         assert_eq!(r.mean_jqt(Priority::Hp), 20.0);
-        assert_eq!(r.mean_jct(Priority::Spot), 500.0, "unfinished excluded from JCT");
+        assert_eq!(
+            r.mean_jct(Priority::Spot),
+            500.0,
+            "unfinished excluded from JCT"
+        );
         assert_eq!(r.mean_jqt(Priority::Spot), 250.0);
         assert!((r.eviction_rate() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(r.completion_rate(Priority::Spot), 0.5);
@@ -531,9 +552,12 @@ mod tests {
         };
         let json = serde_json::to_string(&fault_free).unwrap();
         assert!(
-            !json.contains("displacement") && !json.contains("unavailability")
-                && !json.contains("node_downs") && !json.contains("migration")
-                && !json.contains("node_drains") && !json.contains("added"),
+            !json.contains("displacement")
+                && !json.contains("unavailability")
+                && !json.contains("node_downs")
+                && !json.contains("migration")
+                && !json.contains("node_drains")
+                && !json.contains("added"),
             "zero-dynamics reports must keep the historical encoding: {json}"
         );
         // and the fields round-trip through their defaults

@@ -7,8 +7,8 @@
 //! and occasional demand bursts.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::rand_util::randn;
 
@@ -125,7 +125,11 @@ pub fn generate_series(arch: &OrgArchetype, hours: usize, seed: u64) -> Vec<f64>
         let day = h / 24;
         let weekday = day % 7;
         let diurnal = arch.diurnal_amp * OrgArchetype::diurnal_profile(hour_of_day);
-        let weekend = if weekday >= 5 { 1.0 - arch.weekend_drop } else { 1.0 };
+        let weekend = if weekday >= 5 {
+            1.0 - arch.weekend_drop
+        } else {
+            1.0
+        };
         if burst_left == 0 && rng.gen_bool(arch.burst_rate.clamp(0.0, 1.0)) {
             burst_left = rng.gen_range(2..10);
             burst_level = arch.burst_amp * rng.gen_range(0.5..1.0);

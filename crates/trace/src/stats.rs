@@ -9,7 +9,10 @@
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty data");
-    assert!((0.0..=100.0).contains(&p), "p must lie in [0, 100], got {p}");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "p must lie in [0, 100], got {p}"
+    );
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;

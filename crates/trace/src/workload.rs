@@ -189,7 +189,8 @@ impl WorkloadGenerator {
             1
         };
         let gpus = if bucket == 0 && !gang {
-            GpuDemand::fraction(*[0.25, 0.5].get(rng.gen_range(0..2)).expect("static")).expect("valid fraction")
+            GpuDemand::fraction(*[0.25, 0.5].get(rng.gen_range(0..2)).expect("static"))
+                .expect("valid fraction")
         } else {
             GpuDemand::whole(SIZE_BUCKETS[bucket.max(1)] as u32)
         };
@@ -221,7 +222,8 @@ impl WorkloadGenerator {
         if priority.is_spot() {
             b = b.guarantee_secs(self.cfg.guarantee_secs);
         }
-        b.build().expect("generated tasks satisfy the spec invariants")
+        b.build()
+            .expect("generated tasks satisfy the spec invariants")
     }
 
     /// Samples a submission instant with the diurnal intensity profile
@@ -285,7 +287,10 @@ mod tests {
             .filter(|t| t.gpus_per_pod == GpuDemand::whole(1))
             .count() as f64
             / hp.len() as f64;
-        assert!((one_card - 0.5511).abs() < 0.05, "1-card HP share {one_card}");
+        assert!(
+            (one_card - 0.5511).abs() < 0.05,
+            "1-card HP share {one_card}"
+        );
         let eight = hp
             .iter()
             .filter(|t| t.gpus_per_pod == GpuDemand::whole(8))
@@ -359,7 +364,10 @@ mod tests {
         cfg.hp_tasks = 20_000;
         cfg.spot_tasks = 0;
         let tasks = WorkloadGenerator::new(cfg).generate();
-        let durs: Vec<f64> = tasks.iter().map(|t| t.duration_secs as f64 / HOUR as f64).collect();
+        let durs: Vec<f64> = tasks
+            .iter()
+            .map(|t| t.duration_secs as f64 / HOUR as f64)
+            .collect();
         let p50 = crate::stats::percentile(&durs, 50.0);
         let p99 = crate::stats::percentile(&durs, 99.0);
         assert!(p50 > 0.5 && p50 < 6.0, "P50 {p50} h");

@@ -203,9 +203,7 @@ impl FailureDomain {
         (0..node_count)
             .step_by(rack_size as usize)
             .map(|first| {
-                FailureDomain::new(
-                    (first..(first + rack_size).min(node_count)).map(NodeId::new),
-                )
+                FailureDomain::new((first..(first + rack_size).min(node_count)).map(NodeId::new))
             })
             .collect()
     }
@@ -393,11 +391,15 @@ impl DynamicsPlan {
         }
         let mut events = Vec::new();
         for node in 0..node_count {
-            let mut rng = SplitMix64::new(seed ^ (u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut rng =
+                SplitMix64::new(seed ^ (u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
             let mut t = rng.exp(mtbf_secs);
             while t < horizon_secs as f64 {
                 let down_at = t.round() as u64;
-                events.push(ClusterEvent::down(NodeId::new(node), SimTime::from_secs(down_at)));
+                events.push(ClusterEvent::down(
+                    NodeId::new(node),
+                    SimTime::from_secs(down_at),
+                ));
                 if mttr_secs <= 0.0 {
                     break; // never repaired within this horizon
                 }
@@ -406,7 +408,10 @@ impl DynamicsPlan {
                     break; // still down when the horizon ends
                 }
                 let up_at = (t.round() as u64).max(down_at + 1);
-                events.push(ClusterEvent::up(NodeId::new(node), SimTime::from_secs(up_at)));
+                events.push(ClusterEvent::up(
+                    NodeId::new(node),
+                    SimTime::from_secs(up_at),
+                ));
                 t = up_at as f64 + rng.exp(mtbf_secs);
             }
         }
@@ -515,7 +520,9 @@ impl DynamicsPlan {
 /// Fault-only predecessor of [`DynamicsPlan`], kept so downstream call
 /// sites keep compiling. All constructors live on [`DynamicsPlan`]; note
 /// that `new` now validates and returns a `Result`.
-#[deprecated(note = "renamed to DynamicsPlan; the cluster timeline now also carries drains and scale-out")]
+#[deprecated(
+    note = "renamed to DynamicsPlan; the cluster timeline now also carries drains and scale-out"
+)]
 pub type FaultPlan = DynamicsPlan;
 
 /// SplitMix64: a tiny, well-mixed, dependency-free generator — exactly
@@ -580,9 +587,12 @@ mod tests {
 
     #[test]
     fn validation_rejects_up_for_never_down_node() {
-        let err = DynamicsPlan::new(vec![ClusterEvent::up(NodeId::new(3), SimTime::from_secs(9))])
-            .unwrap_err()
-            .to_string();
+        let err = DynamicsPlan::new(vec![ClusterEvent::up(
+            NodeId::new(3),
+            SimTime::from_secs(9),
+        )])
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("node-3"), "{err}");
         assert!(err.contains("t=9s"), "{err}");
         assert!(err.contains("never down"), "{err}");
@@ -595,7 +605,10 @@ mod tests {
             ClusterEvent::down(n, SimTime::from_secs(10)),
             ClusterEvent::down(n, SimTime::from_secs(20)),
         ]);
-        assert!(double_down.unwrap_err().to_string().contains("already down"));
+        assert!(double_down
+            .unwrap_err()
+            .to_string()
+            .contains("already down"));
         let drain_down = DynamicsPlan::new(vec![
             ClusterEvent::down(n, SimTime::from_secs(10)),
             ClusterEvent::drain(n, SimTime::from_secs(20), 60),
@@ -605,7 +618,10 @@ mod tests {
             ClusterEvent::drain(n, SimTime::from_secs(10), 60),
             ClusterEvent::drain(n, SimTime::from_secs(20), 60),
         ]);
-        assert!(double_drain.unwrap_err().to_string().contains("already draining"));
+        assert!(double_drain
+            .unwrap_err()
+            .to_string()
+            .contains("already draining"));
     }
 
     #[test]
@@ -653,7 +669,8 @@ mod tests {
 
     #[test]
     fn downs_and_ups_alternate_per_node() {
-        let p = DynamicsPlan::seeded_mtbf(4, 12.0 * HOUR as f64, 2.0 * HOUR as f64, 14 * 24 * HOUR, 3);
+        let p =
+            DynamicsPlan::seeded_mtbf(4, 12.0 * HOUR as f64, 2.0 * HOUR as f64, 14 * 24 * HOUR, 3);
         for node in 0..4u32 {
             let mut down = false;
             for e in p.events().iter().filter(|e| e.node == NodeId::new(node)) {
@@ -689,7 +706,10 @@ mod tests {
             DynamicsPlan::correlated(&FailureDomain::racks(8, 4), 0.0, 10.0, 1_000, 1).is_empty()
         );
         assert!(DynamicsPlan::rolling_drain(0, SimTime::ZERO, 1, 1, 1).is_empty());
-        let t = NodeTemplate { model: GpuModel::A100, gpus: 8 };
+        let t = NodeTemplate {
+            model: GpuModel::A100,
+            gpus: 8,
+        };
         assert!(DynamicsPlan::scale_out(t, SimTime::ZERO, HOUR, 0, 4).is_empty());
     }
 
@@ -708,13 +728,20 @@ mod tests {
         // members at once
         let mut by_time: std::collections::BTreeMap<SimTime, Vec<NodeId>> =
             std::collections::BTreeMap::new();
-        for e in p.events().iter().filter(|e| e.kind == ClusterEventKind::NodeDown) {
+        for e in p
+            .events()
+            .iter()
+            .filter(|e| e.kind == ClusterEventKind::NodeDown)
+        {
             by_time.entry(e.at).or_default().push(e.node);
         }
         for (at, nodes) in by_time {
             assert_eq!(nodes.len(), 4, "partial blast radius at {at}");
             let rack = nodes[0].raw() / 4;
-            assert!(nodes.iter().all(|n| n.raw() / 4 == rack), "mixed racks at {at}");
+            assert!(
+                nodes.iter().all(|n| n.raw() / 4 == rack),
+                "mixed racks at {at}"
+            );
         }
     }
 
@@ -742,15 +769,15 @@ mod tests {
 
     #[test]
     fn scale_out_steps_mint_unassigned_events() {
-        let t = NodeTemplate { model: GpuModel::H800, gpus: 8 };
+        let t = NodeTemplate {
+            model: GpuModel::H800,
+            gpus: 8,
+        };
         let p = DynamicsPlan::scale_out(t, SimTime::from_hours(2), HOUR, 3, 2);
         assert_eq!(p.len(), 6);
         assert!(p.validate().is_ok());
-        assert!(p
-            .events()
-            .iter()
-            .all(|e| e.node == ClusterEvent::UNASSIGNED
-                && e.kind == ClusterEventKind::AddNode { group: t }));
+        assert!(p.events().iter().all(|e| e.node == ClusterEvent::UNASSIGNED
+            && e.kind == ClusterEventKind::AddNode { group: t }));
         assert_eq!(p.events()[2].at, SimTime::from_hours(3));
     }
 
@@ -758,7 +785,10 @@ mod tests {
     fn merge_interleaves_and_revalidates() {
         let drains = DynamicsPlan::rolling_drain(2, SimTime::from_hours(10), 600, 300, 600);
         let adds = DynamicsPlan::scale_out(
-            NodeTemplate { model: GpuModel::A100, gpus: 8 },
+            NodeTemplate {
+                model: GpuModel::A100,
+                gpus: 8,
+            },
             SimTime::from_hours(1),
             HOUR,
             2,
@@ -769,10 +799,16 @@ mod tests {
         assert!(merged.events().windows(2).all(|w| w[0].at <= w[1].at));
         // conflicting histories are rejected with a descriptive error:
         // two independent plans both failing node 0 without a recovery
-        let a = DynamicsPlan::new(vec![ClusterEvent::down(NodeId::new(0), SimTime::from_hours(11))])
-            .expect("valid alone");
-        let b = DynamicsPlan::new(vec![ClusterEvent::down(NodeId::new(0), SimTime::from_hours(12))])
-            .expect("valid alone");
+        let a = DynamicsPlan::new(vec![ClusterEvent::down(
+            NodeId::new(0),
+            SimTime::from_hours(11),
+        )])
+        .expect("valid alone");
+        let b = DynamicsPlan::new(vec![ClusterEvent::down(
+            NodeId::new(0),
+            SimTime::from_hours(12),
+        )])
+        .expect("valid alone");
         let conflict = a.merge(b).unwrap_err();
         assert!(conflict.to_string().contains("node-0"));
         assert!(conflict.to_string().contains("already down"));
@@ -783,7 +819,10 @@ mod tests {
         let base = DynamicsPlan::seeded_mtbf(2, HOUR as f64, 600.0, 6 * HOUR, 5);
         let p = base
             .merge(DynamicsPlan::scale_out(
-                NodeTemplate { model: GpuModel::A800, gpus: 8 },
+                NodeTemplate {
+                    model: GpuModel::A800,
+                    gpus: 8,
+                },
                 SimTime::from_hours(3),
                 HOUR,
                 1,

@@ -108,7 +108,9 @@ impl GfsParams {
             if (0.0..=1.0).contains(&v) {
                 Ok(())
             } else {
-                Err(Error::InvalidConfig(format!("{name} must lie in [0, 1], got {v}")))
+                Err(Error::InvalidConfig(format!(
+                    "{name} must lie in [0, 1], got {v}"
+                )))
             }
         }
         unit("alpha", self.alpha)?;
@@ -123,10 +125,14 @@ impl GfsParams {
             return Err(Error::InvalidConfig("beta must be non-negative".into()));
         }
         if self.penalty_m < 0.0 {
-            return Err(Error::InvalidConfig("penalty_m must be non-negative".into()));
+            return Err(Error::InvalidConfig(
+                "penalty_m must be non-negative".into(),
+            ));
         }
         if self.guarantee_hours == 0 {
-            return Err(Error::InvalidConfig("guarantee_hours must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "guarantee_hours must be positive".into(),
+            ));
         }
         if self.quota_update_interval_secs == 0 {
             return Err(Error::InvalidConfig(
@@ -305,7 +311,10 @@ mod tests {
 
     #[test]
     fn frozen_rule_serializes() {
-        let p = GfsParams::builder().eta_rule(EtaUpdateRule::Frozen).build().unwrap();
+        let p = GfsParams::builder()
+            .eta_rule(EtaUpdateRule::Frozen)
+            .build()
+            .unwrap();
         let json = serde_json::to_string(&p).unwrap();
         let back: GfsParams = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);

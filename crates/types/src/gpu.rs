@@ -36,7 +36,12 @@ pub enum GpuModel {
 
 impl GpuModel {
     /// All models in the production cluster of Table 1.
-    pub const ALL: [GpuModel; 4] = [GpuModel::A10, GpuModel::A100, GpuModel::A800, GpuModel::H800];
+    pub const ALL: [GpuModel; 4] = [
+        GpuModel::A10,
+        GpuModel::A100,
+        GpuModel::A800,
+        GpuModel::H800,
+    ];
 
     /// Approximate on-demand price, USD per GPU-hour. Used only for the
     /// monthly-benefit estimate of §4.3.

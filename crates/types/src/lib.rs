@@ -43,14 +43,14 @@ mod id;
 mod task;
 mod time;
 
-pub use cluster_event::{ClusterEvent, ClusterEventKind, DynamicsPlan, FailureDomain, NodeTemplate};
 #[allow(deprecated)]
 pub use cluster_event::FaultPlan;
+pub use cluster_event::{
+    ClusterEvent, ClusterEventKind, DynamicsPlan, FailureDomain, NodeTemplate,
+};
 pub use config::{EtaUpdateRule, GfsParams, GfsParamsBuilder};
 pub use error::{Error, Result};
 pub use gpu::{GpuModel, GPUS_PER_NODE};
 pub use id::{NodeId, OrgId, TaskId};
-pub use task::{
-    CheckpointPlan, GpuDemand, Priority, RunLog, TaskSpec, TaskSpecBuilder,
-};
+pub use task::{CheckpointPlan, GpuDemand, Priority, RunLog, TaskSpec, TaskSpecBuilder};
 pub use time::{SimDuration, SimTime, Weekday, HOUR, MINUTE, SECONDS_PER_DAY, SECONDS_PER_WEEK};

@@ -318,7 +318,9 @@ impl TaskSpecBuilder {
     /// task carrying a spot guarantee.
     pub fn build(self) -> Result<TaskSpec> {
         if self.pods == 0 {
-            return Err(Error::InvalidTask("task must request at least one pod".into()));
+            return Err(Error::InvalidTask(
+                "task must request at least one pod".into(),
+            ));
         }
         if self.duration_secs == 0 {
             return Err(Error::InvalidTask("task duration must be positive".into()));

@@ -13,7 +13,11 @@ use gfs::scenario::{self, GdeModel};
 fn main() {
     // 6 weeks of hourly demand history for the four paper organizations
     let template = scenario::org_template(6, 168, 24, 11);
-    println!("history: {} orgs × {} hours", template.num_orgs(), template.len_hours());
+    println!(
+        "history: {} orgs × {} hours",
+        template.num_orgs(),
+        template.len_hours()
+    );
 
     // train OrgLinear
     let cfg = TrainConfig {
@@ -56,10 +60,16 @@ fn main() {
     println!("\nEq. 9 inventory on a {capacity:.0}-GPU pool:");
     println!("  aggregated p90 HP demand Σ_o max ŷ_o|p = {aggregated:8.1} GPUs");
     println!("  f(p=0.9, H=1h)                         = {inventory:8.1} GPUs");
-    println!("  spot quota Q_H (η=1, all idle)         = {:8.1} GPUs", inventory.min(capacity));
+    println!(
+        "  spot quota Q_H (η=1, all idle)         = {:8.1} GPUs",
+        inventory.min(capacity)
+    );
 
     // compare against the naive production heuristic (GFS-e)
     let naive = scenario::trained_gde(&template, GdeModel::LastWeekPeak, &TrainConfig::fast(), 5);
     let naive_agg = naive.aggregate_upper(0.9, 1);
-    println!("\nnaive LastWeekPeak aggregate: {naive_agg:8.1} GPUs (over-reserves {:.1} GPUs)", naive_agg - aggregated);
+    println!(
+        "\nnaive LastWeekPeak aggregate: {naive_agg:8.1} GPUs (over-reserves {:.1} GPUs)",
+        naive_agg - aggregated
+    );
 }

@@ -21,8 +21,11 @@ use gfs::prelude::*;
 
 fn main() {
     let smoke = std::env::var("GFS_WAVE_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let (nodes, horizon_h, seeds): (u32, u64, Vec<u64>) =
-        if smoke { (6, 8, vec![1]) } else { (16, 24, vec![1, 2, 3] ) };
+    let (nodes, horizon_h, seeds): (u32, u64, Vec<u64>) = if smoke {
+        (6, 8, vec![1])
+    } else {
+        (16, 24, vec![1, 2, 3])
+    };
     let sim_horizon = (horizon_h + 72) * HOUR;
 
     // ---- Act 1: one run, watched closely -------------------------------
@@ -84,7 +87,10 @@ fn main() {
             // the autoscaler leases two replacement nodes one hour into
             // the wave and two more two hours later
             let grow = DynamicsPlan::scale_out(
-                NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                NodeTemplate {
+                    model: GpuModel::A100,
+                    gpus: 8,
+                },
                 SimTime::from_hours(3),
                 2 * HOUR,
                 2,

@@ -26,20 +26,47 @@ fn axis(name: &str, params: GfsParams) -> ParamsAxis {
 
 fn main() {
     let smoke = std::env::var("GFS_QUOTA_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let (nodes, horizon_h, seeds): (u32, u64, Vec<u64>) =
-        if smoke { (8, 12, vec![1]) } else { (16, 48, vec![1, 2, 3]) };
+    let (nodes, horizon_h, seeds): (u32, u64, Vec<u64>) = if smoke {
+        (8, 12, vec![1])
+    } else {
+        (16, 48, vec![1, 2, 3])
+    };
 
     // the three quota levers, each swept around the Table 4 default
     let sweep = vec![
         axis("default", GfsParams::default()),
         // longer guarantee horizon: quota protects spot tasks for 4 h
-        axis("H=4", GfsParams::builder().guarantee_hours(4).build().expect("valid")),
+        axis(
+            "H=4",
+            GfsParams::builder()
+                .guarantee_hours(4)
+                .build()
+                .expect("valid"),
+        ),
         // a looser guarantee (p = 0.7): more inventory sold to spot
-        axis("p=0.7", GfsParams::builder().guarantee_rate(0.7).build().expect("valid")),
+        axis(
+            "p=0.7",
+            GfsParams::builder()
+                .guarantee_rate(0.7)
+                .build()
+                .expect("valid"),
+        ),
         // a stricter guarantee (p = 0.99): spot throttled hard
-        axis("p=0.99", GfsParams::builder().guarantee_rate(0.99).build().expect("valid")),
+        axis(
+            "p=0.99",
+            GfsParams::builder()
+                .guarantee_rate(0.99)
+                .build()
+                .expect("valid"),
+        ),
         // conservative η clamp: the feedback loop can never over-admit
-        axis("eta<=1", GfsParams::builder().eta_bounds(0.1, 1.0).build().expect("valid")),
+        axis(
+            "eta<=1",
+            GfsParams::builder()
+                .eta_bounds(0.1, 1.0)
+                .build()
+                .expect("valid"),
+        ),
     ];
 
     let grid = Grid::new()

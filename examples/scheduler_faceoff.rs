@@ -27,13 +27,19 @@ fn main() {
         0.6,
         0.15,
     );
-    let params = GfsParams::builder().eta_bounds(0.1, 1.5).build().expect("valid params");
+    let params = GfsParams::builder()
+        .eta_bounds(0.1, 1.5)
+        .build()
+        .expect("valid params");
     let grid = Grid::new()
         .schedulers(SchedulerSpec::baselines())
         .scheduler(scenario::gfs_spec(3, 0.6))
         .shape(shape)
         .workload(medium)
-        .params([gfs::lab::ParamsAxis { name: "eta<=1.5".into(), params }])
+        .params([gfs::lab::ParamsAxis {
+            name: "eta<=1.5".into(),
+            params,
+        }])
         .seeds([9])
         .sim(SimConfig {
             max_time_secs: Some(8 * 24 * HOUR),

@@ -78,7 +78,11 @@ fn main() {
             .iter()
             .filter(|t| t.as_hours() as usize == h)
             .count();
-        let marker = if (8..10).contains(&h) { "  <-- HP surge" } else { "" };
+        let marker = if (8..10).contains(&h) {
+            "  <-- HP surge"
+        } else {
+            ""
+        };
         println!(
             "{:>4} | {:>5.1} {:>5.1} {:>5.1} | {:>3} ({:.0}% of spot events){}",
             h,
@@ -98,7 +102,5 @@ fn main() {
         summary.spot_mean_jqt_s,
         summary.hp_mean_jqt_s,
     );
-    println!(
-        "evictions cluster in the surge window, and the SQA quota recovers afterwards."
-    );
+    println!("evictions cluster in the surge window, and the SQA quota recovers afterwards.");
 }

@@ -1,8 +1,12 @@
 # Developer entry points. `just` (https://github.com/casey/just) or copy the
-# recipes by hand — each is a single cargo invocation.
+# recipes by hand — each is a single cargo invocation (or a small loop).
 
-# Build, test, lint — the full CI gate.
-ci: build test clippy bench-smoke lab-smoke lab-churn-smoke lab-dynamics-smoke
+# Build, test, lint, gate — the full CI pipeline.
+ci: fmt build test clippy bench-smoke bench-gate lab-smokes examples-smoke
+
+# Formatting gate (no diffs tolerated).
+fmt:
+    cargo fmt --all -- --check
 
 # Release build of the whole workspace.
 build:
@@ -20,21 +24,30 @@ clippy:
 bench-smoke:
     GFS_BENCH_SHORT=1 GFS_BENCH_TAG=ci-smoke cargo bench -p gfs-bench
 
-# Tiny lab grid (4 baselines × 3 seeds) through the parallel experiment
-# engine, with a serial re-run asserting byte-identical aggregation.
-lab-smoke:
-    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_faceoff
+# Regression gate over the smoke run: diffs BENCH_*.json against the
+# committed BENCH_*.baseline.json with a spread-aware tolerance and
+# hard-fails only on >2.5x regressions. Run bench-smoke first.
+bench-gate:
+    cargo run --release -p gfs-bench --bin bench_gate
 
-# Tiny faulted heterogeneous grid (2 schedulers × 3 fault rates × 2 seeds)
-# with the serial == parallel assertion: churn must stay deterministic.
-lab-churn-smoke:
-    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_churn
+# Every lab smoke in one pass, discovered from the bin list — a new
+# lab_*.rs bin is picked up automatically, so it cannot silently miss CI
+# wiring. Each bin runs its tiny grid with the serial == parallel
+# assertion (deterministic aggregation for any thread count).
+lab-smokes:
+    set -e; for src in crates/bench/src/bin/lab_*.rs; do \
+        bin=$(basename "$src" .rs); \
+        echo "== $bin"; \
+        GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin "$bin"; \
+    done
 
-# Tiny cluster-timeline grid (drains + correlated racks + autoscale) with
-# the serial == parallel assertion: the unified dynamics must stay
-# deterministic.
-lab-dynamics-smoke:
-    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_dynamics
+# Examples must keep running as the APIs evolve: drive the quickstart,
+# the maintenance-wave walkthrough and the churn-policy comparison in
+# release (smoke-sized where the example supports it).
+examples-smoke:
+    cargo run --release --example quickstart
+    GFS_WAVE_SMOKE=1 cargo run --release --example maintenance_wave
+    GFS_POLICY_SMOKE=1 cargo run --release --example churn_policies
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

@@ -57,7 +57,9 @@ pub mod scenario;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gfs_cluster::{Cluster, Decision, Scheduler, TaskEvent};
-    pub use gfs_core::{DemandEstimator, GfsScheduler, Pts, PtsVariant, SpotQuotaAllocator};
+    pub use gfs_core::{
+        DemandEstimator, GfsScheduler, Pts, PtsScheduler, PtsVariant, SpotQuotaAllocator,
+    };
     pub use gfs_forecast::{evaluate, DLinear, Forecaster, LastWeekPeak, OrgLinear, TrainConfig};
     pub use gfs_sched::{Chronus, Fgd, Lyra, YarnCs};
     pub use gfs_sim::{run, SimConfig, SimReport};

@@ -1,9 +1,10 @@
 //! Ready-made experiment scenarios: glue that assembles generators,
 //! forecasters and schedulers the way the paper's evaluation does.
 
-use gfs_core::{DemandEstimator, GfsScheduler, PtsVariant};
+use gfs_core::{DemandEstimator, GfsScheduler, PtsScheduler, PtsVariant};
 use gfs_forecast::dataset::{OrgDataset, OrgInfo};
 use gfs_forecast::{Forecaster, LastWeekPeak, OrgLinear, TrainConfig};
+use gfs_sched::PlacementPolicy;
 use gfs_trace::{default_attr_vocab, generate_all, paper_orgs};
 use gfs_types::GfsParams;
 
@@ -60,8 +61,15 @@ pub fn org_template_scaled(
             attrs: a.attrs.clone(),
         })
         .collect();
-    OrgDataset::new(series, orgs, default_attr_vocab(), Vec::new(), input_len, horizon)
-        .expect("generated history fits the window")
+    OrgDataset::new(
+        series,
+        orgs,
+        default_attr_vocab(),
+        Vec::new(),
+        input_len,
+        horizon,
+    )
+    .expect("generated history fits the window")
 }
 
 /// Which forecaster drives the GDE.
@@ -107,7 +115,13 @@ pub fn gfs_naive_gde(
     seed: u64,
     expected_hp_gpus: f64,
 ) -> GfsScheduler {
-    let mut s = gfs_with_gde(params, weeks, seed, expected_hp_gpus, GdeModel::LastWeekPeak);
+    let mut s = gfs_with_gde(
+        params,
+        weeks,
+        seed,
+        expected_hp_gpus,
+        GdeModel::LastWeekPeak,
+    );
     s.set_display_name("GFS-e");
     s
 }
@@ -119,6 +133,24 @@ fn gfs_with_gde(
     expected_hp_gpus: f64,
     model: GdeModel,
 ) -> GfsScheduler {
+    gfs_with_gde_policy(
+        params,
+        weeks,
+        seed,
+        expected_hp_gpus,
+        model,
+        PlacementPolicy::naive(),
+    )
+}
+
+fn gfs_with_gde_policy(
+    params: GfsParams,
+    weeks: usize,
+    seed: u64,
+    expected_hp_gpus: f64,
+    model: GdeModel,
+    policy: PlacementPolicy,
+) -> GfsScheduler {
     let horizon = (params.guarantee_hours as usize).max(4);
     let template = org_template_scaled(weeks, 168, horizon, seed, Some(expected_hp_gpus));
     let cfg = TrainConfig {
@@ -128,7 +160,7 @@ fn gfs_with_gde(
         ..TrainConfig::default()
     };
     let gde = trained_gde(&template, model, &cfg, seed);
-    GfsScheduler::new(params, PtsVariant::Full, Some(gde))
+    GfsScheduler::with_policy(params, PtsVariant::Full, Some(gde), policy)
 }
 
 /// Grid-ready constructor for the full GFS framework (§4 deployment):
@@ -152,11 +184,13 @@ fn gfs_with_gde(
 #[must_use]
 pub fn gfs_spec(weeks: usize, hp_load: f64) -> gfs_lab::SchedulerSpec {
     gfs_lab::SchedulerSpec::new("GFS", move |ctx| {
-        Box::new(gfs_full(
+        Box::new(gfs_with_gde_policy(
             ctx.params.clone(),
             weeks,
             ctx.seed,
             hp_load * ctx.shape.capacity_gpus(),
+            GdeModel::OrgLinear,
+            ctx.policy.clone(),
         ))
     })
 }
@@ -166,12 +200,16 @@ pub fn gfs_spec(weeks: usize, hp_load: f64) -> gfs_lab::SchedulerSpec {
 #[must_use]
 pub fn gfs_naive_spec(weeks: usize, hp_load: f64) -> gfs_lab::SchedulerSpec {
     gfs_lab::SchedulerSpec::new("GFS-e", move |ctx| {
-        Box::new(gfs_naive_gde(
+        let mut s = gfs_with_gde_policy(
             ctx.params.clone(),
             weeks,
             ctx.seed,
             hp_load * ctx.shape.capacity_gpus(),
-        ))
+            GdeModel::LastWeekPeak,
+            ctx.policy.clone(),
+        );
+        s.set_display_name("GFS-e");
+        Box::new(s)
     })
 }
 
@@ -183,7 +221,28 @@ pub fn gfs_no_gde_spec() -> gfs_lab::SchedulerSpec {
     // labelled like the scheduler names itself, so an ablation grid holding
     // both this and `gfs_spec` produces distinguishable rows
     gfs_lab::SchedulerSpec::new("GFS (no GDE)", |ctx| {
-        Box::new(GfsScheduler::new(ctx.params.clone(), PtsVariant::Full, None))
+        Box::new(GfsScheduler::with_policy(
+            ctx.params.clone(),
+            PtsVariant::Full,
+            None,
+            ctx.policy.clone(),
+        ))
+    })
+}
+
+/// Grid-ready constructor for the bare PTS placement engine (no quota, no
+/// estimator): the placement-policy ablation row. The cell's
+/// [`PolicyAxis`](gfs_lab::PolicyAxis) point configures its placement, so
+/// a grid comparing `naive` against `churn-aware` isolates exactly what
+/// failure-domain spreading, drain avoidance and reliability scoring
+/// contribute.
+#[must_use]
+pub fn pts_spec() -> gfs_lab::SchedulerSpec {
+    gfs_lab::SchedulerSpec::new("PTS", |ctx| {
+        Box::new(PtsScheduler::with_policy(
+            ctx.params.clone(),
+            ctx.policy.clone(),
+        ))
     })
 }
 
@@ -217,10 +276,12 @@ mod tests {
         use gfs_lab::{ClusterShape, RunContext};
         let shape = ClusterShape::a100(4, 8);
         let params = GfsParams::default();
+        let policy = gfs_sched::PlacementPolicy::naive();
         let ctx = RunContext {
             shape: &shape,
             workload: "tiny",
             dynamics: "none",
+            policy: &policy,
             params: &params,
             seed: 1,
         };

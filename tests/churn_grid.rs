@@ -15,8 +15,16 @@ use gfs::prelude::*;
 /// cells / 24 runs, with both pools exercised by a mixed-model workload.
 fn churn_grid() -> Grid {
     let shape = ClusterShape::heterogeneous([
-        NodeGroup { nodes: 4, gpus_per_node: 8, model: GpuModel::A100 },
-        NodeGroup { nodes: 2, gpus_per_node: 8, model: GpuModel::H800 },
+        NodeGroup {
+            nodes: 4,
+            gpus_per_node: 8,
+            model: GpuModel::A100,
+        },
+        NodeGroup {
+            nodes: 2,
+            gpus_per_node: 8,
+            model: GpuModel::H800,
+        },
     ]);
     let horizon = 8 * HOUR;
     Grid::new()

@@ -33,13 +33,7 @@ fn dynamics_grid() -> Grid {
         .dynamics([
             DynamicsAxis::none(),
             DynamicsAxis::correlated("racks3", 3, 10.0 * HOUR as f64, HOUR as f64, sim_horizon),
-            DynamicsAxis::rolling_drain(
-                "wave",
-                SimTime::from_hours(2),
-                HOUR,
-                1_800,
-                2 * HOUR,
-            ),
+            DynamicsAxis::rolling_drain("wave", SimTime::from_hours(2), HOUR, 1_800, 2 * HOUR),
             // composition: a rolling drain with scale-out riding along,
             // built from the plan-level merge API
             DynamicsAxis::new("wave+grow", |shape, _seed| {
@@ -51,7 +45,10 @@ fn dynamics_grid() -> Grid {
                     2 * HOUR,
                 );
                 let grow = DynamicsPlan::scale_out(
-                    NodeTemplate { model: GpuModel::A100, gpus: 8 },
+                    NodeTemplate {
+                        model: GpuModel::A100,
+                        gpus: 8,
+                    },
                     SimTime::from_hours(3),
                     2 * HOUR,
                     2,
@@ -90,7 +87,12 @@ fn dynamics_metrics_scale_with_their_axes() {
             .cell_at("YARN-CS", "6n", "steady", d, "default")
             .expect("cell exists")
     };
-    let (clean, racks, wave, grow) = (cell("none"), cell("racks3"), cell("wave"), cell("wave+grow"));
+    let (clean, racks, wave, grow) = (
+        cell("none"),
+        cell("racks3"),
+        cell("wave"),
+        cell("wave+grow"),
+    );
     // the static control reports no dynamics at all — not even the rows
     assert_eq!(clean.median("availability"), 1.0);
     assert!(clean.metric("node_drains").is_none());

@@ -79,7 +79,11 @@ fn hp_tasks_are_never_evicted_under_any_scheduler() {
 fn gfs_evicts_less_than_yarn_under_pressure() {
     let tasks = pressured_workload(3, 3.0);
     let yarn = sim(&mut YarnCs::new(), tasks.clone());
-    assert!(yarn.eviction_rate() > 0.05, "scenario must create pressure, got {:.3}", yarn.eviction_rate());
+    assert!(
+        yarn.eviction_rate() > 0.05,
+        "scenario must create pressure, got {:.3}",
+        yarn.eviction_rate()
+    );
     let mut gfs = scenario::gfs_full(GfsParams::default(), 2, 3, 0.80 * 128.0);
     let gfs_report = sim(&mut gfs, tasks);
     assert!(
@@ -144,7 +148,11 @@ fn spot_queue_times_accumulate_segments() {
     let tasks = small_workload(7, 4.0);
     let report = sim(&mut YarnCs::new(), tasks);
     // any task evicted at least once and completed must have runs = evictions + 1
-    for t in report.tasks.iter().filter(|t| t.completed() && t.evictions > 0) {
+    for t in report
+        .tasks
+        .iter()
+        .filter(|t| t.completed() && t.evictions > 0)
+    {
         assert_eq!(t.runs, t.evictions + 1, "{}", t.id);
     }
 }

@@ -39,7 +39,10 @@ fn gde_quota_pipeline_produces_sane_inventory() {
     let cluster = Cluster::homogeneous(32, GpuModel::A100, 8); // 256 GPUs
     let mut sqa = gfs::core::SpotQuotaAllocator::new(GfsParams::default());
     sqa.update(SimTime::from_secs(300), &cluster, agg);
-    assert!(sqa.quota() > 0.0, "a half-loaded forecast must leave spot inventory");
+    assert!(
+        sqa.quota() > 0.0,
+        "a half-loaded forecast must leave spot inventory"
+    );
     assert!(sqa.quota() <= 256.0);
 }
 
@@ -55,7 +58,10 @@ fn forecast_quantiles_are_ordered() {
     let q90 = f.quantile(0.9);
     let q99 = f.quantile(0.99);
     for i in 0..q50.len() {
-        assert!(q50[i] <= q90[i] && q90[i] <= q99[i], "quantile crossing at {i}");
+        assert!(
+            q50[i] <= q90[i] && q90[i] <= q99[i],
+            "quantile crossing at {i}"
+        );
     }
 }
 

@@ -23,7 +23,11 @@ fn random_trace() -> Vec<TaskSpec> {
     let mut tasks = Vec::with_capacity(1_000);
     for i in 0..1_000u64 {
         let spot = rng.gen_bool(0.4);
-        let pods = if rng.gen_bool(0.15) { rng.gen_range(2..4u32) } else { 1 };
+        let pods = if rng.gen_bool(0.15) {
+            rng.gen_range(2..4u32)
+        } else {
+            1
+        };
         let builder = TaskSpec::builder(i + 1)
             .priority(if spot { Priority::Spot } else { Priority::Hp })
             .org(gfs_types::OrgId::new(rng.gen_range(0..6u16)))
@@ -34,11 +38,18 @@ fn random_trace() -> Vec<TaskSpec> {
                 interval: rng.gen_range(600..3_600u64),
             });
         let builder = if pods == 1 && rng.gen_bool(0.2) {
-            builder.gpus_per_pod(GpuDemand::fraction(*[0.25, 0.5].get(rng.gen_range(0..2usize)).expect("static")).expect("valid"))
+            builder.gpus_per_pod(
+                GpuDemand::fraction(*[0.25, 0.5].get(rng.gen_range(0..2usize)).expect("static"))
+                    .expect("valid"),
+            )
         } else {
             builder.gpus_per_pod(GpuDemand::whole(rng.gen_range(1..9u32)))
         };
-        let builder = if spot { builder.guarantee_secs(HOUR) } else { builder };
+        let builder = if spot {
+            builder.guarantee_secs(HOUR)
+        } else {
+            builder
+        };
         tasks.push(builder.build().expect("valid"));
     }
     tasks
@@ -83,7 +94,10 @@ fn golden_1k_gfs() {
 fn golden_runs_are_reproducible() {
     let a = report_hash(&run_trace(&mut YarnCs::new()));
     let b = report_hash(&run_trace(&mut YarnCs::new()));
-    assert_eq!(a, b, "same trace + scheduler must reproduce bit-identically");
+    assert_eq!(
+        a, b,
+        "same trace + scheduler must reproduce bit-identically"
+    );
 }
 
 // Captured from the pre-refactor (seed) engine; see the module docs.
@@ -94,7 +108,10 @@ const GOLDEN_GFS: u64 = 0xd4ab_f0d5_9602_bc49;
 #[test]
 fn print_golden_hashes() {
     if std::env::var("GFS_PRINT_GOLDEN").is_ok() {
-        println!("GOLDEN_YARN = {:#x}", report_hash(&run_trace(&mut YarnCs::new())));
+        println!(
+            "GOLDEN_YARN = {:#x}",
+            report_hash(&run_trace(&mut YarnCs::new()))
+        );
         println!(
             "GOLDEN_GFS = {:#x}",
             report_hash(&run_trace(&mut GfsScheduler::with_defaults()))

@@ -41,7 +41,10 @@ fn grid_json_identical_across_thread_counts() {
     let serial = grid.run(Threads::Fixed(1)).report.to_json();
     let parallel = grid.run(Threads::Fixed(8)).report.to_json();
     assert_eq!(serial.len(), parallel.len());
-    assert_eq!(serial, parallel, "thread count leaked into aggregated output");
+    assert_eq!(
+        serial, parallel,
+        "thread count leaked into aggregated output"
+    );
     // and the enumeration is complete: 6 cells of 4 seeds each
     let report = gfs::lab::GridReport::from_json(&serial).expect("round-trips");
     assert_eq!(report.cells.len(), 6);

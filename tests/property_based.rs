@@ -69,7 +69,10 @@ fn checkpoint_preserved_progress_is_monotone_and_bounded() {
         let preserved = plan.preserved_progress(carried, executed);
         assert!(preserved >= carried, "never loses pre-existing progress");
         assert!(preserved <= carried + executed, "never invents progress");
-        assert_eq!(plan.wasted_work(carried, executed), carried + executed - preserved);
+        assert_eq!(
+            plan.wasted_work(carried, executed),
+            carried + executed - preserved
+        );
     });
 }
 
@@ -103,7 +106,11 @@ fn simulator_conserves_tasks_and_work() {
         let mut tasks = Vec::new();
         for i in 0..n {
             let raw: u64 = rng.gen_range(0..u64::MAX);
-            let priority = if raw.is_multiple_of(3) { Priority::Spot } else { Priority::Hp };
+            let priority = if raw.is_multiple_of(3) {
+                Priority::Spot
+            } else {
+                Priority::Hp
+            };
             let pods = (raw % 3 + 1) as u32;
             let gpus = (raw / 3 % 8 + 1) as u32;
             let dur = 60 + raw / 7 % 20_000;
@@ -170,9 +177,7 @@ mod brute {
     pub fn spot_on(cluster: &Cluster, node: gfs_types::NodeId) -> Vec<TaskId> {
         cluster
             .running()
-            .filter(|rt| {
-                rt.spec.priority.is_spot() && rt.placements.iter().any(|p| p.node == node)
-            })
+            .filter(|rt| rt.spec.priority.is_spot() && rt.placements.iter().any(|p| p.node == node))
             .map(|rt| rt.spec.id)
             .collect()
     }
@@ -207,7 +212,11 @@ mod brute {
             .filter(|n| n.is_schedulable())
             .map(|n| f64::from(n.total_gpus()))
             .sum();
-        let cap_static: f64 = cluster.nodes().iter().map(|n| f64::from(n.total_gpus())).sum();
+        let cap_static: f64 = cluster
+            .nodes()
+            .iter()
+            .map(|n| f64::from(n.total_gpus()))
+            .sum();
         assert_eq!(cluster.idle_gpus(None), idle);
         // float totals: non-dyadic fractions (0.3, 0.75…) accumulate with
         // ulp-scale drift relative to a fresh sum
@@ -289,9 +298,11 @@ fn capacity_index_matches_brute_force_scan() {
                     .duration_secs(10_000);
                 let spec = if fractional {
                     builder.gpus_per_pod(
-                        GpuDemand::fraction(*[0.25, 0.3, 0.5, 0.75]
-                            .get(rng.gen_range(0..4usize))
-                            .expect("static"))
+                        GpuDemand::fraction(
+                            *[0.25, 0.3, 0.5, 0.75]
+                                .get(rng.gen_range(0..4usize))
+                                .expect("static"),
+                        )
                         .expect("valid"),
                     )
                 } else {
@@ -316,9 +327,13 @@ fn capacity_index_matches_brute_force_scan() {
                     .priority
                     .is_spot();
                 if action < 8 && is_spot {
-                    cluster.evict_task(victim, SimTime::from_secs(step)).expect("evictable");
+                    cluster
+                        .evict_task(victim, SimTime::from_secs(step))
+                        .expect("evictable");
                 } else {
-                    cluster.finish_task(victim, SimTime::from_secs(step)).expect("running");
+                    cluster
+                        .finish_task(victim, SimTime::from_secs(step))
+                        .expect("running");
                 }
             }
             // verify: every indexed query equals the brute-force scan
@@ -338,9 +353,16 @@ fn capacity_index_matches_brute_force_scan() {
             }
             for node in 0..cluster.nodes().len() as u32 {
                 let id = gfs_types::NodeId::new(node);
-                let indexed: Vec<TaskId> =
-                    cluster.spot_tasks_on(id).iter().map(|rt| rt.spec.id).collect();
-                assert_eq!(indexed, brute::spot_on(&cluster, id), "spot-on({node}) diverged");
+                let indexed: Vec<TaskId> = cluster
+                    .spot_tasks_on(id)
+                    .iter()
+                    .map(|rt| rt.spec.id)
+                    .collect();
+                assert_eq!(
+                    indexed,
+                    brute::spot_on(&cluster, id),
+                    "spot-on({node}) diverged"
+                );
                 assert_eq!(cluster.has_spot_on(id), !indexed.is_empty());
             }
             assert_eq!(cluster.fully_idle_nodes(), brute::fully_idle(&cluster));
