@@ -137,11 +137,59 @@ fn bench_timeline_apply(suite: &mut Suite) {
     });
 }
 
+/// Crash-safety hot path: checkpoint a live mid-run service and bring a
+/// replacement up from it. One iteration is the full cycle a controller
+/// pays per checkpoint interval plus what a failover pays at takeover —
+/// snapshot, canonical-JSON encode, parse back, restore into a fresh
+/// service. Keeping this µs-scale is what makes aggressive snapshot
+/// cadences (and therefore short journal suffixes) affordable.
+fn bench_snapshot_restore(suite: &mut Suite) {
+    use gfs::sim::{ClusterService, ServiceSnapshot};
+    let mut svc = ClusterService::new(
+        Cluster::homogeneous(64, GpuModel::A100, 8),
+        SimConfig {
+            max_time_secs: Some(48 * HOUR),
+            ..SimConfig::default()
+        },
+    );
+    let mut tasks = Vec::new();
+    for i in 0..160u64 {
+        tasks.push(
+            TaskSpec::builder(i + 1)
+                .priority(if i % 4 == 0 {
+                    Priority::Spot
+                } else {
+                    Priority::Hp
+                })
+                .gpus_per_pod(GpuDemand::whole(if i % 3 == 0 { 8 } else { 4 }))
+                .duration_secs(3 * HOUR + i * 97)
+                .build()
+                .expect("valid"),
+        );
+    }
+    svc.admit_tasks(tasks);
+    svc.start();
+    let mut sched = YarnCs::new();
+    for _ in 0..200 {
+        if !svc.step(&mut sched) {
+            break;
+        }
+    }
+    suite.bench("snapshot_restore", || {
+        let json = svc.snapshot(&sched).to_json();
+        let snap = ServiceSnapshot::from_json(&json).expect("round-trip");
+        let mut standby = YarnCs::new();
+        let restored = ClusterService::restore(snap, &mut standby).expect("restore");
+        (json.len(), restored.steps())
+    });
+}
+
 fn main() {
     let mut suite = Suite::new("sched_latency");
     bench_nonpreemptive(&mut suite);
     bench_preemptive(&mut suite);
     bench_baseline_schedulers(&mut suite);
     bench_timeline_apply(&mut suite);
+    bench_snapshot_restore(&mut suite);
     suite.finish();
 }

@@ -8,12 +8,13 @@ use std::sync::Arc;
 use gfs_types::{
     Error, FailureDomain, GpuModel, NodeId, Result, SimDuration, SimTime, TaskId, TaskSpec,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::index::CapacityIndex;
-use crate::node::{Node, PodAlloc};
+use crate::node::{Node, NodeSnapshot, PodAlloc};
 
 /// Where one pod of a running task lives.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PodPlacement {
     /// Hosting node.
     pub node: NodeId,
@@ -90,7 +91,7 @@ pub struct Displaced {
 }
 
 /// Per-model capacity totals, maintained incrementally.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 struct ModelTotals {
     /// Cards on nodes of this model, down nodes included.
     cap_static: f64,
@@ -879,6 +880,130 @@ impl Cluster {
         self.bring_into_service(id);
         Ok(())
     }
+
+    /// Captures the cluster's full state as a serializable image: every
+    /// node (card occupancy, failure/drain history, up/draining flags),
+    /// the running-task registry, the spot/displacement/migration
+    /// counters and every incrementally-accumulated capacity total —
+    /// the floats verbatim, never recomputed, so restore is
+    /// bit-identical. The [`CapacityIndex`] is *not* serialized: it is a
+    /// pure acceleration structure and [`Cluster::from_snapshot`]
+    /// rebuilds it to a behaviorally identical state.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            nodes: self.nodes.iter().map(Node::snapshot).collect(),
+            running: self
+                .running
+                .values()
+                .map(|rt| RunningEntry {
+                    spec: (*rt.spec).clone(),
+                    placements: rt.placements.clone(),
+                    started_at: rt.started_at,
+                    carried_progress: rt.carried_progress,
+                })
+                .collect(),
+            spot_completed: self.spot_completed,
+            spot_evicted: self.spot_evicted,
+            displaced_total: self.displaced_total,
+            migrated_total: self.migrated_total,
+            down_nodes: self.down_nodes,
+            draining_nodes: self.draining_nodes,
+            cap_total: self.cap_total,
+            cap_static: self.cap_static,
+            idle_total: self.idle_total,
+            hp_total: self.hp_total,
+            spot_total: self.spot_total,
+            model_totals: self.model_totals.iter().map(|(m, t)| (*m, *t)).collect(),
+            node_domain: self.node_domain.clone(),
+            domain_draining: self.domain_draining.clone(),
+        }
+    }
+
+    /// Rebuilds a cluster from a [`ClusterSnapshot`]. All persisted
+    /// fields are restored verbatim; the capacity index is rebuilt from
+    /// the restored nodes (full build, then removal of unschedulable
+    /// nodes, then re-registration of every running spot placement),
+    /// which reproduces the live index's observable behaviour exactly.
+    #[must_use]
+    pub fn from_snapshot(s: ClusterSnapshot) -> Cluster {
+        let nodes: Vec<Node> = s.nodes.into_iter().map(Node::from_snapshot).collect();
+        let mut index = CapacityIndex::build(&nodes);
+        for n in &nodes {
+            if !n.is_schedulable() {
+                index.remove_node(n);
+            }
+        }
+        let mut running = BTreeMap::new();
+        for e in s.running {
+            let spec = Arc::new(e.spec);
+            if spec.priority.is_spot() {
+                for p in &e.placements {
+                    index.add_spot(p.node, spec.id);
+                }
+            }
+            running.insert(
+                spec.id,
+                RunningTask {
+                    spec,
+                    placements: e.placements,
+                    started_at: e.started_at,
+                    carried_progress: e.carried_progress,
+                },
+            );
+        }
+        Cluster {
+            nodes,
+            running,
+            index,
+            spot_completed: s.spot_completed,
+            spot_evicted: s.spot_evicted,
+            displaced_total: s.displaced_total,
+            migrated_total: s.migrated_total,
+            down_nodes: s.down_nodes,
+            draining_nodes: s.draining_nodes,
+            cap_total: s.cap_total,
+            cap_static: s.cap_static,
+            idle_total: s.idle_total,
+            hp_total: s.hp_total,
+            spot_total: s.spot_total,
+            model_totals: s.model_totals.into_iter().collect(),
+            node_domain: s.node_domain,
+            domain_draining: s.domain_draining,
+        }
+    }
+}
+
+/// Serializable image of a [`Cluster`] (see [`Cluster::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    nodes: Vec<NodeSnapshot>,
+    running: Vec<RunningEntry>,
+    spot_completed: u64,
+    spot_evicted: u64,
+    displaced_total: u64,
+    migrated_total: u64,
+    down_nodes: usize,
+    draining_nodes: usize,
+    cap_total: f64,
+    cap_static: f64,
+    idle_total: u32,
+    hp_total: f64,
+    spot_total: f64,
+    model_totals: Vec<(GpuModel, ModelTotals)>,
+    node_domain: Vec<Option<u32>>,
+    domain_draining: Vec<u32>,
+}
+
+/// One running task inside a [`ClusterSnapshot`]: the spec is stored by
+/// value (the `Arc` sharing with the simulator's task table is an
+/// in-memory optimisation, not state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RunningEntry {
+    spec: TaskSpec,
+    placements: Vec<PodPlacement>,
+    started_at: SimTime,
+    carried_progress: SimDuration,
 }
 
 #[cfg(test)]
@@ -1562,6 +1687,82 @@ mod tests {
             1,
             "node 2's in-progress drain registered"
         );
+    }
+
+    /// Snapshot → restore must be lossless: same serialized image, same
+    /// observable behaviour (capacity queries, index-served candidate
+    /// lists, running registry) after a busy history of placements,
+    /// evictions, drains, failures and scale-out.
+    #[test]
+    fn snapshot_round_trip_is_lossless() {
+        let mut c = cluster();
+        c.set_failure_domains(&FailureDomain::racks(4, 2));
+        c.start_task(
+            spec(1, Priority::Hp, 2, 4),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(2, Priority::Spot, 1, 2),
+            &[NodeId::new(2)],
+            SimTime::from_secs(50),
+            0,
+        )
+        .unwrap();
+        let frac = TaskSpec::builder(3)
+            .priority(Priority::Spot)
+            .gpus_per_pod(GpuDemand::fraction(0.25).unwrap())
+            .duration_secs(9_000)
+            .build()
+            .unwrap();
+        c.start_task(frac, &[NodeId::new(2)], SimTime::from_secs(60), 0)
+            .unwrap();
+        c.evict_task(TaskId::new(2), SimTime::from_secs(2_000))
+            .unwrap();
+        c.fail_node(NodeId::new(3), SimTime::from_secs(3_000))
+            .unwrap();
+        c.drain_node(NodeId::new(1), SimTime::from_secs(9_999))
+            .unwrap();
+        c.add_node(GpuModel::H800, 8);
+        let snap = c.snapshot();
+        let json = {
+            let mut s = String::new();
+            use serde::Serialize as _;
+            snap.serialize_json(&mut s);
+            s
+        };
+        let parsed: ClusterSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(parsed, snap, "serialized image round-trips");
+        let r = Cluster::from_snapshot(parsed);
+        // persisted fields and totals are verbatim
+        assert_eq!(r.snapshot(), snap, "restore → snapshot is idempotent");
+        // index-served queries match the live cluster's
+        assert_eq!(
+            r.whole_fit_candidates(GpuModel::A100, 1),
+            c.whole_fit_candidates(GpuModel::A100, 1)
+        );
+        assert_eq!(
+            r.fraction_fit_candidates(GpuModel::A100, 0.5),
+            c.fraction_fit_candidates(GpuModel::A100, 0.5)
+        );
+        assert_eq!(
+            r.preemption_candidates(GpuModel::A100, 1),
+            c.preemption_candidates(GpuModel::A100, 1)
+        );
+        assert_eq!(r.fully_idle_nodes(), c.fully_idle_nodes());
+        assert_eq!(
+            r.spot_tasks_on(NodeId::new(2)).len(),
+            c.spot_tasks_on(NodeId::new(2)).len()
+        );
+        assert_eq!(r.running_count(), c.running_count());
+        assert_eq!(r.capacity(None), c.capacity(None));
+        assert_eq!(r.idle_gpus(None), c.idle_gpus(None));
+        assert_eq!(r.draining_in_domain(0), c.draining_in_domain(0));
+        assert_eq!(r.domain_of(NodeId::new(1)), c.domain_of(NodeId::new(1)));
+        // failure history survives the round trip
+        assert_eq!(r.node(NodeId::new(3)).unwrap().failure_count(), 1);
     }
 
     #[test]

@@ -97,7 +97,7 @@ mod index;
 mod node;
 mod scheduler;
 
-pub use cluster::{Cluster, Displaced, PodPlacement, RunningTask};
+pub use cluster::{Cluster, ClusterSnapshot, Displaced, PodPlacement, RunningTask};
 pub use index::CapacityIndex;
-pub use node::{Gpu, Node, PodAlloc};
+pub use node::{Gpu, Node, NodeSnapshot, PodAlloc};
 pub use scheduler::{Decision, DrainDecision, Scheduler, TaskEvent};

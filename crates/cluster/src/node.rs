@@ -10,9 +10,10 @@ use std::collections::VecDeque;
 use gfs_types::{
     Error, GpuDemand, GpuModel, NodeId, Priority, Result, SimDuration, SimTime, TaskId,
 };
+use serde::{Deserialize, Serialize};
 
 /// Occupancy of one GPU card.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Gpu {
     free: f64,
     shares: Vec<(TaskId, f64)>,
@@ -46,7 +47,7 @@ impl Gpu {
 }
 
 /// How a pod occupies GPUs on one node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PodAlloc {
     /// The pod owns these whole cards.
     Whole(Vec<usize>),
@@ -437,6 +438,82 @@ impl Node {
     pub fn time_since_failure(&self, now: SimTime) -> Option<SimDuration> {
         self.last_failure().map(|t| now.since(t))
     }
+
+    /// Exponentially-decayed failure rate: every failure in the retained
+    /// history contributes `2^(−age/half_life)`, so a failure loses half
+    /// its weight every `half_life_secs`. Unlike the hard
+    /// [`Node::failures_within`] window this never forgets abruptly — a
+    /// machine that failed yesterday scores worse than one that failed
+    /// last week, which scores worse than one that never failed.
+    #[must_use]
+    pub fn decayed_failure_rate(&self, now: SimTime, half_life_secs: SimDuration) -> f64 {
+        let hl = half_life_secs.max(1) as f64;
+        self.failures
+            .iter()
+            .map(|&t| (-(now.since(t) as f64) / hl).exp2())
+            .sum()
+    }
+
+    /// Captures the node's full state — card occupancy, allocation
+    /// totals, the timestamped eviction/failure histories and the
+    /// up/draining flags — as a serializable image.
+    #[must_use]
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            id: self.id,
+            model: self.model,
+            gpus: self.gpus.clone(),
+            hp_alloc: self.hp_alloc,
+            spot_alloc: self.spot_alloc,
+            evictions: self.evictions.iter().copied().collect(),
+            failures: self.failures.iter().copied().collect(),
+            failure_total: self.failure_total,
+            last_failure: self.last_failure,
+            drain_total: self.drain_total,
+            up: self.up,
+            drain_deadline: self.drain_deadline,
+        }
+    }
+
+    /// Rebuilds a node from a [`NodeSnapshot`] — the exact inverse of
+    /// [`Node::snapshot`]: every field, including the incrementally
+    /// accumulated allocation totals, is restored verbatim rather than
+    /// recomputed, so a restored node is bit-identical to the captured
+    /// one.
+    #[must_use]
+    pub fn from_snapshot(s: NodeSnapshot) -> Node {
+        Node {
+            id: s.id,
+            model: s.model,
+            gpus: s.gpus,
+            hp_alloc: s.hp_alloc,
+            spot_alloc: s.spot_alloc,
+            evictions: s.evictions.into(),
+            failures: s.failures.into(),
+            failure_total: s.failure_total,
+            last_failure: s.last_failure,
+            drain_total: s.drain_total,
+            up: s.up,
+            drain_deadline: s.drain_deadline,
+        }
+    }
+}
+
+/// Serializable image of one [`Node`] (see [`Node::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    id: NodeId,
+    model: GpuModel,
+    gpus: Vec<Gpu>,
+    hp_alloc: f64,
+    spot_alloc: f64,
+    evictions: Vec<SimTime>,
+    failures: Vec<SimTime>,
+    failure_total: u32,
+    last_failure: Option<SimTime>,
+    drain_total: u32,
+    up: bool,
+    drain_deadline: Option<SimTime>,
 }
 
 /// Appends `now` to a timestamped event log and retires entries older

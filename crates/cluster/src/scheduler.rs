@@ -210,6 +210,25 @@ pub trait Scheduler {
     fn sort_queue(&self, queue: &mut Vec<TaskSpec>) {
         queue.sort_by(|a, b| self.queue_cmp(a, b));
     }
+
+    /// Serializes the scheduler's *dynamic* state (feedback-loop
+    /// accumulators, demand history — anything not rebuilt by the
+    /// scheduler's constructor) for a service snapshot. `None` declares
+    /// the scheduler stateless: every decision is a pure function of the
+    /// cluster view, so crash recovery only needs to re-run the
+    /// constructor. The default is `None`, which is correct for all
+    /// baseline schedulers in the workspace; GFS overrides it.
+    fn save_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`Scheduler::save_state`] into a
+    /// freshly-constructed scheduler. Returns `false` when the blob is
+    /// not recognized (wrong scheduler, corrupted snapshot); the default
+    /// accepts nothing, matching the default `save_state` of `None`.
+    fn restore_state(&mut self, _state: &str) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

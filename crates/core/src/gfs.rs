@@ -4,10 +4,24 @@
 use gfs_cluster::{Cluster, Decision, DrainDecision, RunningTask, Scheduler, TaskEvent};
 use gfs_sched::placement::PlacementPolicy;
 use gfs_types::{GfsParams, SimDuration, SimTime, TaskSpec};
+use serde::{Deserialize, Serialize};
 
-use crate::gde::DemandEstimator;
+use crate::gde::{DemandEstimator, GdeState};
 use crate::pts::{Pts, PtsVariant};
-use crate::sqa::SpotQuotaAllocator;
+use crate::sqa::{SpotQuotaAllocator, SqaState};
+
+/// The serialized dynamic state of a [`GfsScheduler`]: the SQA feedback
+/// accumulators plus (when a GDE is attached) the demand-history rollup.
+/// This is what [`Scheduler::save_state`] encodes for service snapshots;
+/// the PTS carries no dynamic state (it is a pure function of the cluster
+/// view), and parameters/models are rebuilt by the scheduler factory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GfsState {
+    /// Spot Quota Allocator accumulators.
+    pub sqa: SqaState,
+    /// Demand-estimator history, when a GDE is attached.
+    pub gde: Option<GdeState>,
+}
 
 /// The GFS scheduling framework.
 ///
@@ -204,6 +218,39 @@ impl Scheduler for GfsScheduler {
     ) -> DrainDecision {
         self.pts.policy().drain_decision(task, notice, cluster, now)
     }
+
+    fn save_state(&self) -> Option<String> {
+        let state = GfsState {
+            sqa: self.sqa.save_state(),
+            gde: self.gde.as_ref().map(DemandEstimator::save_state),
+        };
+        let mut out = String::new();
+        state.serialize_json(&mut out);
+        Some(out)
+    }
+
+    fn restore_state(&mut self, state: &str) -> bool {
+        let mut p = serde::de::Parser::new(state);
+        let Ok(parsed) = GfsState::deserialize_json(&mut p) else {
+            return false;
+        };
+        if !p.at_end() {
+            return false;
+        }
+        match (&mut self.gde, parsed.gde) {
+            (Some(gde), Some(s)) => {
+                if !gde.restore_state(s) {
+                    return false;
+                }
+            }
+            (None, None) => {}
+            // a GDE-less snapshot cannot hydrate a GDE-ful scheduler (or
+            // vice versa): the factory and the snapshot disagree
+            _ => return false,
+        }
+        self.sqa.restore_state(parsed.sqa);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -365,5 +412,53 @@ mod tests {
         let mut q = vec![task(1, Priority::Hp, 1), task(2, Priority::Hp, 8)];
         s.sort_queue(&mut q);
         assert_eq!(q[0].id, TaskId::new(2));
+    }
+
+    #[test]
+    fn state_round_trip_restores_feedback_loop() {
+        let mut s = GfsScheduler::with_defaults();
+        let c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        s.on_tick(SimTime::from_secs(300), &c);
+        for i in 0..7 {
+            s.on_event(
+                &TaskEvent::Evicted {
+                    task: TaskId::new(i),
+                    at: SimTime::from_secs(400),
+                },
+                &c,
+            );
+        }
+        s.on_event(
+            &TaskEvent::Submitted {
+                task: TaskId::new(99),
+                priority: Priority::Spot,
+                at: SimTime::from_secs(410),
+            },
+            &c,
+        );
+        s.on_tick(SimTime::from_secs(600), &c);
+        let blob = s.save_state().expect("GFS is stateful");
+
+        let mut fresh = GfsScheduler::with_defaults();
+        assert_ne!(fresh.eta(), s.eta(), "fresh scheduler starts clean");
+        assert!(fresh.restore_state(&blob));
+        assert_eq!(fresh.eta(), s.eta());
+        assert_eq!(fresh.quota(), s.quota());
+        // the restored blob re-encodes identically (canonical ordering)
+        assert_eq!(fresh.save_state().unwrap(), blob);
+        // and the restored feedback loop evolves identically
+        s.on_tick(SimTime::from_secs(900), &c);
+        fresh.on_tick(SimTime::from_secs(900), &c);
+        assert_eq!(fresh.save_state().unwrap(), s.save_state().unwrap());
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_mismatched_shape() {
+        let mut s = GfsScheduler::with_defaults();
+        assert!(!s.restore_state("not json"));
+        assert!(!s.restore_state("{}"));
+        let blob = s.save_state().unwrap();
+        assert!(!s.restore_state(&format!("{blob} trailing")));
+        assert!(s.restore_state(&blob));
     }
 }

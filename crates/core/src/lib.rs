@@ -54,8 +54,8 @@ mod pts;
 mod pts_sched;
 mod sqa;
 
-pub use gde::DemandEstimator;
-pub use gfs::GfsScheduler;
+pub use gde::{DemandEstimator, GdeState};
+pub use gfs::{GfsScheduler, GfsState};
 pub use pts::{Pts, PtsVariant};
 pub use pts_sched::PtsScheduler;
-pub use sqa::SpotQuotaAllocator;
+pub use sqa::{SpotQuotaAllocator, SqaState};

@@ -173,7 +173,7 @@ impl Pts {
                     // *among* the reliable candidates, never overrides them
                     // into a failure-prone rack
                     let key = (
-                        self.policy.reliability_component(n, now),
+                        self.policy.hazard_component(cluster, n, now),
                         self.policy.drain_component(cluster, id),
                         self.policy.spread_component(cluster, id, &used_domains),
                         s1,
@@ -244,7 +244,11 @@ impl Pts {
         let mut pod_nodes = Vec::with_capacity(task.pods as usize);
 
         for pod in 0..task.pods {
-            let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
+            // (node, victims, reliability, cost): reliability leads the
+            // comparison but is a constant 1.0 except under the gated
+            // decayed-reliability policy, so legacy preemptive decisions
+            // reduce to the pure cost comparison they were pinned on
+            let mut best: Option<(NodeId, Vec<TaskId>, f64, f64)> = None;
             for n in candidates.iter().map(|&id| &cluster.nodes()[id as usize]) {
                 let idle = virt_idle
                     .get(&n.id())
@@ -309,26 +313,29 @@ impl Pts {
                     (victims, waste)
                 };
                 let cost = self.preemption_cost(cluster, waste, victims.len(), now);
+                let rel = self.policy.preemption_reliability(cluster, n, now);
                 let better = match &best {
                     None => true,
-                    Some((_, _, c)) => {
+                    Some((b, _, br, c)) => {
                         if self.variant.preemption_degraded() {
                             // pseudo-random node pick: hash order instead of cost
                             let h = |id: NodeId| {
                                 (u64::from(id.raw()) ^ task.id.raw())
                                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             };
-                            best.as_ref().is_none_or(|(b, _, _)| h(n.id()) < h(*b))
+                            h(n.id()) < h(*b)
                         } else {
-                            cost < *c
+                            // a flaky target loses to a dependable one
+                            // before cost is consulted (Eq. 18 extended)
+                            (rel, -cost) > (*br, -*c)
                         }
                     }
                 };
                 if better {
-                    best = Some((n.id(), victims, cost));
+                    best = Some((n.id(), victims, rel, cost));
                 }
             }
-            let (node, victims, _) = best?;
+            let (node, victims, _, _) = best?;
             // absent entries mean "actual idle" now that the map is lazy
             let actual_idle =
                 |c: &Cluster, id: NodeId| f64::from(c.nodes()[id.index()].idle_gpus());
@@ -617,6 +624,46 @@ mod tests {
         let b = p.schedule_preemptive(&task(3, Priority::Hp, 1, 4), &c, SimTime::from_secs(50));
         assert_eq!(a, b, "hash-based choice is reproducible");
         assert!(a.unwrap().1.len() == 1);
+    }
+
+    #[test]
+    fn preemption_avoids_flaky_nodes_only_under_hazard_policy() {
+        // two equally-costed preemption targets; node 0 is flaky
+        let build = || {
+            let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+            c.fail_node(NodeId::new(0), SimTime::from_hours(1)).unwrap();
+            c.restore_node(NodeId::new(0), SimTime::from_hours(2))
+                .unwrap();
+            for (id, node) in [(1, 0), (2, 1)] {
+                c.start_task(
+                    task(id, Priority::Spot, 1, 8),
+                    &[NodeId::new(node)],
+                    SimTime::from_hours(3),
+                    0,
+                )
+                .unwrap();
+            }
+            c
+        };
+        let now = SimTime::from_hours(4);
+        let hp = task(9, Priority::Hp, 1, 8);
+        // churn_aware is pinned: cost ties break on visit order → node 0
+        let legacy = Pts::with_policy(
+            GfsParams::default(),
+            PtsVariant::Full,
+            PlacementPolicy::churn_aware(),
+        );
+        let (nodes, _) = legacy.schedule_preemptive(&hp, &build(), now).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(0)]);
+        // the hazard policy discounts the flaky node before cost
+        let hazard = Pts::with_policy(
+            GfsParams::default(),
+            PtsVariant::Full,
+            PlacementPolicy::hazard_aware(),
+        );
+        let (nodes, victims) = hazard.schedule_preemptive(&hp, &build(), now).unwrap();
+        assert_eq!(nodes, vec![NodeId::new(1)], "flaky target loses");
+        assert_eq!(victims, vec![TaskId::new(2)]);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 
 use gfs_cluster::Cluster;
 use gfs_types::{EtaUpdateRule, GfsParams, SimDuration, SimTime, TaskId};
+use serde::{Deserialize, Serialize};
 
 /// Minimum number of spot outcomes (starts + evictions) in the feedback
 /// window before the eviction-rate rule of Eq. 11 is trusted; avoids `η`
@@ -39,7 +40,53 @@ pub struct SpotQuotaAllocator {
     updated: bool,
 }
 
+/// The dynamic state of a [`SpotQuotaAllocator`] — everything its feedback
+/// loop has accumulated since construction, in a serializable shape. The
+/// configured [`GfsParams`] are deliberately excluded: a restore always
+/// happens into an allocator rebuilt by the same scheduler factory, which
+/// supplies them. The waiting set is keyed and sorted by task id so the
+/// JSON encoding is canonical (the live `HashMap` has no stable order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqaState {
+    eta: f64,
+    quota: f64,
+    evictions: Vec<SimTime>,
+    spot_starts: Vec<(SimTime, SimDuration)>,
+    waiting: Vec<(TaskId, SimTime)>,
+    last_upper: f64,
+    updated: bool,
+}
+
 impl SpotQuotaAllocator {
+    /// Captures the allocator's dynamic state for a service snapshot.
+    #[must_use]
+    pub fn save_state(&self) -> SqaState {
+        let mut waiting: Vec<(TaskId, SimTime)> =
+            self.waiting.iter().map(|(&t, &at)| (t, at)).collect();
+        waiting.sort_unstable_by_key(|&(t, _)| t);
+        SqaState {
+            eta: self.eta,
+            quota: self.quota,
+            evictions: self.evictions.iter().copied().collect(),
+            spot_starts: self.spot_starts.iter().copied().collect(),
+            waiting,
+            last_upper: self.last_upper,
+            updated: self.updated,
+        }
+    }
+
+    /// Overwrites the allocator's dynamic state with a captured
+    /// [`SqaState`] (parameters keep their constructed values).
+    pub fn restore_state(&mut self, s: SqaState) {
+        self.eta = s.eta;
+        self.quota = s.quota;
+        self.evictions = s.evictions.into();
+        self.spot_starts = s.spot_starts.into();
+        self.waiting = s.waiting.into_iter().collect();
+        self.last_upper = s.last_upper;
+        self.updated = s.updated;
+    }
+
     /// Creates the allocator with `η = η₀` and zero quota (no spot task is
     /// admitted until the first update).
     #[must_use]

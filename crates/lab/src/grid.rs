@@ -692,6 +692,13 @@ impl PolicyAxis {
         PolicyAxis::new("churn-aware", PlacementPolicy::churn_aware())
     }
 
+    /// Churn-aware plus the decayed, domain-pooled reliability score and
+    /// the preemptive-path reliability discount.
+    #[must_use]
+    pub fn hazard_aware() -> Self {
+        PolicyAxis::new("hazard-aware", PlacementPolicy::hazard_aware())
+    }
+
     /// Display name.
     #[must_use]
     pub fn name(&self) -> &str {

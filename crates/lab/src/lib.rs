@@ -22,6 +22,10 @@
 //!   [`RunSummary`](gfs_sim::RunSummary)s into median / IQR / min / max
 //!   [`MetricStats`].
 //! * [`GridReport`] — canonical JSON emission plus aligned text tables.
+//! * [`recovery`] — a crash-injection harness over the crash-safe
+//!   [`ClusterService`](gfs_sim::ClusterService): kill a run at a chosen
+//!   point, recover from snapshot + write-ahead journal, and compare
+//!   fingerprints against the uninterrupted golden run.
 //!
 //! # Quickstart
 //!
@@ -65,6 +69,7 @@
 pub mod agg;
 mod grid;
 pub mod pool;
+pub mod recovery;
 mod report;
 
 pub use agg::{MetricStats, MetricSummary};
@@ -75,4 +80,5 @@ pub use grid::{
     Scenario, SchedulerSpec, UniformTrace, WorkloadAxis,
 };
 pub use pool::Threads;
+pub use recovery::{crash_and_recover, CrashPlan, CrashPoint, RecoveryOutcome};
 pub use report::{CellSummary, GridReport};

@@ -49,6 +49,27 @@ pub struct PlacementPolicy {
     /// Penalty per windowed failure, in percent (mirrors the Eq. 16
     /// `m`-penalty shape: score `= 1 − 0.01·m·f̄`, floored at 0).
     pub failure_penalty: f64,
+    /// Replace the hard-window failure count with an exponentially
+    /// decayed rate (`2^(−age/half_life)` per failure): a machine that
+    /// failed yesterday scores worse than one that failed last week, with
+    /// no cliff at the window edge. Only meaningful when
+    /// [`PlacementPolicy::reliability`] is on. Also (and only) under this
+    /// flag the preemptive path applies the same discount when ranking
+    /// preemption target nodes.
+    pub decayed_reliability: bool,
+    /// Pool the decayed failure rate across the node's failure domain:
+    /// domain-mates' rates (mean, weighted by
+    /// [`PlacementPolicy::pool_weight`]) are added to the node's own, so
+    /// a rack whose neighbours keep dying is suspect even when this
+    /// particular machine has not failed yet. Requires
+    /// [`PlacementPolicy::decayed_reliability`]; a node outside any
+    /// declared domain pools nothing.
+    pub pool_domains: bool,
+    /// Half-life of the decayed failure rate.
+    pub failure_half_life_secs: SimDuration,
+    /// Weight of the domain-mates' mean decayed rate relative to the
+    /// node's own rate when pooling.
+    pub pool_weight: f64,
 }
 
 impl Default for PlacementPolicy {
@@ -68,6 +89,10 @@ impl PlacementPolicy {
             drain_aware: false,
             failure_window_secs: 48 * HOUR,
             failure_penalty: 25.0,
+            decayed_reliability: false,
+            pool_domains: false,
+            failure_half_life_secs: 24 * HOUR,
+            pool_weight: 0.5,
         }
     }
 
@@ -98,6 +123,20 @@ impl PlacementPolicy {
             reliability: true,
             drain_aware: true,
             ..PlacementPolicy::naive()
+        }
+    }
+
+    /// The churn-aware policy with the decayed, domain-pooled reliability
+    /// score: [`PlacementPolicy::churn_aware`] plus
+    /// [`PlacementPolicy::decayed_reliability`] and
+    /// [`PlacementPolicy::pool_domains`]. Kept as a separate variant so
+    /// [`PlacementPolicy::churn_aware`] decisions stay bit-for-bit pinned.
+    #[must_use]
+    pub fn hazard_aware() -> Self {
+        PlacementPolicy {
+            decayed_reliability: true,
+            pool_domains: true,
+            ..PlacementPolicy::churn_aware()
         }
     }
 
@@ -154,6 +193,68 @@ impl PlacementPolicy {
         }
         let f = node.failures_within(now, self.failure_window_secs) as f64;
         (1.0 - 0.01 * self.failure_penalty * f).max(0.0)
+    }
+
+    /// The node's effective failure pressure under the decayed model: its
+    /// own exponentially-decayed rate, plus (with
+    /// [`PlacementPolicy::pool_domains`]) the mean decayed rate of its
+    /// failure-domain mates weighted by [`PlacementPolicy::pool_weight`].
+    /// A node outside any declared domain contributes only its own rate.
+    #[must_use]
+    pub fn pooled_failure_rate(&self, cluster: &Cluster, node: &Node, now: SimTime) -> f64 {
+        let own = node.decayed_failure_rate(now, self.failure_half_life_secs);
+        if !self.pool_domains {
+            return own;
+        }
+        let Some(d) = cluster.domain_of(node.id()) else {
+            return own;
+        };
+        let (sum, mates) = cluster
+            .nodes()
+            .iter()
+            .filter(|m| m.id() != node.id() && cluster.domain_of(m.id()) == Some(d))
+            .fold((0.0, 0u32), |(s, k), m| {
+                (
+                    s + m.decayed_failure_rate(now, self.failure_half_life_secs),
+                    k + 1,
+                )
+            });
+        if mates == 0 {
+            own
+        } else {
+            own + self.pool_weight * sum / f64::from(mates)
+        }
+    }
+
+    /// The reliability score component with the decayed/pooled extension:
+    /// identical to [`PlacementPolicy::reliability_component`] unless
+    /// [`PlacementPolicy::decayed_reliability`] is set, in which case the
+    /// hard-window failure count is replaced by
+    /// [`PlacementPolicy::pooled_failure_rate`]. This is the one entry
+    /// point placement scoring calls, so legacy variants keep their
+    /// pinned decisions bit for bit.
+    #[must_use]
+    pub fn hazard_component(&self, cluster: &Cluster, node: &Node, now: SimTime) -> f64 {
+        if !self.reliability {
+            return 1.0;
+        }
+        if !self.decayed_reliability {
+            return self.reliability_component(node, now);
+        }
+        let rate = self.pooled_failure_rate(cluster, node, now);
+        (1.0 - 0.01 * self.failure_penalty * rate).max(0.0)
+    }
+
+    /// The discount the *preemptive* path applies when ranking candidate
+    /// target nodes: active only under
+    /// [`PlacementPolicy::decayed_reliability`] (the legacy variants'
+    /// preemptive decisions are pinned), constant 1.0 otherwise.
+    #[must_use]
+    pub fn preemption_reliability(&self, cluster: &Cluster, node: &Node, now: SimTime) -> f64 {
+        if !self.decayed_reliability {
+            return 1.0;
+        }
+        self.hazard_component(cluster, node, now)
     }
 
     /// The capacity-aware drain response (see
@@ -630,6 +731,75 @@ mod tests {
             p.reliability_component(&c.nodes()[0], SimTime::from_hours(12)),
             0.0
         );
+    }
+
+    #[test]
+    fn hazard_component_matches_windowed_score_unless_decayed() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.fail_node(NodeId::new(0), SimTime::from_hours(1)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_hours(2))
+            .unwrap();
+        let now = SimTime::from_hours(3);
+        // every legacy variant routes through the windowed component
+        for p in [
+            PlacementPolicy::naive(),
+            PlacementPolicy::reliability_scored(),
+            PlacementPolicy::churn_aware(),
+        ] {
+            assert_eq!(
+                p.hazard_component(&c, &c.nodes()[0], now),
+                p.reliability_component(&c.nodes()[0], now)
+            );
+        }
+        // the decayed score is time-graded, not a step function
+        let p = PlacementPolicy::hazard_aware();
+        let fresh = p.hazard_component(&c, &c.nodes()[0], SimTime::from_hours(2));
+        let stale = p.hazard_component(&c, &c.nodes()[0], SimTime::from_hours(50));
+        assert!(fresh < stale, "{fresh} vs {stale}: old failures fade");
+        assert!(stale < 1.0, "but never vanish abruptly");
+        assert_eq!(p.hazard_component(&c, &c.nodes()[1], now), 1.0);
+    }
+
+    #[test]
+    fn pooling_taints_domain_mates() {
+        let mut c = Cluster::homogeneous(4, GpuModel::A100, 8);
+        c.set_failure_domains(&gfs_types::FailureDomain::racks(4, 2));
+        c.fail_node(NodeId::new(0), SimTime::from_hours(1)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_hours(2))
+            .unwrap();
+        let p = PlacementPolicy::hazard_aware();
+        let now = SimTime::from_hours(3);
+        // node 1 never failed, but shares the rack with flaky node 0
+        let mate = p.pooled_failure_rate(&c, &c.nodes()[1], now);
+        let other = p.pooled_failure_rate(&c, &c.nodes()[2], now);
+        assert!(mate > 0.0, "rack-mate inherits pooled suspicion");
+        assert_eq!(other, 0.0, "other rack untouched");
+        assert!(
+            p.hazard_component(&c, &c.nodes()[1], now) < p.hazard_component(&c, &c.nodes()[2], now)
+        );
+        // the failed node itself is worse than its innocent mate
+        assert!(p.pooled_failure_rate(&c, &c.nodes()[0], now) > mate);
+        // without a topology pooling is inert
+        let flat = Cluster::homogeneous(2, GpuModel::A100, 8);
+        assert_eq!(
+            p.pooled_failure_rate(&flat, &flat.nodes()[0], now),
+            flat.nodes()[0].decayed_failure_rate(now, p.failure_half_life_secs)
+        );
+    }
+
+    #[test]
+    fn preemption_reliability_is_gated() {
+        let mut c = Cluster::homogeneous(2, GpuModel::A100, 8);
+        c.fail_node(NodeId::new(0), SimTime::from_hours(1)).unwrap();
+        c.restore_node(NodeId::new(0), SimTime::from_hours(2))
+            .unwrap();
+        let now = SimTime::from_hours(3);
+        // churn_aware's preemptive cells are pinned: constant discount
+        let legacy = PlacementPolicy::churn_aware();
+        assert_eq!(legacy.preemption_reliability(&c, &c.nodes()[0], now), 1.0);
+        let p = PlacementPolicy::hazard_aware();
+        assert!(p.preemption_reliability(&c, &c.nodes()[0], now) < 1.0);
+        assert!(!p.is_naive());
     }
 
     #[test]

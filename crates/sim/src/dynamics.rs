@@ -192,11 +192,15 @@
 //! golden hashes hold across the redesign.
 
 use gfs_types::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// Integrates lost capacity over time against a (possibly growing) static
 /// fleet: feeds [`SimReport::unavailability`](crate::SimReport::unavailability)
 /// (down GPU-seconds over static GPU-seconds of the run).
-#[derive(Debug, Clone)]
+///
+/// Serializable for service snapshots; the partially-accumulated integrals
+/// are stored verbatim so a restored run closes them bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct AvailabilityTracker {
     /// Static cards currently out of service.
     down_cards: f64,

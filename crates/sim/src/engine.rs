@@ -1,4 +1,4 @@
-//! The discrete-event simulation engine.
+//! The batch entry point of the discrete-event simulation.
 //!
 //! Events (submissions, completions, requeues after eviction, quota ticks,
 //! utilisation samples, and the injected cluster timeline — failures,
@@ -8,33 +8,24 @@
 //! over the pending queue. All state transitions go through
 //! [`gfs_cluster::Cluster`], so a scheduler can never corrupt accounting.
 //!
-//! # Hot-path layout
-//!
-//! Per-task bookkeeping lives in one dense `Vec<TaskState>` indexed by the
-//! task's position in the submitted trace (events carry that index, not a
-//! `TaskId`), so the event loop never hashes. Specs are shared with the
-//! cluster as `Arc<TaskSpec>`, so submitting, starting and requeuing a
-//! task never deep-copies the spec. The pending queue is kept sorted under
-//! [`Scheduler::queue_cmp`] by binary insertion at submit/requeue time —
-//! ties stay in FIFO arrival order, matching what a stable re-sort of the
-//! whole queue every pass used to produce, without the O(n log n) per
-//! batch. A task's carried progress is cleared when it finishes, so state
-//! cannot accumulate stale checkpoint data over week-scale traces.
+//! The event loop itself lives in [`crate::service`] as the long-running,
+//! crash-safe [`ClusterService`](crate::ClusterService); [`run`] is a thin
+//! driver over it — admit the whole trace, arm the timers, drain the heap,
+//! close the report — and is bit-identical to the historical monolithic
+//! loop (pinned by `tests/golden_report.rs` at the workspace root).
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use gfs_cluster::{Cluster, Scheduler};
+use gfs_types::{DynamicsPlan, SimDuration, TaskSpec};
+use serde::{Deserialize, Serialize};
 
-use gfs_cluster::{Cluster, Scheduler, TaskEvent};
-use gfs_types::{
-    ClusterEventKind, DynamicsPlan, GpuModel, NodeId, SimDuration, SimTime, TaskId, TaskSpec,
-};
-
-use crate::dynamics::AvailabilityTracker;
-use crate::report::{AllocSample, SimReport, TaskRecord};
+use crate::report::SimReport;
+use crate::service::ClusterService;
 
 /// Engine configuration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable: a [`crate::ServiceSnapshot`] embeds the configuration so
+/// a restored service resumes under the exact timers and horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Cadence of [`Scheduler::on_tick`] (the paper's 300 s quota-update
     /// interval).
@@ -70,619 +61,29 @@ impl Default for SimConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum EventKind {
-    Submit(u32),
-    Finish {
-        task: u32,
-        epoch: u32,
-    },
-    Requeue(u32),
-    Tick,
-    Sample,
-    NodeDown(NodeId),
-    NodeUp(NodeId),
-    Drain {
-        node: NodeId,
-        notice: SimDuration,
-    },
-    /// Forced shutdown of a drain; fires only if the drain armed at
-    /// `now − notice` is still in progress (an interleaved `NodeUp`
-    /// cancels it, a later re-drain arms a different deadline).
-    DrainDeadline(NodeId),
-    AddNode {
-        model: GpuModel,
-        gpus: u32,
-    },
-}
-
-/// Dense per-task simulation state, indexed by trace position.
-#[derive(Debug, Clone, Copy, Default)]
-struct TaskState {
-    /// Index of the task's record in the report (records are appended in
-    /// submission-event order, which can differ from trace order).
-    rec: u32,
-    /// Run-segment epoch; a `Finish` event is stale unless epochs match.
-    epoch: u32,
-    /// Checkpointed progress carried across evictions; cleared on finish.
-    carried: SimDuration,
-    /// When the task last entered the pending queue.
-    enqueue: SimTime,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // reversed: BinaryHeap is a max-heap, we need earliest-first
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Knocks one running task off the cluster (forced displacement or
-/// graceful drain migration): stales its pending `Finish` via the epoch,
-/// carries the checkpointed progress, records it under the right counter,
-/// notifies the scheduler and schedules the requeue after the grace
-/// period. The shared tail of every churn path — requeue semantics must
-/// never drift between forced and graceful exits.
-#[allow(clippy::too_many_arguments)] // internal plumbing of the event loop
-fn displace_and_requeue(
-    id: TaskId,
-    priority: gfs_types::Priority,
-    preserved: SimDuration,
-    graceful: bool,
-    now: SimTime,
-    cluster: &Cluster,
-    scheduler: &mut dyn Scheduler,
-    report: &mut SimReport,
-    states: &mut [TaskState],
-    id_to_idx: &HashMap<TaskId, u32>,
-    heap: &mut BinaryHeap<Event>,
-    seq: &mut u64,
-    requeue_delay: SimDuration,
-) {
-    let idx = id_to_idx[&id] as usize;
-    let st = &mut states[idx];
-    st.epoch += 1; // the pending Finish is now stale
-    st.carried = preserved;
-    let rec = &mut report.tasks[st.rec as usize];
-    if graceful {
-        rec.migrations += 1;
-        report.migration_times.push(now);
-    } else {
-        rec.displacements += 1;
-        report.displacement_times.push(now);
-    }
-    scheduler.on_event(
-        &TaskEvent::Displaced {
-            task: id,
-            priority,
-            at: now,
-        },
-        cluster,
-    );
-    *seq += 1;
-    heap.push(Event {
-        at: now + requeue_delay,
-        seq: *seq,
-        kind: EventKind::Requeue(idx as u32),
-    });
-}
-
-/// Takes `node` out of service (abrupt failure or drain deadline):
-/// displaces every pod through [`Cluster::fail_node`], accounts the lost
-/// capacity, requeues the victims with their checkpointed progress and
-/// notifies the scheduler. Returns `false` (no-op) when the node is down
-/// or unknown, so overlapping hand-built schedules degrade gracefully.
-#[allow(clippy::too_many_arguments)] // internal plumbing of the event loop
-fn apply_node_down(
-    node: NodeId,
-    now: SimTime,
-    cluster: &mut Cluster,
-    scheduler: &mut dyn Scheduler,
-    report: &mut SimReport,
-    states: &mut [TaskState],
-    id_to_idx: &HashMap<TaskId, u32>,
-    heap: &mut BinaryHeap<Event>,
-    seq: &mut u64,
-    avail: &mut AvailabilityTracker,
-    requeue_delay: SimDuration,
-) -> bool {
-    let Ok(drained) = cluster.fail_node(node, now) else {
-        return false;
-    };
-    report.node_downs += 1;
-    let lost = cluster.nodes()[node.index()].total_gpus();
-    avail.change(now, f64::from(lost));
-    for d in drained {
-        displace_and_requeue(
-            d.task.spec.id,
-            d.task.spec.priority,
-            d.preserved,
-            false,
-            now,
-            cluster,
-            scheduler,
-            report,
-            states,
-            id_to_idx,
-            heap,
-            seq,
-            requeue_delay,
-        );
-    }
-    scheduler.on_event(
-        &TaskEvent::NodeDown {
-            node,
-            lost_gpus: lost,
-            at: now,
-        },
-        cluster,
-    );
-    true
-}
-
 /// Runs a trace against a scheduler on a cluster.
 ///
 /// Deterministic: identical inputs produce identical reports.
 pub fn run(
-    mut cluster: Cluster,
+    cluster: Cluster,
     scheduler: &mut dyn Scheduler,
     tasks: Vec<TaskSpec>,
     cfg: &SimConfig,
 ) -> SimReport {
-    let mut report = SimReport {
-        node_alloc_samples: if cfg.record_node_alloc {
-            vec![Vec::new(); cluster.nodes().len()]
-        } else {
-            Vec::new()
-        },
-        ..SimReport::default()
-    };
-    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, at: SimTime, kind: EventKind| {
-        *seq += 1;
-        heap.push(Event {
-            at,
-            seq: *seq,
-            kind,
-        });
-    };
-
-    // dense per-task state, indexed by trace position; specs shared by Arc
-    let specs: Vec<Arc<TaskSpec>> = tasks.into_iter().map(Arc::new).collect();
-    let mut states: Vec<TaskState> = vec![TaskState::default(); specs.len()];
-    // only victim lookups (TaskId → index) need a map, built once
-    let id_to_idx: HashMap<TaskId, u32> = specs
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.id, i as u32))
-        .collect();
-    // pending queue of trace indices, kept sorted under queue_cmp with
-    // FIFO tie-breaks by inserting behind every entry that is <= the task
-    let mut pending: Vec<u32> = Vec::new();
-    let enqueue = |pending: &mut Vec<u32>, specs: &[Arc<TaskSpec>], s: &dyn Scheduler, i: u32| {
-        let spec = &specs[i as usize];
-        let pos = pending
-            .partition_point(|&e| s.queue_cmp(&specs[e as usize], spec) != Ordering::Greater);
-        pending.insert(pos, i);
-    };
-    let mut unfinished = specs.len();
-
-    for (i, t) in specs.iter().enumerate() {
-        push(
-            &mut heap,
-            &mut seq,
-            t.submit_at,
-            EventKind::Submit(i as u32),
-        );
-    }
-    push(&mut heap, &mut seq, SimTime::ZERO, EventKind::Sample);
-    push(
-        &mut heap,
-        &mut seq,
-        SimTime::from_secs(cfg.tick_interval_secs),
-        EventKind::Tick,
-    );
-    // dynamics events enqueue last so an empty plan leaves every sequence
-    // number — and therefore every scheduling outcome — untouched
-    for ev in cfg.dynamics.events() {
-        let kind = match ev.kind {
-            ClusterEventKind::NodeDown => EventKind::NodeDown(ev.node),
-            ClusterEventKind::NodeUp => EventKind::NodeUp(ev.node),
-            ClusterEventKind::Drain { notice_secs } => EventKind::Drain {
-                node: ev.node,
-                notice: notice_secs,
-            },
-            ClusterEventKind::AddNode { group } => EventKind::AddNode {
-                model: group.model,
-                gpus: group.gpus,
-            },
-        };
-        push(&mut heap, &mut seq, ev.at, kind);
-    }
-    let mut avail = AvailabilityTracker::new(cluster.static_capacity(None));
-
-    let max_time = cfg.max_time_secs.map(SimTime::from_secs);
-    let mut now = SimTime::ZERO;
-
-    while let Some(ev) = heap.pop() {
-        if unfinished == 0 {
-            break;
-        }
-        if let Some(limit) = max_time {
-            if ev.at > limit {
-                now = limit;
-                break;
-            }
-        }
-        now = ev.at;
-        let mut dirty = false;
-
-        // process the entire same-timestamp batch before scheduling
-        let mut batch = vec![ev];
-        while let Some(next) = heap.peek() {
-            if next.at == now {
-                batch.push(heap.pop().expect("peeked event exists"));
-            } else {
-                break;
-            }
-        }
-
-        for ev in batch {
-            match ev.kind {
-                EventKind::Submit(i) => {
-                    let spec = &specs[i as usize];
-                    let id = spec.id;
-                    states[i as usize].rec = report.tasks.len() as u32;
-                    states[i as usize].enqueue = now;
-                    report.tasks.push(TaskRecord {
-                        id,
-                        priority: spec.priority,
-                        org: spec.org,
-                        total_gpus: spec.total_gpus(),
-                        pods: spec.pods,
-                        work_secs: spec.duration_secs,
-                        submit: now,
-                        first_start: None,
-                        finish: None,
-                        queued_secs: 0,
-                        runs: 0,
-                        evictions: 0,
-                        displacements: 0,
-                        migrations: 0,
-                    });
-                    scheduler.on_event(
-                        &TaskEvent::Submitted {
-                            task: id,
-                            priority: spec.priority,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                    enqueue(&mut pending, &specs, scheduler, i);
-                    dirty = true;
-                }
-                EventKind::Finish { task, epoch } => {
-                    let st = &mut states[task as usize];
-                    if st.epoch != epoch {
-                        continue; // stale: the run was preempted
-                    }
-                    let id = specs[task as usize].id;
-                    if cluster.running_task(id).is_none() {
-                        continue;
-                    }
-                    let rt = cluster.finish_task(id, now).expect("task verified running");
-                    st.carried = 0; // progress state dies with the task
-                    let rec = &mut report.tasks[st.rec as usize];
-                    rec.finish = Some(now);
-                    unfinished -= 1;
-                    scheduler.on_event(
-                        &TaskEvent::Finished {
-                            task: id,
-                            priority: rt.spec.priority,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                    dirty = true;
-                }
-                EventKind::Requeue(task) => {
-                    states[task as usize].enqueue = now;
-                    enqueue(&mut pending, &specs, scheduler, task);
-                    dirty = true;
-                }
-                EventKind::Tick => {
-                    scheduler.on_tick(now, &cluster);
-                    if unfinished > 0 {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + cfg.tick_interval_secs,
-                            EventKind::Tick,
-                        );
-                    }
-                    dirty = true;
-                }
-                EventKind::NodeDown(node) => {
-                    // a down/unknown node makes the event a no-op, so
-                    // overlapping hand-built schedules degrade gracefully
-                    dirty |= apply_node_down(
-                        node,
-                        now,
-                        &mut cluster,
-                        scheduler,
-                        &mut report,
-                        &mut states,
-                        &id_to_idx,
-                        &mut heap,
-                        &mut seq,
-                        &mut avail,
-                        cfg.requeue_delay_secs,
-                    );
-                }
-                EventKind::NodeUp(node) => {
-                    // an Up for a draining node cancels the drain (its
-                    // capacity never left the availability accounting)
-                    let was_down = cluster.node(node).ok().is_some_and(|n| !n.is_up());
-                    if cluster.restore_node(node, now).is_err() {
-                        continue; // already up / unknown: no-op
-                    }
-                    report.node_ups += 1;
-                    let restored = cluster.nodes()[node.index()].total_gpus();
-                    if was_down {
-                        avail.change(now, -f64::from(restored));
-                    }
-                    scheduler.on_event(
-                        &TaskEvent::NodeUp {
-                            node,
-                            restored_gpus: restored,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                    dirty = true;
-                }
-                EventKind::Drain { node, notice } => {
-                    let deadline = now + notice;
-                    if cluster.drain_node(node, deadline).is_err() {
-                        continue; // down / unknown / already draining: no-op
-                    }
-                    report.node_drains += 1;
-                    // the scheduler chooses per gang: migrate now —
-                    // gracefully, with checkpointed progress — or ride out
-                    // the window (finish in place, or checkpoint until the
-                    // forced deadline). The default Scheduler::drain_decision
-                    // reproduces the historical rule (migrate exactly the
-                    // gangs that cannot finish inside the window);
-                    // ascending id order via the ordered running registry
-                    let to_move: Vec<TaskId> = cluster
-                        .running()
-                        .filter(|rt| rt.placements.iter().any(|p| p.node == node))
-                        .filter(|rt| {
-                            scheduler.drain_decision(rt, notice, &cluster, now)
-                                == gfs_cluster::DrainDecision::Migrate
-                        })
-                        .map(|rt| rt.spec.id)
-                        .collect();
-                    for id in to_move {
-                        let (rt, preserved) = cluster
-                            .migrate_task(id, now)
-                            .expect("collected from the registry");
-                        displace_and_requeue(
-                            id,
-                            rt.spec.priority,
-                            preserved,
-                            true,
-                            now,
-                            &cluster,
-                            scheduler,
-                            &mut report,
-                            &mut states,
-                            &id_to_idx,
-                            &mut heap,
-                            &mut seq,
-                            cfg.requeue_delay_secs,
-                        );
-                    }
-                    scheduler.on_event(
-                        &TaskEvent::DrainNotice {
-                            node,
-                            deadline,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        deadline,
-                        EventKind::DrainDeadline(node),
-                    );
-                    dirty = true;
-                }
-                EventKind::DrainDeadline(node) => {
-                    // fires only for a drain still in progress with this
-                    // exact deadline: an Up inside the window cancelled
-                    // it, a re-drain armed a different deadline
-                    let armed = cluster
-                        .node(node)
-                        .ok()
-                        .is_some_and(|n| n.drain_deadline() == Some(now));
-                    if !armed {
-                        continue;
-                    }
-                    dirty |= apply_node_down(
-                        node,
-                        now,
-                        &mut cluster,
-                        scheduler,
-                        &mut report,
-                        &mut states,
-                        &id_to_idx,
-                        &mut heap,
-                        &mut seq,
-                        &mut avail,
-                        cfg.requeue_delay_secs,
-                    );
-                }
-                EventKind::AddNode { model, gpus } => {
-                    let node = cluster.add_node(model, gpus);
-                    report.nodes_added += 1;
-                    report.gpus_added += u64::from(gpus);
-                    avail.add_static(now, f64::from(gpus));
-                    if cfg.record_node_alloc {
-                        // pad the new node's series so every row shares one
-                        // time origin (zero allocated before it existed)
-                        let len = report.node_alloc_samples.first().map_or(0, Vec::len);
-                        report.node_alloc_samples.push(vec![0.0; len]);
-                    }
-                    scheduler.on_event(
-                        &TaskEvent::NodeAdded {
-                            node,
-                            added_gpus: gpus,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                    dirty = true;
-                }
-                EventKind::Sample => {
-                    let cap = cluster.capacity(None).max(1.0);
-                    report.alloc_samples.push(AllocSample {
-                        at: now,
-                        total: cluster.allocation_rate(None),
-                        hp: cluster.hp_allocated(None) / cap,
-                        spot: cluster.spot_allocated(None) / cap,
-                    });
-                    if cfg.record_node_alloc {
-                        for (i, n) in cluster.nodes().iter().enumerate() {
-                            report.node_alloc_samples[i].push(n.allocated());
-                        }
-                    }
-                    if unfinished > 0 {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + cfg.alloc_sample_interval_secs,
-                            EventKind::Sample,
-                        );
-                    }
-                }
-            }
-        }
-
-        if !dirty || pending.is_empty() {
-            continue;
-        }
-
-        // one scheduling pass over the (incrementally sorted) pending queue
-        let mut still_pending = Vec::with_capacity(pending.len());
-        for idx in pending.drain(..) {
-            let task = &specs[idx as usize];
-            let Some(decision) = scheduler.schedule(task, &cluster, now) else {
-                still_pending.push(idx);
-                continue;
-            };
-            for victim in &decision.preemptions {
-                match cluster.evict_task(*victim, now) {
-                    Ok((_rt, preserved)) => {
-                        let vidx = id_to_idx[victim] as usize;
-                        states[vidx].carried = preserved;
-                        states[vidx].epoch += 1;
-                        let rec = &mut report.tasks[states[vidx].rec as usize];
-                        rec.evictions += 1;
-                        report.eviction_times.push(now);
-                        scheduler.on_event(
-                            &TaskEvent::Evicted {
-                                task: *victim,
-                                at: now,
-                            },
-                            &cluster,
-                        );
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            now + cfg.requeue_delay_secs,
-                            EventKind::Requeue(vidx as u32),
-                        );
-                    }
-                    Err(_) => {
-                        report.failed_commits += 1;
-                    }
-                }
-            }
-            let carry = states[idx as usize].carried;
-            let id = task.id;
-            match cluster.start_task(Arc::clone(task), &decision.pod_nodes, now, carry) {
-                Ok(()) => {
-                    let st = &mut states[idx as usize];
-                    st.epoch += 1;
-                    let epoch = st.epoch;
-                    let remaining = task.duration_secs.saturating_sub(carry).max(1);
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        now + remaining,
-                        EventKind::Finish { task: idx, epoch },
-                    );
-                    let queued = now.since(st.enqueue);
-                    let rec = &mut report.tasks[st.rec as usize];
-                    rec.queued_secs += queued;
-                    rec.runs += 1;
-                    if rec.first_start.is_none() {
-                        rec.first_start = Some(now);
-                    }
-                    if task.priority.is_spot() {
-                        report.spot_start_times.push(now);
-                    }
-                    scheduler.on_event(
-                        &TaskEvent::Started {
-                            task: id,
-                            priority: task.priority,
-                            queued_secs: queued,
-                            at: now,
-                        },
-                        &cluster,
-                    );
-                }
-                Err(_) => {
-                    report.failed_commits += 1;
-                    still_pending.push(idx);
-                }
-            }
-        }
-        pending = still_pending;
-    }
-
-    // tasks still queued accrue waiting time up to the end of the run
-    for &idx in &pending {
-        let st = &states[idx as usize];
-        let rec = &mut report.tasks[st.rec as usize];
-        rec.queued_secs += now.since(st.enqueue);
-    }
-    report.unavailability = avail.unavailability(now);
-    report.makespan = now;
-    report
+    let mut service = ClusterService::new(cluster, cfg.clone());
+    service.admit_tasks(tasks);
+    service.start();
+    service.run_to_end(scheduler);
+    service.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
+
     use gfs_cluster::Decision;
-    use gfs_types::{GpuDemand, GpuModel, NodeId, Priority};
+    use gfs_types::{GpuDemand, GpuModel, NodeId, Priority, SimTime, TaskId};
 
     /// Minimal first-fit policy used to exercise the engine.
     struct FirstFit;

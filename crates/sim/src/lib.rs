@@ -36,10 +36,22 @@
 //! no-op: the event sequence is bit-for-bit what it was before dynamics
 //! injection existed.
 //!
+//! # Crash safety
+//!
+//! The event loop itself lives in the [`service`] module as the
+//! long-running [`ClusterService`]: a resident object that admits live
+//! streams of arrivals and dynamics plans, snapshots its entire state
+//! (canonical, hashable, versioned), write-ahead journals every admission
+//! and recovers from a crash via snapshot + journal replay —
+//! bit-identically to the uninterrupted run. [`run`] is a thin batch
+//! driver over it.
+//!
 //! # Examples
 //!
 //! See the `quickstart` example at the workspace root, which wires a
-//! generated workload, a cluster and the GFS scheduler through [`run`].
+//! generated workload, a cluster and the GFS scheduler through [`run`],
+//! and `crash_recovery`, which kills a live service mid-run and recovers
+//! it from snapshot + journal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +59,11 @@
 pub mod dynamics;
 mod engine;
 mod report;
+pub mod service;
 
 pub use engine::{run, SimConfig};
 pub use report::{AllocSample, RunSummary, SimReport, TaskRecord};
+pub use service::{
+    fnv1a, parse_journal, report_hash, AdmittedEvent, ClusterService, Journal, JournalError,
+    JournalRecord, JournalReplay, RestoreError, ServiceSnapshot, SNAPSHOT_VERSION,
+};

@@ -70,7 +70,7 @@ pub struct AllocSample {
 }
 
 /// Full output of a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// One record per submitted task.
     pub tasks: Vec<TaskRecord>,

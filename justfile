@@ -41,13 +41,21 @@ lab-smokes:
         GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin "$bin"; \
     done
 
+# Crash-injection sweep on its own: kill live services at every crash
+# point of the grid and require bit-identical recovery (also part of
+# lab-smokes via bin discovery).
+recovery-smoke:
+    GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_recovery
+
 # Examples must keep running as the APIs evolve: drive the quickstart,
-# the maintenance-wave walkthrough and the churn-policy comparison in
-# release (smoke-sized where the example supports it).
+# the maintenance-wave walkthrough, the churn-policy comparison and the
+# crash-recovery demo in release (smoke-sized where the example supports
+# it).
 examples-smoke:
     cargo run --release --example quickstart
     GFS_WAVE_SMOKE=1 cargo run --release --example maintenance_wave
     GFS_POLICY_SMOKE=1 cargo run --release --example churn_policies
+    cargo run --release --example crash_recovery
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

@@ -378,6 +378,177 @@ fn capacity_index_matches_brute_force_scan() {
     });
 }
 
+/// A random but per-node-coherent cluster timeline: each node either
+/// fails and recovers once, drains once, or stays untouched.
+fn random_dynamics(rng: &mut ChaCha8Rng) -> DynamicsPlan {
+    let mut events = Vec::new();
+    for node in 0..4u32 {
+        let id = gfs_types::NodeId::new(node);
+        if rng.gen_bool(0.4) {
+            let down = rng.gen_range(500..20_000u64);
+            let outage = rng.gen_range(500..10_000u64);
+            events.push(ClusterEvent::down(id, SimTime::from_secs(down)));
+            events.push(ClusterEvent::up(id, SimTime::from_secs(down + outage)));
+        } else if rng.gen_bool(0.5) {
+            let at = rng.gen_range(500..20_000u64);
+            events.push(ClusterEvent::drain(id, SimTime::from_secs(at), 600));
+        }
+    }
+    DynamicsPlan::new(events).expect("per-node sequences are coherent")
+}
+
+fn random_trace(rng: &mut ChaCha8Rng) -> Vec<TaskSpec> {
+    let n = rng.gen_range(8..18usize);
+    (0..n)
+        .map(|i| {
+            let raw: u64 = rng.gen_range(0..u64::MAX);
+            TaskSpec::builder(i as u64 + 1)
+                .priority(if raw.is_multiple_of(3) {
+                    Priority::Spot
+                } else {
+                    Priority::Hp
+                })
+                .pods((raw % 2 + 1) as u32)
+                .gpus_per_pod(GpuDemand::whole((raw / 3 % 8 + 1) as u32))
+                .duration_secs(60 + raw / 7 % 20_000)
+                .submit_at(SimTime::from_secs(raw / 11 % 40_000))
+                .checkpoint(CheckpointPlan::Periodic { interval: 1_800 })
+                .build()
+                .expect("valid")
+        })
+        .collect()
+}
+
+/// Interleaves random snapshot → restore points into live runs under
+/// random cluster dynamics: every round-trip must be byte-identical
+/// (snapshot → restore → snapshot), and the chopped-up run must land on
+/// the uninterrupted run's exact state hash and `SimReport`.
+#[test]
+fn snapshot_restore_is_transparent_under_dynamics() {
+    use gfs::sim::{ClusterService, ServiceSnapshot};
+    for_all_cases("snapshot_restore_is_transparent_under_dynamics", |rng| {
+        let tasks = random_trace(rng);
+        let cfg = SimConfig {
+            dynamics: random_dynamics(rng),
+            max_time_secs: Some(10 * 24 * HOUR),
+            ..SimConfig::default()
+        };
+        let cluster = Cluster::homogeneous(6, GpuModel::A100, 8);
+
+        // golden: one uninterrupted service
+        let mut sched = YarnCs::new();
+        let mut svc = ClusterService::new(cluster.clone(), cfg.clone());
+        svc.admit_tasks(tasks.clone());
+        svc.start();
+        svc.run_to_end(&mut sched);
+        let golden_state = svc.snapshot(&sched).state_hash();
+        let golden_report = svc.finish();
+
+        // the same run chopped at random points by snapshot → restore
+        let mut sched = YarnCs::new();
+        let mut svc = ClusterService::new(cluster, cfg);
+        svc.admit_tasks(tasks);
+        svc.start();
+        for _ in 0..rng.gen_range(1..4usize) {
+            for _ in 0..rng.gen_range(1..30u64) {
+                if !svc.step(&mut sched) {
+                    break;
+                }
+            }
+            let snap = svc.snapshot(&sched);
+            let json = snap.to_json();
+            let mut sched2 = YarnCs::new();
+            let restored = ClusterService::restore(
+                ServiceSnapshot::from_json(&json).expect("canonical JSON round-trips"),
+                &mut sched2,
+            )
+            .expect("live snapshots restore");
+            assert_eq!(
+                restored.snapshot(&sched2).to_json(),
+                json,
+                "snapshot → restore → snapshot must be byte-identical"
+            );
+            svc = restored;
+            sched = sched2;
+        }
+        svc.run_to_end(&mut sched);
+        assert_eq!(
+            svc.snapshot(&sched).state_hash(),
+            golden_state,
+            "restored runs converge to the golden state"
+        );
+        assert_eq!(svc.finish(), golden_report, "and to the golden report");
+    });
+}
+
+/// Random damage to a live run's write-ahead journal — torn tails,
+/// single-character flips, duplicated records — is always detected by
+/// the parser, and a torn tail still yields the intact prefix.
+#[test]
+fn journal_corruption_is_always_detected() {
+    use gfs::sim::{parse_journal, ClusterService, JournalError};
+    for_all_cases("journal_corruption_is_always_detected", |rng| {
+        let tasks = random_trace(rng);
+        let cfg = SimConfig {
+            dynamics: random_dynamics(rng),
+            max_time_secs: Some(10 * 24 * HOUR),
+            ..SimConfig::default()
+        };
+        let mut sched = YarnCs::new();
+        let mut svc = ClusterService::new(Cluster::homogeneous(6, GpuModel::A100, 8), cfg);
+        svc.enable_journal();
+        let cut = tasks.len() / 2;
+        svc.admit_tasks(tasks[..cut].to_vec());
+        svc.start();
+        for _ in 0..rng.gen_range(1..20u64) {
+            if !svc.step(&mut sched) {
+                break;
+            }
+        }
+        svc.admit_tasks(tasks[cut..].to_vec());
+        let text = svc.journal().expect("enabled").text().to_string();
+        let (records, err) = parse_journal(&text);
+        assert!(err.is_none(), "an undamaged journal parses: {err:?}");
+        assert_eq!(records.len(), 3, "tasks + start + late tasks");
+
+        // torn tail: the final record is damaged, the prefix survives
+        let tear = rng.gen_range(2..10usize);
+        let (prefix, err) = parse_journal(&text[..text.len() - tear]);
+        assert!(
+            matches!(err, Some(JournalError::Truncated { .. })),
+            "torn tail flagged: {err:?}"
+        );
+        assert_eq!(prefix.len(), records.len() - 1);
+
+        // flip one digit anywhere: record CRCs (or the parse) catch it
+        let digits: Vec<usize> = text
+            .char_indices()
+            .filter(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        let pos = digits[rng.gen_range(0..digits.len())];
+        let mut flipped = text.clone().into_bytes();
+        flipped[pos] = b'0' + (flipped[pos] - b'0' + 1) % 10;
+        let (_, err) = parse_journal(&String::from_utf8(flipped).expect("ascii"));
+        assert!(err.is_some(), "a single flipped digit must be detected");
+
+        // duplicate a record: replay must reject the repeated sequence
+        let lines: Vec<&str> = text.lines().collect();
+        let dup = rng.gen_range(0..lines.len());
+        let mut doubled: Vec<&str> = lines[..=dup].to_vec();
+        doubled.push(lines[dup]);
+        doubled.extend_from_slice(&lines[dup + 1..]);
+        let (_, err) = parse_journal(&(doubled.join("\n") + "\n"));
+        assert!(
+            matches!(
+                err,
+                Some(JournalError::DuplicateSeq { seq, .. }) if seq == dup as u64 + 1
+            ),
+            "duplicated record flagged: {err:?}"
+        );
+    });
+}
+
 #[test]
 fn gaussian_quantile_monotone_in_p() {
     for_all_cases("gaussian_quantile_monotone_in_p", |rng| {
