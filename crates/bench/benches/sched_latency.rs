@@ -184,6 +184,57 @@ fn bench_snapshot_restore(suite: &mut Suite) {
     });
 }
 
+/// Capacity-market hot path: what one decision boundary costs on a
+/// production-scale fleet. `controller_decision` is the pure
+/// forecast-follower decision over a 287-node cluster (gap computation
+/// plus the release-safety scan of every market node);
+/// `market_step` is the full boundary cycle the driver pays per
+/// interval — cost-meter accrual over the fleet plus quotes plus the
+/// decision. Both must stay µs-scale so a market grid costs the same as
+/// a dynamics grid.
+fn bench_market(suite: &mut Suite) {
+    use gfs::market::{
+        CapacityController, ForecastController, ForecastParams, MarketView, PriceProcess,
+    };
+    let mut cluster = loaded_cluster();
+    // a market-owned tail of the fleet: 32 bought nodes, half loaded
+    let fleet_origin = cluster.nodes().len() as u32;
+    let mut id = 1_000_000u64;
+    for k in 0..32u32 {
+        let node = cluster.add_node(GpuModel::A100, 8);
+        if k % 2 == 0 {
+            id += 1;
+            let spot = TaskSpec::builder(id)
+                .priority(Priority::Spot)
+                .gpus_per_pod(GpuDemand::whole(4))
+                .duration_secs(100_000)
+                .build()
+                .expect("valid");
+            cluster
+                .start_task(spot, &[node], SimTime::from_hours(1), 0)
+                .expect("fits");
+        }
+    }
+    let prices = PriceProcess::walk(42);
+    let controller = ForecastController::new(ForecastParams::default());
+    let now = SimTime::from_hours(6);
+    let view = MarketView {
+        now,
+        cluster: &cluster,
+        demand_gpus: 2_400.0,
+        forecast_available: true,
+        prices: &prices,
+        fleet_origin,
+    };
+    suite.bench("controller_decision", || controller.decide(&view).len());
+    suite.bench("market_step", || {
+        let mut meter = gfs::market::CostMeter::new(HOUR);
+        meter.accrue(&cluster, fleet_origin, &prices, now);
+        let actions = controller.decide(&view);
+        (meter.spend_usd(), actions.len())
+    });
+}
+
 fn main() {
     let mut suite = Suite::new("sched_latency");
     bench_nonpreemptive(&mut suite);
@@ -191,5 +242,6 @@ fn main() {
     bench_baseline_schedulers(&mut suite);
     bench_timeline_apply(&mut suite);
     bench_snapshot_restore(&mut suite);
+    bench_market(&mut suite);
     suite.finish();
 }

@@ -2,6 +2,7 @@
 //! GPU allocation rate per GPU model, before (static quota + first-fit) and
 //! after (GFS) deployment, plus the monthly-benefit estimate.
 
+use gfs::market::{on_demand_cost_usd, HOURS_PER_MONTH};
 use gfs::prelude::*;
 use gfs::scenario;
 
@@ -100,16 +101,13 @@ fn main() {
     ] {
         let pre = run_pool(model, nodes, false, 21);
         let post = run_pool(model, nodes, true, 21);
-        // §4.3 economics: extra allocated GPU-hours × price, extrapolated to
-        // the paper's production pool size
+        // §4.3 economics: extra allocated GPU-hours × the on-demand rate,
+        // extrapolated to the paper's production pool size
         let gpn = model.production_gpus_per_node();
         let prod_gpus = f64::from(model.production_node_count() * gpn);
-        let gain = (post.alloc - pre.alloc).max(0.0)
-            * prod_gpus
-            * model.hourly_price_usd()
-            * 24.0
-            * 30.0
-            * 0.2; // 20% of the raised allocation is billed spot revenue
+        let extra_gpu_hours = (post.alloc - pre.alloc).max(0.0) * prod_gpus * HOURS_PER_MONTH;
+        // 20% of the raised allocation is billed spot revenue
+        let gain = on_demand_cost_usd(model, extra_gpu_hours) * 0.2;
         total_gain += gain;
         println!(
             "{:<6} | {:>8.1}% {:>8.1}% {:>7.0}% | {:>8.1}% {:>8.1}% {:>+7.1}% | {:>12.0}",

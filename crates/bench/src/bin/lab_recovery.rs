@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use gfs::lab::pool::run_indexed;
 use gfs::lab::{
-    crash_and_recover, ClusterShape, CrashPlan, CrashPoint, DynamicsAxis, ParamsAxis, PolicyAxis,
-    RecoveryOutcome, Scenario, SchedulerSpec, Threads, WorkloadAxis,
+    crash_and_recover, ClusterShape, CrashPlan, CrashPoint, DynamicsAxis, MarketAxis, ParamsAxis,
+    PolicyAxis, RecoveryOutcome, Scenario, SchedulerSpec, Threads, WorkloadAxis,
 };
 use gfs::prelude::*;
 use gfs::sim::{parse_journal, ClusterService, JournalError};
@@ -137,6 +137,7 @@ fn main() {
                             shape: shape.clone(),
                             workload: workload.clone(),
                             dynamics: dyn_axis.clone(),
+                            market: MarketAxis::none(),
                             policy: PolicyAxis::naive(),
                             params: ParamsAxis::default_params(),
                             seed,

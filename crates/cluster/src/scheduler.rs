@@ -168,6 +168,17 @@ pub trait Scheduler {
     /// Lifecycle notification hook.
     fn on_event(&mut self, _event: &TaskEvent, _cluster: &Cluster) {}
 
+    /// Aggregate upper-quantile GPU-demand forecast over the next `_h`
+    /// hours at confidence `_p`, if this scheduler maintains one. GFS
+    /// answers from its demand estimator (the Eq. 9 per-org upper
+    /// quantiles, aggregated); schedulers without a forecasting loop
+    /// return `None` and capacity controllers (`gfs_market`) fall back to
+    /// a windowed-arrival estimate. Must be a pure read: the simulator
+    /// never calls it, so scheduler state and goldens are unaffected.
+    fn demand_forecast(&self, _p: f64, _h: usize) -> Option<f64> {
+        None
+    }
+
     /// Chooses how `task`, running on a node whose drain notice just
     /// landed, rides out the notice window. The simulator consults this
     /// once per affected gang at the notice and executes the answer.

@@ -155,6 +155,10 @@ impl Scheduler for GfsScheduler {
         self.sqa.update(now, cluster, upper);
     }
 
+    fn demand_forecast(&self, p: f64, h: usize) -> Option<f64> {
+        self.gde.as_ref().map(|g| g.aggregate_upper(p, h))
+    }
+
     fn on_event(&mut self, event: &TaskEvent, cluster: &Cluster) {
         match event {
             TaskEvent::Evicted { task, at } => self.sqa.record_eviction(*task, *at),

@@ -143,6 +143,10 @@ mod tests {
             migration_count: 0,
             node_drains: 0,
             added_gpus: 0.0,
+            gpu_hours_bought: 0.0,
+            market_spend_usd: 0.0,
+            cost_per_completed_usd: 0.0,
+            stranded_gpu_hours: 0.0,
         };
         let rows = aggregate(&[run.clone(), run.clone()]);
         // all-zero dynamics-extension metrics stay off the wire
@@ -155,12 +159,26 @@ mod tests {
         let mut dynamic = run;
         dynamic.migration_count = 3;
         dynamic.added_gpus = 16.0;
-        let rows = aggregate(&[dynamic.clone(), dynamic]);
+        let rows = aggregate(&[dynamic.clone(), dynamic.clone()]);
         assert_eq!(rows.len(), RunSummary::DYNAMICS_METRICS_START + 2);
         assert!(rows.iter().any(|r| r.metric == "migration_count"));
         assert!(rows.iter().any(|r| r.metric == "added_gpus"));
         assert!(
             rows.iter().all(|r| r.metric != "node_drains"),
+            "still all-zero"
+        );
+        assert!(
+            rows.iter().all(|r| r.metric != "market_spend_usd"),
+            "cost metrics of market-free runs stay off the wire too"
+        );
+        // market-run cost metrics surface through the same gate
+        dynamic.gpu_hours_bought = 16.0;
+        dynamic.market_spend_usd = 48.0;
+        let rows = aggregate(&[dynamic.clone(), dynamic]);
+        assert!(rows.iter().any(|r| r.metric == "gpu_hours_bought"));
+        assert!(rows.iter().any(|r| r.metric == "market_spend_usd"));
+        assert!(
+            rows.iter().all(|r| r.metric != "stranded_gpu_hours"),
             "still all-zero"
         );
     }

@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use gfs_cluster::{Cluster, Node, Scheduler};
+use gfs_market::MarketSpec;
 use gfs_sched::{Chronus, Fgd, Lyra, YarnCs};
 use gfs_sim::{RunSummary, SimConfig, SimReport};
 use gfs_trace::{WorkloadConfig, WorkloadGenerator};
@@ -185,6 +186,8 @@ pub struct RunContext<'a> {
     /// Dynamics-axis label of the cell (`"none"` when no axis is
     /// declared).
     pub dynamics: &'a str,
+    /// Market-axis label of the cell (`"none"` when no axis is declared).
+    pub market: &'a str,
     /// Placement policy of the cell (naive when no axis is declared).
     /// Policy-capable constructors (the facade's `gfs::scenario` specs)
     /// pass it into their schedulers; baselines ignore it.
@@ -706,6 +709,58 @@ impl PolicyAxis {
     }
 }
 
+/// A named [`MarketSpec`] — one point on the grid's capacity-market axis.
+///
+/// Grids without the axis run every cell market-free (labelled `"none"`)
+/// through the plain engine, byte-identical to pre-market grids; a
+/// market point routes its cells through `gfs_market::run`, so the
+/// spot-price process, the capacity controller and the cost meter are
+/// live and the cost metrics appear in the cell summaries. Like every
+/// axis, the spec must be a pure value — the per-run price streams are
+/// derived from the run seed at execution time.
+#[derive(Debug, Clone)]
+pub struct MarketAxis {
+    /// Display label ("none" / "fixed" / "shock3x" …).
+    pub name: String,
+    /// The market of cells on this axis point; `None` is the market-free
+    /// control (cells run the plain engine).
+    pub spec: Option<MarketSpec>,
+}
+
+impl MarketAxis {
+    /// Wraps a market spec under a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, spec: MarketSpec) -> Self {
+        MarketAxis {
+            name: name.into(),
+            spec: Some(spec),
+        }
+    }
+
+    /// The market-free control row (the default when no axis is
+    /// declared).
+    #[must_use]
+    pub fn none() -> Self {
+        MarketAxis {
+            name: "none".to_string(),
+            spec: None,
+        }
+    }
+
+    /// Fixed-price passive accounting: bills whatever capacity the
+    /// dynamics plan adds, decides nothing.
+    #[must_use]
+    pub fn fixed_price() -> Self {
+        MarketAxis::new("fixed", MarketSpec::fixed_price())
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// A named [`GfsParams`] override — one point on the grid's parameter axis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamsAxis {
@@ -739,6 +794,8 @@ pub struct Scenario {
     pub workload: WorkloadAxis,
     /// Cluster-timeline source.
     pub dynamics: DynamicsAxis,
+    /// Capacity market.
+    pub market: MarketAxis,
     /// Placement policy.
     pub policy: PolicyAxis,
     /// Parameter override.
@@ -757,6 +814,7 @@ impl Scenario {
             shape: &self.shape,
             workload: self.workload.name(),
             dynamics: self.dynamics.name(),
+            market: self.market.name(),
             policy: &self.policy.policy,
             params: &self.params.params,
             seed: self.seed,
@@ -767,7 +825,17 @@ impl Scenario {
             ..sim.clone()
         };
         let mut scheduler = self.scheduler.build(&ctx);
-        gfs_sim::run(self.shape.build(), scheduler.as_mut(), tasks, &sim)
+        match &self.market.spec {
+            Some(spec) => gfs_market::run(
+                self.shape.build(),
+                scheduler.as_mut(),
+                tasks,
+                &sim,
+                spec,
+                self.seed,
+            ),
+            None => gfs_sim::run(self.shape.build(), scheduler.as_mut(), tasks, &sim),
+        }
     }
 }
 
@@ -786,7 +854,8 @@ pub struct GridResult {
 /// The declarative experiment grid (C-BUILDER).
 ///
 /// Axes default to "empty"; [`Grid::run`] fills the dynamics axis with
-/// [`DynamicsAxis::none`], the policy axis with [`PolicyAxis::naive`],
+/// [`DynamicsAxis::none`], the market axis with [`MarketAxis::none`],
+/// the policy axis with [`PolicyAxis::naive`],
 /// the parameter axis with the Table 4 defaults and the seed axis with
 /// `[1]` when unset. Invalid grids (missing
 /// required axes, duplicate axis labels, an explicitly empty seed list)
@@ -799,6 +868,7 @@ pub struct Grid {
     shapes: Vec<ClusterShape>,
     workloads: Vec<WorkloadAxis>,
     dynamics: Vec<DynamicsAxis>,
+    markets: Vec<MarketAxis>,
     policies: Vec<PolicyAxis>,
     params: Vec<ParamsAxis>,
     seeds: Vec<u64>,
@@ -873,6 +943,22 @@ impl Grid {
         self
     }
 
+    /// Adds capacity-market points (each cell runs once per axis point;
+    /// omitting the axis means market-free runs through the plain
+    /// engine).
+    #[must_use]
+    pub fn markets(mut self, axes: impl IntoIterator<Item = MarketAxis>) -> Self {
+        self.markets.extend(axes);
+        self
+    }
+
+    /// Adds one capacity-market point.
+    #[must_use]
+    pub fn market(mut self, axis: MarketAxis) -> Self {
+        self.markets.push(axis);
+        self
+    }
+
     /// Adds placement-policy points (each cell runs once per axis point;
     /// omitting the axis means naive-placement runs).
     #[must_use]
@@ -937,6 +1023,14 @@ impl Grid {
             vec![DynamicsAxis::none()]
         } else {
             self.dynamics.clone()
+        }
+    }
+
+    fn market_axis(&self) -> Vec<MarketAxis> {
+        if self.markets.is_empty() {
+            vec![MarketAxis::none()]
+        } else {
+            self.markets.clone()
         }
     }
 
@@ -1010,6 +1104,7 @@ impl Grid {
         no_dupes("shape", self.shapes.iter().map(|s| s.name.as_str()))?;
         no_dupes("workload", self.workloads.iter().map(WorkloadAxis::name))?;
         no_dupes("dynamics", self.dynamics.iter().map(DynamicsAxis::name))?;
+        no_dupes("market", self.markets.iter().map(MarketAxis::name))?;
         no_dupes("policy", self.policies.iter().map(PolicyAxis::name))?;
         no_dupes("params", self.params.iter().map(|p| p.name.as_str()))?;
         let mut seen = Vec::new();
@@ -1025,8 +1120,8 @@ impl Grid {
     }
 
     /// Enumerates every run of the grid in deterministic order: cells
-    /// nest (shape → workload → dynamics → policy → params → scheduler),
-    /// each replicated over all seeds.
+    /// nest (shape → workload → dynamics → market → policy → params →
+    /// scheduler), each replicated over all seeds.
     ///
     /// # Errors
     ///
@@ -1034,6 +1129,7 @@ impl Grid {
     pub fn try_scenarios(&self) -> Result<Vec<Scenario>> {
         self.validate()?;
         let dynamics = self.dynamics_axis();
+        let markets = self.market_axis();
         let policies = self.policy_axis();
         let params = self.params_axis();
         let seeds = self.seed_axis();
@@ -1042,22 +1138,25 @@ impl Grid {
         for shape in &self.shapes {
             for workload in &self.workloads {
                 for d in &dynamics {
-                    for pol in &policies {
-                        for p in &params {
-                            for scheduler in &self.schedulers {
-                                for &seed in &seeds {
-                                    out.push(Scenario {
-                                        cell,
-                                        scheduler: scheduler.clone(),
-                                        shape: shape.clone(),
-                                        workload: workload.clone(),
-                                        dynamics: d.clone(),
-                                        policy: pol.clone(),
-                                        params: p.clone(),
-                                        seed,
-                                    });
+                    for m in &markets {
+                        for pol in &policies {
+                            for p in &params {
+                                for scheduler in &self.schedulers {
+                                    for &seed in &seeds {
+                                        out.push(Scenario {
+                                            cell,
+                                            scheduler: scheduler.clone(),
+                                            shape: shape.clone(),
+                                            workload: workload.clone(),
+                                            dynamics: d.clone(),
+                                            market: m.clone(),
+                                            policy: pol.clone(),
+                                            params: p.clone(),
+                                            seed,
+                                        });
+                                    }
+                                    cell += 1;
                                 }
-                                cell += 1;
                             }
                         }
                     }
@@ -1084,6 +1183,7 @@ impl Grid {
             * self.shapes.len()
             * self.workloads.len()
             * self.dynamics_axis().len()
+            * self.market_axis().len()
             * self.policy_axis().len()
             * self.params_axis().len()
     }
@@ -1124,6 +1224,7 @@ impl Grid {
                 &first.shape.name,
                 first.workload.name(),
                 first.dynamics.name(),
+                first.market.name(),
                 first.policy.name(),
                 &first.params.name,
                 &seeds,
@@ -1439,6 +1540,56 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("duplicate policy label"), "{err}");
+    }
+
+    #[test]
+    fn market_axis_multiplies_cells_and_meters_costs() {
+        use gfs_market::{ForecastParams, MarketSpec};
+        let grid = Grid::new()
+            .scheduler(SchedulerSpec::yarn_cs())
+            .shape(ClusterShape::a100(1, 8))
+            .workload(tiny_workload())
+            .markets([
+                MarketAxis::none(),
+                MarketAxis::new("buyer", MarketSpec::forecast(ForecastParams::default())),
+            ])
+            .seeds([1, 2])
+            .sim(SimConfig {
+                max_time_secs: Some(48 * HOUR),
+                ..SimConfig::default()
+            });
+        assert_eq!(grid.cell_count(), 2);
+        let result = grid.run(Threads::Fixed(2));
+        let free = result
+            .report
+            .cell_full("YARN-CS", "1n", "tiny", "none", "naive", "default")
+            .expect("market-free cell");
+        assert_eq!(free.market_label(), "none");
+        assert!(
+            free.metric("market_spend_usd").is_none(),
+            "no cost rows without a market"
+        );
+        let bought = result
+            .report
+            .cells
+            .iter()
+            .find(|c| c.market_label() == "buyer")
+            .expect("market cell");
+        assert!(
+            bought.median("market_spend_usd") > 0.0,
+            "the 1-node cluster forces the controller to buy"
+        );
+        assert!(bought.median("gpu_hours_bought") > 0.0);
+        // the market label rides the wire; the free cell stays unlabelled
+        let json = result.report.to_json();
+        assert_eq!(json.matches("\"market\"").count(), 1);
+        // duplicate market labels are rejected like every other axis
+        let err = tiny_grid()
+            .markets([MarketAxis::none(), MarketAxis::none()])
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate market label"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   [`ClusterShape::racked`] into failure domains), [`WorkloadAxis`]
 //!   trace sources, [`DynamicsAxis`] cluster timelines (independent
 //!   churn, correlated rack failures, rolling maintenance drains,
-//!   autoscale schedules), [`PolicyAxis`] placement policies (naive /
+//!   autoscale schedules), [`MarketAxis`] capacity markets (spot-price
+//!   processes plus forecast-driven autoscaling controllers, metered
+//!   into the §4.3 cost metrics), [`PolicyAxis`] placement policies (naive /
 //!   domain-spread / reliability-scored / churn-aware), [`ParamsAxis`]
 //!   overrides and replication seeds.
 //! * [`pool`] — a std-only chunked work pool executing runs in parallel
@@ -76,8 +78,8 @@ pub use agg::{MetricStats, MetricSummary};
 #[allow(deprecated)]
 pub use grid::FaultAxis;
 pub use grid::{
-    ClusterShape, DynamicsAxis, Grid, GridResult, NodeGroup, ParamsAxis, PolicyAxis, RunContext,
-    Scenario, SchedulerSpec, UniformTrace, WorkloadAxis,
+    ClusterShape, DynamicsAxis, Grid, GridResult, MarketAxis, NodeGroup, ParamsAxis, PolicyAxis,
+    RunContext, Scenario, SchedulerSpec, UniformTrace, WorkloadAxis,
 };
 pub use pool::Threads;
 pub use recovery::{crash_and_recover, CrashPlan, CrashPoint, RecoveryOutcome};

@@ -164,6 +164,7 @@ fn build_scheduler(scenario: &Scenario) -> Box<dyn Scheduler> {
         shape: &scenario.shape,
         workload: scenario.workload.name(),
         dynamics: scenario.dynamics.name(),
+        market: scenario.market.name(),
         policy: &scenario.policy.policy,
         params: &scenario.params.params,
         seed: scenario.seed,
@@ -317,7 +318,9 @@ pub fn crash_and_recover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClusterShape, DynamicsAxis, ParamsAxis, PolicyAxis, SchedulerSpec, WorkloadAxis};
+    use crate::{
+        ClusterShape, DynamicsAxis, MarketAxis, ParamsAxis, PolicyAxis, SchedulerSpec, WorkloadAxis,
+    };
     use gfs_types::HOUR;
 
     fn scenario(dynamics: DynamicsAxis, seed: u64) -> Scenario {
@@ -335,6 +338,7 @@ mod tests {
                 },
             ),
             dynamics,
+            market: MarketAxis::none(),
             policy: PolicyAxis::naive(),
             params: ParamsAxis::default_params(),
             seed,

@@ -20,6 +20,11 @@ pub struct CellSummary {
     /// field keeps its pre-redesign name — it is part of the serialized
     /// grid schema, pinned by golden hashes.
     pub faults: String,
+    /// Capacity-market label, `None` for the market-free default —
+    /// omitted from the JSON so market-free grids keep their historical
+    /// golden encoding (use [`CellSummary::market_label`] for display).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub market: Option<String>,
     /// Placement-policy label, `None` for the naive (policy-less) default
     /// — omitted from the JSON so policy-free grids keep their historical
     /// golden encoding (use [`CellSummary::policy_label`] for display).
@@ -37,8 +42,9 @@ pub struct CellSummary {
 
 impl CellSummary {
     /// Builds a cell summary, computing the across-seed statistics. A
-    /// `"naive"` policy label is stored as `None` (the skip-serialized
-    /// default), keeping policy-free grids byte-identical on the wire.
+    /// `"naive"` policy label (and a `"none"` market label) is stored as
+    /// `None` (the skip-serialized default), keeping policy- and
+    /// market-free grids byte-identical on the wire.
     #[allow(clippy::too_many_arguments)] // one arg per grid axis, by design
     #[must_use]
     pub fn new(
@@ -46,6 +52,7 @@ impl CellSummary {
         shape: &str,
         workload: &str,
         faults: &str,
+        market: &str,
         policy: &str,
         params: &str,
         seeds: &[u64],
@@ -57,12 +64,19 @@ impl CellSummary {
             shape: shape.to_string(),
             workload: workload.to_string(),
             faults: faults.to_string(),
+            market: (market != "none").then(|| market.to_string()),
             policy: (policy != "naive").then(|| policy.to_string()),
             params: params.to_string(),
             seeds: seeds.to_vec(),
             runs,
             metrics,
         }
+    }
+
+    /// The capacity-market label (`"none"` for market-free cells).
+    #[must_use]
+    pub fn market_label(&self) -> &str {
+        self.market.as_deref().unwrap_or("none")
     }
 
     /// The placement-policy label (`"naive"` for policy-less cells).
@@ -86,14 +100,15 @@ impl CellSummary {
         self.metric(name).map_or(0.0, |s| s.median)
     }
 
-    /// The `(shape, workload, faults, policy, params)` block key this
-    /// cell belongs to.
+    /// The `(shape, workload, faults, market, policy, params)` block key
+    /// this cell belongs to.
     #[must_use]
-    pub fn block_key(&self) -> (&str, &str, &str, &str, &str) {
+    pub fn block_key(&self) -> (&str, &str, &str, &str, &str, &str) {
         (
             &self.shape,
             &self.workload,
             &self.faults,
+            self.market_label(),
             self.policy_label(),
             &self.params,
         )
@@ -200,24 +215,30 @@ impl GridReport {
     pub fn render_table(&self, metrics: &[&str]) -> String {
         let mut out = String::new();
         let replicated = self.cells.iter().any(|c| c.seeds.len() > 1);
-        let mut block: Option<(&str, &str, &str, &str, &str)> = None;
+        let mut block: Option<(&str, &str, &str, &str, &str, &str)> = None;
         for cell in &self.cells {
             let key = cell.block_key();
             if block != Some(key) {
                 block = Some(key);
                 out.push_str(&format!(
-                    "\n### shape={} workload={} faults={}{} params={}{}\n",
+                    "\n### shape={} workload={} faults={}{}{} params={}{}\n",
                     key.0,
                     key.1,
                     key.2,
-                    // the policy segment appears only on policy grids, so
-                    // policy-free tables render exactly as before
-                    if key.3 == "naive" {
+                    // the market and policy segments appear only on grids
+                    // declaring those axes, so axis-free tables render
+                    // exactly as before
+                    if key.3 == "none" {
                         String::new()
                     } else {
-                        format!(" policy={}", key.3)
+                        format!(" market={}", key.3)
                     },
-                    key.4,
+                    if key.4 == "naive" {
+                        String::new()
+                    } else {
+                        format!(" policy={}", key.4)
+                    },
+                    key.5,
                     if replicated {
                         format!("  (median ±IQR/2 over {} seeds)", cell.seeds.len())
                     } else {
@@ -294,6 +315,10 @@ mod tests {
             migration_count: 0,
             node_drains: 0,
             added_gpus: 0.0,
+            gpu_hours_bought: 0.0,
+            market_spend_usd: 0.0,
+            cost_per_completed_usd: 0.0,
+            stranded_gpu_hours: 0.0,
         }
     }
 
@@ -303,6 +328,7 @@ mod tests {
                 "YARN-CS",
                 "4n",
                 "tiny",
+                "none",
                 "none",
                 "naive",
                 "default",
@@ -340,6 +366,22 @@ mod tests {
     }
 
     #[test]
+    fn market_label_skips_serialization_like_policy() {
+        // a market-free cell keeps the historical wire encoding...
+        let r = report();
+        assert!(!r.to_json().contains("\"market\""));
+        assert_eq!(r.cells[0].market_label(), "none");
+        // ...and a market cell names its axis point in JSON and table
+        let mut market = report();
+        market.cells[0].market = Some("shock3x".to_string());
+        assert!(market.to_json().contains("\"market\":\"shock3x\""));
+        let table = market.render_table(&["hp_mean_jct_s"]);
+        assert!(table.contains(" market=shock3x "), "{table}");
+        let plain = report().render_table(&["hp_mean_jct_s"]);
+        assert!(!plain.contains("market="), "{plain}");
+    }
+
+    #[test]
     fn cell_at_distinguishes_fault_axis() {
         let mut r = report();
         r.cells.push(CellSummary::new(
@@ -347,6 +389,7 @@ mod tests {
             "4n",
             "tiny",
             "churny",
+            "none",
             "naive",
             "default",
             &[1, 2],

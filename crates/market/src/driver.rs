@@ -1,0 +1,470 @@
+//! The market loop: steps a [`ClusterService`] while consulting a
+//! [`CapacityController`] at every decision boundary.
+//!
+//! # Determinism and crash recovery
+//!
+//! Boundaries sit at multiples of the controller interval. The driver
+//! decides *before* stepping whenever the service clock has reached the
+//! next boundary, and every decision is admitted through
+//! [`ClusterService::admit_plan`] — the same write-ahead-journaled path
+//! task arrivals use. Combined with the controller purity contract and
+//! the pure price process, a crashed market run recovers exactly like
+//! any other service run: restore the last snapshot, replay the journal
+//! suffix (which re-admits every already-decided plan), then
+//! [`MarketDriver::resume`] a fresh driver — it skips boundaries at or
+//! before the recovered clock and picks the meter up from the cost
+//! accumulators the driver checkpoints into the report at every
+//! boundary. The continuation is bit-identical to the uninterrupted run.
+
+use gfs_cluster::{Cluster, Scheduler};
+use gfs_sim::{ClusterService, SimConfig, SimReport};
+use gfs_types::{ClusterEvent, DynamicsPlan, GpuModel, SimDuration, SimTime, TaskSpec, HOUR};
+
+use crate::controller::{
+    CapacityController, ForecastController, ForecastParams, MarketAction, MarketView,
+    PassiveController,
+};
+use crate::meter::CostMeter;
+use crate::price::{PriceProcess, PriceShock};
+
+/// One action the driver actually admitted, for audit and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedAction {
+    /// Decision instant.
+    pub at: SimTime,
+    /// The action.
+    pub action: MarketAction,
+}
+
+/// Drives a service to completion under a capacity controller.
+pub struct MarketDriver {
+    controller: Box<dyn CapacityController>,
+    prices: PriceProcess,
+    fleet_origin: u32,
+    interval: SimDuration,
+    next_boundary: SimTime,
+    meter: CostMeter,
+    actions: Vec<AppliedAction>,
+}
+
+impl MarketDriver {
+    /// A driver for a fresh (not yet crashed) run. Must be built before
+    /// the service applies any scale-out so the initial fleet size is
+    /// the market's ownership origin.
+    #[must_use]
+    pub fn new(
+        controller: Box<dyn CapacityController>,
+        prices: PriceProcess,
+        svc: &ClusterService,
+    ) -> Self {
+        let interval = controller.interval_secs().max(1);
+        MarketDriver {
+            fleet_origin: svc.cluster().nodes().len() as u32,
+            interval,
+            next_boundary: SimTime::from_secs(interval),
+            meter: CostMeter::new(interval),
+            controller,
+            prices,
+            actions: Vec::new(),
+        }
+    }
+
+    /// A driver resuming a *recovered* service (snapshot restored and
+    /// journal suffix replayed). `fleet_origin` is the initial fleet
+    /// size of the original run — it cannot be observed from the
+    /// recovered cluster, which already contains bought nodes. Boundaries
+    /// at or before the recovered clock are skipped (their plans came
+    /// back with the journal) and the meter resumes from the cost
+    /// accumulators checkpointed in the report.
+    #[must_use]
+    pub fn resume(
+        controller: Box<dyn CapacityController>,
+        prices: PriceProcess,
+        svc: &ClusterService,
+        fleet_origin: u32,
+    ) -> Self {
+        let interval = controller.interval_secs().max(1);
+        let k = svc.now().as_secs() / interval;
+        MarketDriver {
+            fleet_origin,
+            interval,
+            next_boundary: SimTime::from_secs((k + 1) * interval),
+            meter: CostMeter::resume(svc.report(), svc.now(), interval),
+            controller,
+            prices,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The market's ownership origin: nodes with an id at or above this
+    /// were bought by the market.
+    #[must_use]
+    pub fn fleet_origin(&self) -> u32 {
+        self.fleet_origin
+    }
+
+    /// Every action admitted so far, in decision order.
+    #[must_use]
+    pub fn actions(&self) -> &[AppliedAction] {
+        &self.actions
+    }
+
+    /// The running cost meter.
+    #[must_use]
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Demand estimate for a boundary: the scheduler's upper-quantile
+    /// forecast where available, floored by the windowed-arrival
+    /// estimate (a forecast trained on a short history must not argue
+    /// the observed backlog away); the window estimate alone otherwise.
+    fn demand(&self, svc: &ClusterService, scheduler: &dyn Scheduler) -> (f64, bool) {
+        let (p, h) = self.controller.forecast_query();
+        let window = windowed_arrival_gpus(svc.report(), svc.now(), h as u64 * HOUR);
+        match scheduler.demand_forecast(p, h) {
+            Some(f) => (f.max(window), true),
+            None => (window, false),
+        }
+    }
+
+    /// Processes one decision boundary: accrue costs up to the nominal
+    /// boundary, consult the controller, admit its actions as a
+    /// journaled plan, checkpoint the meter, and arm the next boundary.
+    fn on_boundary(&mut self, svc: &mut ClusterService, scheduler: &mut dyn Scheduler) {
+        let now = svc.now();
+        let k = now.as_secs() / self.interval;
+        let nominal = SimTime::from_secs(k * self.interval);
+        self.meter
+            .accrue(svc.cluster(), self.fleet_origin, &self.prices, nominal);
+
+        if svc.unfinished() > 0 {
+            let (demand_gpus, forecast_available) = self.demand(svc, scheduler);
+            let view = MarketView {
+                now,
+                cluster: svc.cluster(),
+                demand_gpus,
+                forecast_available,
+                prices: &self.prices,
+                fleet_origin: self.fleet_origin,
+            };
+            let actions = self.controller.decide(&view);
+            if !actions.is_empty() {
+                let mut events = Vec::with_capacity(actions.len());
+                for a in &actions {
+                    match *a {
+                        MarketAction::Buy { template, nodes } => {
+                            for _ in 0..nodes {
+                                events.push(ClusterEvent::add(now, template));
+                            }
+                        }
+                        MarketAction::Release { node, notice_secs } => {
+                            events.push(ClusterEvent::drain(node, now, notice_secs));
+                        }
+                    }
+                    self.actions.push(AppliedAction {
+                        at: now,
+                        action: *a,
+                    });
+                }
+                // per-node histories inside one boundary are trivially
+                // consistent (adds target fresh nodes, releases are
+                // unique non-draining nodes), so skip cross-plan
+                // validation — earlier admissions already own those ids
+                svc.admit_plan(&DynamicsPlan::new_unchecked(events));
+            }
+        }
+
+        self.meter.checkpoint(svc);
+        self.next_boundary = SimTime::from_secs((k + 1) * self.interval);
+    }
+
+    /// Runs the service to completion under the controller, then closes
+    /// the final partial billing segment and writes the cost totals into
+    /// the report (read them from [`ClusterService::finish`]'s
+    /// [`SimReport`]).
+    pub fn drive(&mut self, svc: &mut ClusterService, scheduler: &mut dyn Scheduler) {
+        assert!(svc.is_started(), "start the service before driving");
+        loop {
+            if svc.now() >= self.next_boundary {
+                self.on_boundary(svc, scheduler);
+                continue;
+            }
+            if !svc.step(scheduler) {
+                break;
+            }
+        }
+        self.meter
+            .accrue(svc.cluster(), self.fleet_origin, &self.prices, svc.now());
+        self.meter.checkpoint(svc);
+    }
+
+    /// Like [`MarketDriver::drive`], but stops (returning `true`) once
+    /// `svc.steps()` reaches `max_steps` — the hook crash-injection
+    /// tests use to park a run mid-flight at a deterministic point with
+    /// all due boundaries processed. Returns `false` when the run ended
+    /// before the step budget.
+    pub fn drive_until_step(
+        &mut self,
+        svc: &mut ClusterService,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> bool {
+        assert!(svc.is_started(), "start the service before driving");
+        loop {
+            if svc.now() >= self.next_boundary {
+                self.on_boundary(svc, scheduler);
+                continue;
+            }
+            if svc.steps() >= max_steps {
+                return true;
+            }
+            if !svc.step(scheduler) {
+                break;
+            }
+        }
+        self.meter
+            .accrue(svc.cluster(), self.fleet_origin, &self.prices, svc.now());
+        self.meter.checkpoint(svc);
+        false
+    }
+}
+
+/// GPU mass the cluster is being asked for, estimated from the task
+/// record stream alone: cards of every unfinished task (queued or
+/// running) plus cards of tasks submitted inside the trailing window
+/// (recently-arrived work that may already have finished). This is the
+/// fallback demand signal for schedulers without a forecasting loop.
+#[must_use]
+pub fn windowed_arrival_gpus(report: &SimReport, now: SimTime, window_secs: u64) -> f64 {
+    let cutoff = SimTime::from_secs(now.as_secs().saturating_sub(window_secs));
+    report
+        .tasks
+        .iter()
+        .filter(|t| t.finish.is_none() || t.submit >= cutoff)
+        .map(|t| t.total_gpus)
+        .sum()
+}
+
+/// Declarative market configuration: what the lab's `MarketAxis` (and
+/// anything else that wants "a market" without hand-wiring the parts)
+/// expands into a price process + controller per run.
+#[derive(Debug, Clone)]
+pub struct MarketSpec {
+    /// Walk amplitude per hour as a fraction of baseline (0 = fixed
+    /// prices).
+    pub vol: f64,
+    /// Shock schedule applied on top of the walk.
+    pub shocks: Vec<PriceShock>,
+    /// The capacity policy.
+    pub controller: ControllerSpec,
+}
+
+/// Which controller a [`MarketSpec`] builds.
+#[derive(Debug, Clone)]
+pub enum ControllerSpec {
+    /// Meter-only: bill whatever the dynamics plan does, decide nothing.
+    Passive,
+    /// The closed-loop forecast follower.
+    Forecast(ForecastParams),
+}
+
+impl MarketSpec {
+    /// Fixed-price passive market: pure cost accounting at on-demand
+    /// rates (plus any shocks added later).
+    #[must_use]
+    pub fn fixed_price() -> Self {
+        MarketSpec {
+            vol: 0.0,
+            shocks: Vec::new(),
+            controller: ControllerSpec::Passive,
+        }
+    }
+
+    /// Fixed-price market run by the forecast controller.
+    #[must_use]
+    pub fn forecast(params: ForecastParams) -> Self {
+        MarketSpec {
+            vol: 0.0,
+            shocks: Vec::new(),
+            controller: ControllerSpec::Forecast(params),
+        }
+    }
+
+    /// Enables the seeded mean-reverting walk at amplitude `vol`.
+    #[must_use]
+    pub fn with_vol(mut self, vol: f64) -> Self {
+        self.vol = vol.max(0.0);
+        self
+    }
+
+    /// Attaches a shock schedule.
+    #[must_use]
+    pub fn with_shocks(mut self, shocks: Vec<PriceShock>) -> Self {
+        self.shocks = shocks;
+        self
+    }
+
+    /// The price process for one run: one walk stream per
+    /// `(seed, model)`.
+    #[must_use]
+    pub fn build_prices(&self, seed: u64) -> PriceProcess {
+        let p = if self.vol > 0.0 {
+            PriceProcess::walk(seed).with_vol(self.vol)
+        } else {
+            PriceProcess::fixed()
+        };
+        p.with_shocks(self.shocks.clone())
+    }
+
+    /// The controller for one run.
+    #[must_use]
+    pub fn build_controller(&self) -> Box<dyn CapacityController> {
+        match &self.controller {
+            ControllerSpec::Passive => Box::new(PassiveController),
+            ControllerSpec::Forecast(params) => Box::new(ForecastController::new(*params)),
+        }
+    }
+}
+
+/// Runs a trace against a scheduler on a cluster *under a market*: the
+/// market analogue of `gfs_sim::run`. Deterministic: identical inputs
+/// (including `seed`, which seeds the price walk) produce identical
+/// reports, with the cost fields filled in.
+pub fn run(
+    cluster: Cluster,
+    scheduler: &mut dyn Scheduler,
+    tasks: Vec<TaskSpec>,
+    cfg: &SimConfig,
+    spec: &MarketSpec,
+    seed: u64,
+) -> SimReport {
+    let mut svc = ClusterService::new(cluster, cfg.clone());
+    let mut driver = MarketDriver::new(spec.build_controller(), spec.build_prices(seed), &svc);
+    svc.admit_tasks(tasks);
+    svc.start();
+    driver.drive(&mut svc, scheduler);
+    svc.finish()
+}
+
+/// A shock schedule for the canonical "spike mid-run" scenario: `model`
+/// costs `factor`× between `from_hour` and `from_hour + hours`.
+#[must_use]
+pub fn spike(model: GpuModel, from_hour: u64, hours: u64, factor: f64) -> Vec<PriceShock> {
+    vec![PriceShock {
+        at: SimTime::from_hours(from_hour),
+        model,
+        factor,
+        duration_secs: hours * HOUR,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_sched::YarnCs;
+    use gfs_types::{GpuDemand, NodeTemplate, Priority};
+
+    fn tasks(n: u64, gpus: u32, dur: u64, stagger: u64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| {
+                TaskSpec::builder(i + 1)
+                    .priority(Priority::Hp)
+                    .gpus_per_pod(GpuDemand::whole(gpus))
+                    .duration_secs(dur)
+                    .submit_at(SimTime::from_secs(i * stagger))
+                    .build()
+                    .expect("valid")
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            max_time_secs: Some(48 * HOUR),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn passive_market_changes_no_scheduling_but_reports_zero_costs() {
+        // no bought nodes → nothing billed, and the report matches the
+        // plain engine byte for byte
+        let cluster = Cluster::homogeneous(4, GpuModel::A100, 8);
+        let t = tasks(12, 4, 2 * HOUR, 600);
+        let mut a = YarnCs::new();
+        let plain = gfs_sim::run(cluster.clone(), &mut a, t.clone(), &small_cfg());
+        let mut b = YarnCs::new();
+        let market = run(
+            cluster,
+            &mut b,
+            t,
+            &small_cfg(),
+            &MarketSpec::fixed_price(),
+            1,
+        );
+        assert_eq!(gfs_sim::report_hash(&plain), gfs_sim::report_hash(&market));
+        assert_eq!(market.market_spend_usd, 0.0);
+        assert_eq!(market.gpu_hours_bought, 0.0);
+    }
+
+    #[test]
+    fn forecast_market_buys_under_load_and_meters_spend() {
+        // 1 node, heavy backlog → the controller must buy
+        let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+        let t = tasks(24, 8, 4 * HOUR, 300);
+        let mut sched = YarnCs::new();
+        let spec = MarketSpec::forecast(ForecastParams {
+            template: NodeTemplate {
+                model: GpuModel::A100,
+                gpus: 8,
+            },
+            ..ForecastParams::default()
+        });
+        let report = run(cluster, &mut sched, t, &small_cfg(), &spec, 3);
+        assert!(report.nodes_added > 0, "controller bought nothing");
+        assert!(report.gpu_hours_bought > 0.0);
+        assert!(report.market_spend_usd > 0.0);
+        assert!(report.summary().cost_per_completed_usd > 0.0);
+    }
+
+    #[test]
+    fn market_runs_are_deterministic() {
+        let cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        let t = tasks(16, 8, 3 * HOUR, 900);
+        let spec = MarketSpec::forecast(ForecastParams::default()).with_vol(0.1);
+        let mut s1 = YarnCs::new();
+        let r1 = run(cluster.clone(), &mut s1, t.clone(), &small_cfg(), &spec, 42);
+        let mut s2 = YarnCs::new();
+        let r2 = run(cluster, &mut s2, t, &small_cfg(), &spec, 42);
+        assert_eq!(gfs_sim::report_hash(&r1), gfs_sim::report_hash(&r2));
+    }
+
+    #[test]
+    fn windowed_arrivals_cover_backlog_and_recent_work() {
+        let mut report = SimReport::default();
+        let mut rec = |id: u64, submit: u64, finish: Option<u64>| {
+            report.tasks.push(gfs_sim::TaskRecord {
+                id: gfs_types::TaskId::new(id),
+                priority: Priority::Hp,
+                org: gfs_types::OrgId::new(0),
+                total_gpus: 8.0,
+                pods: 1,
+                work_secs: HOUR,
+                submit: SimTime::from_secs(submit),
+                first_start: None,
+                finish: finish.map(SimTime::from_secs),
+                queued_secs: 0,
+                runs: 0,
+                evictions: 0,
+                displacements: 0,
+                migrations: 0,
+            });
+        };
+        rec(1, 0, Some(HOUR)); // old, finished → not counted
+        rec(2, 0, None); // old backlog → counted
+        rec(3, 9 * HOUR, Some(10 * HOUR)); // recent, finished → counted
+        let demand = windowed_arrival_gpus(&report, SimTime::from_hours(10), 2 * HOUR);
+        assert_eq!(demand, 16.0);
+    }
+}

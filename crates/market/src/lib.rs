@@ -1,0 +1,104 @@
+//! `gfs_market` — closed-loop capacity market for the GFS simulator.
+//!
+//! ROADMAP item 3 turned into a subsystem: instead of a *time-driven*
+//! autoscale timeline fixed before the run, capacity decisions close the
+//! loop on the scheduler's own demand forecast (the GDE's Eq. 9 upper
+//! quantiles, tapped through
+//! [`gfs_cluster::Scheduler::demand_forecast`]) and on a spot-price
+//! signal, while a cost meter turns the fleet history into the §4.3
+//! economics (GPU-hours bought, spend, cost per completed job, stranded
+//! capacity).
+//!
+//! # The loop
+//!
+//! ```text
+//!             quotes                    forecast / arrivals
+//!   PriceProcess ──► CapacityController ◄── Scheduler / SimReport
+//!                        │ decide (pure, per boundary)
+//!                        ▼
+//!            Buy / Release  ──►  DynamicsPlan ──► ClusterService::admit_plan
+//!                                                  (write-ahead journaled)
+//!                        ▲                               │
+//!                        └────────── MarketDriver ◄──────┘
+//!                                      │ CostMeter accrual
+//!                                      ▼
+//!                        SimReport cost fields (skip-at-zero)
+//! ```
+//!
+//! [`MarketDriver::drive`] steps the service; at every multiple of the
+//! controller's interval it builds a [`MarketView`] (cluster, demand
+//! estimate, quotes), asks the controller to [`CapacityController::decide`],
+//! and admits the answer as `AddNode`/`Drain` events through the
+//! service's journaled admission path. [`CostMeter`] integrates bought
+//! capacity, spend and stranded (idle bought) GPU-hours on the same
+//! boundary grid and checkpoints the totals into the report.
+//!
+//! # Price process
+//!
+//! [`PriceProcess`] quotes per-model spot prices: a mean-reverting walk
+//! on an hourly grid around [`gfs_types::GpuModel::hourly_price_usd`],
+//! multiplied by any active declarative [`PriceShock`]s. Quotes are a
+//! pure function of `(seed, model, time)`.
+//!
+//! # Determinism rules
+//!
+//! 1. **One price stream per `(seed, model)`** — streams are derived by
+//!    mixing the model index into the run seed with a constant disjoint
+//!    from the dynamics generators', so price paths never correlate with
+//!    failure schedules.
+//! 2. **Controllers are pure** — [`CapacityController::decide`] sees
+//!    only its [`MarketView`]; no interior state, clocks or randomness.
+//! 3. **Decisions ride the journal** — every action is admitted via
+//!    [`gfs_sim::ClusterService::admit_plan`], so a crash recovers as
+//!    snapshot + journal replay and [`MarketDriver::resume`] continues
+//!    bit-identically (spend metrics included — the meter resumes from
+//!    the accumulators checkpointed into the report at every boundary).
+//!
+//! # Example
+//!
+//! ```
+//! use gfs_cluster::Cluster;
+//! use gfs_market::{ForecastParams, MarketSpec};
+//! use gfs_sim::SimConfig;
+//! use gfs_types::{GpuDemand, GpuModel, Priority, SimTime, TaskSpec, HOUR};
+//!
+//! let cluster = Cluster::homogeneous(1, GpuModel::A100, 8);
+//! let tasks: Vec<TaskSpec> = (0..8)
+//!     .map(|i| {
+//!         TaskSpec::builder(i + 1)
+//!             .priority(Priority::Hp)
+//!             .gpus_per_pod(GpuDemand::whole(8))
+//!             .duration_secs(2 * HOUR)
+//!             .submit_at(SimTime::from_secs(i * 600))
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let cfg = SimConfig { max_time_secs: Some(48 * HOUR), ..SimConfig::default() };
+//! let mut sched = gfs_sched::YarnCs::new();
+//! let spec = MarketSpec::forecast(ForecastParams::default());
+//! let report = gfs_market::run(cluster, &mut sched, tasks, &cfg, &spec, 7);
+//! assert!(report.market_spend_usd > 0.0, "the backlog forces a buy");
+//! ```
+//!
+//! (see `examples/spot_market.rs` in the workspace root for a complete
+//! scenario: a 3× A100 price spike mid maintenance wave, comparing
+//! schedulers on cost per completed job and stranded capacity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod driver;
+mod meter;
+mod price;
+
+pub use controller::{
+    release_is_safe, CapacityController, ForecastController, ForecastParams, MarketAction,
+    MarketView, PassiveController,
+};
+pub use driver::{
+    run, spike, windowed_arrival_gpus, AppliedAction, ControllerSpec, MarketDriver, MarketSpec,
+};
+pub use meter::{on_demand_cost_usd, CostMeter, HOURS_PER_MONTH};
+pub use price::{PriceProcess, PriceShock};

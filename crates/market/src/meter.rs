@@ -1,0 +1,218 @@
+//! Cost accounting for market-bought capacity.
+//!
+//! [`CostMeter`] integrates three series over simulated time for every
+//! market-owned node (id at or above the fleet origin) that is up and
+//! not draining:
+//!
+//! - **GPU-hours bought** — cards × hours on the books,
+//! - **spend (USD)** — the same integral weighted by the spot quote at
+//!   each accrual segment's start,
+//! - **stranded GPU-hours** — the idle subset of the bought cards:
+//!   capacity paid for but not allocated to any task.
+//!
+//! Accrual happens on the controller's nominal decision grid (multiples
+//! of the interval), with the final partial segment closed at the end of
+//! the run. Fleet state is observed at accrual time, so the integral is
+//! a pure function of the service's (deterministic) state at the
+//! boundaries — which is what lets a recovered run resume the meter from
+//! the accumulators checkpointed in the report (see
+//! [`CostMeter::resume`]) and still land on bit-identical totals.
+
+use gfs_cluster::{Cluster, Node};
+use gfs_sim::SimReport;
+use gfs_types::{SimDuration, SimTime};
+
+use crate::price::PriceProcess;
+
+/// Running cost integrals of one market run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMeter {
+    interval: SimDuration,
+    last: SimTime,
+    gpu_hours: f64,
+    spend_usd: f64,
+    stranded_gpu_hours: f64,
+}
+
+impl CostMeter {
+    /// A fresh meter accruing from `t = 0` on the given decision grid.
+    #[must_use]
+    pub fn new(interval_secs: SimDuration) -> Self {
+        CostMeter {
+            interval: interval_secs.max(1),
+            last: SimTime::ZERO,
+            gpu_hours: 0.0,
+            spend_usd: 0.0,
+            stranded_gpu_hours: 0.0,
+        }
+    }
+
+    /// Resumes a meter from a recovered service: accumulators come from
+    /// the cost fields the driver checkpoints into the report at every
+    /// boundary, and the accrual cursor restarts at the last nominal
+    /// boundary at or before `now` (the driver guarantees snapshots are
+    /// only taken with boundaries ≤ `now` fully accrued).
+    #[must_use]
+    pub fn resume(report: &SimReport, now: SimTime, interval_secs: SimDuration) -> Self {
+        let interval = interval_secs.max(1);
+        CostMeter {
+            interval,
+            last: SimTime::from_secs((now.as_secs() / interval) * interval),
+            gpu_hours: report.gpu_hours_bought,
+            spend_usd: report.market_spend_usd,
+            stranded_gpu_hours: report.stranded_gpu_hours,
+        }
+    }
+
+    /// Accrues all complete nominal segments up to `upto`, plus the final
+    /// partial segment when `upto` is off-grid (end of run). Billable
+    /// nodes are the market-owned ones currently up and not draining —
+    /// released nodes stop billing at the release decision.
+    pub fn accrue(
+        &mut self,
+        cluster: &Cluster,
+        fleet_origin: u32,
+        prices: &PriceProcess,
+        upto: SimTime,
+    ) {
+        while self.last < upto {
+            let next = SimTime::from_secs(
+                (self.last.as_secs() + self.interval)
+                    .min(upto.as_secs())
+                    .min((self.last.as_secs() / self.interval + 1) * self.interval),
+            );
+            let dt_hours = next.since(self.last) as f64 / 3_600.0;
+            for n in billable(cluster, fleet_origin) {
+                let gpus = f64::from(n.total_gpus());
+                self.gpu_hours += gpus * dt_hours;
+                self.spend_usd += gpus * dt_hours * prices.price(n.model(), self.last);
+                self.stranded_gpu_hours += f64::from(n.idle_gpus()) * dt_hours;
+            }
+            self.last = next;
+        }
+    }
+
+    /// GPU-hours bought so far.
+    #[must_use]
+    pub fn gpu_hours(&self) -> f64 {
+        self.gpu_hours
+    }
+
+    /// Spend so far, USD.
+    #[must_use]
+    pub fn spend_usd(&self) -> f64 {
+        self.spend_usd
+    }
+
+    /// Stranded (idle bought) GPU-hours so far.
+    #[must_use]
+    pub fn stranded_gpu_hours(&self) -> f64 {
+        self.stranded_gpu_hours
+    }
+
+    /// The accrual cursor (last fully-billed instant).
+    #[must_use]
+    pub fn accrued_to(&self) -> SimTime {
+        self.last
+    }
+
+    /// Writes the accumulators into a service's report (absolute values,
+    /// so re-writing is idempotent).
+    pub fn checkpoint(&self, svc: &mut gfs_sim::ClusterService) {
+        svc.record_market_costs(self.gpu_hours, self.spend_usd, self.stranded_gpu_hours);
+    }
+}
+
+fn billable(cluster: &Cluster, fleet_origin: u32) -> impl Iterator<Item = &Node> {
+    cluster
+        .nodes()
+        .iter()
+        .filter(move |n| n.id().raw() >= fleet_origin && n.is_up() && !n.is_draining())
+}
+
+/// Hours in the §4.3 accounting month (30 days).
+pub const HOURS_PER_MONTH: f64 = 720.0;
+
+/// On-demand cost of `gpu_hours` GPU-hours of `model` capacity, USD —
+/// the single pricing path shared by the market meter's baseline and the
+/// Fig. 9 / §4.3 deployment economics.
+#[must_use]
+pub fn on_demand_cost_usd(model: gfs_types::GpuModel, gpu_hours: f64) -> f64 {
+    gpu_hours * model.hourly_price_usd()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfs_types::{GpuModel, HOUR};
+
+    #[test]
+    fn meter_bills_only_market_nodes() {
+        let mut cluster = Cluster::homogeneous(2, GpuModel::A100, 8);
+        cluster.add_node(GpuModel::A100, 8); // node 2: market-owned
+        let prices = PriceProcess::fixed();
+        let mut meter = CostMeter::new(HOUR);
+        meter.accrue(&cluster, 2, &prices, SimTime::from_hours(2));
+        assert_eq!(meter.gpu_hours(), 16.0);
+        assert_eq!(meter.spend_usd(), 16.0 * GpuModel::A100.hourly_price_usd());
+        // the whole bought node is idle → everything is stranded
+        assert_eq!(meter.stranded_gpu_hours(), 16.0);
+    }
+
+    #[test]
+    fn accrual_is_segmented_on_the_nominal_grid() {
+        let mut cluster = Cluster::homogeneous(0, GpuModel::A10, 1);
+        cluster.add_node(GpuModel::A10, 1);
+        // price doubles from hour 1 on
+        let prices = PriceProcess::fixed().with_shocks(vec![crate::PriceShock {
+            at: SimTime::from_hours(1),
+            model: GpuModel::A10,
+            factor: 2.0,
+            duration_secs: 100 * HOUR,
+        }]);
+        let mut meter = CostMeter::new(HOUR);
+        meter.accrue(&cluster, 0, &prices, SimTime::from_secs(2 * HOUR + 1_800));
+        let base = GpuModel::A10.hourly_price_usd();
+        // hour 0 at base, hour 1 at 2×, half an hour at 2×
+        let expect = base + 2.0 * base + 0.5 * 2.0 * base;
+        assert!((meter.spend_usd() - expect).abs() < 1e-9);
+        assert!((meter.gpu_hours() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn draining_and_down_nodes_stop_billing() {
+        let mut cluster = Cluster::homogeneous(0, GpuModel::A100, 8);
+        let a = cluster.add_node(GpuModel::A100, 8);
+        cluster.add_node(GpuModel::A100, 8);
+        cluster
+            .drain_node(a, SimTime::from_hours(5))
+            .expect("drains");
+        let prices = PriceProcess::fixed();
+        let mut meter = CostMeter::new(HOUR);
+        meter.accrue(&cluster, 0, &prices, SimTime::from_hours(1));
+        assert_eq!(meter.gpu_hours(), 8.0, "only the non-draining node bills");
+    }
+
+    #[test]
+    fn resume_restores_accumulators_and_cursor() {
+        let report = SimReport {
+            gpu_hours_bought: 12.0,
+            market_spend_usd: 30.0,
+            stranded_gpu_hours: 2.0,
+            ..SimReport::default()
+        };
+        let m = CostMeter::resume(&report, SimTime::from_secs(7 * HOUR + 120), HOUR);
+        assert_eq!(m.gpu_hours(), 12.0);
+        assert_eq!(m.spend_usd(), 30.0);
+        assert_eq!(m.stranded_gpu_hours(), 2.0);
+        assert_eq!(m.accrued_to(), SimTime::from_hours(7));
+    }
+
+    #[test]
+    fn on_demand_cost_matches_price_table() {
+        assert_eq!(
+            on_demand_cost_usd(GpuModel::H800, 10.0),
+            10.0 * GpuModel::H800.hourly_price_usd()
+        );
+    }
+}

@@ -116,6 +116,21 @@ pub struct SimReport {
     /// GPU cards added by scale-out events.
     #[serde(skip_serializing_if = "is_zero_u64", default)]
     pub gpus_added: u64,
+    /// GPU-hours purchased on the capacity market (`gfs_market`): the
+    /// time-integral of market-bought cards over the run. Like the other
+    /// extension fields, the cost metrics below are omitted from the JSON
+    /// at their zero defaults so market-free reports keep their
+    /// historical golden encoding byte for byte.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub gpu_hours_bought: f64,
+    /// Total spend in USD on market capacity (spot price integrated over
+    /// the bought GPU-hours).
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub market_spend_usd: f64,
+    /// Bought GPU-hours that sat idle (stranded capacity): paid for but
+    /// never allocated to a task.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub stranded_gpu_hours: f64,
 }
 
 fn is_zero_u32(v: &u32) -> bool {
@@ -289,6 +304,19 @@ impl SimReport {
             .collect()
     }
 
+    /// Market spend divided by completed tasks: USD per completed job,
+    /// the paper's §4.3 "cost per completed JCT" economics condensed to
+    /// one scalar (0 when nothing was bought or nothing completed).
+    #[must_use]
+    pub fn cost_per_completed_usd(&self) -> f64 {
+        let completed = self.tasks.iter().filter(|t| t.completed()).count();
+        if completed == 0 || self.market_spend_usd == 0.0 {
+            0.0
+        } else {
+            self.market_spend_usd / completed as f64
+        }
+    }
+
     /// Condenses the report into the scalar metrics the experiment layer
     /// aggregates across seeds (`gfs::lab` never reaches into raw fields).
     #[must_use]
@@ -316,6 +344,10 @@ impl SimReport {
             migration_count: self.migration_count(),
             node_drains: self.node_drains,
             added_gpus: self.gpus_added as f64,
+            gpu_hours_bought: self.gpu_hours_bought,
+            market_spend_usd: self.market_spend_usd,
+            cost_per_completed_usd: self.cost_per_completed_usd(),
+            stranded_gpu_hours: self.stranded_gpu_hours,
         }
     }
 }
@@ -375,6 +407,20 @@ pub struct RunSummary {
     /// GPU cards added by scale-out events.
     #[serde(skip_serializing_if = "is_zero_f64", default)]
     pub added_gpus: f64,
+    /// GPU-hours bought on the capacity market. Like the dynamics fields
+    /// above, the cost metrics skip serialization at their zero defaults
+    /// so market-free summaries keep their historical encoding.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub gpu_hours_bought: f64,
+    /// Total market spend, USD.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub market_spend_usd: f64,
+    /// Market spend per completed task, USD.
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub cost_per_completed_usd: f64,
+    /// Bought GPU-hours that sat idle (stranded capacity).
+    #[serde(skip_serializing_if = "is_zero_f64", default)]
+    pub stranded_gpu_hours: f64,
 }
 
 impl RunSummary {
@@ -384,10 +430,16 @@ impl RunSummary {
     /// of static or fault-only grids keep their historical encoding.
     pub const DYNAMICS_METRICS_START: usize = 17;
 
+    /// Index of the first capacity-market cost metric inside
+    /// [`RunSummary::METRICS`]. Suppressed from aggregation rows exactly
+    /// like the dynamics extension when every run reports zero, so
+    /// market-free grids keep their historical encoding.
+    pub const COST_METRICS_START: usize = 20;
+
     /// Names of every scalar metric, in the order [`RunSummary::values`]
     /// returns them. The experiment layer uses this single source of truth
     /// for aggregation, JSON keys and table headers.
-    pub const METRICS: [&'static str; 20] = [
+    pub const METRICS: [&'static str; 24] = [
         "hp_completion",
         "spot_completion",
         "hp_mean_jct_s",
@@ -408,11 +460,15 @@ impl RunSummary {
         "migration_count",
         "node_drains",
         "added_gpus",
+        "gpu_hours_bought",
+        "market_spend_usd",
+        "cost_per_completed_usd",
+        "stranded_gpu_hours",
     ];
 
     /// The scalar metric values in [`RunSummary::METRICS`] order.
     #[must_use]
-    pub fn values(&self) -> [f64; 20] {
+    pub fn values(&self) -> [f64; 24] {
         [
             self.hp_completion,
             self.spot_completion,
@@ -434,6 +490,10 @@ impl RunSummary {
             self.migration_count as f64,
             self.node_drains as f64,
             self.added_gpus,
+            self.gpu_hours_bought,
+            self.market_spend_usd,
+            self.cost_per_completed_usd,
+            self.stranded_gpu_hours,
         ]
     }
 
@@ -557,7 +617,10 @@ mod tests {
                 && !json.contains("node_downs")
                 && !json.contains("migration")
                 && !json.contains("node_drains")
-                && !json.contains("added"),
+                && !json.contains("added")
+                && !json.contains("bought")
+                && !json.contains("spend")
+                && !json.contains("stranded"),
             "zero-dynamics reports must keep the historical encoding: {json}"
         );
         // and the fields round-trip through their defaults
@@ -593,6 +656,22 @@ mod tests {
         assert_eq!(back.summary().added_gpus, 8.0);
         assert_eq!(back.summary().node_drains, 2);
         assert_eq!(back.summary().migration_count, 1);
+
+        // the market cost fields round-trip the same way
+        let mut priced = back;
+        priced.gpu_hours_bought = 96.0;
+        priced.market_spend_usd = 288.0;
+        priced.stranded_gpu_hours = 4.5;
+        let json = serde_json::to_string(&priced).unwrap();
+        assert!(json.contains("\"gpu_hours_bought\":96"));
+        assert!(json.contains("\"market_spend_usd\":288"));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.summary().gpu_hours_bought, 96.0);
+        assert_eq!(back.summary().market_spend_usd, 288.0);
+        assert_eq!(back.summary().stranded_gpu_hours, 4.5);
+        // one completed task → cost-per-completed is the whole spend
+        assert_eq!(back.cost_per_completed_usd(), 288.0);
+        assert_eq!(back.summary().cost_per_completed_usd, 288.0);
     }
 
     #[test]

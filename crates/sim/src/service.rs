@@ -745,6 +745,23 @@ impl ClusterService {
         &self.report
     }
 
+    /// Records capacity-market cost totals into the report (absolute
+    /// values, so checkpointing the same meter twice is idempotent).
+    /// Market drivers (`gfs_market`) call this at every decision
+    /// boundary; because the report rides the service snapshot, the
+    /// accumulators survive a crash and a recovered driver resumes the
+    /// integral instead of restarting it.
+    pub fn record_market_costs(
+        &mut self,
+        gpu_hours_bought: f64,
+        spend_usd: f64,
+        stranded_gpu_hours: f64,
+    ) {
+        self.report.gpu_hours_bought = gpu_hours_bought;
+        self.report.market_spend_usd = spend_usd;
+        self.report.stranded_gpu_hours = stranded_gpu_hours;
+    }
+
     /// Turns on the write-ahead journal; admissions from here on are
     /// journaled before they are applied. On a freshly-restored service
     /// the journal continues from the snapshot's admission counter.

@@ -1,106 +1,116 @@
-//! Spot-market lifecycle demo: watch the SQA quota, the safety coefficient
-//! `η` and spot evictions evolve hour by hour through a demand surge —
-//! the Fig. 1 scenario that motivates dynamic quotas.
+//! Spot-market walkthrough on the `gfs::market` subsystem: a spot-price
+//! spike lands in the middle of a rolling maintenance wave — the
+//! scenario no static timeline can express — and two schedulers are
+//! compared on what the capacity market actually charges them.
 //!
-//! The scenario is assembled as a single-cell `gfs::lab` grid (custom
-//! trace source + default-GFS scheduler spec) with `keep_reports` so the
-//! raw [`SimReport`] stays available for the hourly timeline below.
+//! The wave drains half the fleet one node at a time, so capacity must
+//! be bought back exactly when the A100 spot price triples. A
+//! price-blind autoscale schedule (the PR-4 baseline, billed by a
+//! passive meter) buys straight through the spike; the closed-loop
+//! forecast controller waits it out, buys cheap on the far side, and
+//! releases nodes the moment the backlog clears. The table prints cost
+//! per completed job and stranded (idle-but-paid) GPU-hours per
+//! scheduler per market.
 //!
 //! ```text
 //! cargo run --release --example spot_market
+//! GFS_MARKET_SMOKE=1 …       # tiny grid for CI (seconds)
 //! ```
 
-use gfs::lab::{ClusterShape, Grid, Threads, WorkloadAxis};
+use gfs::lab::{
+    ClusterShape, DynamicsAxis, Grid, MarketAxis, SchedulerSpec, Threads, WorkloadAxis,
+};
+use gfs::market::{spike, ForecastParams, MarketSpec};
 use gfs::prelude::*;
-use gfs::scenario;
-use gfs_types::CheckpointPlan;
-
-/// Builds a surge workload: calm HP background, then an HP burst between
-/// hours 8–10 that squeezes the spot pool.
-fn surge_workload() -> Vec<TaskSpec> {
-    let mut tasks = Vec::new();
-    let mut id = 0u64;
-    let mut push = |tasks: &mut Vec<TaskSpec>, priority, gpus: u32, submit_h: u64, dur_h: u64| {
-        id += 1;
-        let mut b = TaskSpec::builder(id)
-            .priority(priority)
-            .gpus_per_pod(GpuDemand::whole(gpus))
-            .duration_secs(dur_h * HOUR)
-            .submit_at(SimTime::from_secs(submit_h * HOUR + (id * 37) % HOUR))
-            .checkpoint(CheckpointPlan::Periodic { interval: 1_800 });
-        if priority == Priority::Spot {
-            b = b.guarantee_secs(HOUR);
-        }
-        tasks.push(b.build().expect("valid task"));
-    };
-
-    for h in 0..24 {
-        // steady HP trickle: ~24 GPUs/hour for 2-hour jobs
-        for _ in 0..3 {
-            push(&mut tasks, Priority::Hp, 8, h, 2);
-        }
-        // steady spot interest: long 4-GPU batch jobs
-        for _ in 0..4 {
-            push(&mut tasks, Priority::Spot, 4, h, 6);
-        }
-    }
-    // the surge: 3× HP demand in hours 8-10
-    for h in 8..10 {
-        for _ in 0..8 {
-            push(&mut tasks, Priority::Hp, 8, h, 3);
-        }
-    }
-    tasks.sort_by_key(|t| (t.submit_at, t.id));
-    tasks
-}
 
 fn main() {
-    let grid = Grid::new()
-        .scheduler(scenario::gfs_no_gde_spec())
-        .shape(ClusterShape::a100(16, 8).named("surge-pool")) // 128 GPUs
-        .workload(WorkloadAxis::new("hp-surge", |_, _| surge_workload()))
-        .sim(SimConfig {
-            max_time_secs: Some(3 * 24 * HOUR),
-            ..SimConfig::default()
-        })
-        .keep_reports(true);
-    let result = grid.run(Threads::Auto);
-    let report = &result.sim_reports[0][0];
-    println!("surge workload: {} tasks on 128 GPUs\n", report.tasks.len());
+    let smoke = std::env::var("GFS_MARKET_SMOKE").is_ok_and(|v| v != "0");
+    let (nodes, hp, spot, seeds): (u32, usize, usize, Vec<u64>) = if smoke {
+        (4, 16, 4, vec![1])
+    } else {
+        (8, 48, 16, vec![1, 2, 3])
+    };
+    let horizon_h = if smoke { 4 } else { 10 };
+    let sim_horizon = (horizon_h + 60) * HOUR;
 
-    // hourly picture: allocation + evictions
-    let ev_ratio = report.hourly_eviction_ratio();
-    println!("hour | alloc%  hp%  spot% | evictions");
-    for s in report.alloc_samples.iter().take(26) {
-        let h = s.at.as_hours() as usize;
-        let evs = report
-            .eviction_times
-            .iter()
-            .filter(|t| t.as_hours() as usize == h)
-            .count();
-        let marker = if (8..10).contains(&h) {
-            "  <-- HP surge"
-        } else {
-            ""
-        };
+    // maintenance wave: half the fleet drains one node per half hour
+    // from hour 1, each node out for two hours
+    let wave_len = nodes / 2;
+    let wave = DynamicsAxis::new("halfwave", move |_, _| {
+        DynamicsPlan::rolling_drain(wave_len, SimTime::from_hours(1), HOUR / 2, 1_800, 2 * HOUR)
+    });
+
+    // ...and the A100 spot price triples from hour 2 for four hours,
+    // exactly while the wave bites
+    let shock = spike(GpuModel::A100, 2, 4, 3.0);
+
+    let grid = Grid::new()
+        .schedulers([SchedulerSpec::yarn_cs(), SchedulerSpec::fgd()])
+        .shape(ClusterShape::a100(nodes, 8))
+        .workload(WorkloadAxis::generated(
+            "steady",
+            WorkloadConfig {
+                hp_tasks: hp,
+                spot_tasks: spot,
+                spot_scale: 2.0,
+                horizon_secs: horizon_h * HOUR,
+                ..WorkloadConfig::default()
+            },
+        ))
+        .dynamic(wave)
+        .markets([
+            // price-blind: an autoscale-like fixed buy plan billed by the
+            // passive meter would go here; simplest contrast is the
+            // forecast loop with and without price awareness
+            MarketAxis::new(
+                "priceblind",
+                MarketSpec::forecast(ForecastParams {
+                    max_buy_rel_price: f64::INFINITY, // buys through the spike
+                    max_nodes_per_step: 2,
+                    ..ForecastParams::default()
+                })
+                .with_shocks(shock.clone()),
+            ),
+            MarketAxis::new(
+                "priceaware",
+                MarketSpec::forecast(ForecastParams {
+                    max_nodes_per_step: 2,
+                    ..ForecastParams::default() // waits out rel price > 1.5
+                })
+                .with_shocks(shock),
+            ),
+        ])
+        .seeds(seeds)
+        .sim(SimConfig {
+            max_time_secs: Some(sim_horizon),
+            ..SimConfig::default()
+        });
+
+    let result = grid.run(Threads::Auto);
+    println!("spot-price spike (3x, hours 2-6) mid maintenance wave, {nodes} nodes\n");
+    println!(
+        "{}",
+        result.report.render_table(&[
+            "hp_mean_jct_s",
+            "gpu_hours_bought",
+            "market_spend_usd",
+            "cost_per_completed_usd",
+            "stranded_gpu_hours",
+        ])
+    );
+
+    for cell in &result.report.cells {
         println!(
-            "{:>4} | {:>5.1} {:>5.1} {:>5.1} | {:>3} ({:.0}% of spot events){}",
-            h,
-            s.total * 100.0,
-            s.hp * 100.0,
-            s.spot * 100.0,
-            evs,
-            ev_ratio.get(h).copied().unwrap_or(0.0) * 100.0,
-            marker
+            "{:<8} market={:<11} cost/completed ${:<8.2} stranded {:>6.1} GPU-h  spend ${:.0}",
+            cell.scheduler,
+            cell.market_label(),
+            cell.median("cost_per_completed_usd"),
+            cell.median("stranded_gpu_hours"),
+            cell.median("market_spend_usd"),
         );
     }
-
-    let summary = &result.report.cells[0].runs[0];
     println!(
-        "\noverall: spot eviction rate {:.1}%, spot mean JQT {:.0}s, HP mean JQT {:.0}s",
-        summary.eviction_rate * 100.0,
-        summary.spot_mean_jqt_s,
-        summary.hp_mean_jqt_s,
+        "\nthe price-aware controller defers buys past the spike and releases idle \
+         nodes, so spend and stranded capacity drop at comparable JCT."
     );
-    println!("evictions cluster in the surge window, and the SQA quota recovers afterwards.");
 }

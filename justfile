@@ -48,14 +48,15 @@ recovery-smoke:
     GFS_LAB_SMOKE=1 GFS_LAB_COMPARE=1 cargo run --release -p gfs-bench --bin lab_recovery
 
 # Examples must keep running as the APIs evolve: drive the quickstart,
-# the maintenance-wave walkthrough, the churn-policy comparison and the
-# crash-recovery demo in release (smoke-sized where the example supports
-# it).
+# the maintenance-wave walkthrough, the churn-policy comparison, the
+# crash-recovery demo and the spot-market walkthrough in release
+# (smoke-sized where the example supports it).
 examples-smoke:
     cargo run --release --example quickstart
     GFS_WAVE_SMOKE=1 cargo run --release --example maintenance_wave
     GFS_POLICY_SMOKE=1 cargo run --release --example churn_policies
     cargo run --release --example crash_recovery
+    GFS_MARKET_SMOKE=1 cargo run --release --example spot_market
 
 # Full benchmark suites; writes BENCH_*.json at the repo root.
 bench tag="local":

@@ -16,6 +16,7 @@
 //! | [`sched`] | baseline schedulers: YARN-CS, Chronus, Lyra, FGD |
 //! | [`core`] | the contribution: GDE, SQA, PTS, `GfsScheduler` |
 //! | [`sim`] | deterministic discrete-event simulator + metrics |
+//! | [`market`] | closed-loop capacity market: spot prices, autoscaling, cost metering |
 //! | [`lab`] | parallel, deterministic experiment grids + aggregation |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@ pub use gfs_cluster as cluster;
 pub use gfs_core as core;
 pub use gfs_forecast as forecast;
 pub use gfs_lab as lab;
+pub use gfs_market as market;
 pub use gfs_nn as nn;
 pub use gfs_sched as sched;
 pub use gfs_sim as sim;

@@ -281,6 +281,7 @@ mod tests {
             shape: &shape,
             workload: "tiny",
             dynamics: "none",
+            market: "none",
             policy: &policy,
             params: &params,
             seed: 1,
