@@ -47,7 +47,12 @@ struct Entry {
     spread_pct: f64,
 }
 
-const SUITES: [&str; 3] = ["sched_latency", "sim_throughput", "forecast_train"];
+const SUITES: [&str; 4] = [
+    "sched_latency",
+    "sim_throughput",
+    "forecast_train",
+    "fleet_scale",
+];
 const DEFAULT_FACTOR: f64 = 2.5;
 
 fn load(path: &str) -> Option<BenchFile> {

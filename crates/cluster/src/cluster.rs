@@ -10,6 +10,7 @@ use gfs_types::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::changelog::ChangeLog;
 use crate::index::CapacityIndex;
 use crate::node::{Node, NodeSnapshot, PodAlloc};
 
@@ -156,6 +157,10 @@ pub struct Cluster {
     /// Nodes currently draining, per declared failure domain — the O(1)
     /// query behind drain-aware placement ("is this rack mid-maintenance?").
     domain_draining: Vec<u32>,
+    /// Node ids touched by score-relevant mutations, for epoch-invalidated
+    /// read-side caches ([`ChangeLog`]). Not serialized: snapshot restore
+    /// mints a fresh log and caches rebuild.
+    changes: ChangeLog,
 }
 
 impl Cluster {
@@ -194,6 +199,7 @@ impl Cluster {
             model_totals,
             node_domain: Vec::new(),
             domain_draining: Vec::new(),
+            changes: ChangeLog::default(),
         }
     }
 
@@ -409,6 +415,36 @@ impl Cluster {
         out
     }
 
+    /// Walks `model` nodes best-fit-first (smallest sufficient idle count,
+    /// ascending node id inside a bucket) until `accept` returns `true`,
+    /// and returns that node — O(nodes skipped + 1). See
+    /// [`CapacityIndex::best_fit_walk`].
+    pub fn best_fit_walk(
+        &self,
+        model: GpuModel,
+        need: u32,
+        accept: impl FnMut(u32) -> bool,
+    ) -> Option<u32> {
+        self.index.best_fit_walk(model, need, accept)
+    }
+
+    /// The capacity-index placement key of node `id`: `(model, idle
+    /// cards)` while schedulable, `None` while down or draining. See
+    /// [`CapacityIndex::node_placement_key`].
+    #[must_use]
+    pub fn node_placement_key(&self, id: u32) -> Option<(GpuModel, u32)> {
+        self.index.node_placement_key(id)
+    }
+
+    /// The mutation log feeding epoch-invalidated placement caches: every
+    /// score-relevant node change (occupancy, eviction records,
+    /// fail/drain/restore, scale-out) is recorded here. Readers keep a
+    /// [`ChangeLog::cursor`] and replay only what changed.
+    #[must_use]
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.changes
+    }
+
     /// Historical count of spot tasks that ran to completion (`G`).
     #[must_use]
     pub fn spot_completed(&self) -> u64 {
@@ -557,6 +593,7 @@ impl Cluster {
                         self.apply_node_delta(p.node, before);
                         let node = &self.nodes[p.node.index()];
                         self.index.refresh(node);
+                        self.changes.note(p.node.raw());
                     }
                     // the failing node itself was never mutated
                     return Err(e);
@@ -564,6 +601,7 @@ impl Cluster {
             }
             let node = &self.nodes[nid.index()];
             self.index.refresh(node);
+            self.changes.note(nid.raw());
         }
         if spec.priority.is_spot() {
             for p in &placements {
@@ -630,6 +668,9 @@ impl Cluster {
                 self.node_mut(p.node)
                     .expect("hosting node exists")
                     .record_eviction(now);
+                // eviction-window scores changed even though occupancy was
+                // already re-noted by the release above
+                self.changes.note(p.node.raw());
             }
         }
         self.spot_evicted += 1;
@@ -650,6 +691,7 @@ impl Cluster {
             self.apply_node_delta(p.node, before);
             let node = &self.nodes[p.node.index()];
             self.index.refresh(node);
+            self.changes.note(p.node.raw());
             if rt.spec.priority.is_spot() {
                 self.index.remove_spot(p.node, rt.spec.id);
             }
@@ -694,6 +736,7 @@ impl Cluster {
         t.idle += idle;
         t.cap += cards;
         self.index.restore_node(&self.nodes[id.index()]);
+        self.changes.note(id.raw());
     }
 
     /// Starts a maintenance drain of `id`, to be forced down at
@@ -737,6 +780,7 @@ impl Cluster {
         // placement keys vanish; the spot locality list stays (the node
         // still hosts its pods until they finish or the deadline hits)
         self.index.remove_node(&self.nodes[id.index()]);
+        self.changes.note(id.raw());
         Ok(())
     }
 
@@ -829,6 +873,7 @@ impl Cluster {
         // the node is now empty: remove it from the index (all its buckets
         // vanish in one idempotent call) and from the capacity totals
         self.index.remove_node(&self.nodes[id.index()]);
+        self.changes.note(id.raw());
         let node = &mut self.nodes[id.index()];
         let cards = node.total_gpus();
         node.set_up(false);
@@ -920,6 +965,76 @@ impl Cluster {
         }
     }
 
+    /// Streams the canonical JSON of [`Cluster::snapshot`] into `out`
+    /// without materializing the [`ClusterSnapshot`] — no node-array
+    /// clone, no per-task spec deep copies. Byte-identical to
+    /// serializing the snapshot (the framing mirrors the derive: no
+    /// field is ever skipped, so commas are static); fleet-scale
+    /// checkpointing leans on this to keep snapshot cost linear in the
+    /// serialized bytes alone.
+    pub fn snapshot_json_into(&self, out: &mut String) {
+        out.push_str("{\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            n.snapshot().serialize_json(out);
+        }
+        out.push_str("],\"running\":[");
+        for (i, rt) in self.running.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"spec\":");
+            rt.spec.serialize_json(out);
+            out.push_str(",\"placements\":");
+            rt.placements.serialize_json(out);
+            out.push_str(",\"started_at\":");
+            rt.started_at.serialize_json(out);
+            out.push_str(",\"carried_progress\":");
+            rt.carried_progress.serialize_json(out);
+            out.push('}');
+        }
+        out.push_str("],\"spot_completed\":");
+        self.spot_completed.serialize_json(out);
+        out.push_str(",\"spot_evicted\":");
+        self.spot_evicted.serialize_json(out);
+        out.push_str(",\"displaced_total\":");
+        self.displaced_total.serialize_json(out);
+        out.push_str(",\"migrated_total\":");
+        self.migrated_total.serialize_json(out);
+        out.push_str(",\"down_nodes\":");
+        self.down_nodes.serialize_json(out);
+        out.push_str(",\"draining_nodes\":");
+        self.draining_nodes.serialize_json(out);
+        out.push_str(",\"cap_total\":");
+        self.cap_total.serialize_json(out);
+        out.push_str(",\"cap_static\":");
+        self.cap_static.serialize_json(out);
+        out.push_str(",\"idle_total\":");
+        self.idle_total.serialize_json(out);
+        out.push_str(",\"hp_total\":");
+        self.hp_total.serialize_json(out);
+        out.push_str(",\"spot_total\":");
+        self.spot_total.serialize_json(out);
+        out.push_str(",\"model_totals\":[");
+        for (i, (m, t)) in self.model_totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            m.serialize_json(out);
+            out.push(',');
+            t.serialize_json(out);
+            out.push(']');
+        }
+        out.push_str("],\"node_domain\":");
+        self.node_domain.serialize_json(out);
+        out.push_str(",\"domain_draining\":");
+        self.domain_draining.serialize_json(out);
+        out.push('}');
+    }
+
     /// Rebuilds a cluster from a [`ClusterSnapshot`]. All persisted
     /// fields are restored verbatim; the capacity index is rebuilt from
     /// the restored nodes (full build, then removal of unschedulable
@@ -970,6 +1085,7 @@ impl Cluster {
             model_totals: s.model_totals.into_iter().collect(),
             node_domain: s.node_domain,
             domain_draining: s.domain_draining,
+            changes: ChangeLog::default(),
         }
     }
 }
@@ -1024,6 +1140,38 @@ mod tests {
 
     fn cluster() -> Cluster {
         Cluster::homogeneous(4, GpuModel::A100, 8)
+    }
+
+    #[test]
+    fn streamed_snapshot_json_is_byte_identical() {
+        let mut c = Cluster::homogeneous(6, GpuModel::A100, 8);
+        c.set_failure_domains(&[
+            FailureDomain::new([NodeId::new(0), NodeId::new(1), NodeId::new(2)]),
+            FailureDomain::new([NodeId::new(3), NodeId::new(4)]),
+        ]);
+        c.start_task(
+            spec(1, Priority::Hp, 2, 4),
+            &[NodeId::new(0), NodeId::new(1)],
+            SimTime::ZERO,
+            0,
+        )
+        .unwrap();
+        c.start_task(
+            spec(2, Priority::Spot, 1, 8),
+            &[NodeId::new(2)],
+            SimTime::from_secs(30),
+            120,
+        )
+        .unwrap();
+        c.fail_node(NodeId::new(4), SimTime::from_secs(60)).unwrap();
+        c.drain_node(NodeId::new(3), SimTime::from_secs(500))
+            .unwrap();
+        c.add_node(GpuModel::H800, 8);
+        let mut derived = String::new();
+        c.snapshot().serialize_json(&mut derived);
+        let mut streamed = String::new();
+        c.snapshot_json_into(&mut streamed);
+        assert_eq!(derived, streamed);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct CapacityIndex {
     partial: BTreeMap<GpuModel, std::collections::BTreeSet<(u32, u32)>>,
     /// Per node: running spot tasks with at least one pod here (sorted).
     spot_on_node: Vec<Vec<TaskId>>,
+    /// Per model: ascending node ids currently hosting ≥ 1 spot pod —
+    /// the preemption-victim walk visits only these instead of scanning
+    /// every node's (mostly empty) spot list.
+    spot_hosts: BTreeMap<GpuModel, Vec<u32>>,
     fully_idle_count: usize,
 }
 
@@ -82,6 +86,7 @@ impl CapacityIndex {
             idle_buckets: BTreeMap::new(),
             partial: BTreeMap::new(),
             spot_on_node: vec![Vec::new(); nodes.len()],
+            spot_hosts: BTreeMap::new(),
             fully_idle_count: 0,
         };
         for node in nodes {
@@ -239,6 +244,16 @@ impl CapacityIndex {
         let list = &mut self.spot_on_node[node.index()];
         if let Err(pos) = list.binary_search(&task) {
             list.insert(pos, task);
+            if list.len() == 1 {
+                let raw = node.raw();
+                let hosts = self
+                    .spot_hosts
+                    .entry(self.models[node.index()])
+                    .or_default();
+                if let Err(pos) = hosts.binary_search(&raw) {
+                    hosts.insert(pos, raw);
+                }
+            }
         }
     }
 
@@ -247,6 +262,13 @@ impl CapacityIndex {
         let list = &mut self.spot_on_node[node.index()];
         if let Ok(pos) = list.binary_search(&task) {
             list.remove(pos);
+            if list.is_empty() {
+                if let Some(hosts) = self.spot_hosts.get_mut(&self.models[node.index()]) {
+                    if let Ok(pos) = hosts.binary_search(&node.raw()) {
+                        hosts.remove(pos);
+                    }
+                }
+            }
         }
     }
 
@@ -310,12 +332,49 @@ impl CapacityIndex {
     /// so evicting there would only destroy work).
     pub fn preemption_candidates(&self, model: GpuModel, need: u32, out: &mut Vec<u32>) {
         self.whole_fit_candidates(model, need, out);
-        for (id, spots) in self.spot_on_node.iter().enumerate() {
-            if !spots.is_empty() && self.models[id] == model && self.keys[id].present {
-                out.push(id as u32);
-            }
+        if let Some(hosts) = self.spot_hosts.get(&model) {
+            out.extend(
+                hosts
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.keys[id as usize].present),
+            );
         }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// Walks `model` nodes best-fit-first — idle buckets in ascending
+    /// idle-count order starting at `need`, ascending node ids inside a
+    /// bucket — until `accept` returns `true`, and returns that node id.
+    /// O(nodes skipped + 1) instead of collect-everything-then-score.
+    pub fn best_fit_walk(
+        &self,
+        model: GpuModel,
+        need: u32,
+        mut accept: impl FnMut(u32) -> bool,
+    ) -> Option<u32> {
+        let buckets = self.idle_buckets.get(&model)?;
+        for bucket in buckets.iter().skip(need as usize) {
+            for &id in bucket {
+                if accept(id) {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// The placement key of node `id` as currently indexed: its GPU model
+    /// and whole-card idle count, or `None` while the node is out of the
+    /// placement structures (down or draining). Read-side caches mirror
+    /// their bucket membership from this.
+    #[must_use]
+    pub fn node_placement_key(&self, id: u32) -> Option<(GpuModel, u32)> {
+        let key = self.keys.get(id as usize)?;
+        if !key.present {
+            return None;
+        }
+        Some((self.models[id as usize], key.idle))
     }
 }

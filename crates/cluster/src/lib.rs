@@ -92,11 +92,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod changelog;
 mod cluster;
 mod index;
 mod node;
 mod scheduler;
 
+pub use changelog::ChangeLog;
 pub use cluster::{Cluster, ClusterSnapshot, Displaced, PodPlacement, RunningTask};
 pub use index::CapacityIndex;
 pub use node::{Gpu, Node, NodeSnapshot, PodAlloc};

@@ -388,6 +388,33 @@ impl Node {
         count_within(&self.evictions, now, window)
     }
 
+    /// The earliest future time at which some `evictions_within(now, w)`
+    /// count for `w ∈ windows` will change by pure aging — i.e. the last
+    /// instant the current counts are still valid (`count_within` uses an
+    /// inclusive boundary, so an eviction at `tₑ` leaves a window `w` when
+    /// `now > tₑ + w`). `None` when no logged eviction sits inside any of
+    /// the windows: the counts are stable until the next mutation. Score
+    /// caches use this to schedule eviction-window-aware invalidation.
+    #[must_use]
+    pub fn eviction_score_valid_until(
+        &self,
+        now: SimTime,
+        windows: &[SimDuration],
+    ) -> Option<SimTime> {
+        let mut edge: Option<u64> = None;
+        for &te in &self.evictions {
+            for &w in windows {
+                if now.since(te) <= w {
+                    let leave = te.as_secs() + w;
+                    if edge.is_none_or(|e| leave < e) {
+                        edge = Some(leave);
+                    }
+                }
+            }
+        }
+        edge.map(SimTime::from_secs)
+    }
+
     /// Records one up→down transition at `now` (abrupt failure or forced
     /// drain shutdown). Called by [`Cluster`](crate::Cluster) from
     /// `fail_node`; survives restore — see [`Node::failures_within`].

@@ -52,6 +52,7 @@ mod gfs;
 pub mod milp;
 mod pts;
 mod pts_sched;
+mod score_index;
 mod sqa;
 
 pub use gde::{DemandEstimator, GdeState};

@@ -12,11 +12,16 @@
 //! spares the highest-waste victims (Eq. 17), and places each HP pod on
 //! the node with the lowest preemption cost (Eq. 18–19).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use gfs_cluster::{Cluster, Node, RunningTask};
 use gfs_sched::placement::{DomainUse, PlacementPolicy};
-use gfs_types::{GfsParams, GpuDemand, NodeId, Priority, SimTime, TaskId, TaskSpec, HOUR};
+use gfs_types::{
+    GfsParams, GpuDemand, NodeId, Priority, SimDuration, SimTime, TaskId, TaskSpec, HOUR,
+};
+
+use crate::score_index::{Flavor, ScoreIndex};
 
 /// Which degradation (if any) to apply — the Table 10 ablation variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +54,12 @@ pub struct Pts {
     params: GfsParams,
     variant: PtsVariant,
     policy: PlacementPolicy,
+    /// Cached per-node placement scores (see [`crate::score_index`]),
+    /// synced lazily against the cluster's change log. Interior
+    /// mutability keeps the long-pinned `&self` scheduling API; a
+    /// `Pts` is owned by one scheduler on one simulation thread, so
+    /// the dynamic borrow can never be contended.
+    index: RefCell<ScoreIndex>,
 }
 
 impl Pts {
@@ -69,6 +80,7 @@ impl Pts {
             params,
             variant,
             policy,
+            index: RefCell::new(ScoreIndex::default()),
         }
     }
 
@@ -130,6 +142,22 @@ impl Pts {
         Some((s1, s2, s3))
     }
 
+    /// Whether cached node scores can only change through a cluster
+    /// mutation: the degraded variants score packing alone, so nothing
+    /// in the key decays with simulated time.
+    pub(crate) fn scoring_time_invariant(&self) -> bool {
+        self.variant.scoring_degraded()
+    }
+
+    /// The eviction-count windows `Score3` is computed over, for
+    /// deadline-based cache invalidation.
+    pub(crate) fn eviction_windows(&self) -> [SimDuration; 2] {
+        [
+            self.params.eviction_window_short_secs,
+            self.params.eviction_window_long_secs,
+        ]
+    }
+
     /// Non-preemptive scheduling (Alg. 1): one node per pod, or `None`.
     ///
     /// With a non-naive [`PlacementPolicy`] the policy's components lead
@@ -137,8 +165,45 @@ impl Pts {
     /// avoidance, then gang spread, then the paper's
     /// `<Score1, Score2, Score3>`; disabled components are constant, so
     /// the comparison falls through to the native scores.
+    ///
+    /// Whole-card demand under a naive policy — the paper's own
+    /// configuration, and the hot path at fleet scale — is answered from
+    /// the [`ScoreIndex`] in O(log n) instead of scoring every feasible
+    /// node; the index reproduces the scan's total order exactly (see
+    /// the module doc of [`crate::score_index`] and the equivalence
+    /// property test), so the fast path is behaviourally invisible.
     #[must_use]
     pub fn schedule_nonpreemptive(
+        &self,
+        task: &TaskSpec,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        if self.policy.is_naive() {
+            if let GpuDemand::Whole(g) = task.gpus_per_pod {
+                let fast = self.schedule_whole_indexed(task, g, cluster, now);
+                if std::env::var_os("GFS_XCHECK_INDEX").is_some() {
+                    let slow = self.schedule_nonpreemptive_scan(task, cluster, now);
+                    if fast != slow {
+                        self.index.borrow().debug_dump(self, cluster, now);
+                        panic!(
+                            "index/scan divergence: task {:?} pods {} g {g} prio {:?} now {now:?}: fast {fast:?} slow {slow:?}",
+                            task.id, task.pods, task.priority
+                        );
+                    }
+                }
+                return fast;
+            }
+        }
+        self.schedule_nonpreemptive_scan(task, cluster, now)
+    }
+
+    /// The reference implementation of Alg. 1: scores every feasible
+    /// candidate per pod and takes the lexicographic max. O(n) per
+    /// decision — kept for non-naive policies, fractional demand, and
+    /// as the oracle the indexed fast path is property-tested against.
+    #[must_use]
+    pub fn schedule_nonpreemptive_scan(
         &self,
         task: &TaskSpec,
         cluster: &Cluster,
@@ -200,6 +265,45 @@ impl Pts {
             out.push(candidate);
         }
         Some(out)
+    }
+
+    /// The indexed whole-card fast path: each pod's node is the winner
+    /// of an O(log n) [`ScoreIndex`] query. Gang budgets (a pod may not
+    /// overcommit cards its gang-mates already claimed) are handled by
+    /// masking exhausted nodes out of the index for the duration of the
+    /// call — scheduling never mutates the cluster, so the masked nodes
+    /// re-enter exactly the buckets they left.
+    fn schedule_whole_indexed(
+        &self,
+        task: &TaskSpec,
+        g: u32,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        let mut index = self.index.borrow_mut();
+        index.prepare(self, cluster, now);
+        let flavor = Flavor::of(task.priority);
+        let mut budget: HashMap<u32, u32> = HashMap::new();
+        let mut masked: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(task.pods as usize);
+        for _ in 0..task.pods {
+            let Some(id) = index.query(task.gpu_model, g, flavor) else {
+                break;
+            };
+            let left = budget
+                .entry(id)
+                .or_insert_with(|| cluster.nodes()[id as usize].idle_gpus());
+            *left -= g;
+            if *left < g {
+                index.mask(id);
+                masked.push(id);
+            }
+            out.push(NodeId::new(id));
+        }
+        for id in masked {
+            index.unmask(cluster, id);
+        }
+        (out.len() == task.pods as usize).then_some(out)
     }
 
     /// Preemption cost of a node plan (Eq. 19).
@@ -332,7 +436,19 @@ impl Pts {
                     }
                 };
                 if better {
+                    let decided = victims.is_empty();
                     best = Some((n.id(), victims, rel, cost));
+                    // a zero-victim plan carries the global minimum cost
+                    // (Eq. 19 is monotone in victim count and waste) and
+                    // later zero-victim ties lose to this lower id, so —
+                    // when cost alone decides — no candidate can still
+                    // strictly win: stop scanning
+                    if decided
+                        && !self.variant.preemption_degraded()
+                        && !self.policy.decayed_reliability
+                    {
+                        break;
+                    }
                 }
             }
             let (node, victims, _, _) = best?;

@@ -411,8 +411,34 @@ pub fn first_fit_nodes(cluster: &Cluster, task: &TaskSpec) -> Option<Vec<NodeId>
 }
 
 /// Best-fit: prefer nodes with the fewest idle GPUs that still fit.
+///
+/// Whole-card demands take the direct bucket walk: the capacity index
+/// already orders nodes by (idle ascending, id ascending), which is
+/// exactly the best-fit total order, so the first node passing the gang
+/// budget *is* the scan's argmax — no collect-then-score pass.
 pub fn best_fit_nodes(cluster: &Cluster, task: &TaskSpec) -> Option<Vec<NodeId>> {
-    gang_nodes_by(cluster, task, |n| Some(-(f64::from(n.idle_gpus()))))
+    let GpuDemand::Whole(need) = task.gpus_per_pod else {
+        return gang_nodes_by(cluster, task, |n| Some(-(f64::from(n.idle_gpus()))));
+    };
+    let mut budget: HashMap<NodeId, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(task.pods as usize);
+    for _ in 0..task.pods {
+        let raw = cluster.best_fit_walk(task.gpu_model, need, |id| {
+            let node = NodeId::new(id);
+            budget
+                .get(&node)
+                .copied()
+                .unwrap_or_else(|| cluster.nodes()[id as usize].idle_gpus())
+                >= need
+        })?;
+        let node = NodeId::new(raw);
+        let entry = budget
+            .entry(node)
+            .or_insert_with(|| cluster.nodes()[node.index()].idle_gpus());
+        *entry -= need;
+        out.push(node);
+    }
+    Some(out)
 }
 
 /// Worst-fit: prefer the emptiest nodes (used by Lyra's whole-node loans).
@@ -465,6 +491,12 @@ where
         // candidate = node where idle + evictable spot >= need
         let mut best: Option<(NodeId, Vec<TaskId>, f64)> = None;
         for n in candidates.iter().map(|&id| &cluster.nodes()[id as usize]) {
+            // Victim waste is non-negative, so a zero-waste plan is the
+            // global minimum and `better` below is a strict improvement:
+            // nothing later in the (ascending-id) walk can win. Stop.
+            if matches!(&best, Some((_, _, w)) if *w <= 0.0) {
+                break;
+            }
             let mut idle = virt_idle
                 .get(&n.id())
                 .copied()

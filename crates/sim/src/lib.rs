@@ -58,10 +58,12 @@
 
 pub mod dynamics;
 mod engine;
+pub mod fleet;
 mod report;
 pub mod service;
 
 pub use engine::{run, SimConfig};
+pub use fleet::{run_fleet, FleetReport, FleetShard};
 pub use report::{AllocSample, RunSummary, SimReport, TaskRecord};
 pub use service::{
     fnv1a, parse_journal, report_hash, AdmittedEvent, ClusterService, Journal, JournalError,

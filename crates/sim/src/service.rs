@@ -195,7 +195,170 @@ impl PartialOrd for Event {
     }
 }
 
-fn push(heap: &mut BinaryHeap<Event>, seq: &mut u64, at: SimTime, kind: EventKind) {
+/// Calendar-bucket slot width as a shift: 64-second slots.
+const BUCKET_BITS: u64 = 6;
+/// Slots in the near window (power of two). `NUM_BUCKETS << BUCKET_BITS`
+/// simulated seconds (~18 hours) are bucketed; anything further sits in
+/// an overflow heap until the window slides over it.
+const NUM_BUCKETS: u64 = 1 << 10;
+
+fn slot_of(at: SimTime) -> u64 {
+    at.as_secs() >> BUCKET_BITS
+}
+
+/// The event loop's priority queue: a two-level calendar queue that pops
+/// events in exactly `(at, seq)` order — globally identical to a binary
+/// heap — but touches only the 64-second slot under the cursor on the
+/// hot path.
+///
+/// * `active` holds the slot currently draining, sorted *descending* by
+///   `(at, seq)` so the next event pops from the back in O(1);
+/// * `near` is a ring of unsorted slot buckets covering the next
+///   `NUM_BUCKETS` slots — a push is an O(1) append, and a slot is
+///   sorted once, when the cursor reaches it;
+/// * `far` is a binary heap for events beyond the window (multi-day
+///   drain deadlines, horizon-scale dynamics). The invariant — `far`
+///   holds only slots `>= cursor + NUM_BUCKETS` — is restored by
+///   [`EventHeap::migrate_far`] after every cursor movement, so an event
+///   can never hide in `far` while its slot drains from `near`.
+///
+/// Pushing an event at or before the cursor's slot (same-instant
+/// requeues) falls back to a sorted insert into `active`, which keeps
+/// the pop order exact for arbitrary push patterns.
+#[derive(Debug)]
+pub(crate) struct EventHeap {
+    len: usize,
+    /// Slot currently draining; meaningful only while `len > 0`.
+    cursor: u64,
+    /// Events in slots `<= cursor`, sorted descending by `(at, seq)`.
+    active: Vec<Event>,
+    /// Ring of unsorted buckets for slots in `(cursor, cursor + NUM_BUCKETS)`,
+    /// indexed by `slot % NUM_BUCKETS`. Allocated on first use.
+    near: Vec<Vec<Event>>,
+    near_len: usize,
+    /// Events in slots `>= cursor + NUM_BUCKETS` (earliest-first heap).
+    far: BinaryHeap<Event>,
+}
+
+impl EventHeap {
+    fn new() -> Self {
+        EventHeap {
+            len: 0,
+            cursor: 0,
+            active: Vec::new(),
+            near: Vec::new(),
+            near_len: 0,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.len == 0 {
+            self.cursor = slot_of(ev.at);
+            self.active.push(ev);
+        } else {
+            self.place(ev);
+        }
+        self.len += 1;
+    }
+
+    /// Routes one event to active/near/far relative to the current
+    /// cursor. Does not touch `len` — callers account for it.
+    fn place(&mut self, ev: Event) {
+        let slot = slot_of(ev.at);
+        if slot <= self.cursor {
+            let pos = self
+                .active
+                .partition_point(|x| (x.at, x.seq) > (ev.at, ev.seq));
+            self.active.insert(pos, ev);
+        } else if slot - self.cursor < NUM_BUCKETS {
+            if self.near.is_empty() {
+                self.near = std::iter::repeat_with(Vec::new)
+                    .take(NUM_BUCKETS as usize)
+                    .collect();
+            }
+            self.near[(slot % NUM_BUCKETS) as usize].push(ev);
+            self.near_len += 1;
+        } else {
+            self.far.push(ev);
+        }
+    }
+
+    /// Restores the far invariant after a cursor movement: every far
+    /// event whose slot entered the window moves to its near bucket (or
+    /// straight into `active` when it landed on the cursor).
+    fn migrate_far(&mut self) {
+        while let Some(e) = self.far.peek() {
+            if slot_of(e.at) - self.cursor >= NUM_BUCKETS {
+                break;
+            }
+            let ev = self.far.pop().expect("peeked event exists");
+            self.place(ev);
+        }
+    }
+
+    /// Advances the cursor until `active` is non-empty (or the queue is
+    /// empty): slides slot by slot while near buckets remain, jumps the
+    /// window when only far events are left.
+    fn settle(&mut self) {
+        while self.active.is_empty() && self.len > 0 {
+            if self.near_len == 0 {
+                // everything left lives in `far`: jump the window to it
+                let at = self.far.peek().expect("len > 0 with empty near").at;
+                self.cursor = slot_of(at);
+                self.migrate_far();
+            } else {
+                self.cursor += 1;
+                self.migrate_far();
+                let idx = (self.cursor % NUM_BUCKETS) as usize;
+                if !self.near[idx].is_empty() {
+                    let mut bucket = std::mem::take(&mut self.near[idx]);
+                    self.near_len -= bucket.len();
+                    bucket.sort_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+                    // swap keeps the drained bucket's allocation for reuse
+                    std::mem::swap(&mut self.active, &mut bucket);
+                    self.near[idx] = bucket;
+                }
+            }
+        }
+    }
+
+    /// The earliest event, in `(at, seq)` order. Takes `&mut self`: the
+    /// cursor may need to slide to find it.
+    fn peek(&mut self) -> Option<&Event> {
+        self.settle();
+        self.active.last()
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.settle();
+        let ev = self.active.pop();
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    /// All queued events, in no particular order (snapshots sort).
+    fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.active
+            .iter()
+            .chain(self.near.iter().flatten())
+            .chain(self.far.iter())
+    }
+}
+
+impl FromIterator<Event> for EventHeap {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        let mut h = EventHeap::new();
+        for ev in iter {
+            h.push(ev);
+        }
+        h
+    }
+}
+
+fn push(heap: &mut EventHeap, seq: &mut u64, at: SimTime, kind: EventKind) {
     *seq += 1;
     heap.push(Event {
         at,
@@ -232,7 +395,7 @@ fn displace_and_requeue(
     report: &mut SimReport,
     states: &mut [TaskState],
     id_to_idx: &HashMap<TaskId, u32>,
-    heap: &mut BinaryHeap<Event>,
+    heap: &mut EventHeap,
     seq: &mut u64,
     requeue_delay: SimDuration,
 ) {
@@ -278,7 +441,7 @@ fn apply_node_down(
     report: &mut SimReport,
     states: &mut [TaskState],
     id_to_idx: &HashMap<TaskId, u32>,
-    heap: &mut BinaryHeap<Event>,
+    heap: &mut EventHeap,
     seq: &mut u64,
     avail: &mut AvailabilityTracker,
     requeue_delay: SimDuration,
@@ -654,7 +817,7 @@ pub struct ClusterService {
     cfg: SimConfig,
     cluster: Cluster,
     report: SimReport,
-    heap: BinaryHeap<Event>,
+    heap: EventHeap,
     seq: u64,
     specs: Vec<Arc<TaskSpec>>,
     states: Vec<TaskState>,
@@ -669,6 +832,26 @@ pub struct ClusterService {
     started: bool,
     journal: Option<Journal>,
     journal_seq: u64,
+    /// Reused same-timestamp batch buffer (always empty between steps).
+    batch_scratch: Vec<Event>,
+    /// Reused still-pending buffer for the scheduling pass.
+    sched_scratch: Vec<u32>,
+}
+
+/// Clusters at or above this node count get *bounded* per-node sample
+/// series: below it, every sample is retained (small runs keep full
+/// fidelity and historical reports stay byte-identical).
+const NODE_SAMPLE_BOUND_THRESHOLD: usize = 2048;
+/// Target retained samples per node row on bounded clusters. Stride
+/// doubling keeps each row within roughly `[CAP/2, CAP]` entries.
+const NODE_SAMPLE_CAP: u64 = 256;
+
+/// Downsampling stride for per-node series at sample ordinal `o` (a pure
+/// function of serialized state, so bounded sampling survives
+/// snapshot/restore): doubles every time the retained count would exceed
+/// [`NODE_SAMPLE_CAP`].
+fn node_sample_stride(ordinal: u64) -> u64 {
+    (ordinal / NODE_SAMPLE_CAP + 1).next_power_of_two()
 }
 
 impl ClusterService {
@@ -690,7 +873,7 @@ impl ClusterService {
             cfg,
             cluster,
             report,
-            heap: BinaryHeap::new(),
+            heap: EventHeap::new(),
             seq: 0,
             specs: Vec::new(),
             states: Vec::new(),
@@ -703,6 +886,8 @@ impl ClusterService {
             started: false,
             journal: None,
             journal_seq: 0,
+            batch_scratch: Vec::new(),
+            sched_scratch: Vec::new(),
         }
     }
 
@@ -872,14 +1057,14 @@ impl ClusterService {
     /// empty, every task finished, or the next event lies past the
     /// configured horizon (the clock then parks at the horizon).
     pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> bool {
-        let Some(head) = self.heap.peek() else {
+        let Some(head_at) = self.heap.peek().map(|e| e.at) else {
             return false;
         };
         if self.unfinished == 0 {
             return false;
         }
         if let Some(limit) = self.cfg.max_time_secs.map(SimTime::from_secs) {
-            if head.at > limit {
+            if head_at > limit {
                 self.now = limit;
                 return false;
             }
@@ -890,7 +1075,9 @@ impl ClusterService {
         let mut dirty = false;
 
         // process the entire same-timestamp batch before scheduling
-        let mut batch = vec![ev];
+        // (scratch buffer: always drained back empty at the end of step)
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.push(ev);
         while let Some(next) = self.heap.peek() {
             if next.at == now {
                 batch.push(self.heap.pop().expect("peeked event exists"));
@@ -899,7 +1086,7 @@ impl ClusterService {
             }
         }
 
-        for ev in batch {
+        for ev in batch.drain(..) {
             match ev.kind {
                 EventKind::Submit(i) => {
                     let spec = &self.specs[i as usize];
@@ -1132,9 +1319,7 @@ impl ClusterService {
                         spot: self.cluster.spot_allocated(None) / cap,
                     });
                     if self.cfg.record_node_alloc {
-                        for (i, n) in self.cluster.nodes().iter().enumerate() {
-                            self.report.node_alloc_samples[i].push(n.allocated());
-                        }
+                        self.record_node_samples();
                     }
                     if self.unfinished > 0 {
                         push(
@@ -1147,6 +1332,7 @@ impl ClusterService {
                 }
             }
         }
+        self.batch_scratch = batch;
 
         if dirty && !self.pending.is_empty() {
             self.scheduling_pass(scheduler);
@@ -1155,12 +1341,49 @@ impl ClusterService {
         true
     }
 
+    /// Appends one per-node allocation sample per row. Small clusters
+    /// retain every sample; at or above [`NODE_SAMPLE_BOUND_THRESHOLD`]
+    /// nodes the series is stride-downsampled (and compacted in place
+    /// whenever the stride doubles), bounding every row near
+    /// [`NODE_SAMPLE_CAP`] entries regardless of run length. The
+    /// keep/skip decision depends only on serialized state (the fleet
+    /// sample count and the row count), so it is snapshot-safe. A
+    /// cluster that *grows past* the threshold mid-run keeps its already
+    /// dense prefix and simply samples sparsely from there on.
+    fn record_node_samples(&mut self) {
+        if self.report.node_alloc_samples.len() >= NODE_SAMPLE_BOUND_THRESHOLD {
+            let ordinal = (self.report.alloc_samples.len().max(1) - 1) as u64;
+            let stride = node_sample_stride(ordinal);
+            if ordinal > 0 && stride != node_sample_stride(ordinal - 1) {
+                // stride doubled: keep every other retained sample
+                for row in &mut self.report.node_alloc_samples {
+                    let mut keep = 0;
+                    let mut i = 0;
+                    while i < row.len() {
+                        row[keep] = row[i];
+                        keep += 1;
+                        i += 2;
+                    }
+                    row.truncate(keep);
+                }
+            }
+            if !ordinal.is_multiple_of(stride) {
+                return;
+            }
+        }
+        for (i, n) in self.cluster.nodes().iter().enumerate() {
+            self.report.node_alloc_samples[i].push(n.allocated());
+        }
+    }
+
     /// One scheduling pass over the (incrementally sorted) pending queue.
     fn scheduling_pass(&mut self, scheduler: &mut dyn Scheduler) {
         let now = self.now;
-        let mut still_pending = Vec::with_capacity(self.pending.len());
+        // scratch recycling: the drained queue becomes next pass's
+        // still-pending buffer, so steady state allocates nothing
+        let mut still_pending = std::mem::take(&mut self.sched_scratch);
         let pending = std::mem::take(&mut self.pending);
-        for idx in pending {
+        for &idx in &pending {
             let task = &self.specs[idx as usize];
             let Some(decision) = scheduler.schedule(task, &self.cluster, now) else {
                 still_pending.push(idx);
@@ -1239,6 +1462,9 @@ impl ClusterService {
             }
         }
         self.pending = still_pending;
+        let mut scratch = pending;
+        scratch.clear();
+        self.sched_scratch = scratch;
     }
 
     /// Steps until the next event lies strictly after `t` (or the run
@@ -1299,6 +1525,59 @@ impl ClusterService {
         }
     }
 
+    /// Streams the canonical snapshot JSON straight off the live state —
+    /// byte-identical to `self.snapshot(scheduler).to_json()` but without
+    /// materializing a [`ServiceSnapshot`] first, so taking a checkpoint
+    /// of a 10k-node service never deep-copies the cluster, the report or
+    /// the task table (the dominant cost, and a 2× peak-memory spike, at
+    /// fleet scale). The field framing mirrors the `ServiceSnapshot`
+    /// derive exactly; the byte-identity is pinned by a test.
+    #[must_use]
+    pub fn snapshot_json(&self, scheduler: &dyn Scheduler) -> String {
+        let mut out = String::new();
+        out.push_str("{\"version\":");
+        SNAPSHOT_VERSION.serialize_json(&mut out);
+        out.push_str(",\"cfg\":");
+        self.cfg.serialize_json(&mut out);
+        out.push_str(",\"cluster\":");
+        self.cluster.snapshot_json_into(&mut out);
+        out.push_str(",\"report\":");
+        self.report.serialize_json(&mut out);
+        out.push_str(",\"events\":");
+        let mut events: Vec<&Event> = self.heap.iter().collect();
+        events.sort_by(|a, b| a.at.cmp(&b.at).then(a.seq.cmp(&b.seq)));
+        events.serialize_json(&mut out);
+        out.push_str(",\"seq\":");
+        self.seq.serialize_json(&mut out);
+        out.push_str(",\"specs\":[");
+        for (i, s) in self.specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            (**s).serialize_json(&mut out);
+        }
+        out.push_str("],\"states\":");
+        self.states.serialize_json(&mut out);
+        out.push_str(",\"pending\":");
+        self.pending.serialize_json(&mut out);
+        out.push_str(",\"unfinished\":");
+        (self.unfinished as u64).serialize_json(&mut out);
+        out.push_str(",\"avail\":");
+        self.avail.serialize_json(&mut out);
+        out.push_str(",\"now\":");
+        self.now.serialize_json(&mut out);
+        out.push_str(",\"steps\":");
+        self.steps.serialize_json(&mut out);
+        out.push_str(",\"started\":");
+        self.started.serialize_json(&mut out);
+        out.push_str(",\"journal_seq\":");
+        self.journal_seq.serialize_json(&mut out);
+        out.push_str(",\"scheduler\":");
+        scheduler.save_state().serialize_json(&mut out);
+        out.push('}');
+        out
+    }
+
     /// Rebuilds a service from a snapshot, rehydrating `scheduler` (a
     /// freshly-constructed instance from the same factory) through
     /// [`Scheduler::restore_state`].
@@ -1355,6 +1634,8 @@ impl ClusterService {
             started: snap.started,
             journal: None,
             journal_seq: snap.journal_seq,
+            batch_scratch: Vec::new(),
+            sched_scratch: Vec::new(),
         })
     }
 
@@ -1708,6 +1989,124 @@ mod tests {
             ServiceSnapshot::from_json(&format!("{json}garbage")).is_err(),
             "trailing garbage must be rejected"
         );
+    }
+
+    #[test]
+    fn event_heap_pops_in_binary_heap_order() {
+        // adversarial interleaving of pushes (near / mid / far / past /
+        // same-instant) and pops, cross-checked against a plain binary
+        // heap; a fixed LCG keeps it deterministic
+        let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+        let mut rnd = move |m: u64| {
+            lcg = lcg
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (lcg >> 33) % m
+        };
+        let mut calendar = EventHeap::new();
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut base = 0u64;
+        for seq in 0..20_000u64 {
+            let op = rnd(3);
+            if op < 2 {
+                let at = match rnd(4) {
+                    0 => base + rnd(128),               // active / near slots
+                    1 => base + rnd(50_000),            // inside the window
+                    2 => base + 70_000 + rnd(1 << 21),  // far heap
+                    _ => base.saturating_sub(rnd(200)), // at or before cursor
+                };
+                let ev = Event {
+                    at: SimTime::from_secs(at),
+                    seq,
+                    kind: EventKind::Tick,
+                };
+                calendar.push(ev.clone());
+                reference.push(ev);
+            } else {
+                let got = calendar.pop();
+                let want = reference.pop();
+                assert_eq!(got, want);
+                if let Some(e) = got {
+                    base = e.at.as_secs();
+                }
+            }
+        }
+        loop {
+            let got = calendar.pop();
+            let want = reference.pop();
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn event_heap_iter_round_trips_through_snapshot_order() {
+        let mut h = EventHeap::new();
+        let mut seq = 0u64;
+        for &t in &[5u64, 5, 100_000, 3, 70_000, 0, 1 << 22] {
+            push(&mut h, &mut seq, SimTime::from_secs(t), EventKind::Tick);
+        }
+        let mut events: Vec<Event> = h.iter().cloned().collect();
+        events.sort_by(|a, b| a.at.cmp(&b.at).then(a.seq.cmp(&b.seq)));
+        let mut rebuilt: EventHeap = events.clone().into_iter().collect();
+        for want in events {
+            assert_eq!(rebuilt.pop(), Some(want));
+        }
+        assert_eq!(rebuilt.pop(), None);
+    }
+
+    #[test]
+    fn node_sample_stride_doubles_and_bounds_the_series() {
+        assert_eq!(node_sample_stride(0), 1);
+        assert_eq!(node_sample_stride(255), 1);
+        assert_eq!(node_sample_stride(256), 2);
+        assert_eq!(node_sample_stride(511), 2);
+        assert_eq!(node_sample_stride(512), 4);
+        assert_eq!(node_sample_stride(2048), 16);
+        // simulate the retention loop: the retained count never exceeds
+        // CAP + 1, and every transition compacts to exactly half
+        let mut row: Vec<u64> = Vec::new();
+        for o in 0..100_000u64 {
+            let stride = node_sample_stride(o);
+            if o > 0 && stride != node_sample_stride(o - 1) {
+                let mut keep = 0;
+                let mut i = 0;
+                while i < row.len() {
+                    row[keep] = row[i];
+                    keep += 1;
+                    i += 2;
+                }
+                row.truncate(keep);
+            }
+            if o % stride == 0 {
+                row.push(o);
+            }
+            assert!(row.len() <= NODE_SAMPLE_CAP as usize + 1, "ordinal {o}");
+            // retained ordinals stay evenly strided
+            for w in row.windows(2) {
+                assert_eq!(w[1] - w[0], stride, "ordinal {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_snapshot_json_matches_materialized() {
+        let mut s = ClusterService::new(Cluster::homogeneous(3, GpuModel::A100, 8), churn_cfg());
+        s.admit_tasks(trace(24));
+        s.start();
+        let mut stepped = 0usize;
+        for checkpoint in [0usize, 3, 9, 17, 40] {
+            while stepped < checkpoint && s.step(&mut FirstFit) {
+                stepped += 1;
+            }
+            assert_eq!(
+                s.snapshot(&FirstFit).to_json(),
+                s.snapshot_json(&FirstFit),
+                "streamed snapshot diverged after {stepped} steps"
+            );
+        }
     }
 
     #[test]

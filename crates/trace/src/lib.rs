@@ -7,6 +7,8 @@
 //! * [`workload`] — task streams matching the Table 3 size/gang mix, the
 //!   Fig. 2 era CDFs, the Fig. 3 duration scales and the diurnal
 //!   submission peaks behind Fig. 5;
+//! * [`fleet`] — million-task sharded traces for the fleet-scale engine,
+//!   with a precomputed diurnal CDF so generation stays O(tasks · log h);
 //! * [`orgdemand`] — per-organization hourly demand series matching Fig. 4
 //!   (including Organization C's 35.7 % weekend drop);
 //! * [`record`] — JSON trace persistence;
@@ -29,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod orgdemand;
 pub(crate) mod rand_util;
 pub mod record;
 pub mod stats;
 pub mod workload;
 
+pub use fleet::{FleetTraceConfig, FleetTraceGenerator};
 pub use orgdemand::{default_attr_vocab, generate_all, generate_series, paper_orgs, OrgArchetype};
 pub use record::TraceFile;
 pub use workload::{WorkloadConfig, WorkloadEra, WorkloadGenerator};

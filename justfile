@@ -65,3 +65,9 @@ bench tag="local":
 # Hot-path component breakdown for the forecast training loop.
 profile-forecast:
     cargo run --release -p gfs-bench --bin profile_forecast
+
+# Build a bench under the `profiling` profile (release codegen + debug
+# info) and run it in full mode — the binary perf/flamegraph should
+# attach to. Defaults to the fleet-scale suite.
+profile bench="fleet_scale":
+    cargo bench -p gfs-bench --bench {{bench}} --profile profiling

@@ -1,0 +1,182 @@
+//! Fleet-scale engine determinism properties.
+//!
+//! Two contracts pin the sharded engine (see `gfs::sim::fleet`):
+//!
+//! 1. **Thread-count invariance** — `run_fleet` with 8 workers produces
+//!    the same merged report, shard hashes and fleet hash, byte for
+//!    byte, as the serial run, across schedulers × dynamics × seeds.
+//! 2. **Index/scan equivalence** — the O(log n) placement index answers
+//!    every decision exactly as the O(n) reference scan, under random
+//!    interleavings of placements, completions, node failures, drains
+//!    and restores.
+
+use gfs::prelude::*;
+use gfs::sim::fleet::{domain_shards, run_fleet, FleetShard};
+use gfs::trace::fleet::{FleetTraceConfig, FleetTraceGenerator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+type Factory = dyn Fn(usize) -> Box<dyn Scheduler> + Sync;
+
+fn yarn_factory(_: usize) -> Box<dyn Scheduler> {
+    Box::new(YarnCs::new())
+}
+
+fn gfs_factory(_: usize) -> Box<dyn Scheduler> {
+    Box::new(GfsScheduler::with_defaults())
+}
+
+/// Per-shard churn: one staggered failure/recovery plus a drain, all
+/// shard-local (node ids are shard-relative).
+fn churn_plan(shard: usize) -> DynamicsPlan {
+    let s = shard as u64;
+    DynamicsPlan::new(vec![
+        ClusterEvent::down(NodeId::new(1), SimTime::from_hours(3 + s)),
+        ClusterEvent::drain(NodeId::new(2), SimTime::from_hours(5 + s), HOUR),
+        ClusterEvent::up(NodeId::new(1), SimTime::from_hours(9 + s)),
+    ])
+    .expect("ordered plan")
+}
+
+fn build_fleet(seed: u64, churn: bool) -> Vec<FleetShard> {
+    let shards = 3u32;
+    let clusters = domain_shards(shards as usize, 6, GpuModel::A100, 8);
+    let traces = FleetTraceGenerator::new(FleetTraceConfig {
+        shards,
+        tasks: 240,
+        num_orgs: 12,
+        seed,
+        ..FleetTraceConfig::default()
+    })
+    .generate_sharded();
+    clusters
+        .into_iter()
+        .zip(traces)
+        .enumerate()
+        .map(|(s, (cluster, tasks))| FleetShard {
+            cluster,
+            tasks,
+            dynamics: if churn {
+                churn_plan(s)
+            } else {
+                DynamicsPlan::none()
+            },
+        })
+        .collect()
+}
+
+fn report_bytes(fleet: &gfs::sim::FleetReport) -> String {
+    let mut out = String::new();
+    fleet.report.serialize_json(&mut out);
+    out
+}
+
+#[test]
+fn sharded_run_is_bit_identical_across_thread_counts() {
+    let factories: [(&str, &Factory); 2] = [("yarn_cs", &yarn_factory), ("gfs", &gfs_factory)];
+    let cfg = SimConfig {
+        max_time_secs: Some(30 * 24 * HOUR),
+        ..SimConfig::default()
+    };
+    for (name, factory) in factories {
+        for churn in [false, true] {
+            for seed in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+                let serial = run_fleet(build_fleet(seed, churn), factory, &cfg, 1);
+                let parallel = run_fleet(build_fleet(seed, churn), factory, &cfg, 8);
+                assert_eq!(
+                    serial.fleet_hash, parallel.fleet_hash,
+                    "fleet hash drifted: scheduler={name} churn={churn} seed={seed}"
+                );
+                assert_eq!(
+                    serial.shard_hashes, parallel.shard_hashes,
+                    "shard hashes drifted: scheduler={name} churn={churn} seed={seed}"
+                );
+                assert_eq!(
+                    report_bytes(&serial),
+                    report_bytes(&parallel),
+                    "merged report drifted: scheduler={name} churn={churn} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+fn probe_task(id: u64, rng: &mut ChaCha8Rng) -> TaskSpec {
+    let gpus = [1u32, 2, 4, 8][rng.gen_range(0..4)];
+    let pods = if rng.gen_bool(0.2) { 2 } else { 1 };
+    let priority = if rng.gen_bool(0.3) {
+        Priority::Spot
+    } else {
+        Priority::Hp
+    };
+    TaskSpec::builder(id)
+        .org(OrgId::new(rng.gen_range(0..8)))
+        .priority(priority)
+        .pods(pods)
+        .gpus_per_pod(GpuDemand::whole(gpus))
+        .duration_secs(3_600)
+        .build()
+        .expect("valid probe")
+}
+
+#[test]
+fn score_index_agrees_with_scan_under_random_churn() {
+    const NODES: u32 = 48;
+    for seed in [3u64, 11, 29] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut cluster = Cluster::homogeneous(NODES, GpuModel::A100, 8);
+        let pts = gfs::core::Pts::new(GfsParams::default(), PtsVariant::Full);
+        let mut live: Vec<TaskId> = Vec::new();
+        let mut next_id = 1u64;
+        for step in 0..400u64 {
+            let now = SimTime::from_secs(step * 60);
+            match rng.gen_range(0..12u32) {
+                0 => {
+                    let node = NodeId::new(rng.gen_range(0..NODES));
+                    if let Ok(displaced) = cluster.fail_node(node, now) {
+                        live.retain(|id| !displaced.iter().any(|d| d.task.spec.id == *id));
+                    }
+                }
+                1 => {
+                    let node = NodeId::new(rng.gen_range(0..NODES));
+                    let _ = cluster.restore_node(node, now);
+                }
+                2 => {
+                    let node = NodeId::new(rng.gen_range(0..NODES));
+                    let _ = cluster.drain_node(node, now + 2 * HOUR);
+                }
+                3 | 4 if !live.is_empty() => {
+                    let idx = rng.gen_range(0..live.len());
+                    let id = live.swap_remove(idx);
+                    let _ = cluster.finish_task(id, now);
+                }
+                _ => {
+                    let spec = probe_task(next_id, &mut rng);
+                    next_id += 1;
+                    let fast = pts.schedule_nonpreemptive(&spec, &cluster, now);
+                    let slow = pts.schedule_nonpreemptive_scan(&spec, &cluster, now);
+                    assert_eq!(
+                        fast, slow,
+                        "index/scan divergence at step {step} seed {seed}"
+                    );
+                    if let Some(nodes) = fast {
+                        let id = spec.id;
+                        cluster
+                            .start_task(spec, &nodes, now, 0)
+                            .expect("placement admits the task");
+                        live.push(id);
+                    }
+                }
+            }
+            // every mutation is followed by a fresh decision comparison
+            let spec = probe_task(u64::MAX - step, &mut rng);
+            let fast = pts.schedule_nonpreemptive(&spec, &cluster, now);
+            let slow = pts.schedule_nonpreemptive_scan(&spec, &cluster, now);
+            assert_eq!(
+                fast, slow,
+                "post-mutation divergence at step {step} seed {seed}"
+            );
+        }
+    }
+}
