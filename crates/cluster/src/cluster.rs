@@ -1041,6 +1041,7 @@ impl Cluster {
     /// nodes, then re-registration of every running spot placement),
     /// which reproduces the live index's observable behaviour exactly.
     #[must_use]
+    // gfs-lint: allow(changelog-coverage, "constructor returns a fresh ChangeLog instance; instance minting already forces every ScoreIndex reader to full-rebuild")
     pub fn from_snapshot(s: ClusterSnapshot) -> Cluster {
         let nodes: Vec<Node> = s.nodes.into_iter().map(Node::from_snapshot).collect();
         let mut index = CapacityIndex::build(&nodes);

@@ -12,7 +12,7 @@
 //!   a collapsed quota would suppress the very signal (long queues) that
 //!   Eq. 11 uses to recover.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use gfs_cluster::Cluster;
 use gfs_types::{EtaUpdateRule, GfsParams, SimDuration, SimTime, TaskId};
@@ -31,7 +31,7 @@ pub struct SpotQuotaAllocator {
     quota: f64,
     evictions: VecDeque<SimTime>,
     spot_starts: VecDeque<(SimTime, SimDuration)>, // (start, queued_secs)
-    waiting: HashMap<TaskId, SimTime>,             // spot tasks in the queue
+    waiting: BTreeMap<TaskId, SimTime>,            // spot tasks in the queue
     /// Aggregated demand upper bound of the last [`Self::update`]; reused
     /// by [`Self::refresh_capacity`] between quota ticks.
     last_upper: f64,
@@ -45,7 +45,9 @@ pub struct SpotQuotaAllocator {
 /// configured [`GfsParams`] are deliberately excluded: a restore always
 /// happens into an allocator rebuilt by the same scheduler factory, which
 /// supplies them. The waiting set is keyed and sorted by task id so the
-/// JSON encoding is canonical (the live `HashMap` has no stable order).
+/// JSON encoding is canonical — the live `BTreeMap` already iterates in
+/// that order (it was a `HashMap` until the det-iter lint flagged its
+/// iteration sites as replay-determinism hazards).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SqaState {
     eta: f64,
@@ -61,9 +63,8 @@ impl SpotQuotaAllocator {
     /// Captures the allocator's dynamic state for a service snapshot.
     #[must_use]
     pub fn save_state(&self) -> SqaState {
-        let mut waiting: Vec<(TaskId, SimTime)> =
+        let waiting: Vec<(TaskId, SimTime)> =
             self.waiting.iter().map(|(&t, &at)| (t, at)).collect();
-        waiting.sort_unstable_by_key(|&(t, _)| t);
         SqaState {
             eta: self.eta,
             quota: self.quota,
@@ -97,7 +98,7 @@ impl SpotQuotaAllocator {
             quota: 0.0,
             evictions: VecDeque::new(),
             spot_starts: VecDeque::new(),
-            waiting: HashMap::new(),
+            waiting: BTreeMap::new(),
             last_upper: 0.0,
             updated: false,
         }

@@ -33,6 +33,7 @@ mod eval;
 pub mod metrics;
 mod models;
 pub mod stats;
+mod timing;
 
 pub use eval::evaluate;
 pub use metrics::ModelScores;

@@ -4,8 +4,6 @@
 //! the final state to `(μ, σ)` sequences, trained by NLL — the strongest
 //! probabilistic baseline of Table 7.
 
-use std::time::Instant;
-
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -13,6 +11,7 @@ use gfs_nn::{Adam, Graph, GruCell, Linear, Optimizer, Param, Tensor, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
+use crate::timing::TrainTimer;
 
 const HIDDEN: usize = 24;
 const SIGMA_FLOOR: f64 = 1e-3;
@@ -88,7 +87,7 @@ impl Forecaster for DeepAr {
     }
 
     fn fit(&mut self, data: &OrgDataset, cfg: &TrainConfig) -> FitReport {
-        let start = Instant::now();
+        let start = TrainTimer::start();
         self.norm = data.normalizer(cfg.train_frac);
         let (train, _) = data.split(cfg.stride, cfg.train_frac);
         let mut opt = Adam::new(self.params(), cfg.lr);
@@ -115,7 +114,7 @@ impl Forecaster for DeepAr {
             final_loss = total / n.max(1) as f64;
         }
         FitReport {
-            train_time_secs: start.elapsed().as_secs_f64(),
+            train_time_secs: start.elapsed_secs(),
             final_loss,
             samples: train.len(),
         }

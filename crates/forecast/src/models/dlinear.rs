@@ -2,8 +2,6 @@
 //! followed by two independent linear projections — no context features, no
 //! uncertainty head.
 
-use std::time::Instant;
-
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -12,6 +10,7 @@ use gfs_nn::{loss, Adam, Graph, Linear, Optimizer, Param, Tensor, Var};
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::decompose::decompose_into;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
+use crate::timing::TrainTimer;
 
 const MA_WINDOW: usize = 25;
 
@@ -76,7 +75,7 @@ impl Forecaster for DLinear {
     }
 
     fn fit(&mut self, data: &OrgDataset, cfg: &TrainConfig) -> FitReport {
-        let start = Instant::now();
+        let start = TrainTimer::start();
         self.norm = data.normalizer(cfg.train_frac);
         let (train, _) = data.split(cfg.stride, cfg.train_frac);
         let mut opt = Adam::new(self.params(), cfg.lr);
@@ -103,7 +102,7 @@ impl Forecaster for DLinear {
             final_loss = total / n.max(1) as f64;
         }
         FitReport {
-            train_time_secs: start.elapsed().as_secs_f64(),
+            train_time_secs: start.elapsed_secs(),
             final_loss,
             samples: train.len(),
         }

@@ -11,8 +11,6 @@
 //! * a softplus variance head for heteroscedastic uncertainty (Eq. 7),
 //! * maximum-likelihood training under a Gaussian NLL (Eq. 8).
 
-use std::time::Instant;
-
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -21,6 +19,7 @@ use gfs_nn::{Adam, Embedding, Graph, Linear, Optimizer, Param, Tensor, Var};
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::decompose::decompose_into;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
+use crate::timing::TrainTimer;
 
 /// Embedding width per temporal component (hour / weekday / holiday).
 const TEMPORAL_DIM: usize = 4;
@@ -236,7 +235,7 @@ impl Forecaster for OrgLinear {
     }
 
     fn fit(&mut self, data: &OrgDataset, cfg: &TrainConfig) -> FitReport {
-        let start = Instant::now();
+        let start = TrainTimer::start();
         self.norm = data.normalizer(cfg.train_frac);
         let (train, _) = data.split(cfg.stride, cfg.train_frac);
         let mut opt = Adam::new(self.params(), cfg.lr);
@@ -263,7 +262,7 @@ impl Forecaster for OrgLinear {
             final_loss = epoch_loss / batches.max(1) as f64;
         }
         FitReport {
-            train_time_secs: start.elapsed().as_secs_f64(),
+            train_time_secs: start.elapsed_secs(),
             final_loss,
             samples: train.len(),
         }

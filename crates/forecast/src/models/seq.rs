@@ -5,12 +5,11 @@
 //! window length), so the fit loop accumulates per-sample MSE losses inside
 //! a shared graph per mini-batch.
 
-use std::time::Instant;
-
 use gfs_nn::{loss, Adam, Graph, Optimizer, Param, Tensor, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::models::{minibatches, FitReport, Forecast, TrainConfig};
+use crate::timing::TrainTimer;
 
 /// Internal interface of a point sequence model.
 pub(crate) trait SeqModel {
@@ -30,7 +29,7 @@ pub(crate) fn fit_seq<M: SeqModel>(
     data: &OrgDataset,
     cfg: &TrainConfig,
 ) -> FitReport {
-    let start = Instant::now();
+    let start = TrainTimer::start();
     model.set_norm(data.normalizer(cfg.train_frac));
     let (train, _) = data.split(cfg.stride, cfg.train_frac);
     let mut opt = Adam::new(model.params(), cfg.lr);
@@ -66,7 +65,7 @@ pub(crate) fn fit_seq<M: SeqModel>(
         final_loss = total / n.max(1) as f64;
     }
     FitReport {
-        train_time_secs: start.elapsed().as_secs_f64(),
+        train_time_secs: start.elapsed_secs(),
         final_loss,
         samples: train.len(),
     }

@@ -1,0 +1,534 @@
+//! A hand-written, lossy Rust lexer — just enough structure for the rule
+//! engine: identifiers, single-character punctuation, literals and
+//! lifetimes, with comments and string/char literal *contents* discarded
+//! (so a `HashMap` mentioned in a doc comment or a format string can never
+//! trip a rule). Line comments are additionally scanned for
+//! `gfs-lint: allow(rule, "reason")` pragmas.
+//!
+//! The lexer is deliberately not a parser: rules work over the flat token
+//! stream with small pattern matchers (see [`crate::rules`]). That keeps
+//! the whole pass offline-buildable with zero dependencies — no `syn`, no
+//! proc-macro machinery — at the cost of being a heuristic: pragmas exist
+//! exactly because a lexer-level scanner cannot always prove intent.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `for`, …).
+    Ident,
+    /// One punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// Numeric, string, byte-string or char literal (contents discarded
+    /// for strings/chars; the span still points at the source).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One token: kind plus its byte span and 1-based source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+/// A `// gfs-lint: allow(rule, "reason")` escape hatch found in a line
+/// comment. A malformed pragma (unparseable arguments, missing or empty
+/// reason) is reported by the engine as a `bad-pragma` finding instead of
+/// silently suppressing anything.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Whether the comment is the only thing on its line (then it applies
+    /// to the next token-bearing line instead of its own).
+    pub standalone: bool,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The quoted justification. Required; must be non-empty.
+    pub reason: String,
+    /// Parse error, when the pragma text after `gfs-lint:` is malformed.
+    pub malformed: Option<String>,
+}
+
+/// A lexed file: the source, its token stream and any pragmas.
+#[derive(Debug)]
+pub struct LexFile<'a> {
+    /// The original source text.
+    pub src: &'a str,
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl LexFile<'_> {
+    /// The source text of token `i`, or `""` out of range.
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        match self.toks.get(i) {
+            Some(t) => self.src.get(t.start..t.end).unwrap_or(""),
+            None => "",
+        }
+    }
+
+    /// Whether token `i` is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, word: &str) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Ident) && self.text(i) == word
+    }
+
+    /// Whether token `i` is the punctuation `c`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Punct(c))
+    }
+
+    /// 1-based line of token `i` (0 when out of range).
+    #[must_use]
+    pub fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Index one past the `}` matching the `{` at token index `open`
+    /// (which must be a `{`); `toks.len()` when unbalanced.
+    #[must_use]
+    pub fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`. Never fails: unrecognized bytes are skipped.
+#[must_use]
+pub fn lex(src: &str) -> LexFile<'_> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut pragmas = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize; // byte offset of the current line's start
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr) => {
+            toks.push(Tok {
+                kind: $kind,
+                line,
+                start: $start,
+                end: $end,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // line comment: scan to EOL, check for a pragma
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                // doc comments (`///`, `//!`) are prose *about* pragmas,
+                // never pragmas themselves
+                let doc = comment.starts_with("///") || comment.starts_with("//!");
+                let standalone = src[line_start..start].trim().is_empty();
+                if !doc {
+                    if let Some(p) = parse_pragma(comment, line, standalone) {
+                        pragmas.push(p);
+                    }
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // block comment, nested
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                            line_start = i + 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i, &mut line, &mut line_start);
+                push!(TokKind::Literal, start, i);
+            }
+            b'\'' => {
+                // char literal vs lifetime
+                let start = i;
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    // escaped char literal: skip to closing quote
+                    i += 2;
+                    if i < n {
+                        i += 1; // the escaped char
+                    }
+                    while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1; // \u{...} tails
+                    }
+                    if i < n && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    push!(TokKind::Literal, start, i);
+                } else if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] == b'\'' {
+                    i += 3; // 'x'
+                    push!(TokKind::Literal, start, i);
+                } else if i + 1 < n && is_ident_start(b[i + 1]) {
+                    // lifetime or label
+                    i += 1;
+                    while i < n && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    push!(TokKind::Lifetime, start, i);
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    i += 3; // e.g. ' ' or any single-byte char
+                    push!(TokKind::Literal, start, i);
+                } else {
+                    i += 1;
+                    push!(TokKind::Punct('\''), start, i);
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if is_ident_cont(b[i]) {
+                        i += 1;
+                    } else if b[i] == b'.'
+                        && i + 1 < n
+                        && b[i + 1].is_ascii_digit()
+                        && !src[start..i].contains('.')
+                    {
+                        i += 1; // decimal point (not `..`)
+                    } else if (b[i] == b'+' || b[i] == b'-')
+                        && matches!(b[i - 1], b'e' | b'E')
+                        && src[start..i]
+                            .chars()
+                            .next()
+                            .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        i += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokKind::Literal, start, i);
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                // raw strings / byte strings: r"..", r#".."#, b"..", br#".."#
+                let raw = maybe_raw_string(b, i);
+                if let Some(end) = raw {
+                    let text = &src[i..end];
+                    line += text.bytes().filter(|&x| x == b'\n').count() as u32;
+                    if let Some(last_nl) = text.rfind('\n') {
+                        line_start = i + last_nl + 1;
+                    }
+                    i = end;
+                    push!(TokKind::Literal, start, i);
+                    continue;
+                }
+                if c == b'r'
+                    && i + 1 < n
+                    && b[i + 1] == b'#'
+                    && i + 2 < n
+                    && is_ident_start(b[i + 2])
+                {
+                    i += 2; // raw identifier r#ident
+                }
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                // b'x' byte char literal
+                if c == b'b' && i == start + 1 && i < n && b[i] == b'\'' {
+                    i += 1;
+                    while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    if i < n && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    push!(TokKind::Literal, start, i);
+                    continue;
+                }
+                push!(TokKind::Ident, start, i);
+            }
+            _ if c.is_ascii_punctuation() => {
+                push!(TokKind::Punct(c as char), i, i + 1);
+                i += 1;
+            }
+            _ => i += 1, // stray non-ASCII byte outside any token
+        }
+    }
+
+    LexFile { src, toks, pragmas }
+}
+
+/// Consumes a `"…"` string starting at `i` (which must be the opening
+/// quote), honouring backslash escapes; returns the index past the
+/// closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32, line_start: &mut usize) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+                *line_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// When the bytes at `i` start a raw/byte string (`r"`, `r#"`, `b"`,
+/// `br#"` …), returns the index one past its end.
+fn maybe_raw_string(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    // optional b prefix, then r for raw (or bare b for a byte string)
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        raw = true;
+        j += 1;
+    } else {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != b'"' {
+            return None;
+        }
+        j += 1;
+        // scan for `"` followed by `hashes` hash marks
+        while j < n {
+            if b[j] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some(j + 1 + hashes);
+                }
+            }
+            j += 1;
+        }
+        Some(n)
+    } else {
+        // b"..." — ordinary escapes
+        if j >= n || b[j] != b'"' {
+            return None;
+        }
+        j += 1;
+        while j < n {
+            match b[j] {
+                b'\\' => j += 2,
+                b'"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        Some(n)
+    }
+}
+
+/// Parses a pragma out of one line comment, if it contains the
+/// `gfs-lint:` marker. Returns `None` for ordinary comments.
+fn parse_pragma(comment: &str, line: u32, standalone: bool) -> Option<Pragma> {
+    let at = comment.find("gfs-lint:")?;
+    let rest = comment[at + "gfs-lint:".len()..].trim();
+    let bad = |msg: &str| Pragma {
+        line,
+        standalone,
+        rule: String::new(),
+        reason: String::new(),
+        malformed: Some(msg.to_string()),
+    };
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Some(bad("expected `allow(rule, \"reason\")`"));
+    };
+    let args = args.trim();
+    let inner = match args.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+        Some(s) => s,
+        None => return Some(bad("expected `allow(rule, \"reason\")`")),
+    };
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return Some(bad("missing reason: `allow(rule, \"reason\")`"));
+    };
+    let reason_part = reason_part.trim();
+    let reason = match reason_part
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+    {
+        Some(r) => r,
+        None => return Some(bad("reason must be a double-quoted string")),
+    };
+    if reason.trim().is_empty() {
+        return Some(bad("reason must not be empty"));
+    }
+    Some(Pragma {
+        line,
+        standalone,
+        rule: rule.trim().to_string(),
+        reason: reason.to_string(),
+        malformed: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let f = lex(src);
+        (0..f.toks.len())
+            .filter(|&i| f.toks[i].kind == TokKind::Ident)
+            .map(|i| f.text(i).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let x = "HashMap::new()";
+            let y = r#"HashMap"#;
+            let z = b"HashMap";
+            let c = 'H';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'x'; g(c) }");
+        assert!(ids.contains(&"g".to_string()));
+        let f = lex("&'static str");
+        assert!(f
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && f.src[t.start..t.end] == *"'static"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_strings() {
+        let src = "a\n\"x\ny\"\nb";
+        let f = lex(src);
+        let a = f
+            .toks
+            .iter()
+            .find(|t| f.src[t.start..t.end] == *"a")
+            .unwrap();
+        let bt = f
+            .toks
+            .iter()
+            .find(|t| f.src[t.start..t.end] == *"b")
+            .unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(bt.line, 4);
+    }
+
+    #[test]
+    fn number_lexing_stops_at_range() {
+        let f = lex("for i in 0..10 {}");
+        let lits: Vec<&str> = (0..f.toks.len())
+            .filter(|&i| f.toks[i].kind == TokKind::Literal)
+            .map(|i| f.text(i))
+            .collect();
+        assert_eq!(lits, vec!["0", "10"]);
+        let f = lex("let x = 1.5e-3;");
+        assert!((0..f.toks.len()).any(|i| f.text(i) == "1.5e-3"));
+    }
+
+    #[test]
+    fn pragmas_parse_and_report_malformed() {
+        let src = "\
+// gfs-lint: allow(det-iter, \"order-free max\")
+x.iter(); // gfs-lint: allow(det-clock, \"inline\")
+// gfs-lint: allow(det-iter)
+";
+        let f = lex(src);
+        assert_eq!(f.pragmas.len(), 3);
+        assert_eq!(f.pragmas[0].rule, "det-iter");
+        assert!(f.pragmas[0].standalone);
+        assert!(f.pragmas[0].malformed.is_none());
+        assert_eq!(f.pragmas[1].rule, "det-clock");
+        assert!(!f.pragmas[1].standalone);
+        assert!(f.pragmas[2].malformed.is_some());
+    }
+
+    #[test]
+    fn match_brace_spans_bodies() {
+        let f = lex("fn f() { if x { y(); } } fn g() {}");
+        let open = (0..f.toks.len()).find(|&i| f.is_punct(i, '{')).unwrap();
+        let end = f.match_brace(open);
+        assert!(f.is_ident(end, "fn"), "next item after f's body");
+    }
+}

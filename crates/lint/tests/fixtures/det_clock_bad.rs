@@ -1,0 +1,8 @@
+// Fixture: det-clock violations — wall-clock reads in a decision path.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,23 @@
+// Fixture: det-iter violations. Scanned under the pseudo-path
+// `crates/sched/src/fixture.rs`; never compiled.
+use std::collections::{HashMap, HashSet};
+
+struct Scores {
+    per_node: HashMap<u64, f64>,
+}
+
+fn pick(scores: &Scores, live: &HashSet<u64>) -> u64 {
+    let mut best = 0u64;
+    for (node, score) in scores.per_node.iter() {
+        let _ = score;
+        best = best.max(*node);
+    }
+    for id in live {
+        best = best.min(*id);
+    }
+    best
+}
+
+fn drain_all(m: &mut HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    m.drain().collect()
+}

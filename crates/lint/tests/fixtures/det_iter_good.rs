@@ -1,0 +1,25 @@
+// Fixture: det-iter clean patterns — keyed access only, BTreeMap
+// iteration, and hash iteration confined to a test module.
+use std::collections::{BTreeMap, HashMap};
+
+struct Budget {
+    budget: HashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+fn lookup(b: &mut Budget, node: u64) -> u32 {
+    let cached = b.budget.get(&node).copied().unwrap_or(0);
+    *b.budget.entry(node).or_insert(cached);
+    b.budget.insert(node, cached + 1);
+    b.budget.remove(&node);
+    b.ordered.iter().map(|(_, v)| v).sum::<u32>() + cached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_does_not_matter_here(m: &HashMap<u64, u32>) -> u32 {
+        m.values().sum()
+    }
+}

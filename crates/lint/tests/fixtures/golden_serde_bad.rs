@@ -1,0 +1,11 @@
+// Fixture: golden-serde — one paired field (clean), one unpaired (bad),
+// one paired across split attributes (clean).
+struct Report {
+    #[serde(skip_serializing_if = "is_zero", default)]
+    paired: u64,
+    #[serde(skip_serializing_if = "is_zero")]
+    unpaired: u64,
+    #[serde(skip_serializing_if = "is_zero")]
+    #[serde(default)]
+    split_paired: u64,
+}

@@ -1,0 +1,16 @@
+// Fixture: pragma handling. Two suppressed det-iter findings (standalone
+// and inline form), one unsuppressed, one malformed pragma and one naming
+// an unknown rule.
+use std::collections::HashMap;
+
+fn stats(m: &HashMap<u64, u64>) -> (u64, u64, u64) {
+    // gfs-lint: allow(det-iter, "max over u64 keys is order-independent")
+    let hi = m.keys().copied().max().unwrap_or(0);
+    let sum: u64 = m.values().sum(); // gfs-lint: allow(det-iter, "sum of u64s is order-independent")
+    let lo = m.keys().copied().min().unwrap_or(0);
+    (hi, sum, lo)
+}
+
+// gfs-lint: allow(det-iter)
+// gfs-lint: allow(no-such-rule, "typo in the rule name")
+fn tail() {}

@@ -1,0 +1,14 @@
+// Fixture: service-unwrap. Scanned under the pseudo-path
+// `crates/sim/src/service.rs`: panics inside journal/recovery functions
+// are findings; the same calls elsewhere are not.
+impl ClusterService {
+    pub fn replay_journal(&mut self, text: &str) {
+        let first = text.lines().next().unwrap();
+        let seq: u64 = first.parse().expect("seq");
+        self.seq = seq;
+    }
+
+    pub fn step(&mut self) {
+        self.heap.peek().unwrap();
+    }
+}

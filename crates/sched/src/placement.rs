@@ -374,7 +374,9 @@ where
         GpuDemand::Whole(need) => cluster.whole_fit_candidates(task.gpu_model, need),
         GpuDemand::Fraction(f) => cluster.fraction_fit_candidates(task.gpu_model, f),
     };
-    // virtual idle budget, tracked only for nodes the gang actually picks
+    // virtual idle budget, tracked only for nodes the gang actually picks.
+    // Keyed lookups only (`get`/`entry`), never iterated — the det-iter
+    // lint's canonical clean pattern: hash order can't reach a decision.
     let mut budget: HashMap<NodeId, u32> = HashMap::new();
     let mut out = Vec::with_capacity(task.pods as usize);
     for _ in 0..task.pods {
@@ -482,7 +484,9 @@ where
     // satisfy a pod; the index enumerates exactly those, ascending by id
     // (matching the former full-scan visit order).
     let candidates = cluster.preemption_candidates(task.gpu_model, need.ceil() as u32);
-    // virtual idle capacity per node, updated as we plan evictions
+    // virtual idle capacity per node, updated as we plan evictions.
+    // Keyed lookups only (`get`/`entry`), never iterated — candidate order
+    // comes from `preemption_candidates`, so hash order never decides.
     let mut virt_idle: HashMap<NodeId, f64> = HashMap::new();
     let mut evicted: Vec<TaskId> = Vec::new();
     let mut pod_nodes = Vec::with_capacity(task.pods as usize);

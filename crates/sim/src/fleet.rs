@@ -48,6 +48,15 @@
 //! same fleet at one thread, and a single-shard fleet is identical to a
 //! plain [`crate::run`].
 //!
+//! These rules only hold if no decision path smuggles in a
+//! nondeterministic order or clock. That side of the contract is
+//! enforced statically by the `gfs_lint` crate (`just lint`): `det-iter`
+//! bans hash-container iteration in decision crates, `det-clock` bans
+//! wall-clock reads outside the bench/timing allowlists, and
+//! `changelog-coverage` guards the index-invalidation contract below —
+//! see the `gfs_lint` crate docs for the full rule table and the
+//! `// gfs-lint: allow(rule, "reason")` escape hatch.
+//!
 //! # Index invalidation contract
 //!
 //! Shards also bound the *placement index* story. Each shard's

@@ -2,7 +2,7 @@
 # recipes by hand — each is a single cargo invocation (or a small loop).
 
 # Build, test, lint, gate — the full CI pipeline.
-ci: fmt build test clippy bench-smoke bench-gate lab-smokes examples-smoke
+ci: fmt build test clippy lint bench-smoke bench-gate lab-smokes examples-smoke
 
 # Formatting gate (no diffs tolerated).
 fmt:
@@ -19,6 +19,16 @@ test:
 # Lint with warnings denied (kept at zero).
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace determinism/golden-pin static analysis (gfs_lint self-scan):
+# hard-fails when any per-(path, rule) finding count exceeds the committed
+# LINT_BASELINE.json. Std-only, offline, sub-second.
+lint:
+    cargo run --release -q -p gfs-lint --bin gfs_lint -- check
+
+# Re-record the accepted lint debt after fixing findings (ratchet down).
+lint-baseline:
+    cargo run --release -q -p gfs-lint --bin gfs_lint -- record
 
 # Short-mode benchmark smoke run (seconds, not minutes).
 bench-smoke:
