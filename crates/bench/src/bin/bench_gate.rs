@@ -17,10 +17,20 @@
 //! with no current entry (retired benchmarks) are reported but never
 //! fail the gate.
 //!
+//! A second, independent check gates the *noise itself*: an entry also
+//! fails when its current `spread_pct` exceeds 2× the baseline's
+//! recorded spread. A wide spread inflates the slowdown tolerance above,
+//! so without this check a regression could hide inside a measurement
+//! that suddenly became noisy — the spread gate forces that situation to
+//! surface as its own failure instead. Baselines that predate the spread
+//! schema (recorded spread 0) skip the check; re-record a full-mode
+//! baseline to arm it.
+//!
 //! ```text
 //! cargo run --release -p gfs-bench --bin bench_gate       # after a bench run
 //! GFS_BENCH_DIR=<dir> …                                   # where the JSONs live
 //! GFS_GATE_FACTOR=3.0 …                                   # override the 2.5× bar
+//! GFS_GATE_SPREAD_FACTOR=4.0 …                            # override the 2× spread bar
 //! ```
 
 use serde::Deserialize;
@@ -54,6 +64,17 @@ const SUITES: [&str; 4] = [
     "fleet_scale",
 ];
 const DEFAULT_FACTOR: f64 = 2.5;
+/// A current spread beyond this multiple of the baseline's spread fails
+/// the gate (the measurement got too noisy to trust, which would widen
+/// the slowdown tolerance above into meaninglessness).
+const DEFAULT_SPREAD_FACTOR: f64 = 2.0;
+/// Spreads below this many percent never fail the spread gate: the
+/// short-mode smoke run (3 reps × 15 ms) routinely measures 10–20 %
+/// spread on a healthy entry whose full-mode baseline recorded 1–4 %,
+/// so a 2× ratio alone would flake. Above this floor a wide spread
+/// starts buying real slack in the slowdown tolerance, which is exactly
+/// what the gate exists to deny.
+const SPREAD_FLOOR_PCT: f64 = 25.0;
 
 fn load(path: &str) -> Option<BenchFile> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -83,6 +104,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_FACTOR);
+    let spread_factor: f64 = std::env::var("GFS_GATE_SPREAD_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SPREAD_FACTOR);
 
     let mut failures = 0u32;
     let mut compared = 0u32;
@@ -128,10 +153,24 @@ fn main() {
             let ratio = cur.mean_ns / base.mean_ns.max(1e-9);
             let spread = cur.spread_pct.max(base.spread_pct);
             let allowed = factor * (1.0 + spread / 100.0);
-            let ok = ratio <= allowed;
-            if !ok {
+            let slow = ratio > allowed;
+            // spread gate: armed only for baselines recorded with the
+            // spread schema, and only above the jitter floor
+            let noisy = base.spread_pct > 0.0
+                && cur.spread_pct > SPREAD_FLOOR_PCT
+                && cur.spread_pct > spread_factor * base.spread_pct;
+            if slow || noisy {
                 failures += 1;
             }
+            let verdict = match (slow, noisy) {
+                (false, false) => "ok".to_string(),
+                (true, false) => "REGRESSION".to_string(),
+                (false, true) => format!(
+                    "NOISY (±{:.0}% > {spread_factor}x baseline ±{:.0}%)",
+                    cur.spread_pct, base.spread_pct
+                ),
+                (true, true) => "REGRESSION+NOISY".to_string(),
+            };
             println!(
                 "{:<36} {:>12} {:>12} {:>7.2}x {:>8} {:>8.2}x  {}",
                 cur.name,
@@ -140,7 +179,7 @@ fn main() {
                 ratio,
                 format!("±{spread:.0}%"),
                 allowed,
-                if ok { "ok" } else { "REGRESSION" },
+                verdict,
             );
         }
         for base in &baseline.results {
@@ -158,7 +197,7 @@ fn main() {
 
     println!(
         "bench_gate: {compared} entries compared, {failures} failure(s) \
-         (bar: {factor}x plus measured spread)"
+         (bars: {factor}x slowdown plus measured spread; {spread_factor}x spread growth)"
     );
     if failures > 0 {
         std::process::exit(1);

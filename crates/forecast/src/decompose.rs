@@ -82,20 +82,88 @@ pub fn decompose(xs: &[f64], window: usize) -> (Vec<f64>, Vec<f64>) {
 }
 
 /// [`decompose`] writing its results into caller buffers of length
-/// `xs.len()` — the per-sample form used inside training loops, where the
-/// outputs land directly in batch-matrix rows (the moving average itself
-/// still allocates its padded/prefix scratch internally).
+/// `xs.len()` — the per-sample form used in tests and one-off callers.
+/// Training loops use [`DecomposeScratch::decompose_into`] instead, which
+/// produces bit-identical output from pooled scratch.
 ///
 /// # Panics
 ///
 /// Panics if the output slices are not the same length as `xs`.
 pub fn decompose_into(xs: &[f64], window: usize, trend: &mut [f64], cyclical: &mut [f64]) {
-    assert_eq!(trend.len(), xs.len(), "trend buffer length mismatch");
-    assert_eq!(cyclical.len(), xs.len(), "cyclical buffer length mismatch");
-    let t = moving_average(xs, window);
-    trend.copy_from_slice(&t);
-    for ((c, x), tv) in cyclical.iter_mut().zip(xs).zip(&t) {
-        *c = x - tv;
+    DecomposeScratch::default().decompose_into(xs, window, trend, cyclical);
+}
+
+/// Reusable padded/prefix buffers for the decomposition kernel. The
+/// allocating [`decompose`]/[`decompose_into`] forms cost three heap
+/// allocations per call; inside a training loop that is three per sample
+/// per batch, which violates the tape arena's zero-allocation
+/// steady-state contract (see the `forecast-alloc-gate` lane). Holding
+/// one of these per model makes every warm call allocation-free while
+/// producing **bit-identical** floats: the padded series, the prefix
+/// sums, and the windowed-mean expression are exactly those of
+/// [`moving_average`].
+#[derive(Debug, Default, Clone)]
+pub struct DecomposeScratch {
+    padded: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl DecomposeScratch {
+    /// [`decompose_into`] from pooled scratch; same contract, same
+    /// output bits, zero allocations once the buffers are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is even or zero, or the output slices are not
+    /// the same length as `xs`.
+    pub fn decompose_into(
+        &mut self,
+        xs: &[f64],
+        window: usize,
+        trend: &mut [f64],
+        cyclical: &mut [f64],
+    ) {
+        assert_eq!(trend.len(), xs.len(), "trend buffer length mismatch");
+        assert_eq!(cyclical.len(), xs.len(), "cyclical buffer length mismatch");
+        assert!(
+            window % 2 == 1 && window > 0,
+            "window must be odd and positive"
+        );
+        if xs.is_empty() {
+            return;
+        }
+        let half = window / 2;
+        let n = xs.len();
+        // identical reflection rule to `moving_average`
+        let reflect = |i: isize| -> usize {
+            let idx = if i < 0 {
+                (-i) as usize % (2 * n.max(1))
+            } else if (i as usize) >= n {
+                let over = i as usize - n + 1;
+                n.saturating_sub(1 + over % n.max(1))
+            } else {
+                i as usize
+            };
+            idx.min(n - 1)
+        };
+        self.padded.clear();
+        for i in -(half as isize)..(n + half) as isize {
+            self.padded.push(xs[reflect(i)]);
+        }
+        // identical prefix-sum accumulation to `windowed_means`
+        self.prefix.clear();
+        let mut acc = 0.0;
+        self.prefix.push(0.0);
+        for &v in &self.padded {
+            acc += v;
+            self.prefix.push(acc);
+        }
+        for (c, t) in trend.iter_mut().enumerate() {
+            *t = (self.prefix[c + window] - self.prefix[c]) / window as f64;
+        }
+        for ((c, x), tv) in cyclical.iter_mut().zip(xs).zip(trend.iter()) {
+            *c = x - tv;
+        }
     }
 }
 
@@ -162,6 +230,24 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn scratch_form_is_bit_identical_and_reusable() {
+        let mut sc = DecomposeScratch::default();
+        for (len, window) in [(20usize, 5usize), (96, 25), (7, 3), (96, 25)] {
+            let xs: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 0.37).sin() * 12.3 + i as f64 * 0.05)
+                .collect();
+            let (trend, cyc) = decompose(&xs, window);
+            let mut t2 = vec![0.0; len];
+            let mut c2 = vec![0.0; len];
+            // the same scratch across different shapes must still match
+            // the allocating form bit-for-bit
+            sc.decompose_into(&xs, window, &mut t2, &mut c2);
+            assert_eq!(trend, t2, "trend bits drifted (len={len}, w={window})");
+            assert_eq!(cyc, c2, "cyclical bits drifted (len={len}, w={window})");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod timing;
 pub use eval::evaluate;
 pub use metrics::ModelScores;
 pub use models::{
-    AutoformerForecaster, DLinear, DeepAr, FedformerForecaster, FitReport, Forecast, Forecaster,
-    InformerForecaster, LastWeekPeak, OrgLinear, SeasonalNaive, TrainConfig, TransformerForecaster,
+    minibatches, AutoformerForecaster, DLinear, DeepAr, FedformerForecaster, FitReport, Forecast,
+    Forecaster, InformerForecaster, LastWeekPeak, OrgLinear, SeasonalNaive, TrainConfig,
+    TransformerForecaster,
 };

@@ -3,11 +3,18 @@
 //! window step by step (with diurnal phase features), and linear heads map
 //! the final state to `(μ, σ)` sequences, trained by NLL — the strongest
 //! probabilistic baseline of Table 7.
+//!
+//! The whole unrolled encoder is one fused [`GruCell::scan`] tape entry
+//! over a persistent [`Graph`] arena: after the first batch warms the
+//! arena, a training step allocates nothing (see the `forecast-alloc-gate`
+//! test lane).
+
+use std::cell::RefCell;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use gfs_nn::{Adam, Graph, GruCell, Linear, Optimizer, Param, Tensor, Var};
+use gfs_nn::{Adam, Graph, GruCell, Linear, Optimizer, Param, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
@@ -24,6 +31,7 @@ pub struct DeepAr {
     head_sigma: Linear,
     norm: Normalizer,
     horizon: usize,
+    graph: RefCell<Graph>,
 }
 
 impl DeepAr {
@@ -37,6 +45,7 @@ impl DeepAr {
             head_sigma: Linear::new(HIDDEN, data.horizon(), &mut rng),
             norm: data.normalizer(0.8),
             horizon: data.horizon(),
+            graph: RefCell::new(Graph::new()),
         }
     }
 
@@ -47,28 +56,28 @@ impl DeepAr {
         p
     }
 
-    /// Encodes a batch of windows with the GRU and emits `(mu, pre)`,
-    /// where `pre` is the *pre-activation* of the variance head: apply
-    /// `softplus(pre) + SIGMA_FLOOR` to obtain σ (training fuses that map
-    /// into the loss; `predict` applies it explicitly)
+    /// Encodes a batch of windows with one fused GRU scan and emits
+    /// `(mu, pre)`, where `pre` is the *pre-activation* of the variance
+    /// head: apply `softplus(pre) + SIGMA_FLOOR` to obtain σ (training
+    /// fuses that map into the loss; `predict` applies it explicitly)
     /// in normalized space (`B × H` each).
     fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> (Var, Var) {
         let b = batch.len();
         let l = data.input_len();
-        let mut h = self.cell.initial_state(g, b);
-        let cell_nodes = self.cell.bind(g);
+        // time-major scan input: rows [t·b, (t+1)·b) hold step t
+        let xs = g.constant_slot(l * b, 3);
+        let buf = g.slot_mut(xs);
         for t in 0..l {
-            let mut x = Tensor::zeros(b, 3);
             for (r, s) in batch.iter().enumerate() {
                 let abs_hour = (s.start + t) % 24;
                 let phase = abs_hour as f64 / 24.0 * std::f64::consts::TAU;
-                x[(r, 0)] = self.norm.norm(s.org, data.input(*s)[t]);
-                x[(r, 1)] = phase.sin();
-                x[(r, 2)] = phase.cos();
+                let base = (t * b + r) * 3;
+                buf[base] = self.norm.norm(s.org, data.input(*s)[t]);
+                buf[base + 1] = phase.sin();
+                buf[base + 2] = phase.cos();
             }
-            let xv = g.constant(x);
-            h = self.cell.step_bound(g, &cell_nodes, xv, h);
         }
+        let h = self.cell.scan(g, xs, l);
         let mu = self.head_mu.forward(g, h);
         // pre-activation variance head; σ = softplus(·) + floor is fused
         // into the NLL during training and applied directly in predict
@@ -96,15 +105,16 @@ impl Forecaster for DeepAr {
             let mut total = 0.0;
             let mut n = 0usize;
             for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
-                let mut g = Graph::new();
+                let mut g = self.graph.borrow_mut();
+                g.reset();
                 let (mu, sigma_pre) = self.forward(&mut g, data, &batch);
-                let mut target = Tensor::zeros(batch.len(), self.horizon);
+                let t = g.constant_slot(batch.len(), self.horizon);
+                let tgt = g.slot_mut(t);
                 for (r, s) in batch.iter().enumerate() {
                     for (c, &y) in data.target(*s).iter().enumerate() {
-                        target[(r, c)] = self.norm.norm(s.org, y);
+                        tgt[r * self.horizon + c] = self.norm.norm(s.org, y);
                     }
                 }
-                let t = g.constant(target);
                 let l = g.gaussian_nll_softplus(mu, sigma_pre, t, SIGMA_FLOOR);
                 total += g.value(l).item();
                 n += 1;
@@ -121,8 +131,10 @@ impl Forecaster for DeepAr {
     }
 
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
-        let mut g = Graph::new();
+        let mut g = self.graph.borrow_mut();
+        g.reset();
         let (mu, sigma_pre) = self.forward(&mut g, data, &[sample]);
+        g.finish();
         Forecast {
             mean: g
                 .value(mu)
@@ -168,5 +180,25 @@ mod tests {
         let f = m.predict(&data, Sample { org: 0, start: 130 });
         assert_eq!(f.mean.len(), 6);
         assert!(f.std.unwrap().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let series = vec![(0..220)
+            .map(|i| 15.0 + 4.0 * ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect::<Vec<_>>()];
+        let orgs = vec![OrgInfo {
+            name: "A".into(),
+            attrs: vec![],
+        }];
+        let data = OrgDataset::new(series, orgs, vec![], vec![], 48, 6).unwrap();
+        let run = || {
+            let mut m = DeepAr::new(&data, 5);
+            let mut cfg = TrainConfig::fast();
+            cfg.epochs = 2;
+            m.fit(&data, &cfg);
+            m.predict(&data, Sample { org: 0, start: 130 }).mean
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,14 +1,20 @@
 //! DLinear baseline (Zeng et al., AAAI'23): trend/cyclical decomposition
 //! followed by two independent linear projections — no context features, no
 //! uncertainty head.
+//!
+//! Training runs over a persistent [`Graph`] arena: the decomposed batch is
+//! written straight into reusable constant slots, so a warm training step
+//! allocates nothing (see the `forecast-alloc-gate` test lane).
+
+use std::cell::RefCell;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use gfs_nn::{loss, Adam, Graph, Linear, Optimizer, Param, Tensor, Var};
+use gfs_nn::{loss, Adam, Graph, Linear, Optimizer, Param, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
-use crate::decompose::decompose_into;
+use crate::decompose::DecomposeScratch;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
 use crate::timing::TrainTimer;
 
@@ -22,6 +28,8 @@ pub struct DLinear {
     norm: Normalizer,
     input_len: usize,
     horizon: usize,
+    graph: RefCell<Graph>,
+    scratch: RefCell<(Vec<f64>, DecomposeScratch)>,
 }
 
 impl DLinear {
@@ -35,6 +43,8 @@ impl DLinear {
             norm: data.normalizer(0.8),
             input_len: data.input_len(),
             horizon: data.horizon(),
+            graph: RefCell::new(Graph::new()),
+            scratch: RefCell::new((vec![0.0; data.input_len()], DecomposeScratch::default())),
         }
     }
 
@@ -46,23 +56,25 @@ impl DLinear {
 
     fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> Var {
         let b = batch.len();
-        let mut trend_m = Tensor::zeros(b, self.input_len);
-        let mut cyc_m = Tensor::zeros(b, self.input_len);
         let l = self.input_len;
-        let mut window = vec![0.0; l];
-        for (r, s) in batch.iter().enumerate() {
-            for (slot, &x) in window.iter_mut().zip(data.input(*s)) {
-                *slot = self.norm.norm(s.org, x);
+        let tv = g.constant_slot(b, l);
+        let cv = g.constant_slot(b, l);
+        {
+            let (trend_m, cyc_m) = g.two_slots_mut(tv, cv);
+            let mut scratch = self.scratch.borrow_mut();
+            let (window, decomp) = &mut *scratch;
+            for (r, s) in batch.iter().enumerate() {
+                for (slot, &x) in window.iter_mut().zip(data.input(*s)) {
+                    *slot = self.norm.norm(s.org, x);
+                }
+                decomp.decompose_into(
+                    window,
+                    MA_WINDOW,
+                    &mut trend_m[r * l..(r + 1) * l],
+                    &mut cyc_m[r * l..(r + 1) * l],
+                );
             }
-            decompose_into(
-                &window,
-                MA_WINDOW,
-                &mut trend_m.as_mut_slice()[r * l..(r + 1) * l],
-                &mut cyc_m.as_mut_slice()[r * l..(r + 1) * l],
-            );
         }
-        let tv = g.constant(trend_m);
-        let cv = g.constant(cyc_m);
         let yt = self.head_trend.forward(g, tv);
         let yc = self.head_cyclical.forward(g, cv);
         g.add(yt, yc)
@@ -84,15 +96,16 @@ impl Forecaster for DLinear {
             let mut total = 0.0;
             let mut n = 0usize;
             for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
-                let mut g = Graph::new();
+                let mut g = self.graph.borrow_mut();
+                g.reset();
                 let pred = self.forward(&mut g, data, &batch);
-                let mut target = Tensor::zeros(batch.len(), self.horizon);
+                let t = g.constant_slot(batch.len(), self.horizon);
+                let tgt = g.slot_mut(t);
                 for (r, s) in batch.iter().enumerate() {
                     for (c, &y) in data.target(*s).iter().enumerate() {
-                        target[(r, c)] = self.norm.norm(s.org, y);
+                        tgt[r * self.horizon + c] = self.norm.norm(s.org, y);
                     }
                 }
-                let t = g.constant(target);
                 let l = loss::mse(&mut g, pred, t);
                 total += g.value(l).item();
                 n += 1;
@@ -109,8 +122,10 @@ impl Forecaster for DLinear {
     }
 
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
-        let mut g = Graph::new();
+        let mut g = self.graph.borrow_mut();
+        g.reset();
         let pred = self.forward(&mut g, data, &[sample]);
+        g.finish();
         Forecast::point(
             g.value(pred)
                 .as_slice()

@@ -130,11 +130,25 @@ pub trait Forecaster {
 
     /// Forecasts the horizon of one sample window.
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast;
+
+    /// Forecasts a batch of sample windows.
+    ///
+    /// The default loops [`Forecaster::predict`]; models whose forward
+    /// pass is batched (e.g. `OrgLinear`) override this with a single
+    /// graph pass whose per-row results are bit-identical to the
+    /// one-at-a-time path. The GDE aggregation loop in `gfs_core` calls
+    /// this once per tick with every org's window.
+    fn predict_many(&self, data: &OrgDataset, samples: &[Sample]) -> Vec<Forecast> {
+        samples.iter().map(|&s| self.predict(data, s)).collect()
+    }
 }
 
 /// Shuffles `samples` into mini-batches, deterministic in `(seed, epoch)`.
+///
+/// Public so the `forecast-alloc-gate` test lane can price the per-step
+/// batching overhead separately from the training step itself.
 #[must_use]
-pub(crate) fn minibatches(
+pub fn minibatches(
     samples: &[Sample],
     batch_size: usize,
     seed: u64,

@@ -10,14 +10,23 @@
 //!   sum is the mean forecast (Eq. 5–6),
 //! * a softplus variance head for heteroscedastic uncertainty (Eq. 7),
 //! * maximum-likelihood training under a Gaussian NLL (Eq. 8).
+//!
+//! Both training and prediction run over persistent [`Graph`] arenas with
+//! pooled index/window scratch, so a warm training step and a warm
+//! [`Forecaster::predict_many`] call allocate nothing (see the
+//! `forecast-alloc-gate` test lane). `predict_many` builds the whole org
+//! batch as one forward pass — the GDE aggregation path (`gfs_core`)
+//! depends on this for its per-tick latency budget.
+
+use std::cell::RefCell;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use gfs_nn::{Adam, Embedding, Graph, Linear, Optimizer, Param, Tensor, Var};
+use gfs_nn::{Adam, Embedding, Graph, Linear, Optimizer, Param, Var};
 
 use crate::dataset::{Normalizer, OrgDataset, Sample};
-use crate::decompose::decompose_into;
+use crate::decompose::DecomposeScratch;
 use crate::models::{minibatches, FitReport, Forecast, Forecaster, TrainConfig};
 use crate::timing::TrainTimer;
 
@@ -35,6 +44,19 @@ const SIGMA_FLOOR: f64 = 1e-3;
 /// linear heads extrapolate them into forecasts above cluster capacity and
 /// the SQA inventory (Eq. 9) collapses to zero for hours.
 const Z_CLIP: f64 = 3.0;
+
+/// Reusable per-batch staging buffers; pooled so warm steps don't allocate.
+#[derive(Debug, Default)]
+struct Scratch {
+    window: Vec<f64>,
+    decomp: DecomposeScratch,
+    hours: Vec<usize>,
+    weekdays: Vec<usize>,
+    holidays: Vec<usize>,
+    idx: Vec<usize>,
+    embs: Vec<Var>,
+    scores: Vec<Var>,
+}
 
 /// The OrgLinear forecaster.
 ///
@@ -68,6 +90,8 @@ pub struct OrgLinear {
     norm: Normalizer,
     input_len: usize,
     horizon: usize,
+    graph: RefCell<Graph>,
+    scratch: RefCell<Scratch>,
 }
 
 impl OrgLinear {
@@ -95,6 +119,11 @@ impl OrgLinear {
             norm: data.normalizer(0.8),
             input_len: l,
             horizon: h,
+            graph: RefCell::new(Graph::new()),
+            scratch: RefCell::new(Scratch {
+                window: vec![0.0; l],
+                ..Scratch::default()
+            }),
         }
     }
 
@@ -127,24 +156,28 @@ impl OrgLinear {
         if self.attr_embs.is_empty() {
             return None;
         }
-        let embs: Vec<Var> = self
-            .attr_embs
-            .iter()
-            .enumerate()
-            .map(|(slot, emb)| {
-                let idx: Vec<usize> = batch.iter().map(|s| data.org(s.org).attrs[slot]).collect();
-                emb.forward(g, &idx)
-            })
-            .collect();
-        if embs.len() == 1 {
-            return Some(embs[0]);
+        let mut sc = self.scratch.borrow_mut();
+        let sc = &mut *sc;
+        sc.embs.clear();
+        for (slot, emb) in self.attr_embs.iter().enumerate() {
+            sc.idx.clear();
+            sc.idx
+                .extend(batch.iter().map(|s| data.org(s.org).attrs[slot]));
+            let e = emb.forward(g, &sc.idx);
+            sc.embs.push(e);
+        }
+        if sc.embs.len() == 1 {
+            return Some(sc.embs[0]);
         }
         let q = g.param(&self.attn_query);
-        let scores: Vec<Var> = embs.iter().map(|&e| g.matmul(e, q)).collect();
-        let score_mat = g.concat_cols(&scores); // B × j
+        sc.scores.clear();
+        for &e in &sc.embs {
+            sc.scores.push(g.matmul(e, q));
+        }
+        let score_mat = g.concat_cols(&sc.scores); // B × j
         let weights = g.softmax_rows(score_mat);
         let mut acc: Option<Var> = None;
-        for (k, &e) in embs.iter().enumerate() {
+        for (k, &e) in sc.embs.iter().enumerate() {
             let w_k = g.slice_cols(weights, k, 1); // B × 1
             let contrib = g.scale_rows(e, w_k);
             acc = Some(match acc {
@@ -157,18 +190,19 @@ impl OrgLinear {
 
     /// Temporal context `c_t` for a batch (Eq. 3).
     fn temporal_context(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> Var {
-        let mut hours = Vec::with_capacity(batch.len());
-        let mut weekdays = Vec::with_capacity(batch.len());
-        let mut holidays = Vec::with_capacity(batch.len());
+        let mut sc = self.scratch.borrow_mut();
+        sc.hours.clear();
+        sc.weekdays.clear();
+        sc.holidays.clear();
         for s in batch {
             let (h, w, hol) = data.temporal_ids(data.forecast_start(*s));
-            hours.push(h);
-            weekdays.push(w);
-            holidays.push(hol);
+            sc.hours.push(h);
+            sc.weekdays.push(w);
+            sc.holidays.push(hol);
         }
-        let eh = self.emb_hour.forward(g, &hours);
-        let ew = self.emb_weekday.forward(g, &weekdays);
-        let ehol = self.emb_holiday.forward(g, &holidays);
+        let eh = self.emb_hour.forward(g, &sc.hours);
+        let ew = self.emb_weekday.forward(g, &sc.weekdays);
+        let ehol = self.emb_holiday.forward(g, &sc.holidays);
         g.concat_cols(&[eh, ew, ehol])
     }
 
@@ -179,27 +213,28 @@ impl OrgLinear {
     fn forward(&self, g: &mut Graph, data: &OrgDataset, batch: &[Sample]) -> (Var, Var) {
         let b = batch.len();
         let l = self.input_len;
-        let mut full = Tensor::zeros(b, l);
-        let mut trend_m = Tensor::zeros(b, l);
-        let mut cyc_m = Tensor::zeros(b, l);
-        for (r, s) in batch.iter().enumerate() {
-            // normalize straight into the batch row, then decompose into
-            // the sibling rows — no per-sample temporaries
-            let full_row = &mut full.as_mut_slice()[r * l..(r + 1) * l];
-            for (slot, &x) in full_row.iter_mut().zip(data.input(*s)) {
-                *slot = self.norm.norm(s.org, x).clamp(-Z_CLIP, Z_CLIP);
+        let full_v = g.constant_slot(b, l);
+        let trend_v = g.constant_slot(b, l);
+        let cyc_v = g.constant_slot(b, l);
+        {
+            let mut sc = self.scratch.borrow_mut();
+            let sc = &mut *sc;
+            for (r, s) in batch.iter().enumerate() {
+                // normalize into the pooled window, then stage the batch
+                // row and its decomposition — no per-sample temporaries
+                for (slot, &x) in sc.window.iter_mut().zip(data.input(*s)) {
+                    *slot = self.norm.norm(s.org, x).clamp(-Z_CLIP, Z_CLIP);
+                }
+                g.slot_mut(full_v)[r * l..(r + 1) * l].copy_from_slice(&sc.window);
+                let (trend_m, cyc_m) = g.two_slots_mut(trend_v, cyc_v);
+                sc.decomp.decompose_into(
+                    &sc.window,
+                    MA_WINDOW,
+                    &mut trend_m[r * l..(r + 1) * l],
+                    &mut cyc_m[r * l..(r + 1) * l],
+                );
             }
-            let full_row = &full.as_slice()[r * l..(r + 1) * l];
-            decompose_into(
-                full_row,
-                MA_WINDOW,
-                &mut trend_m.as_mut_slice()[r * l..(r + 1) * l],
-                &mut cyc_m.as_mut_slice()[r * l..(r + 1) * l],
-            );
         }
-        let full_v = g.constant(full);
-        let trend_v = g.constant(trend_m);
-        let cyc_v = g.constant(cyc_m);
 
         let c_t = self.temporal_context(g, data, batch);
         let c_o = self.business_context(g, data, batch);
@@ -244,15 +279,16 @@ impl Forecaster for OrgLinear {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
-                let mut g = Graph::new();
+                let mut g = self.graph.borrow_mut();
+                g.reset();
                 let (mu, sigma_pre) = self.forward(&mut g, data, &batch);
-                let mut target = Tensor::zeros(batch.len(), self.horizon);
+                let t = g.constant_slot(batch.len(), self.horizon);
+                let tgt = g.slot_mut(t);
                 for (r, s) in batch.iter().enumerate() {
                     for (c, &y) in data.target(*s).iter().enumerate() {
-                        target[(r, c)] = self.norm.norm(s.org, y);
+                        tgt[r * self.horizon + c] = self.norm.norm(s.org, y);
                     }
                 }
-                let t = g.constant(target);
                 let l = g.gaussian_nll_softplus(mu, sigma_pre, t, SIGMA_FLOOR); // Eq. 7–8 fused
                 epoch_loss += g.value(l).item();
                 batches += 1;
@@ -269,8 +305,10 @@ impl Forecaster for OrgLinear {
     }
 
     fn predict(&self, data: &OrgDataset, sample: Sample) -> Forecast {
-        let mut g = Graph::new();
+        let mut g = self.graph.borrow_mut();
+        g.reset();
         let (mu, sigma_pre) = self.forward(&mut g, data, &[sample]);
+        g.finish();
         let mean = g
             .value(mu)
             .as_slice()
@@ -290,6 +328,40 @@ impl Forecaster for OrgLinear {
             mean,
             std: Some(std),
         }
+    }
+
+    fn predict_many(&self, data: &OrgDataset, samples: &[Sample]) -> Vec<Forecast> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = self.graph.borrow_mut();
+        g.reset();
+        let (mu, sigma_pre) = self.forward(&mut g, data, samples);
+        g.finish();
+        let h = self.horizon;
+        let mu_t = g.value(mu);
+        let pre_t = g.value(sigma_pre);
+        samples
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                let mean = mu_t.as_slice()[r * h..(r + 1) * h]
+                    .iter()
+                    .map(|&z| self.norm.denorm(s.org, z))
+                    .collect();
+                let std = pre_t.as_slice()[r * h..(r + 1) * h]
+                    .iter()
+                    .map(|&z| {
+                        self.norm
+                            .denorm_std(s.org, gfs_nn::softplus(z) + SIGMA_FLOOR)
+                    })
+                    .collect();
+                Forecast {
+                    mean,
+                    std: Some(std),
+                }
+            })
+            .collect()
     }
 }
 
@@ -380,5 +452,23 @@ mod tests {
         m.fit(&data, &TrainConfig::fast());
         let f = m.predict(&data, Sample { org: 0, start: 100 });
         assert_eq!(f.mean.len(), 12);
+    }
+
+    #[test]
+    fn predict_many_matches_per_sample_predict_bitwise() {
+        let data = sine_dataset(2, 400);
+        let mut m = OrgLinear::new(&data, 3);
+        m.fit(&data, &TrainConfig::fast());
+        let samples = [
+            Sample { org: 0, start: 210 },
+            Sample { org: 1, start: 250 },
+            Sample { org: 0, start: 260 },
+        ];
+        let batched = m.predict_many(&data, &samples);
+        for (s, f) in samples.iter().zip(&batched) {
+            let single = m.predict(&data, *s);
+            assert_eq!(single.mean, f.mean, "{s:?}");
+            assert_eq!(single.std, f.std, "{s:?}");
+        }
     }
 }

@@ -34,11 +34,14 @@ pub(crate) fn fit_seq<M: SeqModel>(
     let (train, _) = data.split(cfg.stride, cfg.train_frac);
     let mut opt = Adam::new(model.params(), cfg.lr);
     let mut final_loss = f64::NAN;
+    // one arena for the whole fit: reset() rewinds the tape per batch and
+    // reuses its buffers instead of reallocating the graph
+    let mut g = Graph::new();
     for epoch in 0..cfg.epochs {
         let mut total = 0.0;
         let mut n = 0usize;
         for batch in minibatches(&train, cfg.batch_size, cfg.seed, epoch) {
-            let mut g = Graph::new();
+            g.reset();
             let mut batch_loss: Option<Var> = None;
             for s in &batch {
                 let pred = model.forward_sample(&mut g, data, *s);

@@ -3,7 +3,9 @@
 //! lifetimes, with comments and string/char literal *contents* discarded
 //! (so a `HashMap` mentioned in a doc comment or a format string can never
 //! trip a rule). Line comments are additionally scanned for
-//! `gfs-lint: allow(rule, "reason")` pragmas.
+//! `gfs-lint: allow(rule, "reason")` pragmas and `gfs-lint: hot(zone)`
+//! markers (which opt the following function into zone-specific rules,
+//! e.g. `hot(tape)` for the `tape-alloc` allocation check).
 //!
 //! The lexer is deliberately not a parser: rules work over the flat token
 //! stream with small pattern matchers (see [`crate::rules`]). That keeps
@@ -57,7 +59,20 @@ pub struct Pragma {
     pub malformed: Option<String>,
 }
 
-/// A lexed file: the source, its token stream and any pragmas.
+/// A `// gfs-lint: hot(zone)` marker: opts the next function item into
+/// zone-specific rules (currently only `tape` — the `tape-alloc`
+/// allocation check). A malformed marker surfaces as a `bad-pragma`
+/// finding via [`Pragma::malformed`]; an unknown zone is reported by the
+/// rule engine.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// 1-based line the marker comment sits on.
+    pub line: u32,
+    /// The zone name inside `hot(...)`.
+    pub zone: String,
+}
+
+/// A lexed file: the source, its token stream, pragmas and hot markers.
 #[derive(Debug)]
 pub struct LexFile<'a> {
     /// The original source text.
@@ -66,6 +81,8 @@ pub struct LexFile<'a> {
     pub toks: Vec<Tok>,
     /// Pragmas in source order.
     pub pragmas: Vec<Pragma>,
+    /// `hot(zone)` markers in source order.
+    pub markers: Vec<Marker>,
 }
 
 impl LexFile<'_> {
@@ -134,6 +151,7 @@ pub fn lex(src: &str) -> LexFile<'_> {
     let n = b.len();
     let mut toks = Vec::new();
     let mut pragmas = Vec::new();
+    let mut markers = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
     let mut line_start = 0usize; // byte offset of the current line's start
@@ -170,8 +188,10 @@ pub fn lex(src: &str) -> LexFile<'_> {
                 let doc = comment.starts_with("///") || comment.starts_with("//!");
                 let standalone = src[line_start..start].trim().is_empty();
                 if !doc {
-                    if let Some(p) = parse_pragma(comment, line, standalone) {
-                        pragmas.push(p);
+                    match parse_pragma(comment, line, standalone) {
+                        Some(PragmaItem::Allow(p)) => pragmas.push(p),
+                        Some(PragmaItem::Hot(m)) => markers.push(m),
+                        None => {}
                     }
                 }
             }
@@ -311,7 +331,12 @@ pub fn lex(src: &str) -> LexFile<'_> {
         }
     }
 
-    LexFile { src, toks, pragmas }
+    LexFile {
+        src,
+        toks,
+        pragmas,
+        markers,
+    }
 }
 
 /// Consumes a `"…"` string starting at `i` (which must be the opening
@@ -395,20 +420,50 @@ fn maybe_raw_string(b: &[u8], i: usize) -> Option<usize> {
     }
 }
 
+/// One parsed `gfs-lint:` comment: an `allow(...)` pragma or a
+/// `hot(zone)` marker.
+enum PragmaItem {
+    Allow(Pragma),
+    Hot(Marker),
+}
+
 /// Parses a pragma out of one line comment, if it contains the
 /// `gfs-lint:` marker. Returns `None` for ordinary comments.
-fn parse_pragma(comment: &str, line: u32, standalone: bool) -> Option<Pragma> {
+fn parse_pragma(comment: &str, line: u32, standalone: bool) -> Option<PragmaItem> {
     let at = comment.find("gfs-lint:")?;
     let rest = comment[at + "gfs-lint:".len()..].trim();
-    let bad = |msg: &str| Pragma {
-        line,
-        standalone,
-        rule: String::new(),
-        reason: String::new(),
-        malformed: Some(msg.to_string()),
+    let bad = |msg: &str| {
+        PragmaItem::Allow(Pragma {
+            line,
+            standalone,
+            rule: String::new(),
+            reason: String::new(),
+            malformed: Some(msg.to_string()),
+        })
     };
+    if let Some(args) = rest.strip_prefix("hot") {
+        let zone = match args
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            Some(z) => z.trim(),
+            None => return Some(bad("expected `hot(zone)`")),
+        };
+        let ok = !zone.is_empty()
+            && zone
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        if !ok {
+            return Some(bad("expected `hot(zone)`"));
+        }
+        return Some(PragmaItem::Hot(Marker {
+            line,
+            zone: zone.to_string(),
+        }));
+    }
     let Some(args) = rest.strip_prefix("allow") else {
-        return Some(bad("expected `allow(rule, \"reason\")`"));
+        return Some(bad("expected `allow(rule, \"reason\")` or `hot(zone)`"));
     };
     let args = args.trim();
     let inner = match args.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
@@ -429,13 +484,13 @@ fn parse_pragma(comment: &str, line: u32, standalone: bool) -> Option<Pragma> {
     if reason.trim().is_empty() {
         return Some(bad("reason must not be empty"));
     }
-    Some(Pragma {
+    Some(PragmaItem::Allow(Pragma {
         line,
         standalone,
         rule: rule.trim().to_string(),
         reason: reason.to_string(),
         malformed: None,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -522,6 +577,27 @@ x.iter(); // gfs-lint: allow(det-clock, \"inline\")
         assert_eq!(f.pragmas[1].rule, "det-clock");
         assert!(!f.pragmas[1].standalone);
         assert!(f.pragmas[2].malformed.is_some());
+    }
+
+    #[test]
+    fn hot_markers_parse_and_malformed_report() {
+        let src = "\
+// gfs-lint: hot(tape)
+fn f() {}
+// gfs-lint: hot()
+// gfs-lint: hot(tape
+";
+        let f = lex(src);
+        assert_eq!(f.markers.len(), 1);
+        assert_eq!(f.markers[0].zone, "tape");
+        assert_eq!(f.markers[0].line, 1);
+        let malformed: Vec<u32> = f
+            .pragmas
+            .iter()
+            .filter(|p| p.malformed.is_some())
+            .map(|p| p.line)
+            .collect();
+        assert_eq!(malformed, vec![3, 4]);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | `golden-serde` | **Golden-pin forward/backward compatibility.** A field with `#[serde(skip_serializing_if = …)]` but no `default` produces reports that cannot be re-read when the field was skipped — the skip-at-zero pin contract requires the pair. |
 //! | `changelog-coverage` | **ScoreIndex epoch protocol.** Score-relevant `Cluster`/`Node` mutations must reach `ChangeLog::note` so the incremental `ScoreIndex` invalidates the right nodes. Inside `crates/cluster/src/cluster.rs`, any `fn` calling a mutation primitive (`place_pod`, `set_up`, `index.refresh`, …) must reach `changes.note` directly or via a same-file logged helper. Outside `gfs_cluster`, raw `Node` mutators are flagged outright — go through `Cluster`'s logged API. |
 //! | `service-unwrap` | **Crash-safe recovery.** `unwrap`/`expect` in `ClusterService` journal/recovery functions turns a detectable torn journal tail into a crash loop; those paths must return the typed `JournalError`/`RestoreError`. |
-//! | `bad-pragma` | A `gfs-lint:` pragma that does not parse, lacks a reason, or names an unknown rule. Never suppressible. |
+//! | `tape-alloc` | **Zero-allocation steady state.** The `gfs_nn` tape arena's performance contract (enforced dynamically by the `forecast-alloc-gate` test lane) is that a warm training step allocates nothing. Functions marked `// gfs-lint: hot(tape)` in `crates/nn` may not call `Box::new`/`Rc::new`/`Vec::new`, expand `vec![…]`, or `.clone()` (tensor clones allocate unless the copy-on-write share was taken outside the hot path). |
+//! | `bad-pragma` | A `gfs-lint:` pragma that does not parse, lacks a reason, names an unknown rule, or marks an unknown hot zone. Never suppressible. |
 //!
 //! # Pragmas
 //!
@@ -34,6 +35,10 @@
 //! trailing (inline) pragma applies to its own line. The reason string is
 //! mandatory and must be non-empty — a pragma without one is itself a
 //! `bad-pragma` finding, as is an unknown rule name.
+//!
+//! A second comment form, `// gfs-lint: hot(tape)`, is an opt-in marker:
+//! it places the next function under the `tape-alloc` zone rule rather
+//! than suppressing anything.
 //!
 //! # Report & ratchet
 //!

@@ -42,6 +42,9 @@ pub enum RuleId {
     ChangelogCoverage,
     /// No `unwrap`/`expect` in `ClusterService` journal/recovery paths.
     ServiceUnwrap,
+    /// No heap allocation (`Box::new`, `Rc::new`, `.clone()`, `Vec::new`,
+    /// `vec![]`) inside `// gfs-lint: hot(tape)` functions of `crates/nn`.
+    TapeAlloc,
     /// A `gfs-lint:` pragma that does not parse (never suppressible).
     BadPragma,
 }
@@ -56,6 +59,7 @@ impl RuleId {
             RuleId::GoldenSerde => "golden-serde",
             RuleId::ChangelogCoverage => "changelog-coverage",
             RuleId::ServiceUnwrap => "service-unwrap",
+            RuleId::TapeAlloc => "tape-alloc",
             RuleId::BadPragma => "bad-pragma",
         }
     }
@@ -69,18 +73,20 @@ impl RuleId {
             "golden-serde" => RuleId::GoldenSerde,
             "changelog-coverage" => RuleId::ChangelogCoverage,
             "service-unwrap" => RuleId::ServiceUnwrap,
+            "tape-alloc" => RuleId::TapeAlloc,
             "bad-pragma" => RuleId::BadPragma,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::DetIter,
         RuleId::DetClock,
         RuleId::GoldenSerde,
         RuleId::ChangelogCoverage,
         RuleId::ServiceUnwrap,
+        RuleId::TapeAlloc,
         RuleId::BadPragma,
     ];
 }

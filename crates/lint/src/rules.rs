@@ -115,6 +115,9 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     if path.starts_with("crates/sim/") && path.ends_with("service.rs") {
         service_unwrap(path, &f, &tests, &mut findings);
     }
+    if path.starts_with("crates/nn/") {
+        tape_alloc(path, &f, &tests, &mut findings);
+    }
 
     apply_pragmas(path, &f, &mut findings);
     findings
@@ -597,6 +600,86 @@ fn service_unwrap(path: &str, f: &LexFile<'_>, tests: &[(usize, usize)], out: &m
 }
 
 // -------------------------------------------------------------------
+// tape-alloc
+// -------------------------------------------------------------------
+
+/// Allocating constructors flagged by `tape-alloc` when called as
+/// `T::new(...)` inside a `hot(tape)` function.
+const ALLOC_CTORS: [&str; 3] = ["Box", "Rc", "Vec"];
+
+/// Inside functions marked `// gfs-lint: hot(tape)` (the zero-allocation
+/// steady-state contract of the `gfs_nn` tape arena), flag heap
+/// allocation: `Box::new`/`Rc::new`/`Vec::new` calls, `vec![…]`, and
+/// `.clone()` (tensor clones allocate unless the copy-on-write share was
+/// taken outside the hot path). Suppress justified cases with
+/// `allow(tape-alloc, "reason")`.
+fn tape_alloc(path: &str, f: &LexFile<'_>, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let fns = fn_items(f);
+    // each marker opts in the next fn item at or below it
+    let mut spans: Vec<(usize, String, usize, usize)> = Vec::new();
+    for m in &f.markers {
+        if m.zone != "tape" {
+            continue;
+        }
+        let Some((idx, it)) = fns
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.line >= m.line)
+            .min_by_key(|(_, it)| it.line)
+        else {
+            continue;
+        };
+        let Some((a, b)) = it.body else { continue };
+        if !spans.iter().any(|&(i, ..)| i == idx) {
+            spans.push((idx, it.name.clone(), a, b));
+        }
+    }
+    for (_, name, a, b) in spans {
+        if in_test(tests, a) {
+            continue;
+        }
+        for i in a..b.min(f.toks.len()) {
+            if ALLOC_CTORS.iter().any(|c| f.is_ident(i, c))
+                && f.is_punct(i + 1, ':')
+                && f.is_punct(i + 2, ':')
+                && f.is_ident(i + 3, "new")
+                && f.is_punct(i + 4, '(')
+            {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: f.line(i),
+                    rule: RuleId::TapeAlloc,
+                    message: format!(
+                        "`{}::new` in tape-hot fn `{}`: heap allocation on the zero-alloc steady-state path — reuse a preallocated arena slot or scratch buffer, or pragma with a reason",
+                        f.text(i), name,
+                    ),
+                });
+            }
+            if f.is_ident(i, "vec") && f.is_punct(i + 1, '!') {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: f.line(i),
+                    rule: RuleId::TapeAlloc,
+                    message: format!(
+                        "`vec![…]` in tape-hot fn `{name}`: heap allocation on the zero-alloc steady-state path — reuse a preallocated scratch buffer, or pragma with a reason",
+                    ),
+                });
+            }
+            if f.is_punct(i, '.') && f.is_ident(i + 1, "clone") && f.is_punct(i + 2, '(') {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: f.line(i + 1),
+                    rule: RuleId::TapeAlloc,
+                    message: format!(
+                        "`.clone()` in tape-hot fn `{name}`: cloning a tensor buffer allocates — take the copy-on-write share outside the hot path or write through `copy_from`, or pragma with a reason",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
 // pragmas
 // -------------------------------------------------------------------
 
@@ -605,6 +688,16 @@ fn service_unwrap(path: &str, f: &LexFile<'_>, tests: &[(usize, usize)], out: &m
 /// inline one on its own line. Malformed pragmas and unknown rule names
 /// become `bad-pragma` findings (which no pragma can suppress).
 fn apply_pragmas(path: &str, f: &LexFile<'_>, findings: &mut Vec<Finding>) {
+    for m in &f.markers {
+        if m.zone != "tape" {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: m.line,
+                rule: RuleId::BadPragma,
+                message: format!("gfs-lint marker names unknown hot zone `{}`", m.zone),
+            });
+        }
+    }
     let mut allowed: Vec<(u32, RuleId)> = Vec::new();
     for p in &f.pragmas {
         if let Some(msg) = &p.malformed {

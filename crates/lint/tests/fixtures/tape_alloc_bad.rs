@@ -1,0 +1,27 @@
+//! Deliberate `tape-alloc` violations plus clean and suppressed cases.
+
+pub struct Tensor;
+
+// gfs-lint: hot(tape)
+fn hot_bad(xs: &[f64], t: &Tensor) -> Vec<f64> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(xs);
+    let spare = vec![0.0; 4];
+    let copy = t.clone();
+    let boxed = Box::new(copy);
+    let rc = std::rc::Rc::new(boxed);
+    let _ = (spare, rc);
+    buf
+}
+
+// gfs-lint: hot(tape)
+fn hot_suppressed(t: &Tensor) -> Tensor {
+    t.clone() // gfs-lint: allow(tape-alloc, "cold-path share: Rc bump only")
+}
+
+fn cold(t: &Tensor) -> Tensor {
+    t.clone()
+}
+
+// gfs-lint: hot(bogus)
+fn typo() {}

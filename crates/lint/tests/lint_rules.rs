@@ -90,6 +90,32 @@ fn service_unwrap_fixture_findings() {
 }
 
 #[test]
+fn tape_alloc_fixture_findings() {
+    let src = fixture("tape_alloc_bad.rs");
+    let out = scan_source("crates/nn/src/fixture.rs", &src);
+    assert_eq!(
+        keys(&out),
+        vec![
+            (7, RuleId::TapeAlloc),
+            (9, RuleId::TapeAlloc),
+            (10, RuleId::TapeAlloc),
+            (11, RuleId::TapeAlloc),
+            (12, RuleId::TapeAlloc),
+            (26, RuleId::BadPragma),
+        ],
+        "{out:#?}"
+    );
+    // outside crates/nn the zone rule does not run, but an unknown hot
+    // zone is still a bad pragma everywhere
+    let foreign = scan_source("crates/core/src/fixture.rs", &src);
+    assert_eq!(
+        keys(&foreign),
+        vec![(26, RuleId::BadPragma)],
+        "{foreign:#?}"
+    );
+}
+
+#[test]
 fn pragma_fixture_suppresses_with_reason_only() {
     let src = fixture("pragma.rs");
     let out = scan_source("crates/core/src/fixture.rs", &src);

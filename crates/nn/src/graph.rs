@@ -1,97 +1,214 @@
-//! Reverse-mode automatic differentiation.
+//! Reverse-mode automatic differentiation over an index-based tape arena.
 //!
-//! A [`Graph`] is a tape of operations recorded during a forward pass. Each
-//! operation returns a [`Var`] handle; calling [`Graph::backward`] on a
-//! scalar output propagates gradients to every [`Param`] leaf.
+//! A [`Graph`] records a forward pass as a flat `Vec` of heap-free ops plus
+//! a parallel `Vec<Tensor>` of forward values, addressed by [`TapeIndex`]
+//! (the [`Var`] handle). Nodes only ever reference earlier nodes, so the
+//! reverse insertion order is a valid reverse topological order —
+//! backpropagation is one linear sweep.
 //!
-//! Nodes only ever reference earlier nodes, so the reverse insertion order
-//! is a valid reverse topological order — backpropagation is one linear
-//! sweep.
+//! Unlike the per-node allocated graph this replaced, the arena is
+//! **reusable**: [`Graph::reset`] rewinds the tape without dropping any
+//! buffer, so a trainer that replays the same graph shape every batch
+//! reaches a steady state with zero allocations per step (see the
+//! crate-level docs for the lifecycle and float-ordering contract, and the
+//! `alloc_gate` test lane in `gfs-forecast` that enforces it).
 
+use crate::layers::GruCellNodes;
 use crate::param::Param;
-use crate::tensor::Tensor;
+use crate::tensor::{matmul_slices, matmul_transa_slices, Tensor};
 
-/// Handle to a node in a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Var(usize);
+/// Index of a node on a [`Graph`] tape.
+///
+/// Invariants: a `TapeIndex` is only meaningful on the graph that returned
+/// it, and only until the next [`Graph::reset`]; an op's operands always
+/// have strictly smaller indices than the op itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TapeIndex(u32);
 
+impl TapeIndex {
+    #[inline]
+    fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a node in a [`Graph`] (alias of [`TapeIndex`]).
+pub type Var = TapeIndex;
+
+/// A recorded tape operation. Operand references are [`TapeIndex`]es and
+/// variable-length operand lists live in the graph's shared `aux` pool, so
+/// no variant owns heap storage (`Param` is an `Rc` handle bump).
 #[derive(Debug)]
 enum Op {
     /// Constant leaf: no gradient.
     Const,
     /// Trainable leaf: gradient flushes into the shared [`Param`].
     Param(Param),
-    Add(usize, usize),
-    Sub(usize, usize),
-    Mul(usize, usize),
-    Div(usize, usize),
-    MatMul(usize, usize),
+    Add(TapeIndex, TapeIndex),
+    Sub(TapeIndex, TapeIndex),
+    Mul(TapeIndex, TapeIndex),
+    Div(TapeIndex, TapeIndex),
+    MatMul(TapeIndex, TapeIndex),
     /// Fused `x · w + b` with a broadcast bias row.
-    Affine(usize, usize, usize),
+    Affine(TapeIndex, TapeIndex, TapeIndex),
     /// `x (n×m) + row (1×m)` broadcast over rows.
-    AddRow(usize, usize),
-    Scale(usize, f64),
-    AddConst(usize),
-    Exp(usize),
-    Ln(usize),
-    Tanh(usize),
-    Sigmoid(usize),
-    Relu(usize),
-    Softplus(usize),
-    SumAll(usize),
-    MeanAll(usize),
-    Transpose(usize),
-    SoftmaxRows(usize),
-    ConcatCols(Vec<usize>),
-    /// Row-gather from a table node.
+    AddRow(TapeIndex, TapeIndex),
+    Scale(TapeIndex, f64),
+    AddConst(TapeIndex),
+    Exp(TapeIndex),
+    Ln(TapeIndex),
+    Tanh(TapeIndex),
+    Sigmoid(TapeIndex),
+    Relu(TapeIndex),
+    Softplus(TapeIndex),
+    SumAll(TapeIndex),
+    MeanAll(TapeIndex),
+    Transpose(TapeIndex),
+    SoftmaxRows(TapeIndex),
+    /// Parts live in `aux[aux_start..aux_start + parts]`.
+    ConcatCols {
+        aux_start: u32,
+        parts: u32,
+    },
+    /// Row-gather from a table node; indices live in the `aux` pool.
     Embedding {
-        table: usize,
-        indices: Vec<usize>,
+        table: TapeIndex,
+        aux_start: u32,
+        len: u32,
     },
     /// Fused `x · w + h · u + b` (the GRU gate pre-activation).
     Affine2 {
-        x: usize,
-        w: usize,
-        h: usize,
-        u: usize,
-        b: usize,
+        x: TapeIndex,
+        w: TapeIndex,
+        h: TapeIndex,
+        u: TapeIndex,
+        b: TapeIndex,
     },
     /// Fused `(1 − gate) ⊙ a + gate ⊙ b` (the GRU state blend).
     Blend {
-        gate: usize,
-        a: usize,
-        b: usize,
+        gate: TapeIndex,
+        a: TapeIndex,
+        b: TapeIndex,
     },
     /// Fused Gaussian NLL: `mean(ln σ + ((y−μ)/σ)²/2) + ln(2π)/2`.
     GaussianNll {
-        mu: usize,
-        sigma: usize,
-        target: usize,
+        mu: TapeIndex,
+        sigma: TapeIndex,
+        target: TapeIndex,
     },
     /// Fused heteroscedastic head: `σ = softplus(pre) + floor` folded into
     /// the Gaussian NLL above.
     GaussianNllSoftplus {
-        mu: usize,
-        pre: usize,
-        target: usize,
+        mu: TapeIndex,
+        pre: TapeIndex,
+        target: TapeIndex,
         floor: f64,
     },
     /// Multiply row `r` of `x` by `col[r]` (`col` is `n × 1`).
-    ScaleRows(usize, usize),
-    /// Columns `[start, start + len)` of `x`.
+    ScaleRows(TapeIndex, TapeIndex),
+    /// Columns `[start, start + out.cols)` of `x`.
     SliceCols {
-        x: usize,
-        start: usize,
+        x: TapeIndex,
+        start: u32,
+    },
+    /// A whole unrolled GRU recurrence as one tape entry; all per-step
+    /// state lives in `scans[state]`.
+    GruScan {
+        state: u32,
     },
 }
 
+/// Saved forward activations and backward scratch of one [`Graph::gru_scan`]
+/// call. Everything is preallocated and reshaped in place, so replaying a
+/// scan of the same shape allocates nothing.
 #[derive(Debug)]
-struct Node {
-    value: Tensor,
-    op: Op,
+struct GruScanState {
+    xs: TapeIndex,
+    steps: u32,
+    batch: u32,
+    in_dim: u32,
+    hidden: u32,
+    wz: TapeIndex,
+    uz: TapeIndex,
+    bz: TapeIndex,
+    wr: TapeIndex,
+    ur: TapeIndex,
+    br: TapeIndex,
+    wh: TapeIndex,
+    uh: TapeIndex,
+    bh: TapeIndex,
+    /// Hidden states `h_0..h_steps`, `(steps+1)·batch × hidden`.
+    hs: Tensor,
+    /// Post-sigmoid update gates per step, `steps·batch × hidden`.
+    zs: Tensor,
+    /// Post-sigmoid reset gates per step.
+    rs: Tensor,
+    /// Post-tanh candidates per step.
+    cands: Tensor,
+    /// `r ⊙ h_prev` scratch (`batch × hidden`), recomputed per step.
+    rh: Tensor,
+    // BPTT scratch, all `batch × hidden` unless noted.
+    gh: Tensor,
+    ghp: Tensor,
+    gz: Tensor,
+    gr: Tensor,
+    gcand: Tensor,
+    gtmp: Tensor,
+    /// Transposed recurrent weights, computed once per backward.
+    uzt: Tensor,
+    urt: Tensor,
+    uht: Tensor,
+    /// Per-step weight-gradient scratch (`in_dim × hidden`), accumulated
+    /// into the tape grad slot step by step to keep the unfused float
+    /// order.
+    step_gw: Tensor,
+    /// Per-step recurrent-weight-gradient scratch (`hidden × hidden`).
+    step_gu: Tensor,
+    /// Per-step bias-gradient scratch (`1 × hidden`).
+    step_gb: Tensor,
 }
 
-/// A dynamic computation graph (tape).
+impl GruScanState {
+    fn empty() -> Self {
+        let z = TapeIndex(0);
+        let t = || Tensor::zeros(0, 0);
+        GruScanState {
+            xs: z,
+            steps: 0,
+            batch: 0,
+            in_dim: 0,
+            hidden: 0,
+            wz: z,
+            uz: z,
+            bz: z,
+            wr: z,
+            ur: z,
+            br: z,
+            wh: z,
+            uh: z,
+            bh: z,
+            hs: t(),
+            zs: t(),
+            rs: t(),
+            cands: t(),
+            rh: t(),
+            gh: t(),
+            ghp: t(),
+            gz: t(),
+            gr: t(),
+            gcand: t(),
+            gtmp: t(),
+            uzt: t(),
+            urt: t(),
+            uht: t(),
+            step_gw: t(),
+            step_gu: t(),
+            step_gb: t(),
+        }
+    }
+}
+
+/// A dynamic computation graph (tape) backed by a reusable arena.
 ///
 /// # Examples
 ///
@@ -106,88 +223,275 @@ struct Node {
 /// g.backward(y);
 /// assert_eq!(w.grad().item(), 2.0);
 /// ```
-#[derive(Debug, Default)]
+///
+/// Reusing the arena across batches:
+///
+/// ```
+/// use gfs_nn::{Graph, Param, Tensor};
+///
+/// let w = Param::new(Tensor::scalar(3.0));
+/// let mut g = Graph::new();
+/// for step in 0..2 {
+///     g.reset(); // rewinds the tape, keeps every buffer
+///     let x = g.constant_slot(1, 1);
+///     g.slot_mut(x)[0] = step as f64;
+///     let wv = g.param(&w);
+///     let y = g.mul(x, wv);
+///     g.backward(y);
+/// }
+/// assert_eq!(w.grad().item(), 1.0); // 0 + 1
+/// ```
+#[derive(Debug)]
 pub struct Graph {
-    nodes: Vec<Node>,
+    ops: Vec<Op>,
+    /// Forward value of each op; `values.len() >= ops.len()` and surplus
+    /// entries are retired buffers awaiting reuse.
+    values: Vec<Tensor>,
+    /// Gradient slot per op, reshaped in place every backward sweep.
+    grads: Vec<Tensor>,
+    /// Whether `grads[i]` holds a live gradient this sweep.
+    grad_seen: Vec<bool>,
+    /// Shared pool for variable-length operand lists (concat parts,
+    /// embedding indices); rewound by `reset`, never shrunk.
+    aux: Vec<u32>,
+    aux_len: usize,
+    /// Arena of GRU scan states; rewound by `reset`, never shrunk.
+    scans: Vec<GruScanState>,
+    scan_count: usize,
+    /// General backward scratch (revisit products, scatter buffers).
+    scratch: Tensor,
+    /// Transpose scratch for `∂x = ∂y · Wᵀ` backward kernels.
+    scratch_t: Tensor,
+    /// The shared 0×0 tensor parked in released parameter slots.
+    empty: Tensor,
 }
 
 impl Graph {
     /// Creates an empty graph.
     #[must_use]
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph {
+            ops: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+            grad_seen: Vec::new(),
+            aux: Vec::new(),
+            aux_len: 0,
+            scans: Vec::new(),
+            scan_count: 0,
+            scratch: Tensor::zeros(0, 0),
+            scratch_t: Tensor::zeros(0, 0),
+            empty: Tensor::zeros(0, 0),
+        }
     }
 
     /// Number of recorded nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ops.len()
     }
 
     /// Whether the tape is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.ops.is_empty()
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, op });
-        Var(self.nodes.len() - 1)
+    /// Rewinds the tape for the next forward pass without dropping any
+    /// buffer: values, gradient slots, the aux pool and scan states all
+    /// keep their allocations and are reshaped in place by the replay.
+    /// Also releases parameter value shares (see [`Graph::finish`]).
+    pub fn reset(&mut self) {
+        self.release_params();
+        self.ops.clear();
+        self.aux_len = 0;
+        self.scan_count = 0;
+    }
+
+    /// Ensures `values[ops.len()]` exists and returns that index. Pushes a
+    /// placeholder only when the arena has never been this deep (cold
+    /// path); at steady state the retired buffer already there is reused.
+    fn reserve(&mut self) -> usize {
+        let i = self.ops.len();
+        assert!(u32::try_from(i).is_ok(), "tape overflow");
+        if i == self.values.len() {
+            self.values.push(self.empty.clone());
+        }
+        i
+    }
+
+    fn commit(&mut self, op: Op) -> Var {
+        self.ops.push(op);
+        TapeIndex((self.ops.len() - 1) as u32)
+    }
+
+    /// Reshapes the output slot at `i` (contents stale, caller overwrites)
+    /// and returns `(earlier values, output)` — the split is sound because
+    /// operands always precede their op.
+    fn out_slot(
+        values: &mut [Tensor],
+        i: usize,
+        rows: usize,
+        cols: usize,
+    ) -> (&[Tensor], &mut Tensor) {
+        let (head, tail) = values.split_at_mut(i);
+        let out = &mut tail[0];
+        if out.is_shared() {
+            *out = Tensor::zeros(rows, cols);
+        } else {
+            out.resize_reuse(rows, cols);
+        }
+        (head, out)
+    }
+
+    fn aux_push(&mut self, v: u32) {
+        if self.aux_len == self.aux.len() {
+            self.aux.push(v);
+        } else {
+            self.aux[self.aux_len] = v;
+        }
+        self.aux_len += 1;
     }
 
     /// The forward value of a variable.
+    ///
+    /// Parameter values are only live until [`Graph::backward`],
+    /// [`Graph::finish`] or [`Graph::reset`] releases them.
     #[must_use]
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        &self.values[v.ix()]
     }
 
-    /// Records a constant (non-trainable) leaf.
+    /// Records a constant (non-trainable) leaf from an owned tensor.
+    ///
+    /// For steady-state allocation-free replay prefer
+    /// [`Graph::constant_slot`], which reuses the arena buffer in place.
     pub fn constant(&mut self, t: Tensor) -> Var {
-        self.push(t, Op::Const)
+        let i = self.reserve();
+        self.values[i] = t;
+        self.commit(Op::Const)
+    }
+
+    /// Records a constant leaf of shape `rows × cols` whose contents are
+    /// **stale** until the caller overwrites them through
+    /// [`Graph::slot_mut`]. Reuses the retired buffer in the slot, so a
+    /// replayed tape performs no allocation.
+    pub fn constant_slot(&mut self, rows: usize, cols: usize) -> Var {
+        let i = self.reserve();
+        let v = &mut self.values[i];
+        if v.is_shared() {
+            *v = Tensor::zeros(rows, cols);
+        } else {
+            v.resize_reuse(rows, cols);
+        }
+        self.commit(Op::Const)
+    }
+
+    /// Mutable view of a constant slot's buffer, for filling inputs in
+    /// place. The caller must overwrite every element (the buffer holds
+    /// stale values from the previous replay).
+    pub fn slot_mut(&mut self, v: Var) -> &mut [f64] {
+        self.values[v.ix()].as_mut_slice()
+    }
+
+    /// Mutable views of two distinct slots at once (e.g. writing a trend
+    /// row and a cyclical row of a decomposition in one pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are the same variable.
+    pub fn two_slots_mut(&mut self, a: Var, b: Var) -> (&mut [f64], &mut [f64]) {
+        let (ai, bi) = (a.ix(), b.ix());
+        assert_ne!(ai, bi, "two_slots_mut requires distinct variables");
+        if ai < bi {
+            let (lo, hi) = self.values.split_at_mut(bi);
+            (lo[ai].as_mut_slice(), hi[0].as_mut_slice())
+        } else {
+            let (lo, hi) = self.values.split_at_mut(ai);
+            (hi[0].as_mut_slice(), lo[bi].as_mut_slice())
+        }
     }
 
     /// Records a trainable parameter leaf; gradients accumulate into `p`.
+    ///
+    /// The slot holds a copy-on-write share of the parameter's buffer (no
+    /// copy); the share is released by [`Graph::backward`],
+    /// [`Graph::finish`] or [`Graph::reset`] so optimizer updates stay
+    /// in place.
     pub fn param(&mut self, p: &Param) -> Var {
-        let value = p.value().clone();
-        self.push(value, Op::Param(p.clone()))
+        let i = self.reserve();
+        self.values[i] = p.value();
+        self.commit(Op::Param(p.clone()))
+    }
+
+    /// Releases parameter value shares after a forward-only pass (predict
+    /// paths). [`Graph::backward`] does this automatically; without it the
+    /// next optimizer update would copy every shared weight buffer.
+    pub fn finish(&mut self) {
+        self.release_params();
+    }
+
+    fn release_params(&mut self) {
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, Op::Param(_)) {
+                self.values[i] = self.empty.clone();
+            }
+        }
+    }
+
+    fn binary_ew(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f64, f64) -> f64) -> Var {
+        let i = self.reserve();
+        let (rows, cols) = self.values[a.ix()].shape();
+        assert_eq!(
+            (rows, cols),
+            self.values[b.ix()].shape(),
+            "elementwise shape mismatch"
+        );
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        let (av, bv) = (head[a.ix()].as_slice(), head[b.ix()].as_slice());
+        for ((o, x), y) in out.as_mut_slice().iter_mut().zip(av).zip(bv) {
+            *o = f(*x, *y);
+        }
+        self.commit(op)
+    }
+
+    fn unary_ew(&mut self, x: Var, op: Op, f: impl Fn(f64) -> f64) -> Var {
+        let i = self.reserve();
+        let (rows, cols) = self.values[x.ix()].shape();
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        let xv = head[x.ix()].as_slice();
+        for (o, v) in out.as_mut_slice().iter_mut().zip(xv) {
+            *o = f(*v);
+        }
+        self.commit(op)
     }
 
     /// Element-wise sum. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x + y);
-        self.push(v, Op::Add(a.0, b.0))
+        self.binary_ew(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Element-wise difference. Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x - y);
-        self.push(v, Op::Sub(a.0, b.0))
+        self.binary_ew(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Element-wise (Hadamard) product. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x * y);
-        self.push(v, Op::Mul(a.0, b.0))
+        self.binary_ew(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// Element-wise quotient. Shapes must match.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x / y);
-        self.push(v, Op::Div(a.0, b.0))
+        self.binary_ew(a, b, Op::Div(a, b), |x, y| x / y)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::MatMul(a.0, b.0))
+        let i = self.reserve();
+        let (head, tail) = self.values.split_at_mut(i);
+        head[a.ix()].matmul_add_into(&head[b.ix()], None, &mut tail[0]);
+        self.commit(Op::MatMul(a, b))
     }
 
     /// Fused affine map `x · w + b` with a `1 × m` bias row broadcast over
@@ -199,10 +503,10 @@ impl Graph {
     ///
     /// Panics if the inner dimensions disagree or `b` is not `1 × m`.
     pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let v = self.nodes[x.0]
-            .value
-            .matmul_add(&self.nodes[w.0].value, &self.nodes[b.0].value);
-        self.push(v, Op::Affine(x.0, w.0, b.0))
+        let i = self.reserve();
+        let (head, tail) = self.values.split_at_mut(i);
+        head[x.ix()].matmul_add_into(&head[w.ix()], Some(&head[b.ix()]), &mut tail[0]);
+        self.commit(Op::Affine(x, w, b))
     }
 
     /// Adds a `1 × m` row vector to every row of an `n × m` matrix.
@@ -211,29 +515,34 @@ impl Graph {
     ///
     /// Panics if `row` is not `1 × m` with matching `m`.
     pub fn add_row(&mut self, x: Var, row: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let rv = &self.nodes[row.0].value;
-        assert_eq!(rv.rows(), 1, "add_row expects a 1×m row vector");
-        assert_eq!(rv.cols(), xv.cols(), "add_row column mismatch");
-        let mut out = xv.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                out[(r, c)] += rv[(0, c)];
+        let i = self.reserve();
+        {
+            let rv = &self.values[row.ix()];
+            let xv = &self.values[x.ix()];
+            assert_eq!(rv.rows(), 1, "add_row expects a 1×m row vector");
+            assert_eq!(rv.cols(), xv.cols(), "add_row column mismatch");
+        }
+        let (rows, cols) = self.values[x.ix()].shape();
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        let xs = head[x.ix()].as_slice();
+        let rs = head[row.ix()].as_slice();
+        let os = out.as_mut_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                os[r * cols + c] = xs[r * cols + c] + rs[c];
             }
         }
-        self.push(out, Op::AddRow(x.0, row.0))
+        self.commit(Op::AddRow(x, row))
     }
 
     /// Multiplies by a compile-time constant.
     pub fn scale(&mut self, x: Var, k: f64) -> Var {
-        let v = self.nodes[x.0].value.map(|a| a * k);
-        self.push(v, Op::Scale(x.0, k))
+        self.unary_ew(x, Op::Scale(x, k), |a| a * k)
     }
 
     /// Adds a compile-time constant element-wise.
     pub fn add_const(&mut self, x: Var, k: f64) -> Var {
-        let v = self.nodes[x.0].value.map(|a| a + k);
-        self.push(v, Op::AddConst(x.0))
+        self.unary_ew(x, Op::AddConst(x), |a| a + k)
     }
 
     /// Element-wise negation.
@@ -243,39 +552,33 @@ impl Graph {
 
     /// Element-wise `exp`.
     pub fn exp(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::exp);
-        self.push(v, Op::Exp(x.0))
+        self.unary_ew(x, Op::Exp(x), f64::exp)
     }
 
     /// Element-wise natural logarithm.
     pub fn ln(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::ln);
-        self.push(v, Op::Ln(x.0))
+        self.unary_ew(x, Op::Ln(x), f64::ln)
     }
 
     /// Element-wise `tanh`.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(f64::tanh);
-        self.push(v, Op::Tanh(x.0))
+        self.unary_ew(x, Op::Tanh(x), f64::tanh)
     }
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(sigmoid);
-        self.push(v, Op::Sigmoid(x.0))
+        self.unary_ew(x, Op::Sigmoid(x), sigmoid)
     }
 
     /// Element-wise rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(|a| a.max(0.0));
-        self.push(v, Op::Relu(x.0))
+        self.unary_ew(x, Op::Relu(x), |a| a.max(0.0))
     }
 
     /// Element-wise softplus `ln(1 + eˣ)`, the variance-stabilising
     /// activation of Eq. 7, computed in a numerically stable form.
     pub fn softplus(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.map(softplus);
-        self.push(v, Op::Softplus(x.0))
+        self.unary_ew(x, Op::Softplus(x), softplus)
     }
 
     /// Fused gate pre-activation `x · w + h · u + b` — one node for the
@@ -287,28 +590,22 @@ impl Graph {
     ///
     /// Panics on inconsistent shapes.
     pub fn affine2(&mut self, x: Var, w: Var, h: Var, u: Var, b: Var) -> Var {
-        let mut v = self.nodes[x.0].value.matmul(&self.nodes[w.0].value);
-        v.add_matmul(&self.nodes[h.0].value, &self.nodes[u.0].value);
-        let bias = &self.nodes[b.0].value;
+        let i = self.reserve();
+        let (head, tail) = self.values.split_at_mut(i);
+        let out = &mut tail[0];
+        head[x.ix()].matmul_add_into(&head[w.ix()], None, out);
+        out.add_matmul(&head[h.ix()], &head[u.ix()]);
+        let bias = &head[b.ix()];
         assert_eq!(bias.rows(), 1, "affine2 expects a 1×m bias row");
-        assert_eq!(bias.cols(), v.cols(), "affine2 bias width mismatch");
-        for r in 0..v.rows() {
-            let cols = v.cols();
-            let row = &mut v.as_mut_slice()[r * cols..(r + 1) * cols];
+        assert_eq!(bias.cols(), out.cols(), "affine2 bias width mismatch");
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
             for (o, bv) in row.iter_mut().zip(bias.as_slice()) {
                 *o += bv;
             }
         }
-        self.push(
-            v,
-            Op::Affine2 {
-                x: x.0,
-                w: w.0,
-                h: h.0,
-                u: u.0,
-                b: b.0,
-            },
-        )
+        self.commit(Op::Affine2 { x, w, h, u, b })
     }
 
     /// Fused convex state blend `(1 − gate) ⊙ a + gate ⊙ b` — one node for
@@ -318,27 +615,26 @@ impl Graph {
     ///
     /// Panics if the three shapes differ.
     pub fn blend(&mut self, gate: Var, a: Var, b: Var) -> Var {
-        let gv = &self.nodes[gate.0].value;
-        let av = &self.nodes[a.0].value;
-        let bv = &self.nodes[b.0].value;
-        assert_eq!(gv.shape(), av.shape(), "blend shape mismatch");
-        assert_eq!(gv.shape(), bv.shape(), "blend shape mismatch");
-        let mut out = Tensor::zeros(gv.rows(), gv.cols());
-        for (o, ((g, x), y)) in out
-            .as_mut_slice()
-            .iter_mut()
-            .zip(gv.as_slice().iter().zip(av.as_slice()).zip(bv.as_slice()))
-        {
-            *o = (1.0 - g) * x + g * y;
+        let i = self.reserve();
+        let (rows, cols) = self.values[gate.ix()].shape();
+        assert_eq!(
+            (rows, cols),
+            self.values[a.ix()].shape(),
+            "blend shape mismatch"
+        );
+        assert_eq!(
+            (rows, cols),
+            self.values[b.ix()].shape(),
+            "blend shape mismatch"
+        );
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        let gv = head[gate.ix()].as_slice();
+        let av = head[a.ix()].as_slice();
+        let bv = head[b.ix()].as_slice();
+        for (j, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = (1.0 - gv[j]) * av[j] + gv[j] * bv[j];
         }
-        self.push(
-            out,
-            Op::Blend {
-                gate: gate.0,
-                a: a.0,
-                b: b.0,
-            },
-        )
+        self.commit(Op::Blend { gate, a, b })
     }
 
     /// Fused Gaussian negative log-likelihood
@@ -351,26 +647,30 @@ impl Graph {
     ///
     /// Panics if the three shapes differ.
     pub fn gaussian_nll(&mut self, mu: Var, sigma: Var, target: Var) -> Var {
-        let mv = &self.nodes[mu.0].value;
-        let sv = &self.nodes[sigma.0].value;
-        let tv = &self.nodes[target.0].value;
-        assert_eq!(mv.shape(), sv.shape(), "gaussian_nll shape mismatch");
-        assert_eq!(mv.shape(), tv.shape(), "gaussian_nll shape mismatch");
+        let i = self.reserve();
+        let shape = self.values[mu.ix()].shape();
+        assert_eq!(
+            shape,
+            self.values[sigma.ix()].shape(),
+            "gaussian_nll shape mismatch"
+        );
+        assert_eq!(
+            shape,
+            self.values[target.ix()].shape(),
+            "gaussian_nll shape mismatch"
+        );
+        let (head, out) = Self::out_slot(&mut self.values, i, 1, 1);
+        let mv = head[mu.ix()].as_slice();
+        let sv = head[sigma.ix()].as_slice();
+        let tv = head[target.ix()].as_slice();
         let mut acc = 0.0;
-        for ((m, s), y) in mv.as_slice().iter().zip(sv.as_slice()).zip(tv.as_slice()) {
+        for ((m, s), y) in mv.iter().zip(sv).zip(tv) {
             let z = (y - m) / s;
             acc += s.ln() + 0.5 * z * z;
         }
         let n = mv.len().max(1) as f64;
-        let value = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
-        self.push(
-            Tensor::scalar(value),
-            Op::GaussianNll {
-                mu: mu.0,
-                sigma: sigma.0,
-                target: target.0,
-            },
-        )
+        out.as_mut_slice()[0] = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        self.commit(Op::GaussianNll { mu, sigma, target })
     }
 
     /// [`Graph::gaussian_nll`] with the variance head folded in:
@@ -382,62 +682,70 @@ impl Graph {
     ///
     /// Panics if the three shapes differ.
     pub fn gaussian_nll_softplus(&mut self, mu: Var, pre: Var, target: Var, floor: f64) -> Var {
-        let mv = &self.nodes[mu.0].value;
-        let pv = &self.nodes[pre.0].value;
-        let tv = &self.nodes[target.0].value;
+        let i = self.reserve();
+        let shape = self.values[mu.ix()].shape();
         assert_eq!(
-            mv.shape(),
-            pv.shape(),
+            shape,
+            self.values[pre.ix()].shape(),
             "gaussian_nll_softplus shape mismatch"
         );
         assert_eq!(
-            mv.shape(),
-            tv.shape(),
+            shape,
+            self.values[target.ix()].shape(),
             "gaussian_nll_softplus shape mismatch"
         );
+        let (head, out) = Self::out_slot(&mut self.values, i, 1, 1);
+        let mv = head[mu.ix()].as_slice();
+        let pv = head[pre.ix()].as_slice();
+        let tv = head[target.ix()].as_slice();
         let mut acc = 0.0;
-        for ((m, p), y) in mv.as_slice().iter().zip(pv.as_slice()).zip(tv.as_slice()) {
+        for ((m, p), y) in mv.iter().zip(pv).zip(tv) {
             let s = softplus(*p) + floor;
             let z = (y - m) / s;
             acc += s.ln() + 0.5 * z * z;
         }
         let n = mv.len().max(1) as f64;
-        let value = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
-        self.push(
-            Tensor::scalar(value),
-            Op::GaussianNllSoftplus {
-                mu: mu.0,
-                pre: pre.0,
-                target: target.0,
-                floor,
-            },
-        )
+        out.as_mut_slice()[0] = acc / n + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        self.commit(Op::GaussianNllSoftplus {
+            mu,
+            pre,
+            target,
+            floor,
+        })
     }
 
     /// Sum of all elements, as a `1 × 1` scalar.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let v = Tensor::scalar(self.nodes[x.0].value.sum());
-        self.push(v, Op::SumAll(x.0))
+        let i = self.reserve();
+        let (head, out) = Self::out_slot(&mut self.values, i, 1, 1);
+        out.as_mut_slice()[0] = head[x.ix()].sum();
+        self.commit(Op::SumAll(x))
     }
 
     /// Mean of all elements, as a `1 × 1` scalar.
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let v = Tensor::scalar(self.nodes[x.0].value.mean());
-        self.push(v, Op::MeanAll(x.0))
+        let i = self.reserve();
+        let (head, out) = Self::out_slot(&mut self.values, i, 1, 1);
+        out.as_mut_slice()[0] = head[x.ix()].mean();
+        self.commit(Op::MeanAll(x))
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.transposed();
-        self.push(v, Op::Transpose(x.0))
+        let i = self.reserve();
+        let (head, tail) = self.values.split_at_mut(i);
+        head[x.ix()].transpose_into(&mut tail[0]);
+        self.commit(Op::Transpose(x))
     }
 
     /// Row-wise softmax (used by every attention block).
     pub fn softmax_rows(&mut self, x: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let mut out = xv.clone();
-        for r in 0..out.rows() {
-            let row = &mut out.as_mut_slice()[r * xv.cols()..(r + 1) * xv.cols()];
+        let i = self.reserve();
+        let (rows, cols) = self.values[x.ix()].shape();
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        out.as_mut_slice().copy_from_slice(head[x.ix()].as_slice());
+        for r in 0..rows {
+            let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -448,19 +756,41 @@ impl Graph {
                 *v /= sum;
             }
         }
-        self.push(out, Op::SoftmaxRows(x.0))
+        self.commit(Op::SoftmaxRows(x))
     }
 
     /// Concatenates variables left-to-right (matching row counts).
     ///
     /// # Panics
     ///
-    /// Panics if `parts` is empty.
+    /// Panics if `parts` is empty or row counts differ.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols requires at least one part");
-        let tensors: Vec<&Tensor> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
-        let v = Tensor::concat_cols(&tensors);
-        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()))
+        let i = self.reserve();
+        let aux_start = self.aux_len as u32;
+        for p in parts {
+            self.aux_push(p.0);
+        }
+        let rows = self.values[parts[0].ix()].rows();
+        let total: usize = parts.iter().map(|p| self.values[p.ix()].cols()).sum();
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, total);
+        let os = out.as_mut_slice();
+        let mut offset = 0;
+        for p in parts {
+            let t = &head[p.ix()];
+            assert_eq!(t.rows(), rows, "concat_cols row count mismatch");
+            let c = t.cols();
+            let ts = t.as_slice();
+            for r in 0..rows {
+                os[r * total + offset..r * total + offset + c]
+                    .copy_from_slice(&ts[r * c..(r + 1) * c]);
+            }
+            offset += c;
+        }
+        self.commit(Op::ConcatCols {
+            aux_start,
+            parts: parts.len() as u32,
+        })
     }
 
     /// Gathers rows `indices` from an embedding `table` (a `vocab × dim`
@@ -470,24 +800,28 @@ impl Graph {
     ///
     /// Panics if any index is out of range.
     pub fn embedding(&mut self, table: Var, indices: &[usize]) -> Var {
-        let tv = &self.nodes[table.0].value;
-        let dim = tv.cols();
-        let mut out = Tensor::zeros(indices.len(), dim);
-        for (r, &i) in indices.iter().enumerate() {
+        let i = self.reserve();
+        let aux_start = self.aux_len as u32;
+        for &idx in indices {
+            self.aux_push(idx as u32);
+        }
+        let dim = self.values[table.ix()].cols();
+        let (head, out) = Self::out_slot(&mut self.values, i, indices.len(), dim);
+        let tv = &head[table.ix()];
+        let os = out.as_mut_slice();
+        for (r, &idx) in indices.iter().enumerate() {
             assert!(
-                i < tv.rows(),
-                "embedding index {i} out of range ({})",
+                idx < tv.rows(),
+                "embedding index {idx} out of range ({})",
                 tv.rows()
             );
-            out.as_mut_slice()[r * dim..(r + 1) * dim].copy_from_slice(tv.row_slice(i));
+            os[r * dim..(r + 1) * dim].copy_from_slice(tv.row_slice(idx));
         }
-        self.push(
-            out,
-            Op::Embedding {
-                table: table.0,
-                indices: indices.to_vec(),
-            },
-        )
+        self.commit(Op::Embedding {
+            table,
+            aux_start,
+            len: indices.len() as u32,
+        })
     }
 
     /// Multiplies every row `r` of the `n × m` matrix `x` by the scalar
@@ -497,18 +831,25 @@ impl Graph {
     ///
     /// Panics if `col` is not `n × 1` with matching `n`.
     pub fn scale_rows(&mut self, x: Var, col: Var) -> Var {
-        let xv = &self.nodes[x.0].value;
-        let cv = &self.nodes[col.0].value;
-        assert_eq!(cv.cols(), 1, "scale_rows expects an n×1 column vector");
-        assert_eq!(cv.rows(), xv.rows(), "scale_rows row mismatch");
-        let mut out = xv.clone();
-        for r in 0..out.rows() {
-            let k = cv[(r, 0)];
-            for c in 0..out.cols() {
-                out[(r, c)] *= k;
+        let i = self.reserve();
+        {
+            let cv = &self.values[col.ix()];
+            let xv = &self.values[x.ix()];
+            assert_eq!(cv.cols(), 1, "scale_rows expects an n×1 column vector");
+            assert_eq!(cv.rows(), xv.rows(), "scale_rows row mismatch");
+        }
+        let (rows, cols) = self.values[x.ix()].shape();
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, cols);
+        let xs = head[x.ix()].as_slice();
+        let cs = head[col.ix()].as_slice();
+        let os = out.as_mut_slice();
+        for r in 0..rows {
+            let k = cs[r];
+            for c in 0..cols {
+                os[r * cols + c] = xs[r * cols + c] * k;
             }
         }
-        self.push(out, Op::ScaleRows(x.0, col.0))
+        self.commit(Op::ScaleRows(x, col))
     }
 
     /// Extracts columns `[start, start + len)` of `x`.
@@ -517,233 +858,411 @@ impl Graph {
     ///
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
-        let xv = &self.nodes[x.0].value;
-        assert!(start + len <= xv.cols(), "slice_cols out of range");
-        let mut out = Tensor::zeros(xv.rows(), len);
-        for r in 0..xv.rows() {
-            for c in 0..len {
-                out[(r, c)] = xv[(r, start + c)];
+        let i = self.reserve();
+        let (rows, cols) = self.values[x.ix()].shape();
+        assert!(start + len <= cols, "slice_cols out of range");
+        let (head, out) = Self::out_slot(&mut self.values, i, rows, len);
+        let xs = head[x.ix()].as_slice();
+        let os = out.as_mut_slice();
+        for r in 0..rows {
+            os[r * len..(r + 1) * len]
+                .copy_from_slice(&xs[r * cols + start..r * cols + start + len]);
+        }
+        self.commit(Op::SliceCols {
+            x,
+            start: start as u32,
+        })
+    }
+
+    /// A whole unrolled GRU recurrence as **one** tape entry: forward and
+    /// backward run as tight loops over preallocated scratch instead of
+    /// `8 × steps` tape nodes (the recurrent hot path was tape-overhead
+    /// bound, not flop-bound).
+    ///
+    /// `xs` packs the step inputs row-major by time: rows
+    /// `[t·batch, (t+1)·batch)` are the batch's inputs at step `t`, so
+    /// `xs` is `(steps·batch) × in_dim`. The initial state is zero (the
+    /// same contract as [`crate::GruCell::initial_state`]) and the node's
+    /// value is the final hidden state (`batch × hidden`).
+    ///
+    /// Float order is bit-identical to the equivalent
+    /// [`crate::GruCell::step_bound`] chain: per step the gate
+    /// pre-activations are `xW` then `+hU` then `+b` with the same blocked
+    /// kernels, and the backward pass accumulates per-step weight
+    /// gradients through per-step scratch in the same reverse-time order
+    /// the node-per-step tape used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not a constant leaf (the scan produces no input
+    /// gradient), `steps` is zero, or the row count is not a multiple of
+    /// `steps`.
+    pub fn gru_scan(&mut self, xs: Var, steps: usize, nodes: &GruCellNodes) -> Var {
+        assert!(steps > 0, "gru_scan needs at least one step");
+        assert!(
+            matches!(self.ops[xs.ix()], Op::Const),
+            "gru_scan input must be a constant leaf (it receives no gradient)"
+        );
+        let (xrows, in_dim) = self.values[xs.ix()].shape();
+        assert_eq!(xrows % steps, 0, "gru_scan rows not divisible by steps");
+        let b = xrows / steps;
+        let hidden = self.values[nodes.uz.ix()].cols();
+        let i = self.reserve();
+        let s_idx = self.scan_count;
+        if s_idx == self.scans.len() {
+            self.scans.push(GruScanState::empty());
+        }
+        self.scan_count += 1;
+        let bh = b * hidden;
+        {
+            let st = &mut self.scans[s_idx];
+            st.xs = xs;
+            st.steps = steps as u32;
+            st.batch = b as u32;
+            st.in_dim = in_dim as u32;
+            st.hidden = hidden as u32;
+            st.wz = nodes.wz;
+            st.uz = nodes.uz;
+            st.bz = nodes.bz;
+            st.wr = nodes.wr;
+            st.ur = nodes.ur;
+            st.br = nodes.br;
+            st.wh = nodes.wh;
+            st.uh = nodes.uh;
+            st.bh = nodes.bh;
+            st.hs.resize_reuse((steps + 1) * b, hidden);
+            st.zs.resize_reuse(steps * b, hidden);
+            st.rs.resize_reuse(steps * b, hidden);
+            st.cands.resize_reuse(steps * b, hidden);
+            st.rh.resize_reuse(b, hidden);
+            let values = &self.values;
+            let xsv = values[xs.ix()].as_slice();
+            let wzv = values[nodes.wz.ix()].as_slice();
+            let uzv = values[nodes.uz.ix()].as_slice();
+            let bzv = values[nodes.bz.ix()].as_slice();
+            let wrv = values[nodes.wr.ix()].as_slice();
+            let urv = values[nodes.ur.ix()].as_slice();
+            let brv = values[nodes.br.ix()].as_slice();
+            let whv = values[nodes.wh.ix()].as_slice();
+            let uhv = values[nodes.uh.ix()].as_slice();
+            let bhv = values[nodes.bh.ix()].as_slice();
+            let hs = st.hs.as_mut_slice();
+            let zs = st.zs.as_mut_slice();
+            let rs = st.rs.as_mut_slice();
+            let cs = st.cands.as_mut_slice();
+            let rhb = st.rh.as_mut_slice();
+            hs[..bh].iter_mut().for_each(|v| *v = 0.0);
+            for t in 0..steps {
+                let x_t = &xsv[t * b * in_dim..(t + 1) * b * in_dim];
+                let (h_lo, h_hi) = hs.split_at_mut((t + 1) * bh);
+                let hp = &h_lo[t * bh..];
+                let hn = &mut h_hi[..bh];
+                // update gate: z = σ(xW_z + hU_z + b_z)
+                let zb = &mut zs[t * bh..(t + 1) * bh];
+                matmul_slices(x_t, b, in_dim, wzv, hidden, zb, false);
+                matmul_slices(hp, b, hidden, uzv, hidden, zb, true);
+                add_bias_rows(zb, bzv, b, hidden);
+                zb.iter_mut().for_each(|v| *v = sigmoid(*v));
+                // reset gate: r = σ(xW_r + hU_r + b_r)
+                let rb = &mut rs[t * bh..(t + 1) * bh];
+                matmul_slices(x_t, b, in_dim, wrv, hidden, rb, false);
+                matmul_slices(hp, b, hidden, urv, hidden, rb, true);
+                add_bias_rows(rb, brv, b, hidden);
+                rb.iter_mut().for_each(|v| *v = sigmoid(*v));
+                // candidate: c = tanh(xW_h + (r ⊙ h)U_h + b_h)
+                for j in 0..bh {
+                    rhb[j] = rb[j] * hp[j];
+                }
+                let cb = &mut cs[t * bh..(t + 1) * bh];
+                matmul_slices(x_t, b, in_dim, whv, hidden, cb, false);
+                matmul_slices(rhb, b, hidden, uhv, hidden, cb, true);
+                add_bias_rows(cb, bhv, b, hidden);
+                cb.iter_mut().for_each(|v| *v = f64::tanh(*v));
+                // blend: h' = (1 − z) ⊙ h + z ⊙ c
+                for j in 0..bh {
+                    hn[j] = (1.0 - zb[j]) * hp[j] + zb[j] * cb[j];
+                }
             }
         }
-        self.push(out, Op::SliceCols { x: x.0, start })
+        {
+            let st = &self.scans[s_idx];
+            let out = &mut self.values[i];
+            if out.is_shared() {
+                *out = Tensor::zeros(b, hidden);
+            } else {
+                out.resize_reuse(b, hidden);
+            }
+            out.as_mut_slice()
+                .copy_from_slice(&st.hs.as_slice()[steps * bh..]);
+        }
+        self.commit(Op::GruScan {
+            state: s_idx as u32,
+        })
     }
 
     /// Runs backpropagation from `output`, accumulating gradients into every
-    /// [`Param`] reachable from it. `output` is typically a scalar loss; for
-    /// non-scalars the seed gradient is all-ones.
+    /// [`Param`] reachable from it, then releases parameter value shares
+    /// (so the optimizer's in-place update does not copy). `output` is
+    /// typically a scalar loss; for non-scalars the seed gradient is
+    /// all-ones.
+    // gfs-lint: hot(tape)
     pub fn backward(&mut self, output: Var) {
-        let n = self.nodes.len();
-        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
-        let out_shape = self.nodes[output.0].value.shape();
-        grads[output.0] = Some(Tensor::full(out_shape.0, out_shape.1, 1.0));
+        let n = self.ops.len();
+        if self.grads.len() < n {
+            self.grads.resize_with(n, || Tensor::zeros(0, 0));
+        }
+        self.grad_seen.clear();
+        self.grad_seen.resize(n, false);
+        {
+            let (orows, ocols) = self.values[output.ix()].shape();
+            let seed = &mut self.grads[output.ix()];
+            seed.resize_reuse(orows, ocols);
+            seed.as_mut_slice().iter_mut().for_each(|v| *v = 1.0);
+            self.grad_seen[output.ix()] = true;
+        }
 
         for i in (0..n).rev() {
-            let Some(gy) = grads[i].take() else { continue };
-            match &self.nodes[i].op {
+            if !self.grad_seen[i] {
+                continue;
+            }
+            let (glo, ghi) = self.grads.split_at_mut(i);
+            let gy: &Tensor = &ghi[0];
+            let gys = gy.as_slice();
+            let seen = &mut self.grad_seen;
+            let values = &self.values;
+            match &self.ops[i] {
                 Op::Const => {}
                 Op::Param(p) => {
-                    p.accumulate_grad(&gy);
+                    p.accumulate_grad(gy);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, gy.clone());
-                    accumulate(&mut grads, *b, gy);
+                    let (rows, cols) = gy.shape();
+                    acc_map(glo, seen, a.ix(), rows, cols, |j| gys[j]);
+                    acc_map(glo, seen, b.ix(), rows, cols, |j| gys[j]);
                 }
                 Op::Sub(a, b) => {
-                    let neg = gy.map(|v| -v);
-                    accumulate(&mut grads, *a, gy);
-                    accumulate(&mut grads, *b, neg);
+                    let (rows, cols) = gy.shape();
+                    acc_map(glo, seen, a.ix(), rows, cols, |j| gys[j]);
+                    acc_map(glo, seen, b.ix(), rows, cols, |j| -gys[j]);
                 }
                 Op::Mul(a, b) => {
-                    let (a, b) = (*a, *b);
-                    let ga = gy.zip(&self.nodes[b].value, |g, bv| g * bv);
-                    let gb = gy.zip(&self.nodes[a].value, |g, av| g * av);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                    let (rows, cols) = gy.shape();
+                    let av = values[a.ix()].as_slice();
+                    let bv = values[b.ix()].as_slice();
+                    acc_map(glo, seen, a.ix(), rows, cols, |j| gys[j] * bv[j]);
+                    acc_map(glo, seen, b.ix(), rows, cols, |j| gys[j] * av[j]);
                 }
                 Op::Div(a, b) => {
-                    let (a, b) = (*a, *b);
-                    let bv = &self.nodes[b].value;
-                    let av = &self.nodes[a].value;
-                    let ga = gy.zip(bv, |g, d| g / d);
-                    let mut gb = gy.zip(av, |g, n| g * n);
-                    gb = gb.zip(bv, |g, d| -g / (d * d));
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                    let (rows, cols) = gy.shape();
+                    let av = values[a.ix()].as_slice();
+                    let bv = values[b.ix()].as_slice();
+                    acc_map(glo, seen, a.ix(), rows, cols, |j| gys[j] / bv[j]);
+                    acc_map(glo, seen, b.ix(), rows, cols, |j| {
+                        let t = gys[j] * av[j];
+                        -t / (bv[j] * bv[j])
+                    });
                 }
                 Op::MatMul(a, b) => {
-                    let (a, b) = (*a, *b);
-                    // contiguous backward kernels (transb packs rhsᵀ once)
-                    let ga = gy.matmul_transb(&self.nodes[b].value);
-                    let gb = self.nodes[a].value.matmul_transa(&gy);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                    acc_matmul_transb(
+                        glo,
+                        seen,
+                        a.ix(),
+                        gy,
+                        &values[b.ix()],
+                        &mut self.scratch_t,
+                        &mut self.scratch,
+                    );
+                    acc_matmul_transa(glo, seen, b.ix(), &values[a.ix()], gy, &mut self.scratch);
                 }
                 Op::Affine(x, w, b) => {
-                    let (x, w, b) = (*x, *w, *b);
-                    let gx = gy.matmul_transb(&self.nodes[w].value);
-                    let gw = self.nodes[x].value.matmul_transa(&gy);
-                    let mut gb = Tensor::zeros(1, gy.cols());
-                    for r in 0..gy.rows() {
-                        for c in 0..gy.cols() {
-                            gb[(0, c)] += gy[(r, c)];
-                        }
-                    }
-                    accumulate(&mut grads, x, gx);
-                    accumulate(&mut grads, w, gw);
-                    accumulate(&mut grads, b, gb);
+                    acc_matmul_transb(
+                        glo,
+                        seen,
+                        x.ix(),
+                        gy,
+                        &values[w.ix()],
+                        &mut self.scratch_t,
+                        &mut self.scratch,
+                    );
+                    acc_matmul_transa(glo, seen, w.ix(), &values[x.ix()], gy, &mut self.scratch);
+                    acc_colsum(glo, seen, b.ix(), gy, &mut self.scratch);
                 }
                 Op::AddRow(x, row) => {
-                    let (x, row) = (*x, *row);
-                    let mut gr = Tensor::zeros(1, gy.cols());
-                    for r in 0..gy.rows() {
-                        for c in 0..gy.cols() {
-                            gr[(0, c)] += gy[(r, c)];
-                        }
-                    }
-                    accumulate(&mut grads, x, gy);
-                    accumulate(&mut grads, row, gr);
+                    let (rows, cols) = gy.shape();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j]);
+                    acc_colsum(glo, seen, row.ix(), gy, &mut self.scratch);
                 }
                 Op::Scale(x, k) => {
-                    let g = gy.map(|v| v * k);
-                    accumulate(&mut grads, *x, g);
+                    let (rows, cols) = gy.shape();
+                    let k = *k;
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j] * k);
                 }
                 Op::AddConst(x) => {
-                    accumulate(&mut grads, *x, gy);
+                    let (rows, cols) = gy.shape();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j]);
                 }
                 Op::Exp(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[i].value, |g, y| g * y);
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let ys = values[i].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j] * ys[j]);
                 }
                 Op::Ln(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[x].value, |g, xv| g / xv);
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let xs = values[x.ix()].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j] / xs[j]);
                 }
                 Op::Tanh(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let ys = values[i].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| {
+                        gys[j] * (1.0 - ys[j] * ys[j])
+                    });
                 }
                 Op::Sigmoid(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let ys = values[i].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| {
+                        gys[j] * ys[j] * (1.0 - ys[j])
+                    });
                 }
                 Op::Relu(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[x].value, |g, xv| if xv > 0.0 { g } else { 0.0 });
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let xs = values[x.ix()].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| {
+                        if xs[j] > 0.0 {
+                            gys[j]
+                        } else {
+                            0.0
+                        }
+                    });
                 }
                 Op::Softplus(x) => {
-                    let x = *x;
-                    let g = gy.zip(&self.nodes[x].value, |g, xv| g * sigmoid(xv));
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = gy.shape();
+                    let xs = values[x.ix()].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j] * sigmoid(xs[j]));
                 }
                 Op::SumAll(x) => {
-                    let x = *x;
                     let s = gy.item();
-                    let shape = self.nodes[x].value.shape();
-                    let g = Tensor::full(shape.0, shape.1, s);
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = values[x.ix()].shape();
+                    acc_map(glo, seen, x.ix(), rows, cols, |_| s);
                 }
                 Op::MeanAll(x) => {
-                    let x = *x;
-                    let shape = self.nodes[x].value.shape();
-                    let n = (shape.0 * shape.1) as f64;
-                    let g = Tensor::full(shape.0, shape.1, gy.item() / n);
-                    accumulate(&mut grads, x, g);
+                    let (rows, cols) = values[x.ix()].shape();
+                    let s = gy.item() / (rows * cols) as f64;
+                    acc_map(glo, seen, x.ix(), rows, cols, |_| s);
                 }
                 Op::Transpose(x) => {
-                    let g = gy.transposed();
-                    accumulate(&mut grads, *x, g);
+                    let (rows, cols) = values[x.ix()].shape();
+                    gy.transpose_into(&mut self.scratch);
+                    let ss = self.scratch.as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| ss[j]);
                 }
                 Op::SoftmaxRows(x) => {
-                    let x = *x;
-                    let y = &self.nodes[i].value;
-                    let mut g = Tensor::zeros(gy.rows(), gy.cols());
-                    for r in 0..gy.rows() {
-                        let dot: f64 = (0..gy.cols()).map(|c| gy[(r, c)] * y[(r, c)]).sum();
-                        for c in 0..gy.cols() {
-                            g[(r, c)] = (gy[(r, c)] - dot) * y[(r, c)];
+                    let (rows, cols) = gy.shape();
+                    let ys = values[i].as_slice();
+                    let first = prep(glo, seen, x.ix(), rows, cols);
+                    let s = glo[x.ix()].as_mut_slice();
+                    for r in 0..rows {
+                        let base = r * cols;
+                        let mut dot = 0.0;
+                        for c in 0..cols {
+                            dot += gys[base + c] * ys[base + c];
                         }
-                    }
-                    accumulate(&mut grads, x, g);
-                }
-                Op::ConcatCols(parts) => {
-                    let parts = parts.clone();
-                    let mut offset = 0;
-                    for p in parts {
-                        let (rows, cols) = self.nodes[p].value.shape();
-                        let mut gp = Tensor::zeros(rows, cols);
-                        for r in 0..rows {
-                            for c in 0..cols {
-                                gp[(r, c)] = gy[(r, offset + c)];
+                        for c in 0..cols {
+                            let v = (gys[base + c] - dot) * ys[base + c];
+                            if first {
+                                s[base + c] = v;
+                            } else {
+                                s[base + c] += v;
                             }
                         }
-                        accumulate(&mut grads, p, gp);
+                    }
+                }
+                Op::ConcatCols { aux_start, parts } => {
+                    let total = gy.cols();
+                    let astart = *aux_start as usize;
+                    let pcount = *parts as usize;
+                    let mut offset = 0;
+                    for pi in 0..pcount {
+                        let p = self.aux[astart + pi] as usize;
+                        let (rows, cols) = values[p].shape();
+                        acc_map(glo, seen, p, rows, cols, |j| {
+                            let r = j / cols;
+                            let c = j % cols;
+                            gys[r * total + offset + c]
+                        });
                         offset += cols;
                     }
                 }
-                Op::Affine2 { x, w, h, u, b } => {
-                    let (x, w, h, u, b) = (*x, *w, *h, *u, *b);
-                    let gx = gy.matmul_transb(&self.nodes[w].value);
-                    let gw = self.nodes[x].value.matmul_transa(&gy);
-                    let gh = gy.matmul_transb(&self.nodes[u].value);
-                    let gu = self.nodes[h].value.matmul_transa(&gy);
-                    let mut gb = Tensor::zeros(1, gy.cols());
-                    for r in 0..gy.rows() {
-                        for c in 0..gy.cols() {
-                            gb[(0, c)] += gy[(r, c)];
-                        }
+                Op::Embedding {
+                    table,
+                    aux_start,
+                    len,
+                } => {
+                    let t = table.ix();
+                    let (vocab, dim) = values[t].shape();
+                    let idxs = &self.aux[*aux_start as usize..(*aux_start + *len) as usize];
+                    let first = prep(glo, seen, t, vocab, dim);
+                    if first {
+                        let s = glo[t].as_mut_slice();
+                        s.iter_mut().for_each(|v| *v = 0.0);
+                        scatter_rows(s, dim, idxs, gys);
+                    } else {
+                        self.scratch.resize_reuse(vocab, dim);
+                        let s = self.scratch.as_mut_slice();
+                        s.iter_mut().for_each(|v| *v = 0.0);
+                        scatter_rows(s, dim, idxs, gys);
+                        glo[t].add_scaled(&self.scratch, 1.0);
                     }
-                    accumulate(&mut grads, x, gx);
-                    accumulate(&mut grads, w, gw);
-                    accumulate(&mut grads, h, gh);
-                    accumulate(&mut grads, u, gu);
-                    accumulate(&mut grads, b, gb);
+                }
+                Op::Affine2 { x, w, h, u, b } => {
+                    acc_matmul_transb(
+                        glo,
+                        seen,
+                        x.ix(),
+                        gy,
+                        &values[w.ix()],
+                        &mut self.scratch_t,
+                        &mut self.scratch,
+                    );
+                    acc_matmul_transa(glo, seen, w.ix(), &values[x.ix()], gy, &mut self.scratch);
+                    acc_matmul_transb(
+                        glo,
+                        seen,
+                        h.ix(),
+                        gy,
+                        &values[u.ix()],
+                        &mut self.scratch_t,
+                        &mut self.scratch,
+                    );
+                    acc_matmul_transa(glo, seen, u.ix(), &values[h.ix()], gy, &mut self.scratch);
+                    acc_colsum(glo, seen, b.ix(), gy, &mut self.scratch);
                 }
                 Op::Blend { gate, a, b } => {
-                    let (gate, a, b) = (*gate, *a, *b);
-                    let gv = &self.nodes[gate].value;
-                    let av = &self.nodes[a].value;
-                    let bv = &self.nodes[b].value;
-                    let mut gg = Tensor::zeros(gv.rows(), gv.cols());
-                    let mut ga = Tensor::zeros(gv.rows(), gv.cols());
-                    let mut gb2 = Tensor::zeros(gv.rows(), gv.cols());
-                    for i in 0..gy.len() {
-                        let g0 = gy.as_slice()[i];
-                        let gt = gv.as_slice()[i];
-                        gg.as_mut_slice()[i] = g0 * (bv.as_slice()[i] - av.as_slice()[i]);
-                        ga.as_mut_slice()[i] = g0 * (1.0 - gt);
-                        gb2.as_mut_slice()[i] = g0 * gt;
-                    }
-                    accumulate(&mut grads, gate, gg);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb2);
+                    let (rows, cols) = gy.shape();
+                    let gv = values[gate.ix()].as_slice();
+                    let av = values[a.ix()].as_slice();
+                    let bv = values[b.ix()].as_slice();
+                    acc_map(glo, seen, gate.ix(), rows, cols, |j| {
+                        gys[j] * (bv[j] - av[j])
+                    });
+                    acc_map(glo, seen, a.ix(), rows, cols, |j| gys[j] * (1.0 - gv[j]));
+                    acc_map(glo, seen, b.ix(), rows, cols, |j| gys[j] * gv[j]);
                 }
                 Op::GaussianNll { mu, sigma, target } => {
-                    let (mu, sigma, target) = (*mu, *sigma, *target);
-                    let mv = &self.nodes[mu].value;
-                    let sv = &self.nodes[sigma].value;
-                    let tv = &self.nodes[target].value;
+                    let mv = values[mu.ix()].as_slice();
+                    let sv = values[sigma.ix()].as_slice();
+                    let tv = values[target.ix()].as_slice();
                     let scale = gy.item() / mv.len().max(1) as f64;
-                    let (rows, cols) = mv.shape();
-                    let mut gmu = Tensor::zeros(rows, cols);
-                    let mut gsigma = Tensor::zeros(rows, cols);
-                    for (i, ((m, s), y)) in mv
-                        .as_slice()
-                        .iter()
-                        .zip(sv.as_slice())
-                        .zip(tv.as_slice())
-                        .enumerate()
-                    {
-                        let z = (y - m) / s;
-                        gmu.as_mut_slice()[i] = scale * (-z / s);
-                        gsigma.as_mut_slice()[i] = scale * (1.0 - z * z) / s;
-                    }
-                    accumulate(&mut grads, mu, gmu);
-                    accumulate(&mut grads, sigma, gsigma);
+                    let (rows, cols) = values[mu.ix()].shape();
+                    acc_map(glo, seen, mu.ix(), rows, cols, |j| {
+                        let z = (tv[j] - mv[j]) / sv[j];
+                        scale * (-z / sv[j])
+                    });
+                    acc_map(glo, seen, sigma.ix(), rows, cols, |j| {
+                        let z = (tv[j] - mv[j]) / sv[j];
+                        scale * (1.0 - z * z) / sv[j]
+                    });
                 }
                 Op::GaussianNllSoftplus {
                     mu,
@@ -751,79 +1270,452 @@ impl Graph {
                     target,
                     floor,
                 } => {
-                    let (mu, pre, target, floor) = (*mu, *pre, *target, *floor);
-                    let mv = &self.nodes[mu].value;
-                    let pv = &self.nodes[pre].value;
-                    let tv = &self.nodes[target].value;
+                    let floor = *floor;
+                    let mv = values[mu.ix()].as_slice();
+                    let pv = values[pre.ix()].as_slice();
+                    let tv = values[target.ix()].as_slice();
                     let scale = gy.item() / mv.len().max(1) as f64;
-                    let (rows, cols) = mv.shape();
-                    let mut gmu = Tensor::zeros(rows, cols);
-                    let mut gpre = Tensor::zeros(rows, cols);
-                    for (i, ((m, p), y)) in mv
-                        .as_slice()
-                        .iter()
-                        .zip(pv.as_slice())
-                        .zip(tv.as_slice())
-                        .enumerate()
-                    {
-                        let s = softplus(*p) + floor;
-                        let z = (y - m) / s;
-                        gmu.as_mut_slice()[i] = scale * (-z / s);
-                        // ∂L/∂σ · ∂σ/∂pre, with ∂softplus = sigmoid
-                        gpre.as_mut_slice()[i] = scale * ((1.0 - z * z) / s) * sigmoid(*p);
-                    }
-                    accumulate(&mut grads, mu, gmu);
-                    accumulate(&mut grads, pre, gpre);
+                    let (rows, cols) = values[mu.ix()].shape();
+                    acc_map(glo, seen, mu.ix(), rows, cols, |j| {
+                        let s = softplus(pv[j]) + floor;
+                        let z = (tv[j] - mv[j]) / s;
+                        scale * (-z / s)
+                    });
+                    // ∂L/∂σ · ∂σ/∂pre, with ∂softplus = sigmoid
+                    acc_map(glo, seen, pre.ix(), rows, cols, |j| {
+                        let s = softplus(pv[j]) + floor;
+                        let z = (tv[j] - mv[j]) / s;
+                        scale * ((1.0 - z * z) / s) * sigmoid(pv[j])
+                    });
                 }
                 Op::ScaleRows(x, col) => {
-                    let (x, col) = (*x, *col);
-                    let cv = &self.nodes[col].value;
-                    let xv = &self.nodes[x].value;
-                    let mut gx = gy.clone();
-                    let mut gc = Tensor::zeros(cv.rows(), 1);
-                    for r in 0..gy.rows() {
-                        let k = cv[(r, 0)];
+                    let (rows, cols) = gy.shape();
+                    let xv = values[x.ix()].as_slice();
+                    let cv = values[col.ix()].as_slice();
+                    acc_map(glo, seen, x.ix(), rows, cols, |j| gys[j] * cv[j / cols]);
+                    let firstc = prep(glo, seen, col.ix(), rows, 1);
+                    let s = glo[col.ix()].as_mut_slice();
+                    for r in 0..rows {
                         let mut dot = 0.0;
-                        for c in 0..gy.cols() {
-                            dot += gy[(r, c)] * xv[(r, c)];
-                            gx[(r, c)] = gy[(r, c)] * k;
+                        for c in 0..cols {
+                            dot += gys[r * cols + c] * xv[r * cols + c];
                         }
-                        gc[(r, 0)] = dot;
+                        if firstc {
+                            s[r] = dot;
+                        } else {
+                            s[r] += dot;
+                        }
                     }
-                    accumulate(&mut grads, x, gx);
-                    accumulate(&mut grads, col, gc);
                 }
                 Op::SliceCols { x, start } => {
-                    let (x, start) = (*x, *start);
-                    let (rows, cols) = self.nodes[x].value.shape();
-                    let mut gx = Tensor::zeros(rows, cols);
-                    for r in 0..gy.rows() {
-                        for c in 0..gy.cols() {
-                            gx[(r, start + c)] = gy[(r, c)];
-                        }
+                    let xi = x.ix();
+                    let (rows, cols) = values[xi].shape();
+                    let start = *start as usize;
+                    let gcols = gy.cols();
+                    let first = prep(glo, seen, xi, rows, cols);
+                    if first {
+                        let s = glo[xi].as_mut_slice();
+                        s.iter_mut().for_each(|v| *v = 0.0);
+                        expand_cols(s, cols, start, gys, gcols, rows);
+                    } else {
+                        self.scratch.resize_reuse(rows, cols);
+                        let s = self.scratch.as_mut_slice();
+                        s.iter_mut().for_each(|v| *v = 0.0);
+                        expand_cols(s, cols, start, gys, gcols, rows);
+                        glo[xi].add_scaled(&self.scratch, 1.0);
                     }
-                    accumulate(&mut grads, x, gx);
                 }
-                Op::Embedding { table, indices } => {
-                    let (table, indices) = (*table, indices.clone());
-                    let (vocab, dim) = self.nodes[table].value.shape();
-                    let mut gt = Tensor::zeros(vocab, dim);
-                    for (r, idx) in indices.iter().enumerate() {
-                        for c in 0..dim {
-                            gt[(*idx, c)] += gy[(r, c)];
-                        }
-                    }
-                    accumulate(&mut grads, table, gt);
+                Op::GruScan { state } => {
+                    gru_scan_backward(&mut self.scans[*state as usize], values, glo, seen, gy);
                 }
             }
+        }
+        self.release_params();
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+/// Prepares grad slot `idx` for a contribution: on the first visit this
+/// sweep the slot is reshaped (contents stale — the caller must assign, not
+/// accumulate) and `true` is returned; later visits return `false`.
+///
+/// First visits **assign** and revisits **add** to reproduce the float
+/// behaviour of the fresh-tensor graph exactly (a zero-init slot would turn
+/// `set(-0.0)` into `0.0 + -0.0 = 0.0`, flipping a sign bit).
+// gfs-lint: hot(tape)
+fn prep(glo: &mut [Tensor], seen: &mut [bool], idx: usize, rows: usize, cols: usize) -> bool {
+    let first = !seen[idx];
+    if first {
+        seen[idx] = true;
+        glo[idx].resize_reuse(rows, cols);
+    } else {
+        debug_assert_eq!(glo[idx].shape(), (rows, cols), "gradient shape drift");
+    }
+    first
+}
+
+/// Elementwise gradient contribution `slot[j] (+)= f(j)`.
+// gfs-lint: hot(tape)
+fn acc_map(
+    glo: &mut [Tensor],
+    seen: &mut [bool],
+    idx: usize,
+    rows: usize,
+    cols: usize,
+    f: impl Fn(usize) -> f64,
+) {
+    let first = prep(glo, seen, idx, rows, cols);
+    let s = glo[idx].as_mut_slice();
+    if first {
+        for (j, o) in s.iter_mut().enumerate() {
+            *o = f(j);
+        }
+    } else {
+        for (j, o) in s.iter_mut().enumerate() {
+            *o += f(j);
         }
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
-    match &mut grads[idx] {
-        Some(existing) => existing.add_scaled(&g, 1.0),
-        slot @ None => *slot = Some(g),
+/// Gradient contribution `slot (+)= gy · bmatᵀ` (`∂x` of a matmul/affine).
+/// The transpose goes through `tscratch` once; revisits compute into
+/// `pscratch` and add, matching the fresh-tensor-then-`add_scaled` float
+/// order of the node-allocated graph.
+// gfs-lint: hot(tape)
+fn acc_matmul_transb(
+    glo: &mut [Tensor],
+    seen: &mut [bool],
+    idx: usize,
+    gy: &Tensor,
+    bmat: &Tensor,
+    tscratch: &mut Tensor,
+    pscratch: &mut Tensor,
+) {
+    let (brows, bcols) = bmat.shape();
+    debug_assert_eq!(bcols, gy.cols(), "acc_matmul_transb inner dim");
+    bmat.transpose_into(tscratch);
+    let m = gy.rows();
+    let first = prep(glo, seen, idx, m, brows);
+    if first {
+        matmul_slices(
+            gy.as_slice(),
+            m,
+            bcols,
+            tscratch.as_slice(),
+            brows,
+            glo[idx].as_mut_slice(),
+            false,
+        );
+    } else {
+        pscratch.resize_reuse(m, brows);
+        matmul_slices(
+            gy.as_slice(),
+            m,
+            bcols,
+            tscratch.as_slice(),
+            brows,
+            pscratch.as_mut_slice(),
+            false,
+        );
+        glo[idx].add_scaled(pscratch, 1.0);
+    }
+}
+
+/// Gradient contribution `slot (+)= amatᵀ · gy` (`∂w` of a matmul/affine).
+// gfs-lint: hot(tape)
+fn acc_matmul_transa(
+    glo: &mut [Tensor],
+    seen: &mut [bool],
+    idx: usize,
+    amat: &Tensor,
+    gy: &Tensor,
+    pscratch: &mut Tensor,
+) {
+    let (m, k) = amat.shape();
+    let ncols = gy.cols();
+    debug_assert_eq!(gy.rows(), m, "acc_matmul_transa inner dim");
+    let first = prep(glo, seen, idx, k, ncols);
+    if first {
+        matmul_transa_slices(
+            amat.as_slice(),
+            m,
+            k,
+            gy.as_slice(),
+            ncols,
+            glo[idx].as_mut_slice(),
+            false,
+        );
+    } else {
+        pscratch.resize_reuse(k, ncols);
+        matmul_transa_slices(
+            amat.as_slice(),
+            m,
+            k,
+            gy.as_slice(),
+            ncols,
+            pscratch.as_mut_slice(),
+            false,
+        );
+        glo[idx].add_scaled(pscratch, 1.0);
+    }
+}
+
+/// Gradient contribution `slot (+)= column sums of gy` (`∂b` of an affine).
+// gfs-lint: hot(tape)
+fn acc_colsum(
+    glo: &mut [Tensor],
+    seen: &mut [bool],
+    idx: usize,
+    gy: &Tensor,
+    pscratch: &mut Tensor,
+) {
+    let (rows, cols) = gy.shape();
+    let gys = gy.as_slice();
+    let first = prep(glo, seen, idx, 1, cols);
+    if first {
+        colsum_into(gys, rows, cols, glo[idx].as_mut_slice());
+    } else {
+        pscratch.resize_reuse(1, cols);
+        colsum_into(gys, rows, cols, pscratch.as_mut_slice());
+        glo[idx].add_scaled(pscratch, 1.0);
+    }
+}
+
+/// `out[c] = Σ_r src[r, c]`, rows ascending (the bias-gradient reduction).
+// gfs-lint: hot(tape)
+fn colsum_into(src: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c] += src[r * cols + c];
+        }
+    }
+}
+
+/// Scatter-add `gy` rows into table rows `idxs` (embedding backward).
+// gfs-lint: hot(tape)
+fn scatter_rows(out: &mut [f64], dim: usize, idxs: &[u32], gys: &[f64]) {
+    for (r, &idx) in idxs.iter().enumerate() {
+        let trow = &mut out[idx as usize * dim..(idx as usize + 1) * dim];
+        let grow = &gys[r * dim..(r + 1) * dim];
+        for (o, g) in trow.iter_mut().zip(grow) {
+            *o += g;
+        }
+    }
+}
+
+/// Write `gy` (`rows × gcols`) into columns `[start, start+gcols)` of a
+/// zeroed `rows × cols` buffer (slice_cols backward).
+// gfs-lint: hot(tape)
+fn expand_cols(out: &mut [f64], cols: usize, start: usize, gys: &[f64], gcols: usize, rows: usize) {
+    for r in 0..rows {
+        out[r * cols + start..r * cols + start + gcols]
+            .copy_from_slice(&gys[r * gcols..(r + 1) * gcols]);
+    }
+}
+
+/// `out[r·cols..] += bias` for every row (the affine2 bias broadcast).
+// gfs-lint: hot(tape)
+fn add_bias_rows(out: &mut [f64], bias: &[f64], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = &mut out[r * cols..(r + 1) * cols];
+        for (o, bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
+/// Backward pass of one [`Graph::gru_scan`] node: reverse-time BPTT in
+/// tight loops over the state's preallocated scratch. Per-step weight and
+/// bias gradients go through per-step scratch tensors and are then added to
+/// the tape grad slots, reproducing the exact accumulation order (and so
+/// the exact float results) of the node-per-step tape; the hidden-state
+/// gradient accumulates its four per-step contributions in the node-reverse
+/// order of the unfused chain (blend, candidate-via-reset, reset gate,
+/// update gate).
+// gfs-lint: hot(tape)
+fn gru_scan_backward(
+    st: &mut GruScanState,
+    values: &[Tensor],
+    glo: &mut [Tensor],
+    seen: &mut [bool],
+    gy: &Tensor,
+) {
+    let steps = st.steps as usize;
+    let b = st.batch as usize;
+    let in_dim = st.in_dim as usize;
+    let hidden = st.hidden as usize;
+    let bh = b * hidden;
+    st.gh.copy_from(gy);
+    st.ghp.resize_reuse(b, hidden);
+    st.gz.resize_reuse(b, hidden);
+    st.gr.resize_reuse(b, hidden);
+    st.gcand.resize_reuse(b, hidden);
+    st.gtmp.resize_reuse(b, hidden);
+    st.rh.resize_reuse(b, hidden);
+    st.step_gw.resize_reuse(in_dim, hidden);
+    st.step_gu.resize_reuse(hidden, hidden);
+    st.step_gb.resize_reuse(1, hidden);
+    values[st.uz.ix()].transpose_into(&mut st.uzt);
+    values[st.ur.ix()].transpose_into(&mut st.urt);
+    values[st.uh.ix()].transpose_into(&mut st.uht);
+    let xsv = values[st.xs.ix()].as_slice();
+    for t in (0..steps).rev() {
+        let x_t = &xsv[t * b * in_dim..(t + 1) * b * in_dim];
+        let hp = &st.hs.as_slice()[t * bh..(t + 1) * bh];
+        let zb = &st.zs.as_slice()[t * bh..(t + 1) * bh];
+        let rb = &st.rs.as_slice()[t * bh..(t + 1) * bh];
+        let cb = &st.cands.as_slice()[t * bh..(t + 1) * bh];
+        let ghs = st.gh.as_slice();
+        let ghps = st.ghp.as_mut_slice();
+        let gzs = st.gz.as_mut_slice();
+        let gcs = st.gcand.as_mut_slice();
+        let grs = st.gr.as_mut_slice();
+        // blend: ∂z = gh ⊙ (c − h), ∂h += gh ⊙ (1 − z)  [h contribution #1],
+        // ∂c = gh ⊙ z, then tanh: ∂c_pre = ∂c ⊙ (1 − c²)
+        for j in 0..bh {
+            let g0 = ghs[j];
+            gzs[j] = g0 * (cb[j] - hp[j]);
+            ghps[j] = g0 * (1.0 - zb[j]);
+            gcs[j] = g0 * zb[j];
+        }
+        for j in 0..bh {
+            gcs[j] *= 1.0 - cb[j] * cb[j];
+        }
+        // candidate affine2 (x·W_h + (r⊙h)·U_h + b_h): ∂(r⊙h) = ∂c_pre · U_hᵀ
+        matmul_slices(
+            gcs,
+            b,
+            hidden,
+            st.uht.as_slice(),
+            hidden,
+            st.gtmp.as_mut_slice(),
+            false,
+        );
+        {
+            let rhs = st.rh.as_mut_slice();
+            for j in 0..bh {
+                rhs[j] = rb[j] * hp[j];
+            }
+        }
+        matmul_transa_slices(
+            x_t,
+            b,
+            in_dim,
+            gcs,
+            hidden,
+            st.step_gw.as_mut_slice(),
+            false,
+        );
+        acc_from_scratch(glo, seen, st.wh, &st.step_gw);
+        matmul_transa_slices(
+            st.rh.as_slice(),
+            b,
+            hidden,
+            gcs,
+            hidden,
+            st.step_gu.as_mut_slice(),
+            false,
+        );
+        acc_from_scratch(glo, seen, st.uh, &st.step_gu);
+        colsum_into(gcs, b, hidden, st.step_gb.as_mut_slice());
+        acc_from_scratch(glo, seen, st.bh, &st.step_gb);
+        // r⊙h product: ∂r = ∂(r⊙h) ⊙ h, ∂h += ∂(r⊙h) ⊙ r  [#2]
+        {
+            let gts = st.gtmp.as_slice();
+            for j in 0..bh {
+                grs[j] = gts[j] * hp[j];
+                ghps[j] += gts[j] * rb[j];
+            }
+        }
+        // reset sigmoid: ∂r_pre = ∂r ⊙ r ⊙ (1 − r)
+        for j in 0..bh {
+            grs[j] = grs[j] * rb[j] * (1.0 - rb[j]);
+        }
+        // reset affine2: ∂h += ∂r_pre · U_rᵀ  [#3], then W_r/U_r/b_r grads
+        matmul_slices(
+            grs,
+            b,
+            hidden,
+            st.urt.as_slice(),
+            hidden,
+            st.gtmp.as_mut_slice(),
+            false,
+        );
+        {
+            let gts = st.gtmp.as_slice();
+            for j in 0..bh {
+                ghps[j] += gts[j];
+            }
+        }
+        matmul_transa_slices(
+            x_t,
+            b,
+            in_dim,
+            grs,
+            hidden,
+            st.step_gw.as_mut_slice(),
+            false,
+        );
+        acc_from_scratch(glo, seen, st.wr, &st.step_gw);
+        matmul_transa_slices(hp, b, hidden, grs, hidden, st.step_gu.as_mut_slice(), false);
+        acc_from_scratch(glo, seen, st.ur, &st.step_gu);
+        colsum_into(grs, b, hidden, st.step_gb.as_mut_slice());
+        acc_from_scratch(glo, seen, st.br, &st.step_gb);
+        // update sigmoid: ∂z_pre = ∂z ⊙ z ⊙ (1 − z)
+        for j in 0..bh {
+            gzs[j] = gzs[j] * zb[j] * (1.0 - zb[j]);
+        }
+        // update affine2: ∂h += ∂z_pre · U_zᵀ  [#4], then W_z/U_z/b_z grads
+        matmul_slices(
+            gzs,
+            b,
+            hidden,
+            st.uzt.as_slice(),
+            hidden,
+            st.gtmp.as_mut_slice(),
+            false,
+        );
+        {
+            let gts = st.gtmp.as_slice();
+            for j in 0..bh {
+                ghps[j] += gts[j];
+            }
+        }
+        matmul_transa_slices(
+            x_t,
+            b,
+            in_dim,
+            gzs,
+            hidden,
+            st.step_gw.as_mut_slice(),
+            false,
+        );
+        acc_from_scratch(glo, seen, st.wz, &st.step_gw);
+        matmul_transa_slices(hp, b, hidden, gzs, hidden, st.step_gu.as_mut_slice(), false);
+        acc_from_scratch(glo, seen, st.uz, &st.step_gu);
+        colsum_into(gzs, b, hidden, st.step_gb.as_mut_slice());
+        acc_from_scratch(glo, seen, st.bz, &st.step_gb);
+        std::mem::swap(&mut st.gh, &mut st.ghp);
+    }
+}
+
+/// Adds a finished per-step scratch gradient into tape grad slot `idx`
+/// (assign on first visit, `add_scaled` after — the same order the
+/// node-per-step tape accumulated per-step weight gradients).
+// gfs-lint: hot(tape)
+fn acc_from_scratch(glo: &mut [Tensor], seen: &mut [bool], idx: TapeIndex, scratch: &Tensor) {
+    let i = idx.ix();
+    if seen[i] {
+        glo[i].add_scaled(scratch, 1.0);
+    } else {
+        seen[i] = true;
+        glo[i].copy_from(scratch);
     }
 }
 
@@ -1085,5 +1977,51 @@ mod tests {
         assert!(softplus(-1_000.0) >= 0.0);
         assert!((sigmoid(1_000.0) - 1.0).abs() < 1e-12);
         assert!(sigmoid(-1_000.0) >= 0.0);
+    }
+
+    #[test]
+    fn reset_replays_without_reallocation_and_regrads() {
+        let w = Param::new(Tensor::row(&[2.0, 3.0]));
+        let mut g = Graph::new();
+        for step in 0..3 {
+            g.reset();
+            let x = g.constant_slot(1, 2);
+            g.slot_mut(x).copy_from_slice(&[1.0 + step as f64, 1.0]);
+            let wv = g.param(&w);
+            let y = g.mul(x, wv);
+            let s = g.sum_all(y);
+            g.backward(s);
+            assert_eq!(g.len(), 4);
+        }
+        // grads accumulated over three replays: x0 = (1,1)+(2,1)+(3,1)
+        assert_eq!(w.grad().as_slice(), &[6.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_releases_param_shares() {
+        let w = Param::new(Tensor::scalar(2.0));
+        let mut g = Graph::new();
+        let wv = g.param(&w);
+        let y = g.scale(wv, 3.0);
+        let _ = g.value(y);
+        g.finish();
+        // an in-place update must not observe the graph's released share
+        w.update(|v, _| v + 1.0);
+        assert_eq!(w.value().item(), 3.0);
+        g.reset();
+        let wv = g.param(&w);
+        assert_eq!(g.value(wv).item(), 3.0);
+    }
+
+    #[test]
+    fn two_slots_mut_are_disjoint() {
+        let mut g = Graph::new();
+        let a = g.constant_slot(1, 2);
+        let b = g.constant_slot(1, 2);
+        let (sa, sb) = g.two_slots_mut(a, b);
+        sa.copy_from_slice(&[1.0, 2.0]);
+        sb.copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(g.value(a).as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.value(b).as_slice(), &[3.0, 4.0]);
     }
 }

@@ -183,6 +183,18 @@ impl GruCell {
         g.blend(z, h, cand)
     }
 
+    /// Runs the whole unrolled recurrence as one fused tape entry (see
+    /// [`Graph::gru_scan`]): `xs` packs the step inputs time-major
+    /// (`(steps·batch) × in_dim`, rows `[t·batch, (t+1)·batch)` are step
+    /// `t`), the initial state is zero, and the returned node holds the
+    /// final hidden state. Bit-identical to driving
+    /// [`GruCell::step_bound`] `steps` times from
+    /// [`GruCell::initial_state`].
+    pub fn scan(&self, g: &mut Graph, xs: Var, steps: usize) -> Var {
+        let nodes = self.bind(g);
+        g.gru_scan(xs, steps, &nodes)
+    }
+
     /// All trainable parameters of the cell.
     #[must_use]
     pub fn params(&self) -> Vec<Param> {
@@ -204,15 +216,15 @@ impl GruCell {
 /// [`GruCell::bind`].
 #[derive(Debug, Clone, Copy)]
 pub struct GruCellNodes {
-    wz: Var,
-    uz: Var,
-    bz: Var,
-    wr: Var,
-    ur: Var,
-    br: Var,
-    wh: Var,
-    uh: Var,
-    bh: Var,
+    pub(crate) wz: Var,
+    pub(crate) uz: Var,
+    pub(crate) bz: Var,
+    pub(crate) wr: Var,
+    pub(crate) ur: Var,
+    pub(crate) br: Var,
+    pub(crate) wh: Var,
+    pub(crate) uh: Var,
+    pub(crate) bh: Var,
 }
 
 /// Single-head scaled dot-product self-attention over a `L × d` sequence.

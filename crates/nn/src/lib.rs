@@ -1,10 +1,64 @@
-//! A minimal reverse-mode autodiff tensor library.
+//! A minimal reverse-mode autodiff tensor library on an index-based
+//! tape arena.
 //!
 //! This crate is the numerical substrate for the GFS demand forecasters
 //! (`gfs-forecast`). The paper trains OrgLinear and six baselines with
-//! PyTorch; here everything — dense tensors, a dynamic tape, layers,
+//! PyTorch; here everything — dense tensors, a flat tape, layers,
 //! optimizers and losses — is implemented from scratch in safe Rust so the
 //! whole reproduction is dependency-light and deterministic.
+//!
+//! # Tape architecture
+//!
+//! [`Graph`] is not a pointer-linked graph but a **tape arena**: a flat
+//! `Vec<Op>` of data-only op descriptors plus a parallel values arena of
+//! [`Tensor`]s, both addressed by the [`TapeIndex`] newtype ([`Var`] is
+//! an alias). Recording an op pushes one enum value and one result
+//! tensor — no per-node heap allocation, no boxed closures, no `Rc`
+//! graph edges. The backward pass is a single reverse walk over the
+//! tape with a `match` per op.
+//!
+//! ## Arena lifecycle
+//!
+//! A `Graph` is built once and **reused across batches**:
+//!
+//! 1. [`Graph::reset`] rewinds the tape to length zero but keeps every
+//!    buffer (ops, values, gradients, scratch, the shared operand pool),
+//!    so a warm batch re-records into memory allocated by the first.
+//!    The `forecast-alloc-gate` CI lane pins this: a steady-state
+//!    training step (forward + loss + backward + Adam) performs **zero**
+//!    heap allocations.
+//! 2. [`Graph::constant_slot`] hands back a reusable input slot whose
+//!    contents the caller overwrites via [`Graph::slot_mut`] — batch
+//!    data is written in place rather than copied from a fresh tensor.
+//! 3. [`Graph::param`] shares a [`Param`]'s tensor copy-on-write; the
+//!    share is released by [`Graph::backward`] (training) or
+//!    [`Graph::finish`] (inference) so the optimizer's in-place update
+//!    never clones weights.
+//!
+//! ## `TapeIndex` invariants
+//!
+//! A [`TapeIndex`] is only meaningful for the `Graph` that issued it,
+//! and only until that graph's next [`Graph::reset`]; indices are dense
+//! and monotonically increasing in recording order, so an op's operands
+//! always precede it on the tape. Using a stale index panics (or reads
+//! a stale slot) rather than corrupting memory — the arena is fully
+//! safe code — but it is still a logic error; the `gfs_lint`
+//! `tape-alloc` rule and the gradient-check suite guard the hot paths.
+//!
+//! ## Fusion and float reassociation
+//!
+//! Fused ops (`affine`, `affine2`, `blend`, `gaussian_nll_softplus`,
+//! and the sequence-level GRU scan [`GruCell::scan`]) are **bit-compatible**
+//! with the op chains they replace: they evaluate the same expressions
+//! in the same association order, just without materialising
+//! intermediates on the tape. `gru_scan` in particular is pinned
+//! bit-identical — values and gradients — to the unfused per-step
+//! chain by `tests/grad_check.rs`. The one deliberate reassociation in
+//! the stack lives outside this crate: the forecast decomposition's
+//! prefix-sum moving average, documented at its definition. Anything
+//! that would reassociate sums (blocked matmul tilings, SIMD
+//! reductions) is out of contract for this crate, because golden tests
+//! pin training trajectories bit-for-bit.
 //!
 //! # Examples
 //!
@@ -43,7 +97,7 @@ mod optim;
 mod param;
 mod tensor;
 
-pub use graph::{sigmoid, softplus, Graph, Var};
+pub use graph::{sigmoid, softplus, Graph, TapeIndex, Var};
 pub use layers::{Attention, Embedding, GruCell, GruCellNodes, Linear};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;

@@ -41,7 +41,10 @@ impl Param {
         }
     }
 
-    /// A snapshot of the current value.
+    /// A snapshot of the current value (an O(1) copy-on-write share: later
+    /// optimizer updates copy the buffer rather than mutating the
+    /// snapshot, so holders must release stale shares to keep updates
+    /// allocation-free — the graph arena does this in `backward`/`finish`).
     #[must_use]
     pub fn value(&self) -> Tensor {
         self.data.borrow().value.clone()
@@ -86,24 +89,28 @@ impl Param {
     }
 
     /// Applies an in-place update `value[i] = f(value[i], grad[i])`.
+    ///
+    /// Borrows `value` and `grad` as disjoint fields (no placeholder swap —
+    /// even an empty `Tensor` costs an `Rc` box, and this runs per
+    /// parameter per optimizer step).
+    // gfs-lint: hot(tape)
     pub fn update(&self, mut f: impl FnMut(f64, f64) -> f64) {
-        let mut d = self.data.borrow_mut();
-        let grad = std::mem::replace(&mut d.grad, Tensor::zeros(0, 0));
-        for (v, g) in d.value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+        let mut borrow = self.data.borrow_mut();
+        let ParamData { value, grad } = &mut *borrow;
+        for (v, g) in value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
             *v = f(*v, *g);
         }
-        d.grad = grad;
     }
 
     /// Hands the optimizer raw `(value, grad)` slices for one fused,
     /// vectorizable pass — the closure-per-element [`Param::update`] can't
     /// auto-vectorize `sqrt`/`div` chains, which made optimizer steps a
     /// measurable share of training time.
+    // gfs-lint: hot(tape)
     pub fn update_slices(&self, f: impl FnOnce(&mut [f64], &[f64])) {
-        let mut d = self.data.borrow_mut();
-        let grad = std::mem::replace(&mut d.grad, Tensor::zeros(0, 0));
-        f(d.value.as_mut_slice(), grad.as_slice());
-        d.grad = grad;
+        let mut borrow = self.data.borrow_mut();
+        let ParamData { value, grad } = &mut *borrow;
+        f(value.as_mut_slice(), grad.as_slice());
     }
 
     /// Replaces the value outright (used by tests and serialization).

@@ -1,15 +1,192 @@
-//! Dense 2-D tensors of `f64`.
+//! Dense 2-D tensors of `f64` with copy-on-write storage.
 //!
 //! Every quantity in the forecasting stack — sequences, embeddings, weight
 //! matrices — is a row-major matrix. Vectors are represented as `1 × n` or
 //! `n × 1` matrices, scalars as `1 × 1`.
+//!
+//! Storage is an `Rc<Vec<f64>>`: cloning a tensor is a reference-count bump,
+//! and the first mutation of a shared tensor copies the buffer
+//! ([`Rc::make_mut`]). This is what lets the tape arena share parameter
+//! values with the optimizer without per-batch weight clones — see the
+//! crate-level docs.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::rc::Rc;
 
 use rand::Rng;
 
+/// Rows of the RHS processed per tile of the blocked kernel: a tile of
+/// `KC × n` B-rows stays hot in L1/L2 while every output row streams
+/// over it.
+const MATMUL_KC: usize = 64;
+
+/// Fused multiply-add when the build target guarantees an FMA unit
+/// (e.g. `-C target-cpu=x86-64-v3`, see `.cargo/config.toml`);
+/// otherwise a plain multiply-add, because `f64::mul_add` without an
+/// FMA instruction falls back to a (correctly-rounded but ~20×
+/// slower) libm call. The two differ in the final bit of rounding;
+/// nothing in the workspace depends on cross-target bit-equality of
+/// training math.
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// The blocked axpy kernel shared by all matmul entry points:
+/// `out_row += Σ a[kb..] · b_row[kb..]` over one tile of `k`. Unrolled
+/// four B-rows deep so the output row stays in registers across four
+/// accumulations (quartering load/store traffic) while keeping the
+/// exact k-ascending accumulation order of the naive kernel.
+// gfs-lint: hot(tape)
+#[inline]
+fn axpy_tile(out_row: &mut [f64], a_row: &[f64], b: &[f64], n: usize, kb: usize, kend: usize) {
+    let mut kk = kb;
+    while kk + 4 <= kend {
+        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for j in 0..n {
+            let mut o = out_row[j];
+            o = fmadd(a0, b0[j], o);
+            o = fmadd(a1, b1[j], o);
+            o = fmadd(a2, b2[j], o);
+            o = fmadd(a3, b3[j], o);
+            out_row[j] = o;
+        }
+        kk += 4;
+    }
+    while kk < kend {
+        let a = a_row[kk];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, bv) in out_row.iter_mut().zip(b_row) {
+            *o = fmadd(a, *bv, *o);
+        }
+        kk += 1;
+    }
+}
+
+/// Slice-level blocked matmul: `out (+)= a · b` with `a` an `m × k` and `b`
+/// a `k × n` row-major buffer. With `accumulate == false` the output is
+/// overwritten and the result is bit-identical to [`Tensor::matmul`]; with
+/// `accumulate == true` the product is added on top of the existing values
+/// in the same k-ascending order as [`Tensor::add_matmul`].
+///
+/// This is the entry point the fused GRU scan drives directly over
+/// preallocated scratch, bypassing tensor construction entirely.
+// gfs-lint: hot(tape)
+pub(crate) fn matmul_slices(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k, "matmul_slices lhs length");
+    debug_assert_eq!(b.len(), k * n, "matmul_slices rhs length");
+    debug_assert_eq!(out.len(), m * n, "matmul_slices out length");
+    if !accumulate {
+        out.iter_mut().for_each(|v| *v = 0.0);
+    }
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + MATMUL_KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            axpy_tile(out_row, a_row, b, n, kb, kend);
+        }
+        kb = kend;
+    }
+}
+
+/// Slice-level `out (+)= aᵀ · b` without materializing the transpose
+/// (`a` is `m × k` so the product is `k × n`). Same i-ascending
+/// accumulation order as [`Tensor::matmul_transa`], so overwriting a
+/// zeroed buffer is bit-identical to it.
+// gfs-lint: hot(tape)
+pub(crate) fn matmul_transa_slices(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k, "matmul_transa_slices lhs length");
+    debug_assert_eq!(b.len(), m * n, "matmul_transa_slices rhs length");
+    debug_assert_eq!(out.len(), k * n, "matmul_transa_slices out length");
+    if !accumulate {
+        out.iter_mut().for_each(|v| *v = 0.0);
+    }
+    // four LHS rows per pass so each output row is loaded/stored once
+    // per quartet; sequential adds keep the i-ascending accumulation
+    // order of the plain loop
+    let mut i = 0;
+    while i + 4 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let r0 = &b[i * n..(i + 1) * n];
+        let r1 = &b[(i + 1) * n..(i + 2) * n];
+        let r2 = &b[(i + 2) * n..(i + 3) * n];
+        let r3 = &b[(i + 3) * n..(i + 4) * n];
+        for kk in 0..k {
+            let out_row = &mut out[kk * n..(kk + 1) * n];
+            let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            for j in 0..n {
+                let mut o = out_row[j];
+                o = fmadd(c0, r0[j], o);
+                o = fmadd(c1, r1[j], o);
+                o = fmadd(c2, r2[j], o);
+                o = fmadd(c3, r3[j], o);
+                out_row[j] = o;
+            }
+        }
+        i += 4;
+    }
+    while i < m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let rhs_row = &b[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[kk * n..(kk + 1) * n];
+            for (o, bv) in out_row.iter_mut().zip(rhs_row) {
+                *o += av * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Slice-level transpose of an `rows × cols` buffer into `out`.
+// gfs-lint: hot(tape)
+pub(crate) fn transpose_slices(src: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(src.len(), rows * cols, "transpose_slices src length");
+    debug_assert_eq!(out.len(), rows * cols, "transpose_slices out length");
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = src[i * cols + j];
+        }
+    }
+}
+
 /// A dense row-major matrix of `f64`.
+///
+/// Cloning is O(1) (a reference-count bump); the buffer is copied lazily on
+/// the first mutation of a shared tensor.
 ///
 /// # Examples
 ///
@@ -25,7 +202,7 @@ use rand::Rng;
 pub struct Tensor {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Rc<Vec<f64>>,
 }
 
 impl Tensor {
@@ -35,7 +212,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Rc::new(vec![0.0; rows * cols]),
         }
     }
 
@@ -45,7 +222,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: Rc::new(vec![value; rows * cols]),
         }
     }
 
@@ -72,7 +249,11 @@ impl Tensor {
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
-        Tensor { rows, cols, data }
+        Tensor {
+            rows,
+            cols,
+            data: Rc::new(data),
+        }
     }
 
     /// Creates a tensor from row slices.
@@ -92,7 +273,7 @@ impl Tensor {
         Tensor {
             rows: rows.len(),
             cols,
-            data,
+            data: Rc::new(data),
         }
     }
 
@@ -134,7 +315,11 @@ impl Tensor {
                 }
             })
             .collect();
-        Tensor { rows, cols, data }
+        Tensor {
+            rows,
+            cols,
+            data: Rc::new(data),
+        }
     }
 
     /// Number of rows.
@@ -174,8 +359,41 @@ impl Tensor {
     }
 
     /// Mutable flat row-major view of the data.
+    ///
+    /// If the buffer is shared with another tensor this copies it first
+    /// (copy-on-write); on a uniquely-owned tensor it is free.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        Rc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Whether this tensor's buffer is shared with another tensor
+    /// (i.e. mutation would trigger a copy).
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        Rc::strong_count(&self.data) > 1
+    }
+
+    /// Reshapes the tensor in place to `rows × cols`, reusing the existing
+    /// buffer allocation whenever its capacity suffices. Existing element
+    /// values are **not** meaningful afterwards — callers are expected to
+    /// overwrite the full buffer. Grows with zeros when the logical size
+    /// increases.
+    // gfs-lint: hot(tape)
+    pub fn resize_reuse(&mut self, rows: usize, cols: usize) {
+        let data = Rc::make_mut(&mut self.data);
+        data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Copies `src` into `self`, reshaping and reusing the buffer.
+    // gfs-lint: hot(tape)
+    pub fn copy_from(&mut self, src: &Tensor) {
+        let data = Rc::make_mut(&mut self.data);
+        data.resize(src.rows * src.cols, 0.0);
+        data.copy_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
     }
 
     /// The single element of a `1 × 1` tensor.
@@ -200,75 +418,17 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Rows of the RHS processed per tile of the blocked kernel: a tile of
-    /// `KC × n` B-rows stays hot in L1/L2 while every output row streams
-    /// over it.
-    const MATMUL_KC: usize = 64;
-
-    /// Fused multiply-add when the build target guarantees an FMA unit
-    /// (e.g. `-C target-cpu=x86-64-v3`, see `.cargo/config.toml`);
-    /// otherwise a plain multiply-add, because `f64::mul_add` without an
-    /// FMA instruction falls back to a (correctly-rounded but ~20×
-    /// slower) libm call. The two differ in the final bit of rounding;
-    /// nothing in the workspace depends on cross-target bit-equality of
-    /// training math.
-    #[inline(always)]
-    fn fmadd(a: f64, b: f64, c: f64) -> f64 {
-        #[cfg(target_feature = "fma")]
-        {
-            a.mul_add(b, c)
-        }
-        #[cfg(not(target_feature = "fma"))]
-        {
-            c + a * b
-        }
-    }
-
-    /// The blocked axpy kernel shared by all matmul entry points:
-    /// `out_row += Σ a[kb..] · b_row[kb..]` over one tile of `k`. Unrolled
-    /// four B-rows deep so the output row stays in registers across four
-    /// accumulations (quartering load/store traffic) while keeping the
-    /// exact k-ascending accumulation order of the naive kernel.
-    #[inline]
-    fn axpy_tile(out_row: &mut [f64], a_row: &[f64], b: &[f64], n: usize, kb: usize, kend: usize) {
-        let mut kk = kb;
-        while kk + 4 <= kend {
-            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
-            let b0 = &b[kk * n..kk * n + n];
-            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
-            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
-            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
-            for j in 0..n {
-                let mut o = out_row[j];
-                o = Self::fmadd(a0, b0[j], o);
-                o = Self::fmadd(a1, b1[j], o);
-                o = Self::fmadd(a2, b2[j], o);
-                o = Self::fmadd(a3, b3[j], o);
-                out_row[j] = o;
-            }
-            kk += 4;
-        }
-        while kk < kend {
-            let a = a_row[kk];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, bv) in out_row.iter_mut().zip(b_row) {
-                *o = Self::fmadd(a, *bv, *o);
-            }
-            kk += 1;
-        }
-    }
-
     /// Matrix product `self · rhs`.
     ///
     /// The kernel is a cache-blocked, register-unrolled row-major axpy:
-    /// the inner dimension is processed in tiles of [`Self::MATMUL_KC`]
+    /// the inner dimension is processed in tiles of `MATMUL_KC`
     /// B-rows (so large right-hand sides stay cache-resident across output
     /// rows) and four B-rows are fused per pass so the output row lives in
     /// registers. Accumulation order per output element is exactly the
     /// k-ascending order of the textbook kernel, so results are
-    /// bit-identical to it. The old data-dependent `a == 0.0` skip branch
-    /// is gone — it mispredicted on dense inputs, which is the common case
-    /// for this workload (see `dense_rows_no_longer_short_circuit_zeros`).
+    /// bit-identical to it. Each output row's accumulation depends only on
+    /// that LHS row, so batching extra rows into one call is bit-identical
+    /// per row — the property the batched GDE forward relies on.
     ///
     /// # Panics
     ///
@@ -298,6 +458,36 @@ impl Tensor {
         self.matmul_impl(rhs, Some(bias))
     }
 
+    /// In-place variant of [`Tensor::matmul_add`] writing into `out`
+    /// (reshaped and reused) — the arena's allocation-free affine forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    // gfs-lint: hot(tape)
+    pub fn matmul_add_into(&self, rhs: &Tensor, bias: Option<&Tensor>, out: &mut Tensor) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul_add_into dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        out.resize_reuse(m, n);
+        let out_data = Rc::make_mut(&mut out.data);
+        match bias {
+            Some(b) => {
+                assert_eq!(b.shape(), (1, n), "matmul_add_into bias shape");
+                for r in 0..m {
+                    out_data[r * n..(r + 1) * n].copy_from_slice(&b.data);
+                }
+                matmul_slices(&self.data, m, k, &rhs.data, n, out_data, true);
+            }
+            None => matmul_slices(&self.data, m, k, &rhs.data, n, out_data, false),
+        }
+    }
+
     fn matmul_impl(&self, rhs: &Tensor, bias: Option<&Tensor>) -> Tensor {
         assert_eq!(
             self.cols,
@@ -306,30 +496,8 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = match bias {
-            Some(b) => {
-                let mut t = Tensor::zeros(m, n);
-                for r in 0..m {
-                    t.data[r * n..(r + 1) * n].copy_from_slice(&b.data);
-                }
-                t
-            }
-            None => Tensor::zeros(m, n),
-        };
-        // tile the inner dimension so a KC × n block of rhs stays cached
-        // while every output row streams over it; per-element accumulation
-        // order stays k-ascending (tiles visited in order)
-        let mut kb = 0;
-        while kb < k {
-            let kend = (kb + Self::MATMUL_KC).min(k);
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                Self::axpy_tile(out_row, a_row, &rhs.data, n, kb, kend);
-            }
-            kb = kend;
-        }
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_add_into(rhs, bias, &mut out);
         out
     }
 
@@ -340,6 +508,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes are inconsistent.
+    // gfs-lint: hot(tape)
     pub fn add_matmul(&mut self, lhs: &Tensor, rhs: &Tensor) {
         assert_eq!(lhs.cols, rhs.rows, "add_matmul inner dimension mismatch");
         assert_eq!(
@@ -348,16 +517,8 @@ impl Tensor {
             "add_matmul output shape mismatch"
         );
         let (m, k, n) = (lhs.rows, lhs.cols, rhs.cols);
-        let mut kb = 0;
-        while kb < k {
-            let kend = (kb + Self::MATMUL_KC).min(k);
-            for i in 0..m {
-                let a_row = &lhs.data[i * k..(i + 1) * k];
-                let out_row = &mut self.data[i * n..(i + 1) * n];
-                Self::axpy_tile(out_row, a_row, &rhs.data, n, kb, kend);
-            }
-            kb = kend;
-        }
+        let out_data = Rc::make_mut(&mut self.data);
+        matmul_slices(&lhs.data, m, k, &rhs.data, n, out_data, true);
     }
 
     /// `self · rhsᵀ` (used by backprop: `∂x = ∂y · Wᵀ`). Implemented as a
@@ -396,59 +557,52 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(k, n);
-        // four LHS rows per pass so each output row is loaded/stored once
-        // per quartet; sequential adds keep the i-ascending accumulation
-        // order of the plain loop
-        let mut i = 0;
-        while i + 4 <= m {
-            let a0 = &self.data[i * k..(i + 1) * k];
-            let a1 = &self.data[(i + 1) * k..(i + 2) * k];
-            let a2 = &self.data[(i + 2) * k..(i + 3) * k];
-            let a3 = &self.data[(i + 3) * k..(i + 4) * k];
-            let r0 = &rhs.data[i * n..(i + 1) * n];
-            let r1 = &rhs.data[(i + 1) * n..(i + 2) * n];
-            let r2 = &rhs.data[(i + 2) * n..(i + 3) * n];
-            let r3 = &rhs.data[(i + 3) * n..(i + 4) * n];
-            for kk in 0..k {
-                let out_row = &mut out.data[kk * n..(kk + 1) * n];
-                let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                for j in 0..n {
-                    let mut o = out_row[j];
-                    o = Self::fmadd(c0, r0[j], o);
-                    o = Self::fmadd(c1, r1[j], o);
-                    o = Self::fmadd(c2, r2[j], o);
-                    o = Self::fmadd(c3, r3[j], o);
-                    out_row[j] = o;
-                }
-            }
-            i += 4;
-        }
-        while i < m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let rhs_row = &rhs.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                let out_row = &mut out.data[kk * n..(kk + 1) * n];
-                for (o, b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-            i += 1;
-        }
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        let out_data = Rc::make_mut(&mut out.data);
+        matmul_transa_slices(
+            &self.data, self.rows, self.cols, &rhs.data, rhs.cols, out_data, true,
+        );
         out
+    }
+
+    /// In-place `self += lhsᵀ · rhs` (the accumulating form of
+    /// [`Tensor::matmul_transa`]; identical accumulation order, so running
+    /// it on a zeroed tensor is bit-identical to the allocating form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    // gfs-lint: hot(tape)
+    pub fn add_matmul_transa(&mut self, lhs: &Tensor, rhs: &Tensor) {
+        assert_eq!(lhs.rows, rhs.rows, "add_matmul_transa row mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (lhs.cols, rhs.cols),
+            "add_matmul_transa output shape mismatch"
+        );
+        let out_data = Rc::make_mut(&mut self.data);
+        matmul_transa_slices(
+            &lhs.data, lhs.rows, lhs.cols, &rhs.data, rhs.cols, out_data, true,
+        );
     }
 
     /// Transposed copy.
     #[must_use]
     pub fn transposed(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
-            }
-        }
+        let out_data = Rc::make_mut(&mut out.data);
+        transpose_slices(&self.data, self.rows, self.cols, out_data);
         out
+    }
+
+    /// Transposes `self` into `out`, reshaping and reusing its buffer —
+    /// the arena's allocation-free transpose (backprop keeps one transpose
+    /// scratch per graph instead of allocating per `∂x = ∂y · Wᵀ`).
+    // gfs-lint: hot(tape)
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        out.resize_reuse(self.cols, self.rows);
+        let out_data = Rc::make_mut(&mut out.data);
+        transpose_slices(&self.data, self.rows, self.cols, out_data);
     }
 
     /// Element-wise map into a new tensor.
@@ -457,7 +611,7 @@ impl Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Rc::new(self.data.iter().map(|&v| f(v)).collect()),
         }
     }
 
@@ -472,12 +626,13 @@ impl Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Rc::new(
+                self.data
+                    .iter()
+                    .zip(rhs.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -486,16 +641,21 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes differ.
+    // gfs-lint: hot(tape)
     pub fn add_scaled(&mut self, rhs: &Tensor, scale: f64) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+        let data = Rc::make_mut(&mut self.data);
+        for (a, b) in data.iter_mut().zip(rhs.data.iter()) {
             *a += scale * b;
         }
     }
 
     /// Sets every element to zero.
+    // gfs-lint: hot(tape)
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|v| *v = 0.0);
+        Rc::make_mut(&mut self.data)
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
     }
 
     /// Sum of all elements.
@@ -525,11 +685,12 @@ impl Tensor {
         let rows = parts[0].rows;
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Tensor::zeros(rows, cols);
+        let out_data = Rc::make_mut(&mut out.data);
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
                 assert_eq!(p.rows, rows, "concat_cols row mismatch");
-                out.data[r * cols + offset..r * cols + offset + p.cols]
+                out_data[r * cols + offset..r * cols + offset + p.cols]
                     .copy_from_slice(p.row_slice(r));
                 offset += p.cols;
             }
@@ -562,7 +723,8 @@ impl IndexMut<(usize, usize)> for Tensor {
             r < self.rows && c < self.cols,
             "index ({r},{c}) out of bounds"
         );
-        &mut self.data[r * self.cols + c]
+        let cols = self.cols;
+        &mut Rc::make_mut(&mut self.data)[r * cols + c]
     }
 }
 
@@ -685,6 +847,25 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_are_bit_identical_to_allocating_forms() {
+        let a = random(6, 19, 21);
+        let b = random(19, 5, 22);
+        let bias = random(1, 5, 23);
+        let mut out = Tensor::zeros(1, 1); // wrong shape on purpose: must reshape
+        a.matmul_add_into(&b, None, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_add_into(&b, Some(&bias), &mut out);
+        assert_eq!(out, a.matmul_add(&b, &bias));
+        let c = random(6, 4, 24);
+        let mut acc = Tensor::zeros(19, 4);
+        acc.add_matmul_transa(&a, &c);
+        assert_eq!(acc, a.matmul_transa(&c));
+        let mut tr = Tensor::zeros(2, 2);
+        a.transpose_into(&mut tr);
+        assert_eq!(tr, a.transposed());
+    }
+
+    #[test]
     fn dense_rows_no_longer_short_circuit_zeros() {
         // the old kernel skipped a == 0.0 rows; ensure zero-heavy inputs
         // still produce exact results through both paths
@@ -749,6 +930,36 @@ mod tests {
         let mut t = Tensor::zeros(2, 2);
         t[(0, 1)] = 9.0;
         assert_eq!(t[(0, 1)], 9.0);
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let a = Tensor::row(&[1.0, 2.0]);
+        let mut b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        b.as_mut_slice()[0] = 9.0; // copy-on-write detaches b
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        assert_eq!(b.as_slice(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_reuse_keeps_capacity() {
+        let mut t = Tensor::zeros(8, 8);
+        let cap_ptr = t.as_slice().as_ptr();
+        t.resize_reuse(4, 4);
+        assert_eq!(t.shape(), (4, 4));
+        assert_eq!(
+            t.as_slice().as_ptr(),
+            cap_ptr,
+            "shrink must reuse the buffer"
+        );
+        t.resize_reuse(8, 8);
+        assert_eq!(
+            t.as_slice().as_ptr(),
+            cap_ptr,
+            "regrow within capacity must reuse"
+        );
     }
 
     #[test]

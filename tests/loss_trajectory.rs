@@ -1,0 +1,78 @@
+//! Golden pin: the rebuilt tape-arena trainers must reproduce the
+//! pre-rebuild per-epoch loss trajectories bit-identically on a fixed seed.
+//!
+//! The pinned constants below were captured from the pre-rebuild graph
+//! (per-node allocated `Vec<Node>`) by running with `GFS_GOLDEN_RECORD=1`.
+//! Because `minibatches` derives each epoch's shuffle from `seed ^ f(epoch)`,
+//! a k-epoch fit's losses are a prefix of a (k+1)-epoch fit's losses, so
+//! pinning the `final_loss` of fresh fits at k = 1..=4 pins the whole
+//! four-epoch trajectory.
+
+use gfs::forecast::{DLinear, Forecaster, OrgLinear, TrainConfig};
+use gfs::scenario;
+
+const EPOCHS: usize = 4;
+
+fn cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        lr: 0.01,
+        seed: 7,
+        stride: 24,
+        train_frac: 0.8,
+    }
+}
+
+fn trajectory(make: &dyn Fn() -> Box<dyn Forecaster>) -> Vec<u64> {
+    let data = scenario::org_template(3, 168, 24, 1);
+    (1..=EPOCHS)
+        .map(|k| {
+            let mut m = make();
+            m.fit(&data, &cfg(k)).final_loss.to_bits()
+        })
+        .collect()
+}
+
+fn check(name: &str, got: &[u64], want: &[u64]) {
+    if std::env::var("GFS_GOLDEN_RECORD").is_ok() {
+        println!("const {name}: [u64; {}] = {got:?};", got.len());
+        return;
+    }
+    assert_eq!(
+        got,
+        want,
+        "{name} per-epoch loss trajectory drifted from the pre-rebuild pin\n\
+         got  (f64): {:?}\nwant (f64): {:?}",
+        got.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>(),
+        want.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>(),
+    );
+}
+
+const ORGLINEAR_GOLDEN: [u64; 4] = [
+    4620343287459476452,
+    4612012138673015004,
+    4611516875510481393,
+    4613027946250314839,
+];
+
+const DLINEAR_GOLDEN: [u64; 4] = [
+    4612765049514944885,
+    4607556613720183214,
+    4608384572764030985,
+    4605894398950093819,
+];
+
+#[test]
+fn orglinear_loss_trajectory_pinned() {
+    let data = scenario::org_template(3, 168, 24, 1);
+    let got = trajectory(&|| Box::new(OrgLinear::new(&data, 11)));
+    check("ORGLINEAR_GOLDEN", &got, &ORGLINEAR_GOLDEN);
+}
+
+#[test]
+fn dlinear_loss_trajectory_pinned() {
+    let data = scenario::org_template(3, 168, 24, 1);
+    let got = trajectory(&|| Box::new(DLinear::new(&data, 11)));
+    check("DLINEAR_GOLDEN", &got, &DLINEAR_GOLDEN);
+}
